@@ -1,0 +1,257 @@
+//! Log-domain special functions: ln Γ, log-binomials, log1mexp.
+//!
+//! The Markov chain of Eq. (2) multiplies binomial coefficients like
+//! C(999, 500) by probabilities like q^250000 — hopeless in linear space.
+//! Everything here works with natural logarithms and is accurate to ~1e-12
+//! relative error, plenty for reproducing the paper's figures.
+
+/// Lanczos coefficients (g = 7, 9 terms), the classic Boost/GSL parameter
+/// set.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of the gamma function for `x > 0`.
+///
+/// Uses the Lanczos approximation with reflection for `x < 0.5`.
+///
+/// # Panics
+///
+/// Panics if `x <= 0` and `x` is an integer (poles of Γ).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(
+        x > 0.0 || x.fract() != 0.0,
+        "ln_gamma undefined at non-positive integer {x}"
+    );
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        pi.ln() - (pi * x).sin().abs().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut acc = LANCZOS_COEF[0];
+        for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+            acc += c / (x + i as f64);
+        }
+        let t = x + LANCZOS_G + 0.5;
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+    }
+}
+
+/// ln(n!) with an exact table for small `n`.
+pub fn ln_factorial(n: u64) -> f64 {
+    // Factorials up to 20! fit u64 exactly.
+    const TABLE_LEN: usize = 21;
+    if (n as usize) < TABLE_LEN {
+        let mut f = 1u64;
+        for k in 2..=n {
+            f *= k;
+        }
+        (f as f64).ln()
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// ln C(n, k); returns `f64::NEG_INFINITY` when `k > n` (the binomial is
+/// zero — e.g. Ψ's C(n−i−1, l) term when the outside of a partition is
+/// smaller than a view).
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    if k == 0 {
+        return 0.0;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// ln(1 − eˣ) for `x < 0`, numerically stable across the whole range
+/// (the standard `log1mexp` switch at −ln 2).
+///
+/// # Panics
+///
+/// Panics if `x > 0` (1 − eˣ would be negative).
+pub fn ln_one_minus_exp(x: f64) -> f64 {
+    assert!(x <= 0.0, "ln_one_minus_exp requires x <= 0, got {x}");
+    if x == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if x < -std::f64::consts::LN_2 {
+        (-x.exp()).ln_1p()
+    } else {
+        (-x.exp_m1()).ln()
+    }
+}
+
+/// Stable ln(eᵃ + eᵇ).
+pub fn ln_add_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Stable ln Σ eˣⁱ over a slice.
+pub fn ln_sum_exp(xs: &[f64]) -> f64 {
+    let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if hi == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    hi + xs.iter().map(|&x| (x - hi).exp()).sum::<f64>().ln()
+}
+
+/// Least-squares fit of `y ≈ a + b·ln(x)`; returns `(a, b)`.
+///
+/// Used to verify the §4.3 claim that the number of rounds *"increases
+/// logarithmically with an increasing system size"* (Figure 3(b)).
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or any `x <= 0`.
+pub fn fit_logarithmic(points: &[(f64, f64)]) -> (f64, f64) {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    let n = points.len() as f64;
+    let (mut su, mut sy, mut suu, mut suy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        assert!(x > 0.0, "logarithmic fit requires positive x, got {x}");
+        let u = x.ln();
+        su += u;
+        sy += y;
+        suu += u * u;
+        suy += u * y;
+    }
+    let b = (n * suy - su * sy) / (n * suu - su * su);
+    let a = (sy - b * su) / n;
+    (a, b)
+}
+
+/// Coefficient of determination R² of the fit `y ≈ a + b·ln(x)`.
+pub fn r_squared_logarithmic(points: &[(f64, f64)], a: f64, b: f64) -> f64 {
+    let mean_y = points.iter().map(|&(_, y)| y).sum::<f64>() / points.len() as f64;
+    let ss_tot: f64 = points.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|&(x, y)| (y - (a + b * x.ln())).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, rel: f64) {
+        let err = if expected == 0.0 {
+            actual.abs()
+        } else {
+            ((actual - expected) / expected).abs()
+        };
+        assert!(
+            err < rel,
+            "expected {expected}, got {actual} (rel err {err:.3e})"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        assert_close(ln_gamma(1.0), 0.0, 1e-12);
+        assert_close(ln_gamma(2.0), 0.0, 1e-12);
+        assert_close(ln_gamma(5.0), 24f64.ln(), 1e-12); // Γ(5) = 4! = 24
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
+        // Γ(101) = 100! ⇒ ln = 363.739375...
+        assert_close(ln_gamma(101.0), 363.739_375_555_563_5, 1e-12);
+    }
+
+    #[test]
+    fn ln_factorial_exact_small_and_smooth_large() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert_close(ln_factorial(10), 3_628_800f64.ln(), 1e-14);
+        assert_close(ln_factorial(100), ln_gamma(101.0), 1e-14);
+        // Stirling sanity at n = 1000: ln(1000!) ≈ 5912.128178.
+        assert_close(ln_factorial(1000), 5_912.128_178_488_163, 1e-12);
+    }
+
+    #[test]
+    fn ln_binomial_matches_direct_computation() {
+        assert_close(ln_binomial(5, 2), 10f64.ln(), 1e-13);
+        assert_close(ln_binomial(49, 3), 18_424f64.ln(), 1e-13);
+        assert_close(ln_binomial(50, 25), 126_410_606_437_752f64.ln(), 1e-12);
+        assert_eq!(ln_binomial(3, 7), f64::NEG_INFINITY);
+        assert_eq!(ln_binomial(7, 0), 0.0);
+        assert_eq!(ln_binomial(7, 7), 0.0);
+    }
+
+    #[test]
+    fn pascal_identity_holds_in_log_space() {
+        for n in 2u64..40 {
+            for k in 1..n {
+                let lhs = ln_binomial(n, k);
+                let rhs = ln_add_exp(ln_binomial(n - 1, k - 1), ln_binomial(n - 1, k));
+                assert_close(lhs, rhs, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn log1mexp_is_stable_at_both_ends() {
+        // Tiny |x|: 1 - e^(-1e-12) ≈ 1e-12.
+        assert_close(ln_one_minus_exp(-1e-12), (1e-12f64).ln(), 1e-6);
+        // Large |x|: 1 - e^(-50) ≈ 1 - 2e-22 → ln ≈ -e^-50.
+        let v = ln_one_minus_exp(-50.0);
+        assert!(v < 0.0 && v > -1e-20);
+        assert_eq!(ln_one_minus_exp(0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires x <= 0")]
+    fn log1mexp_rejects_positive() {
+        let _ = ln_one_minus_exp(0.5);
+    }
+
+    #[test]
+    fn ln_sum_exp_handles_extremes() {
+        assert_close(ln_sum_exp(&[0.0, 0.0]), 2f64.ln(), 1e-14);
+        // Sum dominated by the largest term without overflow.
+        let v = ln_sum_exp(&[-1000.0, -1000.0, -2000.0]);
+        assert_close(v, -1000.0 + 2f64.ln(), 1e-10);
+        assert_eq!(ln_sum_exp(&[]), f64::NEG_INFINITY);
+        assert_eq!(
+            ln_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn logarithmic_fit_recovers_coefficients() {
+        let points: Vec<(f64, f64)> = (1..=20)
+            .map(|i| {
+                let x = 50.0 * i as f64;
+                (x, 2.5 + 0.8 * x.ln())
+            })
+            .collect();
+        let (a, b) = fit_logarithmic(&points);
+        assert_close(a, 2.5, 1e-9);
+        assert_close(b, 0.8, 1e-9);
+        assert!(r_squared_logarithmic(&points, a, b) > 0.999_999);
+    }
+}

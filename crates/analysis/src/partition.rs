@@ -1,0 +1,214 @@
+//! Membership-partition probabilities (§4.4, Eq. 4–5).
+//!
+//! A partition exists when some subset of processes only know processes
+//! inside the subset *and* everyone outside only knows outsiders. Eq. (4)
+//! upper-bounds the probability that a partition of size `i` arises in one
+//! round of fresh uniform views:
+//!
+//! ```text
+//! Ψ(i, n, l) = C(n, i) · [C(i−1, l)/C(n−1, l)]^i · [C(n−i−1, l)/C(n−1, l)]^(n−i)
+//! ```
+//!
+//! and Eq. (5) extends it over `r` independent rounds:
+//!
+//! ```text
+//! φ(n, l, r) = (1 − Σ_{l+1 ≤ i ≤ n/2} Ψ(i, n, l))^r ≈ 1 − r · ΣΨ
+//! ```
+
+use crate::math::{ln_binomial, ln_one_minus_exp, ln_sum_exp};
+
+/// ln Ψ(i, n, l) — Eq. (4) in log space. Returns `NEG_INFINITY` when the
+/// partition is impossible (`i ≤ l`: an insider's view of size `l` cannot
+/// fit in `i − 1` insiders; or `n − i − 1 < l`: ditto for outsiders).
+///
+/// # Panics
+///
+/// Panics unless `1 <= i < n` and `l >= 1`.
+pub fn ln_psi(i: usize, n: usize, l: usize) -> f64 {
+    assert!(i >= 1 && i < n, "partition size must satisfy 1 <= i < n");
+    assert!(l >= 1, "view size must be positive");
+    let (i64_, n64, l64) = (i as u64, n as u64, l as u64);
+    let ln_cn1l = ln_binomial(n64 - 1, l64);
+    let inside = ln_binomial(i64_ - 1, l64) - ln_cn1l;
+    let outside = ln_binomial(n64 - i64_ - 1, l64) - ln_cn1l;
+    ln_binomial(n64, i64_) + i as f64 * inside + (n - i) as f64 * outside
+}
+
+/// Ψ(i, n, l) in linear space (Eq. 4); underflows gracefully to 0.
+pub fn psi(i: usize, n: usize, l: usize) -> f64 {
+    ln_psi(i, n, l).exp()
+}
+
+/// ln Σ_{l+1 ≤ i ≤ n/2} Ψ(i, n, l) — the per-round partition probability
+/// summed over all partition sizes (the bound of Eq. 5).
+pub fn ln_partition_probability_per_round(n: usize, l: usize) -> f64 {
+    let hi = n / 2;
+    let lo = l + 1;
+    if lo > hi {
+        return f64::NEG_INFINITY;
+    }
+    let terms: Vec<f64> = (lo..=hi).map(|i| ln_psi(i, n, l)).collect();
+    ln_sum_exp(&terms)
+}
+
+/// Σ Ψ in linear space.
+pub fn partition_probability_per_round(n: usize, l: usize) -> f64 {
+    ln_partition_probability_per_round(n, l).exp()
+}
+
+/// φ(n, l, r): probability of **no** partition up to round `r` (Eq. 5,
+/// exact product form), computed stably even for astronomically large `r`.
+pub fn phi(n: usize, l: usize, r: f64) -> f64 {
+    assert!(r >= 0.0, "round count must be non-negative");
+    let ln_s = ln_partition_probability_per_round(n, l);
+    if ln_s == f64::NEG_INFINITY {
+        return 1.0;
+    }
+    // (1 − s)^r = exp(r · ln(1 − s)); ln(1 − s) = log1mexp(ln s).
+    (r * ln_one_minus_exp(ln_s)).exp()
+}
+
+/// φ via the paper's linearisation `φ ≈ 1 − r·ΣΨ` (Eq. 5, second line);
+/// clamped at 0.
+pub fn phi_linearized(n: usize, l: usize, r: f64) -> f64 {
+    let s = partition_probability_per_round(n, l);
+    (1.0 - r * s).max(0.0)
+}
+
+/// Number of rounds after which the system has partitioned with
+/// probability `target` (§4.4 evaluates this at n = 50, l = 3, target
+/// 0.9). Solves `1 − φ = target` exactly: `r = ln(1 − target)/ln(1 − s)`.
+/// Returns `f64::INFINITY` when partitioning is impossible.
+///
+/// # Panics
+///
+/// Panics unless `0 < target < 1`.
+pub fn rounds_to_partition_probability(n: usize, l: usize, target: f64) -> f64 {
+    assert!(
+        target > 0.0 && target < 1.0,
+        "target probability must be in (0, 1)"
+    );
+    let ln_s = ln_partition_probability_per_round(n, l);
+    if ln_s == f64::NEG_INFINITY {
+        return f64::INFINITY;
+    }
+    (1.0 - target).ln() / ln_one_minus_exp(ln_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impossible_partitions_have_zero_probability() {
+        // i = l: insiders cannot fill a view of size l from l−1 peers.
+        assert_eq!(psi(3, 50, 3), 0.0);
+        // Outside too small: n − i − 1 < l.
+        assert_eq!(psi(47, 50, 3), 0.0);
+        // Smallest legal size is l+1.
+        assert!(psi(4, 50, 3) > 0.0);
+    }
+
+    #[test]
+    fn psi_decreases_with_system_size() {
+        // §4.4: "Ψ(i, n, l) monotonically decreases when increasing n" —
+        // the Figure 4 ordering (n = 50 above n = 75 above n = 125).
+        for i in [4, 5, 6, 10] {
+            let p50 = ln_psi(i, 50, 3);
+            let p75 = ln_psi(i, 75, 3);
+            let p125 = ln_psi(i, 125, 3);
+            assert!(p50 > p75 && p75 > p125, "i = {i}: {p50} {p75} {p125}");
+        }
+    }
+
+    #[test]
+    fn psi_decreases_with_view_size() {
+        // §4.4: "... or l".
+        for l in 3..10 {
+            let a = ln_psi(l + 1, 80, l);
+            let b = ln_psi(l + 2, 80, l + 1);
+            assert!(
+                b < a,
+                "l = {l}: Ψ did not decrease ({a} -> {b})"
+            );
+        }
+    }
+
+    #[test]
+    fn small_partitions_dominate() {
+        // The mass of ΣΨ concentrates at i = l+1 (Figure 4's peak is at
+        // the left edge of the legal range).
+        let first = ln_psi(4, 50, 3);
+        for i in 5..=25 {
+            assert!(ln_psi(i, 50, 3) < first, "i = {i} beats i = 4");
+        }
+    }
+
+    #[test]
+    fn phi_exact_and_linearized_agree_for_small_r() {
+        let (n, l) = (50, 3);
+        for r in [1.0, 10.0, 1e6] {
+            let exact = phi(n, l, r);
+            let approx = phi_linearized(n, l, r);
+            assert!(
+                (exact - approx).abs() < 1e-6,
+                "r = {r}: {exact} vs {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn phi_decays_very_slowly() {
+        // §4.4: "This probability decreases very slowly with r."
+        let (n, l) = (50, 3);
+        assert!(phi(n, l, 1.0) > 0.999_999_999);
+        assert!(phi(n, l, 1e9) > 0.9);
+        let r90 = rounds_to_partition_probability(n, l, 0.9);
+        // The paper quotes ≈ 10¹² rounds; our verbatim evaluation of
+        // Eq. (4) gives ≈ 1.8·10¹⁷ (even more stable — see
+        // EXPERIMENTS.md). Either way, astronomically many rounds.
+        assert!(r90 > 1e12, "r90 = {r90:.3e}");
+        // And φ at that many rounds is indeed ≈ 0.1.
+        assert!((phi(n, l, r90) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rounds_to_partition_monotone_in_l() {
+        let r3 = rounds_to_partition_probability(50, 3, 0.9);
+        let r4 = rounds_to_partition_probability(50, 4, 0.9);
+        let r5 = rounds_to_partition_probability(50, 5, 0.9);
+        assert!(r3 < r4 && r4 < r5, "{r3:.2e} {r4:.2e} {r5:.2e}");
+    }
+
+    #[test]
+    fn larger_views_make_partitioning_impossible() {
+        // l ≥ n/2 − 1 leaves no legal partition size i ≤ n/2.
+        assert_eq!(partition_probability_per_round(20, 10), 0.0);
+        assert_eq!(phi(20, 10, 1e18), 1.0);
+        assert_eq!(
+            rounds_to_partition_probability(20, 10, 0.9),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn probability_bounds_respected() {
+        for n in [30, 50, 80] {
+            for l in [3, 4, 6] {
+                let s = partition_probability_per_round(n, l);
+                assert!((0.0..=1.0).contains(&s));
+                for r in [0.0, 1.0, 1e15] {
+                    let f = phi(n, l, r);
+                    assert!((0.0..=1.0).contains(&f), "φ({n},{l},{r}) = {f}");
+                }
+            }
+        }
+        assert_eq!(phi(50, 3, 0.0), 1.0, "no rounds, no partition");
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= i < n")]
+    fn psi_rejects_out_of_range() {
+        let _ = ln_psi(50, 50, 3);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the analytical models.
+
+use lpbcast_analysis::infection::{ExpectationModel, InfectionModel, InfectionParams};
+use lpbcast_analysis::math::{ln_add_exp, ln_binomial, ln_one_minus_exp, ln_sum_exp};
+use lpbcast_analysis::partition;
+use lpbcast_analysis::reliability::SirModel;
+use proptest::prelude::*;
+
+proptest! {
+    /// The Markov distribution stays a probability distribution for any
+    /// valid parameter combination and any (small) number of steps.
+    #[test]
+    fn markov_distribution_normalized(
+        n in 2usize..80,
+        fanout in 1usize..10,
+        epsilon in 0.0f64..0.5,
+        tau in 0.0f64..0.2,
+        steps in 0u64..6,
+    ) {
+        let params = InfectionParams::new(n, fanout)
+            .loss_rate(epsilon)
+            .crash_rate(tau);
+        let mut model = InfectionModel::new(params);
+        for _ in 0..steps {
+            model.step();
+        }
+        let mass: f64 = model.distribution().iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-6, "mass {mass}");
+        prop_assert!(model.distribution().iter().all(|&p| (-1e-12..=1.0 + 1e-9).contains(&p)));
+        // Expectation bounded by the state space.
+        let e = model.expected_infected();
+        prop_assert!((1.0 - 1e-9..=n as f64 + 1e-9).contains(&e), "E = {e}");
+    }
+
+    /// Expected infections never decrease from one round to the next.
+    #[test]
+    fn markov_expectation_monotone(
+        n in 2usize..60,
+        fanout in 1usize..6,
+        epsilon in 0.0f64..0.4,
+    ) {
+        let params = InfectionParams::new(n, fanout).loss_rate(epsilon);
+        let mut model = InfectionModel::new(params);
+        let mut prev = model.expected_infected();
+        for _ in 0..6 {
+            model.step();
+            let cur = model.expected_infected();
+            prop_assert!(cur + 1e-9 >= prev, "{cur} < {prev}");
+            prev = cur;
+        }
+    }
+
+    /// Eq. (1): the first-principles form with explicit l equals the
+    /// collapsed form for every legal l.
+    #[test]
+    fn eq1_independent_of_l(
+        n in 3usize..200,
+        fanout in 1usize..8,
+        epsilon in 0.0f64..0.5,
+        tau in 0.0f64..0.3,
+        l_seed in any::<usize>(),
+    ) {
+        let params = InfectionParams::new(n, fanout)
+            .loss_rate(epsilon)
+            .crash_rate(tau);
+        let l = 1 + l_seed % (n - 1);
+        let p_closed = params.p();
+        let p_first = params.p_with_view_size(l);
+        prop_assert!(
+            (p_closed - p_first).abs() < 1e-8,
+            "l = {l}: {p_first} vs {p_closed}"
+        );
+    }
+
+    /// The Appendix-A recursion stays within [1, n] and is monotone.
+    #[test]
+    fn appendix_a_stays_in_bounds(
+        n in 2usize..500,
+        fanout in 1usize..8,
+        rounds in 0u64..20,
+    ) {
+        let model = ExpectationModel::new(InfectionParams::new(n, fanout).loss_rate(0.05));
+        let curve = model.expected_curve(rounds);
+        for w in curve.windows(2) {
+            prop_assert!(w[1] + 1e-9 >= w[0]);
+        }
+        for &v in &curve {
+            prop_assert!((1.0..=n as f64 + 0.5).contains(&v), "value {v}");
+        }
+    }
+
+    /// Ψ is a probability and decreases in n (for fixed legal i, l).
+    #[test]
+    fn psi_bounds_and_monotonicity(
+        l in 1usize..6,
+        i_off in 0usize..6,
+        n in 20usize..120,
+    ) {
+        let i = l + 1 + i_off;
+        prop_assume!(i <= n / 2);
+        let psi_n = partition::psi(i, n, l);
+        prop_assert!((0.0..=1.0).contains(&psi_n));
+        let psi_bigger = partition::psi(i, n + 10, l);
+        prop_assert!(psi_bigger <= psi_n * (1.0 + 1e-9), "{psi_bigger} > {psi_n}");
+    }
+
+    /// φ is a probability, decreasing in r, and its linearisation agrees
+    /// within the Taylor bound |(1−s)^r − (1−rs)| ≤ (rs)²/2 while rs < 1
+    /// (the regime the paper's Eq. (5) approximation targets).
+    #[test]
+    fn phi_behaves(n in 20usize..100, l in 2usize..6, r in 0.0f64..1e6) {
+        let exact = partition::phi(n, l, r);
+        prop_assert!((0.0..=1.0).contains(&exact));
+        let later = partition::phi(n, l, r + 1e6);
+        prop_assert!(later <= exact + 1e-12);
+        let s = partition::partition_probability_per_round(n, l);
+        let rs = r * s;
+        if rs < 1.0 {
+            let approx = partition::phi_linearized(n, l, r);
+            prop_assert!(
+                (exact - approx).abs() <= 0.5 * rs * rs + 1e-12,
+                "exact {exact} vs approx {approx} at rs = {rs}"
+            );
+        }
+    }
+
+    /// SIR attack rate is a fixed point in [0, 1), monotone in the
+    /// infectious period.
+    #[test]
+    fn sir_fixed_point_properties(
+        fanout in 1usize..8,
+        epsilon in 0.0f64..0.5,
+        lambda in 0.01f64..5.0,
+    ) {
+        let model = SirModel { fanout, epsilon, tau: 0.01, infectious_rounds: lambda };
+        let z = model.attack_rate();
+        prop_assert!((0.0..1.0).contains(&z), "z = {z}");
+        if z > 0.0 {
+            let r0 = model.reproduction_number();
+            prop_assert!((z - (1.0 - (-r0 * z).exp())).abs() < 1e-8);
+        }
+        let bigger = SirModel { infectious_rounds: lambda * 1.5, ..model };
+        prop_assert!(bigger.attack_rate() + 1e-12 >= z);
+        // Reliability is z²-ish, always within [0, 1] and ≤ z.
+        let rel = model.expected_reliability();
+        prop_assert!((0.0..=1.0).contains(&rel) && rel <= z + 1e-12);
+    }
+
+    /// Log-space helpers: ln_add_exp/ln_sum_exp agree with linear space
+    /// where linear space is representable.
+    #[test]
+    fn log_space_agrees_with_linear(
+        a in -300.0f64..0.0,
+        b in -300.0f64..0.0,
+        c in -300.0f64..0.0,
+    ) {
+        let lin = a.exp() + b.exp() + c.exp();
+        let log = ln_sum_exp(&[a, b, c]).exp();
+        prop_assert!((lin - log).abs() <= 1e-9 * lin.max(1e-300));
+        let two = ln_add_exp(a, b).exp();
+        prop_assert!((two - (a.exp() + b.exp())).abs() <= 1e-9 * lin.max(1e-300));
+    }
+
+    /// log1mexp: exp(ln(1−eˣ)) == 1 − eˣ wherever representable.
+    #[test]
+    fn log1mexp_agrees(x in -50.0f64..-1e-6) {
+        let direct = 1.0 - x.exp();
+        let via_log = ln_one_minus_exp(x).exp();
+        prop_assert!((direct - via_log).abs() < 1e-12, "{direct} vs {via_log}");
+    }
+
+    /// Binomial symmetry and the hockey-stick bound hold in log space.
+    #[test]
+    fn binomial_symmetry(n in 0u64..300, k_seed in any::<u64>()) {
+        let k = if n == 0 { 0 } else { k_seed % (n + 1) };
+        let a = ln_binomial(n, k);
+        let b = ln_binomial(n, n - k);
+        prop_assert!((a - b).abs() < 1e-9, "C({n},{k}) != C({n},{})", n - k);
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion: analytical model costs — the O(n²) Markov step vs the O(1)
+//! Appendix-A recursion, and the Eq. (4) partition sum.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lpbcast_analysis::infection::{ExpectationModel, InfectionModel, InfectionParams};
+use lpbcast_analysis::partition;
+
+fn bench_markov_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov_step");
+    group.sample_size(20);
+    for &n in &[125usize, 500, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let params = InfectionParams::paper_defaults(n, 3);
+            b.iter(|| {
+                // Steps 3-4 are the widest (mass spread over many states).
+                let mut model = InfectionModel::new(params);
+                for _ in 0..4 {
+                    model.step();
+                }
+                black_box(model.expected_infected())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_appendix_a(c: &mut Criterion) {
+    c.bench_function("appendix_a_curve_n1000", |b| {
+        let model = ExpectationModel::new(InfectionParams::paper_defaults(1000, 3));
+        b.iter(|| black_box(model.expected_curve(12)));
+    });
+}
+
+fn bench_partition_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_probability");
+    for &n in &[50usize, 125, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(partition::partition_probability_per_round(n, 3)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_markov_step, bench_appendix_a, bench_partition_sum
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion: throughput of the hot path — one gossip message through the
+//! three reception phases (Figure 1(a)).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lpbcast_core::{Config, Digest, Gossip, Lpbcast, Message};
+use lpbcast_types::{Event, EventId, ProcessId};
+
+fn pid(p: u64) -> ProcessId {
+    ProcessId::new(p)
+}
+
+/// A realistic steady-state gossip: full digest, a handful of events and
+/// subscriptions.
+fn make_gossip(events: usize, digest: usize, subs: usize, salt: u64) -> Gossip {
+    Gossip {
+        sender: pid(1),
+        subs: (0..subs as u64).map(|i| pid(200 + (salt + i) % 64)).collect(),
+        unsubs: vec![],
+        events: (0..events as u64)
+            .map(|i| Event::new(EventId::new(pid(2), salt * 100 + i), vec![0u8; 64]))
+            .collect(),
+        event_ids: Digest::Ids(
+            (0..digest as u64)
+                .map(|i| EventId::new(pid(3), salt * 100 + i))
+                .collect(),
+        ),
+    }
+}
+
+fn bench_reception(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip_reception");
+    for &(events, digest) in &[(0usize, 60usize), (10, 60), (40, 60), (40, 0)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("events={events},digest={digest}")),
+            &(events, digest),
+            |b, &(events, digest)| {
+                let config = Config::builder()
+                    .view_size(15)
+                    .fanout(3)
+                    .event_ids_max(60)
+                    .events_max(60)
+                    .deliver_on_digest(true)
+                    .build();
+                let mut node =
+                    Lpbcast::with_initial_view(pid(0), config, 7, (1..=15).map(pid));
+                let mut salt = 0u64;
+                b.iter(|| {
+                    salt += 1;
+                    let gossip = make_gossip(events, digest, 8, salt);
+                    black_box(node.handle_message(pid(1), Message::Gossip(gossip)))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_emission(c: &mut Criterion) {
+    c.bench_function("gossip_emission_tick", |b| {
+        let config = Config::builder()
+            .view_size(15)
+            .fanout(3)
+            .event_ids_max(60)
+            .events_max(60)
+            .build();
+        let mut node = Lpbcast::with_initial_view(pid(0), config, 7, (1..=15).map(pid));
+        // Steady state: a full digest to snapshot each tick.
+        for s in 0..60u64 {
+            node.publish(Event::new(EventId::new(pid(0), 1000 + s), vec![0u8; 64]));
+        }
+        b.iter(|| black_box(node.tick()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_reception, bench_emission
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion: membership view maintenance — insert/truncate cycles under
+//! both §6.1 strategies, and target selection.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lpbcast_membership::{PartialView, TruncationStrategy, View};
+use lpbcast_types::ProcessId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn pid(p: u64) -> ProcessId {
+    ProcessId::new(p)
+}
+
+fn bench_insert_truncate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_insert_truncate");
+    for (name, strategy) in [
+        ("uniform", TruncationStrategy::Uniform),
+        ("weighted", TruncationStrategy::Weighted),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &s| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut view = PartialView::with_members(pid(0), 15, s, (1..=15).map(pid));
+            let mut next = 16u64;
+            b.iter(|| {
+                // One phase-2 batch: 5 fresh subscriptions, then truncate.
+                for _ in 0..5 {
+                    view.insert(pid(next % 4096 + 1));
+                    next += 1;
+                }
+                black_box(view.truncate(&mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_target_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_select_targets");
+    for &l in &[15usize, 30, 60] {
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            let view = PartialView::with_members(
+                pid(0),
+                l,
+                TruncationStrategy::Uniform,
+                (1..=l as u64).map(pid),
+            );
+            b.iter(|| black_box(view.select_targets(&mut rng, 3)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_advertisement(c: &mut Criterion) {
+    c.bench_function("view_select_advertised_weighted", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut view = PartialView::with_members(
+            pid(0),
+            30,
+            TruncationStrategy::Weighted,
+            (1..=30).map(pid),
+        );
+        // Skew the weights.
+        for i in 1..=10u64 {
+            for _ in 0..i {
+                view.insert(pid(i));
+            }
+        }
+        b.iter(|| black_box(view.select_advertised(&mut rng, 8)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = bench_insert_truncate, bench_target_selection, bench_advertisement
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion: wire codec throughput — the per-datagram cost added by the
+//! UDP runtime.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lpbcast_core::{Digest, Gossip, Message};
+use lpbcast_net::wire;
+use lpbcast_types::{CompactDigest, Event, EventId, ProcessId};
+
+fn pid(p: u64) -> ProcessId {
+    ProcessId::new(p)
+}
+
+fn steady_state_gossip(events: usize, digest: usize) -> Message {
+    Message::Gossip(Gossip {
+        sender: pid(1),
+        subs: (0..12).map(pid).collect(),
+        unsubs: vec![],
+        events: (0..events as u64)
+            .map(|i| Event::new(EventId::new(pid(2), i), vec![0u8; 64]))
+            .collect(),
+        event_ids: Digest::Ids((0..digest as u64).map(|i| EventId::new(pid(3), i)).collect()),
+    })
+}
+
+fn compact_digest_gossip() -> Message {
+    let mut d = CompactDigest::new();
+    for origin in 0..8u64 {
+        for seq in 0..200u64 {
+            d.insert(EventId::new(pid(origin), seq));
+        }
+        d.insert(EventId::new(pid(origin), 250)); // one straggler each
+    }
+    Message::Gossip(Gossip {
+        sender: pid(1),
+        subs: (0..12).map(pid).collect(),
+        unsubs: vec![],
+        events: vec![],
+        event_ids: Digest::Compact(d),
+    })
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_roundtrip");
+    for (name, message) in [
+        ("empty", steady_state_gossip(0, 0)),
+        ("digest60", steady_state_gossip(0, 60)),
+        ("events40+digest60", steady_state_gossip(40, 60)),
+        ("compact_digest", compact_digest_gossip()),
+    ] {
+        let encoded = wire::encode(&message);
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode", name),
+            &message,
+            |b, m| b.iter(|| black_box(wire::encode(m))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode", name),
+            &encoded,
+            |b, bytes| b.iter(|| black_box(wire::decode(bytes).expect("valid"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = bench_encode_decode
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates ablation_membership_freq; see `lpbcast_bench::figures`.
+fn main() {
+    lpbcast_bench::figures::ablation_membership_freq().emit();
+}

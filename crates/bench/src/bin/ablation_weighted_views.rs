@@ -1,0 +1,4 @@
+//! Regenerates ablation_weighted_views; see `lpbcast_bench::figures`.
+fn main() {
+    lpbcast_bench::figures::ablation_weighted_views().emit();
+}

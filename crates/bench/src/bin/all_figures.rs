@@ -1,0 +1,33 @@
+//! Regenerates every paper figure and runs the headline directional
+//! checks. Set `LPBCAST_BENCH_SEEDS` to trade accuracy for speed.
+fn main() {
+    use lpbcast_bench::figures;
+    let figures: Vec<fn() -> lpbcast_bench::output::Figure> = vec![
+        figures::fig2,
+        figures::fig3a,
+        figures::fig3b,
+        figures::fig4,
+        figures::fig5a,
+        figures::fig5b,
+        figures::fig6a,
+        figures::fig6b,
+        figures::fig7a,
+        figures::fig7b,
+        figures::ablation_membership_freq,
+        figures::model_vs_sim,
+        figures::ablation_weighted_views,
+        figures::view_uniformity_diag,
+    ];
+    for figure in figures {
+        figure().emit();
+    }
+    println!("\n=== headline directional checks ===");
+    let mut all_ok = true;
+    for (name, ok) in figures::headline_checks() {
+        println!("[{}] {}", if ok { "PASS" } else { "FAIL" }, name);
+        all_ok &= ok;
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig2; see `lpbcast_bench::figures`.
+fn main() {
+    lpbcast_bench::figures::fig2().emit();
+}

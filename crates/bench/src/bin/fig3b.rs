@@ -1,0 +1,4 @@
+//! Regenerates fig3b; see `lpbcast_bench::figures`.
+fn main() {
+    lpbcast_bench::figures::fig3b().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig4; see `lpbcast_bench::figures`.
+fn main() {
+    lpbcast_bench::figures::fig4().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig5a; see `lpbcast_bench::figures`.
+fn main() {
+    lpbcast_bench::figures::fig5a().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig5b; see `lpbcast_bench::figures`.
+fn main() {
+    lpbcast_bench::figures::fig5b().emit();
+}

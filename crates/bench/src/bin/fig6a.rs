@@ -1,0 +1,4 @@
+//! Regenerates fig6a; see `lpbcast_bench::figures`.
+fn main() {
+    lpbcast_bench::figures::fig6a().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig7a; see `lpbcast_bench::figures`.
+fn main() {
+    lpbcast_bench::figures::fig7a().emit();
+}

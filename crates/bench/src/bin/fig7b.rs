@@ -1,0 +1,4 @@
+//! Regenerates fig7b; see `lpbcast_bench::figures`.
+fn main() {
+    lpbcast_bench::figures::fig7b().emit();
+}

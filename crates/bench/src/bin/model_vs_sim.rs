@@ -1,0 +1,4 @@
+//! Regenerates model_vs_sim; see `lpbcast_bench::figures`.
+fn main() {
+    lpbcast_bench::figures::model_vs_sim().emit();
+}

@@ -1,0 +1,156 @@
+//! Table printing and TSV output for figure data.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One regenerated figure: a table of numeric series plus free-form notes
+/// (paper-vs-measured commentary).
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure id, e.g. `"fig5a"`.
+    pub id: &'static str,
+    /// Human title, e.g. `"Fig. 5(a): analysis vs simulation"`.
+    pub title: String,
+    /// Column names; the first column is the x-axis.
+    pub columns: Vec<String>,
+    /// Data rows, one value per column.
+    pub rows: Vec<Vec<f64>>,
+    /// Notes appended under the table and into the TSV as `# comments`.
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: &'static str, title: impl Into<String>, columns: Vec<String>) -> Self {
+        Figure {
+            id,
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the column count.
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        println!("\n=== {} — {} ===", self.id, self.title);
+        let widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(c, name)| {
+                self.rows
+                    .iter()
+                    .map(|r| format_cell(r[c]).len())
+                    .chain(std::iter::once(name.len()))
+                    .max()
+                    .unwrap_or(8)
+            })
+            .collect();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(name, w)| format!("{name:>w$}"))
+            .collect();
+        println!("{}", header.join("  "));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(v, w)| format!("{:>w$}", format_cell(*v)))
+                .collect();
+            println!("{}", cells.join("  "));
+        }
+        for note in &self.notes {
+            println!("  · {note}");
+        }
+    }
+
+    /// Writes `results/<id>.tsv` at the workspace root; returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_tsv(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.tsv", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "# {} — {}", self.id, self.title)?;
+        for note in &self.notes {
+            writeln!(f, "# {note}")?;
+        }
+        writeln!(f, "{}", self.columns.join("\t"))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| format_cell(*v)).collect();
+            writeln!(f, "{}", cells.join("\t"))?;
+        }
+        Ok(path)
+    }
+
+    /// Prints the table and writes the TSV (convenience for the figure
+    /// binaries).
+    pub fn emit(&self) {
+        self.print();
+        match self.write_tsv() {
+            Ok(path) => println!("  → {}", path.display()),
+            Err(e) => eprintln!("  ! could not write TSV: {e}"),
+        }
+    }
+}
+
+/// `results/` at the workspace root.
+pub fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+fn format_cell(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_format_compactly() {
+        assert_eq!(format_cell(0.0), "0");
+        assert_eq!(format_cell(5.0), "5");
+        assert_eq!(format_cell(0.123456), "0.123");
+        assert_eq!(format_cell(1.5e-9), "1.500e-9");
+        assert_eq!(format_cell(2.0e7), "2.000e7");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut fig = Figure::new("t", "t", vec!["a".into(), "b".into()]);
+        fig.push_row(vec![1.0]);
+    }
+}

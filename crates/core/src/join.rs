@@ -1,0 +1,113 @@
+//! The subscription handshake of §3.4.
+//!
+//! *"A process pi which wants to subscribe must know a process pj which is
+//! already in Π. Process pi will send its subscription to that process pj,
+//! which will gossip that subscription on behalf of pi. \[...\] Process pi
+//! will experience this by receiving more and more gossip messages.
+//! Otherwise, a timeout will trigger the re-emission of the subscription
+//! request."*
+
+use lpbcast_types::ProcessId;
+
+/// State of an in-progress join: which contacts to ask and when to retry.
+///
+/// Contacts are tried round-robin on every timeout, so a crashed contact
+/// (§3.4 failure case) is routed around as long as one contact is alive.
+#[derive(Debug, Clone)]
+pub struct JoinState {
+    contacts: Vec<ProcessId>,
+    next_contact: usize,
+    ticks_since_request: u64,
+    attempts: u32,
+}
+
+impl JoinState {
+    /// Starts a join through the given contact processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contacts` is empty — a joining process must know at
+    /// least one member (§3.4).
+    pub fn new(contacts: Vec<ProcessId>) -> Self {
+        assert!(
+            !contacts.is_empty(),
+            "a joining process must know at least one member of Π"
+        );
+        JoinState {
+            contacts,
+            next_contact: 0,
+            ticks_since_request: 0,
+            attempts: 0,
+        }
+    }
+
+    /// The contact to which the next (re-)emission should go, advancing
+    /// the round-robin cursor.
+    pub fn take_contact(&mut self) -> ProcessId {
+        let contact = self.contacts[self.next_contact % self.contacts.len()];
+        self.next_contact += 1;
+        self.attempts += 1;
+        self.ticks_since_request = 0;
+        contact
+    }
+
+    /// Advances the timeout clock by one tick; returns `true` if the
+    /// request should be re-emitted (timeout expired).
+    pub fn tick(&mut self, join_timeout: u64) -> bool {
+        self.ticks_since_request += 1;
+        self.ticks_since_request >= join_timeout
+    }
+
+    /// How many subscription requests have been emitted so far.
+    pub const fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// The configured contact list.
+    pub fn contacts(&self) -> &[ProcessId] {
+        &self.contacts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(p: u64) -> ProcessId {
+        ProcessId::new(p)
+    }
+
+    #[test]
+    fn round_robins_contacts() {
+        let mut j = JoinState::new(vec![pid(1), pid(2)]);
+        assert_eq!(j.take_contact(), pid(1));
+        assert_eq!(j.take_contact(), pid(2));
+        assert_eq!(j.take_contact(), pid(1), "wraps around");
+        assert_eq!(j.attempts(), 3);
+    }
+
+    #[test]
+    fn timeout_fires_after_configured_ticks() {
+        let mut j = JoinState::new(vec![pid(1)]);
+        j.take_contact();
+        assert!(!j.tick(3));
+        assert!(!j.tick(3));
+        assert!(j.tick(3), "third tick reaches the timeout");
+    }
+
+    #[test]
+    fn take_contact_resets_timeout() {
+        let mut j = JoinState::new(vec![pid(1)]);
+        j.take_contact();
+        j.tick(2);
+        j.take_contact();
+        assert!(!j.tick(2), "clock restarted");
+        assert!(j.tick(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_contacts_panics() {
+        let _ = JoinState::new(Vec::new());
+    }
+}

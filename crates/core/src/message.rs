@@ -1,0 +1,249 @@
+//! Protocol messages and state-machine outputs.
+
+use lpbcast_types::{CompactDigest, Event, EventId, ProcessId};
+
+use crate::unsub::Unsubscription;
+
+/// The digest of delivered notifications carried by every gossip message
+/// (§3.2 "notification identifiers").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Digest {
+    /// Snapshot of the bounded `eventIds` buffer
+    /// ([`HistoryMode::Bounded`](crate::HistoryMode::Bounded)).
+    Ids(Vec<EventId>),
+    /// Per-origin compact form
+    /// ([`HistoryMode::Compact`](crate::HistoryMode::Compact)).
+    Compact(CompactDigest),
+}
+
+impl Digest {
+    /// An empty digest in the `Ids` representation.
+    pub fn empty() -> Self {
+        Digest::Ids(Vec::new())
+    }
+
+    /// Whether `id` is covered by the digest.
+    pub fn contains(&self, id: EventId) -> bool {
+        match self {
+            Digest::Ids(ids) => ids.contains(&id),
+            Digest::Compact(d) => d.contains(id),
+        }
+    }
+
+    /// Number of ids the digest advertises (for `Compact`, the number of
+    /// distinct ids it covers).
+    pub fn advertised_count(&self) -> u64 {
+        match self {
+            Digest::Ids(ids) => ids.len() as u64,
+            Digest::Compact(d) => d.seen_count(),
+        }
+    }
+
+    /// Iterates over explicitly enumerable ids. For `Compact`, enumerates
+    /// out-of-order ids and the in-sequence watermark boundaries are *not*
+    /// expanded (callers needing set semantics use
+    /// [`Digest::contains`] / [`crate::EventHistory::missing_from`]).
+    pub fn explicit_ids(&self) -> Vec<EventId> {
+        match self {
+            Digest::Ids(ids) => ids.clone(),
+            Digest::Compact(d) => {
+                let mut out = Vec::new();
+                for (origin, od) in d.iter() {
+                    out.extend(od.out_of_order().map(|s| EventId::new(origin, s)));
+                    if od.next_seq() > 0 {
+                        // Represent the watermark by its newest id.
+                        out.push(EventId::new(origin, od.next_seq() - 1));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A gossip message (§3.2): the single message type that simultaneously
+/// disseminates notifications, digests, unsubscriptions and subscriptions.
+#[derive(Debug, Clone)]
+pub struct Gossip {
+    /// The emitting process.
+    pub sender: ProcessId,
+    /// Subscriptions to propagate; always contains the sender itself
+    /// (Figure 1(b): `gossip.subs ← subs ∪ {pi}`).
+    pub subs: Vec<ProcessId>,
+    /// Unsubscriptions to propagate.
+    pub unsubs: Vec<Unsubscription>,
+    /// Notifications received since the sender's last gossip.
+    pub events: Vec<Event>,
+    /// Digest of all notifications the sender has delivered.
+    pub event_ids: Digest,
+}
+
+impl Gossip {
+    /// Total wire-visible entry count (used by tests and load accounting).
+    pub fn entry_count(&self) -> usize {
+        self.subs.len()
+            + self.unsubs.len()
+            + self.events.len()
+            + self.event_ids.advertised_count() as usize
+    }
+}
+
+/// Messages exchanged by lpbcast processes.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// Periodic gossip (the only message required by the base protocol).
+    Gossip(Gossip),
+    /// A joining process asks a known member to gossip its subscription on
+    /// its behalf (§3.4).
+    Subscribe {
+        /// The joining process.
+        subscriber: ProcessId,
+    },
+    /// Gossip-pull: ask the sender of a gossip for notifications whose ids
+    /// appeared in its digest but were never delivered locally.
+    RetransmitRequest {
+        /// Ids requested.
+        ids: Vec<EventId>,
+    },
+    /// Reply to a [`Message::RetransmitRequest`] with whatever the archive
+    /// still holds.
+    RetransmitResponse {
+        /// The recovered notifications.
+        events: Vec<Event>,
+    },
+}
+
+impl Message {
+    /// Short human-readable kind tag (for logs and stats).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Gossip(_) => "gossip",
+            Message::Subscribe { .. } => "subscribe",
+            Message::RetransmitRequest { .. } => "retransmit-request",
+            Message::RetransmitResponse { .. } => "retransmit-response",
+        }
+    }
+}
+
+/// An instruction from the state machine to its driver: send `message` to
+/// `to`.
+#[derive(Debug, Clone)]
+pub struct Command {
+    /// Destination process.
+    pub to: ProcessId,
+    /// Message to transmit.
+    pub message: Message,
+}
+
+/// Everything a state-machine step produced.
+#[derive(Debug, Clone, Default)]
+pub struct Output {
+    /// Notifications delivered to the application (LPB-DELIVER), in
+    /// delivery order.
+    pub delivered: Vec<Event>,
+    /// Ids newly *learnt* from a digest without payload. Non-empty only in
+    /// the §5.2 measurement convention (*"once a gossip receiver has
+    /// received the identifier of a notification, the notification itself
+    /// is assumed to have been received"*), i.e. when
+    /// `retransmit_request_max == 0` the driver may count these as
+    /// received.
+    pub learned_ids: Vec<EventId>,
+    /// Messages to send.
+    pub commands: Vec<Command>,
+}
+
+impl Output {
+    /// Merges another output into this one, preserving order.
+    pub fn absorb(&mut self, other: Output) {
+        self.delivered.extend(other.delivered);
+        self.learned_ids.extend(other.learned_ids);
+        self.commands.extend(other.commands);
+    }
+
+    /// Whether the step produced nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.delivered.is_empty() && self.learned_ids.is_empty() && self.commands.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::LogicalTime;
+    use lpbcast_types::CompactDigest;
+
+    fn pid(p: u64) -> ProcessId {
+        ProcessId::new(p)
+    }
+
+    fn eid(p: u64, s: u64) -> EventId {
+        EventId::new(pid(p), s)
+    }
+
+    #[test]
+    fn digest_contains_both_forms() {
+        let ids = Digest::Ids(vec![eid(1, 0), eid(1, 2)]);
+        assert!(ids.contains(eid(1, 0)));
+        assert!(!ids.contains(eid(1, 1)));
+        assert_eq!(ids.advertised_count(), 2);
+
+        let mut c = CompactDigest::new();
+        c.extend([eid(1, 0), eid(1, 1), eid(2, 5)]);
+        let compact = Digest::Compact(c);
+        assert!(compact.contains(eid(1, 1)));
+        assert!(!compact.contains(eid(2, 4)));
+        assert_eq!(compact.advertised_count(), 3);
+    }
+
+    #[test]
+    fn explicit_ids_cover_watermark_and_stragglers() {
+        let mut c = CompactDigest::new();
+        c.extend([eid(1, 0), eid(1, 1), eid(1, 5)]);
+        let ids = Digest::Compact(c).explicit_ids();
+        assert!(ids.contains(&eid(1, 1)), "watermark newest id");
+        assert!(ids.contains(&eid(1, 5)), "out-of-order id");
+        assert!(!ids.contains(&eid(1, 0)), "interior ids not enumerated");
+    }
+
+    #[test]
+    fn gossip_entry_count_sums_sections() {
+        let g = Gossip {
+            sender: pid(0),
+            subs: vec![pid(0), pid(1)],
+            unsubs: vec![Unsubscription::new(pid(2), LogicalTime::ZERO)],
+            events: vec![Event::new(eid(3, 0), b"x".as_ref())],
+            event_ids: Digest::Ids(vec![eid(3, 0)]),
+        };
+        assert_eq!(g.entry_count(), 2 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn output_absorb_concatenates() {
+        let mut a = Output::default();
+        a.delivered.push(Event::new(eid(1, 0), b"".as_ref()));
+        let mut b = Output::default();
+        b.learned_ids.push(eid(2, 0));
+        b.commands.push(Command {
+            to: pid(5),
+            message: Message::Subscribe { subscriber: pid(9) },
+        });
+        assert!(!b.is_empty());
+        a.absorb(b);
+        assert_eq!(a.delivered.len(), 1);
+        assert_eq!(a.learned_ids.len(), 1);
+        assert_eq!(a.commands.len(), 1);
+        assert_eq!(a.commands[0].message.kind(), "subscribe");
+    }
+
+    #[test]
+    fn message_kinds() {
+        assert_eq!(
+            Message::RetransmitRequest { ids: vec![] }.kind(),
+            "retransmit-request"
+        );
+        assert_eq!(
+            Message::RetransmitResponse { events: vec![] }.kind(),
+            "retransmit-response"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Per-process protocol counters.
+
+/// Counters accumulated over a process's lifetime. Useful for experiments
+/// (reliability, redundancy, load) and debugging; never consulted by the
+/// protocol itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessStats {
+    /// Gossip messages emitted (each reaches up to F targets).
+    pub gossips_sent: u64,
+    /// Gossip messages received and processed.
+    pub gossips_received: u64,
+    /// Notifications delivered to the application (LPB-DELIVER).
+    pub events_delivered: u64,
+    /// Notification copies received whose id was already delivered
+    /// (redundancy of the epidemic).
+    pub duplicate_events: u64,
+    /// Notifications published locally (LPB-CAST).
+    pub events_published: u64,
+    /// Ids learnt from digests without payload (§5.2 convention).
+    pub ids_learned: u64,
+    /// Ids purged from a full bounded history (the Figure 6(b) effect).
+    pub ids_purged: u64,
+    /// Notifications dropped by `events` buffer truncation before ever
+    /// being forwarded.
+    pub events_truncated: u64,
+    /// Unsubscriptions applied to the local view.
+    pub unsubs_applied: u64,
+    /// Subscriptions that entered the local view.
+    pub subs_added: u64,
+    /// Retransmission requests sent (gossip pull).
+    pub retransmit_requests_sent: u64,
+    /// Retransmitted notifications served to peers from the archive.
+    pub retransmits_served: u64,
+    /// Retransmission requests received that the archive could not fully
+    /// serve (evicted notifications).
+    pub retransmit_misses: u64,
+    /// Subscription requests emitted while joining (≥ 1 means the process
+    /// joined through the §3.4 handshake).
+    pub join_requests_sent: u64,
+}
+
+impl ProcessStats {
+    /// Delivery redundancy: duplicate copies per delivered notification.
+    /// Returns 0 when nothing was delivered.
+    pub fn redundancy(&self) -> f64 {
+        if self.events_delivered == 0 {
+            0.0
+        } else {
+            self.duplicate_events as f64 / self.events_delivered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redundancy_ratio() {
+        let mut s = ProcessStats::default();
+        assert_eq!(s.redundancy(), 0.0);
+        s.events_delivered = 4;
+        s.duplicate_events = 6;
+        assert!((s.redundancy() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_all_zero() {
+        let s = ProcessStats::default();
+        assert_eq!(s.gossips_sent, 0);
+        assert_eq!(s.events_delivered, 0);
+        assert_eq!(s, ProcessStats::default());
+    }
+}

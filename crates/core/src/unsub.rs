@@ -1,0 +1,138 @@
+//! Unsubscriptions: timestamped leave records (§3.4).
+//!
+//! *"To avoid the situation where unsubscriptions remain in the system
+//! forever (since unSubs is not purged), there is a timestamp attached to
+//! every unsubscription. After a certain time, the unsubscription becomes
+//! obsolete."*
+
+use core::fmt;
+
+use lpbcast_types::ProcessId;
+
+use crate::time::LogicalTime;
+
+/// A record that `process` has left the system, stamped with the leaving
+/// process's logical clock.
+///
+/// Identity (equality/hash) is by process only: a newer unsubscription for
+/// the same process replaces rather than duplicates an older one in the
+/// `unSubs` buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct Unsubscription {
+    process: ProcessId,
+    issued_at: LogicalTime,
+}
+
+impl Unsubscription {
+    /// Creates an unsubscription for `process` issued at `issued_at`.
+    pub const fn new(process: ProcessId, issued_at: LogicalTime) -> Self {
+        Unsubscription { process, issued_at }
+    }
+
+    /// The process that unsubscribed.
+    pub const fn process(&self) -> ProcessId {
+        self.process
+    }
+
+    /// When the unsubscription was issued (issuer's logical clock).
+    pub const fn issued_at(&self) -> LogicalTime {
+        self.issued_at
+    }
+
+    /// Whether this record is obsolete at local time `now` given the
+    /// configured obsolescence window (in ticks). Obsolete records are
+    /// neither applied nor forwarded.
+    pub const fn is_obsolete(&self, now: LogicalTime, window: u64) -> bool {
+        now.since(self.issued_at) > window
+    }
+}
+
+impl PartialEq for Unsubscription {
+    fn eq(&self, other: &Self) -> bool {
+        self.process == other.process
+    }
+}
+
+impl Eq for Unsubscription {}
+
+impl core::hash::Hash for Unsubscription {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.process.hash(state);
+    }
+}
+
+impl fmt::Display for Unsubscription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsub({} @ {})", self.process, self.issued_at)
+    }
+}
+
+/// Error returned when a process's own unsubscription is refused.
+///
+/// §3.4: *"the unsubscription of any process is refused as long as the
+/// local unsubscription buffer of the process exceeds a given size. This
+/// increases the probability for a process to be successfully removed from
+/// the system."* (A full buffer would risk the process's own record being
+/// truncated away before ever being gossiped.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsubscribeRefused {
+    /// Current occupancy of the local `unSubs` buffer.
+    pub buffered: usize,
+    /// The configured refusal threshold that was exceeded.
+    pub threshold: usize,
+}
+
+impl fmt::Display for UnsubscribeRefused {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unsubscription refused: unSubs buffer holds {} entries (threshold {})",
+            self.buffered, self.threshold
+        )
+    }
+}
+
+impl std::error::Error for UnsubscribeRefused {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn pid(p: u64) -> ProcessId {
+        ProcessId::new(p)
+    }
+
+    #[test]
+    fn obsolescence_window() {
+        let u = Unsubscription::new(pid(1), LogicalTime::new(10));
+        assert!(!u.is_obsolete(LogicalTime::new(10), 5));
+        assert!(!u.is_obsolete(LogicalTime::new(15), 5));
+        assert!(u.is_obsolete(LogicalTime::new(16), 5));
+        // Clock skew: issued "in the future" is never obsolete.
+        assert!(!u.is_obsolete(LogicalTime::new(3), 5));
+    }
+
+    #[test]
+    fn identity_is_by_process() {
+        let a = Unsubscription::new(pid(1), LogicalTime::new(1));
+        let b = Unsubscription::new(pid(1), LogicalTime::new(99));
+        let c = Unsubscription::new(pid(2), LogicalTime::new(1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(!set.insert(b), "same process deduplicates");
+        assert!(set.insert(c));
+    }
+
+    #[test]
+    fn refusal_error_is_descriptive() {
+        let err = UnsubscribeRefused {
+            buffered: 12,
+            threshold: 8,
+        };
+        let text = err.to_string();
+        assert!(text.contains("12") && text.contains('8'));
+    }
+}

@@ -1,0 +1,148 @@
+//! Complete-membership baseline view.
+
+use std::collections::HashSet;
+
+use lpbcast_types::ProcessId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::View;
+
+/// A view that knows the complete membership — the assumption the paper
+/// argues *against* (§1: gossip algorithms *"often rely on the assumption
+/// that every process knows every other process"*), kept as the baseline
+/// for "pbcast with total view" in Figure 7(a).
+///
+/// # Example
+///
+/// ```
+/// use lpbcast_membership::{GlobalView, View};
+/// use lpbcast_types::ProcessId;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let view = GlobalView::full_system(ProcessId::new(0), 125);
+/// assert_eq!(view.len(), 124); // owner excluded
+/// assert_eq!(view.select_targets(&mut rng, 5).len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalView {
+    owner: ProcessId,
+    members: Vec<ProcessId>,
+    present: HashSet<ProcessId>,
+}
+
+impl GlobalView {
+    /// Creates a global view containing `members` minus the owner.
+    pub fn new(owner: ProcessId, members: impl IntoIterator<Item = ProcessId>) -> Self {
+        let mut view = GlobalView {
+            owner,
+            members: Vec::new(),
+            present: HashSet::new(),
+        };
+        for m in members {
+            view.insert(m);
+        }
+        view
+    }
+
+    /// Convenience constructor for a dense system `p0..p(n-1)`.
+    pub fn full_system(owner: ProcessId, n: usize) -> Self {
+        GlobalView::new(owner, (0..n as u64).map(ProcessId::new))
+    }
+
+    /// Adds a member (joins); returns `true` if newly added. The owner is
+    /// never added.
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        if p == self.owner || !self.present.insert(p) {
+            return false;
+        }
+        self.members.push(p);
+        true
+    }
+
+    /// Removes a member (leaves/crashes); returns `true` if present.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        if !self.present.remove(&p) {
+            return false;
+        }
+        let pos = self
+            .members
+            .iter()
+            .position(|&m| m == p)
+            .expect("present set and member list agree");
+        self.members.swap_remove(pos);
+        true
+    }
+}
+
+impl View for GlobalView {
+    fn owner(&self) -> ProcessId {
+        self.owner
+    }
+
+    fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    fn contains(&self, p: ProcessId) -> bool {
+        self.present.contains(&p)
+    }
+
+    fn members(&self) -> Vec<ProcessId> {
+        self.members.clone()
+    }
+
+    fn select_targets<R: Rng + ?Sized>(&self, rng: &mut R, fanout: usize) -> Vec<ProcessId> {
+        self.members
+            .choose_multiple(rng, fanout.min(self.members.len()))
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    fn pid(p: u64) -> ProcessId {
+        ProcessId::new(p)
+    }
+
+    #[test]
+    fn full_system_excludes_owner() {
+        let v = GlobalView::full_system(pid(3), 10);
+        assert_eq!(v.len(), 9);
+        assert!(!v.contains(pid(3)));
+        assert!(v.contains(pid(0)) && v.contains(pid(9)));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut v = GlobalView::new(pid(0), []);
+        assert!(v.insert(pid(1)));
+        assert!(!v.insert(pid(1)));
+        assert!(!v.insert(pid(0)), "owner never inserted");
+        assert!(v.remove(pid(1)));
+        assert!(!v.remove(pid(1)));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn targets_are_distinct_and_unbiased_over_seeds() {
+        let v = GlobalView::full_system(pid(0), 30);
+        let mut seen: BTreeSet<ProcessId> = BTreeSet::new();
+        for seed in 0..200 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let t = v.select_targets(&mut rng, 3);
+            assert_eq!(t.len(), 3);
+            let uniq: BTreeSet<ProcessId> = t.iter().copied().collect();
+            assert_eq!(uniq.len(), 3);
+            seen.extend(t);
+        }
+        assert_eq!(seen.len(), 29, "every member eventually targeted");
+    }
+}

@@ -1,0 +1,415 @@
+//! Fixed-size partial views with uniform or weighted eviction.
+
+use std::collections::HashMap;
+
+use lpbcast_types::ProcessId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::View;
+
+/// How a [`PartialView`] evicts entries when it exceeds its maximum size
+/// `l`, and how it picks entries to advertise in `subs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TruncationStrategy {
+    /// The base algorithm of Figure 1(a): evict a uniformly random entry;
+    /// advertise uniformly random entries.
+    #[default]
+    Uniform,
+    /// The §6.1 optimisation: each entry carries a *weight* counting how
+    /// often the owner has been told about the process (its "level of
+    /// awareness"). Eviction removes a highest-weight entry (*"removing
+    /// entries with a high weight, since these are more probable of being
+    /// known by many other processes"*), ties broken uniformly;
+    /// advertisement prefers lowest-weight entries (*"when constructing
+    /// subs, a process preferably adds entries from its view with a small
+    /// weight"*).
+    Weighted,
+}
+
+/// One entry of a partial view: a known process and its awareness weight.
+///
+/// The weight is meaningful only under [`TruncationStrategy::Weighted`];
+/// under `Uniform` it is still maintained (cheap) but ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewEntry {
+    /// The known process.
+    pub id: ProcessId,
+    /// How many times the owner has learnt about `id` (initial insertion
+    /// counts once).
+    pub weight: u32,
+}
+
+/// A fixed-maximum-size random partial view of the system — the paper's
+/// `view` variable (§3.2, maximum length `l`).
+///
+/// Invariants (checked by tests and upheld by construction):
+///
+/// * never contains the owner;
+/// * never contains duplicates;
+/// * may transiently exceed `l` between a batch of insertions and
+///   [`truncate`](PartialView::truncate), mirroring Figure 1(a)'s
+///   `while |view| > l` loop, which returns the evicted entries because
+///   phase 2 recycles them into `subs`.
+#[derive(Debug, Clone)]
+pub struct PartialView {
+    owner: ProcessId,
+    entries: Vec<ViewEntry>,
+    index: HashMap<ProcessId, usize>,
+    max_len: usize,
+    strategy: TruncationStrategy,
+}
+
+impl PartialView {
+    /// Creates an empty view owned by `owner`, bounded at `l` entries.
+    pub fn new(owner: ProcessId, l: usize, strategy: TruncationStrategy) -> Self {
+        PartialView {
+            owner,
+            entries: Vec::new(),
+            index: HashMap::new(),
+            max_len: l,
+            strategy,
+        }
+    }
+
+    /// Creates a view pre-populated with `members` (the owner and
+    /// duplicates are skipped; no truncation is applied).
+    pub fn with_members(
+        owner: ProcessId,
+        l: usize,
+        strategy: TruncationStrategy,
+        members: impl IntoIterator<Item = ProcessId>,
+    ) -> Self {
+        let mut view = PartialView::new(owner, l, strategy);
+        for m in members {
+            view.insert(m);
+        }
+        view
+    }
+
+    /// The maximum view length `l`.
+    pub const fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// The eviction/advertisement strategy in use.
+    pub const fn strategy(&self) -> TruncationStrategy {
+        self.strategy
+    }
+
+    /// Whether the view currently exceeds `l` (possible between batched
+    /// insertions and truncation).
+    pub fn is_over_capacity(&self) -> bool {
+        self.entries.len() > self.max_len
+    }
+
+    /// Inserts `p`; returns `true` if it was absent (and is not the
+    /// owner). Inserting an already-known process bumps its awareness
+    /// weight instead (§6.1) and returns `false`.
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        if p == self.owner {
+            return false;
+        }
+        if let Some(&pos) = self.index.get(&p) {
+            self.entries[pos].weight = self.entries[pos].weight.saturating_add(1);
+            return false;
+        }
+        self.index.insert(p, self.entries.len());
+        self.entries.push(ViewEntry { id: p, weight: 1 });
+        true
+    }
+
+    /// Removes `p`; returns `true` if it was present. Used by phase 1 of
+    /// gossip reception (unsubscriptions) and by failure handling.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        let Some(pos) = self.index.remove(&p) else {
+            return false;
+        };
+        self.entries.swap_remove(pos);
+        if pos < self.entries.len() {
+            self.index.insert(self.entries[pos].id, pos);
+        }
+        true
+    }
+
+    /// The awareness weight of `p`, if known.
+    pub fn weight_of(&self, p: ProcessId) -> Option<u32> {
+        self.index.get(&p).map(|&pos| self.entries[pos].weight)
+    }
+
+    /// Iterates over entries (id + weight) in unspecified order.
+    pub fn entries(&self) -> std::slice::Iter<'_, ViewEntry> {
+        self.entries.iter()
+    }
+
+    /// Evicts entries until `|view| <= l`, following the configured
+    /// strategy; returns the evicted process ids.
+    ///
+    /// Figure 1(a) phase 2: the evicted ids are *not* forgotten by the
+    /// protocol — the caller adds them to `subs` so that knowledge keeps
+    /// circulating.
+    pub fn truncate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<ProcessId> {
+        let mut evicted = Vec::new();
+        while self.entries.len() > self.max_len {
+            let pos = match self.strategy {
+                TruncationStrategy::Uniform => rng.gen_range(0..self.entries.len()),
+                TruncationStrategy::Weighted => self.max_weight_position(rng),
+            };
+            let id = self.entries[pos].id;
+            self.remove(id);
+            evicted.push(id);
+        }
+        evicted
+    }
+
+    /// Position of a maximum-weight entry, ties broken uniformly at
+    /// random.
+    fn max_weight_position<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let max_w = self
+            .entries
+            .iter()
+            .map(|e| e.weight)
+            .max()
+            .expect("truncate on non-empty view");
+        let candidates: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.weight == max_w)
+            .map(|(i, _)| i)
+            .collect();
+        *candidates.choose(rng).expect("at least one max-weight entry")
+    }
+
+    /// Chooses up to `k` distinct processes to advertise in `subs`.
+    ///
+    /// Uniform strategy: a uniform sample. Weighted strategy (§6.1):
+    /// lowest-weight entries first, ties broken randomly.
+    pub fn select_advertised<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<ProcessId> {
+        let k = k.min(self.entries.len());
+        match self.strategy {
+            TruncationStrategy::Uniform => self
+                .entries
+                .choose_multiple(rng, k)
+                .map(|e| e.id)
+                .collect(),
+            TruncationStrategy::Weighted => {
+                let mut shuffled: Vec<&ViewEntry> = self.entries.iter().collect();
+                shuffled.shuffle(rng);
+                shuffled.sort_by_key(|e| e.weight);
+                shuffled.into_iter().take(k).map(|e| e.id).collect()
+            }
+        }
+    }
+}
+
+impl View for PartialView {
+    fn owner(&self) -> ProcessId {
+        self.owner
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn contains(&self, p: ProcessId) -> bool {
+        self.index.contains_key(&p)
+    }
+
+    fn members(&self) -> Vec<ProcessId> {
+        self.entries.iter().map(|e| e.id).collect()
+    }
+
+    fn select_targets<R: Rng + ?Sized>(&self, rng: &mut R, fanout: usize) -> Vec<ProcessId> {
+        self.entries
+            .choose_multiple(rng, fanout.min(self.entries.len()))
+            .map(|e| e.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    fn pid(p: u64) -> ProcessId {
+        ProcessId::new(p)
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xFEED)
+    }
+
+    #[test]
+    fn never_contains_owner() {
+        let mut v = PartialView::new(pid(0), 5, TruncationStrategy::Uniform);
+        assert!(!v.insert(pid(0)));
+        assert!(v.is_empty());
+        let v2 = PartialView::with_members(
+            pid(0),
+            5,
+            TruncationStrategy::Uniform,
+            (0..4).map(pid),
+        );
+        assert!(!v2.contains(pid(0)));
+        assert_eq!(v2.len(), 3);
+    }
+
+    #[test]
+    fn insert_is_idempotent_on_membership() {
+        let mut v = PartialView::new(pid(0), 5, TruncationStrategy::Uniform);
+        assert!(v.insert(pid(1)));
+        assert!(!v.insert(pid(1)));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn reinsertion_bumps_weight() {
+        let mut v = PartialView::new(pid(0), 5, TruncationStrategy::Weighted);
+        v.insert(pid(1));
+        assert_eq!(v.weight_of(pid(1)), Some(1));
+        v.insert(pid(1));
+        v.insert(pid(1));
+        assert_eq!(v.weight_of(pid(1)), Some(3));
+    }
+
+    #[test]
+    fn remove_keeps_index_consistent() {
+        let mut v = PartialView::new(pid(0), 10, TruncationStrategy::Uniform);
+        for p in 1..=6 {
+            v.insert(pid(p));
+        }
+        assert!(v.remove(pid(3)));
+        assert!(!v.remove(pid(3)));
+        for p in [1, 2, 4, 5, 6] {
+            assert!(v.contains(pid(p)), "lost p{p}");
+        }
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn uniform_truncation_respects_l_and_returns_evicted() {
+        let mut r = rng();
+        let mut v = PartialView::new(pid(0), 3, TruncationStrategy::Uniform);
+        for p in 1..=10 {
+            v.insert(pid(p));
+        }
+        assert!(v.is_over_capacity());
+        let evicted = v.truncate(&mut r);
+        assert_eq!(v.len(), 3);
+        assert_eq!(evicted.len(), 7);
+        let kept: BTreeSet<ProcessId> = v.members().into_iter().collect();
+        let gone: BTreeSet<ProcessId> = evicted.into_iter().collect();
+        assert!(kept.is_disjoint(&gone));
+        assert_eq!(kept.len() + gone.len(), 10);
+    }
+
+    #[test]
+    fn weighted_truncation_evicts_heaviest() {
+        let mut r = rng();
+        let mut v = PartialView::new(pid(0), 2, TruncationStrategy::Weighted);
+        v.insert(pid(1));
+        v.insert(pid(2));
+        v.insert(pid(3));
+        // Make p2 the best-known process.
+        v.insert(pid(2));
+        v.insert(pid(2));
+        let evicted = v.truncate(&mut r);
+        assert_eq!(evicted, vec![pid(2)], "highest-weight entry must go");
+        assert!(v.contains(pid(1)) && v.contains(pid(3)));
+    }
+
+    #[test]
+    fn weighted_truncation_breaks_ties_randomly() {
+        let mut evicted_counts = std::collections::HashMap::new();
+        for seed in 0..300 {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let mut v = PartialView::new(pid(0), 2, TruncationStrategy::Weighted);
+            for p in 1..=3 {
+                v.insert(pid(p));
+            }
+            let evicted = v.truncate(&mut r);
+            *evicted_counts.entry(evicted[0]).or_insert(0u32) += 1;
+        }
+        assert_eq!(evicted_counts.len(), 3, "all equal-weight entries evictable");
+        for (&p, &c) in &evicted_counts {
+            assert!(c > 50, "{p} evicted only {c}/300 times");
+        }
+    }
+
+    #[test]
+    fn weighted_advertisement_prefers_light_entries() {
+        let mut r = rng();
+        let mut v = PartialView::new(pid(0), 10, TruncationStrategy::Weighted);
+        for p in 1..=6 {
+            v.insert(pid(p));
+        }
+        // p1..p3 become heavy.
+        for _ in 0..5 {
+            v.insert(pid(1));
+            v.insert(pid(2));
+            v.insert(pid(3));
+        }
+        let advertised = v.select_advertised(&mut r, 3);
+        let set: BTreeSet<ProcessId> = advertised.into_iter().collect();
+        assert_eq!(
+            set,
+            [pid(4), pid(5), pid(6)].into_iter().collect::<BTreeSet<_>>(),
+            "light entries advertised first"
+        );
+    }
+
+    #[test]
+    fn uniform_advertisement_is_unbiased_sample() {
+        let mut v = PartialView::new(pid(0), 10, TruncationStrategy::Uniform);
+        for p in 1..=8 {
+            v.insert(pid(p));
+        }
+        let mut seen: BTreeSet<ProcessId> = BTreeSet::new();
+        for seed in 0..100 {
+            let mut r = SmallRng::seed_from_u64(seed);
+            seen.extend(v.select_advertised(&mut r, 2));
+        }
+        assert_eq!(seen.len(), 8, "every entry eventually advertised");
+    }
+
+    #[test]
+    fn select_targets_are_distinct_members() {
+        let mut r = rng();
+        let mut v = PartialView::new(pid(0), 20, TruncationStrategy::Uniform);
+        for p in 1..=15 {
+            v.insert(pid(p));
+        }
+        let t = v.select_targets(&mut r, 5);
+        assert_eq!(t.len(), 5);
+        let set: BTreeSet<ProcessId> = t.iter().copied().collect();
+        assert_eq!(set.len(), 5);
+        assert!(t.iter().all(|&p| v.contains(p)));
+        // Fanout larger than view: everything, once.
+        let all = v.select_targets(&mut r, 100);
+        assert_eq!(all.len(), 15);
+    }
+
+    #[test]
+    fn truncate_on_within_capacity_view_is_noop() {
+        let mut r = rng();
+        let mut v = PartialView::new(pid(0), 5, TruncationStrategy::Uniform);
+        v.insert(pid(1));
+        assert!(v.truncate(&mut r).is_empty());
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn zero_length_view_evicts_everything() {
+        let mut r = rng();
+        let mut v = PartialView::new(pid(0), 0, TruncationStrategy::Weighted);
+        v.insert(pid(1));
+        v.insert(pid(2));
+        let evicted = v.truncate(&mut r);
+        assert_eq!(evicted.len(), 2);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! Runtime error type.
+
+use core::fmt;
+
+/// Errors from the networked runtime.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket creation/configuration failed.
+    Io(std::io::Error),
+    /// A peer id has no address in the address book.
+    UnknownPeer(lpbcast_types::ProcessId),
+    /// A datagram could not be decoded.
+    Wire(crate::wire::WireError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::UnknownPeer(p) => write!(f, "no address registered for {p}"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Wire(e) => Some(e),
+            NetError::UnknownPeer(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<crate::wire::WireError> for NetError {
+    fn from(e: crate::wire::WireError) -> Self {
+        NetError::Wire(e)
+    }
+}

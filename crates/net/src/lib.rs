@@ -1,0 +1,55 @@
+//! Networked lpbcast: the paper's deployment model (§5.2 ran 125
+//! processes across two LANs), reproduced as one UDP socket per process on
+//! any set of hosts.
+//!
+//! The crate adds exactly two things on top of the sans-IO
+//! [`Lpbcast`](lpbcast_core::Lpbcast) state machine:
+//!
+//! * a compact hand-rolled binary **wire codec** ([`wire`]) for
+//!   [`Message`](lpbcast_core::Message) — length-checked, fuzz/property
+//!   tested, no serialization framework;
+//! * a threaded **node runtime** ([`NetNode`]): a receiver thread decodes
+//!   datagrams and feeds the state machine, a ticker thread fires the
+//!   periodic gossip every `T` milliseconds (non-synchronized, exactly as
+//!   §3.2 prescribes), and deliveries stream to the application through a
+//!   channel.
+//!
+//! UDP is a faithful transport here: gossip protocols *assume* lossy
+//! fire-and-forget messaging (the ε of the analysis), so no reliability
+//! layer is wanted.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use lpbcast_core::Config;
+//! use lpbcast_net::{AddressBook, NetConfig, NetNode};
+//! use lpbcast_types::ProcessId;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), lpbcast_net::NetError> {
+//! let config = NetConfig::new(
+//!     Config::builder().view_size(4).fanout(2).build(),
+//!     Duration::from_millis(50),
+//!     7,
+//! );
+//! let mut book = AddressBook::new();
+//! // ... bind sockets, fill the book with (ProcessId -> SocketAddr) ...
+//! let node = NetNode::spawn(ProcessId::new(0), config, book, vec![ProcessId::new(1)])?;
+//! node.broadcast(b"hello".as_ref());
+//! if let Ok(event) = node.deliveries().recv_timeout(Duration::from_secs(1)) {
+//!     println!("delivered {event}");
+//! }
+//! node.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+mod node;
+pub mod wire;
+
+pub use error::NetError;
+pub use node::{AddressBook, NetConfig, NetNode, NodeSnapshot};

@@ -1,0 +1,384 @@
+//! Threaded UDP node: the driver that turns the sans-IO state machine
+//! into a networked process.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use lpbcast_core::{Command, Config, Lpbcast, Output, ProcessStats, UnsubscribeRefused};
+use lpbcast_membership::View as _;
+use lpbcast_types::{Event, EventId, Payload, ProcessId};
+
+use crate::error::NetError;
+use crate::wire;
+
+/// Runtime configuration of a networked node.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Protocol configuration.
+    pub core: Config,
+    /// The gossip period `T` (§3.3; the paper used non-synchronized
+    /// periodic gossips).
+    pub gossip_interval: Duration,
+    /// Seed for the node's deterministic protocol randomness.
+    pub seed: u64,
+    /// Artificial ingress loss: each received datagram is dropped with
+    /// this probability *before* reaching the protocol. Localhost UDP
+    /// rarely loses packets, so this re-introduces the paper's ε when
+    /// exercising loss tolerance over real sockets. 0.0 disables.
+    pub ingress_loss: f64,
+}
+
+impl NetConfig {
+    /// Creates a configuration with no artificial loss.
+    pub fn new(core: Config, gossip_interval: Duration, seed: u64) -> Self {
+        NetConfig {
+            core,
+            gossip_interval,
+            seed,
+            ingress_loss: 0.0,
+        }
+    }
+
+    /// Sets the artificial ingress-loss probability (the paper's ε).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ loss < 1`.
+    #[must_use]
+    pub fn ingress_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
+        self.ingress_loss = loss;
+        self
+    }
+}
+
+/// Shared, thread-safe process-id ↔ socket-address directory.
+///
+/// In the paper's deployment this knowledge came from the testbed
+/// configuration; the protocol itself only ever names processes by id.
+/// Nodes register themselves when spawned; sends to unregistered ids are
+/// silently dropped (indistinguishable from message loss, which gossip
+/// tolerates by design).
+#[derive(Debug, Clone, Default)]
+pub struct AddressBook {
+    inner: Arc<RwLock<BookInner>>,
+}
+
+#[derive(Debug, Default)]
+struct BookInner {
+    by_id: HashMap<ProcessId, SocketAddr>,
+    by_addr: HashMap<SocketAddr, ProcessId>,
+}
+
+impl AddressBook {
+    /// Creates an empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or updates) a process's address.
+    pub fn register(&self, id: ProcessId, addr: SocketAddr) {
+        let mut inner = self.inner.write();
+        if let Some(old) = inner.by_id.insert(id, addr) {
+            inner.by_addr.remove(&old);
+        }
+        inner.by_addr.insert(addr, id);
+    }
+
+    /// Address of `id`, if registered.
+    pub fn lookup(&self, id: ProcessId) -> Option<SocketAddr> {
+        self.inner.read().by_id.get(&id).copied()
+    }
+
+    /// Process at `addr`, if registered.
+    pub fn reverse_lookup(&self, addr: SocketAddr) -> Option<ProcessId> {
+        self.inner.read().by_addr.get(&addr).copied()
+    }
+
+    /// Number of registered processes.
+    pub fn len(&self) -> usize {
+        self.inner.read().by_id.len()
+    }
+
+    /// Whether the book is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A point-in-time view of a node's protocol state.
+#[derive(Debug, Clone)]
+pub struct NodeSnapshot {
+    /// Current view members.
+    pub view: Vec<ProcessId>,
+    /// Lifetime counters.
+    pub stats: ProcessStats,
+    /// Ticks elapsed.
+    pub ticks: u64,
+    /// Whether the §3.4 join handshake is still pending.
+    pub joining: bool,
+    /// Whether the node has unsubscribed.
+    pub leaving: bool,
+}
+
+/// A running networked lpbcast node: a UDP socket, a receiver thread and a
+/// gossip-timer thread around one [`Lpbcast`] state machine.
+#[derive(Debug)]
+pub struct NetNode {
+    id: ProcessId,
+    local_addr: SocketAddr,
+    state: Arc<Mutex<Lpbcast>>,
+    socket: UdpSocket,
+    book: AddressBook,
+    deliveries: Receiver<Event>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl NetNode {
+    /// Spawns a bootstrap member whose view starts as `initial_view`.
+    /// Binds `127.0.0.1:0` and self-registers in `book`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn spawn(
+        id: ProcessId,
+        config: NetConfig,
+        book: AddressBook,
+        initial_view: Vec<ProcessId>,
+    ) -> Result<NetNode, NetError> {
+        let machine = Lpbcast::with_initial_view(id, config.core.clone(), config.seed, initial_view);
+        Self::spawn_machine(id, config, book, machine)
+    }
+
+    /// Spawns a node that joins through `contacts` (§3.4 handshake).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn spawn_joining(
+        id: ProcessId,
+        config: NetConfig,
+        book: AddressBook,
+        contacts: Vec<ProcessId>,
+    ) -> Result<NetNode, NetError> {
+        let machine = Lpbcast::joining(id, config.core.clone(), config.seed, contacts);
+        Self::spawn_machine(id, config, book, machine)
+    }
+
+    fn spawn_machine(
+        id: ProcessId,
+        config: NetConfig,
+        book: AddressBook,
+        machine: Lpbcast,
+    ) -> Result<NetNode, NetError> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        let local_addr = socket.local_addr()?;
+        book.register(id, local_addr);
+
+        let state = Arc::new(Mutex::new(machine));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = unbounded::<Event>();
+
+        // Receiver thread: datagram → decode → state machine → sends.
+        let recv_socket = socket.try_clone()?;
+        recv_socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let recv_state = Arc::clone(&state);
+        let recv_book = book.clone();
+        let recv_shutdown = Arc::clone(&shutdown);
+        let recv_tx = tx.clone();
+        let ingress_loss = config.ingress_loss;
+        let loss_seed = config.seed ^ 0x0069_6E67_7265_7373;
+        let receiver = std::thread::Builder::new()
+            .name(format!("lpbcast-rx-{id}"))
+            .spawn(move || {
+                receive_loop(
+                    recv_socket,
+                    recv_state,
+                    recv_book,
+                    recv_shutdown,
+                    recv_tx,
+                    ingress_loss,
+                    loss_seed,
+                );
+            })?;
+
+        // Ticker thread: every T, advance the clock and gossip.
+        let tick_socket = socket.try_clone()?;
+        let tick_state = Arc::clone(&state);
+        let tick_book = book.clone();
+        let tick_shutdown = Arc::clone(&shutdown);
+        let interval = config.gossip_interval;
+        let ticker = std::thread::Builder::new()
+            .name(format!("lpbcast-tick-{id}"))
+            .spawn(move || {
+                while !tick_shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    let output = tick_state.lock().tick();
+                    send_commands(&tick_socket, &tick_book, &output.commands);
+                }
+            })?;
+
+        Ok(NetNode {
+            id,
+            local_addr,
+            state,
+            socket,
+            book,
+            deliveries: rx,
+            shutdown,
+            threads: vec![receiver, ticker],
+        })
+    }
+
+    /// This node's process id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The bound UDP address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared address book this node registered itself in.
+    pub fn address_book(&self) -> &AddressBook {
+        &self.book
+    }
+
+    /// The UDP socket (e.g. to inspect or reconfigure timeouts in tests).
+    pub fn socket(&self) -> &UdpSocket {
+        &self.socket
+    }
+
+    /// The channel on which delivered notifications arrive
+    /// (LPB-DELIVER).
+    pub fn deliveries(&self) -> &Receiver<Event> {
+        &self.deliveries
+    }
+
+    /// Publishes a notification (LPB-CAST); it rides the next periodic
+    /// gossip.
+    pub fn broadcast(&self, payload: impl Into<Payload>) -> EventId {
+        self.state.lock().broadcast(payload)
+    }
+
+    /// Requests departure (§3.4).
+    ///
+    /// # Errors
+    ///
+    /// See [`Lpbcast::unsubscribe`].
+    pub fn unsubscribe(&self) -> Result<(), UnsubscribeRefused> {
+        self.state.lock().unsubscribe()
+    }
+
+    /// A point-in-time snapshot of the protocol state.
+    pub fn snapshot(&self) -> NodeSnapshot {
+        let state = self.state.lock();
+        NodeSnapshot {
+            view: state.view().members(),
+            stats: *state.stats(),
+            ticks: state.now().as_u64(),
+            joining: state.is_joining(),
+            leaving: state.is_leaving(),
+        }
+    }
+
+    /// Stops both threads and waits for them. Further datagrams to this
+    /// node are lost (as any crash would look to its peers).
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn receive_loop(
+    socket: UdpSocket,
+    state: Arc<Mutex<Lpbcast>>,
+    book: AddressBook,
+    shutdown: Arc<AtomicBool>,
+    deliveries: Sender<Event>,
+    ingress_loss: f64,
+    loss_seed: u64,
+) {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut loss_rng = SmallRng::seed_from_u64(loss_seed);
+    let mut buf = vec![0u8; 64 * 1024];
+    while !shutdown.load(Ordering::Relaxed) {
+        let (len, from_addr) = match socket.recv_from(&mut buf) {
+            Ok(x) => x,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        if ingress_loss > 0.0 && loss_rng.gen::<f64>() < ingress_loss {
+            continue; // the paper's ε, injected at ingress
+        }
+        let Ok(message) = wire::decode(&buf[..len]) else {
+            continue; // hostile or truncated datagram: drop
+        };
+        // `from` is only consulted for retransmission replies; gossip and
+        // subscriptions carry their sender in-band.
+        let from = book
+            .reverse_lookup(from_addr)
+            .unwrap_or(ProcessId::new(u64::MAX));
+        let output: Output = state.lock().handle_message(from, message);
+        for event in output.delivered {
+            let _ = deliveries.send(event);
+        }
+        send_commands(&socket, &book, &output.commands);
+    }
+}
+
+fn send_commands(socket: &UdpSocket, book: &AddressBook, commands: &[Command]) {
+    for command in commands {
+        let Some(addr) = book.lookup(command.to) else {
+            continue; // unknown peer: indistinguishable from loss
+        };
+        let bytes = wire::encode(&command.message);
+        let _ = socket.send_to(&bytes, addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_book_roundtrip() {
+        let book = AddressBook::new();
+        assert!(book.is_empty());
+        let addr: SocketAddr = "127.0.0.1:9999".parse().unwrap();
+        book.register(ProcessId::new(1), addr);
+        assert_eq!(book.lookup(ProcessId::new(1)), Some(addr));
+        assert_eq!(book.reverse_lookup(addr), Some(ProcessId::new(1)));
+        assert_eq!(book.len(), 1);
+        // Re-registration moves the address.
+        let addr2: SocketAddr = "127.0.0.1:9998".parse().unwrap();
+        book.register(ProcessId::new(1), addr2);
+        assert_eq!(book.lookup(ProcessId::new(1)), Some(addr2));
+        assert_eq!(book.reverse_lookup(addr), None, "old address unlinked");
+    }
+
+    #[test]
+    fn unknown_ids_resolve_to_none() {
+        let book = AddressBook::new();
+        assert_eq!(book.lookup(ProcessId::new(5)), None);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the wire codec: arbitrary messages survive a
+//! round-trip, and arbitrary byte soup never panics the decoder.
+
+use lpbcast_core::{Digest, Gossip, LogicalTime, Message, Unsubscription};
+use lpbcast_net::wire;
+use lpbcast_types::{CompactDigest, Event, EventId, ProcessId};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn pid(p: u64) -> ProcessId {
+    ProcessId::new(p)
+}
+
+fn eid((p, s): (u64, u64)) -> EventId {
+    EventId::new(pid(p), s)
+}
+
+prop_compose! {
+    fn arb_event()(
+        id in (any::<u64>(), any::<u64>()),
+        payload in vec(any::<u8>(), 0..200),
+    ) -> Event {
+        Event::new(eid(id), payload)
+    }
+}
+
+prop_compose! {
+    fn arb_ids_digest()(ids in vec((any::<u64>(), any::<u64>()), 0..40)) -> Digest {
+        Digest::Ids(ids.into_iter().map(eid).collect())
+    }
+}
+
+prop_compose! {
+    fn arb_compact_digest()(
+        raw in vec((0u64..6, 0u64..64), 0..80),
+    ) -> Digest {
+        let mut d = CompactDigest::new();
+        d.extend(raw.into_iter().map(eid));
+        Digest::Compact(d)
+    }
+}
+
+fn arb_digest() -> impl Strategy<Value = Digest> {
+    prop_oneof![arb_ids_digest(), arb_compact_digest()]
+}
+
+prop_compose! {
+    fn arb_gossip()(
+        sender in any::<u64>(),
+        subs in vec(any::<u64>(), 0..20),
+        unsubs in vec((any::<u64>(), any::<u64>()), 0..10),
+        events in vec(arb_event(), 0..10),
+        event_ids in arb_digest(),
+    ) -> Gossip {
+        Gossip {
+            sender: pid(sender),
+            subs: subs.into_iter().map(pid).collect(),
+            unsubs: unsubs
+                .into_iter()
+                .map(|(p, t)| Unsubscription::new(pid(p), LogicalTime::new(t)))
+                .collect(),
+            events,
+            event_ids,
+        }
+    }
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        arb_gossip().prop_map(Message::Gossip),
+        any::<u64>().prop_map(|p| Message::Subscribe { subscriber: pid(p) }),
+        vec((any::<u64>(), any::<u64>()), 0..30)
+            .prop_map(|ids| Message::RetransmitRequest {
+                ids: ids.into_iter().map(eid).collect()
+            }),
+        vec(arb_event(), 0..10).prop_map(|events| Message::RetransmitResponse { events }),
+    ]
+}
+
+/// Structural equality witness: re-encode and compare bytes, plus check
+/// the semantic fields that byte equality alone would already imply.
+fn roundtrip_equal(message: &Message) -> bool {
+    let bytes = wire::encode(message);
+    match wire::decode(&bytes) {
+        Ok(decoded) => wire::encode(&decoded) == bytes,
+        Err(_) => false,
+    }
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_messages_roundtrip(message in arb_message()) {
+        prop_assert!(roundtrip_equal(&message));
+    }
+
+    #[test]
+    fn event_payloads_survive_byte_for_byte(event in arb_event()) {
+        let message = Message::RetransmitResponse { events: vec![event.clone()] };
+        let decoded = wire::decode(&wire::encode(&message)).expect("valid");
+        match decoded {
+            Message::RetransmitResponse { events } => {
+                prop_assert_eq!(events.len(), 1);
+                prop_assert_eq!(events[0].id(), event.id());
+                prop_assert_eq!(events[0].payload().as_ref(), event.payload().as_ref());
+            }
+            _ => prop_assert!(false, "kind changed"),
+        }
+    }
+
+    #[test]
+    fn compact_digest_membership_preserved(
+        raw in vec((0u64..4, 0u64..48), 0..60),
+    ) {
+        let mut digest = CompactDigest::new();
+        digest.extend(raw.iter().map(|&x| eid(x)));
+        let message = Message::Gossip(Gossip {
+            sender: pid(0),
+            subs: vec![],
+            unsubs: vec![],
+            events: vec![],
+            event_ids: Digest::Compact(digest.clone()),
+        });
+        let decoded = wire::decode(&wire::encode(&message)).expect("valid");
+        let Message::Gossip(g) = decoded else {
+            return Err(TestCaseError::fail("kind changed"));
+        };
+        for p in 0..4u64 {
+            for s in 0..49u64 {
+                prop_assert_eq!(
+                    g.event_ids.contains(eid((p, s))),
+                    digest.contains(eid((p, s))),
+                    "membership diverged at ({}, {})", p, s
+                );
+            }
+        }
+    }
+
+    /// Fuzz: the decoder must never panic, whatever the bytes.
+    #[test]
+    fn random_bytes_never_panic(data in vec(any::<u8>(), 0..600)) {
+        let _ = wire::decode(&data);
+    }
+
+    /// Fuzz: corrupting any single byte of a valid datagram must never
+    /// panic (it may still decode to a different valid message).
+    #[test]
+    fn single_byte_corruption_never_panics(
+        message in arb_message(),
+        pos_seed in any::<usize>(),
+        new_byte in any::<u8>(),
+    ) {
+        let mut bytes = wire::encode(&message).to_vec();
+        if !bytes.is_empty() {
+            let pos = pos_seed % bytes.len();
+            bytes[pos] = new_byte;
+            let _ = wire::decode(&bytes);
+        }
+    }
+
+    /// Fuzz: truncation at any point must never panic.
+    #[test]
+    fn truncation_never_panics(message in arb_message(), cut_seed in any::<usize>()) {
+        let bytes = wire::encode(&message);
+        let cut = cut_seed % (bytes.len() + 1);
+        let _ = wire::decode(&bytes[..cut]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Pluggable membership for pbcast: total view or the lpbcast partial-view
+//! layer (§6.2).
+
+use lpbcast_membership::{GlobalView, PartialView, TruncationStrategy, View};
+use lpbcast_types::{BoundedSet, ProcessId};
+use rand::Rng;
+
+/// The membership a pbcast process runs on.
+///
+/// * [`Membership::Total`] — the traditional complete view ("pbcast with
+///   total view" in Figure 7(a)).
+/// * [`Membership::Partial`] — the lpbcast membership layer: a fixed-size
+///   partial view plus a `subs` forwarding buffer, updated from the
+///   subscriptions piggybacked on digest gossips ("pbcast with partial
+///   view").
+#[derive(Debug, Clone)]
+pub enum Membership {
+    /// Complete membership knowledge.
+    Total(GlobalView),
+    /// lpbcast partial-view membership (§6.2).
+    Partial {
+        /// The bounded random view.
+        view: PartialView,
+        /// Subscriptions to piggyback on the next digest gossips.
+        subs: BoundedSet<ProcessId>,
+    },
+}
+
+impl Membership {
+    /// Creates total-view membership over `members`.
+    pub fn total(owner: ProcessId, members: impl IntoIterator<Item = ProcessId>) -> Self {
+        Membership::Total(GlobalView::new(owner, members))
+    }
+
+    /// Creates partial-view membership with view bound `l`, seeded with
+    /// `members` (then truncation applies on first update).
+    pub fn partial(
+        owner: ProcessId,
+        l: usize,
+        subs_max: usize,
+        members: impl IntoIterator<Item = ProcessId>,
+    ) -> Self {
+        Membership::Partial {
+            view: PartialView::with_members(owner, l, TruncationStrategy::Uniform, members),
+            subs: BoundedSet::new(subs_max),
+        }
+    }
+
+    /// Number of known processes.
+    pub fn len(&self) -> usize {
+        match self {
+            Membership::Total(v) => v.len(),
+            Membership::Partial { view, .. } => view.len(),
+        }
+    }
+
+    /// Whether nobody is known.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `p` is known.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        match self {
+            Membership::Total(v) => v.contains(p),
+            Membership::Partial { view, .. } => view.contains(p),
+        }
+    }
+
+    /// A snapshot of the known processes.
+    pub fn members(&self) -> Vec<ProcessId> {
+        match self {
+            Membership::Total(v) => v.members(),
+            Membership::Partial { view, .. } => view.members(),
+        }
+    }
+
+    /// Selects gossip targets.
+    pub fn select_targets<R: Rng + ?Sized>(&self, rng: &mut R, fanout: usize) -> Vec<ProcessId> {
+        match self {
+            Membership::Total(v) => v.select_targets(rng, fanout),
+            Membership::Partial { view, .. } => view.select_targets(rng, fanout),
+        }
+    }
+
+    /// The subscriptions to piggyback on an outgoing gossip: own id plus
+    /// the `subs` buffer. Empty for total views (no membership gossip
+    /// needed).
+    pub fn outgoing_subs(&self, owner: ProcessId) -> Vec<ProcessId> {
+        match self {
+            Membership::Total(_) => Vec::new(),
+            Membership::Partial { subs, .. } => {
+                let mut out = subs.to_vec();
+                if !out.contains(&owner) {
+                    out.push(owner);
+                }
+                out
+            }
+        }
+    }
+
+    /// Applies piggybacked subscriptions — the lpbcast phase-2 update
+    /// (§6.2's membership layer in action). No-op for total views.
+    pub fn apply_subs<R: Rng + ?Sized>(&mut self, rng: &mut R, incoming: &[ProcessId]) {
+        if let Membership::Partial { view, subs } = self {
+            let owner = view.owner();
+            for &p in incoming {
+                if p == owner {
+                    continue;
+                }
+                let was_known = view.contains(p);
+                view.insert(p);
+                if !was_known && view.contains(p) {
+                    subs.insert(p);
+                }
+            }
+            for evicted in view.truncate(rng) {
+                subs.insert(evicted);
+            }
+            subs.truncate_random(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn pid(p: u64) -> ProcessId {
+        ProcessId::new(p)
+    }
+
+    #[test]
+    fn total_membership_has_no_subs_traffic() {
+        let m = Membership::total(pid(0), (1..10).map(pid));
+        assert_eq!(m.len(), 9);
+        assert!(m.outgoing_subs(pid(0)).is_empty());
+    }
+
+    #[test]
+    fn partial_membership_piggybacks_self() {
+        let m = Membership::partial(pid(0), 5, 5, [pid(1)]);
+        let subs = m.outgoing_subs(pid(0));
+        assert!(subs.contains(&pid(0)));
+    }
+
+    #[test]
+    fn apply_subs_updates_partial_view_bounded() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut m = Membership::partial(pid(0), 3, 8, [pid(1)]);
+        m.apply_subs(&mut rng, &[pid(2), pid(3), pid(4), pid(5), pid(0)]);
+        assert_eq!(m.len(), 3, "view bounded at l");
+        assert!(!m.contains(pid(0)), "owner never enters own view");
+        // Everything stays in circulation: view ∪ outgoing subs.
+        let mut known = m.members();
+        known.extend(m.outgoing_subs(pid(0)));
+        for p in 1..=5 {
+            assert!(known.contains(&pid(p)), "p{p} lost");
+        }
+    }
+
+    #[test]
+    fn apply_subs_noop_for_total() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut m = Membership::total(pid(0), (1..5).map(pid));
+        m.apply_subs(&mut rng, &[pid(9)]);
+        assert!(!m.contains(pid(9)), "total views unaffected by subs");
+    }
+
+    #[test]
+    fn target_selection_from_both() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let total = Membership::total(pid(0), (1..20).map(pid));
+        assert_eq!(total.select_targets(&mut rng, 5).len(), 5);
+        let partial = Membership::partial(pid(0), 10, 5, (1..8).map(pid));
+        assert_eq!(partial.select_targets(&mut rng, 5).len(), 5);
+    }
+}

@@ -1,0 +1,96 @@
+//! pbcast wire messages.
+
+use lpbcast_types::{Event, EventId, ProcessId};
+
+/// One entry of a digest gossip: an advertised message id and the hop
+/// count of the advertiser's copy (so a puller knows the remaining hop
+/// budget of what it would receive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestEntry {
+    /// The advertised message.
+    pub id: EventId,
+    /// Hops already consumed by the advertiser's copy.
+    pub hops: u32,
+}
+
+/// Messages exchanged by pbcast processes.
+#[derive(Debug, Clone)]
+pub enum PbcastMessage {
+    /// A message payload: the best-effort first phase, or a served
+    /// solicitation. `hops` counts transfers so far.
+    Multicast {
+        /// The message.
+        event: Event,
+        /// Transfers consumed to reach the receiver.
+        hops: u32,
+    },
+    /// Periodic anti-entropy digest (phase 2), optionally piggybacking
+    /// membership subscriptions (§6.2 partial-view layer).
+    GossipDigest {
+        /// The advertiser.
+        sender: ProcessId,
+        /// Advertised (recently received, still-repeating) messages.
+        entries: Vec<DigestEntry>,
+        /// Piggybacked subscriptions (empty with total views).
+        subs: Vec<ProcessId>,
+    },
+    /// Solicitation of missing messages from a digest sender (gossip
+    /// pull).
+    Solicit {
+        /// Ids requested.
+        ids: Vec<EventId>,
+    },
+}
+
+impl PbcastMessage {
+    /// Short human-readable kind tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PbcastMessage::Multicast { .. } => "multicast",
+            PbcastMessage::GossipDigest { .. } => "digest",
+            PbcastMessage::Solicit { .. } => "solicit",
+        }
+    }
+}
+
+/// Result of one pbcast step.
+#[derive(Debug, Clone, Default)]
+pub struct PbcastOutput {
+    /// Messages delivered to the application.
+    pub delivered: Vec<Event>,
+    /// Ids absorbed from digests (only in the
+    /// [`deliver_on_digest`](crate::PbcastConfig::deliver_on_digest)
+    /// convention).
+    pub learned_ids: Vec<EventId>,
+    /// Messages to send: `(destination, message)`.
+    pub commands: Vec<(ProcessId, PbcastMessage)>,
+}
+
+impl PbcastOutput {
+    /// Whether the step produced nothing.
+    pub fn is_empty(&self) -> bool {
+        self.delivered.is_empty() && self.learned_ids.is_empty() && self.commands.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        let m = PbcastMessage::Solicit { ids: vec![] };
+        assert_eq!(m.kind(), "solicit");
+        let d = PbcastMessage::GossipDigest {
+            sender: ProcessId::new(0),
+            entries: vec![],
+            subs: vec![],
+        };
+        assert_eq!(d.kind(), "digest");
+    }
+
+    #[test]
+    fn default_output_is_empty() {
+        assert!(PbcastOutput::default().is_empty());
+    }
+}

@@ -1,0 +1,254 @@
+//! A synchronous-round driver for a set of [`PubSubNode`]s — the
+//! pub/sub analogue of the simulator engine, for examples and tests.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use lpbcast_types::{EventId, ProcessId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::node::{PubSubMessage, PubSubNode};
+use crate::topic::TopicId;
+
+/// Round-based cluster of pub/sub nodes with Bernoulli message loss and
+/// per-topic delivery tracking.
+#[derive(Debug)]
+pub struct PubSubCluster {
+    nodes: BTreeMap<ProcessId, PubSubNode>,
+    loss_rate: f64,
+    rng: SmallRng,
+    /// (topic, event) → processes that delivered it.
+    delivered: HashMap<(TopicId, EventId), HashSet<ProcessId>>,
+    round: u64,
+}
+
+impl PubSubCluster {
+    /// Creates an empty cluster with message-loss probability
+    /// `loss_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ loss_rate < 1`.
+    pub fn new(loss_rate: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&loss_rate), "loss rate in [0, 1)");
+        PubSubCluster {
+            nodes: BTreeMap::new(),
+            loss_rate,
+            rng: SmallRng::seed_from_u64(seed),
+            delivered: HashMap::new(),
+            round: 0,
+        }
+    }
+
+    /// Adds a node.
+    pub fn add_node(&mut self, node: PubSubNode) {
+        self.nodes.insert(node.id(), node);
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: ProcessId) -> Option<&PubSubNode> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutable access to a node (subscribe/publish/unsubscribe).
+    pub fn node_mut(&mut self, id: ProcessId) -> Option<&mut PubSubNode> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// Completed rounds.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Publishes from `origin` on `topic`; returns the event id if the
+    /// origin is subscribed. The origin counts as having delivered it.
+    pub fn publish(
+        &mut self,
+        origin: ProcessId,
+        topic: &TopicId,
+        payload: impl Into<lpbcast_types::Payload>,
+    ) -> Option<EventId> {
+        let id = self.nodes.get_mut(&origin)?.publish(topic, payload)?;
+        self.delivered
+            .entry((topic.clone(), id))
+            .or_default()
+            .insert(origin);
+        Some(id)
+    }
+
+    /// One synchronous round: every node ticks, messages suffer loss,
+    /// replies are chased within the round.
+    pub fn step(&mut self) {
+        self.round += 1;
+        let ids: Vec<ProcessId> = self.nodes.keys().copied().collect();
+        let mut queue: Vec<(ProcessId, ProcessId, PubSubMessage)> = Vec::new();
+        for &id in &ids {
+            let node = self.nodes.get_mut(&id).expect("node exists");
+            for (to, message) in node.tick().commands {
+                queue.push((id, to, message));
+            }
+        }
+        for _generation in 0..4 {
+            if queue.is_empty() {
+                break;
+            }
+            let mut next = Vec::new();
+            for (from, to, message) in queue {
+                if self.loss_rate > 0.0 && self.rng.gen::<f64>() < self.loss_rate {
+                    continue;
+                }
+                let Some(node) = self.nodes.get_mut(&to) else {
+                    continue;
+                };
+                let out = node.handle_message(from, message);
+                for (topic, event) in out.deliveries {
+                    self.delivered
+                        .entry((topic, event.id()))
+                        .or_default()
+                        .insert(to);
+                }
+                for (dest, reply) in out.commands {
+                    next.push((to, dest, reply));
+                }
+            }
+            queue = next;
+        }
+    }
+
+    /// Runs `rounds` consecutive steps.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Processes that delivered `(topic, id)`.
+    pub fn delivered_to(&self, topic: &TopicId, id: EventId) -> usize {
+        self.delivered
+            .get(&(topic.clone(), id))
+            .map_or(0, HashSet::len)
+    }
+
+    /// Whether `process` delivered `(topic, id)`.
+    pub fn has_delivered(&self, process: ProcessId, topic: &TopicId, id: EventId) -> bool {
+        self.delivered
+            .get(&(topic.clone(), id))
+            .is_some_and(|s| s.contains(&process))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpbcast_core::Config;
+
+    fn pid(p: u64) -> ProcessId {
+        ProcessId::new(p)
+    }
+
+    fn config() -> Config {
+        // Retransmission on: a subscriber that misses the payload wave
+        // pulls it after seeing the id in a digest, so delivery is
+        // eventually complete (how a production deployment would run).
+        Config::builder()
+            .view_size(5)
+            .fanout(2)
+            .event_ids_max(128)
+            .events_max(128)
+            .retransmit_request_max(8)
+            .archive_capacity(256)
+            .build()
+    }
+
+    /// Builds a cluster where every node subscribes to the topics chosen
+    /// by `assign`.
+    fn cluster(n: u64, topics: &[TopicId], assign: impl Fn(u64, &TopicId) -> bool) -> PubSubCluster {
+        let mut cluster = PubSubCluster::new(0.02, 99);
+        for i in 0..n {
+            let mut node = PubSubNode::new(pid(i), config(), 1000 + i);
+            for topic in topics {
+                if assign(i, topic) {
+                    let peers: Vec<ProcessId> = (0..n)
+                        .filter(|&j| j != i && assign(j, topic))
+                        .map(pid)
+                        .collect();
+                    node.subscribe_bootstrap(topic, peers);
+                }
+            }
+            cluster.add_node(node);
+        }
+        cluster
+    }
+
+    #[test]
+    fn events_reach_all_and_only_subscribers() {
+        let ta = TopicId::new("a");
+        let tb = TopicId::new("b");
+        // Evens subscribe to a, odds to b.
+        let mut c = cluster(10, &[ta.clone(), tb.clone()], |i, t| {
+            (i % 2 == 0) == (t.name() == "a")
+        });
+        let id = c.publish(pid(0), &ta, "even news").expect("subscribed");
+        c.run(10);
+        assert_eq!(c.delivered_to(&ta, id), 5, "all five even subscribers");
+        for i in 0..10 {
+            let should = i % 2 == 0;
+            assert_eq!(
+                c.has_delivered(pid(i), &ta, id),
+                should,
+                "p{i} delivery mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_topic_nodes_keep_streams_separate() {
+        let ta = TopicId::new("a");
+        let tb = TopicId::new("b");
+        // Everyone subscribes to both.
+        let mut c = cluster(6, &[ta.clone(), tb.clone()], |_, _| true);
+        let on_a = c.publish(pid(1), &ta, "on a").unwrap();
+        let on_b = c.publish(pid(2), &tb, "on b").unwrap();
+        c.run(10);
+        assert_eq!(c.delivered_to(&ta, on_a), 6);
+        assert_eq!(c.delivered_to(&tb, on_b), 6);
+        // No cross-topic leakage: on_a never registered under tb.
+        assert_eq!(c.delivered_to(&tb, on_a), 0);
+    }
+
+    #[test]
+    fn late_subscriber_joins_and_receives_future_events() {
+        let t = TopicId::new("t");
+        let mut c = cluster(6, std::slice::from_ref(&t), |i, _| i < 5); // p5 not subscribed
+        c.run(3);
+        // p5 joins via contact p0.
+        c.node_mut(pid(5))
+            .unwrap()
+            .subscribe_via(&t, vec![pid(0)]);
+        c.run(8);
+        assert!(
+            !c.node(pid(5)).unwrap().group(&t).unwrap().is_joining(),
+            "join should complete"
+        );
+        let id = c.publish(pid(2), &t, "fresh").unwrap();
+        c.run(10);
+        assert!(
+            c.has_delivered(pid(5), &t, id),
+            "late subscriber missed a post-join event"
+        );
+    }
+
+    #[test]
+    fn unsubscribed_topic_stops_delivering() {
+        let t = TopicId::new("t");
+        let mut c = cluster(6, std::slice::from_ref(&t), |_, _| true);
+        c.run(3);
+        c.node_mut(pid(5)).unwrap().unsubscribe(&t).unwrap().then_some(()).unwrap();
+        c.run(2); // lame duck
+        c.node_mut(pid(5)).unwrap().complete_unsubscribe(&t);
+        let id = c.publish(pid(0), &t, "after leave").unwrap();
+        c.run(10);
+        assert!(!c.has_delivered(pid(5), &t, id));
+        assert_eq!(c.delivered_to(&t, id), 5, "remaining subscribers unaffected");
+    }
+}

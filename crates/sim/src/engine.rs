@@ -1,0 +1,357 @@
+//! The synchronous-round simulation engine.
+
+use std::collections::BTreeMap;
+
+use lpbcast_membership::ViewGraph;
+use lpbcast_types::{EventId, Payload, ProcessId};
+
+use crate::metrics::InfectionTracker;
+use crate::network::{CrashPlan, NetworkModel};
+use crate::node::{SimNode, SimStep};
+
+/// How many reply generations (solicit → serve → absorb …) are chased
+/// within one round. The paper assumes network latency below the gossip
+/// period (§4.1), so a full pull exchange completes inside a round.
+const CHASE_DEPTH: usize = 4;
+
+/// A queued message copy.
+#[derive(Debug, Clone)]
+struct Envelope<M> {
+    from: ProcessId,
+    to: ProcessId,
+    msg: M,
+}
+
+/// Synchronous-round simulator: each round, every alive node gossips once
+/// (§5.1), messages suffer Bernoulli loss, and deliveries are tracked.
+#[derive(Debug)]
+pub struct Engine<N: SimNode> {
+    nodes: BTreeMap<ProcessId, N>,
+    crashed: Vec<ProcessId>,
+    network: NetworkModel,
+    crash_plan: CrashPlan,
+    tracker: InfectionTracker,
+    round: u64,
+    /// Messages published outside a step (first-phase multicasts), queued
+    /// into the next round.
+    pending: Vec<Envelope<N::Msg>>,
+}
+
+impl<N: SimNode> Engine<N> {
+    /// Creates an engine over the given fault models.
+    pub fn new(network: NetworkModel, crash_plan: CrashPlan) -> Self {
+        Engine {
+            nodes: BTreeMap::new(),
+            crashed: Vec::new(),
+            network,
+            crash_plan,
+            tracker: InfectionTracker::new(),
+            round: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Adds a node (initially alive).
+    pub fn add_node(&mut self, node: N) {
+        self.nodes.insert(node.id(), node);
+    }
+
+    /// Immediately crashes `id`: the node stops participating; in-flight
+    /// and future traffic to it is discarded. The node state is retained
+    /// for post-mortem inspection.
+    pub fn crash(&mut self, id: ProcessId) {
+        if self.nodes.contains_key(&id) && !self.crashed.contains(&id) {
+            self.crashed.push(id);
+        }
+    }
+
+    /// Removes a node entirely (graceful departure after unsubscription).
+    pub fn remove_node(&mut self, id: ProcessId) -> Option<N> {
+        self.crashed.retain(|&c| c != id);
+        self.nodes.remove(&id)
+    }
+
+    /// Whether `id` is present and not crashed.
+    pub fn is_alive(&self, id: ProcessId) -> bool {
+        self.nodes.contains_key(&id) && !self.crashed.contains(&id)
+    }
+
+    /// Number of alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.len() - self.crashed.len()
+    }
+
+    /// Ids of alive nodes, ascending.
+    pub fn alive_ids(&self) -> Vec<ProcessId> {
+        self.nodes
+            .keys()
+            .copied()
+            .filter(|id| !self.crashed.contains(id))
+            .collect()
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: ProcessId) -> Option<&N> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: ProcessId) -> Option<&mut N> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// Iterates over `(id, node)` pairs, ascending by id.
+    pub fn nodes(&self) -> impl Iterator<Item = (ProcessId, &N)> {
+        self.nodes.iter().map(|(&id, n)| (id, n))
+    }
+
+    /// The current round (completed steps).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The infection/reliability tracker.
+    pub fn tracker(&self) -> &InfectionTracker {
+        &self.tracker
+    }
+
+    /// The network fault model.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// Publishes `payload` from node `origin`; returns the event id.
+    /// First-phase sends (pbcast) are queued for the next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is absent or crashed.
+    pub fn publish_from(&mut self, origin: ProcessId, payload: Payload) -> EventId {
+        assert!(self.is_alive(origin), "publisher {origin} is not alive");
+        let node = self.nodes.get_mut(&origin).expect("alive node exists");
+        let (id, immediate) = node.publish(payload);
+        self.tracker.record_publish(id, origin, self.round);
+        for (to, msg) in immediate {
+            self.pending.push(Envelope {
+                from: origin,
+                to,
+                msg,
+            });
+        }
+        id
+    }
+
+    /// The directed "knows-about" graph over the **alive** nodes' views.
+    pub fn view_graph(&self) -> ViewGraph {
+        ViewGraph::from_views(self.nodes.iter().filter_map(|(&id, n)| {
+            if self.crashed.contains(&id) {
+                None
+            } else {
+                Some((id, n.view_members()))
+            }
+        }))
+    }
+
+    /// Runs one synchronous round:
+    ///
+    /// 1. apply scheduled crashes;
+    /// 2. every alive node ticks once, emitting its gossip;
+    /// 3. queued + emitted messages are delivered (loss applies), and
+    ///    reply chains are chased for a bounded number of generations
+    ///    within the round (the paper's latency-below-`T` assumption,
+    ///    §4.1).
+    pub fn step(&mut self) {
+        self.round += 1;
+
+        for &victim in self.crash_plan.crashes_at(self.round).to_vec().iter() {
+            self.crash(victim);
+        }
+
+        // Phase A: periodic gossip from every alive node (id order).
+        let mut queue: Vec<Envelope<N::Msg>> = std::mem::take(&mut self.pending);
+        let alive = self.alive_ids();
+        for id in &alive {
+            let node = self.nodes.get_mut(id).expect("alive node exists");
+            for (to, msg) in node.on_tick() {
+                queue.push(Envelope {
+                    from: *id,
+                    to,
+                    msg,
+                });
+            }
+        }
+
+        // Phase B: delivery with bounded reply chasing.
+        for _generation in 0..CHASE_DEPTH {
+            if queue.is_empty() {
+                break;
+            }
+            let mut next: Vec<Envelope<N::Msg>> = Vec::new();
+            for envelope in queue {
+                if !self.is_alive(envelope.to) || !self.network.delivers() {
+                    continue;
+                }
+                let node = self.nodes.get_mut(&envelope.to).expect("alive node exists");
+                let step: SimStep<N::Msg> = node.on_message(envelope.from, envelope.msg);
+                for id in step.delivered.iter().chain(step.learned.iter()) {
+                    self.tracker.record_seen_at(*id, envelope.to, self.round);
+                }
+                for (to, msg) in step.outgoing {
+                    next.push(Envelope {
+                        from: envelope.to,
+                        to,
+                        msg,
+                    });
+                }
+            }
+            queue = next;
+        }
+        // Replies beyond the chase depth spill into the next round.
+        self.pending = queue;
+    }
+
+    /// Runs `rounds` consecutive steps.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::LpbcastNode;
+    use lpbcast_core::{Config, Lpbcast};
+
+    fn pid(p: u64) -> ProcessId {
+        ProcessId::new(p)
+    }
+
+    /// A tiny fully-meshed lpbcast cluster.
+    fn cluster(n: u64, seed: u64) -> Engine<LpbcastNode> {
+        let config = Config::builder()
+            .view_size(n as usize - 1)
+            .fanout(2.min(n as usize - 1))
+            .build();
+        let mut engine = Engine::new(NetworkModel::perfect(seed), CrashPlan::none());
+        for i in 0..n {
+            let members = (0..n).filter(|&j| j != i).map(pid);
+            engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
+                pid(i),
+                config.clone(),
+                seed.wrapping_add(i),
+                members,
+            )));
+        }
+        engine
+    }
+
+    #[test]
+    fn single_event_infects_small_cluster() {
+        let mut engine = cluster(8, 7);
+        let id = engine.publish_from(pid(0), Payload::from_static(b"x"));
+        engine.run(10);
+        assert_eq!(
+            engine.tracker().infected_count(id),
+            8,
+            "full infection in a mesh"
+        );
+    }
+
+    #[test]
+    fn crashed_nodes_receive_nothing() {
+        let mut engine = cluster(6, 3);
+        engine.crash(pid(5));
+        assert_eq!(engine.alive_count(), 5);
+        let id = engine.publish_from(pid(0), Payload::from_static(b"x"));
+        engine.run(10);
+        assert_eq!(engine.tracker().infected_count(id), 5);
+        assert!(!engine.tracker().has_seen(id, pid(5)));
+    }
+
+    #[test]
+    fn crash_plan_applies_at_scheduled_round() {
+        let config = Config::builder().view_size(5).fanout(2).build();
+        let mut plan = CrashPlan::none();
+        plan.schedule(3, pid(1));
+        let mut engine = Engine::new(NetworkModel::perfect(1), plan);
+        for i in 0..4 {
+            let members = (0..4).filter(|&j| j != i).map(pid);
+            engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
+                pid(i),
+                config.clone(),
+                i,
+                members,
+            )));
+        }
+        engine.run(2);
+        assert!(engine.is_alive(pid(1)));
+        engine.step();
+        assert!(!engine.is_alive(pid(1)), "crashed at round 3");
+    }
+
+    #[test]
+    #[should_panic(expected = "not alive")]
+    fn publish_from_crashed_panics() {
+        let mut engine = cluster(3, 1);
+        engine.crash(pid(0));
+        let _ = engine.publish_from(pid(0), Payload::from_static(b"x"));
+    }
+
+    #[test]
+    fn lossy_network_still_converges_with_redundancy() {
+        let config = Config::builder().view_size(7).fanout(3).build();
+        let mut engine = Engine::new(NetworkModel::new(0.3, 5), CrashPlan::none());
+        let n = 16u64;
+        for i in 0..n {
+            let members = (0..n).filter(|&j| j != i).map(pid);
+            engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
+                pid(i),
+                config.clone(),
+                100 + i,
+                members,
+            )));
+        }
+        let id = engine.publish_from(pid(0), Payload::from_static(b"x"));
+        engine.run(25);
+        assert!(
+            engine.tracker().infected_count(id) >= 15,
+            "gossip redundancy defeats 30% loss: {}",
+            engine.tracker().infected_count(id)
+        );
+        assert!(engine.network().dropped_count() > 0, "loss actually happened");
+    }
+
+    #[test]
+    fn view_graph_reflects_current_views() {
+        let engine = cluster(5, 2);
+        let g = engine.view_graph();
+        assert_eq!(g.node_count(), 5);
+        assert!(!g.is_partitioned(), "full mesh is connected");
+    }
+
+    #[test]
+    fn removed_node_is_gone() {
+        let mut engine = cluster(4, 9);
+        assert!(engine.remove_node(pid(3)).is_some());
+        assert!(engine.remove_node(pid(3)).is_none());
+        assert_eq!(engine.alive_count(), 3);
+        assert!(engine.node(pid(3)).is_none());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_infection_curve() {
+        let run = |seed| {
+            let mut engine = cluster(10, seed);
+            let id = engine.publish_from(pid(0), Payload::from_static(b"x"));
+            let mut curve = Vec::new();
+            for _ in 0..8 {
+                engine.step();
+                curve.push(engine.tracker().infected_count(id));
+            }
+            curve
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

@@ -1,0 +1,290 @@
+//! Infection and reliability metrics.
+
+use std::collections::{HashMap, HashSet};
+
+use lpbcast_types::{EventId, ProcessId};
+
+/// Tracks which processes have seen which events, and when events were
+/// published.
+///
+/// "Seen" follows the paper's §5.2 measurement convention when digest
+/// deliveries are enabled: payload deliveries and digest-learnt ids both
+/// count.
+#[derive(Debug, Clone, Default)]
+pub struct InfectionTracker {
+    seen: HashMap<EventId, HashSet<ProcessId>>,
+    publish_round: HashMap<EventId, u64>,
+    /// First-seen round per (event, process) — delivery latency source.
+    first_seen: HashMap<(EventId, ProcessId), u64>,
+}
+
+impl InfectionTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `origin` published `id` at `round` (the origin counts
+    /// as infected — s₀ = 1, latency 0).
+    pub fn record_publish(&mut self, id: EventId, origin: ProcessId, round: u64) {
+        self.publish_round.insert(id, round);
+        self.seen.entry(id).or_default().insert(origin);
+        self.first_seen.entry((id, origin)).or_insert(round);
+    }
+
+    /// Records that `process` has seen `id` (payload delivery or learnt
+    /// digest id) at `round`. Re-sightings keep the first round.
+    pub fn record_seen_at(&mut self, id: EventId, process: ProcessId, round: u64) {
+        self.seen.entry(id).or_default().insert(process);
+        self.first_seen.entry((id, process)).or_insert(round);
+    }
+
+    /// Records a sighting without latency information (round unknown).
+    pub fn record_seen(&mut self, id: EventId, process: ProcessId) {
+        self.seen.entry(id).or_default().insert(process);
+    }
+
+    /// Rounds between the publication of `id` and `process` first seeing
+    /// it; `None` if untracked or unseen.
+    pub fn delivery_latency(&self, id: EventId, process: ProcessId) -> Option<u64> {
+        let published = *self.publish_round.get(&id)?;
+        let first = *self.first_seen.get(&(id, process))?;
+        Some(first.saturating_sub(published))
+    }
+
+    /// Histogram of delivery latencies for `id`: `hist[d]` = processes
+    /// that first saw it `d` rounds after publication.
+    pub fn latency_histogram(&self, id: EventId) -> Vec<usize> {
+        let Some(&published) = self.publish_round.get(&id) else {
+            return Vec::new();
+        };
+        let latencies: Vec<u64> = self
+            .first_seen
+            .iter()
+            .filter(|((eid, _), _)| *eid == id)
+            .map(|(_, &round)| round.saturating_sub(published))
+            .collect();
+        let max = latencies.iter().copied().max().unwrap_or(0) as usize;
+        let mut hist = vec![0usize; max + 1];
+        for d in latencies {
+            hist[d as usize] += 1;
+        }
+        hist
+    }
+
+    /// Mean delivery latency of `id` over the processes that saw it
+    /// (origin included at latency 0); `None` if untracked.
+    pub fn mean_latency(&self, id: EventId) -> Option<f64> {
+        let hist = self.latency_histogram(id);
+        let count: usize = hist.iter().sum();
+        if count == 0 {
+            return None;
+        }
+        let total: usize = hist.iter().enumerate().map(|(d, &c)| d * c).sum();
+        Some(total as f64 / count as f64)
+    }
+
+    /// How many processes have seen `id`.
+    pub fn infected_count(&self, id: EventId) -> usize {
+        self.seen.get(&id).map_or(0, HashSet::len)
+    }
+
+    /// Whether `process` has seen `id`.
+    pub fn has_seen(&self, id: EventId, process: ProcessId) -> bool {
+        self.seen.get(&id).is_some_and(|s| s.contains(&process))
+    }
+
+    /// The round `id` was published, if tracked.
+    pub fn published_at(&self, id: EventId) -> Option<u64> {
+        self.publish_round.get(&id).copied()
+    }
+
+    /// All tracked events with their publish rounds.
+    pub fn published_events(&self) -> impl Iterator<Item = (EventId, u64)> + '_ {
+        self.publish_round.iter().map(|(&id, &r)| (id, r))
+    }
+
+    /// Fraction of `population` that has seen `id` — the per-event
+    /// reliability (1 − β for that event).
+    pub fn reliability_of(&self, id: EventId, population: usize) -> f64 {
+        if population == 0 {
+            return 0.0;
+        }
+        self.infected_count(id) as f64 / population as f64
+    }
+
+    /// Builds the reliability report over events published in
+    /// `rounds` (inclusive window), against a fixed population size.
+    pub fn reliability_report(
+        &self,
+        window: std::ops::RangeInclusive<u64>,
+        population: usize,
+    ) -> ReliabilityReport {
+        let mut per_event: Vec<f64> = self
+            .publish_round
+            .iter()
+            .filter(|(_, &r)| window.contains(&r))
+            .map(|(&id, _)| self.reliability_of(id, population))
+            .collect();
+        per_event.sort_by(|a, b| a.partial_cmp(b).expect("reliability is finite"));
+        ReliabilityReport::from_sorted(per_event)
+    }
+}
+
+/// Distribution of per-event reliability over a measurement window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityReport {
+    /// Per-event delivery fractions, ascending.
+    pub per_event: Vec<f64>,
+    /// Mean reliability — the paper's 1 − β estimate.
+    pub mean: f64,
+    /// Worst event.
+    pub min: f64,
+    /// Median event.
+    pub median: f64,
+}
+
+impl ReliabilityReport {
+    fn from_sorted(per_event: Vec<f64>) -> Self {
+        if per_event.is_empty() {
+            return ReliabilityReport {
+                per_event,
+                mean: 0.0,
+                min: 0.0,
+                median: 0.0,
+            };
+        }
+        let mean = per_event.iter().sum::<f64>() / per_event.len() as f64;
+        let min = per_event[0];
+        let median = per_event[per_event.len() / 2];
+        ReliabilityReport {
+            per_event,
+            mean,
+            min,
+            median,
+        }
+    }
+
+    /// Number of events measured.
+    pub fn event_count(&self) -> usize {
+        self.per_event.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(p: u64) -> ProcessId {
+        ProcessId::new(p)
+    }
+
+    fn eid(p: u64, s: u64) -> EventId {
+        EventId::new(pid(p), s)
+    }
+
+    #[test]
+    fn publish_counts_origin_as_infected() {
+        let mut t = InfectionTracker::new();
+        t.record_publish(eid(0, 0), pid(0), 0);
+        assert_eq!(t.infected_count(eid(0, 0)), 1);
+        assert!(t.has_seen(eid(0, 0), pid(0)));
+        assert_eq!(t.published_at(eid(0, 0)), Some(0));
+    }
+
+    #[test]
+    fn seen_is_idempotent() {
+        let mut t = InfectionTracker::new();
+        t.record_publish(eid(0, 0), pid(0), 0);
+        t.record_seen(eid(0, 0), pid(1));
+        t.record_seen(eid(0, 0), pid(1));
+        assert_eq!(t.infected_count(eid(0, 0)), 2);
+    }
+
+    #[test]
+    fn reliability_fractions() {
+        let mut t = InfectionTracker::new();
+        t.record_publish(eid(0, 0), pid(0), 5);
+        for p in 1..8 {
+            t.record_seen(eid(0, 0), pid(p));
+        }
+        assert!((t.reliability_of(eid(0, 0), 10) - 0.8).abs() < 1e-12);
+        assert_eq!(t.reliability_of(eid(9, 9), 10), 0.0, "unknown event");
+    }
+
+    #[test]
+    fn report_windows_and_statistics() {
+        let mut t = InfectionTracker::new();
+        // Event inside the window: 100% of 4.
+        t.record_publish(eid(0, 0), pid(0), 10);
+        for p in 1..4 {
+            t.record_seen(eid(0, 0), pid(p));
+        }
+        // Another inside: 50%.
+        t.record_publish(eid(1, 0), pid(1), 12);
+        t.record_seen(eid(1, 0), pid(2));
+        // Outside the window: ignored.
+        t.record_publish(eid(2, 0), pid(2), 99);
+
+        let report = t.reliability_report(10..=20, 4);
+        assert_eq!(report.event_count(), 2);
+        assert!((report.mean - 0.75).abs() < 1e-12);
+        assert!((report.min - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report() {
+        let t = InfectionTracker::new();
+        let report = t.reliability_report(0..=10, 5);
+        assert_eq!(report.event_count(), 0);
+        assert_eq!(report.mean, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use super::*;
+
+    fn pid(p: u64) -> ProcessId {
+        ProcessId::new(p)
+    }
+
+    fn eid(p: u64, s: u64) -> EventId {
+        EventId::new(pid(p), s)
+    }
+
+    #[test]
+    fn latency_counts_from_publish_round() {
+        let mut t = InfectionTracker::new();
+        t.record_publish(eid(0, 0), pid(0), 5);
+        t.record_seen_at(eid(0, 0), pid(1), 6);
+        t.record_seen_at(eid(0, 0), pid(2), 8);
+        assert_eq!(t.delivery_latency(eid(0, 0), pid(0)), Some(0));
+        assert_eq!(t.delivery_latency(eid(0, 0), pid(1)), Some(1));
+        assert_eq!(t.delivery_latency(eid(0, 0), pid(2)), Some(3));
+        assert_eq!(t.delivery_latency(eid(0, 0), pid(9)), None);
+    }
+
+    #[test]
+    fn resighting_keeps_first_round() {
+        let mut t = InfectionTracker::new();
+        t.record_publish(eid(0, 0), pid(0), 0);
+        t.record_seen_at(eid(0, 0), pid(1), 2);
+        t.record_seen_at(eid(0, 0), pid(1), 7);
+        assert_eq!(t.delivery_latency(eid(0, 0), pid(1)), Some(2));
+    }
+
+    #[test]
+    fn histogram_and_mean() {
+        let mut t = InfectionTracker::new();
+        t.record_publish(eid(0, 0), pid(0), 10);
+        t.record_seen_at(eid(0, 0), pid(1), 11);
+        t.record_seen_at(eid(0, 0), pid(2), 11);
+        t.record_seen_at(eid(0, 0), pid(3), 13);
+        let hist = t.latency_histogram(eid(0, 0));
+        assert_eq!(hist, vec![1, 2, 0, 1]); // origin@0, two@1, one@3
+        assert!((t.mean_latency(eid(0, 0)).unwrap() - 5.0 / 4.0).abs() < 1e-12);
+        assert!(t.mean_latency(eid(9, 9)).is_none());
+        assert!(t.latency_histogram(eid(9, 9)).is_empty());
+    }
+}

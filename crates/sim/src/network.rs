@@ -1,0 +1,199 @@
+//! Network fault model: Bernoulli message loss and a crash schedule.
+//!
+//! §4.1: *"The probability of a message loss does not exceed a predefined
+//! ε > 0, and the number of process crashes in a run does not exceed
+//! f < n. The probability of a process crash during a run is thus bounded
+//! by τ = f/n. For the following computations and also for the simulations
+//! in the next section, we will assume τ = 0.01 and ε = 0.05."*
+
+use std::collections::BTreeMap;
+
+use lpbcast_types::ProcessId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Bernoulli message-loss model.
+#[derive(Debug)]
+pub struct NetworkModel {
+    loss_rate: f64,
+    rng: SmallRng,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl NetworkModel {
+    /// Creates a network dropping each message copy with probability
+    /// `loss_rate` (the paper's ε).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ loss_rate < 1`.
+    pub fn new(loss_rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&loss_rate),
+            "loss rate must be in [0, 1)"
+        );
+        NetworkModel {
+            loss_rate,
+            rng: SmallRng::seed_from_u64(seed ^ 0x006E_6574_776F_726Bu64),
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A lossless network.
+    pub fn perfect(seed: u64) -> Self {
+        NetworkModel::new(0.0, seed)
+    }
+
+    /// The configured loss probability ε.
+    pub fn loss_rate(&self) -> f64 {
+        self.loss_rate
+    }
+
+    /// Decides the fate of one message copy.
+    pub fn delivers(&mut self) -> bool {
+        let ok = self.loss_rate == 0.0 || self.rng.gen::<f64>() >= self.loss_rate;
+        if ok {
+            self.delivered += 1;
+        } else {
+            self.dropped += 1;
+        }
+        ok
+    }
+
+    /// Copies delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Copies dropped so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// A pre-drawn crash schedule: which processes crash at which round.
+#[derive(Debug, Clone, Default)]
+pub struct CrashPlan {
+    by_round: BTreeMap<u64, Vec<ProcessId>>,
+}
+
+impl CrashPlan {
+    /// No crashes.
+    pub fn none() -> Self {
+        CrashPlan::default()
+    }
+
+    /// Draws the paper's fault model: `⌊τ·n⌋` distinct processes (chosen
+    /// uniformly from `candidates`) crash at uniformly random rounds in
+    /// `1..=max_round`.
+    pub fn draw(
+        candidates: &[ProcessId],
+        tau: f64,
+        max_round: u64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&tau), "τ must be in [0, 1)");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC4A5_4E5E_ED00_1EAD);
+        let f = ((tau * candidates.len() as f64).floor() as usize).min(candidates.len());
+        let mut plan = CrashPlan::default();
+        if f == 0 || max_round == 0 {
+            return plan;
+        }
+        for victim in candidates.choose_multiple(&mut rng, f) {
+            let round = rng.gen_range(1..=max_round);
+            plan.by_round.entry(round).or_default().push(*victim);
+        }
+        plan
+    }
+
+    /// Adds an explicit crash.
+    pub fn schedule(&mut self, round: u64, victim: ProcessId) {
+        self.by_round.entry(round).or_default().push(victim);
+    }
+
+    /// Processes crashing at `round`.
+    pub fn crashes_at(&self, round: u64) -> &[ProcessId] {
+        self.by_round
+            .get(&round)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total scheduled crashes.
+    pub fn total(&self) -> usize {
+        self.by_round.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_rate_is_respected_statistically() {
+        let mut net = NetworkModel::new(0.25, 42);
+        let trials = 40_000;
+        let mut delivered = 0;
+        for _ in 0..trials {
+            if net.delivers() {
+                delivered += 1;
+            }
+        }
+        let rate = delivered as f64 / trials as f64;
+        assert!(
+            (rate - 0.75).abs() < 0.01,
+            "delivery rate {rate} far from 0.75"
+        );
+        assert_eq!(net.delivered_count() + net.dropped_count(), trials);
+    }
+
+    #[test]
+    fn perfect_network_never_drops() {
+        let mut net = NetworkModel::perfect(1);
+        for _ in 0..1000 {
+            assert!(net.delivers());
+        }
+        assert_eq!(net.dropped_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn rejects_certain_loss() {
+        let _ = NetworkModel::new(1.0, 1);
+    }
+
+    #[test]
+    fn crash_plan_draws_tau_fraction() {
+        let candidates: Vec<ProcessId> = (0..200).map(ProcessId::new).collect();
+        let plan = CrashPlan::draw(&candidates, 0.05, 30, 7);
+        assert_eq!(plan.total(), 10, "⌊0.05·200⌋ crashes");
+        // All within the round horizon, all distinct victims.
+        let mut victims = Vec::new();
+        for r in 0..=30 {
+            victims.extend_from_slice(plan.crashes_at(r));
+            assert!(plan.crashes_at(0).is_empty(), "no crash at round 0");
+        }
+        victims.sort();
+        let before = victims.len();
+        victims.dedup();
+        assert_eq!(victims.len(), before, "victims distinct");
+    }
+
+    #[test]
+    fn crash_plan_zero_tau_is_empty() {
+        let candidates: Vec<ProcessId> = (0..50).map(ProcessId::new).collect();
+        assert_eq!(CrashPlan::draw(&candidates, 0.0, 10, 1).total(), 0);
+    }
+
+    #[test]
+    fn explicit_schedule() {
+        let mut plan = CrashPlan::none();
+        plan.schedule(3, ProcessId::new(9));
+        assert_eq!(plan.crashes_at(3), &[ProcessId::new(9)]);
+        assert!(plan.crashes_at(2).is_empty());
+        assert_eq!(plan.total(), 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! The [`SimNode`] abstraction and adapters for lpbcast and pbcast.
+
+use lpbcast_core::{Lpbcast, Message, Output};
+use lpbcast_pbcast::{Pbcast, PbcastMessage, PbcastOutput};
+use lpbcast_types::{EventId, Payload, ProcessId};
+
+/// What one node step produced, in transport-neutral form.
+#[derive(Debug, Clone)]
+pub struct SimStep<M> {
+    /// Ids of notifications delivered with payload.
+    pub delivered: Vec<EventId>,
+    /// Ids learnt from digests (§5.2 convention), if enabled.
+    pub learned: Vec<EventId>,
+    /// Messages to transmit: `(destination, message)`.
+    pub outgoing: Vec<(ProcessId, M)>,
+}
+
+impl<M> Default for SimStep<M> {
+    fn default() -> Self {
+        SimStep {
+            delivered: Vec::new(),
+            learned: Vec::new(),
+            outgoing: Vec::new(),
+        }
+    }
+}
+
+/// A protocol node drivable by the synchronous-round [`Engine`].
+///
+/// [`Engine`]: crate::Engine
+pub trait SimNode {
+    /// The protocol's message type.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// The node's process id.
+    fn id(&self) -> ProcessId;
+
+    /// One gossip period: emit periodic traffic.
+    fn on_tick(&mut self) -> Vec<(ProcessId, Self::Msg)>;
+
+    /// Handle one incoming message.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg) -> SimStep<Self::Msg>;
+
+    /// Publish an application event; returns its id plus any immediate
+    /// sends (pbcast's best-effort first phase).
+    fn publish(&mut self, payload: Payload) -> (EventId, Vec<(ProcessId, Self::Msg)>);
+
+    /// Current membership view (for view-graph analytics).
+    fn view_members(&self) -> Vec<ProcessId>;
+}
+
+/// [`SimNode`] adapter around the lpbcast state machine.
+#[derive(Debug)]
+pub struct LpbcastNode {
+    inner: Lpbcast,
+}
+
+impl LpbcastNode {
+    /// Wraps an [`Lpbcast`] process.
+    pub fn new(inner: Lpbcast) -> Self {
+        LpbcastNode { inner }
+    }
+
+    /// The wrapped process.
+    pub fn process(&self) -> &Lpbcast {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped process (e.g. to unsubscribe).
+    pub fn process_mut(&mut self) -> &mut Lpbcast {
+        &mut self.inner
+    }
+
+    fn convert(output: Output) -> SimStep<Message> {
+        SimStep {
+            delivered: output.delivered.iter().map(|e| e.id()).collect(),
+            learned: output.learned_ids,
+            outgoing: output
+                .commands
+                .into_iter()
+                .map(|c| (c.to, c.message))
+                .collect(),
+        }
+    }
+}
+
+impl SimNode for LpbcastNode {
+    type Msg = Message;
+
+    fn id(&self) -> ProcessId {
+        self.inner.id()
+    }
+
+    fn on_tick(&mut self) -> Vec<(ProcessId, Message)> {
+        Self::convert(self.inner.tick()).outgoing
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Message) -> SimStep<Message> {
+        Self::convert(self.inner.handle_message(from, msg))
+    }
+
+    fn publish(&mut self, payload: Payload) -> (EventId, Vec<(ProcessId, Message)>) {
+        (self.inner.broadcast(payload), Vec::new())
+    }
+
+    fn view_members(&self) -> Vec<ProcessId> {
+        use lpbcast_membership::View as _;
+        self.inner.view().members()
+    }
+}
+
+impl From<Lpbcast> for LpbcastNode {
+    fn from(inner: Lpbcast) -> Self {
+        LpbcastNode::new(inner)
+    }
+}
+
+/// [`SimNode`] adapter around the pbcast state machine.
+#[derive(Debug)]
+pub struct PbcastNode {
+    inner: Pbcast,
+}
+
+impl PbcastNode {
+    /// Wraps a [`Pbcast`] process.
+    pub fn new(inner: Pbcast) -> Self {
+        PbcastNode { inner }
+    }
+
+    /// The wrapped process.
+    pub fn process(&self) -> &Pbcast {
+        &self.inner
+    }
+
+    fn convert(output: PbcastOutput) -> SimStep<PbcastMessage> {
+        SimStep {
+            delivered: output.delivered.iter().map(|e| e.id()).collect(),
+            learned: output.learned_ids,
+            outgoing: output.commands,
+        }
+    }
+}
+
+impl SimNode for PbcastNode {
+    type Msg = PbcastMessage;
+
+    fn id(&self) -> ProcessId {
+        self.inner.id()
+    }
+
+    fn on_tick(&mut self) -> Vec<(ProcessId, PbcastMessage)> {
+        self.inner.tick()
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: PbcastMessage) -> SimStep<PbcastMessage> {
+        Self::convert(self.inner.handle_message(from, msg))
+    }
+
+    fn publish(&mut self, payload: Payload) -> (EventId, Vec<(ProcessId, PbcastMessage)>) {
+        self.inner.publish(payload)
+    }
+
+    fn view_members(&self) -> Vec<ProcessId> {
+        self.inner.membership().members()
+    }
+}
+
+impl From<Pbcast> for PbcastNode {
+    fn from(inner: Pbcast) -> Self {
+        PbcastNode::new(inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpbcast_core::Config;
+    use lpbcast_pbcast::{Membership, PbcastConfig};
+
+    fn pid(p: u64) -> ProcessId {
+        ProcessId::new(p)
+    }
+
+    #[test]
+    fn lpbcast_node_roundtrip() {
+        let config = Config::builder().view_size(4).fanout(2).build();
+        let mut a = LpbcastNode::new(Lpbcast::with_initial_view(pid(0), config.clone(), 1, [pid(1)]));
+        let mut b = LpbcastNode::new(Lpbcast::with_initial_view(pid(1), config, 2, [pid(0)]));
+        let (id, immediate) = a.publish(Payload::from_static(b"x"));
+        assert!(immediate.is_empty());
+        let out = a.on_tick();
+        assert!(!out.is_empty());
+        let (to, msg) = out.into_iter().next().unwrap();
+        assert_eq!(to, pid(1));
+        let step = b.on_message(pid(0), msg);
+        assert_eq!(step.delivered, vec![id]);
+        assert_eq!(b.view_members(), vec![pid(0)]);
+    }
+
+    #[test]
+    fn pbcast_node_first_phase_flows_through_publish() {
+        let config = PbcastConfig::builder().first_phase(true).build();
+        let mut a = PbcastNode::new(Pbcast::new(
+            pid(0),
+            config,
+            1,
+            Membership::total(pid(0), [pid(1), pid(2)]),
+        ));
+        let (_id, immediate) = a.publish(Payload::from_static(b"x"));
+        assert_eq!(immediate.len(), 2, "best-effort copies via publish");
+    }
+}

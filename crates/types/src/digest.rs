@@ -1,0 +1,391 @@
+//! Compact per-origin event-id digests.
+//!
+//! §3.2: *"We suppose that these identifiers are unique, and include the
+//! identifier of the originator. That way, the buffer can be optimized by
+//! only retaining for each sender the identifiers of notifications
+//! delivered since the last one delivered in sequence."*
+//!
+//! [`CompactDigest`] implements exactly that optimisation: for every origin
+//! it stores the next expected sequence number (everything below it has
+//! been seen) plus the set of out-of-order sequence numbers at or above it.
+//! It is used by the retransmission machinery (gossip pull) and offered by
+//! `lpbcast-core` as an alternative to the bounded `eventIds` history.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+use crate::{EventId, ProcessId};
+
+/// Digest of the notifications seen from a single origin.
+///
+/// Invariant: every sequence number `< next_seq` is contained; every member
+/// of `out_of_order` is `>= next_seq`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct OriginDigest {
+    next_seq: u64,
+    out_of_order: BTreeSet<u64>,
+}
+
+impl OriginDigest {
+    /// Creates an empty digest (nothing seen).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reassembles a digest from its wire parts: the in-sequence watermark
+    /// and the out-of-order set. Out-of-order entries at or below the
+    /// watermark are absorbed, contiguous runs are compacted — the result
+    /// always satisfies the struct invariant regardless of input.
+    pub fn from_parts(next_seq: u64, out_of_order: impl IntoIterator<Item = u64>) -> Self {
+        let mut d = OriginDigest {
+            next_seq,
+            out_of_order: BTreeSet::new(),
+        };
+        for seq in out_of_order {
+            d.insert(seq);
+        }
+        d
+    }
+
+    /// The smallest sequence number not yet seen in sequence. All sequence
+    /// numbers strictly below have been seen.
+    pub const fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sequence numbers seen out of order (each `>= next_seq`).
+    pub fn out_of_order(&self) -> impl Iterator<Item = u64> + '_ {
+        self.out_of_order.iter().copied()
+    }
+
+    /// Whether `seq` has been seen.
+    pub fn contains(&self, seq: u64) -> bool {
+        seq < self.next_seq || self.out_of_order.contains(&seq)
+    }
+
+    /// Records `seq`; returns `true` if it was unseen. Absorbs any
+    /// out-of-order run that becomes contiguous.
+    pub fn insert(&mut self, seq: u64) -> bool {
+        if self.contains(seq) {
+            return false;
+        }
+        if seq == self.next_seq {
+            self.next_seq += 1;
+            while self.out_of_order.remove(&self.next_seq) {
+                self.next_seq += 1;
+            }
+        } else {
+            self.out_of_order.insert(seq);
+        }
+        true
+    }
+
+    /// Number of distinct sequence numbers seen.
+    pub fn seen_count(&self) -> u64 {
+        self.next_seq + self.out_of_order.len() as u64
+    }
+
+    /// Storage cost of the digest in entries (1 for the in-sequence
+    /// watermark + one per out-of-order id) — the quantity the §3.2
+    /// optimisation minimises.
+    pub fn storage_entries(&self) -> usize {
+        1 + self.out_of_order.len()
+    }
+
+    /// Sequence numbers `< bound` that have **not** been seen — the gaps a
+    /// retransmission pull would request.
+    pub fn missing_below(&self, bound: u64) -> Vec<u64> {
+        (self.next_seq..bound)
+            .filter(|s| !self.out_of_order.contains(s))
+            .collect()
+    }
+
+    /// Highest sequence number seen, or `None` if nothing was seen.
+    pub fn max_seen(&self) -> Option<u64> {
+        self.out_of_order
+            .iter()
+            .next_back()
+            .copied()
+            .or_else(|| self.next_seq.checked_sub(1))
+    }
+}
+
+/// Compact digest over all origins: the optimised `eventIds` representation
+/// of §3.2.
+///
+/// # Example
+///
+/// ```
+/// use lpbcast_types::{CompactDigest, EventId, ProcessId};
+///
+/// let p = ProcessId::new(1);
+/// let mut d = CompactDigest::new();
+/// assert!(d.insert(EventId::new(p, 0)));
+/// assert!(d.insert(EventId::new(p, 2))); // out of order
+/// assert!(!d.insert(EventId::new(p, 0))); // duplicate
+/// assert!(d.contains(EventId::new(p, 2)));
+/// assert_eq!(d.missing(), vec![EventId::new(p, 1)]);
+/// // Seeing seq 1 closes the gap and compacts storage.
+/// d.insert(EventId::new(p, 1));
+/// assert_eq!(d.origin(p).unwrap().next_seq(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct CompactDigest {
+    origins: BTreeMap<ProcessId, OriginDigest>,
+}
+
+impl CompactDigest {
+    /// Creates an empty digest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the notification id has been seen.
+    pub fn contains(&self, id: EventId) -> bool {
+        self.origins
+            .get(&id.origin())
+            .is_some_and(|d| d.contains(id.seq()))
+    }
+
+    /// Records a notification id; returns `true` if it was unseen.
+    pub fn insert(&mut self, id: EventId) -> bool {
+        self.origins
+            .entry(id.origin())
+            .or_default()
+            .insert(id.seq())
+    }
+
+    /// Installs a whole per-origin digest (wire decoding). Merges with any
+    /// digest already present for `origin`.
+    pub fn set_origin(&mut self, origin: ProcessId, digest: OriginDigest) {
+        let slot = self.origins.entry(origin).or_default();
+        if slot.next_seq == 0 && slot.out_of_order.is_empty() {
+            *slot = digest;
+        } else {
+            // Merge: the larger watermark subsumes the smaller one, so
+            // only the smaller side's out-of-order entries need
+            // re-insertion.
+            let (mut base, other) = if slot.next_seq >= digest.next_seq {
+                (slot.clone(), digest)
+            } else {
+                (digest, slot.clone())
+            };
+            for seq in other.out_of_order {
+                base.insert(seq);
+            }
+            *slot = base;
+        }
+    }
+
+    /// The per-origin digest for `origin`, if any notification from it has
+    /// been seen.
+    pub fn origin(&self, origin: ProcessId) -> Option<&OriginDigest> {
+        self.origins.get(&origin)
+    }
+
+    /// Iterates over `(origin, digest)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &OriginDigest)> {
+        self.origins.iter().map(|(p, d)| (*p, d))
+    }
+
+    /// Number of origins tracked.
+    pub fn origin_count(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Total distinct notification ids seen.
+    pub fn seen_count(&self) -> u64 {
+        self.origins.values().map(OriginDigest::seen_count).sum()
+    }
+
+    /// Total storage entries (the quantity bounded by the §3.2
+    /// optimisation).
+    pub fn storage_entries(&self) -> usize {
+        self.origins
+            .values()
+            .map(OriginDigest::storage_entries)
+            .sum()
+    }
+
+    /// Internal gaps: ids below each origin's highest seen sequence number
+    /// that have not been seen. These are the ids a process would solicit
+    /// via gossip pull after observing the digest of its own history.
+    pub fn missing(&self) -> Vec<EventId> {
+        let mut out = Vec::new();
+        for (origin, d) in &self.origins {
+            if let Some(max) = d.max_seen() {
+                out.extend(
+                    d.missing_below(max + 1)
+                        .into_iter()
+                        .map(|s| EventId::new(*origin, s)),
+                );
+            }
+        }
+        out
+    }
+
+    /// Ids present in `other` but absent here — what this process should
+    /// request from the sender of `other` (gossip pull, §2.3 footnote 5).
+    pub fn missing_relative_to(&self, other: &CompactDigest) -> Vec<EventId> {
+        let mut out = Vec::new();
+        for (origin, theirs) in &other.origins {
+            let empty = OriginDigest::new();
+            let ours = self.origins.get(origin).unwrap_or(&empty);
+            // In-sequence prefix they have beyond ours.
+            for seq in ours.next_seq..theirs.next_seq {
+                if !ours.out_of_order.contains(&seq) {
+                    out.push(EventId::new(*origin, seq));
+                }
+            }
+            // Their out-of-order extras.
+            for &seq in &theirs.out_of_order {
+                if !ours.contains(seq) {
+                    out.push(EventId::new(*origin, seq));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Extend<EventId> for CompactDigest {
+    fn extend<I: IntoIterator<Item = EventId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+impl FromIterator<EventId> for CompactDigest {
+    fn from_iter<I: IntoIterator<Item = EventId>>(iter: I) -> Self {
+        let mut d = CompactDigest::new();
+        d.extend(iter);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(p: u64) -> ProcessId {
+        ProcessId::new(p)
+    }
+
+    fn eid(p: u64, s: u64) -> EventId {
+        EventId::new(pid(p), s)
+    }
+
+    #[test]
+    fn in_sequence_insertions_compact_to_watermark() {
+        let mut d = OriginDigest::new();
+        for s in 0..100 {
+            assert!(d.insert(s));
+        }
+        assert_eq!(d.next_seq(), 100);
+        assert_eq!(d.storage_entries(), 1, "fully compacted");
+        assert_eq!(d.seen_count(), 100);
+    }
+
+    #[test]
+    fn out_of_order_is_tracked_then_absorbed() {
+        let mut d = OriginDigest::new();
+        d.insert(2);
+        d.insert(4);
+        assert_eq!(d.next_seq(), 0);
+        assert_eq!(d.storage_entries(), 3);
+        d.insert(0);
+        assert_eq!(d.next_seq(), 1);
+        d.insert(1);
+        // 1 closes the gap; 2 absorbed, next gap at 3.
+        assert_eq!(d.next_seq(), 3);
+        assert_eq!(d.missing_below(5), vec![3]);
+        d.insert(3);
+        assert_eq!(d.next_seq(), 5);
+        assert_eq!(d.storage_entries(), 1);
+    }
+
+    #[test]
+    fn duplicate_insertions_report_false() {
+        let mut d = OriginDigest::new();
+        assert!(d.insert(5));
+        assert!(!d.insert(5));
+        d.insert(0);
+        assert!(!d.insert(0));
+    }
+
+    #[test]
+    fn max_seen_handles_all_shapes() {
+        let mut d = OriginDigest::new();
+        assert_eq!(d.max_seen(), None);
+        d.insert(0);
+        assert_eq!(d.max_seen(), Some(0));
+        d.insert(9);
+        assert_eq!(d.max_seen(), Some(9));
+    }
+
+    #[test]
+    fn compact_digest_tracks_multiple_origins() {
+        let mut d = CompactDigest::new();
+        d.insert(eid(1, 0));
+        d.insert(eid(2, 0));
+        d.insert(eid(2, 1));
+        assert_eq!(d.origin_count(), 2);
+        assert_eq!(d.seen_count(), 3);
+        assert!(d.contains(eid(2, 1)));
+        assert!(!d.contains(eid(3, 0)));
+    }
+
+    #[test]
+    fn missing_reports_internal_gaps_only() {
+        let mut d = CompactDigest::new();
+        d.insert(eid(1, 0));
+        d.insert(eid(1, 3));
+        d.insert(eid(2, 0));
+        let mut gaps = d.missing();
+        gaps.sort();
+        assert_eq!(gaps, vec![eid(1, 1), eid(1, 2)]);
+    }
+
+    #[test]
+    fn missing_relative_to_finds_what_to_pull() {
+        let mut mine = CompactDigest::new();
+        mine.extend([eid(1, 0), eid(1, 1), eid(2, 5)]);
+        let mut theirs = CompactDigest::new();
+        theirs.extend([eid(1, 0), eid(1, 1), eid(1, 2), eid(2, 5), eid(3, 0)]);
+        let mut pull = mine.missing_relative_to(&theirs);
+        pull.sort();
+        assert_eq!(pull, vec![eid(1, 2), eid(3, 0)]);
+        // Symmetric direction: they lack nothing we have... except (2,0..5)?
+        // We only saw (2,5) out of order; they saw the same. Nothing due.
+        assert!(theirs.missing_relative_to(&mine).is_empty());
+    }
+
+    #[test]
+    fn missing_relative_to_handles_out_of_order_prefixes() {
+        // We saw seq 1 out of order; their prefix covers 0..3. We must pull
+        // 0 and 2, not 1.
+        let mut mine = CompactDigest::new();
+        mine.insert(eid(7, 1));
+        let mut theirs = CompactDigest::new();
+        theirs.extend([eid(7, 0), eid(7, 1), eid(7, 2)]);
+        let mut pull = mine.missing_relative_to(&theirs);
+        pull.sort();
+        assert_eq!(pull, vec![eid(7, 0), eid(7, 2)]);
+    }
+
+    #[test]
+    fn from_iterator_equals_incremental() {
+        let ids = [eid(1, 2), eid(1, 0), eid(1, 1), eid(4, 0)];
+        let collected: CompactDigest = ids.into_iter().collect();
+        let mut incremental = CompactDigest::new();
+        for id in ids {
+            incremental.insert(id);
+        }
+        assert_eq!(collected, incremental);
+    }
+}

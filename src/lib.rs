@@ -1,0 +1,51 @@
+//! # lpbcast — Lightweight Probabilistic Broadcast
+//!
+//! A complete Rust reproduction of *Lightweight Probabilistic Broadcast*
+//! (Eugster, Guerraoui, Handurukande, Kermarrec, Kouznetsov — IEEE DSN
+//! 2001): a gossip-based broadcast algorithm whose membership management
+//! is itself gossip-based, fully decentralized, and bounded to a
+//! fixed-size partial view per process.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`core`] | `lpbcast-core` | the sans-IO protocol state machine |
+//! | [`membership`] | `lpbcast-membership` | partial views, weighted views, view-graph analytics |
+//! | [`types`] | `lpbcast-types` | ids, events, bounded buffers, digests |
+//! | [`analysis`] | `lpbcast-analysis` | the paper's Markov-chain & partition models |
+//! | [`pbcast`] | `lpbcast-pbcast` | the Bimodal Multicast baseline |
+//! | [`pubsub`] | `lpbcast-pubsub` | topic-based publish/subscribe (the paper's application) |
+//! | [`sim`] | `lpbcast-sim` | the synchronous-round simulator |
+//! | [`net`] | `lpbcast-net` | the UDP runtime + wire codec |
+//!
+//! ## Quick start (simulated cluster)
+//!
+//! ```
+//! use lpbcast::sim::experiment::{build_lpbcast_engine, LpbcastSimParams};
+//! use lpbcast::types::ProcessId;
+//!
+//! let params = LpbcastSimParams::paper_defaults(64).rounds(10);
+//! let mut engine = build_lpbcast_engine(&params, 42);
+//! let id = engine.publish_from(ProcessId::new(0), "hello".into());
+//! engine.run(10);
+//! assert!(engine.tracker().infected_count(id) > 60);
+//! ```
+//!
+//! ## Quick start (real UDP sockets)
+//!
+//! See `examples/udp_cluster.rs` — the same state machine behind
+//! [`net::NetNode`], one socket per process, non-synchronized gossip
+//! timers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lpbcast_analysis as analysis;
+pub use lpbcast_core as core;
+pub use lpbcast_membership as membership;
+pub use lpbcast_net as net;
+pub use lpbcast_pbcast as pbcast;
+pub use lpbcast_pubsub as pubsub;
+pub use lpbcast_sim as sim;
+pub use lpbcast_types as types;

@@ -1,0 +1,155 @@
+//! Integration: the topic-based publish/subscribe layer over the full
+//! stack — the paper's application model (§1, §3.1).
+
+use lpbcast::core::Config;
+use lpbcast::pubsub::{PubSubCluster, PubSubNode, TopicId};
+use lpbcast::types::ProcessId;
+
+fn p(i: u64) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn config() -> Config {
+    Config::builder()
+        .view_size(6)
+        .fanout(3)
+        .event_ids_max(256)
+        .events_max(256)
+        .retransmit_request_max(8)
+        .archive_capacity(512)
+        .build()
+}
+
+/// n nodes; node i subscribes to the topics for which `assign(i)` holds.
+fn build(
+    n: u64,
+    topics: &[TopicId],
+    assign: impl Fn(u64, &TopicId) -> bool,
+    seed: u64,
+) -> PubSubCluster {
+    let mut cluster = PubSubCluster::new(0.05, seed);
+    for i in 0..n {
+        let mut node = PubSubNode::new(p(i), config(), seed * 1000 + i);
+        for topic in topics {
+            if assign(i, topic) {
+                let peers: Vec<ProcessId> = (0..n)
+                    .filter(|&j| j != i && assign(j, topic))
+                    .map(p)
+                    .collect();
+                node.subscribe_bootstrap(topic, peers);
+            }
+        }
+        cluster.add_node(node);
+    }
+    cluster
+}
+
+#[test]
+fn overlapping_topic_rosters_stay_isolated() {
+    let ta = TopicId::new("alpha");
+    let tb = TopicId::new("beta");
+    // p0..p7 in alpha; p4..p11 in beta (overlap p4..p7).
+    let mut cluster = build(
+        12,
+        &[ta.clone(), tb.clone()],
+        |i, t| match t.name() {
+            "alpha" => i < 8,
+            _ => (4..12).contains(&i),
+        },
+        3,
+    );
+    let on_a = cluster.publish(p(1), &ta, "for alpha").unwrap();
+    let on_b = cluster.publish(p(11), &tb, "for beta").unwrap();
+    cluster.run(15);
+
+    assert_eq!(cluster.delivered_to(&ta, on_a), 8, "whole alpha roster");
+    assert_eq!(cluster.delivered_to(&tb, on_b), 8, "whole beta roster");
+    // Isolation: no alpha-only subscriber got the beta event.
+    for i in 0..4 {
+        assert!(!cluster.has_delivered(p(i), &tb, on_b), "p{i} leaked beta");
+    }
+    // Overlap members got both.
+    for i in 4..8 {
+        assert!(cluster.has_delivered(p(i), &ta, on_a));
+        assert!(cluster.has_delivered(p(i), &tb, on_b));
+    }
+}
+
+#[test]
+fn subscribing_is_joining_the_topics_group() {
+    // §3.1: "joining/leaving Π can be viewed as subscribing/unsubscribing
+    // from the topic" — a late subscriber goes through the §3.4 handshake
+    // and then participates fully.
+    let t = TopicId::new("live");
+    let mut cluster = build(8, std::slice::from_ref(&t), |i, _| i < 7, 9);
+    cluster.run(3);
+
+    cluster.node_mut(p(7)).unwrap().subscribe_via(&t, vec![p(2)]);
+    cluster.run(8);
+    assert!(
+        !cluster
+            .node(p(7))
+            .unwrap()
+            .group(&t)
+            .unwrap()
+            .is_joining(),
+        "handshake completed"
+    );
+
+    let id = cluster.publish(p(0), &t, "to everyone").unwrap();
+    cluster.run(12);
+    assert!(cluster.has_delivered(p(7), &t, id), "newcomer included");
+    assert_eq!(cluster.delivered_to(&t, id), 8);
+}
+
+#[test]
+fn unsubscribing_one_topic_keeps_the_others() {
+    let ta = TopicId::new("keep");
+    let tb = TopicId::new("leave");
+    let mut cluster = build(6, &[ta.clone(), tb.clone()], |_, _| true, 17);
+    cluster.run(3);
+
+    // p5 leaves topic "leave" only.
+    cluster.node_mut(p(5)).unwrap().unsubscribe(&tb).unwrap();
+    cluster.run(3); // lame duck
+    cluster.node_mut(p(5)).unwrap().complete_unsubscribe(&tb);
+    assert!(cluster.node(p(5)).unwrap().is_subscribed(&ta));
+    assert!(!cluster.node(p(5)).unwrap().is_subscribed(&tb));
+
+    let keep_event = cluster.publish(p(0), &ta, "still here").unwrap();
+    let leave_event = cluster.publish(p(0), &tb, "gone").unwrap();
+    cluster.run(12);
+    assert!(cluster.has_delivered(p(5), &ta, keep_event));
+    assert!(!cluster.has_delivered(p(5), &tb, leave_event));
+    assert_eq!(cluster.delivered_to(&tb, leave_event), 5, "others unaffected");
+}
+
+#[test]
+fn per_topic_groups_scale_independently() {
+    // A node in many topics: each topic runs its own protocol instance
+    // with its own view, so load in one group does not disturb another.
+    let topics: Vec<TopicId> = (0..5).map(|k| TopicId::new(format!("t{k}"))).collect();
+    let mut cluster = build(10, &topics, |_, _| true, 23);
+    let mut ids = Vec::new();
+    for (k, topic) in topics.iter().enumerate() {
+        ids.push((
+            topic.clone(),
+            cluster.publish(p(k as u64), topic, format!("m{k}")).unwrap(),
+        ));
+    }
+    cluster.run(15);
+    for (topic, id) in ids {
+        assert_eq!(
+            cluster.delivered_to(&topic, id),
+            10,
+            "topic {topic} incomplete"
+        );
+    }
+    // Views are per topic and bounded.
+    let node = cluster.node(p(0)).unwrap();
+    for topic in &topics {
+        use lpbcast::membership::View as _;
+        let group = node.group(topic).unwrap();
+        assert!(group.view().len() <= 6);
+    }
+}
