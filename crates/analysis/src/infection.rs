@@ -51,7 +51,9 @@ impl InfectionParams {
 
     /// Paper defaults: ε = 0.05, τ = 0.01 (§4.1).
     pub fn paper_defaults(n: usize, fanout: usize) -> Self {
-        InfectionParams::new(n, fanout).loss_rate(0.05).crash_rate(0.01)
+        InfectionParams::new(n, fanout)
+            .loss_rate(0.05)
+            .crash_rate(0.01)
     }
 
     /// Sets the message-loss probability ε ∈ [0, 1).
@@ -74,9 +76,8 @@ impl InfectionParams {
     /// that a given susceptible process is infected by a given gossip
     /// message. Clamped to 1 when `F ≥ n−1`.
     pub fn p(&self) -> f64 {
-        let p = (self.fanout as f64 / (self.n as f64 - 1.0))
-            * (1.0 - self.epsilon)
-            * (1.0 - self.tau);
+        let p =
+            (self.fanout as f64 / (self.n as f64 - 1.0)) * (1.0 - self.epsilon) * (1.0 - self.tau);
         p.min(1.0)
     }
 

@@ -127,10 +127,7 @@ mod tests {
         for l in 3..10 {
             let a = ln_psi(l + 1, 80, l);
             let b = ln_psi(l + 2, 80, l + 1);
-            assert!(
-                b < a,
-                "l = {l}: Ψ did not decrease ({a} -> {b})"
-            );
+            assert!(b < a, "l = {l}: Ψ did not decrease ({a} -> {b})");
         }
     }
 
@@ -185,10 +182,7 @@ mod tests {
         // l ≥ n/2 − 1 leaves no legal partition size i ≤ n/2.
         assert_eq!(partition_probability_per_round(20, 10), 0.0);
         assert_eq!(phi(20, 10, 1e18), 1.0);
-        assert_eq!(
-            rounds_to_partition_probability(20, 10, 0.9),
-            f64::INFINITY
-        );
+        assert_eq!(rounds_to_partition_probability(20, 10, 0.9), f64::INFINITY);
     }
 
     #[test]

@@ -197,9 +197,7 @@ mod tests {
 
     #[test]
     fn reliability_monotone_in_fanout() {
-        let at = |fanout| {
-            SirModel::from_buffers(fanout, 0.05, 0.01, 40, 40).expected_reliability()
-        };
+        let at = |fanout| SirModel::from_buffers(fanout, 0.05, 0.01, 40, 40).expected_reliability();
         assert!(at(3) < at(5) && at(5) < at(8));
     }
 
@@ -222,8 +220,7 @@ mod tests {
 
     #[test]
     fn required_bound_inverts_prediction() {
-        let bound = required_event_ids_bound(3, 0.05, 0.01, 40, 0.9, 1024)
-            .expect("achievable");
+        let bound = required_event_ids_bound(3, 0.05, 0.01, 40, 0.9, 1024).expect("achievable");
         let at_bound = model(bound, 40).expected_reliability();
         assert!(at_bound >= 0.9, "bound {bound} gives {at_bound}");
         if bound > 0 {
@@ -235,10 +232,7 @@ mod tests {
     #[test]
     fn unreachable_targets_reported() {
         // With a cap of 20 ids at rate 40, λ ≤ 0.5 ⇒ R₀ ≤ 1.42 ⇒ z² small.
-        assert_eq!(
-            required_event_ids_bound(3, 0.05, 0.01, 40, 0.95, 20),
-            None
-        );
+        assert_eq!(required_event_ids_bound(3, 0.05, 0.01, 40, 0.95, 20), None);
     }
 
     #[test]

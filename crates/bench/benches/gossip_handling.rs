@@ -14,7 +14,9 @@ fn pid(p: u64) -> ProcessId {
 fn make_gossip(events: usize, digest: usize, subs: usize, salt: u64) -> Gossip {
     Gossip {
         sender: pid(1),
-        subs: (0..subs as u64).map(|i| pid(200 + (salt + i) % 64)).collect(),
+        subs: (0..subs as u64)
+            .map(|i| pid(200 + (salt + i) % 64))
+            .collect(),
         unsubs: vec![],
         events: (0..events as u64)
             .map(|i| Event::new(EventId::new(pid(2), salt * 100 + i), vec![0u8; 64]))
@@ -41,8 +43,7 @@ fn bench_reception(c: &mut Criterion) {
                     .events_max(60)
                     .deliver_on_digest(true)
                     .build();
-                let mut node =
-                    Lpbcast::with_initial_view(pid(0), config, 7, (1..=15).map(pid));
+                let mut node = Lpbcast::with_initial_view(pid(0), config, 7, (1..=15).map(pid));
                 let mut salt = 0u64;
                 b.iter(|| {
                     salt += 1;

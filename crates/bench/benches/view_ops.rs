@@ -54,12 +54,8 @@ fn bench_target_selection(c: &mut Criterion) {
 fn bench_advertisement(c: &mut Criterion) {
     c.bench_function("view_select_advertised_weighted", |b| {
         let mut rng = SmallRng::seed_from_u64(3);
-        let mut view = PartialView::with_members(
-            pid(0),
-            30,
-            TruncationStrategy::Weighted,
-            (1..=30).map(pid),
-        );
+        let mut view =
+            PartialView::with_members(pid(0), 30, TruncationStrategy::Weighted, (1..=30).map(pid));
         // Skew the weights.
         for i in 1..=10u64 {
             for _ in 0..i {

@@ -18,7 +18,11 @@ fn steady_state_gossip(events: usize, digest: usize) -> Message {
         events: (0..events as u64)
             .map(|i| Event::new(EventId::new(pid(2), i), vec![0u8; 64]))
             .collect(),
-        event_ids: Digest::Ids((0..digest as u64).map(|i| EventId::new(pid(3), i)).collect()),
+        event_ids: Digest::Ids(
+            (0..digest as u64)
+                .map(|i| EventId::new(pid(3), i))
+                .collect(),
+        ),
     })
 }
 
@@ -49,16 +53,12 @@ fn bench_encode_decode(c: &mut Criterion) {
     ] {
         let encoded = wire::encode(&message);
         group.throughput(Throughput::Bytes(encoded.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("encode", name),
-            &message,
-            |b, m| b.iter(|| black_box(wire::encode(m))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("decode", name),
-            &encoded,
-            |b, bytes| b.iter(|| black_box(wire::decode(bytes).expect("valid"))),
-        );
+        group.bench_with_input(BenchmarkId::new("encode", name), &message, |b, m| {
+            b.iter(|| black_box(wire::encode(m)))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", name), &encoded, |b, bytes| {
+            b.iter(|| black_box(wire::decode(bytes).expect("valid")))
+        });
     }
     group.finish();
 }

@@ -1,0 +1,270 @@
+//! The original (pre-slab) simulator hot path, preserved verbatim as a
+//! performance baseline.
+//!
+//! This is the `BTreeMap`-routed engine the repository seeded with:
+//! per-envelope destination lookup through a `BTreeMap<ProcessId, N>`,
+//! liveness via an `O(crashed)` scan of a `Vec<ProcessId>`, fresh queue
+//! and `alive_ids` allocations every generation, a
+//! `HashMap<EventId, HashSet<ProcessId>>` infection tracker, and one
+//! uniform draw per message copy in the loss model. `bench_sim` and the
+//! `sim_round_baseline` criterion group time it against the current
+//! [`lpbcast_sim::Engine`] so every future PR can quote the speedup from
+//! the same binary. Do not "optimize" this module — its inefficiency is
+//! the point.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use lpbcast_core::Lpbcast;
+use lpbcast_sim::experiment::LpbcastSimParams;
+use lpbcast_sim::node::{LpbcastNode, SimNode, SimStep};
+use lpbcast_sim::CrashPlan;
+use lpbcast_types::{EventId, Payload, ProcessId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+const CHASE_DEPTH: usize = 4;
+
+/// Per-copy-draw Bernoulli loss model (the seed implementation).
+#[derive(Debug)]
+pub struct BaselineNetwork {
+    loss_rate: f64,
+    rng: SmallRng,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl BaselineNetwork {
+    /// Creates the loss model with the seed's RNG stream layout.
+    pub fn new(loss_rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&loss_rate),
+            "loss rate must be in [0, 1)"
+        );
+        BaselineNetwork {
+            loss_rate,
+            rng: SmallRng::seed_from_u64(seed ^ 0x006E_6574_776F_726Bu64),
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// One uniform draw per copy.
+    pub fn delivers(&mut self) -> bool {
+        let ok = self.loss_rate == 0.0 || self.rng.gen::<f64>() >= self.loss_rate;
+        if ok {
+            self.delivered += 1;
+        } else {
+            self.dropped += 1;
+        }
+        ok
+    }
+
+    /// Copies delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+}
+
+/// Hash-per-sighting infection tracker (the seed implementation).
+#[derive(Debug, Clone, Default)]
+pub struct BaselineTracker {
+    seen: HashMap<EventId, HashSet<ProcessId>>,
+    publish_round: HashMap<EventId, u64>,
+    first_seen: HashMap<(EventId, ProcessId), u64>,
+}
+
+impl BaselineTracker {
+    fn record_publish(&mut self, id: EventId, origin: ProcessId, round: u64) {
+        self.publish_round.insert(id, round);
+        self.seen.entry(id).or_default().insert(origin);
+        self.first_seen.entry((id, origin)).or_insert(round);
+    }
+
+    fn record_seen_at(&mut self, id: EventId, process: ProcessId, round: u64) {
+        self.seen.entry(id).or_default().insert(process);
+        self.first_seen.entry((id, process)).or_insert(round);
+    }
+
+    /// How many processes have seen `id`.
+    pub fn infected_count(&self, id: EventId) -> usize {
+        self.seen.get(&id).map_or(0, HashSet::len)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Envelope<M> {
+    from: ProcessId,
+    to: ProcessId,
+    msg: M,
+}
+
+/// The seed's `BTreeMap`-routed synchronous-round engine.
+#[derive(Debug)]
+pub struct BaselineEngine<N: SimNode> {
+    nodes: BTreeMap<ProcessId, N>,
+    crashed: Vec<ProcessId>,
+    network: BaselineNetwork,
+    crash_plan: CrashPlan,
+    tracker: BaselineTracker,
+    round: u64,
+    pending: Vec<Envelope<N::Msg>>,
+}
+
+impl<N: SimNode> BaselineEngine<N> {
+    /// Creates an engine over the given fault models.
+    pub fn new(network: BaselineNetwork, crash_plan: CrashPlan) -> Self {
+        BaselineEngine {
+            nodes: BTreeMap::new(),
+            crashed: Vec::new(),
+            network,
+            crash_plan,
+            tracker: BaselineTracker::default(),
+            round: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Adds a node (initially alive).
+    pub fn add_node(&mut self, node: N) {
+        self.nodes.insert(node.id(), node);
+    }
+
+    fn is_alive(&self, id: ProcessId) -> bool {
+        self.nodes.contains_key(&id) && !self.crashed.contains(&id)
+    }
+
+    fn alive_ids(&self) -> Vec<ProcessId> {
+        self.nodes
+            .keys()
+            .copied()
+            .filter(|id| !self.crashed.contains(id))
+            .collect()
+    }
+
+    /// The current round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The infection tracker.
+    pub fn tracker(&self) -> &BaselineTracker {
+        &self.tracker
+    }
+
+    /// Publishes `payload` from `origin`.
+    pub fn publish_from(&mut self, origin: ProcessId, payload: Payload) -> EventId {
+        assert!(self.is_alive(origin), "publisher {origin} is not alive");
+        let node = self.nodes.get_mut(&origin).expect("alive node exists");
+        let (id, immediate) = node.publish(payload);
+        self.tracker.record_publish(id, origin, self.round);
+        for (to, msg) in immediate {
+            self.pending.push(Envelope {
+                from: origin,
+                to,
+                msg,
+            });
+        }
+        id
+    }
+
+    /// One synchronous round, seed-engine shape: per-round `to_vec` of the
+    /// crash list, per-round `alive_ids` allocation, fresh `next` queue
+    /// per chase generation, `BTreeMap` lookup + `Vec::contains` per
+    /// envelope.
+    pub fn step(&mut self) {
+        self.round += 1;
+
+        for &victim in self.crash_plan.crashes_at(self.round).to_vec().iter() {
+            if self.nodes.contains_key(&victim) && !self.crashed.contains(&victim) {
+                self.crashed.push(victim);
+            }
+        }
+
+        let mut queue: Vec<Envelope<N::Msg>> = std::mem::take(&mut self.pending);
+        let alive = self.alive_ids();
+        for id in &alive {
+            let node = self.nodes.get_mut(id).expect("alive node exists");
+            for (to, msg) in node.on_tick() {
+                queue.push(Envelope { from: *id, to, msg });
+            }
+        }
+
+        for _generation in 0..CHASE_DEPTH {
+            if queue.is_empty() {
+                break;
+            }
+            let mut next: Vec<Envelope<N::Msg>> = Vec::new();
+            for envelope in queue {
+                if !self.is_alive(envelope.to) || !self.network.delivers() {
+                    continue;
+                }
+                let node = self.nodes.get_mut(&envelope.to).expect("alive node exists");
+                let step: SimStep<N::Msg> = node.on_message(envelope.from, envelope.msg);
+                for id in step.delivered.iter().chain(step.learned.iter()) {
+                    self.tracker.record_seen_at(*id, envelope.to, self.round);
+                }
+                for (to, msg) in step.outgoing {
+                    next.push(Envelope {
+                        from: envelope.to,
+                        to,
+                        msg,
+                    });
+                }
+            }
+            queue = next;
+        }
+        self.pending = queue;
+    }
+
+    /// Runs `rounds` consecutive steps.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+}
+
+/// Builds a baseline lpbcast engine with the same topology layout as
+/// [`lpbcast_sim::experiment::build_lpbcast_engine`].
+pub fn build_baseline_lpbcast_engine(
+    params: &LpbcastSimParams,
+    seed: u64,
+) -> BaselineEngine<LpbcastNode> {
+    let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x746F_706F_6C6F_6779);
+    let candidates: Vec<ProcessId> = (1..params.n as u64).map(ProcessId::new).collect();
+    let plan = CrashPlan::draw(&candidates, params.tau, params.rounds.max(1), seed);
+    let mut engine = BaselineEngine::new(BaselineNetwork::new(params.loss_rate, seed), plan);
+    for i in 0..params.n as u64 {
+        let others: Vec<u64> = (0..params.n as u64).filter(|&j| j != i).collect();
+        let members: Vec<ProcessId> = others
+            .choose_multiple(&mut topo_rng, params.config.view_size.min(others.len()))
+            .map(|&j| ProcessId::new(j))
+            .collect();
+        engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
+            ProcessId::new(i),
+            params.config.clone(),
+            seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(i),
+            members,
+        )));
+    }
+    engine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_engine_still_disseminates() {
+        let params = LpbcastSimParams::paper_defaults(32).rounds(10);
+        let mut engine = build_baseline_lpbcast_engine(&params, 1);
+        let id = engine.publish_from(ProcessId::new(0), Payload::from_static(b"x"));
+        engine.run(10);
+        assert!(
+            engine.tracker().infected_count(id) > 28,
+            "baseline must remain a working reference: {}",
+            engine.tracker().infected_count(id)
+        );
+    }
+}

@@ -5,10 +5,10 @@
 use lpbcast_analysis::infection::{InfectionModel, InfectionParams};
 use lpbcast_analysis::math::{fit_logarithmic, r_squared_logarithmic};
 use lpbcast_analysis::partition;
+use lpbcast_analysis::reliability::SirModel;
 use lpbcast_core::Config;
 use lpbcast_membership::TruncationStrategy;
 use lpbcast_pbcast::PbcastConfig;
-use lpbcast_analysis::reliability::SirModel;
 use lpbcast_sim::experiment::{
     build_lpbcast_engine, lpbcast_infection_curve, lpbcast_reliability, lpbcast_view_stats,
     pbcast_infection_curve, pbcast_reliability, InitialTopology, LpbcastSimParams,
@@ -64,13 +64,17 @@ pub fn fig2() -> Figure {
     }
     fig.note("Paper: higher F infects faster but the gain is sub-linear (§4.3).");
     let r3 = InfectionModel::rounds_to_expected_fraction(
-        InfectionParams::new(N_MEASURED, 3).loss_rate(EPSILON).crash_rate(TAU),
+        InfectionParams::new(N_MEASURED, 3)
+            .loss_rate(EPSILON)
+            .crash_rate(TAU),
         0.99,
         50,
     )
     .expect("converges");
     let r6 = InfectionModel::rounds_to_expected_fraction(
-        InfectionParams::new(N_MEASURED, 6).loss_rate(EPSILON).crash_rate(TAU),
+        InfectionParams::new(N_MEASURED, 6)
+            .loss_rate(EPSILON)
+            .crash_rate(TAU),
         0.99,
         50,
     )
@@ -89,8 +93,11 @@ pub fn fig3a() -> Figure {
     let mut curves = Vec::new();
     for &n in &sizes {
         columns.push(format!("n={n}"));
-        let mut model =
-            InfectionModel::new(InfectionParams::new(n, 3).loss_rate(EPSILON).crash_rate(TAU));
+        let mut model = InfectionModel::new(
+            InfectionParams::new(n, 3)
+                .loss_rate(EPSILON)
+                .crash_rate(TAU),
+        );
         curves.push(model.expected_curve(rounds));
     }
     let mut fig = Figure::new(
@@ -118,7 +125,9 @@ pub fn fig3b() -> Figure {
     let mut points = Vec::new();
     for n in (100..=1000).step_by(50) {
         let r = InfectionModel::rounds_to_expected_fraction(
-            InfectionParams::new(n, 3).loss_rate(EPSILON).crash_rate(TAU),
+            InfectionParams::new(n, 3)
+                .loss_rate(EPSILON)
+                .crash_rate(TAU),
             0.99,
             60,
         )
@@ -181,8 +190,11 @@ pub fn fig5a() -> Figure {
     let mut theory = Vec::new();
     let mut sim = Vec::new();
     for &n in &sizes {
-        let mut model =
-            InfectionModel::new(InfectionParams::new(n, 3).loss_rate(EPSILON).crash_rate(TAU));
+        let mut model = InfectionModel::new(
+            InfectionParams::new(n, 3)
+                .loss_rate(EPSILON)
+                .crash_rate(TAU),
+        );
         theory.push(model.expected_curve(rounds));
         let params = LpbcastSimParams::paper_defaults(n).rounds(rounds);
         sim.push(lpbcast_infection_curve(&params, &seed_list));
@@ -264,8 +276,7 @@ pub fn fig6a() -> Figure {
         vec!["view_size_l".to_string(), "reliability".to_string()],
     );
     for l in [15usize, 20, 25, 30, 35] {
-        let params = LpbcastSimParams::paper_defaults(N_MEASURED)
-            .config(lpbcast_config(l, 3, 60));
+        let params = LpbcastSimParams::paper_defaults(N_MEASURED).config(lpbcast_config(l, 3, 60));
         let reliability = lpbcast_reliability(&params, &measurement_run(), &seed_list);
         fig.push_row(vec![l as f64, reliability]);
     }
@@ -282,8 +293,8 @@ pub fn fig6b() -> Figure {
         vec!["event_ids_max".to_string(), "reliability".to_string()],
     );
     for ids_max in [10usize, 20, 30, 40, 60, 80, 100, 120] {
-        let params = LpbcastSimParams::paper_defaults(N_MEASURED)
-            .config(lpbcast_config(15, 3, ids_max));
+        let params =
+            LpbcastSimParams::paper_defaults(N_MEASURED).config(lpbcast_config(15, 3, ids_max));
         let reliability = lpbcast_reliability(&params, &measurement_run(), &seed_list);
         fig.push_row(vec![ids_max as f64, reliability]);
     }
@@ -337,19 +348,17 @@ pub fn fig7b() -> Figure {
         vec!["view_size_l".to_string(), "reliability".to_string()],
     );
     for l in [15usize, 20, 25, 30, 35] {
-        let params = PbcastSimParams::figure7_defaults(
-            N_MEASURED,
-            PbcastMembershipKind::Partial { l },
-        )
-        .config(
-            PbcastConfig::builder()
-                .fanout(5)
-                .first_phase(false)
-                .pull(false)
-                .deliver_on_digest(true)
-                .history_max(60)
-                .build(),
-        );
+        let params =
+            PbcastSimParams::figure7_defaults(N_MEASURED, PbcastMembershipKind::Partial { l })
+                .config(
+                    PbcastConfig::builder()
+                        .fanout(5)
+                        .first_phase(false)
+                        .pull(false)
+                        .deliver_on_digest(true)
+                        .history_max(60)
+                        .build(),
+                );
         let reliability = pbcast_reliability(&params, &measurement_run(), &seed_list);
         fig.push_row(vec![l as f64, reliability]);
     }
@@ -420,8 +429,8 @@ pub fn model_vs_sim() -> Figure {
         ],
     );
     for ids_max in [10usize, 20, 30, 40, 60, 80, 100, 120] {
-        let params = LpbcastSimParams::paper_defaults(N_MEASURED)
-            .config(lpbcast_config(15, 3, ids_max));
+        let params =
+            LpbcastSimParams::paper_defaults(N_MEASURED).config(lpbcast_config(15, 3, ids_max));
         let sim = lpbcast_reliability(&params, &measurement_run(), &seed_list);
         let model = SirModel::from_buffers(3, EPSILON, TAU, ids_max, 40);
         fig.push_row(vec![

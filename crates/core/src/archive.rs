@@ -4,10 +4,9 @@
 //! only required to satisfy retransmission requests."* A bounded FIFO
 //! keyed by event id.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
-use lpbcast_types::{Event, EventId};
+use lpbcast_types::{Event, EventId, FastMap};
 
 /// Bounded FIFO store of delivered notifications, indexed by id.
 ///
@@ -16,7 +15,7 @@ use lpbcast_types::{Event, EventId};
 #[derive(Debug, Clone)]
 pub struct EventArchive {
     order: VecDeque<EventId>,
-    events: HashMap<EventId, Event>,
+    events: FastMap<EventId, Event>,
     capacity: usize,
 }
 
@@ -25,7 +24,7 @@ impl EventArchive {
     pub fn new(capacity: usize) -> Self {
         EventArchive {
             order: VecDeque::new(),
-            events: HashMap::new(),
+            events: FastMap::default(),
             capacity,
         }
     }
@@ -70,7 +69,9 @@ impl EventArchive {
     /// are silently unmet, exactly the buffering loss the paper's
     /// reliability measurements quantify).
     pub fn lookup_all(&self, ids: &[EventId]) -> Vec<Event> {
-        ids.iter().filter_map(|id| self.events.get(id).cloned()).collect()
+        ids.iter()
+            .filter_map(|id| self.events.get(id).cloned())
+            .collect()
     }
 }
 

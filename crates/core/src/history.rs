@@ -87,7 +87,11 @@ impl EventHistory {
     /// the candidates for a retransmission pull (§2.3 footnote 5).
     pub fn missing_from(&self, digest: &Digest) -> Vec<EventId> {
         match digest {
-            Digest::Ids(ids) => ids.iter().copied().filter(|&id| !self.contains(id)).collect(),
+            Digest::Ids(ids) => ids
+                .iter()
+                .copied()
+                .filter(|&id| !self.contains(id))
+                .collect(),
             Digest::Compact(theirs) => match self {
                 EventHistory::Compact(ours) => ours.missing_relative_to(theirs),
                 EventHistory::Bounded(_) => {

@@ -71,4 +71,4 @@ pub use message::{Command, Digest, Gossip, Message, Output};
 pub use process::Lpbcast;
 pub use stats::ProcessStats;
 pub use time::LogicalTime;
-pub use unsub::{Unsubscription, UnsubscribeRefused};
+pub use unsub::{UnsubscribeRefused, Unsubscription};

@@ -1,7 +1,5 @@
 //! The lpbcast process state machine (Figure 1 of the paper).
 
-use std::collections::HashSet;
-
 use lpbcast_membership::{PartialView, View};
 use lpbcast_types::{BoundedSet, Event, EventId, Payload, ProcessId};
 use rand::rngs::SmallRng;
@@ -50,7 +48,10 @@ pub struct Lpbcast {
     /// Whether this process has unsubscribed and is winding down.
     leaving: bool,
     /// Ids already requested by a pending retransmission pull.
-    pending_pulls: HashSet<EventId>,
+    pending_pulls: lpbcast_types::FastSet<EventId>,
+    /// Reusable buffer for view-eviction batches (hot path: one per
+    /// received gossip).
+    evict_scratch: Vec<ProcessId>,
     stats: ProcessStats,
 }
 
@@ -80,7 +81,8 @@ impl Lpbcast {
             next_seq: 0,
             join: None,
             leaving: false,
-            pending_pulls: HashSet::new(),
+            pending_pulls: lpbcast_types::FastSet::default(),
+            evict_scratch: Vec::new(),
             stats: ProcessStats::default(),
             config,
         }
@@ -109,12 +111,7 @@ impl Lpbcast {
     /// Creates a process that joins through `contacts` (§3.4). Its first
     /// [`tick`](Lpbcast::tick) emits a [`Message::Subscribe`] to the first
     /// contact; timeouts re-emit round-robin.
-    pub fn joining(
-        id: ProcessId,
-        config: Config,
-        seed: u64,
-        contacts: Vec<ProcessId>,
-    ) -> Self {
+    pub fn joining(id: ProcessId, config: Config, seed: u64, contacts: Vec<ProcessId>) -> Self {
         let mut p = Lpbcast::new(id, config, seed);
         // The contacts are the only processes the newcomer knows.
         for &c in &contacts {
@@ -217,8 +214,7 @@ impl Lpbcast {
                 threshold: self.config.unsub_refusal_threshold,
             });
         }
-        self.unsubs
-            .insert(Unsubscription::new(self.id, self.now));
+        self.unsubs.insert(Unsubscription::new(self.id, self.now));
         self.leaving = true;
         Ok(())
     }
@@ -261,7 +257,10 @@ impl Lpbcast {
         // overflow is taken out of the non-prioritary entries.
         if !self.config.prioritary.is_empty()
             && self.config.normalization_period > 0
-            && self.now.as_u64().is_multiple_of(self.config.normalization_period)
+            && self
+                .now
+                .as_u64()
+                .is_multiple_of(self.config.normalization_period)
         {
             let prioritary = self.config.prioritary.clone();
             for p in prioritary {
@@ -290,8 +289,10 @@ impl Lpbcast {
 
     /// Builds the periodic gossip message and the send commands.
     fn emit_gossip(&mut self) -> Vec<Command> {
-        let include_membership =
-            self.now.as_u64().is_multiple_of(self.config.membership_gossip_interval);
+        let include_membership = self
+            .now
+            .as_u64()
+            .is_multiple_of(self.config.membership_gossip_interval);
 
         // gossip.subs ← subs ∪ {pi}; §6.1 weighted mode tops up with
         // low-weight view entries so under-known processes circulate.
@@ -368,25 +369,21 @@ impl Lpbcast {
             }
             self.unsubs.insert(*unsub);
         }
-        self.unsubs.truncate_random(&mut self.rng);
+        self.unsubs.truncate_random_count(&mut self.rng);
 
         // ── Phase 2: subscriptions ────────────────────────────────────
         for &new_sub in &gossip.subs {
             if new_sub == self.id {
                 continue;
             }
-            let was_known = self.view.contains(new_sub);
-            self.view.insert(new_sub); // bumps weight if already known
-            if !was_known && self.view.contains(new_sub) {
+            // `insert` bumps the weight when already known and reports
+            // whether the process was newly added — one scan, not three.
+            if self.view.insert(new_sub) {
                 self.subs.insert(new_sub);
                 self.stats.subs_added += 1;
             }
         }
-        let evicted = self.view.truncate(&mut self.rng);
-        for target in evicted {
-            self.subs.insert(target);
-        }
-        self.subs.truncate_random(&mut self.rng);
+        self.recycle_view_overflow();
 
         // ── Phase 3: notifications ────────────────────────────────────
         for event in &gossip.events {
@@ -402,8 +399,7 @@ impl Lpbcast {
         }
         let purged = self.history.truncate();
         self.stats.ids_purged += purged.len() as u64;
-        let truncated = self.events.truncate_random(&mut self.rng);
-        self.stats.events_truncated += truncated.len() as u64;
+        self.stats.events_truncated += self.events.truncate_random_count(&mut self.rng) as u64;
 
         // ── Digest: gossip pull or §5.2 id absorption ─────────────────
         let missing = self.history.missing_from(&gossip.event_ids);
@@ -444,19 +440,27 @@ impl Lpbcast {
     /// §3.4: a joining process asked us to gossip its subscription on its
     /// behalf. We adopt it into our view and `subs` buffer; it will then
     /// circulate with our next gossip.
+    /// Figure 1(a) phase 2 tail: evict view overflow (recycling the
+    /// evicted entries into `subs` so knowledge keeps circulating), then
+    /// bound `subs`. Uses the process's reusable eviction buffer.
+    fn recycle_view_overflow(&mut self) {
+        let mut evicted = std::mem::take(&mut self.evict_scratch);
+        self.view.truncate_into(&mut self.rng, &mut evicted);
+        for &target in &evicted {
+            self.subs.insert(target);
+        }
+        evicted.clear();
+        self.evict_scratch = evicted;
+        self.subs.truncate_random_count(&mut self.rng);
+    }
+
     fn handle_subscribe(&mut self, subscriber: ProcessId) -> Output {
         if subscriber != self.id {
-            let was_known = self.view.contains(subscriber);
-            self.view.insert(subscriber);
-            if !was_known && self.view.contains(subscriber) {
+            if self.view.insert(subscriber) {
                 self.stats.subs_added += 1;
             }
             self.subs.insert(subscriber);
-            let evicted = self.view.truncate(&mut self.rng);
-            for target in evicted {
-                self.subs.insert(target);
-            }
-            self.subs.truncate_random(&mut self.rng);
+            self.recycle_view_overflow();
         }
         Output::default()
     }
@@ -494,8 +498,7 @@ impl Lpbcast {
         }
         let purged = self.history.truncate();
         self.stats.ids_purged += purged.len() as u64;
-        let truncated = self.events.truncate_random(&mut self.rng);
-        self.stats.events_truncated += truncated.len() as u64;
+        self.stats.events_truncated += self.events.truncate_random_count(&mut self.rng) as u64;
         output
     }
 }
@@ -596,8 +599,7 @@ mod tests {
     #[test]
     fn gossip_goes_to_fanout_targets() {
         let config = Config::builder().view_size(10).fanout(3).build();
-        let mut a =
-            Lpbcast::with_initial_view(pid(0), config, 1, (1..=8).map(pid));
+        let mut a = Lpbcast::with_initial_view(pid(0), config, 1, (1..=8).map(pid));
         let out = a.tick();
         let gossip_targets: Vec<ProcessId> = out
             .commands
@@ -664,7 +666,11 @@ mod tests {
 
     #[test]
     fn view_overflow_recycles_evicted_into_subs() {
-        let config = Config::builder().view_size(2).fanout(1).subs_max(10).build();
+        let config = Config::builder()
+            .view_size(2)
+            .fanout(1)
+            .subs_max(10)
+            .build();
         let mut a = Lpbcast::with_initial_view(pid(0), config, 1, [pid(1), pid(2)]);
         let gossip = Gossip {
             sender: pid(1),
@@ -747,7 +753,10 @@ mod tests {
         let out = a.tick();
         let g = any_gossip(&out.commands);
         assert!(g.unsubs.iter().any(|u| u.process() == pid(0)));
-        assert!(!g.subs.contains(&pid(0)), "leaving process stops advertising itself");
+        assert!(
+            !g.subs.contains(&pid(0)),
+            "leaving process stops advertising itself"
+        );
 
         // Refusal: pre-fill the unSubs buffer beyond the threshold.
         let mut b = Lpbcast::with_initial_view(pid(9), config, 2, [pid(1)]);
@@ -849,7 +858,11 @@ mod tests {
         assert!(a.stats().ids_purged >= 1, "history bound enforced");
         // e1's id was purged: a late copy is delivered *again*.
         let out = a.handle_message(pid(1), Message::Gossip(mk(vec![e1])));
-        assert_eq!(out.delivered.len(), 1, "purged id redelivers (Fig 6(b) effect)");
+        assert_eq!(
+            out.delivered.len(),
+            1,
+            "purged id redelivers (Fig 6(b) effect)"
+        );
     }
 
     #[test]
@@ -987,10 +1000,7 @@ mod tests {
         let mut holder = Lpbcast::with_initial_view(pid(0), config, 1, [pid(1)]);
         let old = holder.broadcast(b"old".as_ref());
         holder.broadcast(b"new".as_ref()); // evicts "old" from the archive
-        let out = holder.handle_message(
-            pid(1),
-            Message::RetransmitRequest { ids: vec![old] },
-        );
+        let out = holder.handle_message(pid(1), Message::RetransmitRequest { ids: vec![old] });
         assert!(out.commands.is_empty(), "nothing to serve");
         assert_eq!(holder.stats().retransmit_misses, 1);
     }

@@ -125,12 +125,13 @@ impl ViewGraph {
         let views: Vec<(ProcessId, Vec<ProcessId>)> = views.into_iter().collect();
         let mut index: HashMap<ProcessId, usize> = HashMap::new();
         let mut ids: Vec<ProcessId> = Vec::new();
-        let intern = |p: ProcessId, ids: &mut Vec<ProcessId>, index: &mut HashMap<ProcessId, usize>| {
-            *index.entry(p).or_insert_with(|| {
-                ids.push(p);
-                ids.len() - 1
-            })
-        };
+        let intern =
+            |p: ProcessId, ids: &mut Vec<ProcessId>, index: &mut HashMap<ProcessId, usize>| {
+                *index.entry(p).or_insert_with(|| {
+                    ids.push(p);
+                    ids.len() - 1
+                })
+            };
         for (owner, members) in &views {
             intern(*owner, &mut ids, &mut index);
             for m in members {
@@ -369,7 +370,10 @@ mod tests {
         assert_eq!(stats.max, 4);
         assert_eq!(stats.min, 0);
         assert!((stats.mean - 4.0 / 5.0).abs() < 1e-12);
-        assert!(stats.coefficient_of_variation() > 1.0, "star is very skewed");
+        assert!(
+            stats.coefficient_of_variation() > 1.0,
+            "star is very skewed"
+        );
         let hist = g.in_degree_histogram();
         assert_eq!(hist[0], 4);
         assert_eq!(hist[4], 1);

@@ -155,7 +155,8 @@ impl NetNode {
         book: AddressBook,
         initial_view: Vec<ProcessId>,
     ) -> Result<NetNode, NetError> {
-        let machine = Lpbcast::with_initial_view(id, config.core.clone(), config.seed, initial_view);
+        let machine =
+            Lpbcast::with_initial_view(id, config.core.clone(), config.seed, initial_view);
         Self::spawn_machine(id, config, book, machine)
     }
 

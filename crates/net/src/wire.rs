@@ -215,7 +215,10 @@ fn decode_gossip(buf: &mut &[u8]) -> Result<Gossip, WireError> {
                 for _ in 0..n_ooo {
                     ooo.push(take_u64(buf)?);
                 }
-                compact.set_origin(origin, lpbcast_types::OriginDigest::from_parts(next_seq, ooo));
+                compact.set_origin(
+                    origin,
+                    lpbcast_types::OriginDigest::from_parts(next_seq, ooo),
+                );
             }
             Digest::Compact(compact)
         }
@@ -371,7 +374,9 @@ mod tests {
 
     #[test]
     fn other_kinds_roundtrip() {
-        assert_roundtrip(Message::Subscribe { subscriber: pid(12) });
+        assert_roundtrip(Message::Subscribe {
+            subscriber: pid(12),
+        });
         assert_roundtrip(Message::RetransmitRequest {
             ids: vec![eid(5, 1), eid(5, 2)],
         });
@@ -402,10 +407,7 @@ mod tests {
         for cut in 0..bytes.len() {
             let err = decode(&bytes[..cut]).expect_err("truncated must fail");
             assert!(
-                matches!(
-                    err,
-                    WireError::UnexpectedEof | WireError::LengthOverflow(_)
-                ),
+                matches!(err, WireError::UnexpectedEof | WireError::LengthOverflow(_)),
                 "cut at {cut}: unexpected error {err:?}"
             );
         }

@@ -69,10 +69,9 @@ fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         arb_gossip().prop_map(Message::Gossip),
         any::<u64>().prop_map(|p| Message::Subscribe { subscriber: pid(p) }),
-        vec((any::<u64>(), any::<u64>()), 0..30)
-            .prop_map(|ids| Message::RetransmitRequest {
-                ids: ids.into_iter().map(eid).collect()
-            }),
+        vec((any::<u64>(), any::<u64>()), 0..30).prop_map(|ids| Message::RetransmitRequest {
+            ids: ids.into_iter().map(eid).collect()
+        }),
         vec(arb_event(), 0..10).prop_map(|events| Message::RetransmitResponse { events }),
     ]
 }

@@ -55,7 +55,10 @@ impl PbcastConfig {
             return Err("fanout must be at least 1".into());
         }
         if self.max_repetitions == 0 {
-            return Err("max_repetitions must be at least 1 (a message must be advertised at least once)".into());
+            return Err(
+                "max_repetitions must be at least 1 (a message must be advertised at least once)"
+                    .into(),
+            );
         }
         if self.max_hops == 0 {
             return Err("max_hops must be at least 1 (the first transfer is a hop)".into());

@@ -1,6 +1,8 @@
 //! The pbcast process state machine.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use lpbcast_types::{FastMap, FastSet};
 
 use lpbcast_types::{Event, EventId, OldestFirstBuffer, Payload, ProcessId};
 use rand::rngs::SmallRng;
@@ -55,11 +57,11 @@ pub struct Pbcast {
     /// Delivered-id history, bounded remove-oldest (digest dedup source).
     history: OldestFirstBuffer<EventId>,
     /// Message copies by id (payload may be absent in digest-only mode).
-    store: HashMap<EventId, Stored>,
+    store: FastMap<EventId, Stored>,
     /// FIFO of stored ids for store eviction.
     store_order: VecDeque<EventId>,
     /// Ids already solicited this round (cleared on tick).
-    pending_pulls: HashSet<EventId>,
+    pending_pulls: FastSet<EventId>,
     next_seq: u64,
     stats: PbcastStats,
 }
@@ -74,9 +76,9 @@ impl Pbcast {
             rng: SmallRng::seed_from_u64(seed ^ id.as_u64().wrapping_mul(0xD1B5_4A32_D192_ED03)),
             membership,
             history,
-            store: HashMap::new(),
+            store: FastMap::default(),
             store_order: VecDeque::new(),
-            pending_pulls: HashSet::new(),
+            pending_pulls: FastSet::default(),
             next_seq: 0,
             stats: PbcastStats::default(),
             config,
@@ -105,7 +107,10 @@ impl Pbcast {
 
     /// Publishes a message. Returns its id and the first-phase best-effort
     /// multicast commands (empty if the first phase is disabled).
-    pub fn publish(&mut self, payload: impl Into<Payload>) -> (EventId, Vec<(ProcessId, PbcastMessage)>) {
+    pub fn publish(
+        &mut self,
+        payload: impl Into<Payload>,
+    ) -> (EventId, Vec<(ProcessId, PbcastMessage)>) {
         let id = EventId::new(self.id, self.next_seq);
         self.next_seq += 1;
         let event = Event::new(id, payload);
@@ -134,19 +139,26 @@ impl Pbcast {
         // Solicitations may be retried next round if replies were lost.
         self.pending_pulls.clear();
 
+        // Walk the store in insertion order (`store_order`), not HashMap
+        // order: std's per-process hash seed would otherwise randomize the
+        // digest entry order and make same-seed runs diverge.
         let mut entries = Vec::new();
-        for (&id, stored) in &mut self.store {
-            if stored.remaining_reps > 0 {
-                entries.push(DigestEntry {
-                    id,
-                    hops: stored.hops,
-                });
-                stored.remaining_reps -= 1;
+        for &id in &self.store_order {
+            if let Some(stored) = self.store.get_mut(&id) {
+                if stored.remaining_reps > 0 {
+                    entries.push(DigestEntry {
+                        id,
+                        hops: stored.hops,
+                    });
+                    stored.remaining_reps -= 1;
+                }
             }
         }
 
         let subs = self.membership.outgoing_subs(self.id);
-        let targets = self.membership.select_targets(&mut self.rng, self.config.fanout);
+        let targets = self
+            .membership
+            .select_targets(&mut self.rng, self.config.fanout);
         if targets.is_empty() {
             return Vec::new();
         }
@@ -262,7 +274,11 @@ impl Pbcast {
     fn serve_solicit(&mut self, from: ProcessId, ids: &[EventId]) -> PbcastOutput {
         let mut out = PbcastOutput::default();
         for &id in ids {
-            match self.store.get(&id).and_then(|s| s.event.clone().map(|e| (e, s.hops))) {
+            match self
+                .store
+                .get(&id)
+                .and_then(|s| s.event.clone().map(|e| (e, s.hops)))
+            {
                 Some((event, hops)) => {
                     self.stats.served += 1;
                     out.commands.push((
@@ -289,8 +305,18 @@ mod tests {
     }
 
     fn total_pair(config: &PbcastConfig) -> (Pbcast, Pbcast) {
-        let a = Pbcast::new(pid(0), config.clone(), 1, Membership::total(pid(0), [pid(1)]));
-        let b = Pbcast::new(pid(1), config.clone(), 2, Membership::total(pid(1), [pid(0)]));
+        let a = Pbcast::new(
+            pid(0),
+            config.clone(),
+            1,
+            Membership::total(pid(0), [pid(1)]),
+        );
+        let b = Pbcast::new(
+            pid(1),
+            config.clone(),
+            2,
+            Membership::total(pid(1), [pid(0)]),
+        );
         (a, b)
     }
 
@@ -363,13 +389,7 @@ mod tests {
         let mut b = Pbcast::new(pid(1), config, 2, Membership::total(pid(1), [pid(0)]));
         // A copy arriving at the hop limit.
         let event = Event::new(EventId::new(pid(0), 0), b"m".as_ref());
-        let out = b.handle_message(
-            pid(0),
-            PbcastMessage::Multicast {
-                event,
-                hops: 2,
-            },
-        );
+        let out = b.handle_message(pid(0), PbcastMessage::Multicast { event, hops: 2 });
         assert_eq!(out.delivered.len(), 1, "delivery unaffected by hop limit");
         let digests = b.tick();
         match &digests[0].1 {
@@ -404,7 +424,10 @@ mod tests {
         let (mut a, mut b) = total_pair(&config);
         let (_, cmds) = a.publish(b"m".as_ref());
         let (_, multicast) = cmds.into_iter().next().unwrap();
-        assert_eq!(b.handle_message(pid(0), multicast.clone()).delivered.len(), 1);
+        assert_eq!(
+            b.handle_message(pid(0), multicast.clone()).delivered.len(),
+            1
+        );
         assert!(b.handle_message(pid(0), multicast).delivered.is_empty());
         assert_eq!(b.stats().duplicates, 1);
     }
@@ -516,7 +539,12 @@ mod tests {
         // Only the two newest are servable.
         let old = EventId::new(pid(0), 0);
         let new = EventId::new(pid(0), 4);
-        let out = b.handle_message(pid(9), PbcastMessage::Solicit { ids: vec![old, new] });
+        let out = b.handle_message(
+            pid(9),
+            PbcastMessage::Solicit {
+                ids: vec![old, new],
+            },
+        );
         assert_eq!(out.commands.len(), 1);
         assert_eq!(b.stats().solicit_misses, 1);
     }

@@ -162,7 +162,11 @@ mod tests {
 
     /// Builds a cluster where every node subscribes to the topics chosen
     /// by `assign`.
-    fn cluster(n: u64, topics: &[TopicId], assign: impl Fn(u64, &TopicId) -> bool) -> PubSubCluster {
+    fn cluster(
+        n: u64,
+        topics: &[TopicId],
+        assign: impl Fn(u64, &TopicId) -> bool,
+    ) -> PubSubCluster {
         let mut cluster = PubSubCluster::new(0.02, 99);
         for i in 0..n {
             let mut node = PubSubNode::new(pid(i), config(), 1000 + i);
@@ -222,9 +226,7 @@ mod tests {
         let mut c = cluster(6, std::slice::from_ref(&t), |i, _| i < 5); // p5 not subscribed
         c.run(3);
         // p5 joins via contact p0.
-        c.node_mut(pid(5))
-            .unwrap()
-            .subscribe_via(&t, vec![pid(0)]);
+        c.node_mut(pid(5)).unwrap().subscribe_via(&t, vec![pid(0)]);
         c.run(8);
         assert!(
             !c.node(pid(5)).unwrap().group(&t).unwrap().is_joining(),
@@ -243,12 +245,21 @@ mod tests {
         let t = TopicId::new("t");
         let mut c = cluster(6, std::slice::from_ref(&t), |_, _| true);
         c.run(3);
-        c.node_mut(pid(5)).unwrap().unsubscribe(&t).unwrap().then_some(()).unwrap();
+        c.node_mut(pid(5))
+            .unwrap()
+            .unsubscribe(&t)
+            .unwrap()
+            .then_some(())
+            .unwrap();
         c.run(2); // lame duck
         c.node_mut(pid(5)).unwrap().complete_unsubscribe(&t);
         let id = c.publish(pid(0), &t, "after leave").unwrap();
         c.run(10);
         assert!(!c.has_delivered(pid(5), &t, id));
-        assert_eq!(c.delivered_to(&t, id), 5, "remaining subscribers unaffected");
+        assert_eq!(
+            c.delivered_to(&t, id),
+            5,
+            "remaining subscribers unaffected"
+        );
     }
 }

@@ -1,6 +1,14 @@
 //! The synchronous-round simulation engine.
-
-use std::collections::BTreeMap;
+//!
+//! # Hot-path layout
+//!
+//! Nodes live in a dense slab (`Vec<N>` in insertion order) with a
+//! `ProcessId → slab index` map used only at enqueue time; every envelope
+//! carries its destination's slab index, so delivery is a bounds-checked
+//! array access plus one bit-test against the `alive` bitset. The three
+//! envelope queues (`pending`, the in-flight queue and the reply `scratch`
+//! buffer) are double-buffered across generations *and* rounds — after
+//! warm-up a steady-state round performs no queue reallocation at all.
 
 use lpbcast_membership::ViewGraph;
 use lpbcast_types::{EventId, Payload, ProcessId};
@@ -8,101 +16,200 @@ use lpbcast_types::{EventId, Payload, ProcessId};
 use crate::metrics::InfectionTracker;
 use crate::network::{CrashPlan, NetworkModel};
 use crate::node::{SimNode, SimStep};
+use lpbcast_types::FastMap;
 
 /// How many reply generations (solicit → serve → absorb …) are chased
 /// within one round. The paper assumes network latency below the gossip
 /// period (§4.1), so a full pull exchange completes inside a round.
 const CHASE_DEPTH: usize = 4;
 
-/// A queued message copy.
+/// A queued message copy. The destination is pre-resolved to a slab
+/// index; the sender stays a `ProcessId` because that is what the
+/// receiving state machine wants to see.
 #[derive(Debug, Clone)]
 struct Envelope<M> {
     from: ProcessId,
-    to: ProcessId,
+    to: u32,
     msg: M,
+}
+
+/// A fixed-capacity bitset over slab indices.
+#[derive(Debug, Clone, Default)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn grow_to(&mut self, bits: usize) {
+        let words = bits.div_ceil(64);
+        if self.words.len() < words {
+            self.words.resize(words, 0);
+        }
+    }
+
+    #[inline]
+    fn get(&self, bit: usize) -> bool {
+        self.words[bit / 64] & (1 << (bit % 64)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, bit: usize) {
+        self.words[bit / 64] |= 1 << (bit % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, bit: usize) {
+        self.words[bit / 64] &= !(1 << (bit % 64));
+    }
 }
 
 /// Synchronous-round simulator: each round, every alive node gossips once
 /// (§5.1), messages suffer Bernoulli loss, and deliveries are tracked.
 #[derive(Debug)]
 pub struct Engine<N: SimNode> {
-    nodes: BTreeMap<ProcessId, N>,
-    crashed: Vec<ProcessId>,
+    /// Dense node slab, insertion order.
+    nodes: Vec<N>,
+    /// Process id of each slab entry (parallel to `nodes`).
+    ids: Vec<ProcessId>,
+    /// Reverse map, consulted once per enqueued message.
+    index: FastMap<ProcessId, u32>,
+    /// Liveness bit per slab entry.
+    alive: BitSet,
+    alive_count: usize,
     network: NetworkModel,
     crash_plan: CrashPlan,
     tracker: InfectionTracker,
     round: u64,
-    /// Messages published outside a step (first-phase multicasts), queued
-    /// into the next round.
+    /// Messages published outside a step (first-phase multicasts) plus
+    /// replies spilling past [`CHASE_DEPTH`], queued into the next round.
     pending: Vec<Envelope<N::Msg>>,
+    /// Reply buffer reused across generations and rounds.
+    scratch: Vec<Envelope<N::Msg>>,
 }
 
 impl<N: SimNode> Engine<N> {
     /// Creates an engine over the given fault models.
     pub fn new(network: NetworkModel, crash_plan: CrashPlan) -> Self {
         Engine {
-            nodes: BTreeMap::new(),
-            crashed: Vec::new(),
+            nodes: Vec::new(),
+            ids: Vec::new(),
+            index: FastMap::default(),
+            alive: BitSet::default(),
+            alive_count: 0,
             network,
             crash_plan,
             tracker: InfectionTracker::new(),
             round: 0,
             pending: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
-    /// Adds a node (initially alive).
+    /// Adds a node (initially alive). Re-adding an existing id replaces
+    /// the node in place and revives it.
     pub fn add_node(&mut self, node: N) {
-        self.nodes.insert(node.id(), node);
+        let id = node.id();
+        if let Some(&i) = self.index.get(&id) {
+            let i = i as usize;
+            if !self.alive.get(i) {
+                self.alive.set(i);
+                self.alive_count += 1;
+            }
+            self.nodes[i] = node;
+            return;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(node);
+        self.ids.push(id);
+        self.index.insert(id, i as u32);
+        self.alive.grow_to(i + 1);
+        self.alive.set(i);
+        self.alive_count += 1;
     }
 
     /// Immediately crashes `id`: the node stops participating; in-flight
     /// and future traffic to it is discarded. The node state is retained
     /// for post-mortem inspection.
     pub fn crash(&mut self, id: ProcessId) {
-        if self.nodes.contains_key(&id) && !self.crashed.contains(&id) {
-            self.crashed.push(id);
+        if let Some(&i) = self.index.get(&id) {
+            let i = i as usize;
+            if self.alive.get(i) {
+                self.alive.clear(i);
+                self.alive_count -= 1;
+            }
         }
     }
 
     /// Removes a node entirely (graceful departure after unsubscription).
     pub fn remove_node(&mut self, id: ProcessId) -> Option<N> {
-        self.crashed.retain(|&c| c != id);
-        self.nodes.remove(&id)
+        let i = *self.index.get(&id)? as usize;
+        if self.alive.get(i) {
+            self.alive_count -= 1;
+        }
+        let last = self.nodes.len() - 1;
+        // The slab swap moves `last` into slot `i`: fix the bitset, the
+        // reverse map, and any queued envelope that addressed either slot.
+        let node = self.nodes.swap_remove(i);
+        self.ids.swap_remove(i);
+        self.index.remove(&id);
+        if i != last {
+            if self.alive.get(last) {
+                self.alive.set(i);
+            } else {
+                self.alive.clear(i);
+            }
+            self.index.insert(self.ids[i], i as u32);
+        }
+        self.alive.clear(last);
+        let (i, last) = (i as u32, last as u32);
+        self.pending.retain_mut(|e| {
+            if e.to == i {
+                return false;
+            }
+            if e.to == last {
+                e.to = i;
+            }
+            true
+        });
+        Some(node)
     }
 
     /// Whether `id` is present and not crashed.
     pub fn is_alive(&self, id: ProcessId) -> bool {
-        self.nodes.contains_key(&id) && !self.crashed.contains(&id)
+        self.index
+            .get(&id)
+            .is_some_and(|&i| self.alive.get(i as usize))
     }
 
     /// Number of alive nodes.
     pub fn alive_count(&self) -> usize {
-        self.nodes.len() - self.crashed.len()
+        self.alive_count
     }
 
     /// Ids of alive nodes, ascending.
     pub fn alive_ids(&self) -> Vec<ProcessId> {
-        self.nodes
-            .keys()
-            .copied()
-            .filter(|id| !self.crashed.contains(id))
-            .collect()
+        let mut out: Vec<ProcessId> = (0..self.nodes.len())
+            .filter(|&i| self.alive.get(i))
+            .map(|i| self.ids[i])
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Immutable access to a node.
     pub fn node(&self, id: ProcessId) -> Option<&N> {
-        self.nodes.get(&id)
+        self.index.get(&id).map(|&i| &self.nodes[i as usize])
     }
 
     /// Mutable access to a node.
     pub fn node_mut(&mut self, id: ProcessId) -> Option<&mut N> {
-        self.nodes.get_mut(&id)
+        let i = *self.index.get(&id)?;
+        Some(&mut self.nodes[i as usize])
     }
 
-    /// Iterates over `(id, node)` pairs, ascending by id.
+    /// Iterates over `(id, node)` pairs in slab (insertion) order.
     pub fn nodes(&self) -> impl Iterator<Item = (ProcessId, &N)> {
-        self.nodes.iter().map(|(&id, n)| (id, n))
+        self.ids.iter().copied().zip(self.nodes.iter())
     }
 
     /// The current round (completed steps).
@@ -128,26 +235,28 @@ impl<N: SimNode> Engine<N> {
     /// Panics if `origin` is absent or crashed.
     pub fn publish_from(&mut self, origin: ProcessId, payload: Payload) -> EventId {
         assert!(self.is_alive(origin), "publisher {origin} is not alive");
-        let node = self.nodes.get_mut(&origin).expect("alive node exists");
-        let (id, immediate) = node.publish(payload);
+        let oi = self.index[&origin] as usize;
+        let (id, immediate) = self.nodes[oi].publish(payload);
         self.tracker.record_publish(id, origin, self.round);
         for (to, msg) in immediate {
-            self.pending.push(Envelope {
-                from: origin,
-                to,
-                msg,
-            });
+            if let Some(&t) = self.index.get(&to) {
+                self.pending.push(Envelope {
+                    from: origin,
+                    to: t,
+                    msg,
+                });
+            }
         }
         id
     }
 
     /// The directed "knows-about" graph over the **alive** nodes' views.
     pub fn view_graph(&self) -> ViewGraph {
-        ViewGraph::from_views(self.nodes.iter().filter_map(|(&id, n)| {
-            if self.crashed.contains(&id) {
-                None
+        ViewGraph::from_views((0..self.nodes.len()).filter_map(|i| {
+            if self.alive.get(i) {
+                Some((self.ids[i], self.nodes[i].view_members()))
             } else {
-                Some((id, n.view_members()))
+                None
             }
         }))
     }
@@ -163,21 +272,31 @@ impl<N: SimNode> Engine<N> {
     pub fn step(&mut self) {
         self.round += 1;
 
-        for &victim in self.crash_plan.crashes_at(self.round).to_vec().iter() {
-            self.crash(victim);
+        // Split borrows: the crash list stays borrowed from `crash_plan`
+        // while the liveness state is updated, so no clone is needed.
+        for &victim in self.crash_plan.crashes_at(self.round) {
+            if let Some(&i) = self.index.get(&victim) {
+                let i = i as usize;
+                if self.alive.get(i) {
+                    self.alive.clear(i);
+                    self.alive_count -= 1;
+                }
+            }
         }
 
-        // Phase A: periodic gossip from every alive node (id order).
-        let mut queue: Vec<Envelope<N::Msg>> = std::mem::take(&mut self.pending);
-        let alive = self.alive_ids();
-        for id in &alive {
-            let node = self.nodes.get_mut(id).expect("alive node exists");
-            for (to, msg) in node.on_tick() {
-                queue.push(Envelope {
-                    from: *id,
-                    to,
-                    msg,
-                });
+        // Phase A: periodic gossip from every alive node (slab order).
+        // `pending` moves into the working queue; its buffer is handed
+        // back at the end of the step, so capacity ping-pongs forever.
+        let mut queue = std::mem::take(&mut self.pending);
+        for i in 0..self.nodes.len() {
+            if !self.alive.get(i) {
+                continue;
+            }
+            let from = self.ids[i];
+            for (to, msg) in self.nodes[i].on_tick() {
+                if let Some(&t) = self.index.get(&to) {
+                    queue.push(Envelope { from, to: t, msg });
+                }
             }
         }
 
@@ -186,25 +305,28 @@ impl<N: SimNode> Engine<N> {
             if queue.is_empty() {
                 break;
             }
-            let mut next: Vec<Envelope<N::Msg>> = Vec::new();
-            for envelope in queue {
-                if !self.is_alive(envelope.to) || !self.network.delivers() {
+            self.scratch.clear();
+            for envelope in queue.drain(..) {
+                let ti = envelope.to as usize;
+                if !self.alive.get(ti) || !self.network.delivers() {
                     continue;
                 }
-                let node = self.nodes.get_mut(&envelope.to).expect("alive node exists");
-                let step: SimStep<N::Msg> = node.on_message(envelope.from, envelope.msg);
+                let step: SimStep<N::Msg> = self.nodes[ti].on_message(envelope.from, envelope.msg);
+                let to_id = self.ids[ti];
                 for id in step.delivered.iter().chain(step.learned.iter()) {
-                    self.tracker.record_seen_at(*id, envelope.to, self.round);
+                    self.tracker.record_seen_at(*id, to_id, self.round);
                 }
                 for (to, msg) in step.outgoing {
-                    next.push(Envelope {
-                        from: envelope.to,
-                        to,
-                        msg,
-                    });
+                    if let Some(&t) = self.index.get(&to) {
+                        self.scratch.push(Envelope {
+                            from: to_id,
+                            to: t,
+                            msg,
+                        });
+                    }
                 }
             }
-            queue = next;
+            std::mem::swap(&mut queue, &mut self.scratch);
         }
         // Replies beyond the chase depth spill into the next round.
         self.pending = queue;
@@ -228,11 +350,16 @@ mod tests {
         ProcessId::new(p)
     }
 
-    /// A tiny fully-meshed lpbcast cluster.
+    /// A tiny fully-meshed lpbcast cluster. Digest deliveries follow the
+    /// paper's §5.2 measurement convention (a received id counts as a
+    /// received notification) so that full-infection assertions depend on
+    /// connectivity, not on every node catching the payload during its
+    /// one-shot push window.
     fn cluster(n: u64, seed: u64) -> Engine<LpbcastNode> {
         let config = Config::builder()
             .view_size(n as usize - 1)
             .fanout(2.min(n as usize - 1))
+            .deliver_on_digest(true)
             .build();
         let mut engine = Engine::new(NetworkModel::perfect(seed), CrashPlan::none());
         for i in 0..n {
@@ -301,7 +428,11 @@ mod tests {
 
     #[test]
     fn lossy_network_still_converges_with_redundancy() {
-        let config = Config::builder().view_size(7).fanout(3).build();
+        let config = Config::builder()
+            .view_size(7)
+            .fanout(3)
+            .deliver_on_digest(true)
+            .build();
         let mut engine = Engine::new(NetworkModel::new(0.3, 5), CrashPlan::none());
         let n = 16u64;
         for i in 0..n {
@@ -320,7 +451,10 @@ mod tests {
             "gossip redundancy defeats 30% loss: {}",
             engine.tracker().infected_count(id)
         );
-        assert!(engine.network().dropped_count() > 0, "loss actually happened");
+        assert!(
+            engine.network().dropped_count() > 0,
+            "loss actually happened"
+        );
     }
 
     #[test]
@@ -338,6 +472,23 @@ mod tests {
         assert!(engine.remove_node(pid(3)).is_none());
         assert_eq!(engine.alive_count(), 3);
         assert!(engine.node(pid(3)).is_none());
+    }
+
+    #[test]
+    fn removal_keeps_slab_consistent() {
+        // Remove a middle node: the last slab entry is swapped into its
+        // slot, and routing/liveness must follow it.
+        let mut engine = cluster(6, 13);
+        engine.crash(pid(5));
+        assert!(engine.remove_node(pid(2)).is_some());
+        assert_eq!(engine.alive_count(), 4);
+        assert!(!engine.is_alive(pid(5)), "crash state follows the swap");
+        assert!(engine.is_alive(pid(4)));
+        assert_eq!(engine.alive_ids(), vec![pid(0), pid(1), pid(3), pid(4)]);
+        let id = engine.publish_from(pid(0), Payload::from_static(b"x"));
+        engine.run(10);
+        assert_eq!(engine.tracker().infected_count(id), 4);
+        assert!(!engine.tracker().has_seen(id, pid(5)));
     }
 
     #[test]

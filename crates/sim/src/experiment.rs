@@ -18,6 +18,7 @@ use lpbcast_types::{Payload, ProcessId};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use crate::engine::Engine;
 use crate::network::{CrashPlan, NetworkModel};
@@ -147,10 +148,7 @@ impl PbcastSimParams {
     pub fn figure7_defaults(n: usize, membership: PbcastMembershipKind) -> Self {
         PbcastSimParams {
             n,
-            config: PbcastConfig::builder()
-                .fanout(5)
-                .first_phase(false)
-                .build(),
+            config: PbcastConfig::builder().fanout(5).first_phase(false).build(),
             membership,
             loss_rate: 0.05,
             tau: 0.01,
@@ -176,12 +174,7 @@ impl PbcastSimParams {
 /// Draws a uniformly random initial view of size `l` for every process —
 /// the §4.1 assumption ("at each round, each process has a uniformly
 /// distributed random view of size l").
-fn random_view(
-    rng: &mut SmallRng,
-    me: u64,
-    n: usize,
-    l: usize,
-) -> Vec<ProcessId> {
+fn random_view(rng: &mut SmallRng, me: u64, n: usize, l: usize) -> Vec<ProcessId> {
     let candidates: Vec<u64> = (0..n as u64).filter(|&j| j != me).collect();
     candidates
         .choose_multiple(rng, l.min(candidates.len()))
@@ -277,7 +270,21 @@ fn mean_curves(curves: &[Vec<usize>]) -> Vec<f64> {
 }
 
 /// Mean lpbcast infected-per-round curve over `seeds` (Fig. 5).
+///
+/// Seed runs fan out across the thread pool: each seed owns an
+/// independent [`Engine`] with seed-derived RNG streams, and results are
+/// aggregated in seed order, so the output is bit-identical to
+/// [`lpbcast_infection_curve_serial`] regardless of the worker count.
 pub fn lpbcast_infection_curve(params: &LpbcastSimParams, seeds: &[u64]) -> Vec<f64> {
+    let curves: Vec<Vec<usize>> = seeds
+        .par_iter()
+        .map(|&s| infection_run(&mut build_lpbcast_engine(params, s), params.rounds))
+        .collect();
+    mean_curves(&curves)
+}
+
+/// Single-threaded [`lpbcast_infection_curve`] (determinism reference).
+pub fn lpbcast_infection_curve_serial(params: &LpbcastSimParams, seeds: &[u64]) -> Vec<f64> {
     let curves: Vec<Vec<usize>> = seeds
         .iter()
         .map(|&s| infection_run(&mut build_lpbcast_engine(params, s), params.rounds))
@@ -286,7 +293,18 @@ pub fn lpbcast_infection_curve(params: &LpbcastSimParams, seeds: &[u64]) -> Vec<
 }
 
 /// Mean pbcast infected-per-round curve over `seeds` (Fig. 7(a)).
+/// Parallel over seeds; bit-identical to
+/// [`pbcast_infection_curve_serial`].
 pub fn pbcast_infection_curve(params: &PbcastSimParams, seeds: &[u64]) -> Vec<f64> {
+    let curves: Vec<Vec<usize>> = seeds
+        .par_iter()
+        .map(|&s| infection_run(&mut build_pbcast_engine(params, s), params.rounds))
+        .collect();
+    mean_curves(&curves)
+}
+
+/// Single-threaded [`pbcast_infection_curve`] (determinism reference).
+pub fn pbcast_infection_curve_serial(params: &PbcastSimParams, seeds: &[u64]) -> Vec<f64> {
     let curves: Vec<Vec<usize>> = seeds
         .iter()
         .map(|&s| infection_run(&mut build_pbcast_engine(params, s), params.rounds))
@@ -320,11 +338,7 @@ impl Default for ReliabilityRun {
     }
 }
 
-fn reliability_run<N: SimNode>(
-    engine: &mut Engine<N>,
-    run: &ReliabilityRun,
-    seed: u64,
-) -> f64 {
+fn reliability_run<N: SimNode>(engine: &mut Engine<N>, run: &ReliabilityRun, seed: u64) -> f64 {
     let mut pub_rng = SmallRng::seed_from_u64(seed ^ 0x7075_626C_6973_6865);
     engine.run(run.warmup);
     let window_start = engine.round() + 1;
@@ -348,7 +362,20 @@ fn reliability_run<N: SimNode>(
 /// Mean lpbcast reliability (1 − β) over `seeds` (Fig. 6(a)/(b)).
 ///
 /// Note: the run length is taken from `run`, not `params.rounds`.
-pub fn lpbcast_reliability(
+/// Parallel over seeds; per-seed results are summed in seed order, so the
+/// mean is bit-identical to [`lpbcast_reliability_serial`].
+pub fn lpbcast_reliability(params: &LpbcastSimParams, run: &ReliabilityRun, seeds: &[u64]) -> f64 {
+    let total_rounds = run.warmup + run.publish_rounds + run.drain;
+    let params = params.clone().rounds(total_rounds);
+    let sum: f64 = seeds
+        .par_iter()
+        .map(|&s| reliability_run(&mut build_lpbcast_engine(&params, s), run, s))
+        .sum();
+    sum / seeds.len() as f64
+}
+
+/// Single-threaded [`lpbcast_reliability`] (determinism reference).
+pub fn lpbcast_reliability_serial(
     params: &LpbcastSimParams,
     run: &ReliabilityRun,
     seeds: &[u64],
@@ -362,8 +389,20 @@ pub fn lpbcast_reliability(
     sum / seeds.len() as f64
 }
 
-/// Mean pbcast reliability over `seeds` (Fig. 7(b)).
-pub fn pbcast_reliability(
+/// Mean pbcast reliability over `seeds` (Fig. 7(b)). Parallel over seeds;
+/// bit-identical to [`pbcast_reliability_serial`].
+pub fn pbcast_reliability(params: &PbcastSimParams, run: &ReliabilityRun, seeds: &[u64]) -> f64 {
+    let total_rounds = run.warmup + run.publish_rounds + run.drain;
+    let params = params.clone().rounds(total_rounds);
+    let sum: f64 = seeds
+        .par_iter()
+        .map(|&s| reliability_run(&mut build_pbcast_engine(&params, s), run, s))
+        .sum();
+    sum / seeds.len() as f64
+}
+
+/// Single-threaded [`pbcast_reliability`] (determinism reference).
+pub fn pbcast_reliability_serial(
     params: &PbcastSimParams,
     run: &ReliabilityRun,
     seeds: &[u64],
@@ -424,10 +463,12 @@ mod tests {
 
     #[test]
     fn pbcast_total_view_disseminates() {
-        let params =
-            PbcastSimParams::figure7_defaults(40, PbcastMembershipKind::Total).rounds(12);
+        let params = PbcastSimParams::figure7_defaults(40, PbcastMembershipKind::Total).rounds(12);
         let curve = pbcast_infection_curve(&params, &[5, 6]);
-        assert!(*curve.last().unwrap() > 35.0, "pbcast reaches ~n: {curve:?}");
+        assert!(
+            *curve.last().unwrap() > 35.0,
+            "pbcast reaches ~n: {curve:?}"
+        );
     }
 
     #[test]

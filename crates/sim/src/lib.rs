@@ -21,6 +21,34 @@
 //! processes crash during a run, at uniformly random rounds
 //! ([`CrashPlan`]).
 //!
+//! # Performance architecture
+//!
+//! The simulator is built to sweep thousands of nodes and dozens of seeds
+//! per figure:
+//!
+//! * **Dense slab engine** — nodes live in a `Vec` slab with a
+//!   `ProcessId → index` cheap-hash map consulted once per *enqueued*
+//!   message; envelopes carry slab indices, so delivery routing is an
+//!   array access and liveness a bitset test ([`engine`]).
+//! * **Double-buffered queues** — the round queue, reply buffer and
+//!   next-round spill ping-pong between reused allocations; steady-state
+//!   rounds do not allocate queue storage.
+//! * **Dense metrics** — the [`InfectionTracker`] interns process ids and
+//!   keeps per-event flat first-seen-round vectors plus maintained
+//!   infected counters ([`metrics`]).
+//! * **Geometric loss sampling** — the [`NetworkModel`] draws the
+//!   geometric gap between drops instead of one uniform per copy, making
+//!   RNG cost proportional to ε·messages ([`network`]).
+//! * **Parallel seed sweeps** — every `*_infection_curve` / `*_reliability`
+//!   sweep in [`experiment`] fans seeds out with rayon. Each seed owns an
+//!   independent engine and results aggregate in seed order, so parallel
+//!   and serial sweeps are bit-identical (`*_serial` variants exist as
+//!   determinism references, proven by `tests/sweep_determinism.rs`).
+//!
+//! `crates/bench/src/bin/bench_sim.rs` times a steady-state round and the
+//! sweep wall-clock against the original `BTreeMap` engine and writes
+//! `BENCH_sim.json` at the workspace root.
+//!
 //! # Example: one dissemination
 //!
 //! ```

@@ -1,8 +1,63 @@
 //! Infection and reliability metrics.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! # Layout
+//!
+//! The tracker interns every `ProcessId` it sees into a dense index and
+//! stores, per event, a flat `Vec<u32>` of first-seen rounds indexed by
+//! that intern index (sentinel-encoded for "unseen" and "seen, round
+//! unknown"). Recording a sighting is therefore one cheap-hash map probe
+//! plus one array write, and an infected count is a maintained counter —
+//! no nested `HashMap<EventId, HashSet<ProcessId>>` walks on the
+//! simulator's hot path. The query API is unchanged from the original
+//! hash-based tracker.
 
 use lpbcast_types::{EventId, ProcessId};
+
+use lpbcast_types::FastMap;
+
+/// Sentinel: the process has not seen the event.
+const UNSEEN: u32 = u32::MAX;
+/// Sentinel: seen, but no round was recorded ([`InfectionTracker::record_seen`]).
+const SEEN_NO_ROUND: u32 = u32::MAX - 1;
+
+/// Per-event dense state.
+#[derive(Debug, Clone)]
+struct EventRecord {
+    /// Round of publication, if [`InfectionTracker::record_publish`] ran.
+    publish_round: Option<u64>,
+    /// First-seen round per intern index, sentinel-encoded.
+    first_seen: Vec<u32>,
+    /// Number of non-[`UNSEEN`] entries (maintained incrementally).
+    seen_count: usize,
+}
+
+impl EventRecord {
+    fn new() -> Self {
+        EventRecord {
+            publish_round: None,
+            first_seen: Vec::new(),
+            seen_count: 0,
+        }
+    }
+
+    /// Marks `slot` seen at `round` (sentinels allowed); keeps the first
+    /// real round on re-sightings.
+    fn mark(&mut self, slot: usize, round: u32) {
+        if self.first_seen.len() <= slot {
+            self.first_seen.resize(slot + 1, UNSEEN);
+        }
+        let cell = &mut self.first_seen[slot];
+        match *cell {
+            UNSEEN => {
+                *cell = round;
+                self.seen_count += 1;
+            }
+            // A round-less sighting is upgraded by a round-carrying one.
+            SEEN_NO_ROUND if round < SEEN_NO_ROUND => *cell = round,
+            _ => {}
+        }
+    }
+}
 
 /// Tracks which processes have seen which events, and when events were
 /// published.
@@ -12,10 +67,9 @@ use lpbcast_types::{EventId, ProcessId};
 /// count.
 #[derive(Debug, Clone, Default)]
 pub struct InfectionTracker {
-    seen: HashMap<EventId, HashSet<ProcessId>>,
-    publish_round: HashMap<EventId, u64>,
-    /// First-seen round per (event, process) — delivery latency source.
-    first_seen: HashMap<(EventId, ProcessId), u64>,
+    /// `ProcessId` → dense intern index.
+    intern: FastMap<ProcessId, u32>,
+    events: FastMap<EventId, EventRecord>,
 }
 
 impl InfectionTracker {
@@ -24,46 +78,74 @@ impl InfectionTracker {
         Self::default()
     }
 
+    fn slot(&mut self, process: ProcessId) -> usize {
+        let next = self.intern.len() as u32;
+        *self.intern.entry(process).or_insert(next) as usize
+    }
+
     /// Records that `origin` published `id` at `round` (the origin counts
     /// as infected — s₀ = 1, latency 0).
     pub fn record_publish(&mut self, id: EventId, origin: ProcessId, round: u64) {
-        self.publish_round.insert(id, round);
-        self.seen.entry(id).or_default().insert(origin);
-        self.first_seen.entry((id, origin)).or_insert(round);
+        let slot = self.slot(origin);
+        let record = self.events.entry(id).or_insert_with(EventRecord::new);
+        record.publish_round = Some(round);
+        record.mark(slot, round.min(SEEN_NO_ROUND as u64 - 1) as u32);
     }
 
     /// Records that `process` has seen `id` (payload delivery or learnt
     /// digest id) at `round`. Re-sightings keep the first round.
     pub fn record_seen_at(&mut self, id: EventId, process: ProcessId, round: u64) {
-        self.seen.entry(id).or_default().insert(process);
-        self.first_seen.entry((id, process)).or_insert(round);
+        let slot = self.slot(process);
+        self.events
+            .entry(id)
+            .or_insert_with(EventRecord::new)
+            .mark(slot, round.min(SEEN_NO_ROUND as u64 - 1) as u32);
     }
 
     /// Records a sighting without latency information (round unknown).
     pub fn record_seen(&mut self, id: EventId, process: ProcessId) {
-        self.seen.entry(id).or_default().insert(process);
+        let slot = self.slot(process);
+        self.events
+            .entry(id)
+            .or_insert_with(EventRecord::new)
+            .mark(slot, SEEN_NO_ROUND);
+    }
+
+    fn first_seen_cell(&self, id: EventId, process: ProcessId) -> Option<u32> {
+        let slot = *self.intern.get(&process)? as usize;
+        let cell = *self.events.get(&id)?.first_seen.get(slot)?;
+        (cell != UNSEEN).then_some(cell)
     }
 
     /// Rounds between the publication of `id` and `process` first seeing
-    /// it; `None` if untracked or unseen.
+    /// it; `None` if untracked, unseen, or seen without round data.
     pub fn delivery_latency(&self, id: EventId, process: ProcessId) -> Option<u64> {
-        let published = *self.publish_round.get(&id)?;
-        let first = *self.first_seen.get(&(id, process))?;
-        Some(first.saturating_sub(published))
+        let published = self.events.get(&id)?.publish_round?;
+        let first = self.first_seen_cell(id, process)?;
+        if first == SEEN_NO_ROUND {
+            return None;
+        }
+        Some((first as u64).saturating_sub(published))
     }
 
     /// Histogram of delivery latencies for `id`: `hist[d]` = processes
     /// that first saw it `d` rounds after publication.
     pub fn latency_histogram(&self, id: EventId) -> Vec<usize> {
-        let Some(&published) = self.publish_round.get(&id) else {
+        let Some(record) = self.events.get(&id) else {
             return Vec::new();
         };
-        let latencies: Vec<u64> = self
+        let Some(published) = record.publish_round else {
+            return Vec::new();
+        };
+        let latencies: Vec<u64> = record
             .first_seen
             .iter()
-            .filter(|((eid, _), _)| *eid == id)
-            .map(|(_, &round)| round.saturating_sub(published))
+            .filter(|&&cell| cell < SEEN_NO_ROUND)
+            .map(|&cell| (cell as u64).saturating_sub(published))
             .collect();
+        if latencies.is_empty() {
+            return Vec::new();
+        }
         let max = latencies.iter().copied().max().unwrap_or(0) as usize;
         let mut hist = vec![0usize; max + 1];
         for d in latencies {
@@ -86,22 +168,24 @@ impl InfectionTracker {
 
     /// How many processes have seen `id`.
     pub fn infected_count(&self, id: EventId) -> usize {
-        self.seen.get(&id).map_or(0, HashSet::len)
+        self.events.get(&id).map_or(0, |r| r.seen_count)
     }
 
     /// Whether `process` has seen `id`.
     pub fn has_seen(&self, id: EventId, process: ProcessId) -> bool {
-        self.seen.get(&id).is_some_and(|s| s.contains(&process))
+        self.first_seen_cell(id, process).is_some()
     }
 
     /// The round `id` was published, if tracked.
     pub fn published_at(&self, id: EventId) -> Option<u64> {
-        self.publish_round.get(&id).copied()
+        self.events.get(&id)?.publish_round
     }
 
     /// All tracked events with their publish rounds.
     pub fn published_events(&self) -> impl Iterator<Item = (EventId, u64)> + '_ {
-        self.publish_round.iter().map(|(&id, &r)| (id, r))
+        self.events
+            .iter()
+            .filter_map(|(&id, r)| r.publish_round.map(|round| (id, round)))
     }
 
     /// Fraction of `population` that has seen `id` — the per-event
@@ -121,10 +205,9 @@ impl InfectionTracker {
         population: usize,
     ) -> ReliabilityReport {
         let mut per_event: Vec<f64> = self
-            .publish_round
-            .iter()
-            .filter(|(_, &r)| window.contains(&r))
-            .map(|(&id, _)| self.reliability_of(id, population))
+            .published_events()
+            .filter(|(_, round)| window.contains(round))
+            .map(|(id, _)| self.reliability_of(id, population))
             .collect();
         per_event.sort_by(|a, b| a.partial_cmp(b).expect("reliability is finite"));
         ReliabilityReport::from_sorted(per_event)
@@ -238,6 +321,31 @@ mod tests {
         let report = t.reliability_report(0..=10, 5);
         assert_eq!(report.event_count(), 0);
         assert_eq!(report.mean, 0.0);
+    }
+
+    #[test]
+    fn sighting_without_publish_still_counts() {
+        // The original hash-based tracker recorded sightings of events it
+        // never saw published; the dense tracker must too.
+        let mut t = InfectionTracker::new();
+        t.record_seen_at(eid(4, 4), pid(1), 3);
+        assert_eq!(t.infected_count(eid(4, 4)), 1);
+        assert!(t.has_seen(eid(4, 4), pid(1)));
+        assert_eq!(t.published_at(eid(4, 4)), None);
+        assert_eq!(t.delivery_latency(eid(4, 4), pid(1)), None);
+        assert!(t.latency_histogram(eid(4, 4)).is_empty());
+        assert_eq!(t.published_events().count(), 0);
+    }
+
+    #[test]
+    fn roundless_sighting_upgrades_to_rounded() {
+        let mut t = InfectionTracker::new();
+        t.record_publish(eid(0, 0), pid(0), 1);
+        t.record_seen(eid(0, 0), pid(1));
+        assert_eq!(t.delivery_latency(eid(0, 0), pid(1)), None);
+        t.record_seen_at(eid(0, 0), pid(1), 4);
+        assert_eq!(t.delivery_latency(eid(0, 0), pid(1)), Some(3));
+        assert_eq!(t.infected_count(eid(0, 0)), 2, "no double count");
     }
 }
 

@@ -14,12 +14,24 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 /// Bernoulli message-loss model.
+///
+/// Loss decisions are drawn by geometric skip-sampling: instead of one
+/// uniform draw per message copy, the model draws — once per *drop* — the
+/// geometrically distributed number of copies that survive until the next
+/// drop, and then answers [`delivers`](NetworkModel::delivers) with a
+/// counter decrement. The per-copy marginal is exactly `Bernoulli(ε)`,
+/// but the RNG cost scales with the number of drops (εN) rather than the
+/// queue length (N).
 #[derive(Debug)]
 pub struct NetworkModel {
     loss_rate: f64,
     rng: SmallRng,
     delivered: u64,
     dropped: u64,
+    /// Copies that will survive before the next drop.
+    survivors_left: u64,
+    /// Precomputed `1 / ln(1 − ε)` (0 when ε = 0).
+    inv_ln_keep: f64,
 }
 
 impl NetworkModel {
@@ -34,12 +46,22 @@ impl NetworkModel {
             (0.0..1.0).contains(&loss_rate),
             "loss rate must be in [0, 1)"
         );
-        NetworkModel {
+        let mut model = NetworkModel {
             loss_rate,
             rng: SmallRng::seed_from_u64(seed ^ 0x006E_6574_776F_726Bu64),
             delivered: 0,
             dropped: 0,
+            survivors_left: 0,
+            inv_ln_keep: if loss_rate > 0.0 {
+                (1.0 - loss_rate).ln().recip()
+            } else {
+                0.0
+            },
+        };
+        if loss_rate > 0.0 {
+            model.survivors_left = model.draw_survivors();
         }
+        model
     }
 
     /// A lossless network.
@@ -52,15 +74,35 @@ impl NetworkModel {
         self.loss_rate
     }
 
-    /// Decides the fate of one message copy.
-    pub fn delivers(&mut self) -> bool {
-        let ok = self.loss_rate == 0.0 || self.rng.gen::<f64>() >= self.loss_rate;
-        if ok {
-            self.delivered += 1;
+    /// Draws the geometric number of survivors before the next drop:
+    /// `P(k) = (1 − ε)^k · ε`, sampled as `⌊ln(U) / ln(1 − ε)⌋`.
+    fn draw_survivors(&mut self) -> u64 {
+        // Map the uniform draw into (0, 1] so ln() is finite.
+        let u = 1.0 - self.rng.gen::<f64>();
+        let k = u.ln() * self.inv_ln_keep;
+        if k >= u64::MAX as f64 {
+            u64::MAX
         } else {
-            self.dropped += 1;
+            k as u64
         }
-        ok
+    }
+
+    /// Decides the fate of one message copy.
+    #[inline]
+    pub fn delivers(&mut self) -> bool {
+        if self.loss_rate == 0.0 {
+            self.delivered += 1;
+            return true;
+        }
+        if self.survivors_left > 0 {
+            self.survivors_left -= 1;
+            self.delivered += 1;
+            true
+        } else {
+            self.survivors_left = self.draw_survivors();
+            self.dropped += 1;
+            false
+        }
     }
 
     /// Copies delivered so far.
@@ -89,12 +131,7 @@ impl CrashPlan {
     /// Draws the paper's fault model: `⌊τ·n⌋` distinct processes (chosen
     /// uniformly from `candidates`) crash at uniformly random rounds in
     /// `1..=max_round`.
-    pub fn draw(
-        candidates: &[ProcessId],
-        tau: f64,
-        max_round: u64,
-        seed: u64,
-    ) -> Self {
+    pub fn draw(candidates: &[ProcessId], tau: f64, max_round: u64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&tau), "τ must be in [0, 1)");
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xC4A5_4E5E_ED00_1EAD);
         let f = ((tau * candidates.len() as f64).floor() as usize).min(candidates.len());
@@ -116,10 +153,7 @@ impl CrashPlan {
 
     /// Processes crashing at `round`.
     pub fn crashes_at(&self, round: u64) -> &[ProcessId] {
-        self.by_round
-            .get(&round)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.by_round.get(&round).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Total scheduled crashes.
@@ -163,6 +197,29 @@ mod tests {
     #[should_panic(expected = "loss rate")]
     fn rejects_certain_loss() {
         let _ = NetworkModel::new(1.0, 1);
+    }
+
+    #[test]
+    fn skip_sampling_is_deterministic_per_seed() {
+        let pattern = |seed| -> Vec<bool> {
+            let mut net = NetworkModel::new(0.2, seed);
+            (0..500).map(|_| net.delivers()).collect()
+        };
+        assert_eq!(pattern(9), pattern(9), "same seed, same drop pattern");
+        assert_ne!(pattern(9), pattern(10), "different seed diverges");
+    }
+
+    #[test]
+    fn high_loss_rates_still_mix() {
+        // The geometric sampler must not degenerate near the ends of the
+        // ε range: ~90% loss should still deliver occasionally.
+        let mut net = NetworkModel::new(0.9, 3);
+        let delivered = (0..10_000).filter(|_| net.delivers()).count();
+        let rate = delivered as f64 / 10_000.0;
+        assert!(
+            (rate - 0.1).abs() < 0.02,
+            "delivery rate {rate} far from 0.1"
+        );
     }
 
     #[test]

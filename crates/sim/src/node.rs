@@ -184,7 +184,12 @@ mod tests {
     #[test]
     fn lpbcast_node_roundtrip() {
         let config = Config::builder().view_size(4).fanout(2).build();
-        let mut a = LpbcastNode::new(Lpbcast::with_initial_view(pid(0), config.clone(), 1, [pid(1)]));
+        let mut a = LpbcastNode::new(Lpbcast::with_initial_view(
+            pid(0),
+            config.clone(),
+            1,
+            [pid(1)],
+        ));
         let mut b = LpbcastNode::new(Lpbcast::with_initial_view(pid(1), config, 2, [pid(0)]));
         let (id, immediate) = a.publish(Payload::from_static(b"x"));
         assert!(immediate.is_empty());

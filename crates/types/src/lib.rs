@@ -42,9 +42,12 @@
 mod buffer;
 mod digest;
 mod event;
+pub mod hashing;
 mod id;
+pub mod scan;
 
 pub use buffer::{BoundedSet, OldestFirstBuffer};
 pub use digest::{CompactDigest, OriginDigest};
 pub use event::{Event, Payload};
+pub use hashing::{FastMap, FastSet};
 pub use id::{EventId, ProcessId, Round};

@@ -1,0 +1,71 @@
+//! Chunked linear search for the protocol's small hot buffers.
+//!
+//! A plain `iter().position(..)` compiles to a branchy early-exit loop
+//! that the vectorizer cannot touch; for the 15–120-entry id buffers the
+//! protocol probes dozens of times per gossip, the branch per element
+//! dominates. [`position_of`] instead folds equality over fixed-width
+//! chunks (which LLVM turns into SIMD compares for word-sized keys) and
+//! branches once per chunk.
+
+const CHUNK: usize = 8;
+
+/// Index of the first element equal to `needle`, scanning in chunks.
+#[inline]
+pub fn position_of<T: PartialEq>(items: &[T], needle: &T) -> Option<usize> {
+    let mut base = 0;
+    let mut chunks = items.chunks_exact(CHUNK);
+    for chunk in &mut chunks {
+        // Fixed-trip-count, branch-free fold: vectorizable.
+        let mut any = false;
+        for item in chunk {
+            any |= item == needle;
+        }
+        if any {
+            for (j, item) in chunk.iter().enumerate() {
+                if item == needle {
+                    return Some(base + j);
+                }
+            }
+        }
+        base += CHUNK;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|item| item == needle)
+        .map(|j| base + j)
+}
+
+/// Whether `needle` occurs in `items` (chunked scan).
+#[inline]
+pub fn contains<T: PartialEq>(items: &[T], needle: &T) -> bool {
+    position_of(items, needle).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_first_occurrence_everywhere() {
+        for len in 0..40usize {
+            let items: Vec<u64> = (0..len as u64).collect();
+            for needle in 0..len as u64 {
+                assert_eq!(
+                    position_of(&items, &needle),
+                    Some(needle as usize),
+                    "len {len}"
+                );
+            }
+            assert_eq!(position_of(&items, &(len as u64 + 7)), None);
+        }
+    }
+
+    #[test]
+    fn duplicate_returns_first() {
+        let items = [5u64, 9, 5, 1, 9, 9];
+        assert_eq!(position_of(&items, &9), Some(1));
+        assert!(contains(&items, &1));
+        assert!(!contains(&items, &2));
+    }
+}

@@ -8,7 +8,7 @@
 
 use lpbcast::core::{Config, Lpbcast};
 use lpbcast::membership::View as _;
-use lpbcast::sim::experiment::{InitialTopology, build_lpbcast_engine, LpbcastSimParams};
+use lpbcast::sim::experiment::{build_lpbcast_engine, InitialTopology, LpbcastSimParams};
 use lpbcast::sim::LpbcastNode;
 use lpbcast::types::ProcessId;
 

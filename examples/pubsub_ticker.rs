@@ -47,7 +47,10 @@ fn main() {
         }
         println!(
             "trader p{i} subscribes to: {}",
-            node.topics().map(TopicId::to_string).collect::<Vec<_>>().join(", ")
+            node.topics()
+                .map(TopicId::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         cluster.add_node(node);
     }
@@ -63,7 +66,9 @@ fn main() {
     println!();
     let mut published = Vec::new();
     for &(topic, origin, quote) in &ticks {
-        let id = cluster.publish(p(origin), topic, quote).expect("subscribed");
+        let id = cluster
+            .publish(p(origin), topic, quote)
+            .expect("subscribed");
         println!("p{origin} published {quote:?} on {topic} as {id}");
         published.push((topic.clone(), id, quote));
     }
@@ -72,7 +77,10 @@ fn main() {
 
     // A latecomer joins one topic mid-stream (§3.4 handshake).
     println!("\np9 subscribes late to {tech} via contact p0");
-    cluster.node_mut(p(9)).unwrap().subscribe_via(&tech, vec![p(0)]);
+    cluster
+        .node_mut(p(9))
+        .unwrap()
+        .subscribe_via(&tech, vec![p(0)]);
     cluster.run(8);
     let late_tick = cluster
         .publish(p(1), &tech, "MSFT 428.90")

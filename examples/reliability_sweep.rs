@@ -8,7 +8,9 @@
 //! (release strongly recommended; debug builds are ~20× slower)
 
 use lpbcast::core::Config;
-use lpbcast::sim::experiment::{lpbcast_reliability, InitialTopology, LpbcastSimParams, ReliabilityRun};
+use lpbcast::sim::experiment::{
+    lpbcast_reliability, InitialTopology, LpbcastSimParams, ReliabilityRun,
+};
 
 fn main() {
     let n = 80;

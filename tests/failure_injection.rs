@@ -2,9 +2,9 @@
 //! storms, heavy loss, and recovery via retransmission.
 
 use lpbcast::core::Config;
-use lpbcast::sim::experiment::{InitialTopology, build_lpbcast_engine, LpbcastSimParams};
-use lpbcast::sim::{CrashPlan, Engine, LpbcastNode, NetworkModel};
 use lpbcast::core::Lpbcast;
+use lpbcast::sim::experiment::{build_lpbcast_engine, InitialTopology, LpbcastSimParams};
+use lpbcast::sim::{CrashPlan, Engine, LpbcastNode, NetworkModel};
 use lpbcast::types::ProcessId;
 
 fn p(i: u64) -> ProcessId {
@@ -65,7 +65,7 @@ fn extreme_loss_degrades_gracefully() {
             loss_rate: loss,
             tau: 0.0,
             rounds: 20,
-        topology: InitialTopology::UniformRandom,
+            topology: InitialTopology::UniformRandom,
         };
         let mut engine = build_lpbcast_engine(&params, 5);
         let id = engine.publish_from(p(0), "x".into());
@@ -75,11 +75,20 @@ fn extreme_loss_degrades_gracefully() {
     let at_5 = mk(0.05);
     let at_50 = mk(0.50);
     let at_80 = mk(0.80);
-    assert!(at_5 >= at_50, "more loss, fewer infected ({at_5} vs {at_50})");
-    assert!(at_50 >= at_80, "more loss, fewer infected ({at_50} vs {at_80})");
+    assert!(
+        at_5 >= at_50,
+        "more loss, fewer infected ({at_5} vs {at_50})"
+    );
+    assert!(
+        at_50 >= at_80,
+        "more loss, fewer infected ({at_50} vs {at_80})"
+    );
     // Even at 50% loss, effective fanout ≈ 1.5 > 1: the epidemic still
     // percolates.
-    assert!(at_50 > 30, "50% loss should still mostly percolate: {at_50}");
+    assert!(
+        at_50 > 30,
+        "50% loss should still mostly percolate: {at_50}"
+    );
 }
 
 #[test]
@@ -103,7 +112,7 @@ fn retransmission_repairs_what_push_missed() {
             loss_rate: 0.15,
             tau: 0.0,
             rounds: 20,
-        topology: InitialTopology::UniformRandom,
+            topology: InitialTopology::UniformRandom,
         };
         let mut engine = build_lpbcast_engine(&params, seed);
         let id = engine.publish_from(p(0), "fragile".into());
@@ -133,8 +142,7 @@ fn crashed_contact_does_not_deadlock_joiner() {
         .fanout(2)
         .join_timeout(2)
         .build();
-    let mut engine: Engine<LpbcastNode> =
-        Engine::new(NetworkModel::perfect(3), CrashPlan::none());
+    let mut engine: Engine<LpbcastNode> = Engine::new(NetworkModel::perfect(3), CrashPlan::none());
     for i in 0..6u64 {
         let members: Vec<ProcessId> = (0..6).filter(|&j| j != i).map(p).collect();
         engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(

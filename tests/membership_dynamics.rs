@@ -3,7 +3,7 @@
 
 use lpbcast::core::{Config, Lpbcast};
 use lpbcast::membership::View as _;
-use lpbcast::sim::experiment::{InitialTopology, build_lpbcast_engine, LpbcastSimParams};
+use lpbcast::sim::experiment::{build_lpbcast_engine, InitialTopology, LpbcastSimParams};
 use lpbcast::sim::{CrashPlan, Engine, LpbcastNode, NetworkModel};
 use lpbcast::types::ProcessId;
 
@@ -172,14 +172,19 @@ fn prioritary_processes_heal_an_engineered_partition() {
     // are constantly known by each process. They are periodically used to
     // 'normalize' the views". Build two islands that only the prioritary
     // mechanism can reconnect.
+    // Retransmission pulls (§3.2) are enabled so the cross-island
+    // dissemination check below depends on the healed topology, not on
+    // every process catching the notification during its brief push
+    // window — without pulls the assertion is a coin-flip on RNG streams.
     let island_config = Config::builder()
         .view_size(4)
         .fanout(2)
         .prioritary(vec![p(0)])
         .normalization_period(3)
+        .retransmit_request_max(4)
+        .archive_capacity(16)
         .build();
-    let mut engine: Engine<LpbcastNode> =
-        Engine::new(NetworkModel::perfect(1), CrashPlan::none());
+    let mut engine: Engine<LpbcastNode> = Engine::new(NetworkModel::perfect(1), CrashPlan::none());
     // Island A: p0..p4 (contains the prioritary process p0).
     for i in 0..5u64 {
         let members: Vec<ProcessId> = (0..5).filter(|&j| j != i).map(p).collect();
@@ -225,8 +230,7 @@ fn without_prioritary_processes_the_islands_stay_split() {
     // a §4.4 partition is permanent ("A priori, it is not possible to
     // recover from such a partition").
     let island_config = config(4);
-    let mut engine: Engine<LpbcastNode> =
-        Engine::new(NetworkModel::perfect(1), CrashPlan::none());
+    let mut engine: Engine<LpbcastNode> = Engine::new(NetworkModel::perfect(1), CrashPlan::none());
     for i in 0..5u64 {
         let members: Vec<ProcessId> = (0..5).filter(|&j| j != i).map(p).collect();
         engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(

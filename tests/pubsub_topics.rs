@@ -84,15 +84,13 @@ fn subscribing_is_joining_the_topics_group() {
     let mut cluster = build(8, std::slice::from_ref(&t), |i, _| i < 7, 9);
     cluster.run(3);
 
-    cluster.node_mut(p(7)).unwrap().subscribe_via(&t, vec![p(2)]);
+    cluster
+        .node_mut(p(7))
+        .unwrap()
+        .subscribe_via(&t, vec![p(2)]);
     cluster.run(8);
     assert!(
-        !cluster
-            .node(p(7))
-            .unwrap()
-            .group(&t)
-            .unwrap()
-            .is_joining(),
+        !cluster.node(p(7)).unwrap().group(&t).unwrap().is_joining(),
         "handshake completed"
     );
 
@@ -121,7 +119,11 @@ fn unsubscribing_one_topic_keeps_the_others() {
     cluster.run(12);
     assert!(cluster.has_delivered(p(5), &ta, keep_event));
     assert!(!cluster.has_delivered(p(5), &tb, leave_event));
-    assert_eq!(cluster.delivered_to(&tb, leave_event), 5, "others unaffected");
+    assert_eq!(
+        cluster.delivered_to(&tb, leave_event),
+        5,
+        "others unaffected"
+    );
 }
 
 #[test]
@@ -134,7 +136,9 @@ fn per_topic_groups_scale_independently() {
     for (k, topic) in topics.iter().enumerate() {
         ids.push((
             topic.clone(),
-            cluster.publish(p(k as u64), topic, format!("m{k}")).unwrap(),
+            cluster
+                .publish(p(k as u64), topic, format!("m{k}"))
+                .unwrap(),
         ));
     }
     cluster.run(15);

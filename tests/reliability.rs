@@ -3,9 +3,9 @@
 
 use lpbcast::core::Config;
 use lpbcast::pbcast::PbcastConfig;
-use lpbcast::sim::experiment::{InitialTopology, 
+use lpbcast::sim::experiment::{
     lpbcast_infection_curve, lpbcast_reliability, pbcast_infection_curve, pbcast_reliability,
-    LpbcastSimParams, PbcastMembershipKind, PbcastSimParams, ReliabilityRun,
+    InitialTopology, LpbcastSimParams, PbcastMembershipKind, PbcastSimParams, ReliabilityRun,
 };
 
 const SEEDS: [u64; 3] = [11, 22, 33];
@@ -47,7 +47,10 @@ fn reliability_monotone_in_event_ids_bound() {
         r_small < r_mid && r_mid < r_large,
         "expected monotone growth: {r_small:.3} {r_mid:.3} {r_large:.3}"
     );
-    assert!(r_large > 0.95, "ample history ⇒ near-total delivery: {r_large:.3}");
+    assert!(
+        r_large > 0.95,
+        "ample history ⇒ near-total delivery: {r_large:.3}"
+    );
 }
 
 #[test]
@@ -127,7 +130,10 @@ fn pbcast_reliability_sweep_mirrors_lpbcast() {
     };
     let r10 = pb(10);
     let r24 = pb(24);
-    assert!(r10 > 0.5 && r24 > 0.5, "sane reliability: {r10:.3} {r24:.3}");
+    assert!(
+        r10 > 0.5 && r24 > 0.5,
+        "sane reliability: {r10:.3} {r24:.3}"
+    );
     assert!(
         (r24 - r10).abs() < 0.15,
         "weak l dependence for pbcast too: {r10:.3} vs {r24:.3}"

@@ -1,0 +1,298 @@
+//! Vendored, API-compatible subset of `criterion`.
+//!
+//! Implements the macro/entry-point surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, groups, `bench_with_input`,
+//! `Throughput`) with a self-calibrating measurement loop. Instead of
+//! upstream's statistical machinery it reports the median over samples —
+//! robust enough to compare engine generations on the same machine.
+//!
+//! Environment knobs:
+//!
+//! * `CRITERION_SAMPLE_MS` — per-benchmark time budget in milliseconds
+//!   (default 300).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, e.g. `encode/gossip` or `sim_round/1000`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// Just the parameter (the group name provides the prefix).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// The per-iteration timing driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    budget: Duration,
+    /// Median nanoseconds per iteration of the last `iter` call.
+    last_median_ns: f64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        let budget_ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Bencher {
+            sample_size,
+            budget: Duration::from_millis(budget_ms),
+            last_median_ns: 0.0,
+        }
+    }
+
+    /// Times `f`, self-calibrating the iteration count per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibration: one untimed warmup, then estimate the cost.
+        black_box(f());
+        let t0 = Instant::now();
+        black_box(f());
+        let est = t0.elapsed().max(Duration::from_nanos(20));
+
+        // Aim for ~sample_size samples inside the budget, each long
+        // enough to dominate timer overhead.
+        let per_sample = (self.budget / self.sample_size as u32).max(Duration::from_micros(50));
+        let iters = (per_sample.as_nanos() / est.as_nanos()).clamp(1, 10_000_000) as usize;
+
+        let started = Instant::now();
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        while samples.len() < self.sample_size && started.elapsed() < self.budget {
+            let s = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(s.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        if samples.is_empty() {
+            samples.push(est.as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.last_median_ns = samples[samples.len() / 2];
+    }
+
+    /// Like `iter`, but the closure receives the iteration count and does
+    /// its own batching (subset of upstream's `iter_custom`).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let iters = 10u64;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let started = Instant::now();
+        while samples.len() < self.sample_size && started.elapsed() < self.budget {
+            samples.push(f(iters).as_nanos() as f64 / iters as f64);
+        }
+        if samples.is_empty() {
+            samples.push(f(1).as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.last_median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(label: &str, median_ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{label:<40} time: {:>12}/iter", format_ns(median_ns));
+    if let Some(tp) = throughput {
+        let per_sec = |count: u64| count as f64 / (median_ns / 1e9);
+        match tp {
+            Throughput::Bytes(b) => {
+                line.push_str(&format!("  ({:.1} MiB/s)", per_sec(b) / (1024.0 * 1024.0)));
+            }
+            Throughput::Elements(e) => {
+                line.push_str(&format!("  ({:.0} elem/s)", per_sec(e)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver (subset of upstream `Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(name, b.last_median_ns, None);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        let label = format!("{}/{}", self.name, id.label);
+        report(&label, b.last_median_ns, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id);
+        report(&label, b.last_median_ns, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench`; any other CLI filtering is
+            // unsupported in the vendored harness and ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(benches, work);
+
+    #[test]
+    fn harness_runs() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "20");
+        benches();
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("encode", "gossip").label, "encode/gossip");
+        assert_eq!(BenchmarkId::from_parameter(125).label, "125");
+    }
+}

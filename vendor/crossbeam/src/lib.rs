@@ -1,0 +1,109 @@
+//! Vendored, API-compatible subset of `crossbeam` (the `channel` module
+//! only), backed by `std::sync::mpsc`. The workspace uses one producer
+//! thread per node and a single consumer, which mpsc covers exactly.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (subset of `crossbeam-channel`).
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails only if all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Blocks up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Drains currently queued messages without blocking.
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.inner.try_iter()
+        }
+
+        /// Blocking iterator until all senders are gone.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_and_clone() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2]);
+            assert!(rx.try_recv().is_err());
+        }
+
+        #[test]
+        fn timeout_elapses() {
+            let (_tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+    }
+}

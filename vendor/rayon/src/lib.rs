@@ -1,0 +1,215 @@
+//! Vendored, API-compatible subset of `rayon`, implemented with
+//! `std::thread::scope` and an atomic work counter.
+//!
+//! It supports exactly the shape the simulator's multi-seed sweeps use:
+//!
+//! ```
+//! use rayon::prelude::*;
+//! let seeds = [1u64, 2, 3, 4];
+//! let squares: Vec<u64> = seeds.par_iter().map(|&s| s * s).collect();
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! let total: u64 = seeds.par_iter().map(|&s| s).sum();
+//! assert_eq!(total, 10);
+//! ```
+//!
+//! Results are always returned **in input order**, regardless of which
+//! worker computed them — parallel and serial runs of a pure function are
+//! therefore bit-identical. The worker count is
+//! `std::thread::available_parallelism`, capped by the item count and
+//! overridable with `RAYON_NUM_THREADS` (`1` forces serial execution).
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of worker threads a parallel call will use for `len` items.
+pub fn current_num_threads() -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => hw,
+    }
+}
+
+/// Runs `f` over `0..len` on the worker pool, collecting results in input
+/// order. The closure receives the item index.
+fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = current_num_threads().min(len);
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..len).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Batch locally so the results mutex is touched O(1) times
+                // per worker, not O(items).
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                let mut out = results.lock().unwrap_or_else(|p| p.into_inner());
+                for (i, r) in local {
+                    out[i] = Some(r);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap_or_else(|p| p.into_inner())
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+/// A pending parallel iterator over borrowed items.
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Item count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator, ready to reduce.
+#[derive(Debug)]
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Evaluates in parallel, preserving input order.
+    pub fn collect<B: FromIterator<R>>(self) -> B {
+        let f = &self.f;
+        run_indexed(self.items.len(), |i| f(&self.items[i]))
+            .into_iter()
+            .collect()
+    }
+
+    /// Evaluates in parallel and sums (order-stable fold).
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        let f = &self.f;
+        run_indexed(self.items.len(), |i| f(&self.items[i]))
+            .into_iter()
+            .sum()
+    }
+}
+
+/// `par_iter()` over by-reference collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// The glob-import surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let par: u64 = items.par_iter().map(|&x| x).sum();
+        assert_eq!(par, items.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u64> = Vec::new();
+        let out: Vec<u64> = items.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_spreads_work() {
+        // Smoke check that parallel execution uses multiple threads when
+        // available (ignored result on single-core machines).
+        let items: Vec<u64> = (0..64).collect();
+        let ids: Vec<String> = items
+            .par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                format!("{:?}", std::thread::current().id())
+            })
+            .collect();
+        if super::current_num_threads() > 1 {
+            let mut unique = ids.clone();
+            unique.sort();
+            unique.dedup();
+            assert!(unique.len() > 1, "expected multiple worker threads");
+        }
+    }
+}
