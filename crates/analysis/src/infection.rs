@@ -311,6 +311,35 @@ impl ExpectationModel {
         infected
     }
 
+    /// Rounds until the expected infected count reaches `fraction · n` —
+    /// the O(rounds) analogue of
+    /// [`InfectionModel::rounds_to_expected_fraction`], usable at 10⁴
+    /// scale where the full Markov chain costs O(n²) per round. Returns
+    /// `None` if the target is not reached within `max_rounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ fraction ≤ 1`.
+    pub fn rounds_to_fraction(&self, fraction: f64, max_rounds: u64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
+        let target = fraction * self.params.n as f64;
+        let mut infected = 1.0;
+        if infected >= target {
+            return Some(0);
+        }
+        for r in 1..=max_rounds {
+            let next = self.next_expected(infected);
+            if next >= target {
+                return Some(r);
+            }
+            if next <= infected {
+                return None; // fixed point below the target
+            }
+            infected = next;
+        }
+        None
+    }
+
     /// The whole curve `[E(s_0), ..., E(s_t)]`.
     pub fn expected_curve(&self, t: u64) -> Vec<f64> {
         let mut curve = Vec::with_capacity(t as usize + 1);
@@ -463,6 +492,29 @@ mod tests {
         }
         // Both saturate to n.
         assert!(close(markov_curve[8], approx_curve[8], 5.0));
+    }
+
+    #[test]
+    fn expectation_rounds_to_fraction_tracks_markov_version() {
+        let params = InfectionParams::paper_defaults(125, 3);
+        let markov = InfectionModel::rounds_to_expected_fraction(params, 0.99, 100)
+            .expect("markov reaches 99%");
+        let cheap = ExpectationModel::new(params)
+            .rounds_to_fraction(0.99, 100)
+            .expect("expectation reaches 99%");
+        assert!(
+            (cheap as f64 - markov).abs() <= 2.0,
+            "O(t) recursion tracks the chain: {cheap} vs {markov:.2}"
+        );
+        // Grows with n, stays logarithmic-ish.
+        let big = ExpectationModel::new(InfectionParams::paper_defaults(10_000, 3))
+            .rounds_to_fraction(0.99, 400)
+            .expect("10^4 reaches 99%");
+        assert!(big as f64 > cheap as f64);
+        assert!(big < 40, "still O(log n) rounds: {big}");
+        // Unreachable target: fanout too small to beat losses.
+        let dead = ExpectationModel::new(InfectionParams::new(1000, 1).loss_rate(0.9));
+        assert_eq!(dead.rounds_to_fraction(0.99, 200), None);
     }
 
     #[test]

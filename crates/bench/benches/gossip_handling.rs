@@ -48,7 +48,7 @@ fn bench_reception(c: &mut Criterion) {
                 b.iter(|| {
                     salt += 1;
                     let gossip = make_gossip(events, digest, 8, salt);
-                    black_box(node.handle_message(pid(1), Message::Gossip(gossip)))
+                    black_box(node.handle_message(pid(1), Message::gossip(gossip)))
                 });
             },
         );

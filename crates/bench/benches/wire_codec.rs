@@ -11,7 +11,7 @@ fn pid(p: u64) -> ProcessId {
 }
 
 fn steady_state_gossip(events: usize, digest: usize) -> Message {
-    Message::Gossip(Gossip {
+    Message::gossip(Gossip {
         sender: pid(1),
         subs: (0..12).map(pid).collect(),
         unsubs: vec![],
@@ -34,7 +34,7 @@ fn compact_digest_gossip() -> Message {
         }
         d.insert(EventId::new(pid(origin), 250)); // one straggler each
     }
-    Message::Gossip(Gossip {
+    Message::gossip(Gossip {
         sender: pid(1),
         subs: (0..12).map(pid).collect(),
         unsubs: vec![],

@@ -1,5 +1,7 @@
 //! Protocol messages and state-machine outputs.
 
+use std::sync::Arc;
+
 use lpbcast_types::{CompactDigest, Event, EventId, ProcessId};
 
 use crate::unsub::Unsubscription;
@@ -89,10 +91,16 @@ impl Gossip {
 }
 
 /// Messages exchanged by lpbcast processes.
+///
+/// The gossip body travels behind an [`Arc`]: one emission builds the
+/// body once and every one of the `F` fanout copies clones the pointer,
+/// not the payload. Simulator fan-out is therefore zero-copy; the wire
+/// codec serializes through the pointer, so encoding is byte-identical
+/// to carrying the body inline.
 #[derive(Debug, Clone)]
 pub enum Message {
     /// Periodic gossip (the only message required by the base protocol).
-    Gossip(Gossip),
+    Gossip(Arc<Gossip>),
     /// A joining process asks a known member to gossip its subscription on
     /// its behalf (§3.4).
     Subscribe {
@@ -114,6 +122,13 @@ pub enum Message {
 }
 
 impl Message {
+    /// Wraps a gossip body into a [`Message::Gossip`], allocating its
+    /// shared [`Arc`]. Fanout copies should clone the resulting message
+    /// (pointer clone), not call this per copy.
+    pub fn gossip(gossip: Gossip) -> Self {
+        Message::Gossip(Arc::new(gossip))
+    }
+
     /// Short human-readable kind tag (for logs and stats).
     pub fn kind(&self) -> &'static str {
         match self {

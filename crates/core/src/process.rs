@@ -222,7 +222,7 @@ impl Lpbcast {
     /// Processes an incoming message.
     pub fn handle_message(&mut self, from: ProcessId, message: Message) -> Output {
         match message {
-            Message::Gossip(gossip) => self.handle_gossip(gossip),
+            Message::Gossip(gossip) => self.handle_gossip(&gossip),
             Message::Subscribe { subscriber } => self.handle_subscribe(subscriber),
             Message::RetransmitRequest { ids } => self.handle_retransmit_request(from, &ids),
             Message::RetransmitResponse { events } => self.handle_retransmit_response(events),
@@ -325,32 +325,39 @@ impl Lpbcast {
         // gossip.events ← events; events ← ∅.
         let gossip_events = self.events.drain();
 
-        let gossip = Gossip {
+        let targets = self.view.select_targets(&mut self.rng, self.config.fanout);
+        if targets.is_empty() {
+            // Nothing was sent: put the drained events back so they ride
+            // the next gossip instead of vanishing.
+            for event in gossip_events {
+                self.events.insert(event);
+            }
+            return Vec::new();
+        }
+        self.stats.gossips_sent += 1;
+
+        // One allocation for the body; every fanout copy clones the Arc.
+        let gossip = std::sync::Arc::new(Gossip {
             sender: self.id,
             subs: gossip_subs,
             unsubs: gossip_unsubs,
             events: gossip_events,
             event_ids: self.history.to_digest(),
-        };
-
-        let targets = self.view.select_targets(&mut self.rng, self.config.fanout);
-        if targets.is_empty() {
-            return Vec::new();
-        }
-        self.stats.gossips_sent += 1;
+        });
         targets
             .into_iter()
             .map(|to| Command {
                 to,
-                message: Message::Gossip(gossip.clone()),
+                message: Message::Gossip(std::sync::Arc::clone(&gossip)),
             })
             .collect()
     }
 
     /// Figure 1(a): the three phases of gossip reception, plus digest
     /// handling (retransmission pull or the §5.2 id-absorption
-    /// convention).
-    fn handle_gossip(&mut self, gossip: Gossip) -> Output {
+    /// convention). Takes the body by reference: the same allocation may
+    /// be shared with other fanout recipients.
+    fn handle_gossip(&mut self, gossip: &Gossip) -> Output {
         self.stats.gossips_received += 1;
         let mut output = Output::default();
 
@@ -520,7 +527,7 @@ mod tests {
     /// Extracts the gossip sent to `to` from a command list.
     fn gossip_to(commands: &[Command], to: ProcessId) -> Option<Gossip> {
         commands.iter().find_map(|c| match (&c.message, c.to) {
-            (Message::Gossip(g), t) if t == to => Some(g.clone()),
+            (Message::Gossip(g), t) if t == to => Some((**g).clone()),
             _ => None,
         })
     }
@@ -529,7 +536,7 @@ mod tests {
         commands
             .iter()
             .find_map(|c| match &c.message {
-                Message::Gossip(g) => Some(g.clone()),
+                Message::Gossip(g) => Some((**g).clone()),
                 _ => None,
             })
             .expect("a gossip command")
@@ -546,12 +553,12 @@ mod tests {
         assert_eq!(gossip.events.len(), 1);
         assert_eq!(gossip.events[0].id(), id);
 
-        let received = b.handle_message(pid(0), Message::Gossip(gossip.clone()));
+        let received = b.handle_message(pid(0), Message::gossip(gossip.clone()));
         assert_eq!(received.delivered.len(), 1);
         assert_eq!(received.delivered[0].payload().as_ref(), b"hello");
 
         // Duplicate copy: no re-delivery.
-        let again = b.handle_message(pid(0), Message::Gossip(gossip));
+        let again = b.handle_message(pid(0), Message::gossip(gossip));
         assert!(again.delivered.is_empty());
         assert_eq!(b.stats().duplicate_events, 1);
     }
@@ -568,7 +575,7 @@ mod tests {
             events: vec![Event::new(id, b"x".as_ref())],
             event_ids: Digest::empty(),
         };
-        let out = a.handle_message(pid(1), Message::Gossip(echo));
+        let out = a.handle_message(pid(1), Message::gossip(echo));
         assert!(out.delivered.is_empty());
         assert_eq!(a.stats().duplicate_events, 1);
     }
@@ -613,6 +620,33 @@ mod tests {
     }
 
     #[test]
+    fn fanout_copies_share_one_gossip_allocation() {
+        use std::sync::Arc;
+        let config = Config::builder().view_size(10).fanout(3).build();
+        let mut a = Lpbcast::with_initial_view(pid(0), config, 1, (1..=8).map(pid));
+        a.broadcast(b"shared".as_ref());
+        let out = a.tick();
+        let arcs: Vec<&Arc<Gossip>> = out
+            .commands
+            .iter()
+            .filter_map(|c| match &c.message {
+                Message::Gossip(g) => Some(g),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(arcs.len(), 3, "one copy per fanout target");
+        assert!(
+            arcs.windows(2).all(|w| Arc::ptr_eq(w[0], w[1])),
+            "all fanout copies alias the same allocation"
+        );
+        assert_eq!(
+            Arc::strong_count(arcs[0]),
+            3,
+            "exactly the fanout copies hold the body"
+        );
+    }
+
+    #[test]
     fn empty_view_emits_nothing() {
         let mut a = Lpbcast::new(pid(0), small_config(), 1);
         let out = a.tick();
@@ -640,7 +674,7 @@ mod tests {
             events: vec![],
             event_ids: Digest::empty(),
         };
-        a.handle_message(pid(1), Message::Gossip(gossip));
+        a.handle_message(pid(1), Message::gossip(gossip));
         assert!(a.view().contains(pid(2)));
         assert!(a.view().contains(pid(3)));
         // The new subscriptions become forwardable: next gossip carries them.
@@ -660,7 +694,7 @@ mod tests {
             events: vec![],
             event_ids: Digest::empty(),
         };
-        a.handle_message(pid(1), Message::Gossip(gossip));
+        a.handle_message(pid(1), Message::gossip(gossip));
         assert!(!a.view().contains(pid(0)));
     }
 
@@ -679,7 +713,7 @@ mod tests {
             events: vec![],
             event_ids: Digest::empty(),
         };
-        a.handle_message(pid(1), Message::Gossip(gossip));
+        a.handle_message(pid(1), Message::gossip(gossip));
         assert_eq!(a.view().len(), 2, "view bounded at l");
         // All four processes must be known *somewhere*: view ∪ next subs.
         let out = a.tick();
@@ -703,7 +737,7 @@ mod tests {
             events: vec![],
             event_ids: Digest::empty(),
         };
-        a.handle_message(pid(1), Message::Gossip(gossip));
+        a.handle_message(pid(1), Message::gossip(gossip));
         assert!(!a.view().contains(pid(2)));
         assert_eq!(a.stats().unsubs_applied, 1);
         // Forwarded with the next gossip.
@@ -732,7 +766,7 @@ mod tests {
             events: vec![],
             event_ids: Digest::empty(),
         };
-        a.handle_message(pid(1), Message::Gossip(gossip));
+        a.handle_message(pid(1), Message::gossip(gossip));
         assert!(a.view().contains(pid(2)), "stale unsub not applied");
         let out = a.tick();
         let g = any_gossip(&out.commands);
@@ -770,7 +804,7 @@ mod tests {
             events: vec![],
             event_ids: Digest::empty(),
         };
-        b.handle_message(pid(1), Message::Gossip(gossip));
+        b.handle_message(pid(1), Message::gossip(gossip));
         let err = b.unsubscribe().unwrap_err();
         assert_eq!(err.threshold, 2);
         assert!(!b.is_leaving());
@@ -820,7 +854,7 @@ mod tests {
             events: vec![],
             event_ids: Digest::empty(),
         };
-        newcomer.handle_message(pid(1), Message::Gossip(gossip));
+        newcomer.handle_message(pid(1), Message::gossip(gossip));
         assert!(!newcomer.is_joining());
     }
 
@@ -853,11 +887,11 @@ mod tests {
             events,
             event_ids: Digest::empty(),
         };
-        let out = a.handle_message(pid(1), Message::Gossip(mk(vec![e1.clone(), e2])));
+        let out = a.handle_message(pid(1), Message::gossip(mk(vec![e1.clone(), e2])));
         assert_eq!(out.delivered.len(), 2);
         assert!(a.stats().ids_purged >= 1, "history bound enforced");
         // e1's id was purged: a late copy is delivered *again*.
-        let out = a.handle_message(pid(1), Message::Gossip(mk(vec![e1])));
+        let out = a.handle_message(pid(1), Message::gossip(mk(vec![e1])));
         assert_eq!(
             out.delivered.len(),
             1,
@@ -884,9 +918,9 @@ mod tests {
         let events: Vec<Event> = (0..50)
             .map(|s| Event::new(EventId::new(pid(1), s), b"x".as_ref()))
             .collect();
-        let out = a.handle_message(pid(1), Message::Gossip(mk(events.clone())));
+        let out = a.handle_message(pid(1), Message::gossip(mk(events.clone())));
         assert_eq!(out.delivered.len(), 50);
-        let out = a.handle_message(pid(1), Message::Gossip(mk(events)));
+        let out = a.handle_message(pid(1), Message::gossip(mk(events)));
         assert!(out.delivered.is_empty());
         assert_eq!(a.stats().duplicate_events, 50);
     }
@@ -907,7 +941,7 @@ mod tests {
             events: vec![],
             event_ids: Digest::Ids(vec![id]),
         };
-        let out = a.handle_message(pid(1), Message::Gossip(gossip.clone()));
+        let out = a.handle_message(pid(1), Message::gossip(gossip.clone()));
         assert_eq!(out.learned_ids, vec![id]);
         assert!(a.has_seen(id));
         // The learnt id now rides our own digest.
@@ -915,7 +949,7 @@ mod tests {
         let g = any_gossip(&out.commands);
         assert!(g.event_ids.contains(id));
         // And a second digest copy is not re-learnt.
-        let out = a.handle_message(pid(1), Message::Gossip(gossip));
+        let out = a.handle_message(pid(1), Message::gossip(gossip));
         assert!(out.learned_ids.is_empty());
     }
 
@@ -930,7 +964,7 @@ mod tests {
             events: vec![],
             event_ids: Digest::Ids(vec![id]),
         };
-        let out = a.handle_message(pid(1), Message::Gossip(gossip));
+        let out = a.handle_message(pid(1), Message::gossip(gossip));
         assert!(out.is_empty());
         assert!(!a.has_seen(id));
     }
@@ -955,7 +989,7 @@ mod tests {
             events: vec![],
             event_ids: holder.history().to_digest(),
         };
-        let out = seeker.handle_message(pid(0), Message::Gossip(gossip.clone()));
+        let out = seeker.handle_message(pid(0), Message::gossip(gossip.clone()));
         assert!(out.delivered.is_empty());
         let request = out
             .commands
@@ -967,7 +1001,7 @@ mod tests {
         assert_eq!(seeker.stats().retransmit_requests_sent, 1);
 
         // No duplicate request while the pull is pending.
-        let out2 = seeker.handle_message(pid(0), Message::Gossip(gossip));
+        let out2 = seeker.handle_message(pid(0), Message::gossip(gossip));
         assert!(
             !out2
                 .commands

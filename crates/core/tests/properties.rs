@@ -89,7 +89,7 @@ proptest! {
 
         for (i, recipe) in recipes.iter().enumerate() {
             let gossip = build_gossip(recipe);
-            let out = p.handle_message(pid(recipe.sender), Message::Gossip(gossip));
+            let out = p.handle_message(pid(recipe.sender), Message::gossip(gossip));
             for e in &out.delivered {
                 delivered_log.push(e.id());
             }
@@ -131,7 +131,7 @@ proptest! {
             let mut p = Lpbcast::with_initial_view(pid(0), config, seed, (1..=9).map(pid));
             let mut trace: Vec<String> = Vec::new();
             for recipe in &recipes {
-                let out = p.handle_message(pid(recipe.sender), Message::Gossip(build_gossip(recipe)));
+                let out = p.handle_message(pid(recipe.sender), Message::gossip(build_gossip(recipe)));
                 trace.push(format!("{:?}", out.delivered.iter().map(Event::id).collect::<Vec<_>>()));
                 let out = p.tick();
                 trace.push(format!("{:?}", out.commands.iter().map(|c| c.to).collect::<Vec<_>>()));
@@ -162,7 +162,7 @@ proptest! {
         let mut p = Lpbcast::with_initial_view(me, config, seed, [pid(1), pid(2)]);
         p.unsubscribe().expect("buffer below threshold");
         for recipe in &recipes {
-            p.handle_message(pid(recipe.sender), Message::Gossip(build_gossip(recipe)));
+            p.handle_message(pid(recipe.sender), Message::gossip(build_gossip(recipe)));
             let out = p.tick();
             for c in &out.commands {
                 if let Message::Gossip(g) = &c.message {

@@ -77,6 +77,9 @@ pub fn encode(message: &Message) -> Bytes {
     match message {
         Message::Gossip(g) => {
             buf.put_u8(0);
+            // `g` is the shared `Arc<Gossip>`; serializing through the
+            // dereferenced body keeps the encoding byte-identical to the
+            // pre-`Arc` (inline payload) wire format.
             encode_gossip(&mut buf, g);
         }
         Message::Subscribe { subscriber } => {
@@ -164,7 +167,7 @@ pub fn decode(mut data: &[u8]) -> Result<Message, WireError> {
     }
     let kind = take_u8(buf)?;
     let message = match kind {
-        0 => Message::Gossip(decode_gossip(buf)?),
+        0 => Message::gossip(decode_gossip(buf)?),
         1 => Message::Subscribe {
             subscriber: ProcessId::new(take_u64(buf)?),
         },
@@ -313,7 +316,7 @@ mod tests {
     }
 
     fn sample_gossip() -> Message {
-        Message::Gossip(Gossip {
+        Message::gossip(Gossip {
             sender: pid(3),
             subs: vec![pid(3), pid(7)],
             unsubs: vec![Unsubscription::new(pid(9), LogicalTime::new(42))],
@@ -342,7 +345,7 @@ mod tests {
     fn gossip_roundtrip_compact_digest() {
         let mut d = CompactDigest::new();
         d.extend([eid(1, 0), eid(1, 1), eid(1, 5), eid(4, 2)]);
-        assert_roundtrip(Message::Gossip(Gossip {
+        assert_roundtrip(Message::gossip(Gossip {
             sender: pid(0),
             subs: vec![],
             unsubs: vec![],
@@ -355,7 +358,7 @@ mod tests {
     fn compact_digest_semantics_survive_roundtrip() {
         let mut d = CompactDigest::new();
         d.extend([eid(1, 0), eid(1, 1), eid(1, 5)]);
-        let msg = Message::Gossip(Gossip {
+        let msg = Message::gossip(Gossip {
             sender: pid(0),
             subs: vec![],
             unsubs: vec![],
@@ -364,8 +367,8 @@ mod tests {
         });
         let decoded = decode(&encode(&msg)).unwrap();
         match decoded {
-            Message::Gossip(g) => match g.event_ids {
-                Digest::Compact(d2) => assert_eq!(d2, d),
+            Message::Gossip(g) => match &g.event_ids {
+                Digest::Compact(d2) => assert_eq!(d2, &d),
                 _ => panic!("digest kind changed"),
             },
             _ => panic!("kind changed"),
@@ -450,7 +453,7 @@ mod tests {
 
     #[test]
     fn empty_gossip_is_tiny() {
-        let msg = Message::Gossip(Gossip {
+        let msg = Message::gossip(Gossip {
             sender: pid(1),
             subs: vec![pid(1)],
             unsubs: vec![],

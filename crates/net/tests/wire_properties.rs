@@ -67,7 +67,7 @@ prop_compose! {
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        arb_gossip().prop_map(Message::Gossip),
+        arb_gossip().prop_map(Message::gossip),
         any::<u64>().prop_map(|p| Message::Subscribe { subscriber: pid(p) }),
         vec((any::<u64>(), any::<u64>()), 0..30).prop_map(|ids| Message::RetransmitRequest {
             ids: ids.into_iter().map(eid).collect()
@@ -112,7 +112,7 @@ proptest! {
     ) {
         let mut digest = CompactDigest::new();
         digest.extend(raw.iter().map(|&x| eid(x)));
-        let message = Message::Gossip(Gossip {
+        let message = Message::gossip(Gossip {
             sender: pid(0),
             subs: vec![],
             unsubs: vec![],
@@ -162,5 +162,73 @@ proptest! {
         let bytes = wire::encode(&message);
         let cut = cut_seed % (bytes.len() + 1);
         let _ = wire::decode(&bytes[..cut]);
+    }
+}
+
+/// A from-the-spec reference encoder for gossip datagrams, implemented
+/// independently of `wire::encode` against the layout documented at the
+/// top of `crates/net/src/wire.rs`. This is the pre-`Arc` (inline
+/// payload) v1 encoding, so byte equality below proves the shared-`Arc`
+/// payload representation left the wire format untouched.
+fn reference_encode_gossip(g: &Gossip) -> Vec<u8> {
+    let mut out = vec![wire::MAGIC, wire::VERSION, 0u8];
+    out.extend_from_slice(&g.sender.as_u64().to_le_bytes());
+    out.extend_from_slice(&(g.subs.len() as u16).to_le_bytes());
+    for p in &g.subs {
+        out.extend_from_slice(&p.as_u64().to_le_bytes());
+    }
+    out.extend_from_slice(&(g.unsubs.len() as u16).to_le_bytes());
+    for u in &g.unsubs {
+        out.extend_from_slice(&u.process().as_u64().to_le_bytes());
+        out.extend_from_slice(&u.issued_at().as_u64().to_le_bytes());
+    }
+    out.extend_from_slice(&(g.events.len() as u16).to_le_bytes());
+    for e in &g.events {
+        out.extend_from_slice(&e.id().origin().as_u64().to_le_bytes());
+        out.extend_from_slice(&e.id().seq().to_le_bytes());
+        out.extend_from_slice(&(e.payload().len() as u32).to_le_bytes());
+        out.extend_from_slice(e.payload());
+    }
+    match &g.event_ids {
+        Digest::Ids(ids) => {
+            out.push(0);
+            out.extend_from_slice(&(ids.len() as u16).to_le_bytes());
+            for id in ids {
+                out.extend_from_slice(&id.origin().as_u64().to_le_bytes());
+                out.extend_from_slice(&id.seq().to_le_bytes());
+            }
+        }
+        Digest::Compact(d) => {
+            out.push(1);
+            out.extend_from_slice(&(d.origin_count() as u16).to_le_bytes());
+            for (origin, od) in d.iter() {
+                out.extend_from_slice(&origin.as_u64().to_le_bytes());
+                out.extend_from_slice(&od.next_seq().to_le_bytes());
+                let ooo: Vec<u64> = od.out_of_order().collect();
+                out.extend_from_slice(&(ooo.len() as u16).to_le_bytes());
+                for s in ooo {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    /// PR 2 tentpole witness: encoding an `Arc`-shared gossip is
+    /// byte-identical to the pre-change inline-payload encoding, for
+    /// arbitrary gossip bodies, and still round-trips.
+    #[test]
+    fn shared_payload_encoding_matches_pre_arc_reference(gossip in arb_gossip()) {
+        let shared = Message::gossip(gossip.clone());
+        let encoded = wire::encode(&shared);
+        let reference = reference_encode_gossip(&gossip);
+        prop_assert_eq!(
+            encoded.as_ref(),
+            reference.as_slice(),
+            "Arc-shared payload changed the wire bytes"
+        );
+        prop_assert!(roundtrip_equal(&shared));
     }
 }

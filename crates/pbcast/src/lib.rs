@@ -55,5 +55,5 @@ mod process;
 
 pub use config::{PbcastConfig, PbcastConfigBuilder};
 pub use membership::Membership;
-pub use message::{DigestEntry, PbcastMessage, PbcastOutput};
+pub use message::{DigestEntry, GossipDigest, PbcastMessage, PbcastOutput};
 pub use process::{Pbcast, PbcastStats};

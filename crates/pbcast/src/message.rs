@@ -1,5 +1,7 @@
 //! pbcast wire messages.
 
+use std::sync::Arc;
+
 use lpbcast_types::{Event, EventId, ProcessId};
 
 /// One entry of a digest gossip: an advertised message id and the hop
@@ -13,7 +15,25 @@ pub struct DigestEntry {
     pub hops: u32,
 }
 
+/// The body of a periodic anti-entropy digest gossip (phase 2),
+/// optionally piggybacking membership subscriptions (§6.2 partial-view
+/// layer). Built once per round and shared behind an [`Arc`] across all
+/// `F` fanout copies.
+#[derive(Debug, Clone)]
+pub struct GossipDigest {
+    /// The advertiser.
+    pub sender: ProcessId,
+    /// Advertised (recently received, still-repeating) messages.
+    pub entries: Vec<DigestEntry>,
+    /// Piggybacked subscriptions (empty with total views).
+    pub subs: Vec<ProcessId>,
+}
+
 /// Messages exchanged by pbcast processes.
+///
+/// Like the lpbcast [`Message`](../lpbcast_core/enum.Message.html), the
+/// per-round digest body travels behind an [`Arc`]: fanout copies clone
+/// the pointer, not the entry vectors.
 #[derive(Debug, Clone)]
 pub enum PbcastMessage {
     /// A message payload: the best-effort first phase, or a served
@@ -24,16 +44,8 @@ pub enum PbcastMessage {
         /// Transfers consumed to reach the receiver.
         hops: u32,
     },
-    /// Periodic anti-entropy digest (phase 2), optionally piggybacking
-    /// membership subscriptions (§6.2 partial-view layer).
-    GossipDigest {
-        /// The advertiser.
-        sender: ProcessId,
-        /// Advertised (recently received, still-repeating) messages.
-        entries: Vec<DigestEntry>,
-        /// Piggybacked subscriptions (empty with total views).
-        subs: Vec<ProcessId>,
-    },
+    /// Periodic anti-entropy digest; see [`GossipDigest`].
+    GossipDigest(Arc<GossipDigest>),
     /// Solicitation of missing messages from a digest sender (gossip
     /// pull).
     Solicit {
@@ -43,6 +55,12 @@ pub enum PbcastMessage {
 }
 
 impl PbcastMessage {
+    /// Wraps a digest body into a [`PbcastMessage::GossipDigest`],
+    /// allocating its shared [`Arc`].
+    pub fn digest(digest: GossipDigest) -> Self {
+        PbcastMessage::GossipDigest(Arc::new(digest))
+    }
+
     /// Short human-readable kind tag.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -81,11 +99,11 @@ mod tests {
     fn kinds() {
         let m = PbcastMessage::Solicit { ids: vec![] };
         assert_eq!(m.kind(), "solicit");
-        let d = PbcastMessage::GossipDigest {
+        let d = PbcastMessage::digest(GossipDigest {
             sender: ProcessId::new(0),
             entries: vec![],
             subs: vec![],
-        };
+        });
         assert_eq!(d.kind(), "digest");
     }
 

@@ -10,7 +10,7 @@ use rand::SeedableRng;
 
 use crate::config::PbcastConfig;
 use crate::membership::Membership;
-use crate::message::{DigestEntry, PbcastMessage, PbcastOutput};
+use crate::message::{DigestEntry, GossipDigest, PbcastMessage, PbcastOutput};
 
 /// A stored message copy: payload (if held), consumed hops, and how many
 /// more rounds it will be advertised.
@@ -163,11 +163,12 @@ impl Pbcast {
             return Vec::new();
         }
         self.stats.digests_sent += 1;
-        let digest = PbcastMessage::GossipDigest {
+        // One allocation for the digest body; fanout copies share it.
+        let digest = PbcastMessage::digest(GossipDigest {
             sender: self.id,
             entries,
             subs,
-        };
+        });
         targets.into_iter().map(|to| (to, digest.clone())).collect()
     }
 
@@ -175,11 +176,9 @@ impl Pbcast {
     pub fn handle_message(&mut self, from: ProcessId, message: PbcastMessage) -> PbcastOutput {
         match message {
             PbcastMessage::Multicast { event, hops } => self.receive_event(event, hops),
-            PbcastMessage::GossipDigest {
-                sender,
-                entries,
-                subs,
-            } => self.receive_digest(sender, &entries, &subs),
+            PbcastMessage::GossipDigest(digest) => {
+                self.receive_digest(digest.sender, &digest.entries, &digest.subs)
+            }
             PbcastMessage::Solicit { ids } => self.serve_solicit(from, &ids),
         }
     }
@@ -371,7 +370,7 @@ mod tests {
         let mut a = Pbcast::new(pid(0), config, 1, Membership::total(pid(0), [pid(1)]));
         a.publish(b"m".as_ref());
         let count_entries = |cmds: &[(ProcessId, PbcastMessage)]| match &cmds[0].1 {
-            PbcastMessage::GossipDigest { entries, .. } => entries.len(),
+            PbcastMessage::GossipDigest(d) => d.entries.len(),
             _ => panic!("expected digest"),
         };
         assert_eq!(count_entries(&a.tick()), 1, "repetition 1");
@@ -393,8 +392,8 @@ mod tests {
         assert_eq!(out.delivered.len(), 1, "delivery unaffected by hop limit");
         let digests = b.tick();
         match &digests[0].1 {
-            PbcastMessage::GossipDigest { entries, .. } => {
-                assert!(entries.is_empty(), "hop-exhausted copy is not advertised")
+            PbcastMessage::GossipDigest(d) => {
+                assert!(d.entries.is_empty(), "hop-exhausted copy is not advertised")
             }
             _ => panic!("expected digest"),
         }
@@ -444,20 +443,20 @@ mod tests {
         let id = EventId::new(pid(0), 7);
         let out = b.handle_message(
             pid(0),
-            PbcastMessage::GossipDigest {
+            PbcastMessage::digest(GossipDigest {
                 sender: pid(0),
                 entries: vec![DigestEntry { id, hops: 0 }],
                 subs: vec![],
-            },
+            }),
         );
         assert_eq!(out.learned_ids, vec![id]);
         assert!(b.has_seen(id));
         // The absorbed id is advertised onward with hops + 1.
         let digests = b.tick();
         match &digests[0].1 {
-            PbcastMessage::GossipDigest { entries, .. } => {
-                assert_eq!(entries.len(), 1);
-                assert_eq!(entries[0].hops, 1);
+            PbcastMessage::GossipDigest(d) => {
+                assert_eq!(d.entries.len(), 1);
+                assert_eq!(d.entries[0].hops, 1);
             }
             _ => panic!("expected digest"),
         }
@@ -547,6 +546,30 @@ mod tests {
         );
         assert_eq!(out.commands.len(), 1);
         assert_eq!(b.stats().solicit_misses, 1);
+    }
+
+    #[test]
+    fn digest_fanout_copies_share_one_allocation() {
+        use std::sync::Arc;
+        let config = PbcastConfig::builder().fanout(3).first_phase(false).build();
+        let mut a = Pbcast::new(
+            pid(0),
+            config,
+            1,
+            Membership::total(pid(0), (1..=6).map(pid)),
+        );
+        a.publish(b"m".as_ref());
+        let cmds = a.tick();
+        let arcs: Vec<&Arc<GossipDigest>> = cmds
+            .iter()
+            .filter_map(|(_, m)| match m {
+                PbcastMessage::GossipDigest(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(arcs.len(), 3, "one digest per fanout target");
+        assert!(arcs.windows(2).all(|w| Arc::ptr_eq(w[0], w[1])));
+        assert_eq!(Arc::strong_count(arcs[0]), 3);
     }
 
     #[test]

@@ -313,6 +313,28 @@ mod tests {
     }
 
     #[test]
+    fn pubsub_fanout_shares_gossip_allocation() {
+        use std::sync::Arc;
+        let t = topic("t");
+        let mut node = PubSubNode::new(pid(0), Config::builder().view_size(8).fanout(3).build(), 1);
+        node.subscribe_bootstrap(&t, (1..=6).map(pid));
+        let out = node.tick();
+        let arcs: Vec<_> = out
+            .commands
+            .iter()
+            .filter_map(|(_, m)| match &m.inner {
+                Message::Gossip(g) => Some(g),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(arcs.len(), 3, "one copy per fanout target");
+        assert!(
+            arcs.windows(2).all(|w| Arc::ptr_eq(w[0], w[1])),
+            "the topic's fanout copies share one gossip body"
+        );
+    }
+
+    #[test]
     fn resubscribing_is_a_noop() {
         let t = topic("t");
         let mut node = PubSubNode::new(pid(0), config(), 1);

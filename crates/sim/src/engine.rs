@@ -85,6 +85,10 @@ pub struct Engine<N: SimNode> {
     pending: Vec<Envelope<N::Msg>>,
     /// Reply buffer reused across generations and rounds.
     scratch: Vec<Envelope<N::Msg>>,
+    /// Per-step delivery sightings, recorded into the tracker as one
+    /// batch at the end of the step (one grouped map probe per event
+    /// instead of one per delivery). Reused across rounds.
+    sightings: Vec<(EventId, ProcessId)>,
 }
 
 impl<N: SimNode> Engine<N> {
@@ -102,6 +106,7 @@ impl<N: SimNode> Engine<N> {
             round: 0,
             pending: Vec::new(),
             scratch: Vec::new(),
+            sightings: Vec::new(),
         }
     }
 
@@ -314,7 +319,7 @@ impl<N: SimNode> Engine<N> {
                 let step: SimStep<N::Msg> = self.nodes[ti].on_message(envelope.from, envelope.msg);
                 let to_id = self.ids[ti];
                 for id in step.delivered.iter().chain(step.learned.iter()) {
-                    self.tracker.record_seen_at(*id, to_id, self.round);
+                    self.sightings.push((*id, to_id));
                 }
                 for (to, msg) in step.outgoing {
                     if let Some(&t) = self.index.get(&to) {
@@ -330,6 +335,11 @@ impl<N: SimNode> Engine<N> {
         }
         // Replies beyond the chase depth spill into the next round.
         self.pending = queue;
+
+        // One batched tracker update for the whole step (drains and
+        // reuses the sightings buffer).
+        self.tracker
+            .record_seen_batch(self.round, &mut self.sightings);
     }
 
     /// Runs `rounds` consecutive steps.

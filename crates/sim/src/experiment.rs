@@ -171,6 +171,29 @@ impl PbcastSimParams {
     }
 }
 
+/// Seed counts below this stay on the serial path even on multi-core
+/// hosts: rayon's scope/join overhead exceeds the win for tiny sweeps.
+const PARALLEL_MIN_SEEDS: usize = 4;
+
+/// Whether the `*_infection_curve` / `*_reliability` sweeps will
+/// dispatch to their serial references for `seed_count` seeds on the
+/// current thread pool.
+///
+/// On a single-threaded pool the parallel path is pure overhead
+/// (`BENCH_sim.json` measured a 0.983× "speedup" on the 1-CPU reference
+/// container), and for very small seed counts the fixed cost dominates.
+/// Dispatching to the serial reference is always safe: the parallel and
+/// serial paths are bit-identical by construction (see
+/// `crates/sim/tests/sweep_determinism.rs`). Public so harnesses (e.g.
+/// `bench_sim`) can record which path a "parallel" measurement took.
+pub fn sweep_dispatches_serial(seed_count: usize) -> bool {
+    rayon::current_num_threads() == 1 || seed_count < PARALLEL_MIN_SEEDS
+}
+
+fn use_serial_sweep(seeds: &[u64]) -> bool {
+    sweep_dispatches_serial(seeds.len())
+}
+
 /// Draws a uniformly random initial view of size `l` for every process —
 /// the §4.1 assumption ("at each round, each process has a uniformly
 /// distributed random view of size l").
@@ -276,6 +299,9 @@ fn mean_curves(curves: &[Vec<usize>]) -> Vec<f64> {
 /// aggregated in seed order, so the output is bit-identical to
 /// [`lpbcast_infection_curve_serial`] regardless of the worker count.
 pub fn lpbcast_infection_curve(params: &LpbcastSimParams, seeds: &[u64]) -> Vec<f64> {
+    if use_serial_sweep(seeds) {
+        return lpbcast_infection_curve_serial(params, seeds);
+    }
     let curves: Vec<Vec<usize>> = seeds
         .par_iter()
         .map(|&s| infection_run(&mut build_lpbcast_engine(params, s), params.rounds))
@@ -296,6 +322,9 @@ pub fn lpbcast_infection_curve_serial(params: &LpbcastSimParams, seeds: &[u64]) 
 /// Parallel over seeds; bit-identical to
 /// [`pbcast_infection_curve_serial`].
 pub fn pbcast_infection_curve(params: &PbcastSimParams, seeds: &[u64]) -> Vec<f64> {
+    if use_serial_sweep(seeds) {
+        return pbcast_infection_curve_serial(params, seeds);
+    }
     let curves: Vec<Vec<usize>> = seeds
         .par_iter()
         .map(|&s| infection_run(&mut build_pbcast_engine(params, s), params.rounds))
@@ -365,6 +394,9 @@ fn reliability_run<N: SimNode>(engine: &mut Engine<N>, run: &ReliabilityRun, see
 /// Parallel over seeds; per-seed results are summed in seed order, so the
 /// mean is bit-identical to [`lpbcast_reliability_serial`].
 pub fn lpbcast_reliability(params: &LpbcastSimParams, run: &ReliabilityRun, seeds: &[u64]) -> f64 {
+    if use_serial_sweep(seeds) {
+        return lpbcast_reliability_serial(params, run, seeds);
+    }
     let total_rounds = run.warmup + run.publish_rounds + run.drain;
     let params = params.clone().rounds(total_rounds);
     let sum: f64 = seeds
@@ -392,6 +424,9 @@ pub fn lpbcast_reliability_serial(
 /// Mean pbcast reliability over `seeds` (Fig. 7(b)). Parallel over seeds;
 /// bit-identical to [`pbcast_reliability_serial`].
 pub fn pbcast_reliability(params: &PbcastSimParams, run: &ReliabilityRun, seeds: &[u64]) -> f64 {
+    if use_serial_sweep(seeds) {
+        return pbcast_reliability_serial(params, run, seeds);
+    }
     let total_rounds = run.warmup + run.publish_rounds + run.drain;
     let params = params.clone().rounds(total_rounds);
     let sum: f64 = seeds

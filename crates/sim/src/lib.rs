@@ -68,8 +68,10 @@ pub mod experiment;
 pub mod metrics;
 pub mod network;
 pub mod node;
+pub mod scale;
 
 pub use engine::Engine;
 pub use metrics::{InfectionTracker, ReliabilityReport};
 pub use network::{CrashPlan, NetworkModel};
 pub use node::{LpbcastNode, PbcastNode, SimNode, SimStep};
+pub use scale::{run_scale_point, scaling_study, scaling_tsv, ScalePoint, ScaleStudyOpts};

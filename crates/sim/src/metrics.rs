@@ -72,6 +72,14 @@ pub struct InfectionTracker {
     events: FastMap<EventId, EventRecord>,
 }
 
+/// Interns `process` into `intern`, returning its dense slot. A free
+/// function (not a method) so callers can hold a mutable borrow of the
+/// event table at the same time.
+fn intern_slot(intern: &mut FastMap<ProcessId, u32>, process: ProcessId) -> usize {
+    let next = intern.len() as u32;
+    *intern.entry(process).or_insert(next) as usize
+}
+
 impl InfectionTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {
@@ -79,8 +87,7 @@ impl InfectionTracker {
     }
 
     fn slot(&mut self, process: ProcessId) -> usize {
-        let next = self.intern.len() as u32;
-        *self.intern.entry(process).or_insert(next) as usize
+        intern_slot(&mut self.intern, process)
     }
 
     /// Records that `origin` published `id` at `round` (the origin counts
@@ -100,6 +107,34 @@ impl InfectionTracker {
             .entry(id)
             .or_insert_with(EventRecord::new)
             .mark(slot, round.min(SEEN_NO_ROUND as u64 - 1) as u32);
+    }
+
+    /// Records a whole step's sightings in one call, all at `round`.
+    ///
+    /// The batch is sorted by event id so the per-event record is looked
+    /// up **once per run of equal ids** instead of once per sighting —
+    /// the simulation engine accumulates every delivery of a round into
+    /// one slice and hands it over here. Reordering is sound because
+    /// marking is first-sighting-wins and every entry in the batch
+    /// carries the same round.
+    ///
+    /// The batch vector is drained (left empty, capacity retained) so
+    /// the caller can reuse its allocation across steps.
+    pub fn record_seen_batch(&mut self, round: u64, sightings: &mut Vec<(EventId, ProcessId)>) {
+        sightings.sort_unstable_by_key(|&(id, _)| id.sort_key());
+        let round = round.min(SEEN_NO_ROUND as u64 - 1) as u32;
+        let mut batch = sightings.drain(..).peekable();
+        while let Some((id, process)) = batch.next() {
+            let record = self.events.entry(id).or_insert_with(EventRecord::new);
+            record.mark(intern_slot(&mut self.intern, process), round);
+            while let Some(&(next_id, next_process)) = batch.peek() {
+                if next_id != id {
+                    break;
+                }
+                record.mark(intern_slot(&mut self.intern, next_process), round);
+                batch.next();
+            }
+        }
     }
 
     /// Records a sighting without latency information (round unknown).

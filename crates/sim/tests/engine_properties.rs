@@ -138,3 +138,34 @@ proptest! {
         );
     }
 }
+
+/// The enqueue path must not deep-copy gossip bodies: every fanout copy
+/// emitted by one tick aliases one `Arc` allocation (zero-copy fan-out).
+#[test]
+fn fanout_copies_alias_one_gossip_allocation() {
+    use lpbcast_core::{Gossip, Message};
+    use lpbcast_sim::SimNode as _;
+    use std::sync::Arc;
+
+    let p = params(30, 10, 3, 0.0, InitialTopology::UniformRandom);
+    let mut engine = build_lpbcast_engine(&p, 5);
+    let node = engine.node_mut(ProcessId::new(0)).expect("node 0 exists");
+    let outgoing = node.on_tick();
+    let arcs: Vec<&Arc<Gossip>> = outgoing
+        .iter()
+        .filter_map(|(_, m)| match m {
+            Message::Gossip(g) => Some(g),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(arcs.len(), 3, "one gossip per fanout target");
+    assert!(
+        arcs.windows(2).all(|w| Arc::ptr_eq(w[0], w[1])),
+        "fanout copies share one allocation"
+    );
+    assert_eq!(
+        Arc::strong_count(arcs[0]),
+        3,
+        "exactly the fanout copies hold the body"
+    );
+}

@@ -11,6 +11,15 @@ use lpbcast_sim::experiment::{
 
 const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
 
+/// The vendored rayon sizes its worker pool from `RAYON_NUM_THREADS` at
+/// every call; pin it above 1 so the parallel path is genuinely
+/// exercised even on a 1-CPU host — the sweep entry points otherwise
+/// auto-dispatch to the serial reference there, and these bit-identity
+/// tests would compare the serial path against itself.
+fn force_parallel_pool() {
+    std::env::set_var("RAYON_NUM_THREADS", "3");
+}
+
 fn lp_params() -> LpbcastSimParams {
     LpbcastSimParams::paper_defaults(60).rounds(8)
 }
@@ -30,6 +39,7 @@ fn small_run() -> ReliabilityRun {
 
 #[test]
 fn parallel_lpbcast_curve_is_bit_identical_to_serial() {
+    force_parallel_pool();
     let parallel = lpbcast_infection_curve(&lp_params(), &SEEDS);
     let serial = lpbcast_infection_curve_serial(&lp_params(), &SEEDS);
     // Bit-identity, not approximate equality: each seed owns an
@@ -39,6 +49,7 @@ fn parallel_lpbcast_curve_is_bit_identical_to_serial() {
 
 #[test]
 fn parallel_pbcast_curve_is_bit_identical_to_serial() {
+    force_parallel_pool();
     let parallel = pbcast_infection_curve(&pb_params(), &SEEDS);
     let serial = pbcast_infection_curve_serial(&pb_params(), &SEEDS);
     assert_eq!(parallel, serial);
@@ -46,6 +57,7 @@ fn parallel_pbcast_curve_is_bit_identical_to_serial() {
 
 #[test]
 fn parallel_lpbcast_reliability_is_bit_identical_to_serial() {
+    force_parallel_pool();
     let parallel = lpbcast_reliability(&lp_params(), &small_run(), &SEEDS);
     let serial = lpbcast_reliability_serial(&lp_params(), &small_run(), &SEEDS);
     assert_eq!(parallel.to_bits(), serial.to_bits());
@@ -53,6 +65,7 @@ fn parallel_lpbcast_reliability_is_bit_identical_to_serial() {
 
 #[test]
 fn parallel_pbcast_reliability_is_bit_identical_to_serial() {
+    force_parallel_pool();
     let parallel = pbcast_reliability(&pb_params(), &small_run(), &SEEDS);
     let serial = pbcast_reliability_serial(&pb_params(), &small_run(), &SEEDS);
     assert_eq!(parallel.to_bits(), serial.to_bits());

@@ -12,6 +12,17 @@ use lpbcast::sim::experiment::{build_lpbcast_engine, InitialTopology, LpbcastSim
 use lpbcast::sim::LpbcastNode;
 use lpbcast::types::ProcessId;
 
+/// `LPBCAST_EXAMPLE_N` overrides the bootstrap size (CI smoke-runs
+/// shrink it; the join/leave cohorts and the post-churn publisher p20
+/// stay fixed, so the floor is 12 — p20 must exist after the joins).
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 12)
+        .unwrap_or(default)
+}
+
 fn main() {
     let p = ProcessId::new;
     let config = Config::builder()
@@ -21,7 +32,7 @@ fn main() {
         .events_max(256)
         .unsub_obsolescence(30)
         .build();
-    let n0 = 30u64;
+    let n0 = env_u64("LPBCAST_EXAMPLE_N", 30);
     let params = LpbcastSimParams {
         n: n0 as usize,
         config: config.clone(),

@@ -8,10 +8,19 @@
 use lpbcast::sim::experiment::{build_lpbcast_engine, LpbcastSimParams};
 use lpbcast::types::ProcessId;
 
+/// `LPBCAST_EXAMPLE_N` overrides the system size (CI smoke-runs shrink it).
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 8)
+        .unwrap_or(default)
+}
+
 fn main() {
     // The paper's defaults: fanout F = 3, view size l = 15, message loss
     // ε = 0.05, crash fraction τ = 0.01 (§4.1, §5.2).
-    let n = 64;
+    let n = env_usize("LPBCAST_EXAMPLE_N", 64);
     let params = LpbcastSimParams::paper_defaults(n).rounds(12);
     let mut engine = build_lpbcast_engine(&params, 2026);
 

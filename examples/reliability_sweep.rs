@@ -12,9 +12,20 @@ use lpbcast::sim::experiment::{
     lpbcast_reliability, InitialTopology, LpbcastSimParams, ReliabilityRun,
 };
 
+/// CI smoke-run knobs: `LPBCAST_EXAMPLE_SEEDS` caps the seed count,
+/// `LPBCAST_EXAMPLE_POINTS` the number of swept `|eventIds|m` values.
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(default)
+}
+
 fn main() {
     let n = 80;
-    let seeds = [1u64, 2, 3];
+    let seed_count = env_usize("LPBCAST_EXAMPLE_SEEDS", 3);
+    let seeds: Vec<u64> = (1..=seed_count as u64).collect();
     let run = ReliabilityRun {
         warmup: 8,
         publish_rounds: 15,
@@ -27,7 +38,10 @@ fn main() {
         seeds.len()
     );
     println!("|eventIds|m  reliability  bar");
-    for ids_max in [8usize, 16, 24, 40, 60, 90, 120] {
+    let all_points = [8usize, 16, 24, 40, 60, 90, 120];
+    let points =
+        &all_points[..env_usize("LPBCAST_EXAMPLE_POINTS", all_points.len()).min(all_points.len())];
+    for &ids_max in points {
         let params = LpbcastSimParams {
             n,
             config: Config::builder()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over BENCH_sim.json step times.
+
+Usage:
+    python3 scripts/bench_gate.py COMMITTED.json FRESH.json
+
+Compares every per-n step-time row (``step_throughput[].slab_ns_per_step``
+and ``scaling[].ns_per_step``) of the freshly generated snapshot against
+the committed one:
+
+* regression > 30% at any n  -> prints FAIL and exits 1;
+* regression in (10%, 30%]   -> prints WARN, exits 0 (shared CI runners
+  are noisy; only large regressions are hard failures);
+* otherwise                  -> prints OK.
+
+Caveat: the committed snapshot is produced wherever a developer last ran
+bench_sim, so this is a cross-machine wall-clock comparison — the wide
+30% hard threshold is the accommodation for that, and it still catches
+the step-function regressions (an accidental O(n) -> O(n^2), a lost
+fast path) that motivated the gate. If a runner-hardware change ever
+makes the gate fire with no code change, override the thresholds via the
+``BENCH_GATE_FAIL`` / ``BENCH_GATE_WARN`` environment variables (fractions,
+e.g. ``BENCH_GATE_FAIL=0.5``) and refresh the committed snapshot.
+
+Rows present in only one file are reported and skipped — the gate only
+judges the intersection, so adding or removing a measurement size does
+not break CI. Stdlib only by design: the repository's Rust workspace is
+fully vendored and CI must not need pip.
+"""
+
+import json
+import os
+import sys
+
+
+def env_fraction(name, default):
+    try:
+        return float(os.environ[name])
+    except (KeyError, ValueError):
+        return default
+
+
+FAIL_THRESHOLD = env_fraction("BENCH_GATE_FAIL", 0.30)
+WARN_THRESHOLD = env_fraction("BENCH_GATE_WARN", 0.10)
+
+
+def step_rows(snapshot):
+    """Maps measurement label -> ns/step for every step-time row."""
+    rows = {}
+    for entry in snapshot.get("step_throughput", []):
+        rows[f"step_throughput n={entry['n']}"] = float(entry["slab_ns_per_step"])
+    for entry in snapshot.get("loaded_step", []):
+        rows[f"loaded_step n={entry['n']}"] = float(entry["slab_ns_per_step"])
+    for entry in snapshot.get("scaling", []):
+        rows[f"scaling n={entry['n']}"] = float(entry["ns_per_step"])
+    return rows
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    committed = step_rows(load(argv[1]))
+    fresh = step_rows(load(argv[2]))
+
+    for label in sorted(set(committed) - set(fresh)):
+        print(f"SKIP  {label}: only in committed snapshot")
+    for label in sorted(set(fresh) - set(committed)):
+        print(f"SKIP  {label}: only in fresh snapshot")
+
+    shared = sorted(set(committed) & set(fresh))
+    if not shared:
+        print("bench_gate: no comparable step-time rows", file=sys.stderr)
+        return 2
+
+    failed = False
+    for label in shared:
+        old, new = committed[label], fresh[label]
+        if old <= 0:
+            print(f"SKIP  {label}: committed value {old} not positive")
+            continue
+        ratio = new / old
+        delta = (ratio - 1.0) * 100.0
+        line = f"{label}: {old / 1e3:.1f} -> {new / 1e3:.1f} us/step ({delta:+.1f}%)"
+        if ratio > 1.0 + FAIL_THRESHOLD:
+            print(f"FAIL  {line}")
+            failed = True
+        elif ratio > 1.0 + WARN_THRESHOLD:
+            print(f"WARN  {line}")
+        else:
+            print(f"OK    {line}")
+
+    if failed:
+        print(
+            f"bench_gate: step time regressed more than {FAIL_THRESHOLD:.0%} "
+            "against the committed BENCH_sim.json"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
