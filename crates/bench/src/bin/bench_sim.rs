@@ -13,6 +13,8 @@
 //!   (default 40; the n=10⁴ point is ~30-40 ms/step).
 //! * `BENCH_SIM_SCALE_NS` — comma-separated system sizes of the scaling
 //!   study (default `125,1000,10000`).
+//! * `BENCH_SIM_SCENARIO_N` — system size of the churn / catastrophe /
+//!   partition scenario suite (default 10000).
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -24,6 +26,10 @@ use lpbcast_sim::experiment::{
     sweep_dispatches_serial, LpbcastSimParams,
 };
 use lpbcast_sim::scale::{scaling_study, scaling_tsv, ScaleStudyOpts};
+use lpbcast_sim::scenario::{
+    catastrophe_scenario, churn_scenario, partition_scenario, scenarios_tsv, CatastropheParams,
+    ChurnParams, PartitionParams,
+};
 use lpbcast_sim::{Engine, LpbcastNode};
 use lpbcast_types::{Payload, ProcessId};
 
@@ -202,24 +208,59 @@ fn main() {
     let scale_points = scaling_study(&scale_sizes(), &scale_opts);
     for p in &scale_points {
         println!(
-            "scale n={}: l={} buffers={} {:.1} µs/step, latency {:.2} rounds (model {:.2}), reliability {:.4}",
+            "scale n={}: l={} buffers={} {:.1} µs/step, build {:.2} ms, latency {:.2} rounds (model {:.2}), reliability {:.4}",
             p.n,
             p.view_size,
             p.buffer_bound,
             p.ns_per_step / 1e3,
+            p.engine_build_ms,
             p.mean_latency_rounds,
             p.model_latency_rounds,
             p.reliability
         );
     }
 
+    // Scenario suite: continuous churn, catastrophic correlated failure,
+    // partition-and-heal (deterministic; seed 1).
+    let scenario_n = env_usize("BENCH_SIM_SCENARIO_N", 10_000);
+    let churn = churn_scenario(&ChurnParams::scaled(scenario_n), 1);
+    println!(
+        "scenario churn n={scenario_n}: {}/{} joins, {} leaves ({} refused), members {} at end, reliability {:.4} (min {:.4}), partitioned {}",
+        churn.joins_completed,
+        churn.joins_attempted,
+        churn.leaves_completed,
+        churn.leaves_refused,
+        churn.final_members,
+        churn.mean_reliability,
+        churn.min_reliability,
+        churn.partitioned_at_end
+    );
+    let catastrophe = catastrophe_scenario(&CatastropheParams::scaled(scenario_n), 1);
+    println!(
+        "scenario catastrophe n={scenario_n}: {} crashed, reliability {:.4} -> {:.4}, latency {:.2} -> {:.2} rounds, recovery {:?}",
+        catastrophe.crashed,
+        catastrophe.reliability_before,
+        catastrophe.reliability_after,
+        catastrophe.latency_before,
+        catastrophe.latency_after,
+        catastrophe.recovery_rounds
+    );
+    let partition = partition_scenario(&PartitionParams::scaled(scenario_n.max(4)), 1);
+    println!(
+        "scenario partition n={}: connect {:?}, heal {:?}, post-heal reliability {:.4}",
+        partition.n,
+        partition.rounds_to_connect,
+        partition.rounds_to_heal,
+        partition.post_heal_reliability
+    );
+
     // Hand-rolled JSON (the workspace has no serde): numbers only, stable
     // key order, one object per measurement.
-    let mut json = String::from("{\n  \"schema\": \"bench_sim/v2\",\n");
+    let mut json = String::from("{\n  \"schema\": \"bench_sim/v3\",\n");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"steps_per_measurement\": {steps},");
     json.push_str(
-        "  \"note\": \"baseline_* is the seed BTreeMap engine compiled against the current protocol crates, so the ratio isolates the engine-structure change; protocol-layer wins (fast hashing, linear small buffers, chunked scans, alloc-free truncation, and since PR 2 the Arc-shared gossip fan-out) accrue to both columns. Seed-to-now trajectory: the unmodified seed stack measured ~17.7 ms/step at n=1000 on the 1-CPU reference container. step_throughput uses the paper's n=125 operating-point config at every n; the scaling section uses lpbcast_sim::scale's section-5-scaled view/buffer bounds and also reports probe delivery latency (rounds) and reliability — the same rows are rendered into results/scaling.tsv. scripts/bench_gate.py compares ns_per_step by n against the committed snapshot in CI\",\n",
+        "  \"note\": \"baseline_* is the seed BTreeMap engine compiled against the current protocol crates, so the ratio isolates the engine-structure change; protocol-layer wins (fast hashing, linear small buffers, chunked scans, alloc-free truncation, and since PR 2 the Arc-shared gossip fan-out) accrue to both columns. Seed-to-now trajectory: the unmodified seed stack measured ~17.7 ms/step at n=1000 on the 1-CPU reference container. step_throughput uses the paper's n=125 operating-point config at every n; the scaling section uses lpbcast_sim::scale's section-5-scaled view/buffer bounds (Compact digests since PR 3) and also reports the O(n*l) engine bootstrap cost (engine_build_ms; the PR 2 candidate-list build measured ~190 ms at n=10^4), probe delivery latency (rounds) and reliability — the same rows are rendered into results/scaling.tsv. The scenarios section is the churn / catastrophe / partition suite from lpbcast_sim::scenario, rendered to results/scenarios.tsv. scripts/bench_gate.py compares ns_per_step and engine_build_ms by n against the committed snapshot in CI, and fails on rows that disappear\",\n",
     );
     json.push_str("  \"step_throughput\": [\n");
     for (i, r) in step_results.iter().enumerate() {
@@ -259,12 +300,14 @@ fn main() {
     for (i, p) in scale_points.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"n\": {}, \"view_size\": {}, \"buffer_bound\": {}, \"steps\": {}, \"ns_per_step\": {:.1}, \"mean_latency_rounds\": {:.3}, \"model_latency_rounds\": {:.3}, \"reliability\": {:.5}}}",
+            "    {{\"n\": {}, \"view_size\": {}, \"buffer_bound\": {}, \"steps\": {}, \"ns_per_step\": {:.1}, \"engine_build_ms\": {:.3}, \"build_count\": {}, \"mean_latency_rounds\": {:.3}, \"model_latency_rounds\": {:.3}, \"reliability\": {:.5}}}",
             p.n,
             p.view_size,
             p.buffer_bound,
             p.measured_steps,
             p.ns_per_step,
+            p.engine_build_ms,
+            p.build_count,
             p.mean_latency_rounds,
             p.model_latency_rounds,
             p.reliability
@@ -275,7 +318,52 @@ fn main() {
             "\n"
         });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"scenarios\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"churn\": {{\"n0\": {}, \"final_members\": {}, \"joins_attempted\": {}, \"joins_completed\": {}, \"leaves_completed\": {}, \"leaves_refused\": {}, \"mean_reliability\": {:.5}, \"min_reliability\": {:.5}, \"events_measured\": {}, \"partitioned_at_end\": {}}},",
+        churn.n0,
+        churn.final_members,
+        churn.joins_attempted,
+        churn.joins_completed,
+        churn.leaves_completed,
+        churn.leaves_refused,
+        churn.mean_reliability,
+        churn.min_reliability,
+        churn.events_measured,
+        churn.partitioned_at_end
+    );
+    let recovery = catastrophe
+        .recovery_rounds
+        .map_or_else(|| "null".into(), |r| r.to_string());
+    let _ = writeln!(
+        json,
+        "    \"catastrophe\": {{\"n\": {}, \"crashed\": {}, \"survivors\": {}, \"reliability_before\": {:.5}, \"reliability_after\": {:.5}, \"latency_before_rounds\": {:.3}, \"latency_after_rounds\": {:.3}, \"recovery_rounds\": {recovery}, \"partitioned_after\": {}}},",
+        catastrophe.n,
+        catastrophe.crashed,
+        catastrophe.survivors,
+        catastrophe.reliability_before,
+        catastrophe.reliability_after,
+        catastrophe.latency_before,
+        catastrophe.latency_after,
+        catastrophe.partitioned_after
+    );
+    let connect = partition
+        .rounds_to_connect
+        .map_or_else(|| "null".into(), |r| r.to_string());
+    let heal = partition
+        .rounds_to_heal
+        .map_or_else(|| "null".into(), |r| r.to_string());
+    let _ = writeln!(
+        json,
+        "    \"partition\": {{\"n\": {}, \"components_before\": {}, \"largest_component_before\": {}, \"rounds_to_connect\": {connect}, \"rounds_to_heal\": {heal}, \"post_heal_reliability\": {:.5}}}",
+        partition.n,
+        partition.components_before,
+        partition.largest_component_before,
+        partition.post_heal_reliability
+    );
+    json.push_str("  }\n}\n");
 
     let path = workspace_root().join("BENCH_sim.json");
     match std::fs::write(&path, &json) {
@@ -290,5 +378,17 @@ fn main() {
     match write_tsv {
         Ok(()) => println!("→ {}", tsv_path.display()),
         Err(e) => eprintln!("! could not write results/scaling.tsv: {e}"),
+    }
+
+    let scenarios_path = results_dir.join("scenarios.tsv");
+    let write_scenarios = std::fs::create_dir_all(&results_dir).and_then(|()| {
+        std::fs::write(
+            &scenarios_path,
+            scenarios_tsv(&churn, &catastrophe, &partition),
+        )
+    });
+    match write_scenarios {
+        Ok(()) => println!("→ {}", scenarios_path.display()),
+        Err(e) => eprintln!("! could not write results/scenarios.tsv: {e}"),
     }
 }

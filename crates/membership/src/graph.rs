@@ -90,6 +90,12 @@ impl ComponentLabels {
         }
         sizes
     }
+
+    /// Size of the largest component (0 for an empty graph). Scenario
+    /// harnesses use this to report how lopsided a §4.4 partition is.
+    pub fn largest_size(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
 }
 
 /// The directed graph where an edge `a → b` means "a's view contains b".
@@ -343,6 +349,21 @@ mod tests {
         let mut sizes = comps.sizes();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![2, 2]);
+        assert_eq!(comps.largest_size(), 2);
+    }
+
+    #[test]
+    fn largest_component_size() {
+        // {0,1,2} chained; {3,4} mutual: largest undirected component is 3.
+        let g = ViewGraph::from_views([
+            (pid(0), vec![pid(1)]),
+            (pid(1), vec![pid(2)]),
+            (pid(3), vec![pid(4)]),
+            (pid(4), vec![pid(3)]),
+        ]);
+        assert_eq!(g.undirected_components().largest_size(), 3);
+        let empty = ViewGraph::from_views(std::iter::empty());
+        assert_eq!(empty.undirected_components().largest_size(), 0);
     }
 
     #[test]

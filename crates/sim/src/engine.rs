@@ -255,6 +255,18 @@ impl<N: SimNode> Engine<N> {
         id
     }
 
+    /// Queues one message from `from` to `to`, delivered during the next
+    /// call to [`step`](Engine::step) — i.e. within the *upcoming* round,
+    /// alongside that round's gossip (loss and liveness apply as for any
+    /// other envelope; unknown destinations are dropped). Scenario
+    /// harnesses use this to inject out-of-band protocol traffic — e.g.
+    /// the §3.4 `Subscribe` bridges that heal a membership partition.
+    pub fn enqueue(&mut self, from: ProcessId, to: ProcessId, msg: N::Msg) {
+        if let Some(&t) = self.index.get(&to) {
+            self.pending.push(Envelope { from, to: t, msg });
+        }
+    }
+
     /// The directed "knows-about" graph over the **alive** nodes' views.
     pub fn view_graph(&self) -> ViewGraph {
         ViewGraph::from_views((0..self.nodes.len()).filter_map(|i| {
@@ -355,6 +367,7 @@ mod tests {
     use super::*;
     use crate::node::LpbcastNode;
     use lpbcast_core::{Config, Lpbcast};
+    use lpbcast_membership::View as _;
 
     fn pid(p: u64) -> ProcessId {
         ProcessId::new(p)
@@ -499,6 +512,63 @@ mod tests {
         engine.run(10);
         assert_eq!(engine.tracker().infected_count(id), 4);
         assert!(!engine.tracker().has_seen(id, pid(5)));
+    }
+
+    #[test]
+    fn enqueue_delivers_next_round() {
+        let mut engine = cluster(4, 21);
+        engine.enqueue(
+            pid(3),
+            pid(0),
+            lpbcast_core::Message::Subscribe { subscriber: pid(3) },
+        );
+        // Unknown destination: silently dropped, no panic.
+        engine.enqueue(
+            pid(3),
+            pid(99),
+            lpbcast_core::Message::Subscribe { subscriber: pid(3) },
+        );
+        engine.step();
+        assert!(
+            engine
+                .node(pid(0))
+                .unwrap()
+                .process()
+                .view()
+                .contains(pid(3)),
+            "injected Subscribe was handled"
+        );
+    }
+
+    #[test]
+    fn nodes_can_join_mid_run() {
+        // Runtime add_node: the slab grows, the newcomer participates in
+        // later rounds, and routing stays consistent.
+        let mut engine = cluster(5, 17);
+        engine.run(3);
+        let config = Config::builder()
+            .view_size(4)
+            .fanout(2)
+            .deliver_on_digest(true)
+            .build();
+        engine.add_node(LpbcastNode::new(Lpbcast::joining(
+            pid(9),
+            config,
+            77,
+            vec![pid(0), pid(1)],
+        )));
+        assert_eq!(engine.alive_count(), 6);
+        engine.run(6);
+        assert!(
+            !engine.node(pid(9)).unwrap().process().is_joining(),
+            "join handshake completed through the engine"
+        );
+        let id = engine.publish_from(pid(0), Payload::from_static(b"x"));
+        engine.run(8);
+        assert!(
+            engine.tracker().has_seen(id, pid(9)),
+            "mid-run joiner receives broadcasts"
+        );
     }
 
     #[test]

@@ -16,13 +16,13 @@ use lpbcast_membership::DegreeStats;
 use lpbcast_pbcast::{Membership, Pbcast, PbcastConfig};
 use lpbcast_types::{Payload, ProcessId};
 use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 use crate::engine::Engine;
 use crate::network::{CrashPlan, NetworkModel};
 use crate::node::{LpbcastNode, PbcastNode, SimNode};
+use crate::topology::{ring_view, sample_view_into};
 
 /// How the initial views are laid out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -194,18 +194,11 @@ fn use_serial_sweep(seeds: &[u64]) -> bool {
     sweep_dispatches_serial(seeds.len())
 }
 
-/// Draws a uniformly random initial view of size `l` for every process —
-/// the §4.1 assumption ("at each round, each process has a uniformly
-/// distributed random view of size l").
-fn random_view(rng: &mut SmallRng, me: u64, n: usize, l: usize) -> Vec<ProcessId> {
-    let candidates: Vec<u64> = (0..n as u64).filter(|&j| j != me).collect();
-    candidates
-        .choose_multiple(rng, l.min(candidates.len()))
-        .map(|&j| ProcessId::new(j))
-        .collect()
-}
-
 /// Builds an lpbcast engine with `n` nodes and random initial views.
+///
+/// Initial views come from the O(l)-per-node Floyd sampler
+/// ([`crate::topology::sample_view`]) — the whole bootstrap is O(n·l),
+/// not O(n²) (no per-node candidate list is materialized).
 pub fn build_lpbcast_engine(params: &LpbcastSimParams, seed: u64) -> Engine<LpbcastNode> {
     let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x746F_706F_6C6F_6779);
     let candidates: Vec<ProcessId> = (1..params.n as u64).map(ProcessId::new).collect();
@@ -213,15 +206,20 @@ pub fn build_lpbcast_engine(params: &LpbcastSimParams, seed: u64) -> Engine<Lpbc
     // are conditional on a surviving publisher, like the paper's runs.
     let plan = CrashPlan::draw(&candidates, params.tau, params.rounds.max(1), seed);
     let mut engine = Engine::new(NetworkModel::new(params.loss_rate, seed), plan);
+    let mut scratch = Vec::new();
     for i in 0..params.n as u64 {
         let members = match params.topology {
             InitialTopology::UniformRandom => {
-                random_view(&mut topo_rng, i, params.n, params.config.view_size)
+                sample_view_into(
+                    &mut topo_rng,
+                    i,
+                    params.n,
+                    params.config.view_size,
+                    &mut scratch,
+                );
+                scratch.iter().copied().map(ProcessId::new).collect()
             }
-            InitialTopology::Ring => (1..=params.config.view_size as u64)
-                .map(|d| ProcessId::new((i + d) % params.n as u64))
-                .filter(|&p| p != ProcessId::new(i))
-                .collect(),
+            InitialTopology::Ring => ring_view(i, params.n, params.config.view_size),
         };
         engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
             ProcessId::new(i),
@@ -233,12 +231,14 @@ pub fn build_lpbcast_engine(params: &LpbcastSimParams, seed: u64) -> Engine<Lpbc
     engine
 }
 
-/// Builds a pbcast engine with `n` nodes.
+/// Builds a pbcast engine with `n` nodes. Partial views use the same
+/// O(l)-per-node sampler as [`build_lpbcast_engine`].
 pub fn build_pbcast_engine(params: &PbcastSimParams, seed: u64) -> Engine<PbcastNode> {
     let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x746F_706F_6C6F_6779);
     let candidates: Vec<ProcessId> = (1..params.n as u64).map(ProcessId::new).collect();
     let plan = CrashPlan::draw(&candidates, params.tau, params.rounds.max(1), seed);
     let mut engine = Engine::new(NetworkModel::new(params.loss_rate, seed), plan);
+    let mut scratch = Vec::new();
     for i in 0..params.n as u64 {
         let me = ProcessId::new(i);
         let membership = match params.membership {
@@ -246,12 +246,16 @@ pub fn build_pbcast_engine(params: &PbcastSimParams, seed: u64) -> Engine<Pbcast
                 me,
                 (0..params.n as u64).filter(|&j| j != i).map(ProcessId::new),
             ),
-            PbcastMembershipKind::Partial { l } => Membership::partial(
-                me,
-                l,
-                params.config.subs_max,
-                random_view(&mut topo_rng, i, params.n, l),
-            ),
+            PbcastMembershipKind::Partial { l } => {
+                Membership::partial(me, l, params.config.subs_max, {
+                    sample_view_into(&mut topo_rng, i, params.n, l, &mut scratch);
+                    scratch
+                        .iter()
+                        .copied()
+                        .map(ProcessId::new)
+                        .collect::<Vec<_>>()
+                })
+            }
         };
         engine.add_node(PbcastNode::new(Pbcast::new(
             me,

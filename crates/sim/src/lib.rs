@@ -39,11 +39,21 @@
 //! * **Geometric loss sampling** — the [`NetworkModel`] draws the
 //!   geometric gap between drops instead of one uniform per copy, making
 //!   RNG cost proportional to ε·messages ([`network`]).
+//! * **O(n·l) bootstrap** — initial views come from a Floyd-style
+//!   distinct-index sampler ([`topology`]); no per-node candidate list is
+//!   materialized, so engine construction is linear in the total view
+//!   volume (the candidate-list build cost ~190 ms at n = 10⁴).
 //! * **Parallel seed sweeps** — every `*_infection_curve` / `*_reliability`
 //!   sweep in [`experiment`] fans seeds out with rayon. Each seed owns an
 //!   independent engine and results aggregate in seed order, so parallel
 //!   and serial sweeps are bit-identical (`*_serial` variants exist as
 //!   determinism references, proven by `tests/sweep_determinism.rs`).
+//!
+//! Beyond the paper's static figures, [`scenario`] exercises dynamic
+//! membership at scale: continuous churn through the §3.4 join/leave
+//! machinery, catastrophic correlated failure (25–50% of processes in one
+//! round), and partition-and-heal measured with the §4.4 view-graph
+//! analytics.
 //!
 //! `crates/bench/src/bin/bench_sim.rs` times a steady-state round and the
 //! sweep wall-clock against the original `BTreeMap` engine and writes
@@ -69,9 +79,17 @@ pub mod metrics;
 pub mod network;
 pub mod node;
 pub mod scale;
+pub mod scenario;
+pub mod topology;
 
 pub use engine::Engine;
 pub use metrics::{InfectionTracker, ReliabilityReport};
 pub use network::{CrashPlan, NetworkModel};
 pub use node::{LpbcastNode, PbcastNode, SimNode, SimStep};
 pub use scale::{run_scale_point, scaling_study, scaling_tsv, ScalePoint, ScaleStudyOpts};
+pub use scenario::{
+    catastrophe_scenario, churn_scenario, churn_sweep, churn_sweep_serial, partition_scenario,
+    scenarios_tsv, CatastropheParams, CatastropheReport, ChurnParams, ChurnReport, PartitionParams,
+    PartitionReport,
+};
+pub use topology::{ring_view, sample_distinct, sample_view};

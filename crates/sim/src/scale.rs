@@ -29,7 +29,7 @@
 use std::time::Instant;
 
 use lpbcast_analysis::infection::{ExpectationModel, InfectionParams};
-use lpbcast_core::Config;
+use lpbcast_core::{Config, HistoryMode};
 use lpbcast_types::{Payload, ProcessId};
 
 use crate::experiment::{build_lpbcast_engine, LpbcastSimParams};
@@ -51,6 +51,12 @@ pub fn scaled_buffer_bound(n: usize) -> usize {
 
 /// Simulation parameters for system size `n` with §5-scaled buffers and
 /// the paper's ε = 0.05, τ = 0.01 fault model.
+///
+/// The history runs in [`HistoryMode::Compact`] (the §3.2 per-origin
+/// optimisation): under sustained load the digest scan cost stays
+/// O(origins) instead of O(delivered ids), which is what keeps the
+/// n = 10⁴ rows flat when thousands of ids are in flight. The bounded
+/// buffers keep their §5-scaled sizes for the `events` queue.
 pub fn scaled_params(n: usize) -> LpbcastSimParams {
     let bound = scaled_buffer_bound(n);
     let mut params = LpbcastSimParams::paper_defaults(n);
@@ -59,6 +65,7 @@ pub fn scaled_params(n: usize) -> LpbcastSimParams {
         .fanout(3.min(n.saturating_sub(1).max(1)))
         .event_ids_max(bound)
         .events_max(bound)
+        .history_mode(HistoryMode::Compact)
         .deliver_on_digest(true)
         .build();
     params
@@ -75,6 +82,14 @@ pub struct ScalePoint {
     pub buffer_bound: usize,
     /// Steady-state simulation cost, nanoseconds per round.
     pub ns_per_step: f64,
+    /// Engine-construction cost, milliseconds per build (averaged over
+    /// [`ScalePoint::build_count`] builds). The bootstrap is O(n·l); this
+    /// column is what `scripts/bench_gate.py` guards against an
+    /// accidental return to the O(n²) candidate-list build.
+    pub engine_build_ms: f64,
+    /// Engine builds averaged for `engine_build_ms` (raised at small `n`
+    /// to keep the timing window out of jitter range).
+    pub build_count: usize,
     /// Mean delivery latency of the probe broadcast, in rounds.
     pub mean_latency_rounds: f64,
     /// Mean latency predicted by the Appendix-A expectation model for
@@ -148,6 +163,19 @@ pub fn run_scale_point(n: usize, opts: &ScaleStudyOpts) -> ScalePoint {
     let params = scaled_params(n);
     let rounds = dissemination_rounds(n);
 
+    // ── Build cost: repeated engine bootstraps ───────────────────────
+    // Small systems build in microseconds, so a single build would time
+    // scheduler jitter; average enough builds to keep the window ≳10 ms
+    // of work. The last engine is discarded — the timed builds exist
+    // only for this column.
+    let build_count = (30_000 / n.max(1)).clamp(1, 64);
+    let t = Instant::now();
+    for b in 0..build_count {
+        let engine = build_lpbcast_engine(&params, opts.seed.wrapping_add(b as u64));
+        assert_eq!(engine.alive_count(), n, "bootstrap populated the slab");
+    }
+    let engine_build_ms = t.elapsed().as_secs_f64() * 1e3 / build_count as f64;
+
     // ── Step cost: steady state with one live dissemination ──────────
     // Small systems step in microseconds, so `measured_steps` alone can
     // give a millisecond-scale timing window that scheduler jitter
@@ -179,6 +207,8 @@ pub fn run_scale_point(n: usize, opts: &ScaleStudyOpts) -> ScalePoint {
         view_size: params.config.view_size,
         buffer_bound: params.config.event_ids_max,
         ns_per_step,
+        engine_build_ms,
+        build_count,
         mean_latency_rounds,
         model_latency_rounds: model_mean_latency(n, rounds),
         reliability,
@@ -196,19 +226,20 @@ pub fn scaling_study(ns: &[usize], opts: &ScaleStudyOpts) -> Vec<ScalePoint> {
 pub fn scaling_tsv(points: &[ScalePoint]) -> String {
     use std::fmt::Write as _;
     let mut out = String::from(
-        "# lpbcast scaling study: step cost, delivery latency and reliability vs n\n\
+        "# lpbcast scaling study: step cost, build cost, delivery latency and reliability vs n\n\
          # l and buffer bounds scaled per §5 (see lpbcast_sim::scale);\n\
          # model_latency_rounds is the Appendix-A expectation-model prediction\n\
-         n\tview_size\tbuffer_bound\tns_per_step\tmean_latency_rounds\tmodel_latency_rounds\treliability\n",
+         n\tview_size\tbuffer_bound\tns_per_step\tengine_build_ms\tmean_latency_rounds\tmodel_latency_rounds\treliability\n",
     );
     for p in points {
         let _ = writeln!(
             out,
-            "{}\t{}\t{}\t{:.1}\t{:.3}\t{:.3}\t{:.5}",
+            "{}\t{}\t{}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{:.5}",
             p.n,
             p.view_size,
             p.buffer_bound,
             p.ns_per_step,
+            p.engine_build_ms,
             p.mean_latency_rounds,
             p.model_latency_rounds,
             p.reliability
@@ -251,6 +282,8 @@ mod tests {
         let point = run_scale_point(64, &opts);
         assert_eq!(point.n, 64);
         assert!(point.ns_per_step > 0.0);
+        assert!(point.engine_build_ms > 0.0);
+        assert!(point.build_count >= 1);
         assert!(
             point.reliability > 0.95,
             "64 nodes, ample rounds: {point:?}"

@@ -1,0 +1,986 @@
+//! Dynamic-membership scenario suite: continuous churn, catastrophic
+//! correlated failure, and partition-and-heal.
+//!
+//! The paper's core claim (§4–§5) is robustness under process failures
+//! and dynamic membership, but the figure harnesses in [`experiment`]
+//! only exercise static topologies with the §4.1 per-round crash plan.
+//! The modern reference points (Dynamic Probabilistic Reliable Broadcast,
+//! Scalable BRB — see PAPERS.md) make churn the headline scenario; this
+//! module does the same at n = 10⁴:
+//!
+//! * [`churn_scenario`] — nodes leave through the core §3.4 unsubscribe
+//!   path (timestamped `unSubs` records, lame-duck gossip, then actual
+//!   departure) while fresh nodes join mid-run through the §3.4
+//!   subscription handshake, all under sustained publication load;
+//! * [`catastrophe_scenario`] — a correlated failure crashes 25–50% of
+//!   all processes in a single round; reliability and latency are
+//!   measured before and after, plus the recovery time of a probe
+//!   broadcast through the surviving membership;
+//! * [`partition_scenario`] — two halves boot with views confined to
+//!   their own side (a §4.4 partition by construction), a handful of
+//!   `Subscribe` bridges are injected, and the time until the view graph
+//!   is whole again is measured with [`lpbcast_membership::ViewGraph`]
+//!   (undirected §4.4 connectivity and full strong connectivity).
+//!
+//! Every scenario is a deterministic function of `(params, seed)`: all
+//! randomness flows from seed-derived [`SmallRng`] streams, node
+//! selection draws from the sorted alive-id list, and the multi-seed
+//! [`churn_sweep`] fans out with rayon while staying bit-identical to
+//! [`churn_sweep_serial`] (proven in `tests/sweep_determinism.rs`).
+//! `bench_sim` renders the three reports into `BENCH_sim.json`'s
+//! `scenarios` section and `results/scenarios.tsv`.
+
+use std::collections::VecDeque;
+
+use lpbcast_core::{Config, Lpbcast, Message};
+use lpbcast_types::{Payload, ProcessId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use crate::engine::Engine;
+use crate::experiment::{
+    build_lpbcast_engine, sweep_dispatches_serial, InitialTopology, LpbcastSimParams,
+};
+use crate::network::{CrashPlan, NetworkModel};
+use crate::node::LpbcastNode;
+use crate::scale::scaled_params;
+use crate::topology::{sample_distinct, sample_view_into};
+
+// ───────────────────────── continuous churn ──────────────────────────
+
+/// Parameters of a continuous-churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnParams {
+    /// Bootstrap membership size.
+    pub n0: usize,
+    /// Protocol configuration (shared by bootstrap members and joiners).
+    pub config: Config,
+    /// Message-loss probability ε.
+    pub loss_rate: f64,
+    /// Quiet rounds before churn starts (view mixing).
+    pub warmup: u64,
+    /// Rounds of active churn + publication load.
+    pub churn_rounds: u64,
+    /// Fresh processes joining per churn round (§3.4 handshake).
+    pub joins_per_round: usize,
+    /// Members unsubscribing per churn round (§3.4 leave path).
+    pub leaves_per_round: usize,
+    /// Rounds a leaver keeps gossiping (spreading its own
+    /// unsubscription) before it actually departs.
+    pub lame_duck: u64,
+    /// Events published per churn round from random alive origins.
+    pub rate: usize,
+    /// Quiet rounds after churn so late gossip settles.
+    pub drain: u64,
+}
+
+impl ChurnParams {
+    /// Churn at system size `n0` with the §5-scaled protocol
+    /// configuration from [`scaled_params`] (Compact digests, log-scaled
+    /// `l`): ~1% of the membership joins *and* leaves per round for 30
+    /// rounds under a 20 msg/round publication load.
+    ///
+    /// Unsubscription plumbing is sized to the leave rate: the number of
+    /// *live* (non-obsolete) unsubscription records in the system is
+    /// ≈ `leaves_per_round × unsub_obsolescence`, so with the paper's
+    /// fixed 15-entry buffer and 50-tick window a sustained 1%-per-round
+    /// leave rate pegs `|unSubs|` above the §3.4 refusal threshold
+    /// permanently and the leave path stops being exercised at all.
+    /// Scaled here: a short obsolescence window (records only matter
+    /// while the leaver's stale view entries linger), a buffer of
+    /// 12× the leave cohort and a threshold at 9× — the refusal
+    /// mechanism still triggers under bursts and is reported in
+    /// [`ChurnReport::leaves_refused`]. The growing unsubscription
+    /// sections this implies in every gossip are the §3.4 design's
+    /// documented scalability cost.
+    pub fn scaled(n0: usize) -> Self {
+        let leaves_per_round = (n0 / 100).max(1);
+        let mut config = scaled_params(n0).config;
+        config.unsub_obsolescence = 9;
+        config.unsubs_max = (leaves_per_round * 12).max(15);
+        config.unsub_refusal_threshold = (leaves_per_round * 9).max(12);
+        ChurnParams {
+            n0,
+            config,
+            loss_rate: 0.05,
+            warmup: 5,
+            churn_rounds: 30,
+            joins_per_round: (n0 / 100).max(1),
+            leaves_per_round,
+            lame_duck: 3,
+            rate: 20,
+            drain: 10,
+        }
+    }
+}
+
+/// Outcome of one churn run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnReport {
+    /// Bootstrap size.
+    pub n0: usize,
+    /// Membership size when the run ended.
+    pub final_members: usize,
+    /// Join handshakes started.
+    pub joins_attempted: usize,
+    /// Joiners whose handshake completed (first gossip received).
+    pub joins_completed: usize,
+    /// Unsubscriptions accepted by the core leave path.
+    pub leaves_completed: usize,
+    /// Unsubscriptions refused (§3.4 full-`unSubs` protection).
+    pub leaves_refused: usize,
+    /// Mean delivery reliability of the windowed events, against the
+    /// end-of-run membership.
+    pub mean_reliability: f64,
+    /// Worst windowed event.
+    pub min_reliability: f64,
+    /// Events in the measurement window.
+    pub events_measured: usize,
+    /// Whether the view graph was §4.4-partitioned at the end.
+    pub partitioned_at_end: bool,
+}
+
+/// Runs one continuous-churn scenario. Deterministic per `(params, seed)`.
+pub fn churn_scenario(params: &ChurnParams, seed: u64) -> ChurnReport {
+    let total_rounds = params.warmup + params.churn_rounds + params.drain;
+    let sim = LpbcastSimParams {
+        n: params.n0,
+        config: params.config.clone(),
+        loss_rate: params.loss_rate,
+        tau: 0.0, // churn is the fault process here, not random crashes
+        rounds: total_rounds,
+        topology: InitialTopology::UniformRandom,
+    };
+    let mut engine = build_lpbcast_engine(&sim, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6368_7572_6E5F_7267); // "churn_rg"
+    engine.run(params.warmup);
+
+    let window_start = engine.round();
+    let mut next_id = params.n0 as u64;
+    let mut contact_scratch: Vec<u64> = Vec::new();
+    let mut departures: VecDeque<(u64, ProcessId)> = VecDeque::new();
+    let mut joins_attempted = 0usize;
+    let mut departed_joiners = 0usize;
+    let mut leaves_completed = 0usize;
+    let mut leaves_refused = 0usize;
+
+    for _ in 0..params.churn_rounds {
+        let alive = engine.alive_ids();
+
+        // Joins: newcomers enter through the §3.4 handshake. Each gets
+        // three distinct alive contacts (drawn with the Floyd sampler) —
+        // under churn a single contact may itself leave before admitting
+        // the newcomer, which would strand the joiner forever; the §3.4
+        // round-robin retry routes around departed contacts.
+        for _ in 0..params.joins_per_round {
+            sample_distinct(
+                &mut rng,
+                alive.len() as u64,
+                3.min(alive.len()),
+                &mut contact_scratch,
+            );
+            let contacts: Vec<ProcessId> =
+                contact_scratch.iter().map(|&i| alive[i as usize]).collect();
+            let id = ProcessId::new(next_id);
+            next_id += 1;
+            joins_attempted += 1;
+            engine.add_node(LpbcastNode::new(Lpbcast::joining(
+                id,
+                params.config.clone(),
+                seed.wrapping_mul(0x5851_F42D_4C95_7F2D)
+                    .wrapping_add(id.as_u64()),
+                contacts,
+            )));
+        }
+
+        // Leaves: random members take the core unsubscribe path; their
+        // timestamped record rides the lame-duck gossip, then they
+        // depart for real.
+        for _ in 0..params.leaves_per_round {
+            for _attempt in 0..8 {
+                let candidate = alive[rng.gen_range(0..alive.len())];
+                let Some(node) = engine.node_mut(candidate) else {
+                    continue;
+                };
+                if node.process().is_leaving() || node.process().is_joining() {
+                    continue;
+                }
+                match node.process_mut().unsubscribe() {
+                    Ok(()) => {
+                        leaves_completed += 1;
+                        // A joiner is only eligible to leave once its
+                        // handshake completed (is_joining was checked), so
+                        // a departing joiner still counts as a completed
+                        // join below even though its node is removed.
+                        if candidate.as_u64() >= params.n0 as u64 {
+                            departed_joiners += 1;
+                        }
+                        departures.push_back((engine.round() + params.lame_duck, candidate));
+                    }
+                    Err(_) => leaves_refused += 1,
+                }
+                break;
+            }
+        }
+
+        // Publication load from random alive origins.
+        for _ in 0..params.rate {
+            let origin = alive[rng.gen_range(0..alive.len())];
+            if engine.is_alive(origin) {
+                engine.publish_from(origin, Payload::from_static(b"churn"));
+            }
+        }
+
+        engine.step();
+
+        while departures
+            .front()
+            .is_some_and(|&(due, _)| due <= engine.round())
+        {
+            let (_, id) = departures.pop_front().expect("front checked");
+            engine.remove_node(id);
+        }
+    }
+    let window_end = engine.round();
+    // Drain rounds still retire pending departures — leavers from the
+    // last lame-duck window would otherwise linger as zombie members,
+    // inflating final_members and diluting the reliability denominator.
+    for _ in 0..params.drain {
+        engine.step();
+        while departures
+            .front()
+            .is_some_and(|&(due, _)| due <= engine.round())
+        {
+            let (_, id) = departures.pop_front().expect("front checked");
+            engine.remove_node(id);
+        }
+    }
+    // Anyone whose lame duck outlasts the drain departs now: their
+    // unsubscription succeeded, so they are leavers, not members.
+    for (_, id) in departures {
+        engine.remove_node(id);
+    }
+
+    let joins_completed = departed_joiners
+        + (params.n0 as u64..next_id)
+            .filter(|&id| {
+                engine
+                    .node(ProcessId::new(id))
+                    .is_some_and(|node| !node.process().is_joining())
+            })
+            .count();
+    // Per-event delivery fraction against the end-of-run membership,
+    // capped at 1: processes that saw an event and then departed would
+    // otherwise push the fraction past 1 (the tracker remembers them,
+    // the population no longer contains them).
+    let population = engine.alive_count();
+    let report = engine
+        .tracker()
+        .reliability_report(window_start..=window_end, population);
+    let per_event: Vec<f64> = report.per_event.iter().map(|&r| r.min(1.0)).collect();
+    let events_measured = per_event.len();
+    let (mean_reliability, min_reliability) = if per_event.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (
+            per_event.iter().sum::<f64>() / per_event.len() as f64,
+            per_event.iter().copied().fold(f64::INFINITY, f64::min),
+        )
+    };
+    ChurnReport {
+        n0: params.n0,
+        final_members: population,
+        joins_attempted,
+        joins_completed,
+        leaves_completed,
+        leaves_refused,
+        mean_reliability,
+        min_reliability,
+        events_measured,
+        partitioned_at_end: engine.view_graph().is_partitioned(),
+    }
+}
+
+/// Runs [`churn_scenario`] over many seeds in parallel; the reports come
+/// back in seed order and are bit-identical to [`churn_sweep_serial`]
+/// regardless of the worker count (each seed owns an independent engine
+/// and RNG streams).
+pub fn churn_sweep(params: &ChurnParams, seeds: &[u64]) -> Vec<ChurnReport> {
+    if sweep_dispatches_serial(seeds.len()) {
+        return churn_sweep_serial(params, seeds);
+    }
+    seeds
+        .par_iter()
+        .map(|&s| churn_scenario(params, s))
+        .collect()
+}
+
+/// Single-threaded [`churn_sweep`] (determinism reference).
+pub fn churn_sweep_serial(params: &ChurnParams, seeds: &[u64]) -> Vec<ChurnReport> {
+    seeds.iter().map(|&s| churn_scenario(params, s)).collect()
+}
+
+// ─────────────────── catastrophic correlated failure ─────────────────
+
+/// Parameters of a catastrophic-failure run.
+#[derive(Debug, Clone)]
+pub struct CatastropheParams {
+    /// System size.
+    pub n: usize,
+    /// Protocol configuration.
+    pub config: Config,
+    /// Message-loss probability ε.
+    pub loss_rate: f64,
+    /// Fraction of all processes crashed in the failure round
+    /// (the scenario targets 0.25–0.5).
+    pub crash_fraction: f64,
+    /// Quiet rounds before the pre-failure window.
+    pub warmup: u64,
+    /// Loaded rounds measured before the failure.
+    pub pre_rounds: u64,
+    /// Loaded rounds measured after the failure.
+    pub post_rounds: u64,
+    /// Events published per loaded round.
+    pub rate: usize,
+    /// Quiet rounds after each window so late gossip settles.
+    pub drain: u64,
+    /// Cap on the recovery-probe measurement.
+    pub max_recovery_rounds: u64,
+}
+
+impl CatastropheParams {
+    /// Catastrophe at size `n` with the §5-scaled configuration: 30% of
+    /// the membership crashes in one round under a 20 msg/round load.
+    pub fn scaled(n: usize) -> Self {
+        CatastropheParams {
+            n,
+            config: scaled_params(n).config,
+            loss_rate: 0.05,
+            crash_fraction: 0.30,
+            warmup: 5,
+            pre_rounds: 8,
+            post_rounds: 8,
+            rate: 20,
+            drain: 10,
+            max_recovery_rounds: 40,
+        }
+    }
+}
+
+/// Outcome of one catastrophic-failure run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatastropheReport {
+    /// System size.
+    pub n: usize,
+    /// Processes crashed in the failure round.
+    pub crashed: usize,
+    /// Alive processes after the failure.
+    pub survivors: usize,
+    /// Mean reliability of events published before the failure,
+    /// against the full pre-failure membership.
+    pub reliability_before: f64,
+    /// Mean reliability of events published after the failure, against
+    /// the surviving membership.
+    pub reliability_after: f64,
+    /// Mean delivery latency (rounds) of a probe disseminated before
+    /// the failure.
+    pub latency_before: f64,
+    /// Mean delivery latency (rounds) of the recovery probe published
+    /// right after the failure round.
+    pub latency_after: f64,
+    /// Rounds until the recovery probe reached ≥ 99% of survivors
+    /// (`None` if it never did within the cap).
+    pub recovery_rounds: Option<u64>,
+    /// Whether the survivors' view graph was §4.4-partitioned at the end.
+    pub partitioned_after: bool,
+}
+
+/// Runs one catastrophic correlated failure. Deterministic per
+/// `(params, seed)`.
+pub fn catastrophe_scenario(params: &CatastropheParams, seed: u64) -> CatastropheReport {
+    assert!(
+        (0.0..1.0).contains(&params.crash_fraction),
+        "crash fraction must be in [0, 1)"
+    );
+    let total_rounds = params.warmup
+        + params.pre_rounds
+        + params.post_rounds
+        + 2 * params.drain
+        + params.max_recovery_rounds;
+    let sim = LpbcastSimParams {
+        n: params.n,
+        config: params.config.clone(),
+        loss_rate: params.loss_rate,
+        tau: 0.0, // the correlated failure below is the fault model
+        rounds: total_rounds,
+        topology: InitialTopology::UniformRandom,
+    };
+    let mut engine = build_lpbcast_engine(&sim, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6361_7461_7374_726F); // "catastro"
+    engine.run(params.warmup);
+
+    // ── Pre-failure window: load + a latency probe ────────────────────
+    let origin = ProcessId::new(0);
+    let pre_probe = engine.publish_from(origin, Payload::from_static(b"pre-probe"));
+    let pre_start = engine.round();
+    loaded_rounds(&mut engine, &mut rng, params.pre_rounds, params.rate);
+    let pre_end = engine.round();
+    engine.run(params.drain);
+    let reliability_before = engine
+        .tracker()
+        .reliability_report(pre_start..=pre_end, params.n)
+        .mean;
+    let latency_before = engine.tracker().mean_latency(pre_probe).unwrap_or(f64::NAN);
+
+    // ── The catastrophe: crash ⌊fraction·n⌋ processes at once ─────────
+    // Victims are drawn without materializing a candidate list; p0 is
+    // spared so the recovery probe has a publisher (the paper's runs are
+    // likewise conditional on a surviving publisher).
+    let crashed = ((params.crash_fraction * params.n as f64).floor() as usize)
+        .min(params.n.saturating_sub(1));
+    let mut victims = Vec::new();
+    sample_distinct(&mut rng, params.n as u64 - 1, crashed, &mut victims);
+    for v in &victims {
+        engine.crash(ProcessId::new(v + 1));
+    }
+    let survivors = engine.alive_count();
+
+    // ── Recovery: probe dissemination through the survivors ──────────
+    let probe = engine.publish_from(origin, Payload::from_static(b"recovery"));
+    let failure_round = engine.round();
+    let target = ((survivors as f64) * 0.99).ceil() as usize;
+    let mut recovery_rounds = None;
+    for _ in 0..params.max_recovery_rounds {
+        engine.step();
+        if engine.tracker().infected_count(probe) >= target {
+            recovery_rounds = Some(engine.round() - failure_round);
+            break;
+        }
+    }
+    let latency_after = engine.tracker().mean_latency(probe).unwrap_or(f64::NAN);
+
+    // ── Post-failure window: load on the surviving membership ────────
+    let post_start = engine.round();
+    loaded_rounds(&mut engine, &mut rng, params.post_rounds, params.rate);
+    let post_end = engine.round();
+    engine.run(params.drain);
+    let reliability_after = engine
+        .tracker()
+        .reliability_report(post_start..=post_end, survivors)
+        .mean;
+
+    CatastropheReport {
+        n: params.n,
+        crashed,
+        survivors,
+        reliability_before,
+        reliability_after,
+        latency_before,
+        latency_after,
+        recovery_rounds,
+        partitioned_after: engine.view_graph().is_partitioned(),
+    }
+}
+
+/// Publishes `rate` events per round from random alive origins for
+/// `rounds` rounds (the Fig. 6 load shape).
+fn loaded_rounds(engine: &mut Engine<LpbcastNode>, rng: &mut SmallRng, rounds: u64, rate: usize) {
+    for _ in 0..rounds {
+        let alive = engine.alive_ids();
+        for _ in 0..rate {
+            let origin = alive[rng.gen_range(0..alive.len())];
+            engine.publish_from(origin, Payload::from_static(b"load"));
+        }
+        engine.step();
+    }
+}
+
+// ───────────────────────── partition and heal ────────────────────────
+
+/// Parameters of a partition-and-heal run.
+#[derive(Debug, Clone)]
+pub struct PartitionParams {
+    /// Total system size; the bootstrap splits it into two halves whose
+    /// views never cross the divide.
+    pub n: usize,
+    /// Protocol configuration.
+    pub config: Config,
+    /// Message-loss probability ε.
+    pub loss_rate: f64,
+    /// Rounds the two sides run in isolation before healing starts.
+    pub isolated_rounds: u64,
+    /// `Subscribe` bridges injected from the second half into the first
+    /// to start the heal.
+    pub bridges: usize,
+    /// Cap on the heal measurement.
+    pub max_heal_rounds: u64,
+    /// Rounds given to the post-heal probe broadcast.
+    pub probe_rounds: u64,
+}
+
+impl PartitionParams {
+    /// Partition at size `n` with the §5-scaled configuration: two
+    /// halves, four bridge subscriptions.
+    pub fn scaled(n: usize) -> Self {
+        PartitionParams {
+            n,
+            config: scaled_params(n).config,
+            loss_rate: 0.05,
+            isolated_rounds: 5,
+            bridges: 4,
+            max_heal_rounds: 60,
+            probe_rounds: 30,
+        }
+    }
+}
+
+/// Outcome of one partition-and-heal run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionReport {
+    /// System size.
+    pub n: usize,
+    /// Undirected view-graph components before healing (2 by
+    /// construction).
+    pub components_before: usize,
+    /// Size of the larger side before healing (⌈n/2⌉ by construction).
+    pub largest_component_before: usize,
+    /// Rounds after bridge injection until the view graph stopped being
+    /// §4.4-partitioned (undirected connectivity restored).
+    pub rounds_to_connect: Option<u64>,
+    /// Rounds after bridge injection until the view graph collapsed to a
+    /// single strongly connected component — from then on a broadcast
+    /// from *any* process can reach every process.
+    pub rounds_to_heal: Option<u64>,
+    /// Fraction of the whole system reached by a probe published on side
+    /// A after the heal window.
+    pub post_heal_reliability: f64,
+}
+
+/// Runs one partition-and-heal scenario. Deterministic per
+/// `(params, seed)`.
+///
+/// # Panics
+///
+/// Panics if `params.n < 4` (each side needs at least two processes).
+pub fn partition_scenario(params: &PartitionParams, seed: u64) -> PartitionReport {
+    assert!(params.n >= 4, "need at least two processes per side");
+    let split = params.n / 2;
+    let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x746F_706F_6C6F_6779);
+    let mut engine: Engine<LpbcastNode> =
+        Engine::new(NetworkModel::new(params.loss_rate, seed), CrashPlan::none());
+    let mut scratch = Vec::new();
+    for i in 0..params.n as u64 {
+        // Sample the view inside the node's own half: the usual
+        // self-excluding sampler over local half indices, offset to
+        // global ids afterwards.
+        let (base, size) = if (i as usize) < split {
+            (0u64, split)
+        } else {
+            (split as u64, params.n - split)
+        };
+        sample_view_into(
+            &mut topo_rng,
+            i - base,
+            size,
+            params.config.view_size,
+            &mut scratch,
+        );
+        let members: Vec<ProcessId> = scratch.iter().map(|&v| ProcessId::new(base + v)).collect();
+        debug_assert!(members.iter().all(|&p| p != ProcessId::new(i)));
+        engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
+            ProcessId::new(i),
+            params.config.clone(),
+            seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(i),
+            members,
+        )));
+    }
+    let components = engine.view_graph().undirected_components();
+    let components_before = components.count();
+    let largest_component_before = components.largest_size();
+    debug_assert!(engine.view_graph().is_partitioned(), "built partitioned");
+    engine.run(params.isolated_rounds);
+
+    // ── Heal: side-B processes subscribe through side-A contacts ──────
+    // A single Subscribe is not enough to heal reliably: the lone cross
+    // entry it creates competes with the full-view eviction churn and can
+    // die out of circulation entirely (observed at l = 6). Real §3.4
+    // processes re-emit their subscription on a timeout until they
+    // "experience more and more gossip" — the bridges do the same here,
+    // re-subscribing every round until the membership is whole.
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6865_616C_6272_6467); // "healbrdg"
+    let bridges: Vec<(ProcessId, ProcessId)> = (0..params.bridges.max(1))
+        .map(|_| {
+            let from = ProcessId::new(split as u64 + rng.gen_range(0..(params.n - split) as u64));
+            let to = ProcessId::new(rng.gen_range(0..split as u64));
+            (from, to)
+        })
+        .collect();
+    let heal_start = engine.round();
+    let mut rounds_to_connect = None;
+    let mut rounds_to_heal = None;
+    for _ in 0..params.max_heal_rounds {
+        for &(from, to) in &bridges {
+            engine.enqueue(from, to, Message::Subscribe { subscriber: from });
+        }
+        engine.step();
+        let graph = engine.view_graph();
+        if rounds_to_connect.is_none() && !graph.is_partitioned() {
+            rounds_to_connect = Some(engine.round() - heal_start);
+        }
+        if graph.strongly_connected_components().count() == 1 {
+            rounds_to_heal = Some(engine.round() - heal_start);
+            break;
+        }
+    }
+
+    // ── Post-heal dissemination across the former divide ─────────────
+    let probe = engine.publish_from(ProcessId::new(0), Payload::from_static(b"healed"));
+    engine.run(params.probe_rounds);
+    PartitionReport {
+        n: params.n,
+        components_before,
+        largest_component_before,
+        rounds_to_connect,
+        rounds_to_heal,
+        post_heal_reliability: engine.tracker().reliability_of(probe, params.n),
+    }
+}
+
+// ────────────────────────────── reporting ────────────────────────────
+
+/// Renders the three scenario reports as a long-format TSV figure
+/// (`scenario  n  metric  value`), written to `results/scenarios.tsv` by
+/// `bench_sim`.
+pub fn scenarios_tsv(
+    churn: &ChurnReport,
+    catastrophe: &CatastropheReport,
+    partition: &PartitionReport,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "# lpbcast scenario suite: continuous churn, catastrophic failure, partition-and-heal\n\
+         # (see lpbcast_sim::scenario; deterministic per seed)\n\
+         scenario\tn\tmetric\tvalue\n",
+    );
+    let mut row = |scenario: &str, n: usize, metric: &str, value: String| {
+        let _ = writeln!(out, "{scenario}\t{n}\t{metric}\t{value}");
+    };
+    let opt = |v: Option<u64>| v.map_or_else(|| "never".into(), |r| r.to_string());
+    row(
+        "churn",
+        churn.n0,
+        "final_members",
+        churn.final_members.to_string(),
+    );
+    row(
+        "churn",
+        churn.n0,
+        "joins_attempted",
+        churn.joins_attempted.to_string(),
+    );
+    row(
+        "churn",
+        churn.n0,
+        "joins_completed",
+        churn.joins_completed.to_string(),
+    );
+    row(
+        "churn",
+        churn.n0,
+        "leaves_completed",
+        churn.leaves_completed.to_string(),
+    );
+    row(
+        "churn",
+        churn.n0,
+        "leaves_refused",
+        churn.leaves_refused.to_string(),
+    );
+    row(
+        "churn",
+        churn.n0,
+        "mean_reliability",
+        format!("{:.5}", churn.mean_reliability),
+    );
+    row(
+        "churn",
+        churn.n0,
+        "min_reliability",
+        format!("{:.5}", churn.min_reliability),
+    );
+    row(
+        "churn",
+        churn.n0,
+        "events_measured",
+        churn.events_measured.to_string(),
+    );
+    row(
+        "churn",
+        churn.n0,
+        "partitioned_at_end",
+        churn.partitioned_at_end.to_string(),
+    );
+    let c = catastrophe;
+    row("catastrophe", c.n, "crashed", c.crashed.to_string());
+    row("catastrophe", c.n, "survivors", c.survivors.to_string());
+    row(
+        "catastrophe",
+        c.n,
+        "reliability_before",
+        format!("{:.5}", c.reliability_before),
+    );
+    row(
+        "catastrophe",
+        c.n,
+        "reliability_after",
+        format!("{:.5}", c.reliability_after),
+    );
+    row(
+        "catastrophe",
+        c.n,
+        "latency_before_rounds",
+        format!("{:.3}", c.latency_before),
+    );
+    row(
+        "catastrophe",
+        c.n,
+        "latency_after_rounds",
+        format!("{:.3}", c.latency_after),
+    );
+    row(
+        "catastrophe",
+        c.n,
+        "recovery_rounds",
+        opt(c.recovery_rounds),
+    );
+    row(
+        "catastrophe",
+        c.n,
+        "partitioned_after",
+        c.partitioned_after.to_string(),
+    );
+    let p = partition;
+    row(
+        "partition",
+        p.n,
+        "components_before",
+        p.components_before.to_string(),
+    );
+    row(
+        "partition",
+        p.n,
+        "largest_component_before",
+        p.largest_component_before.to_string(),
+    );
+    row(
+        "partition",
+        p.n,
+        "rounds_to_connect",
+        opt(p.rounds_to_connect),
+    );
+    row("partition", p.n, "rounds_to_heal", opt(p.rounds_to_heal));
+    row(
+        "partition",
+        p.n,
+        "post_heal_reliability",
+        format!("{:.5}", p.post_heal_reliability),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> Config {
+        Config::builder()
+            .view_size(6)
+            .fanout(3)
+            .event_ids_max(256)
+            .events_max(256)
+            .deliver_on_digest(true)
+            .build()
+    }
+
+    fn small_churn() -> ChurnParams {
+        ChurnParams {
+            n0: 40,
+            config: small_config(),
+            loss_rate: 0.05,
+            warmup: 4,
+            churn_rounds: 10,
+            joins_per_round: 2,
+            leaves_per_round: 2,
+            lame_duck: 2,
+            rate: 4,
+            drain: 8,
+        }
+    }
+
+    #[test]
+    fn churn_keeps_disseminating() {
+        let report = churn_scenario(&small_churn(), 7);
+        assert_eq!(report.joins_attempted, 20);
+        assert!(
+            report.joins_completed > 10,
+            "most joins complete: {report:?}"
+        );
+        assert!(report.leaves_completed > 0, "{report:?}");
+        assert!(
+            report.mean_reliability > 0.8,
+            "dissemination survives churn: {report:?}"
+        );
+        assert!(
+            report.mean_reliability <= 1.0 && report.min_reliability <= 1.0,
+            "reliability is a fraction: {report:?}"
+        );
+        assert!(!report.partitioned_at_end, "{report:?}");
+        assert!(report.events_measured > 0);
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let params = small_churn();
+        assert_eq!(churn_scenario(&params, 5), churn_scenario(&params, 5));
+    }
+
+    #[test]
+    fn catastrophe_recovers() {
+        let params = CatastropheParams {
+            n: 60,
+            config: small_config(),
+            loss_rate: 0.05,
+            crash_fraction: 0.4,
+            warmup: 4,
+            pre_rounds: 6,
+            post_rounds: 6,
+            rate: 5,
+            drain: 8,
+            max_recovery_rounds: 25,
+        };
+        let report = catastrophe_scenario(&params, 11);
+        assert_eq!(report.crashed, 24);
+        assert_eq!(report.survivors, 36);
+        assert!(
+            report.reliability_before > 0.9,
+            "healthy before: {report:?}"
+        );
+        assert!(
+            report.reliability_after > 0.9,
+            "recovers after losing 40%: {report:?}"
+        );
+        assert!(
+            report.recovery_rounds.is_some(),
+            "probe reaches survivors: {report:?}"
+        );
+        assert!(report.latency_after.is_finite());
+    }
+
+    #[test]
+    fn catastrophe_is_deterministic_per_seed() {
+        let params = CatastropheParams {
+            n: 40,
+            config: small_config(),
+            loss_rate: 0.05,
+            crash_fraction: 0.3,
+            warmup: 3,
+            pre_rounds: 4,
+            post_rounds: 4,
+            rate: 3,
+            drain: 5,
+            max_recovery_rounds: 15,
+        };
+        assert_eq!(
+            catastrophe_scenario(&params, 3),
+            catastrophe_scenario(&params, 3)
+        );
+    }
+
+    #[test]
+    fn partition_heals_through_bridges() {
+        let params = PartitionParams {
+            n: 60,
+            config: small_config(),
+            loss_rate: 0.05,
+            isolated_rounds: 4,
+            bridges: 3,
+            max_heal_rounds: 40,
+            probe_rounds: 20,
+        };
+        let report = partition_scenario(&params, 9);
+        assert_eq!(report.components_before, 2, "{report:?}");
+        assert_eq!(report.largest_component_before, 30, "{report:?}");
+        assert!(report.rounds_to_connect.is_some(), "{report:?}");
+        assert!(report.rounds_to_heal.is_some(), "{report:?}");
+        assert!(
+            report.rounds_to_connect <= report.rounds_to_heal,
+            "connectivity precedes strong connectivity: {report:?}"
+        );
+        assert!(
+            report.post_heal_reliability > 0.95,
+            "broadcast crosses the healed divide: {report:?}"
+        );
+    }
+
+    #[test]
+    fn partition_is_deterministic_per_seed() {
+        let params = PartitionParams {
+            n: 30,
+            config: small_config(),
+            loss_rate: 0.05,
+            isolated_rounds: 3,
+            bridges: 2,
+            max_heal_rounds: 30,
+            probe_rounds: 15,
+        };
+        assert_eq!(
+            partition_scenario(&params, 2),
+            partition_scenario(&params, 2)
+        );
+    }
+
+    #[test]
+    fn tsv_contains_all_scenarios() {
+        let churn = churn_scenario(&small_churn(), 1);
+        let cata = catastrophe_scenario(
+            &CatastropheParams {
+                n: 30,
+                config: small_config(),
+                loss_rate: 0.0,
+                crash_fraction: 0.3,
+                warmup: 2,
+                pre_rounds: 3,
+                post_rounds: 3,
+                rate: 2,
+                drain: 4,
+                max_recovery_rounds: 12,
+            },
+            1,
+        );
+        let part = partition_scenario(
+            &PartitionParams {
+                n: 20,
+                config: small_config(),
+                loss_rate: 0.0,
+                isolated_rounds: 2,
+                bridges: 2,
+                max_heal_rounds: 20,
+                probe_rounds: 10,
+            },
+            1,
+        );
+        let tsv = scenarios_tsv(&churn, &cata, &part);
+        for needle in [
+            "churn\t",
+            "catastrophe\t",
+            "partition\t",
+            "mean_reliability",
+            "recovery_rounds",
+            "rounds_to_heal",
+        ] {
+            assert!(tsv.contains(needle), "missing {needle:?} in:\n{tsv}");
+        }
+        assert!(tsv.lines().count() > 20);
+    }
+}

@@ -8,6 +8,7 @@ use lpbcast_sim::experiment::{
     pbcast_reliability, pbcast_reliability_serial, LpbcastSimParams, PbcastMembershipKind,
     PbcastSimParams, ReliabilityRun,
 };
+use lpbcast_sim::scenario::{churn_sweep, churn_sweep_serial, ChurnParams};
 
 const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
 
@@ -69,6 +70,28 @@ fn parallel_pbcast_reliability_is_bit_identical_to_serial() {
     let parallel = pbcast_reliability(&pb_params(), &small_run(), &SEEDS);
     let serial = pbcast_reliability_serial(&pb_params(), &small_run(), &SEEDS);
     assert_eq!(parallel.to_bits(), serial.to_bits());
+}
+
+#[test]
+fn parallel_churn_sweep_is_bit_identical_to_serial() {
+    force_parallel_pool();
+    // Small but genuinely churning: joins through §3.4 handshakes, leaves
+    // through the unsubscribe path, publication load, per-seed engines.
+    let params = ChurnParams {
+        warmup: 3,
+        churn_rounds: 8,
+        joins_per_round: 2,
+        leaves_per_round: 1,
+        rate: 4,
+        drain: 5,
+        ..ChurnParams::scaled(40)
+    };
+    let parallel = churn_sweep(&params, &SEEDS);
+    let serial = churn_sweep_serial(&params, &SEEDS);
+    // Full structural equality, report by report — churn mutates the
+    // engine mid-run (add_node/remove_node), so this also proves the
+    // slab bookkeeping is schedule-independent.
+    assert_eq!(parallel, serial);
 }
 
 #[test]

@@ -1,0 +1,83 @@
+//! Property tests for the O(n·l) topology bootstrap: sampled views are
+//! duplicate-free, self-free, exactly `min(l, n−1)` long, and a
+//! deterministic function of the seed.
+
+use lpbcast_sim::topology::{ring_view, sample_distinct, sample_view};
+use lpbcast_types::ProcessId;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The Floyd sampler draws exactly `min(k, m)` distinct values from
+    /// `0..m`, deterministically per seed.
+    #[test]
+    fn sample_distinct_invariants(
+        m in 1u64..5000,
+        k in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        sample_distinct(&mut rng, m, k, &mut out);
+        prop_assert_eq!(out.len() as u64, (k as u64).min(m));
+        prop_assert!(out.iter().all(|&v| v < m), "out of range: {:?}", out);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), out.len(), "duplicates drawn");
+        // Deterministic: a fresh RNG from the same seed reproduces it.
+        let mut rng2 = SmallRng::seed_from_u64(seed);
+        let mut out2 = Vec::new();
+        sample_distinct(&mut rng2, m, k, &mut out2);
+        prop_assert_eq!(out, out2, "same seed diverged");
+    }
+
+    /// Sampled initial views are duplicate-free, self-free, exactly
+    /// `min(l, n−1)` long, within `0..n`, and deterministic per seed.
+    #[test]
+    fn sampled_views_are_wellformed(
+        n in 2usize..3000,
+        l in 1usize..64,
+        me_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let me = ((n as f64 * me_frac) as u64).min(n as u64 - 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let view = sample_view(&mut rng, me, n, l);
+        prop_assert_eq!(view.len(), l.min(n - 1), "view length");
+        prop_assert!(view.iter().all(|&p| p != ProcessId::new(me)), "self in view");
+        prop_assert!(view.iter().all(|&p| p.as_u64() < n as u64), "ghost member");
+        let mut sorted = view.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), view.len(), "duplicate members");
+        let mut rng2 = SmallRng::seed_from_u64(seed);
+        prop_assert_eq!(view, sample_view(&mut rng2, me, n, l), "same seed diverged");
+    }
+
+    /// Ring views obey the same invariants for every `l`, including the
+    /// regression case `l ≥ n−1` where the unclamped wrap used to produce
+    /// duplicates and a self-entry.
+    #[test]
+    fn ring_views_are_wellformed(
+        n in 2usize..200,
+        l in 1usize..300,
+        me_frac in 0.0f64..1.0,
+    ) {
+        let me = ((n as f64 * me_frac) as u64).min(n as u64 - 1);
+        let view = ring_view(me, n, l);
+        prop_assert_eq!(view.len(), l.min(n - 1), "view length");
+        prop_assert!(view.iter().all(|&p| p != ProcessId::new(me)), "self in view");
+        let mut sorted = view.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), view.len(), "duplicate members");
+        // Successor structure: entry d is (me + d + 1) mod n.
+        for (d, &p) in view.iter().enumerate() {
+            prop_assert_eq!(p.as_u64(), (me + d as u64 + 1) % n as u64);
+        }
+    }
+}

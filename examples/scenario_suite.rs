@@ -1,0 +1,83 @@
+//! The churn / catastrophe / partition scenario suite in miniature:
+//! deterministic, env-tunable, printable — the CI smoke run for
+//! `lpbcast_sim::scenario` (the full-scale n = 10⁴ suite runs in
+//! `bench_sim` and lands in `BENCH_sim.json` + `results/scenarios.tsv`).
+//!
+//! ```sh
+//! cargo run --release --example scenario_suite
+//! LPBCAST_SCENARIO_N=64 LPBCAST_SCENARIO_SEED=3 cargo run --release --example scenario_suite
+//! ```
+
+use lpbcast::sim::scenario::{
+    catastrophe_scenario, churn_scenario, partition_scenario, scenarios_tsv, CatastropheParams,
+    ChurnParams, PartitionParams,
+};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+fn main() {
+    // Floor of 16: the partition scenario needs two meaningful halves
+    // and the churn cohort sizes derive from n.
+    let n = env_usize("LPBCAST_SCENARIO_N", 300).max(16);
+    let seed = env_usize("LPBCAST_SCENARIO_SEED", 1) as u64;
+    println!("scenario suite at n={n}, seed {seed}\n");
+
+    let churn = churn_scenario(&ChurnParams::scaled(n), seed);
+    println!(
+        "churn: {}/{} joins completed, {} leaves ({} refused), {} members at end,\n\
+         \u{20}      reliability mean {:.4} / min {:.4} over {} events, partitioned: {}",
+        churn.joins_completed,
+        churn.joins_attempted,
+        churn.leaves_completed,
+        churn.leaves_refused,
+        churn.final_members,
+        churn.mean_reliability,
+        churn.min_reliability,
+        churn.events_measured,
+        churn.partitioned_at_end
+    );
+    assert!(
+        churn.joins_completed > 0 && churn.leaves_completed > 0,
+        "churn actually happened: {churn:?}"
+    );
+
+    let catastrophe = catastrophe_scenario(&CatastropheParams::scaled(n), seed);
+    println!(
+        "catastrophe: {} of {} crashed in one round; reliability {:.4} -> {:.4},\n\
+         \u{20}            latency {:.2} -> {:.2} rounds, 99% of survivors re-reached in {:?} rounds",
+        catastrophe.crashed,
+        catastrophe.n,
+        catastrophe.reliability_before,
+        catastrophe.reliability_after,
+        catastrophe.latency_before,
+        catastrophe.latency_after,
+        catastrophe.recovery_rounds
+    );
+    assert!(
+        catastrophe.recovery_rounds.is_some(),
+        "dissemination must recover: {catastrophe:?}"
+    );
+
+    let partition = partition_scenario(&PartitionParams::scaled(n), seed);
+    println!(
+        "partition: {} components (largest {}) -> connected in {:?} rounds,\n\
+         \u{20}          fully healed (one SCC) in {:?} rounds, post-heal reliability {:.4}",
+        partition.components_before,
+        partition.largest_component_before,
+        partition.rounds_to_connect,
+        partition.rounds_to_heal,
+        partition.post_heal_reliability
+    );
+    assert!(
+        partition.rounds_to_connect.is_some(),
+        "bridges must reconnect the membership: {partition:?}"
+    );
+
+    println!("\n{}", scenarios_tsv(&churn, &catastrophe, &partition));
+}

@@ -4,8 +4,9 @@
 Usage:
     python3 scripts/bench_gate.py COMMITTED.json FRESH.json
 
-Compares every per-n step-time row (``step_throughput[].slab_ns_per_step``
-and ``scaling[].ns_per_step``) of the freshly generated snapshot against
+Compares every per-n timing row (``step_throughput[].slab_ns_per_step``,
+``loaded_step[].slab_ns_per_step``, ``scaling[].ns_per_step`` and
+``scaling[].engine_build_ms``) of the freshly generated snapshot against
 the committed one:
 
 * regression > 30% at any n  -> prints FAIL and exits 1;
@@ -22,10 +23,14 @@ makes the gate fire with no code change, override the thresholds via the
 ``BENCH_GATE_FAIL`` / ``BENCH_GATE_WARN`` environment variables (fractions,
 e.g. ``BENCH_GATE_FAIL=0.5``) and refresh the committed snapshot.
 
-Rows present in only one file are reported and skipped — the gate only
-judges the intersection, so adding or removing a measurement size does
-not break CI. Stdlib only by design: the repository's Rust workspace is
-fully vendored and CI must not need pip.
+Row-set changes are judged asymmetrically. A row present in the
+committed snapshot but *missing* from the fresh one is a hard FAIL: a
+benchmark that silently stops being measured is indistinguishable from a
+regression that nobody will ever see again (deleting a measurement
+legitimately requires refreshing the committed snapshot in the same
+change). A row only in the fresh snapshot is a WARN — new measurements
+are how the snapshot grows. Stdlib only by design: the repository's Rust
+workspace is fully vendored and CI must not need pip.
 """
 
 import json
@@ -45,7 +50,7 @@ WARN_THRESHOLD = env_fraction("BENCH_GATE_WARN", 0.10)
 
 
 def step_rows(snapshot):
-    """Maps measurement label -> ns/step for every step-time row."""
+    """Maps measurement label -> ns/step for every timing row."""
     rows = {}
     for entry in snapshot.get("step_throughput", []):
         rows[f"step_throughput n={entry['n']}"] = float(entry["slab_ns_per_step"])
@@ -53,6 +58,10 @@ def step_rows(snapshot):
         rows[f"loaded_step n={entry['n']}"] = float(entry["slab_ns_per_step"])
     for entry in snapshot.get("scaling", []):
         rows[f"scaling n={entry['n']}"] = float(entry["ns_per_step"])
+        # Engine construction (O(n*l) bootstrap) is guarded too; stored
+        # in ms, compared as ns like everything else.
+        if "engine_build_ms" in entry:
+            rows[f"engine_build n={entry['n']}"] = float(entry["engine_build_ms"]) * 1e6
     return rows
 
 
@@ -72,17 +81,19 @@ def main(argv):
     committed = step_rows(load(argv[1]))
     fresh = step_rows(load(argv[2]))
 
+    failed = False
+    # A committed row the fresh snapshot no longer produces means a
+    # benchmark silently stopped running — hard failure, not a skip.
     for label in sorted(set(committed) - set(fresh)):
-        print(f"SKIP  {label}: only in committed snapshot")
+        print(f"FAIL  {label}: present in committed snapshot, missing from fresh one")
+        failed = True
     for label in sorted(set(fresh) - set(committed)):
-        print(f"SKIP  {label}: only in fresh snapshot")
+        print(f"WARN  {label}: only in fresh snapshot (new measurement; refresh the committed BENCH_sim.json)")
 
     shared = sorted(set(committed) & set(fresh))
-    if not shared:
+    if not shared and not failed:
         print("bench_gate: no comparable step-time rows", file=sys.stderr)
         return 2
-
-    failed = False
     for label in shared:
         old, new = committed[label], fresh[label]
         if old <= 0:
@@ -90,7 +101,8 @@ def main(argv):
             continue
         ratio = new / old
         delta = (ratio - 1.0) * 100.0
-        line = f"{label}: {old / 1e3:.1f} -> {new / 1e3:.1f} us/step ({delta:+.1f}%)"
+        unit = "us" if label.startswith("engine_build") else "us/step"
+        line = f"{label}: {old / 1e3:.1f} -> {new / 1e3:.1f} {unit} ({delta:+.1f}%)"
         if ratio > 1.0 + FAIL_THRESHOLD:
             print(f"FAIL  {line}")
             failed = True
@@ -101,8 +113,8 @@ def main(argv):
 
     if failed:
         print(
-            f"bench_gate: step time regressed more than {FAIL_THRESHOLD:.0%} "
-            "against the committed BENCH_sim.json"
+            f"bench_gate: a timing row regressed more than {FAIL_THRESHOLD:.0%} "
+            "or disappeared, judged against the committed BENCH_sim.json"
         )
         return 1
     return 0

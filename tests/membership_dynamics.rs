@@ -133,9 +133,11 @@ fn unsubscribed_processes_fade_from_views() {
     // are "continuously dispatched" and keep re-advertising the leaver
     // until its unsubscription record reaches everyone or goes obsolete.
     // So the meaningful comparison is against a silent crash, where no
-    // unsubscription circulates at all.
-    let stale_count = |graceful: bool| -> usize {
-        let mut engine = build_lpbcast_engine(&params(30, 8), 55);
+    // unsubscription circulates at all. Any single run is a coin flip
+    // (eviction churn removes stale entries on its own schedule), so the
+    // directional claim is asserted over an aggregate of seeds.
+    let stale_count = |graceful: bool, seed: u64| -> usize {
+        let mut engine = build_lpbcast_engine(&params(30, 8), seed);
         engine.run(10);
         if graceful {
             engine
@@ -153,16 +155,18 @@ fn unsubscribed_processes_fade_from_views() {
             .filter(|(_, node)| node.process().view().contains(p(0)))
             .count()
     };
-    let after_unsubscribe = stale_count(true);
-    let after_crash = stale_count(false);
+    let seeds = 55u64..=62;
+    let after_unsubscribe: usize = seeds.clone().map(|s| stale_count(true, s)).sum();
+    let after_crash: usize = seeds.map(|s| stale_count(false, s)).sum();
     assert!(
         after_unsubscribe < after_crash,
-        "unsubscription must accelerate removal: {after_unsubscribe} stale \
-         after graceful leave vs {after_crash} after silent crash"
+        "unsubscription must accelerate removal: {after_unsubscribe} total stale \
+         entries after graceful leaves vs {after_crash} after silent crashes"
     );
     assert!(
-        after_unsubscribe <= 8,
-        "{after_unsubscribe}/29 views still reference the departed process"
+        after_unsubscribe <= 8 * 8,
+        "{after_unsubscribe} stale view entries total across 8 seeds \
+         (of 8×29 views) still reference the departed process"
     );
 }
 
