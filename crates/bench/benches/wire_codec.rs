@@ -57,7 +57,7 @@ fn bench_encode_decode(c: &mut Criterion) {
             b.iter(|| black_box(wire::encode(m)))
         });
         group.bench_with_input(BenchmarkId::new("decode", name), &encoded, |b, bytes| {
-            b.iter(|| black_box(wire::decode(bytes).expect("valid")))
+            b.iter(|| black_box(wire::decode::<Message>(bytes).expect("valid")))
         });
     }
     group.finish();

@@ -16,9 +16,8 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use lpbcast_core::Lpbcast;
 use lpbcast_sim::experiment::LpbcastSimParams;
-use lpbcast_sim::node::{LpbcastNode, SimNode, SimStep};
 use lpbcast_sim::CrashPlan;
-use lpbcast_types::{EventId, Payload, ProcessId};
+use lpbcast_types::{EventId, Payload, ProcessId, Protocol};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -99,19 +98,20 @@ struct Envelope<M> {
     msg: M,
 }
 
-/// The seed's `BTreeMap`-routed synchronous-round engine.
+/// The seed's `BTreeMap`-routed synchronous-round engine (now driven
+/// through the workspace-wide [`Protocol`] trait, like the slab engine).
 #[derive(Debug)]
-pub struct BaselineEngine<N: SimNode> {
-    nodes: BTreeMap<ProcessId, N>,
+pub struct BaselineEngine<P: Protocol> {
+    nodes: BTreeMap<ProcessId, P>,
     crashed: Vec<ProcessId>,
     network: BaselineNetwork,
     crash_plan: CrashPlan,
     tracker: BaselineTracker,
     round: u64,
-    pending: Vec<Envelope<N::Msg>>,
+    pending: Vec<Envelope<P::Msg>>,
 }
 
-impl<N: SimNode> BaselineEngine<N> {
+impl<P: Protocol> BaselineEngine<P> {
     /// Creates an engine over the given fault models.
     pub fn new(network: BaselineNetwork, crash_plan: CrashPlan) -> Self {
         BaselineEngine {
@@ -126,7 +126,7 @@ impl<N: SimNode> BaselineEngine<N> {
     }
 
     /// Adds a node (initially alive).
-    pub fn add_node(&mut self, node: N) {
+    pub fn add_node(&mut self, node: P) {
         self.nodes.insert(node.id(), node);
     }
 
@@ -156,9 +156,20 @@ impl<N: SimNode> BaselineEngine<N> {
     pub fn publish_from(&mut self, origin: ProcessId, payload: Payload) -> EventId {
         assert!(self.is_alive(origin), "publisher {origin} is not alive");
         let node = self.nodes.get_mut(&origin).expect("alive node exists");
-        let (id, immediate) = node.publish(payload);
+        let (id, output) = node.broadcast(payload);
         self.tracker.record_publish(id, origin, self.round);
-        for (to, msg) in immediate {
+        // Same Protocol semantics as the slab engine: publish-time
+        // self-deliveries count as sightings (empty for the in-tree
+        // protocols, so the preserved seed timings are unaffected).
+        for seen in output
+            .delivered
+            .iter()
+            .map(|e| e.id())
+            .chain(output.learned_ids.iter().copied())
+        {
+            self.tracker.record_seen_at(seen, origin, self.round);
+        }
+        for (to, msg) in output.outgoing {
             self.pending.push(Envelope {
                 from: origin,
                 to,
@@ -181,11 +192,22 @@ impl<N: SimNode> BaselineEngine<N> {
             }
         }
 
-        let mut queue: Vec<Envelope<N::Msg>> = std::mem::take(&mut self.pending);
+        let mut queue: Vec<Envelope<P::Msg>> = std::mem::take(&mut self.pending);
         let alive = self.alive_ids();
         for id in &alive {
             let node = self.nodes.get_mut(id).expect("alive node exists");
-            for (to, msg) in node.on_tick() {
+            let out = node.tick();
+            // Same Protocol semantics as the slab engine: tick-time
+            // deliveries count (empty for the in-tree protocols).
+            for seen in out
+                .delivered
+                .iter()
+                .map(|e| e.id())
+                .chain(out.learned_ids.iter().copied())
+            {
+                self.tracker.record_seen_at(seen, *id, self.round);
+            }
+            for (to, msg) in out.outgoing {
                 queue.push(Envelope { from: *id, to, msg });
             }
         }
@@ -194,17 +216,22 @@ impl<N: SimNode> BaselineEngine<N> {
             if queue.is_empty() {
                 break;
             }
-            let mut next: Vec<Envelope<N::Msg>> = Vec::new();
+            let mut next: Vec<Envelope<P::Msg>> = Vec::new();
             for envelope in queue {
                 if !self.is_alive(envelope.to) || !self.network.delivers() {
                     continue;
                 }
                 let node = self.nodes.get_mut(&envelope.to).expect("alive node exists");
-                let step: SimStep<N::Msg> = node.on_message(envelope.from, envelope.msg);
-                for id in step.delivered.iter().chain(step.learned.iter()) {
-                    self.tracker.record_seen_at(*id, envelope.to, self.round);
+                let out = node.handle_message(envelope.from, envelope.msg);
+                for id in out
+                    .delivered
+                    .iter()
+                    .map(|e| e.id())
+                    .chain(out.learned_ids.iter().copied())
+                {
+                    self.tracker.record_seen_at(id, envelope.to, self.round);
                 }
-                for (to, msg) in step.outgoing {
+                for (to, msg) in out.outgoing {
                     next.push(Envelope {
                         from: envelope.to,
                         to,
@@ -230,7 +257,7 @@ impl<N: SimNode> BaselineEngine<N> {
 pub fn build_baseline_lpbcast_engine(
     params: &LpbcastSimParams,
     seed: u64,
-) -> BaselineEngine<LpbcastNode> {
+) -> BaselineEngine<Lpbcast> {
     let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x746F_706F_6C6F_6779);
     let candidates: Vec<ProcessId> = (1..params.n as u64).map(ProcessId::new).collect();
     let plan = CrashPlan::draw(&candidates, params.tau, params.rounds.max(1), seed);
@@ -241,12 +268,12 @@ pub fn build_baseline_lpbcast_engine(
             .choose_multiple(&mut topo_rng, params.config.view_size.min(others.len()))
             .map(|&j| ProcessId::new(j))
             .collect();
-        engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
+        engine.add_node(Lpbcast::with_initial_view(
             ProcessId::new(i),
             params.config.clone(),
             seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(i),
             members,
-        )));
+        ));
     }
     engine
 }

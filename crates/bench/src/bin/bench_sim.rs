@@ -15,22 +15,25 @@
 //!   study (default `125,1000,10000`).
 //! * `BENCH_SIM_SCENARIO_N` — system size of the churn / catastrophe /
 //!   partition scenario suite (default 10000).
+//! * `BENCH_SIM_SCENARIO_PROTOCOLS` — comma-separated protocols the
+//!   scenario suite runs (`lpbcast,pbcast` by default; the suite is
+//!   generic over `ScenarioProtocol`, so both stacks produce
+//!   side-by-side rows).
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use lpbcast_bench::baseline::build_baseline_lpbcast_engine;
+use lpbcast_core::Lpbcast;
+use lpbcast_pbcast::Pbcast;
 use lpbcast_sim::experiment::{
     build_lpbcast_engine, lpbcast_infection_curve, lpbcast_infection_curve_serial,
     sweep_dispatches_serial, LpbcastSimParams,
 };
 use lpbcast_sim::scale::{scaling_study, scaling_tsv, ScaleStudyOpts};
-use lpbcast_sim::scenario::{
-    catastrophe_scenario, churn_scenario, partition_scenario, scenarios_tsv, CatastropheParams,
-    ChurnParams, PartitionParams,
-};
-use lpbcast_sim::{Engine, LpbcastNode};
+use lpbcast_sim::scenario::{run_scenario_suite, scenarios_tsv, ScenarioSuite};
+use lpbcast_sim::Engine;
 use lpbcast_types::{Payload, ProcessId};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -41,17 +44,28 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// How many sub-windows a step measurement is split into: the reported
+/// ns/step is the *minimum* window mean, so a background-load burst on a
+/// shared host (the 1-CPU CI container swings ±30%) poisons at most the
+/// windows it overlaps instead of the whole measurement. The regression
+/// gate compares the cost of a step, and the min converges on it.
+const STEP_WINDOWS: usize = 4;
+
 /// Steady-state ns/step of the current slab engine at system size `n`.
 fn time_slab_step(n: usize, steps: usize) -> f64 {
     let params = LpbcastSimParams::paper_defaults(n).rounds(u64::MAX / 2);
     let mut engine = build_lpbcast_engine(&params, 1);
     engine.publish_from(ProcessId::new(0), "warm".into());
     engine.run(5); // settle into the steady state
-    let t = Instant::now();
-    engine.run(steps as u64);
-    let total = t.elapsed().as_nanos() as f64;
+    let window = (steps / STEP_WINDOWS).max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..STEP_WINDOWS {
+        let t = Instant::now();
+        engine.run(window as u64);
+        best = best.min(t.elapsed().as_nanos() as f64 / window as f64);
+    }
     assert!(engine.round() > 5, "engine actually ran");
-    total / steps as f64
+    best
 }
 
 /// Steady-state ns/step of the seed baseline engine at system size `n`.
@@ -60,16 +74,20 @@ fn time_baseline_step(n: usize, steps: usize) -> f64 {
     let mut engine = build_baseline_lpbcast_engine(&params, 1);
     engine.publish_from(ProcessId::new(0), "warm".into());
     engine.run(5);
-    let t = Instant::now();
-    engine.run(steps as u64);
-    let total = t.elapsed().as_nanos() as f64;
+    let window = (steps / STEP_WINDOWS).max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..STEP_WINDOWS {
+        let t = Instant::now();
+        engine.run(window as u64);
+        best = best.min(t.elapsed().as_nanos() as f64 / window as f64);
+    }
     assert!(engine.round() > 5, "engine actually ran");
-    total / steps as f64
+    best
 }
 
 /// Publishes `rate` events from rotating alive origins, then steps —
 /// one loaded round (Fig. 6's "Rate = 40 msg/round" shape).
-fn loaded_round(engine: &mut Engine<LpbcastNode>, next_origin: &mut u64, n: u64, rate: usize) {
+fn loaded_round(engine: &mut Engine<Lpbcast>, next_origin: &mut u64, n: u64, rate: usize) {
     for _ in 0..rate {
         for _ in 0..n {
             let origin = ProcessId::new(*next_origin % n);
@@ -95,13 +113,17 @@ fn time_slab_step_loaded(n: usize, steps: usize, rate: usize) -> f64 {
     for _ in 0..5 {
         loaded_round(&mut engine, &mut next_origin, n as u64, rate);
     }
-    let t = Instant::now();
-    for _ in 0..steps {
-        loaded_round(&mut engine, &mut next_origin, n as u64, rate);
+    let window = (steps / STEP_WINDOWS).max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..STEP_WINDOWS {
+        let t = Instant::now();
+        for _ in 0..window {
+            loaded_round(&mut engine, &mut next_origin, n as u64, rate);
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / window as f64);
     }
-    let total = t.elapsed().as_nanos() as f64;
     assert!(engine.round() > 5, "engine actually ran");
-    total / steps as f64
+    best
 }
 
 /// Wall-clock seconds of a Fig. 5(a)-style multi-seed infection sweep.
@@ -221,46 +243,74 @@ fn main() {
     }
 
     // Scenario suite: continuous churn, catastrophic correlated failure,
-    // partition-and-heal (deterministic; seed 1).
+    // partition-and-heal — once per protocol, side by side (deterministic;
+    // seed 1).
     let scenario_n = env_usize("BENCH_SIM_SCENARIO_N", 10_000);
-    let churn = churn_scenario(&ChurnParams::scaled(scenario_n), 1);
-    println!(
-        "scenario churn n={scenario_n}: {}/{} joins, {} leaves ({} refused), members {} at end, reliability {:.4} (min {:.4}), partitioned {}",
-        churn.joins_completed,
-        churn.joins_attempted,
-        churn.leaves_completed,
-        churn.leaves_refused,
-        churn.final_members,
-        churn.mean_reliability,
-        churn.min_reliability,
-        churn.partitioned_at_end
-    );
-    let catastrophe = catastrophe_scenario(&CatastropheParams::scaled(scenario_n), 1);
-    println!(
-        "scenario catastrophe n={scenario_n}: {} crashed, reliability {:.4} -> {:.4}, latency {:.2} -> {:.2} rounds, recovery {:?}",
-        catastrophe.crashed,
-        catastrophe.reliability_before,
-        catastrophe.reliability_after,
-        catastrophe.latency_before,
-        catastrophe.latency_after,
-        catastrophe.recovery_rounds
-    );
-    let partition = partition_scenario(&PartitionParams::scaled(scenario_n.max(4)), 1);
-    println!(
-        "scenario partition n={}: connect {:?}, heal {:?}, post-heal reliability {:.4}",
-        partition.n,
-        partition.rounds_to_connect,
-        partition.rounds_to_heal,
-        partition.post_heal_reliability
-    );
+    let protocols =
+        std::env::var("BENCH_SIM_SCENARIO_PROTOCOLS").unwrap_or_else(|_| "lpbcast,pbcast".into());
+    let mut suites: Vec<ScenarioSuite> = Vec::new();
+    let mut seen_protocols: Vec<&str> = Vec::new();
+    for proto in protocols.split(',').map(str::trim) {
+        // Dedup: a repeated protocol would emit duplicate JSON keys.
+        if seen_protocols.contains(&proto) {
+            continue;
+        }
+        seen_protocols.push(proto);
+        let suite = match proto {
+            "lpbcast" => run_scenario_suite::<Lpbcast>(scenario_n, 1),
+            "pbcast" => run_scenario_suite::<Pbcast>(scenario_n, 1),
+            "" => continue,
+            other => {
+                eprintln!("! unknown scenario protocol {other:?} (expected lpbcast/pbcast)");
+                continue;
+            }
+        };
+        let churn = &suite.churn;
+        println!(
+            "scenario churn/{} n={scenario_n}: {}/{} joins, {} leaves ({} refused), members {} at end, reliability {:.4} (min {:.4}), partitioned {} [{:.0} ms]",
+            suite.protocol,
+            churn.joins_completed,
+            churn.joins_attempted,
+            churn.leaves_completed,
+            churn.leaves_refused,
+            churn.final_members,
+            churn.mean_reliability,
+            churn.min_reliability,
+            churn.partitioned_at_end,
+            suite.churn_wall_ms
+        );
+        let catastrophe = &suite.catastrophe;
+        println!(
+            "scenario catastrophe/{} n={scenario_n}: {} crashed, reliability {:.4} -> {:.4}, latency {:.2} -> {:.2} rounds, recovery {:?} [{:.0} ms]",
+            suite.protocol,
+            catastrophe.crashed,
+            catastrophe.reliability_before,
+            catastrophe.reliability_after,
+            catastrophe.latency_before,
+            catastrophe.latency_after,
+            catastrophe.recovery_rounds,
+            suite.catastrophe_wall_ms
+        );
+        let partition = &suite.partition;
+        println!(
+            "scenario partition/{} n={}: connect {:?}, heal {:?}, post-heal reliability {:.4} [{:.0} ms]",
+            suite.protocol,
+            partition.n,
+            partition.rounds_to_connect,
+            partition.rounds_to_heal,
+            partition.post_heal_reliability,
+            suite.partition_wall_ms
+        );
+        suites.push(suite);
+    }
 
     // Hand-rolled JSON (the workspace has no serde): numbers only, stable
     // key order, one object per measurement.
-    let mut json = String::from("{\n  \"schema\": \"bench_sim/v3\",\n");
+    let mut json = String::from("{\n  \"schema\": \"bench_sim/v4\",\n");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"steps_per_measurement\": {steps},");
     json.push_str(
-        "  \"note\": \"baseline_* is the seed BTreeMap engine compiled against the current protocol crates, so the ratio isolates the engine-structure change; protocol-layer wins (fast hashing, linear small buffers, chunked scans, alloc-free truncation, and since PR 2 the Arc-shared gossip fan-out) accrue to both columns. Seed-to-now trajectory: the unmodified seed stack measured ~17.7 ms/step at n=1000 on the 1-CPU reference container. step_throughput uses the paper's n=125 operating-point config at every n; the scaling section uses lpbcast_sim::scale's section-5-scaled view/buffer bounds (Compact digests since PR 3) and also reports the O(n*l) engine bootstrap cost (engine_build_ms; the PR 2 candidate-list build measured ~190 ms at n=10^4), probe delivery latency (rounds) and reliability — the same rows are rendered into results/scaling.tsv. The scenarios section is the churn / catastrophe / partition suite from lpbcast_sim::scenario, rendered to results/scenarios.tsv. scripts/bench_gate.py compares ns_per_step and engine_build_ms by n against the committed snapshot in CI, and fails on rows that disappear\",\n",
+        "  \"note\": \"baseline_* is the seed BTreeMap engine compiled against the current protocol crates, so the ratio isolates the engine-structure change; protocol-layer wins (fast hashing, linear small buffers, chunked scans, alloc-free truncation, and since PR 2 the Arc-shared gossip fan-out) accrue to both columns. Seed-to-now trajectory: the unmodified seed stack measured ~17.7 ms/step at n=1000 on the 1-CPU reference container. step_throughput uses the paper's n=125 operating-point config at every n; the scaling section uses lpbcast_sim::scale's section-5-scaled view/buffer bounds (Compact digests since PR 3) and also reports the O(n*l) engine bootstrap cost (engine_build_ms; the PR 2 candidate-list build measured ~190 ms at n=10^4), probe delivery latency (rounds) and reliability — the same rows are rendered into results/scaling.tsv. The scenarios section is the churn / catastrophe / partition suite from lpbcast_sim::scenario, keyed by protocol since the Protocol-trait redesign (one generic driver runs lpbcast and pbcast side by side; each scenario also records its wall_ms). scripts/bench_gate.py compares ns_per_step and engine_build_ms by n against the committed snapshot in CI and fails on rows that disappear; scenario wall_ms rows are gated softly (warn-only on row-set changes, since the scenario size and protocol set are env-tunable in CI)\",\n",
     );
     json.push_str("  \"step_throughput\": [\n");
     for (i, r) in step_results.iter().enumerate() {
@@ -320,49 +370,63 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str("  \"scenarios\": {\n");
-    let _ = writeln!(
-        json,
-        "    \"churn\": {{\"n0\": {}, \"final_members\": {}, \"joins_attempted\": {}, \"joins_completed\": {}, \"leaves_completed\": {}, \"leaves_refused\": {}, \"mean_reliability\": {:.5}, \"min_reliability\": {:.5}, \"events_measured\": {}, \"partitioned_at_end\": {}}},",
-        churn.n0,
-        churn.final_members,
-        churn.joins_attempted,
-        churn.joins_completed,
-        churn.leaves_completed,
-        churn.leaves_refused,
-        churn.mean_reliability,
-        churn.min_reliability,
-        churn.events_measured,
-        churn.partitioned_at_end
-    );
-    let recovery = catastrophe
-        .recovery_rounds
-        .map_or_else(|| "null".into(), |r| r.to_string());
-    let _ = writeln!(
-        json,
-        "    \"catastrophe\": {{\"n\": {}, \"crashed\": {}, \"survivors\": {}, \"reliability_before\": {:.5}, \"reliability_after\": {:.5}, \"latency_before_rounds\": {:.3}, \"latency_after_rounds\": {:.3}, \"recovery_rounds\": {recovery}, \"partitioned_after\": {}}},",
-        catastrophe.n,
-        catastrophe.crashed,
-        catastrophe.survivors,
-        catastrophe.reliability_before,
-        catastrophe.reliability_after,
-        catastrophe.latency_before,
-        catastrophe.latency_after,
-        catastrophe.partitioned_after
-    );
-    let connect = partition
-        .rounds_to_connect
-        .map_or_else(|| "null".into(), |r| r.to_string());
-    let heal = partition
-        .rounds_to_heal
-        .map_or_else(|| "null".into(), |r| r.to_string());
-    let _ = writeln!(
-        json,
-        "    \"partition\": {{\"n\": {}, \"components_before\": {}, \"largest_component_before\": {}, \"rounds_to_connect\": {connect}, \"rounds_to_heal\": {heal}, \"post_heal_reliability\": {:.5}}}",
-        partition.n,
-        partition.components_before,
-        partition.largest_component_before,
-        partition.post_heal_reliability
-    );
+    for (si, suite) in suites.iter().enumerate() {
+        let _ = writeln!(json, "    \"{}\": {{", suite.protocol);
+        let churn = &suite.churn;
+        let _ = writeln!(
+            json,
+            "      \"churn\": {{\"n0\": {}, \"final_members\": {}, \"joins_attempted\": {}, \"joins_completed\": {}, \"leaves_completed\": {}, \"leaves_refused\": {}, \"mean_reliability\": {:.5}, \"min_reliability\": {:.5}, \"events_measured\": {}, \"partitioned_at_end\": {}, \"wall_ms\": {:.1}}},",
+            churn.n0,
+            churn.final_members,
+            churn.joins_attempted,
+            churn.joins_completed,
+            churn.leaves_completed,
+            churn.leaves_refused,
+            churn.mean_reliability,
+            churn.min_reliability,
+            churn.events_measured,
+            churn.partitioned_at_end,
+            suite.churn_wall_ms
+        );
+        let catastrophe = &suite.catastrophe;
+        let recovery = catastrophe
+            .recovery_rounds
+            .map_or_else(|| "null".into(), |r| r.to_string());
+        let _ = writeln!(
+            json,
+            "      \"catastrophe\": {{\"n\": {}, \"crashed\": {}, \"survivors\": {}, \"reliability_before\": {:.5}, \"reliability_after\": {:.5}, \"latency_before_rounds\": {:.3}, \"latency_after_rounds\": {:.3}, \"recovery_rounds\": {recovery}, \"partitioned_after\": {}, \"wall_ms\": {:.1}}},",
+            catastrophe.n,
+            catastrophe.crashed,
+            catastrophe.survivors,
+            catastrophe.reliability_before,
+            catastrophe.reliability_after,
+            catastrophe.latency_before,
+            catastrophe.latency_after,
+            catastrophe.partitioned_after,
+            suite.catastrophe_wall_ms
+        );
+        let partition = &suite.partition;
+        let connect = partition
+            .rounds_to_connect
+            .map_or_else(|| "null".into(), |r| r.to_string());
+        let heal = partition
+            .rounds_to_heal
+            .map_or_else(|| "null".into(), |r| r.to_string());
+        let _ = writeln!(
+            json,
+            "      \"partition\": {{\"n\": {}, \"components_before\": {}, \"largest_component_before\": {}, \"rounds_to_connect\": {connect}, \"rounds_to_heal\": {heal}, \"post_heal_reliability\": {:.5}, \"wall_ms\": {:.1}}}",
+            partition.n,
+            partition.components_before,
+            partition.largest_component_before,
+            partition.post_heal_reliability,
+            suite.partition_wall_ms
+        );
+        json.push_str(if si + 1 < suites.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
     json.push_str("  }\n}\n");
 
     let path = workspace_root().join("BENCH_sim.json");
@@ -381,12 +445,8 @@ fn main() {
     }
 
     let scenarios_path = results_dir.join("scenarios.tsv");
-    let write_scenarios = std::fs::create_dir_all(&results_dir).and_then(|()| {
-        std::fs::write(
-            &scenarios_path,
-            scenarios_tsv(&churn, &catastrophe, &partition),
-        )
-    });
+    let write_scenarios = std::fs::create_dir_all(&results_dir)
+        .and_then(|()| std::fs::write(&scenarios_path, scenarios_tsv(&suites)));
     match write_scenarios {
         Ok(()) => println!("→ {}", scenarios_path.display()),
         Err(e) => eprintln!("! could not write results/scenarios.tsv: {e}"),

@@ -15,7 +15,8 @@
 //!
 //! This crate is the *sans-IO* core: [`Lpbcast`] is a deterministic state
 //! machine that consumes [`Message`]s and clock ticks, and produces
-//! [`Command`]s (messages to send) plus delivered events. Drivers live
+//! [`Output`]s (the workspace-wide unified envelope: messages to send,
+//! delivered events, membership notifications). Drivers live
 //! elsewhere: `lpbcast-sim` runs thousands of these state machines in
 //! synchronous rounds (the paper's §5.1 simulation), `lpbcast-net` runs one
 //! per UDP socket (the paper's §5.2 measurements).
@@ -36,12 +37,11 @@
 //! // p0 broadcasts; its next gossip carries the notification.
 //! a.broadcast(b"hello".as_ref());
 //! let out = a.tick();
-//! let gossip = out
-//!     .commands
+//! let (_, gossip) = out
+//!     .outgoing
 //!     .iter()
-//!     .find(|c| c.to == p1)
+//!     .find(|(to, _)| *to == p1)
 //!     .expect("p1 is p0's only view member")
-//!     .message
 //!     .clone();
 //!
 //! // p1 receives the gossip and delivers the event (phase 3).
@@ -67,7 +67,8 @@ pub use archive::EventArchive;
 pub use config::{Config, ConfigBuilder, HistoryMode};
 pub use history::EventHistory;
 pub use join::JoinState;
-pub use message::{Command, Digest, Gossip, Message, Output};
+pub use lpbcast_types::{MembershipEvent, Protocol};
+pub use message::{Digest, Gossip, Message, Output};
 pub use process::Lpbcast;
 pub use stats::ProcessStats;
 pub use time::LogicalTime;

@@ -140,46 +140,18 @@ impl Message {
     }
 }
 
-/// An instruction from the state machine to its driver: send `message` to
-/// `to`.
-#[derive(Debug, Clone)]
-pub struct Command {
-    /// Destination process.
-    pub to: ProcessId,
-    /// Message to transmit.
-    pub message: Message,
-}
-
-/// Everything a state-machine step produced.
-#[derive(Debug, Clone, Default)]
-pub struct Output {
-    /// Notifications delivered to the application (LPB-DELIVER), in
-    /// delivery order.
-    pub delivered: Vec<Event>,
-    /// Ids newly *learnt* from a digest without payload. Non-empty only in
-    /// the §5.2 measurement convention (*"once a gossip receiver has
-    /// received the identifier of a notification, the notification itself
-    /// is assumed to have been received"*), i.e. when
-    /// `retransmit_request_max == 0` the driver may count these as
-    /// received.
-    pub learned_ids: Vec<EventId>,
-    /// Messages to send.
-    pub commands: Vec<Command>,
-}
-
-impl Output {
-    /// Merges another output into this one, preserving order.
-    pub fn absorb(&mut self, other: Output) {
-        self.delivered.extend(other.delivered);
-        self.learned_ids.extend(other.learned_ids);
-        self.commands.extend(other.commands);
-    }
-
-    /// Whether the step produced nothing at all.
-    pub fn is_empty(&self) -> bool {
-        self.delivered.is_empty() && self.learned_ids.is_empty() && self.commands.is_empty()
-    }
-}
+/// Everything an lpbcast step produced: the workspace-wide unified
+/// envelope ([`lpbcast_types::Output`]) instantiated at [`Message`].
+///
+/// `delivered` carries LPB-DELIVER notifications in delivery order;
+/// `learned_ids` is non-empty only in the §5.2 measurement convention
+/// (*"once a gossip receiver has received the identifier of a
+/// notification, the notification itself is assumed to have been
+/// received"*, i.e. when `retransmit_request_max == 0` the driver may
+/// count these as received); `outgoing` is the `(destination, message)`
+/// send batch; `membership` reports view joins/leaves applied by the
+/// step.
+pub type Output = lpbcast_types::Output<Message>;
 
 #[cfg(test)]
 mod tests {
@@ -238,16 +210,13 @@ mod tests {
         a.delivered.push(Event::new(eid(1, 0), b"".as_ref()));
         let mut b = Output::default();
         b.learned_ids.push(eid(2, 0));
-        b.commands.push(Command {
-            to: pid(5),
-            message: Message::Subscribe { subscriber: pid(9) },
-        });
+        b.send(pid(5), Message::Subscribe { subscriber: pid(9) });
         assert!(!b.is_empty());
         a.absorb(b);
         assert_eq!(a.delivered.len(), 1);
         assert_eq!(a.learned_ids.len(), 1);
-        assert_eq!(a.commands.len(), 1);
-        assert_eq!(a.commands[0].message.kind(), "subscribe");
+        assert_eq!(a.outgoing.len(), 1);
+        assert_eq!(a.outgoing[0].1.kind(), "subscribe");
     }
 
     #[test]

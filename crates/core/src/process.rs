@@ -1,7 +1,7 @@
 //! The lpbcast process state machine (Figure 1 of the paper).
 
 use lpbcast_membership::{PartialView, View};
-use lpbcast_types::{BoundedSet, Event, EventId, Payload, ProcessId};
+use lpbcast_types::{BoundedSet, Event, EventId, MembershipEvent, Payload, ProcessId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -9,7 +9,7 @@ use crate::archive::EventArchive;
 use crate::config::Config;
 use crate::history::EventHistory;
 use crate::join::JoinState;
-use crate::message::{Command, Gossip, Message, Output};
+use crate::message::{Gossip, Message, Output};
 use crate::stats::ProcessStats;
 use crate::time::LogicalTime;
 use crate::unsub::{UnsubscribeRefused, Unsubscription};
@@ -243,12 +243,12 @@ impl Lpbcast {
             if should_emit {
                 let contact = join.take_contact();
                 self.stats.join_requests_sent += 1;
-                output.commands.push(Command {
-                    to: contact,
-                    message: Message::Subscribe {
+                output.send(
+                    contact,
+                    Message::Subscribe {
                         subscriber: self.id,
                     },
-                });
+                );
             }
         }
 
@@ -283,12 +283,13 @@ impl Lpbcast {
             self.subs.truncate_random(&mut self.rng);
         }
 
-        output.commands.extend(self.emit_gossip());
+        self.emit_gossip(&mut output);
         output
     }
 
-    /// Builds the periodic gossip message and the send commands.
-    fn emit_gossip(&mut self) -> Vec<Command> {
+    /// Builds the periodic gossip message and queues the send batch into
+    /// `output` (one `Arc`'d body, `F` pointer clones).
+    fn emit_gossip(&mut self, output: &mut Output) {
         let include_membership = self
             .now
             .as_u64()
@@ -332,7 +333,7 @@ impl Lpbcast {
             for event in gossip_events {
                 self.events.insert(event);
             }
-            return Vec::new();
+            return;
         }
         self.stats.gossips_sent += 1;
 
@@ -344,13 +345,9 @@ impl Lpbcast {
             events: gossip_events,
             event_ids: self.history.to_digest(),
         });
-        targets
-            .into_iter()
-            .map(|to| Command {
-                to,
-                message: Message::Gossip(std::sync::Arc::clone(&gossip)),
-            })
-            .collect()
+        for to in targets {
+            output.send(to, Message::Gossip(std::sync::Arc::clone(&gossip)));
+        }
     }
 
     /// Figure 1(a): the three phases of gossip reception, plus digest
@@ -373,6 +370,9 @@ impl Lpbcast {
             }
             if self.view.remove(unsub.process()) {
                 self.stats.unsubs_applied += 1;
+                output
+                    .membership
+                    .push(MembershipEvent::Left(unsub.process()));
             }
             self.unsubs.insert(*unsub);
         }
@@ -385,6 +385,13 @@ impl Lpbcast {
             }
             // `insert` bumps the weight when already known and reports
             // whether the process was newly added — one scan, not three.
+            // A phase-2 admission is *view rotation* (the bounded random
+            // view constantly turns over entries for long-standing
+            // members), not a membership change, so it is deliberately
+            // not reported as a MembershipEvent: only the explicit §3.4
+            // signals (unsubscription records, Subscribe requests) are.
+            // Reporting rotations would also allocate on nearly every
+            // received gossip — measured at ~8%/round at n=1000.
             if self.view.insert(new_sub) {
                 self.subs.insert(new_sub);
                 self.stats.subs_added += 1;
@@ -424,10 +431,7 @@ impl Lpbcast {
                         self.pending_pulls.clear();
                     }
                     self.stats.retransmit_requests_sent += 1;
-                    output.commands.push(Command {
-                        to: gossip.sender,
-                        message: Message::RetransmitRequest { ids },
-                    });
+                    output.send(gossip.sender, Message::RetransmitRequest { ids });
                 }
             } else if self.config.deliver_on_digest {
                 for id in missing {
@@ -462,14 +466,16 @@ impl Lpbcast {
     }
 
     fn handle_subscribe(&mut self, subscriber: ProcessId) -> Output {
+        let mut output = Output::default();
         if subscriber != self.id {
             if self.view.insert(subscriber) {
                 self.stats.subs_added += 1;
+                output.membership.push(MembershipEvent::Joined(subscriber));
             }
             self.subs.insert(subscriber);
             self.recycle_view_overflow();
         }
-        Output::default()
+        output
     }
 
     /// Serves a gossip-pull from the archive.
@@ -481,10 +487,7 @@ impl Lpbcast {
         let mut output = Output::default();
         if !events.is_empty() {
             self.stats.retransmits_served += events.len() as u64;
-            output.commands.push(Command {
-                to: from,
-                message: Message::RetransmitResponse { events },
-            });
+            output.send(from, Message::RetransmitResponse { events });
         }
         output
     }
@@ -510,6 +513,36 @@ impl Lpbcast {
     }
 }
 
+/// The workspace-wide sans-IO lifecycle ([`lpbcast_types::Protocol`]):
+/// generic drivers — `Engine<P>`, the scenario suite, `NetNode<P>` — run
+/// lpbcast through this impl. The trait methods delegate to the inherent
+/// ones; lpbcast buffers published notifications until the next gossip,
+/// so `broadcast` never produces immediate sends.
+impl lpbcast_types::Protocol for Lpbcast {
+    type Msg = Message;
+
+    fn id(&self) -> ProcessId {
+        Lpbcast::id(self)
+    }
+
+    fn tick(&mut self) -> Output {
+        Lpbcast::tick(self)
+    }
+
+    fn handle_message(&mut self, from: ProcessId, msg: Message) -> Output {
+        Lpbcast::handle_message(self, from, msg)
+    }
+
+    fn broadcast(&mut self, payload: Payload) -> (EventId, Output) {
+        (Lpbcast::broadcast(self, payload), Output::new())
+    }
+
+    fn view_members(&self) -> Vec<ProcessId> {
+        use lpbcast_membership::View as _;
+        self.view.members()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,22 +557,22 @@ mod tests {
         Config::builder().view_size(4).fanout(2).build()
     }
 
-    /// Extracts the gossip sent to `to` from a command list.
-    fn gossip_to(commands: &[Command], to: ProcessId) -> Option<Gossip> {
-        commands.iter().find_map(|c| match (&c.message, c.to) {
-            (Message::Gossip(g), t) if t == to => Some((**g).clone()),
+    /// Extracts the gossip sent to `to` from an outgoing batch.
+    fn gossip_to(outgoing: &[(ProcessId, Message)], to: ProcessId) -> Option<Gossip> {
+        outgoing.iter().find_map(|(t, m)| match m {
+            Message::Gossip(g) if *t == to => Some((**g).clone()),
             _ => None,
         })
     }
 
-    fn any_gossip(commands: &[Command]) -> Gossip {
-        commands
+    fn any_gossip(outgoing: &[(ProcessId, Message)]) -> Gossip {
+        outgoing
             .iter()
-            .find_map(|c| match &c.message {
+            .find_map(|(_, m)| match m {
                 Message::Gossip(g) => Some((**g).clone()),
                 _ => None,
             })
-            .expect("a gossip command")
+            .expect("a gossip message")
     }
 
     #[test]
@@ -549,7 +582,7 @@ mod tests {
 
         let id = a.broadcast(b"hello".as_ref());
         let out = a.tick();
-        let gossip = gossip_to(&out.commands, pid(1)).expect("gossip to p1");
+        let gossip = gossip_to(&out.outgoing, pid(1)).expect("gossip to p1");
         assert_eq!(gossip.events.len(), 1);
         assert_eq!(gossip.events[0].id(), id);
 
@@ -586,10 +619,10 @@ mod tests {
         let mut a = Lpbcast::with_initial_view(pid(0), small_config(), 1, [pid(1)]);
         a.broadcast(b"x".as_ref());
         let first = a.tick();
-        assert_eq!(any_gossip(&first.commands).events.len(), 1);
+        assert_eq!(any_gossip(&first.outgoing).events.len(), 1);
         let second = a.tick();
         assert!(
-            any_gossip(&second.commands).events.is_empty(),
+            any_gossip(&second.outgoing).events.is_empty(),
             "events buffer cleared after gossiping"
         );
     }
@@ -599,7 +632,7 @@ mod tests {
         // Figure 1(b): gossip.subs ← subs ∪ {pi}.
         let mut a = Lpbcast::with_initial_view(pid(7), small_config(), 1, [pid(1)]);
         let out = a.tick();
-        let gossip = any_gossip(&out.commands);
+        let gossip = any_gossip(&out.outgoing);
         assert!(gossip.subs.contains(&pid(7)));
     }
 
@@ -609,10 +642,10 @@ mod tests {
         let mut a = Lpbcast::with_initial_view(pid(0), config, 1, (1..=8).map(pid));
         let out = a.tick();
         let gossip_targets: Vec<ProcessId> = out
-            .commands
+            .outgoing
             .iter()
-            .filter(|c| matches!(c.message, Message::Gossip(_)))
-            .map(|c| c.to)
+            .filter(|(_, m)| matches!(m, Message::Gossip(_)))
+            .map(|(to, _)| *to)
             .collect();
         assert_eq!(gossip_targets.len(), 3);
         let uniq: std::collections::BTreeSet<_> = gossip_targets.iter().collect();
@@ -627,9 +660,9 @@ mod tests {
         a.broadcast(b"shared".as_ref());
         let out = a.tick();
         let arcs: Vec<&Arc<Gossip>> = out
-            .commands
+            .outgoing
             .iter()
-            .filter_map(|c| match &c.message {
+            .filter_map(|(_, m)| match m {
                 Message::Gossip(g) => Some(g),
                 _ => None,
             })
@@ -650,7 +683,7 @@ mod tests {
     fn empty_view_emits_nothing() {
         let mut a = Lpbcast::new(pid(0), small_config(), 1);
         let out = a.tick();
-        assert!(out.commands.is_empty());
+        assert!(out.outgoing.is_empty());
         assert_eq!(a.stats().gossips_sent, 0);
     }
 
@@ -659,7 +692,7 @@ mod tests {
         // §3.3: gossips are sent even with no new notifications.
         let mut a = Lpbcast::with_initial_view(pid(0), small_config(), 1, [pid(1)]);
         let out = a.tick();
-        let gossip = any_gossip(&out.commands);
+        let gossip = any_gossip(&out.outgoing);
         assert!(gossip.events.is_empty());
         assert_eq!(a.stats().gossips_sent, 1);
     }
@@ -679,7 +712,7 @@ mod tests {
         assert!(a.view().contains(pid(3)));
         // The new subscriptions become forwardable: next gossip carries them.
         let out = a.tick();
-        let g = any_gossip(&out.commands);
+        let g = any_gossip(&out.outgoing);
         assert!(g.subs.contains(&pid(2)));
         assert!(g.subs.contains(&pid(3)));
     }
@@ -717,7 +750,7 @@ mod tests {
         assert_eq!(a.view().len(), 2, "view bounded at l");
         // All four processes must be known *somewhere*: view ∪ next subs.
         let out = a.tick();
-        let g = any_gossip(&out.commands);
+        let g = any_gossip(&out.outgoing);
         let mut known: std::collections::BTreeSet<ProcessId> =
             a.view().members().into_iter().collect();
         known.extend(g.subs.iter().copied());
@@ -742,7 +775,7 @@ mod tests {
         assert_eq!(a.stats().unsubs_applied, 1);
         // Forwarded with the next gossip.
         let out = a.tick();
-        let g = any_gossip(&out.commands);
+        let g = any_gossip(&out.outgoing);
         assert!(g.unsubs.iter().any(|u| u.process() == pid(2)));
     }
 
@@ -769,7 +802,7 @@ mod tests {
         a.handle_message(pid(1), Message::gossip(gossip));
         assert!(a.view().contains(pid(2)), "stale unsub not applied");
         let out = a.tick();
-        let g = any_gossip(&out.commands);
+        let g = any_gossip(&out.outgoing);
         assert!(g.unsubs.is_empty(), "stale unsub not forwarded");
     }
 
@@ -785,7 +818,7 @@ mod tests {
         assert!(a.unsubscribe().is_ok());
         assert!(a.is_leaving());
         let out = a.tick();
-        let g = any_gossip(&out.commands);
+        let g = any_gossip(&out.outgoing);
         assert!(g.unsubs.iter().any(|u| u.process() == pid(0)));
         assert!(
             !g.subs.contains(&pid(0)),
@@ -822,24 +855,24 @@ mod tests {
 
         // First tick emits Subscribe to first contact.
         let out = newcomer.tick();
-        let subs: Vec<&Command> = out
-            .commands
+        let subs: Vec<&(ProcessId, Message)> = out
+            .outgoing
             .iter()
-            .filter(|c| matches!(c.message, Message::Subscribe { .. }))
+            .filter(|(_, m)| matches!(m, Message::Subscribe { .. }))
             .collect();
         assert_eq!(subs.len(), 1);
-        assert_eq!(subs[0].to, pid(1));
+        assert_eq!(subs[0].0, pid(1));
 
         // No gossip arrives: after join_timeout ticks, retry to next contact.
         let mut retried_to = None;
         for _ in 0..3 {
             let out = newcomer.tick();
-            if let Some(c) = out
-                .commands
+            if let Some((to, _)) = out
+                .outgoing
                 .iter()
-                .find(|c| matches!(c.message, Message::Subscribe { .. }))
+                .find(|(_, m)| matches!(m, Message::Subscribe { .. }))
             {
-                retried_to = Some(c.to);
+                retried_to = Some(*to);
                 break;
             }
         }
@@ -865,7 +898,7 @@ mod tests {
         assert!(member.view().contains(pid(5)));
         // And the subscription circulates with the next gossip.
         let out = member.tick();
-        let g = any_gossip(&out.commands);
+        let g = any_gossip(&out.outgoing);
         assert!(g.subs.contains(&pid(5)));
     }
 
@@ -946,7 +979,7 @@ mod tests {
         assert!(a.has_seen(id));
         // The learnt id now rides our own digest.
         let out = a.tick();
-        let g = any_gossip(&out.commands);
+        let g = any_gossip(&out.outgoing);
         assert!(g.event_ids.contains(id));
         // And a second digest copy is not re-learnt.
         let out = a.handle_message(pid(1), Message::gossip(gossip));
@@ -992,32 +1025,32 @@ mod tests {
         let out = seeker.handle_message(pid(0), Message::gossip(gossip.clone()));
         assert!(out.delivered.is_empty());
         let request = out
-            .commands
+            .outgoing
             .iter()
-            .find(|c| matches!(c.message, Message::RetransmitRequest { .. }))
+            .find(|(_, m)| matches!(m, Message::RetransmitRequest { .. }))
             .expect("pull issued")
             .clone();
-        assert_eq!(request.to, pid(0));
+        assert_eq!(request.0, pid(0));
         assert_eq!(seeker.stats().retransmit_requests_sent, 1);
 
         // No duplicate request while the pull is pending.
         let out2 = seeker.handle_message(pid(0), Message::gossip(gossip));
         assert!(
             !out2
-                .commands
+                .outgoing
                 .iter()
-                .any(|c| matches!(c.message, Message::RetransmitRequest { .. })),
+                .any(|(_, m)| matches!(m, Message::RetransmitRequest { .. })),
             "pending pull deduplicated"
         );
 
         // Holder serves from the archive.
-        let response = holder.handle_message(pid(1), request.message);
-        let reply = response.commands.first().expect("response").clone();
-        assert_eq!(reply.to, pid(1));
+        let response = holder.handle_message(pid(1), request.1);
+        let reply = response.outgoing.into_iter().next().expect("response");
+        assert_eq!(reply.0, pid(1));
         assert_eq!(holder.stats().retransmits_served, 1);
 
         // Seeker finally delivers.
-        let out = seeker.handle_message(pid(0), reply.message);
+        let out = seeker.handle_message(pid(0), reply.1);
         assert_eq!(out.delivered.len(), 1);
         assert_eq!(out.delivered[0].id(), id);
         assert_eq!(out.delivered[0].payload().as_ref(), b"precious");
@@ -1035,7 +1068,7 @@ mod tests {
         let old = holder.broadcast(b"old".as_ref());
         holder.broadcast(b"new".as_ref()); // evicts "old" from the archive
         let out = holder.handle_message(pid(1), Message::RetransmitRequest { ids: vec![old] });
-        assert!(out.commands.is_empty(), "nothing to serve");
+        assert!(out.outgoing.is_empty(), "nothing to serve");
         assert_eq!(holder.stats().retransmit_misses, 1);
     }
 
@@ -1064,10 +1097,10 @@ mod tests {
         let mut a = Lpbcast::with_initial_view(pid(0), config, 1, [pid(1)]);
         // t1: 1 % 2 != 0 → no membership info; t2: included.
         let out1 = a.tick();
-        let g1 = any_gossip(&out1.commands);
+        let g1 = any_gossip(&out1.outgoing);
         assert!(g1.subs.is_empty() && g1.unsubs.is_empty());
         let out2 = a.tick();
-        let g2 = any_gossip(&out2.commands);
+        let g2 = any_gossip(&out2.outgoing);
         assert!(g2.subs.contains(&pid(0)));
     }
 
@@ -1084,7 +1117,7 @@ mod tests {
             let out = p.tick();
             (
                 p.view().members(),
-                out.commands.iter().map(|c| c.to).collect::<Vec<_>>(),
+                out.outgoing.iter().map(|(to, _)| *to).collect::<Vec<_>>(),
             )
         };
         assert_eq!(mk(), mk(), "identical seeds give identical runs");

@@ -97,10 +97,10 @@ proptest! {
             prop_assert!(!p.view().contains(me), "owner in own view");
             if i % 3 == 0 {
                 let out = p.tick();
-                // Gossip commands target view members only.
-                for c in &out.commands {
-                    if matches!(c.message, Message::Gossip(_)) {
-                        prop_assert!(c.to != me, "gossip to self");
+                // Outgoing gossip targets view members only.
+                for (to, m) in &out.outgoing {
+                    if matches!(m, Message::Gossip(_)) {
+                        prop_assert!(*to != me, "gossip to self");
                     }
                 }
             }
@@ -134,7 +134,7 @@ proptest! {
                 let out = p.handle_message(pid(recipe.sender), Message::gossip(build_gossip(recipe)));
                 trace.push(format!("{:?}", out.delivered.iter().map(Event::id).collect::<Vec<_>>()));
                 let out = p.tick();
-                trace.push(format!("{:?}", out.commands.iter().map(|c| c.to).collect::<Vec<_>>()));
+                trace.push(format!("{:?}", out.outgoing.iter().map(|(to, _)| *to).collect::<Vec<_>>()));
             }
             let mut members = p.view().members();
             members.sort();
@@ -164,8 +164,8 @@ proptest! {
         for recipe in &recipes {
             p.handle_message(pid(recipe.sender), Message::gossip(build_gossip(recipe)));
             let out = p.tick();
-            for c in &out.commands {
-                if let Message::Gossip(g) = &c.message {
+            for (_, m) in &out.outgoing {
+                if let Message::Gossip(g) = m {
                     prop_assert!(!g.subs.contains(&me), "leaving process advertised itself");
                 }
             }

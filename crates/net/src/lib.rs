@@ -8,11 +8,16 @@
 //! * a compact hand-rolled binary **wire codec** ([`wire`]) for
 //!   [`Message`](lpbcast_core::Message) — length-checked, fuzz/property
 //!   tested, no serialization framework;
-//! * a threaded **node runtime** ([`NetNode`]): a receiver thread decodes
-//!   datagrams and feeds the state machine, a ticker thread fires the
-//!   periodic gossip every `T` milliseconds (non-synchronized, exactly as
-//!   §3.2 prescribes), and deliveries stream to the application through a
-//!   channel.
+//! * a threaded **node runtime** ([`NetNode<P>`](NetNode)): generic over
+//!   any sans-IO [`Protocol`](lpbcast_types::Protocol) whose messages
+//!   implement [`WireMessage`] (lpbcast and pbcast in-tree). A receiver
+//!   thread decodes datagrams and feeds the state machine, a ticker
+//!   thread fires the periodic gossip every `T` milliseconds
+//!   (non-synchronized, exactly as §3.2 prescribes), and deliveries
+//!   stream to the application through a channel. Output batches are
+//!   sent as per-destination multi-frame datagrams — one `send_to`
+//!   syscall per peer per batch, with `Arc`-shared gossip bodies encoded
+//!   once.
 //!
 //! UDP is a faithful transport here: gossip protocols *assume* lossy
 //! fire-and-forget messaging (the ε of the analysis), so no reliability
@@ -52,4 +57,5 @@ mod node;
 pub mod wire;
 
 pub use error::NetError;
-pub use node::{AddressBook, NetConfig, NetNode, NodeSnapshot};
+pub use node::{AddressBook, NetConfig, NetNode, NetOpts, NodeSnapshot};
+pub use wire::WireMessage;

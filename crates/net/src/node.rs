@@ -1,5 +1,17 @@
-//! Threaded UDP node: the driver that turns the sans-IO state machine
-//! into a networked process.
+//! Threaded UDP node: the driver that turns any sans-IO [`Protocol`]
+//! state machine into a networked process.
+//!
+//! [`NetNode<P>`] is generic over the protocol (defaulting to
+//! [`Lpbcast`]); anything implementing [`Protocol`] whose message type
+//! implements [`WireMessage`](crate::wire::WireMessage) — lpbcast and
+//! pbcast in-tree — gets the same runtime: a receiver thread decoding
+//! (possibly batched) datagrams into the state machine, a ticker thread
+//! firing the periodic gossip, and deliveries streaming to the
+//! application through a channel. One protocol output batch costs one
+//! `send_to` syscall per destination: the envelopes drained from an
+//! [`Output`](lpbcast_types::Output) are grouped per peer into a single
+//! multi-frame datagram, and fanout copies sharing an `Arc`'d gossip
+//! body are encoded once (the frame bytes are reused per destination).
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
@@ -11,14 +23,55 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
-use lpbcast_core::{Command, Config, Lpbcast, Output, ProcessStats, UnsubscribeRefused};
+use lpbcast_core::{Config, Lpbcast, ProcessStats, UnsubscribeRefused};
 use lpbcast_membership::View as _;
-use lpbcast_types::{Event, EventId, Payload, ProcessId};
+use lpbcast_types::{Event, EventId, Payload, ProcessId, Protocol};
 
 use crate::error::NetError;
-use crate::wire;
+use crate::wire::{self, WireMessage};
 
-/// Runtime configuration of a networked node.
+/// Keep batched datagrams under the 64 KiB UDP limit with headroom for
+/// IP/UDP headers.
+const MAX_DATAGRAM: usize = 60 * 1024;
+
+/// Transport-level runtime options, protocol-agnostic: what
+/// [`NetNode::spawn_protocol`] needs besides the machine itself.
+#[derive(Debug, Clone)]
+pub struct NetOpts {
+    /// The gossip period `T` (§3.3; non-synchronized periodic gossips).
+    pub gossip_interval: Duration,
+    /// Artificial ingress loss ε (see [`NetConfig::ingress_loss`]).
+    pub ingress_loss: f64,
+    /// Seed of the ingress-loss RNG.
+    pub loss_seed: u64,
+}
+
+impl NetOpts {
+    /// Creates options with no artificial loss.
+    pub fn new(gossip_interval: Duration, loss_seed: u64) -> Self {
+        NetOpts {
+            gossip_interval,
+            ingress_loss: 0.0,
+            loss_seed,
+        }
+    }
+
+    /// Sets the artificial ingress-loss probability (the paper's ε).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ loss < 1`.
+    #[must_use]
+    pub fn ingress_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
+        self.ingress_loss = loss;
+        self
+    }
+}
+
+/// Runtime configuration of a networked lpbcast node (protocol config +
+/// transport options; the generic spawn path takes [`NetOpts`] and a
+/// ready-made machine instead).
 #[derive(Debug, Clone)]
 pub struct NetConfig {
     /// Protocol configuration.
@@ -56,6 +109,14 @@ impl NetConfig {
         assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
         self.ingress_loss = loss;
         self
+    }
+
+    fn opts(&self) -> NetOpts {
+        NetOpts {
+            gossip_interval: self.gossip_interval,
+            ingress_loss: self.ingress_loss,
+            loss_seed: self.seed ^ 0x0069_6E67_7265_7373,
+        }
     }
 }
 
@@ -128,21 +189,26 @@ pub struct NodeSnapshot {
     pub leaving: bool,
 }
 
-/// A running networked lpbcast node: a UDP socket, a receiver thread and a
-/// gossip-timer thread around one [`Lpbcast`] state machine.
+/// A running networked node: a UDP socket, a receiver thread and a
+/// gossip-timer thread around one sans-IO [`Protocol`] state machine
+/// (defaulting to [`Lpbcast`]).
 #[derive(Debug)]
-pub struct NetNode {
+pub struct NetNode<P: Protocol = Lpbcast> {
     id: ProcessId,
     local_addr: SocketAddr,
-    state: Arc<Mutex<Lpbcast>>,
+    state: Arc<Mutex<P>>,
     socket: UdpSocket,
     book: AddressBook,
     deliveries: Receiver<Event>,
+    /// Sender half kept for the broadcast path: a protocol may
+    /// self-deliver at publish time, and those events must surface on
+    /// [`deliveries`](NetNode::deliveries) like any other.
+    deliveries_tx: Sender<Event>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
 
-impl NetNode {
+impl NetNode<Lpbcast> {
     /// Spawns a bootstrap member whose view starts as `initial_view`.
     /// Binds `127.0.0.1:0` and self-registers in `book`.
     ///
@@ -157,7 +223,7 @@ impl NetNode {
     ) -> Result<NetNode, NetError> {
         let machine =
             Lpbcast::with_initial_view(id, config.core.clone(), config.seed, initial_view);
-        Self::spawn_machine(id, config, book, machine)
+        Self::spawn_protocol(machine, config.opts(), book)
     }
 
     /// Spawns a node that joins through `contacts` (§3.4 handshake).
@@ -172,104 +238,7 @@ impl NetNode {
         contacts: Vec<ProcessId>,
     ) -> Result<NetNode, NetError> {
         let machine = Lpbcast::joining(id, config.core.clone(), config.seed, contacts);
-        Self::spawn_machine(id, config, book, machine)
-    }
-
-    fn spawn_machine(
-        id: ProcessId,
-        config: NetConfig,
-        book: AddressBook,
-        machine: Lpbcast,
-    ) -> Result<NetNode, NetError> {
-        let socket = UdpSocket::bind("127.0.0.1:0")?;
-        let local_addr = socket.local_addr()?;
-        book.register(id, local_addr);
-
-        let state = Arc::new(Mutex::new(machine));
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = unbounded::<Event>();
-
-        // Receiver thread: datagram → decode → state machine → sends.
-        let recv_socket = socket.try_clone()?;
-        recv_socket.set_read_timeout(Some(Duration::from_millis(20)))?;
-        let recv_state = Arc::clone(&state);
-        let recv_book = book.clone();
-        let recv_shutdown = Arc::clone(&shutdown);
-        let recv_tx = tx.clone();
-        let ingress_loss = config.ingress_loss;
-        let loss_seed = config.seed ^ 0x0069_6E67_7265_7373;
-        let receiver = std::thread::Builder::new()
-            .name(format!("lpbcast-rx-{id}"))
-            .spawn(move || {
-                receive_loop(
-                    recv_socket,
-                    recv_state,
-                    recv_book,
-                    recv_shutdown,
-                    recv_tx,
-                    ingress_loss,
-                    loss_seed,
-                );
-            })?;
-
-        // Ticker thread: every T, advance the clock and gossip.
-        let tick_socket = socket.try_clone()?;
-        let tick_state = Arc::clone(&state);
-        let tick_book = book.clone();
-        let tick_shutdown = Arc::clone(&shutdown);
-        let interval = config.gossip_interval;
-        let ticker = std::thread::Builder::new()
-            .name(format!("lpbcast-tick-{id}"))
-            .spawn(move || {
-                while !tick_shutdown.load(Ordering::Relaxed) {
-                    std::thread::sleep(interval);
-                    let output = tick_state.lock().tick();
-                    send_commands(&tick_socket, &tick_book, &output.commands);
-                }
-            })?;
-
-        Ok(NetNode {
-            id,
-            local_addr,
-            state,
-            socket,
-            book,
-            deliveries: rx,
-            shutdown,
-            threads: vec![receiver, ticker],
-        })
-    }
-
-    /// This node's process id.
-    pub fn id(&self) -> ProcessId {
-        self.id
-    }
-
-    /// The bound UDP address.
-    pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
-    }
-
-    /// The shared address book this node registered itself in.
-    pub fn address_book(&self) -> &AddressBook {
-        &self.book
-    }
-
-    /// The UDP socket (e.g. to inspect or reconfigure timeouts in tests).
-    pub fn socket(&self) -> &UdpSocket {
-        &self.socket
-    }
-
-    /// The channel on which delivered notifications arrive
-    /// (LPB-DELIVER).
-    pub fn deliveries(&self) -> &Receiver<Event> {
-        &self.deliveries
-    }
-
-    /// Publishes a notification (LPB-CAST); it rides the next periodic
-    /// gossip.
-    pub fn broadcast(&self, payload: impl Into<Payload>) -> EventId {
-        self.state.lock().broadcast(payload)
+        Self::spawn_protocol(machine, config.opts(), book)
     }
 
     /// Requests departure (§3.4).
@@ -292,6 +261,146 @@ impl NetNode {
             leaving: state.is_leaving(),
         }
     }
+}
+
+impl<P> NetNode<P>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: WireMessage,
+{
+    /// Spawns a node around an already-constructed protocol machine —
+    /// the generic entry point: `NetNode::spawn_protocol(Pbcast::new(…),
+    /// opts, book)` runs the pbcast baseline over the very same runtime.
+    /// Binds `127.0.0.1:0` and self-registers in `book`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn spawn_protocol(machine: P, opts: NetOpts, book: AddressBook) -> Result<Self, NetError> {
+        let id = machine.id();
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        let local_addr = socket.local_addr()?;
+        book.register(id, local_addr);
+
+        let state = Arc::new(Mutex::new(machine));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = unbounded::<Event>();
+
+        // Receiver thread: datagram → frames → state machine → sends.
+        let recv_socket = socket.try_clone()?;
+        recv_socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let recv_state = Arc::clone(&state);
+        let recv_book = book.clone();
+        let recv_shutdown = Arc::clone(&shutdown);
+        let recv_tx = tx.clone();
+        let ingress_loss = opts.ingress_loss;
+        let loss_seed = opts.loss_seed;
+        let receiver = std::thread::Builder::new()
+            .name(format!("lpbcast-rx-{id}"))
+            .spawn(move || {
+                receive_loop(
+                    recv_socket,
+                    recv_state,
+                    recv_book,
+                    recv_shutdown,
+                    recv_tx,
+                    ingress_loss,
+                    loss_seed,
+                );
+            })?;
+
+        // Ticker thread: every T, advance the clock and gossip.
+        let tick_socket = socket.try_clone()?;
+        let tick_state = Arc::clone(&state);
+        let tick_book = book.clone();
+        let tick_shutdown = Arc::clone(&shutdown);
+        let tick_tx = tx.clone();
+        let interval = opts.gossip_interval;
+        let ticker = std::thread::Builder::new()
+            .name(format!("lpbcast-tick-{id}"))
+            .spawn(move || {
+                while !tick_shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    let output = tick_state.lock().tick();
+                    for event in output.delivered {
+                        let _ = tick_tx.send(event);
+                    }
+                    send_outgoing(&tick_socket, &tick_book, &output.outgoing);
+                }
+            })?;
+
+        Ok(NetNode {
+            id,
+            local_addr,
+            state,
+            socket,
+            book,
+            deliveries: rx,
+            deliveries_tx: tx,
+            shutdown,
+            threads: vec![receiver, ticker],
+        })
+    }
+
+    /// Publishes a notification (LPB-CAST). Immediate sends the protocol
+    /// produces (pbcast's best-effort first phase) go out right away;
+    /// buffered protocols piggyback on the next periodic gossip. Events
+    /// a protocol self-delivers at publish time surface on
+    /// [`deliveries`](NetNode::deliveries) like any other delivery.
+    pub fn broadcast(&self, payload: impl Into<Payload>) -> EventId {
+        let (id, output) = self.state.lock().broadcast(payload.into());
+        for event in output.delivered {
+            let _ = self.deliveries_tx.send(event);
+        }
+        send_outgoing(&self.socket, &self.book, &output.outgoing);
+        id
+    }
+
+    /// Runs `f` against the locked protocol state (generic inspection;
+    /// the lpbcast-specific [`snapshot`](NetNode::snapshot) is a
+    /// convenience over this).
+    pub fn with_state<R>(&self, f: impl FnOnce(&P) -> R) -> R {
+        f(&self.state.lock())
+    }
+
+    /// Current membership view of the protocol.
+    pub fn view(&self) -> Vec<ProcessId> {
+        self.state.lock().view_members()
+    }
+}
+
+impl<P: Protocol> NetNode<P> {
+    /// This node's process id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The bound UDP address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared address book this node registered itself in.
+    pub fn address_book(&self) -> &AddressBook {
+        &self.book
+    }
+
+    /// The UDP socket (e.g. to inspect or reconfigure timeouts in tests).
+    pub fn socket(&self) -> &UdpSocket {
+        &self.socket
+    }
+
+    /// The channel on which delivered notifications arrive
+    /// (LPB-DELIVER). Only payload-carrying deliveries
+    /// (`Output::delivered`) are surfaced here: ids learnt from digests
+    /// without payload (`Output::learned_ids`, the §5.2 measurement
+    /// convention) have no event to deliver — a driver that needs them
+    /// (e.g. pbcast in `deliver_on_digest` mode) inspects the protocol
+    /// state via [`with_state`](NetNode::with_state) /
+    /// [`Protocol::handle_message`] outputs instead.
+    pub fn deliveries(&self) -> &Receiver<Event> {
+        &self.deliveries
+    }
 
     /// Stops both threads and waits for them. Further datagrams to this
     /// node are lost (as any crash would look to its peers).
@@ -303,16 +412,17 @@ impl NetNode {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn receive_loop(
+fn receive_loop<P: Protocol>(
     socket: UdpSocket,
-    state: Arc<Mutex<Lpbcast>>,
+    state: Arc<Mutex<P>>,
     book: AddressBook,
     shutdown: Arc<AtomicBool>,
     deliveries: Sender<Event>,
     ingress_loss: f64,
     loss_seed: u64,
-) {
+) where
+    P::Msg: WireMessage,
+{
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     let mut loss_rng = SmallRng::seed_from_u64(loss_seed);
@@ -328,32 +438,81 @@ fn receive_loop(
             }
             Err(_) => break,
         };
-        if ingress_loss > 0.0 && loss_rng.gen::<f64>() < ingress_loss {
-            continue; // the paper's ε, injected at ingress
-        }
-        let Ok(message) = wire::decode(&buf[..len]) else {
-            continue; // hostile or truncated datagram: drop
+        let Ok(messages) = wire::decode_frames::<P::Msg>(&buf[..len]) else {
+            continue; // hostile or truncated datagram: drop it whole
         };
         // `from` is only consulted for retransmission replies; gossip and
         // subscriptions carry their sender in-band.
         let from = book
             .reverse_lookup(from_addr)
             .unwrap_or(ProcessId::new(u64::MAX));
-        let output: Output = state.lock().handle_message(from, message);
-        for event in output.delivered {
-            let _ = deliveries.send(event);
+        for message in messages {
+            // The paper's ε, injected at ingress — drawn per *message*,
+            // not per datagram, so frames batched into one datagram
+            // still suffer independent Bernoulli loss.
+            if ingress_loss > 0.0 && loss_rng.gen::<f64>() < ingress_loss {
+                continue;
+            }
+            let output = state.lock().handle_message(from, message);
+            for event in output.delivered {
+                let _ = deliveries.send(event);
+            }
+            send_outgoing(&socket, &book, &output.outgoing);
         }
-        send_commands(&socket, &book, &output.commands);
     }
 }
 
-fn send_commands(socket: &UdpSocket, book: &AddressBook, commands: &[Command]) {
-    for command in commands {
-        let Some(addr) = book.lookup(command.to) else {
+/// Transmits one output batch: envelopes are grouped per destination
+/// into multi-frame datagrams (one `send_to` per peer per ≤60 KiB
+/// batch), and messages sharing an `Arc`'d body
+/// ([`WireMessage::body_key`]) are encoded once — the fanout reuses the
+/// frame bytes instead of re-serializing the gossip `F` times.
+fn send_outgoing<M: WireMessage>(
+    socket: &UdpSocket,
+    book: &AddressBook,
+    outgoing: &[(ProcessId, M)],
+) {
+    use bytes::{Bytes, BytesMut};
+    // Fanout is small (F ≈ 3-5 destinations): linear scans beat hashing.
+    let mut batches: Vec<(ProcessId, SocketAddr, BytesMut)> = Vec::new();
+    let mut cached: Option<(usize, Bytes)> = None;
+    let mut scratch = BytesMut::new();
+    for (to, msg) in outgoing {
+        let Some(addr) = book.lookup(*to) else {
             continue; // unknown peer: indistinguishable from loss
         };
-        let bytes = wire::encode(&command.message);
-        let _ = socket.send_to(&bytes, addr);
+        let frame: &[u8] = match msg.body_key() {
+            Some(key) => {
+                if !matches!(&cached, Some((k, _)) if *k == key) {
+                    let mut f = BytesMut::with_capacity(256);
+                    wire::encode_frame(msg, &mut f);
+                    cached = Some((key, f.freeze()));
+                }
+                &cached.as_ref().expect("just cached").1
+            }
+            None => {
+                scratch.clear();
+                wire::encode_frame(msg, &mut scratch);
+                &scratch
+            }
+        };
+        let batch = match batches.iter_mut().find(|(p, _, _)| p == to) {
+            Some(b) => b,
+            None => {
+                batches.push((*to, addr, BytesMut::new()));
+                batches.last_mut().expect("just pushed")
+            }
+        };
+        if !batch.2.is_empty() && batch.2.len() + frame.len() > MAX_DATAGRAM {
+            let _ = socket.send_to(&batch.2, batch.1);
+            batch.2.clear();
+        }
+        batch.2.extend_from_slice(frame);
+    }
+    for (_, addr, bytes) in &batches {
+        if !bytes.is_empty() {
+            let _ = socket.send_to(bytes, *addr);
+        }
     }
 }
 

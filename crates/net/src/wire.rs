@@ -1,10 +1,23 @@
-//! Binary wire format for [`Message`].
+//! Binary wire format for every [`Protocol::Msg`] the UDP runtime can
+//! carry, behind the [`WireMessage`] trait.
 //!
-//! Layout (all integers little-endian):
+//! A datagram is a sequence of one or more *frames*; each frame is
+//! `[u8 MAGIC = 0x6C] [u8 version = 1] [u8 kind] body…` (all integers
+//! little-endian). [`encode`]/[`decode`] handle exactly one frame (the
+//! historical single-message datagram — byte-identical to the pre-trait
+//! format); [`decode_frames`] walks a whole batched datagram, and
+//! `NetNode` concatenates the frames of one output batch per
+//! destination so a batch costs one `send_to` syscall per peer.
+//!
+//! Compatibility note: a single-frame datagram is still exactly the v1
+//! format, but multi-frame datagrams are a batching extension a
+//! pre-batching decoder rejects whole ([`WireError::TrailingBytes`]) —
+//! to such a node the batch looks like message loss. Mixed-version
+//! clusters are therefore unsupported; upgrade all peers together.
+//!
+//! lpbcast [`Message`] kinds (unchanged since v1):
 //!
 //! ```text
-//! [u8 MAGIC = 0x6C] [u8 version = 1] [u8 kind] payload…
-//!
 //! kind 0 — Gossip:
 //!   u64 sender
 //!   u16 |subs|    then |subs| × u64
@@ -20,6 +33,18 @@
 //! kind 3 — RetransmitResponse:  u16 |events| then events as above
 //! ```
 //!
+//! pbcast [`PbcastMessage`] kinds live in a disjoint tag space (16+), so
+//! a datagram from a cluster running the other protocol fails fast with
+//! [`WireError::BadTag`] instead of half-decoding:
+//!
+//! ```text
+//! kind 16 — Multicast:    event (u64 origin, u64 seq, u32 len, bytes), u32 hops
+//! kind 17 — GossipDigest: u64 sender,
+//!                         u16 |entries| then |entries| × (u64 origin, u64 seq, u32 hops),
+//!                         u16 |subs| then |subs| × u64
+//! kind 18 — Solicit:      u16 |ids| then |ids| × (u64, u64)
+//! ```
+//!
 //! Every length is validated against the remaining buffer before any
 //! allocation, so a hostile datagram cannot trigger huge allocations.
 
@@ -27,6 +52,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use core::fmt;
 
 use lpbcast_core::{Digest, Gossip, LogicalTime, Message, Unsubscription};
+use lpbcast_pbcast::{DigestEntry, GossipDigest, PbcastMessage};
 use lpbcast_types::{CompactDigest, Event, EventId, ProcessId};
 
 /// First byte of every datagram.
@@ -69,33 +95,171 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// Encodes a message into a fresh buffer.
-pub fn encode(message: &Message) -> Bytes {
-    let mut buf = BytesMut::with_capacity(128);
+/// A protocol message the UDP runtime can frame onto the wire: the codec
+/// half of the sans-IO [`Protocol`](lpbcast_types::Protocol) redesign.
+/// Implemented for the lpbcast [`Message`] and the pbcast
+/// [`PbcastMessage`]; `NetNode<P>` requires `P::Msg: WireMessage`.
+pub trait WireMessage: Sized + Clone + core::fmt::Debug {
+    /// Appends the kind byte and body of this message (header excluded).
+    fn encode_body(&self, buf: &mut BytesMut);
+
+    /// Decodes a kind byte + body from `buf`, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// Structural problems yield a [`WireError`]; no panic is reachable
+    /// from untrusted input.
+    fn decode_body(buf: &mut &[u8]) -> Result<Self, WireError>;
+
+    /// Stable identity of a shared (`Arc`'d) message body, if this
+    /// message has one. Fanout copies of the same gossip return the same
+    /// key, letting the sender encode the frame once and reuse the bytes
+    /// for every destination.
+    fn body_key(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Appends one full frame (header + kind + body) for `message`.
+pub fn encode_frame<M: WireMessage>(message: &M, buf: &mut BytesMut) {
     buf.put_u8(MAGIC);
     buf.put_u8(VERSION);
-    match message {
-        Message::Gossip(g) => {
-            buf.put_u8(0);
-            // `g` is the shared `Arc<Gossip>`; serializing through the
-            // dereferenced body keeps the encoding byte-identical to the
-            // pre-`Arc` (inline payload) wire format.
-            encode_gossip(&mut buf, g);
-        }
-        Message::Subscribe { subscriber } => {
-            buf.put_u8(1);
-            buf.put_u64_le(subscriber.as_u64());
-        }
-        Message::RetransmitRequest { ids } => {
-            buf.put_u8(2);
-            encode_ids(&mut buf, ids);
-        }
-        Message::RetransmitResponse { events } => {
-            buf.put_u8(3);
-            encode_events(&mut buf, events);
+    message.encode_body(buf);
+}
+
+/// Encodes a single-message datagram (one frame) into a fresh buffer.
+pub fn encode<M: WireMessage>(message: &M) -> Bytes {
+    let mut buf = BytesMut::with_capacity(128);
+    encode_frame(message, &mut buf);
+    buf.freeze()
+}
+
+impl WireMessage for Message {
+    fn encode_body(&self, buf: &mut BytesMut) {
+        match self {
+            Message::Gossip(g) => {
+                buf.put_u8(0);
+                // `g` is the shared `Arc<Gossip>`; serializing through
+                // the dereferenced body keeps the encoding byte-identical
+                // to the pre-`Arc` (inline payload) wire format.
+                encode_gossip(buf, g);
+            }
+            Message::Subscribe { subscriber } => {
+                buf.put_u8(1);
+                buf.put_u64_le(subscriber.as_u64());
+            }
+            Message::RetransmitRequest { ids } => {
+                buf.put_u8(2);
+                encode_ids(buf, ids);
+            }
+            Message::RetransmitResponse { events } => {
+                buf.put_u8(3);
+                encode_events(buf, events);
+            }
         }
     }
-    buf.freeze()
+
+    fn decode_body(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let kind = take_u8(buf)?;
+        Ok(match kind {
+            0 => Message::gossip(decode_gossip(buf)?),
+            1 => Message::Subscribe {
+                subscriber: ProcessId::new(take_u64(buf)?),
+            },
+            2 => Message::RetransmitRequest {
+                ids: decode_ids(buf)?,
+            },
+            3 => Message::RetransmitResponse {
+                events: decode_events(buf)?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+
+    fn body_key(&self) -> Option<usize> {
+        match self {
+            Message::Gossip(g) => Some(std::sync::Arc::as_ptr(g) as usize),
+            _ => None,
+        }
+    }
+}
+
+impl WireMessage for PbcastMessage {
+    fn encode_body(&self, buf: &mut BytesMut) {
+        match self {
+            PbcastMessage::Multicast { event, hops } => {
+                buf.put_u8(16);
+                encode_event(buf, event);
+                buf.put_u32_le(*hops);
+            }
+            PbcastMessage::GossipDigest(d) => {
+                buf.put_u8(17);
+                buf.put_u64_le(d.sender.as_u64());
+                buf.put_u16_le(d.entries.len() as u16);
+                for e in &d.entries {
+                    buf.put_u64_le(e.id.origin().as_u64());
+                    buf.put_u64_le(e.id.seq());
+                    buf.put_u32_le(e.hops);
+                }
+                buf.put_u16_le(d.subs.len() as u16);
+                for p in &d.subs {
+                    buf.put_u64_le(p.as_u64());
+                }
+            }
+            PbcastMessage::Solicit { ids } => {
+                buf.put_u8(18);
+                encode_ids(buf, ids);
+            }
+        }
+    }
+
+    fn decode_body(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let kind = take_u8(buf)?;
+        Ok(match kind {
+            16 => {
+                let event = decode_event(buf)?;
+                let hops = take_u32(buf)?;
+                PbcastMessage::Multicast { event, hops }
+            }
+            17 => {
+                let sender = ProcessId::new(take_u64(buf)?);
+                let n_entries = take_u16(buf)? as usize;
+                check_capacity(buf, n_entries, 20)?;
+                let mut entries = Vec::with_capacity(n_entries);
+                for _ in 0..n_entries {
+                    let origin = ProcessId::new(take_u64(buf)?);
+                    let seq = take_u64(buf)?;
+                    let hops = take_u32(buf)?;
+                    entries.push(DigestEntry {
+                        id: EventId::new(origin, seq),
+                        hops,
+                    });
+                }
+                let n_subs = take_u16(buf)? as usize;
+                check_capacity(buf, n_subs, 8)?;
+                let mut subs = Vec::with_capacity(n_subs);
+                for _ in 0..n_subs {
+                    subs.push(ProcessId::new(take_u64(buf)?));
+                }
+                PbcastMessage::digest(GossipDigest {
+                    sender,
+                    entries,
+                    subs,
+                })
+            }
+            18 => PbcastMessage::Solicit {
+                ids: decode_ids(buf)?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+
+    fn body_key(&self) -> Option<usize> {
+        match self {
+            PbcastMessage::GossipDigest(d) => Some(std::sync::Arc::as_ptr(d) as usize),
+            _ => None,
+        }
+    }
 }
 
 fn encode_gossip(buf: &mut BytesMut, g: &Gossip) {
@@ -142,21 +306,24 @@ fn encode_ids(buf: &mut BytesMut, ids: &[EventId]) {
 fn encode_events(buf: &mut BytesMut, events: &[Event]) {
     buf.put_u16_le(events.len() as u16);
     for e in events {
-        buf.put_u64_le(e.id().origin().as_u64());
-        buf.put_u64_le(e.id().seq());
-        buf.put_u32_le(e.payload().len() as u32);
-        buf.put_slice(e.payload());
+        encode_event(buf, e);
     }
 }
 
-/// Decodes a datagram into a message.
+fn encode_event(buf: &mut BytesMut, e: &Event) {
+    buf.put_u64_le(e.id().origin().as_u64());
+    buf.put_u64_le(e.id().seq());
+    buf.put_u32_le(e.payload().len() as u32);
+    buf.put_slice(e.payload());
+}
+
+/// Decodes one frame (header + kind + body) from `buf`, advancing it.
 ///
 /// # Errors
 ///
 /// Any structural problem yields a [`WireError`]; no panic is reachable
 /// from untrusted input.
-pub fn decode(mut data: &[u8]) -> Result<Message, WireError> {
-    let buf = &mut data;
+pub fn decode_frame<M: WireMessage>(buf: &mut &[u8]) -> Result<M, WireError> {
     let magic = take_u8(buf)?;
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
@@ -165,24 +332,43 @@ pub fn decode(mut data: &[u8]) -> Result<Message, WireError> {
     if version != VERSION {
         return Err(WireError::BadVersion(version));
     }
-    let kind = take_u8(buf)?;
-    let message = match kind {
-        0 => Message::gossip(decode_gossip(buf)?),
-        1 => Message::Subscribe {
-            subscriber: ProcessId::new(take_u64(buf)?),
-        },
-        2 => Message::RetransmitRequest {
-            ids: decode_ids(buf)?,
-        },
-        3 => Message::RetransmitResponse {
-            events: decode_events(buf)?,
-        },
-        t => return Err(WireError::BadTag(t)),
-    };
+    M::decode_body(buf)
+}
+
+/// Decodes a single-message datagram: exactly one frame, trailing bytes
+/// rejected. Byte-identical to the historical (pre-batching) format.
+///
+/// # Errors
+///
+/// Any structural problem yields a [`WireError`]; no panic is reachable
+/// from untrusted input.
+pub fn decode<M: WireMessage>(mut data: &[u8]) -> Result<M, WireError> {
+    let buf = &mut data;
+    let message = decode_frame(buf)?;
     if !buf.is_empty() {
         return Err(WireError::TrailingBytes(buf.len()));
     }
     Ok(message)
+}
+
+/// Decodes a batched datagram: one or more concatenated frames. An empty
+/// datagram is an error (`UnexpectedEof`), as is any malformed frame —
+/// the caller drops the whole datagram, indistinguishable from loss.
+///
+/// # Errors
+///
+/// Any structural problem yields a [`WireError`]; no panic is reachable
+/// from untrusted input.
+pub fn decode_frames<M: WireMessage>(mut data: &[u8]) -> Result<Vec<M>, WireError> {
+    if data.is_empty() {
+        return Err(WireError::UnexpectedEof);
+    }
+    let buf = &mut data;
+    let mut messages = Vec::new();
+    while !buf.is_empty() {
+        messages.push(decode_frame(buf)?);
+    }
+    Ok(messages)
 }
 
 fn decode_gossip(buf: &mut &[u8]) -> Result<Gossip, WireError> {
@@ -253,17 +439,21 @@ fn decode_events(buf: &mut &[u8]) -> Result<Vec<Event>, WireError> {
     check_capacity(buf, n, 20)?;
     let mut events = Vec::with_capacity(n);
     for _ in 0..n {
-        let origin = ProcessId::new(take_u64(buf)?);
-        let seq = take_u64(buf)?;
-        let len = take_u32(buf)? as usize;
-        if len > MAX_PAYLOAD || len > buf.remaining() {
-            return Err(WireError::LengthOverflow(len));
-        }
-        let payload = Bytes::copy_from_slice(&buf[..len]);
-        buf.advance(len);
-        events.push(Event::new(EventId::new(origin, seq), payload));
+        events.push(decode_event(buf)?);
     }
     Ok(events)
+}
+
+fn decode_event(buf: &mut &[u8]) -> Result<Event, WireError> {
+    let origin = ProcessId::new(take_u64(buf)?);
+    let seq = take_u64(buf)?;
+    let len = take_u32(buf)? as usize;
+    if len > MAX_PAYLOAD || len > buf.remaining() {
+        return Err(WireError::LengthOverflow(len));
+    }
+    let payload = Bytes::copy_from_slice(&buf[..len]);
+    buf.advance(len);
+    Ok(Event::new(EventId::new(origin, seq), payload))
 }
 
 /// Rejects declared element counts that cannot possibly fit the remaining
@@ -328,11 +518,12 @@ mod tests {
         })
     }
 
-    fn assert_roundtrip(message: Message) {
+    fn assert_roundtrip<M: WireMessage>(message: M) {
         let bytes = encode(&message);
-        let decoded = decode(&bytes).expect("decodes");
-        // Compare via re-encoding (Message lacks PartialEq by design —
-        // events compare by id only, which would hide payload bugs).
+        let decoded: M = decode(&bytes).expect("decodes");
+        // Compare via re-encoding (the message enums lack PartialEq by
+        // design — events compare by id only, which would hide payload
+        // bugs).
         assert_eq!(encode(&decoded), bytes);
     }
 
@@ -365,7 +556,7 @@ mod tests {
             events: vec![],
             event_ids: Digest::Compact(d.clone()),
         });
-        let decoded = decode(&encode(&msg)).unwrap();
+        let decoded: Message = decode(&encode(&msg)).unwrap();
         match decoded {
             Message::Gossip(g) => match &g.event_ids {
                 Digest::Compact(d2) => assert_eq!(d2, &d),
@@ -392,23 +583,38 @@ mod tests {
     fn rejects_bad_magic_and_version() {
         let mut bytes = encode(&sample_gossip()).to_vec();
         bytes[0] = 0xFF;
-        assert!(matches!(decode(&bytes), Err(WireError::BadMagic(0xFF))));
+        assert!(matches!(
+            decode::<Message>(&bytes),
+            Err(WireError::BadMagic(0xFF))
+        ));
         let mut bytes = encode(&sample_gossip()).to_vec();
         bytes[1] = 9;
-        assert!(matches!(decode(&bytes), Err(WireError::BadVersion(9))));
+        assert!(matches!(
+            decode::<Message>(&bytes),
+            Err(WireError::BadVersion(9))
+        ));
     }
 
     #[test]
     fn rejects_unknown_kind() {
         let bytes = vec![MAGIC, VERSION, 42];
-        assert!(matches!(decode(&bytes), Err(WireError::BadTag(42))));
+        assert!(matches!(
+            decode::<Message>(&bytes),
+            Err(WireError::BadTag(42))
+        ));
+        // pbcast kinds live at 16+; an lpbcast gossip tag is foreign to it.
+        let bytes = vec![MAGIC, VERSION, 0, 0];
+        assert!(matches!(
+            decode::<PbcastMessage>(&bytes),
+            Err(WireError::BadTag(0))
+        ));
     }
 
     #[test]
     fn rejects_truncation_at_every_length() {
         let bytes = encode(&sample_gossip());
         for cut in 0..bytes.len() {
-            let err = decode(&bytes[..cut]).expect_err("truncated must fail");
+            let err = decode::<Message>(&bytes[..cut]).expect_err("truncated must fail");
             assert!(
                 matches!(err, WireError::UnexpectedEof | WireError::LengthOverflow(_)),
                 "cut at {cut}: unexpected error {err:?}"
@@ -420,7 +626,10 @@ mod tests {
     fn rejects_trailing_garbage() {
         let mut bytes = encode(&sample_gossip()).to_vec();
         bytes.push(0);
-        assert!(matches!(decode(&bytes), Err(WireError::TrailingBytes(1))));
+        assert!(matches!(
+            decode::<Message>(&bytes),
+            Err(WireError::TrailingBytes(1))
+        ));
     }
 
     #[test]
@@ -433,7 +642,7 @@ mod tests {
         buf.put_u64_le(1); // sender
         buf.put_u16_le(u16::MAX); // |subs| lie
         buf.put_u64_le(0); // not nearly enough bytes
-        let err = decode(&buf).expect_err("must reject");
+        let err = decode::<Message>(&buf).expect_err("must reject");
         assert!(matches!(err, WireError::LengthOverflow(_)), "{err:?}");
     }
 
@@ -447,7 +656,7 @@ mod tests {
         buf.put_u64_le(0);
         buf.put_u64_le(0);
         buf.put_u32_le(u32::MAX); // absurd payload length
-        let err = decode(&buf).expect_err("must reject");
+        let err = decode::<Message>(&buf).expect_err("must reject");
         assert!(matches!(err, WireError::LengthOverflow(_)), "{err:?}");
     }
 
@@ -462,5 +671,102 @@ mod tests {
         });
         let bytes = encode(&msg);
         assert!(bytes.len() < 40, "empty gossip is {} bytes", bytes.len());
+    }
+
+    fn sample_pbcast_digest() -> PbcastMessage {
+        PbcastMessage::digest(GossipDigest {
+            sender: pid(4),
+            entries: vec![
+                DigestEntry {
+                    id: eid(1, 0),
+                    hops: 2,
+                },
+                DigestEntry {
+                    id: eid(2, 9),
+                    hops: 0,
+                },
+            ],
+            subs: vec![pid(4), pid(7)],
+        })
+    }
+
+    #[test]
+    fn pbcast_kinds_roundtrip() {
+        assert_roundtrip(PbcastMessage::Multicast {
+            event: Event::new(eid(3, 1), b"payload".as_ref()),
+            hops: 5,
+        });
+        assert_roundtrip(sample_pbcast_digest());
+        assert_roundtrip(PbcastMessage::Solicit {
+            ids: vec![eid(1, 0), eid(1, 1)],
+        });
+    }
+
+    #[test]
+    fn pbcast_truncation_rejected_at_every_length() {
+        let bytes = encode(&sample_pbcast_digest());
+        for cut in 0..bytes.len() {
+            let err = decode::<PbcastMessage>(&bytes[..cut]).expect_err("truncated must fail");
+            assert!(
+                matches!(err, WireError::UnexpectedEof | WireError::LengthOverflow(_)),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_datagram_roundtrips_every_frame() {
+        let messages = vec![
+            sample_gossip(),
+            Message::Subscribe { subscriber: pid(9) },
+            Message::RetransmitRequest {
+                ids: vec![eid(1, 0)],
+            },
+        ];
+        let mut buf = BytesMut::new();
+        for m in &messages {
+            encode_frame(m, &mut buf);
+        }
+        let decoded: Vec<Message> = decode_frames(&buf).expect("batch decodes");
+        assert_eq!(decoded.len(), messages.len());
+        for (d, m) in decoded.iter().zip(&messages) {
+            assert_eq!(encode(d), encode(m), "frame survived batching");
+        }
+    }
+
+    #[test]
+    fn batched_datagram_with_torn_frame_is_rejected_whole() {
+        let mut buf = BytesMut::new();
+        encode_frame(&sample_gossip(), &mut buf);
+        encode_frame(&Message::Subscribe { subscriber: pid(1) }, &mut buf);
+        let torn = &buf[..buf.len() - 3];
+        assert!(
+            decode_frames::<Message>(torn).is_err(),
+            "torn tail rejected"
+        );
+        assert!(
+            decode_frames::<Message>(&[]).is_err(),
+            "empty datagram rejected"
+        );
+    }
+
+    #[test]
+    fn body_key_tracks_shared_bodies() {
+        let g = sample_gossip();
+        let g2 = g.clone();
+        assert_eq!(g.body_key(), g2.body_key(), "Arc clones share the key");
+        assert!(g.body_key().is_some());
+        assert_ne!(
+            g.body_key(),
+            sample_gossip().body_key(),
+            "distinct bodies, distinct keys"
+        );
+        assert_eq!(
+            Message::Subscribe { subscriber: pid(1) }.body_key(),
+            None,
+            "unshared messages have no key"
+        );
+        let d = sample_pbcast_digest();
+        assert_eq!(d.body_key(), d.clone().body_key());
     }
 }

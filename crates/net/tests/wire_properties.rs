@@ -80,7 +80,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
 /// the semantic fields that byte equality alone would already imply.
 fn roundtrip_equal(message: &Message) -> bool {
     let bytes = wire::encode(message);
-    match wire::decode(&bytes) {
+    match wire::decode::<Message>(&bytes) {
         Ok(decoded) => wire::encode(&decoded) == bytes,
         Err(_) => false,
     }
@@ -137,7 +137,7 @@ proptest! {
     /// Fuzz: the decoder must never panic, whatever the bytes.
     #[test]
     fn random_bytes_never_panic(data in vec(any::<u8>(), 0..600)) {
-        let _ = wire::decode(&data);
+        let _ = wire::decode::<Message>(&data);
     }
 
     /// Fuzz: corrupting any single byte of a valid datagram must never
@@ -152,7 +152,7 @@ proptest! {
         if !bytes.is_empty() {
             let pos = pos_seed % bytes.len();
             bytes[pos] = new_byte;
-            let _ = wire::decode(&bytes);
+            let _ = wire::decode::<Message>(&bytes);
         }
     }
 
@@ -161,7 +161,7 @@ proptest! {
     fn truncation_never_panics(message in arb_message(), cut_seed in any::<usize>()) {
         let bytes = wire::encode(&message);
         let cut = cut_seed % (bytes.len() + 1);
-        let _ = wire::decode(&bytes[..cut]);
+        let _ = wire::decode::<Message>(&bytes[..cut]);
     }
 }
 

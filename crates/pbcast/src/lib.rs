@@ -35,12 +35,12 @@
 //! let mut b = Pbcast::new(p1, config, 2, Membership::total(p1, [p0]));
 //!
 //! // a publishes; its digest offers the id; b solicits; a serves.
-//! let (_id, _cmds) = a.publish(b"tick".as_ref());
-//! let digests = a.tick();
+//! let (_id, _publish) = a.publish(b"tick".as_ref());
+//! let digests = a.tick().outgoing;
 //! let out = b.handle_message(p0, digests[0].1.clone());
-//! let solicit = out.commands.into_iter().next().expect("pull");
+//! let solicit = out.outgoing.into_iter().next().expect("pull");
 //! let served = a.handle_message(p1, solicit.1);
-//! let payload = served.commands.into_iter().next().expect("payload");
+//! let payload = served.outgoing.into_iter().next().expect("payload");
 //! let got = b.handle_message(p0, payload.1);
 //! assert_eq!(got.delivered.len(), 1);
 //! ```
@@ -54,6 +54,7 @@ mod message;
 mod process;
 
 pub use config::{PbcastConfig, PbcastConfigBuilder};
+pub use lpbcast_types::{MembershipEvent, Protocol};
 pub use membership::Membership;
 pub use message::{DigestEntry, GossipDigest, PbcastMessage, PbcastOutput};
 pub use process::{Pbcast, PbcastStats};

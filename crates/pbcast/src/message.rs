@@ -71,25 +71,13 @@ impl PbcastMessage {
     }
 }
 
-/// Result of one pbcast step.
-#[derive(Debug, Clone, Default)]
-pub struct PbcastOutput {
-    /// Messages delivered to the application.
-    pub delivered: Vec<Event>,
-    /// Ids absorbed from digests (only in the
-    /// [`deliver_on_digest`](crate::PbcastConfig::deliver_on_digest)
-    /// convention).
-    pub learned_ids: Vec<EventId>,
-    /// Messages to send: `(destination, message)`.
-    pub commands: Vec<(ProcessId, PbcastMessage)>,
-}
-
-impl PbcastOutput {
-    /// Whether the step produced nothing.
-    pub fn is_empty(&self) -> bool {
-        self.delivered.is_empty() && self.learned_ids.is_empty() && self.commands.is_empty()
-    }
-}
+/// Result of one pbcast step: the workspace-wide unified envelope
+/// ([`lpbcast_types::Output`]) instantiated at [`PbcastMessage`].
+/// `learned_ids` is populated only in the
+/// [`deliver_on_digest`](crate::PbcastConfig::deliver_on_digest)
+/// convention; `membership` reports §6.2 partial-view joins applied from
+/// piggybacked subscriptions.
+pub type PbcastOutput = lpbcast_types::Output<PbcastMessage>;
 
 #[cfg(test)]
 mod tests {

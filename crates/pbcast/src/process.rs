@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 
 use lpbcast_types::{FastMap, FastSet};
 
-use lpbcast_types::{Event, EventId, OldestFirstBuffer, Payload, ProcessId};
+use lpbcast_types::{Event, EventId, OldestFirstBuffer, Payload, ProcessId, Protocol};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -105,12 +105,10 @@ impl Pbcast {
         self.history.contains(&id)
     }
 
-    /// Publishes a message. Returns its id and the first-phase best-effort
-    /// multicast commands (empty if the first phase is disabled).
-    pub fn publish(
-        &mut self,
-        payload: impl Into<Payload>,
-    ) -> (EventId, Vec<(ProcessId, PbcastMessage)>) {
+    /// Publishes a message. Returns its id and an output whose `outgoing`
+    /// batch carries the first-phase best-effort multicast (empty if the
+    /// first phase is disabled).
+    pub fn publish(&mut self, payload: impl Into<Payload>) -> (EventId, PbcastOutput) {
         let id = EventId::new(self.id, self.next_seq);
         self.next_seq += 1;
         let event = Event::new(id, payload);
@@ -119,23 +117,23 @@ impl Pbcast {
         self.store_copy(id, Some(event.clone()), 0);
         self.stats.published += 1;
 
-        let mut commands = Vec::new();
+        let mut out = PbcastOutput::default();
         if self.config.first_phase {
             for to in self.membership.members() {
-                commands.push((
+                out.send(
                     to,
                     PbcastMessage::Multicast {
                         event: event.clone(),
                         hops: 1,
                     },
-                ));
+                );
             }
         }
-        (id, commands)
+        (id, out)
     }
 
     /// One gossip period: emit the anti-entropy digest to `F` targets.
-    pub fn tick(&mut self) -> Vec<(ProcessId, PbcastMessage)> {
+    pub fn tick(&mut self) -> PbcastOutput {
         // Solicitations may be retried next round if replies were lost.
         self.pending_pulls.clear();
 
@@ -159,8 +157,9 @@ impl Pbcast {
         let targets = self
             .membership
             .select_targets(&mut self.rng, self.config.fanout);
+        let mut out = PbcastOutput::default();
         if targets.is_empty() {
-            return Vec::new();
+            return out;
         }
         self.stats.digests_sent += 1;
         // One allocation for the digest body; fanout copies share it.
@@ -169,7 +168,10 @@ impl Pbcast {
             entries,
             subs,
         });
-        targets.into_iter().map(|to| (to, digest.clone())).collect()
+        for to in targets {
+            out.send(to, digest.clone());
+        }
+        out
     }
 
     /// Processes an incoming message.
@@ -232,7 +234,11 @@ impl Pbcast {
         self.stats.digests_received += 1;
         let mut out = PbcastOutput::default();
 
-        // §6.2 membership layer: piggybacked subscriptions update the view.
+        // §6.2 membership layer: piggybacked subscriptions update the
+        // view. Admissions are view rotation, not membership changes —
+        // pbcast has no explicit join/leave signals, so it reports no
+        // MembershipEvents (exactly the gap the lpbcast comparison
+        // measures).
         self.membership.apply_subs(&mut self.rng, subs);
 
         let missing: Vec<DigestEntry> = entries
@@ -253,7 +259,7 @@ impl Pbcast {
             if !ids.is_empty() {
                 self.pending_pulls.extend(ids.iter().copied());
                 self.stats.solicits_sent += 1;
-                out.commands.push((sender, PbcastMessage::Solicit { ids }));
+                out.send(sender, PbcastMessage::Solicit { ids });
             }
         } else if self.config.deliver_on_digest {
             // §5.2 convention: the id counts as received, and keeps
@@ -280,18 +286,46 @@ impl Pbcast {
             {
                 Some((event, hops)) => {
                     self.stats.served += 1;
-                    out.commands.push((
+                    out.send(
                         from,
                         PbcastMessage::Multicast {
                             event,
                             hops: hops + 1,
                         },
-                    ));
+                    );
                 }
                 None => self.stats.solicit_misses += 1,
             }
         }
         out
+    }
+}
+
+/// The workspace-wide sans-IO lifecycle ([`lpbcast_types::Protocol`]):
+/// generic drivers run pbcast through this impl exactly as they run
+/// lpbcast. `broadcast` surfaces the best-effort first phase as the
+/// returned output's `outgoing` batch.
+impl Protocol for Pbcast {
+    type Msg = PbcastMessage;
+
+    fn id(&self) -> ProcessId {
+        Pbcast::id(self)
+    }
+
+    fn tick(&mut self) -> PbcastOutput {
+        Pbcast::tick(self)
+    }
+
+    fn handle_message(&mut self, from: ProcessId, msg: PbcastMessage) -> PbcastOutput {
+        Pbcast::handle_message(self, from, msg)
+    }
+
+    fn broadcast(&mut self, payload: Payload) -> (EventId, PbcastOutput) {
+        self.publish(payload)
+    }
+
+    fn view_members(&self) -> Vec<ProcessId> {
+        self.membership.members()
     }
 }
 
@@ -328,9 +362,10 @@ mod tests {
             1,
             Membership::total(pid(0), (1..=4).map(pid)),
         );
-        let (_, cmds) = a.publish(b"m".as_ref());
-        assert_eq!(cmds.len(), 4, "one copy per member");
-        assert!(cmds
+        let (_, out) = a.publish(b"m".as_ref());
+        assert_eq!(out.outgoing.len(), 4, "one copy per member");
+        assert!(out
+            .outgoing
             .iter()
             .all(|(_, m)| matches!(m, PbcastMessage::Multicast { hops: 1, .. })));
     }
@@ -339,18 +374,18 @@ mod tests {
     fn digest_pull_roundtrip_delivers() {
         let config = PbcastConfig::builder().fanout(1).first_phase(false).build();
         let (mut a, mut b) = total_pair(&config);
-        let (id, cmds) = a.publish(b"m".as_ref());
-        assert!(cmds.is_empty(), "first phase disabled");
+        let (id, publish) = a.publish(b"m".as_ref());
+        assert!(publish.outgoing.is_empty(), "first phase disabled");
 
-        let digests = a.tick();
+        let digests = a.tick().outgoing;
         assert_eq!(digests.len(), 1);
         let out = b.handle_message(pid(0), digests[0].1.clone());
         assert!(out.delivered.is_empty(), "digest alone delivers nothing");
-        let (to, solicit) = out.commands.into_iter().next().expect("solicitation");
+        let (to, solicit) = out.outgoing.into_iter().next().expect("solicitation");
         assert_eq!(to, pid(0));
 
         let served = a.handle_message(pid(1), solicit);
-        let (to, payload) = served.commands.into_iter().next().expect("payload");
+        let (to, payload) = served.outgoing.into_iter().next().expect("payload");
         assert_eq!(to, pid(1));
         let got = b.handle_message(pid(0), payload);
         assert_eq!(got.delivered.len(), 1);
@@ -373,9 +408,13 @@ mod tests {
             PbcastMessage::GossipDigest(d) => d.entries.len(),
             _ => panic!("expected digest"),
         };
-        assert_eq!(count_entries(&a.tick()), 1, "repetition 1");
-        assert_eq!(count_entries(&a.tick()), 1, "repetition 2");
-        assert_eq!(count_entries(&a.tick()), 0, "repetition budget exhausted");
+        assert_eq!(count_entries(&a.tick().outgoing), 1, "repetition 1");
+        assert_eq!(count_entries(&a.tick().outgoing), 1, "repetition 2");
+        assert_eq!(
+            count_entries(&a.tick().outgoing),
+            0,
+            "repetition budget exhausted"
+        );
     }
 
     #[test]
@@ -390,7 +429,7 @@ mod tests {
         let event = Event::new(EventId::new(pid(0), 0), b"m".as_ref());
         let out = b.handle_message(pid(0), PbcastMessage::Multicast { event, hops: 2 });
         assert_eq!(out.delivered.len(), 1, "delivery unaffected by hop limit");
-        let digests = b.tick();
+        let digests = b.tick().outgoing;
         match &digests[0].1 {
             PbcastMessage::GossipDigest(d) => {
                 assert!(d.entries.is_empty(), "hop-exhausted copy is not advertised")
@@ -404,11 +443,11 @@ mod tests {
         let config = PbcastConfig::builder().fanout(1).first_phase(false).build();
         let (mut a, mut b) = total_pair(&config);
         let (id, _) = a.publish(b"m".as_ref());
-        let digests = a.tick();
+        let digests = a.tick().outgoing;
         let out = b.handle_message(pid(0), digests[0].1.clone());
-        let solicit = out.commands.into_iter().next().unwrap().1;
+        let solicit = out.outgoing.into_iter().next().unwrap().1;
         let served = a.handle_message(pid(1), solicit);
-        match &served.commands[0].1 {
+        match &served.outgoing[0].1 {
             PbcastMessage::Multicast { event, hops } => {
                 assert_eq!(event.id(), id);
                 assert_eq!(*hops, 1, "origin copy has hops 0; serving adds 1");
@@ -421,8 +460,8 @@ mod tests {
     fn duplicate_copies_counted_not_redelivered() {
         let config = PbcastConfig::default();
         let (mut a, mut b) = total_pair(&config);
-        let (_, cmds) = a.publish(b"m".as_ref());
-        let (_, multicast) = cmds.into_iter().next().unwrap();
+        let (_, publish) = a.publish(b"m".as_ref());
+        let (_, multicast) = publish.outgoing.into_iter().next().unwrap();
         assert_eq!(
             b.handle_message(pid(0), multicast.clone()).delivered.len(),
             1
@@ -452,7 +491,7 @@ mod tests {
         assert_eq!(out.learned_ids, vec![id]);
         assert!(b.has_seen(id));
         // The absorbed id is advertised onward with hops + 1.
-        let digests = b.tick();
+        let digests = b.tick().outgoing;
         match &digests[0].1 {
             PbcastMessage::GossipDigest(d) => {
                 assert_eq!(d.entries.len(), 1);
@@ -462,7 +501,7 @@ mod tests {
         }
         // But it cannot be served (no payload).
         let out = b.handle_message(pid(0), PbcastMessage::Solicit { ids: vec![id] });
-        assert!(out.commands.is_empty());
+        assert!(out.outgoing.is_empty());
         assert_eq!(b.stats().solicit_misses, 1);
     }
 
@@ -471,16 +510,16 @@ mod tests {
         let config = PbcastConfig::builder().fanout(1).first_phase(false).build();
         let (mut a, mut b) = total_pair(&config);
         a.publish(b"m".as_ref());
-        let digest = a.tick().into_iter().next().unwrap().1;
+        let digest = a.tick().outgoing.into_iter().next().unwrap().1;
         let first = b.handle_message(pid(0), digest.clone());
-        assert_eq!(first.commands.len(), 1);
+        assert_eq!(first.outgoing.len(), 1);
         // Same digest again in the same round: no duplicate solicit.
         let second = b.handle_message(pid(0), digest.clone());
-        assert!(second.commands.is_empty());
+        assert!(second.outgoing.is_empty());
         // Next round: retry allowed (reply may have been lost).
         b.tick();
         let third = b.handle_message(pid(0), digest);
-        assert_eq!(third.commands.len(), 1);
+        assert_eq!(third.outgoing.len(), 1);
     }
 
     #[test]
@@ -499,7 +538,7 @@ mod tests {
             Membership::partial(pid(1), 5, 5, [pid(2)]),
         );
         // a's digest piggybacks its subscription; b learns about a.
-        let digests = a.tick();
+        let digests = a.tick().outgoing;
         assert!(!b.membership().contains(pid(0)));
         b.handle_message(pid(0), digests[0].1.clone());
         assert!(b.membership().contains(pid(0)), "view updated from subs");
@@ -544,7 +583,7 @@ mod tests {
                 ids: vec![old, new],
             },
         );
-        assert_eq!(out.commands.len(), 1);
+        assert_eq!(out.outgoing.len(), 1);
         assert_eq!(b.stats().solicit_misses, 1);
     }
 
@@ -559,7 +598,7 @@ mod tests {
             Membership::total(pid(0), (1..=6).map(pid)),
         );
         a.publish(b"m".as_ref());
-        let cmds = a.tick();
+        let cmds = a.tick().outgoing;
         let arcs: Vec<&Arc<GossipDigest>> = cmds
             .iter()
             .filter_map(|(_, m)| match m {

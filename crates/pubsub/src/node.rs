@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use lpbcast_core::{Config, Lpbcast, Message, Output, UnsubscribeRefused};
-use lpbcast_types::{Event, EventId, Payload, ProcessId};
+use lpbcast_types::{Event, EventId, MembershipEvent, Payload, ProcessId, Protocol};
 
 use crate::topic::TopicId;
 
@@ -17,13 +17,20 @@ pub struct PubSubMessage {
     pub inner: Message,
 }
 
-/// Result of one pub/sub step.
+/// Result of one pub/sub step: the topic-tagged view of the unified
+/// envelope (the [`Protocol`] impl speaks the untagged
+/// [`lpbcast_types::Output`] instead; this richer shape keeps the topic
+/// attribution the multiplexer alone can provide).
 #[derive(Debug, Clone, Default)]
 pub struct PubSubOutput {
     /// Delivered notifications with their topic.
     pub deliveries: Vec<(TopicId, Event)>,
+    /// Ids learnt from digests (§5.2 convention), with their topic.
+    pub learned: Vec<(TopicId, EventId)>,
     /// Messages to send: `(destination, message)`.
     pub commands: Vec<(ProcessId, PubSubMessage)>,
+    /// Per-topic membership changes applied during the step.
+    pub membership: Vec<(TopicId, MembershipEvent)>,
 }
 
 impl PubSubOutput {
@@ -31,14 +38,30 @@ impl PubSubOutput {
         for event in output.delivered {
             self.deliveries.push((topic.clone(), event));
         }
-        for command in output.commands {
+        for id in output.learned_ids {
+            self.learned.push((topic.clone(), id));
+        }
+        for (to, message) in output.outgoing {
             self.commands.push((
-                command.to,
+                to,
                 PubSubMessage {
                     topic: topic.clone(),
-                    inner: command.message,
+                    inner: message,
                 },
             ));
+        }
+        for event in output.membership {
+            self.membership.push((topic.clone(), event));
+        }
+    }
+
+    /// Drops the topic tags, yielding the unified envelope.
+    fn into_untagged(self) -> lpbcast_types::Output<PubSubMessage> {
+        lpbcast_types::Output {
+            delivered: self.deliveries.into_iter().map(|(_, e)| e).collect(),
+            learned_ids: self.learned.into_iter().map(|(_, id)| id).collect(),
+            outgoing: self.commands,
+            membership: self.membership.into_iter().map(|(_, m)| m).collect(),
         }
     }
 }
@@ -191,6 +214,66 @@ impl PubSubNode {
             out.absorb(&message.topic, output);
         }
         out
+    }
+}
+
+/// The workspace-wide sans-IO lifecycle ([`Protocol`]) over the topic
+/// multiplexer: one tick drives every subscribed topic's group, incoming
+/// messages are routed by their topic tag, and `broadcast` publishes on
+/// the node's first subscribed topic (topics iterate in [`TopicId`]
+/// order, so the choice is deterministic). The topic attribution the
+/// trait's untagged envelope cannot express remains available through
+/// the inherent [`tick`](PubSubNode::tick) /
+/// [`handle_message`](PubSubNode::handle_message), which return the
+/// topic-tagged [`PubSubOutput`].
+///
+/// # Panics
+///
+/// [`Protocol::broadcast`] panics if the node is subscribed to no topic
+/// (a pub/sub process cannot publish into a group it is not a member
+/// of).
+impl Protocol for PubSubNode {
+    type Msg = PubSubMessage;
+
+    fn id(&self) -> ProcessId {
+        PubSubNode::id(self)
+    }
+
+    fn tick(&mut self) -> lpbcast_types::Output<PubSubMessage> {
+        PubSubNode::tick(self).into_untagged()
+    }
+
+    fn handle_message(
+        &mut self,
+        from: ProcessId,
+        msg: PubSubMessage,
+    ) -> lpbcast_types::Output<PubSubMessage> {
+        PubSubNode::handle_message(self, from, msg).into_untagged()
+    }
+
+    fn broadcast(&mut self, payload: Payload) -> (EventId, lpbcast_types::Output<PubSubMessage>) {
+        let topic = self
+            .groups
+            .keys()
+            .next()
+            .cloned()
+            .expect("Protocol::broadcast requires at least one subscribed topic");
+        let id = self
+            .publish(&topic, payload)
+            .expect("topic taken from the subscription map");
+        (id, lpbcast_types::Output::new())
+    }
+
+    fn view_members(&self) -> Vec<ProcessId> {
+        use lpbcast_membership::View as _;
+        let mut members: Vec<ProcessId> = self
+            .groups
+            .values()
+            .flat_map(|g| g.view().members())
+            .collect();
+        members.sort_unstable();
+        members.dedup();
+        members
     }
 }
 

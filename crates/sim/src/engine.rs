@@ -1,4 +1,5 @@
-//! The synchronous-round simulation engine.
+//! The synchronous-round simulation engine, generic over any sans-IO
+//! [`Protocol`].
 //!
 //! # Hot-path layout
 //!
@@ -11,11 +12,10 @@
 //! warm-up a steady-state round performs no queue reallocation at all.
 
 use lpbcast_membership::ViewGraph;
-use lpbcast_types::{EventId, Payload, ProcessId};
+use lpbcast_types::{EventId, Payload, ProcessId, Protocol};
 
 use crate::metrics::InfectionTracker;
 use crate::network::{CrashPlan, NetworkModel};
-use crate::node::{SimNode, SimStep};
 use lpbcast_types::FastMap;
 
 /// How many reply generations (solicit → serve → absorb …) are chased
@@ -65,10 +65,15 @@ impl BitSet {
 
 /// Synchronous-round simulator: each round, every alive node gossips once
 /// (§5.1), messages suffer Bernoulli loss, and deliveries are tracked.
+///
+/// The engine drives any [`Protocol`] implementation directly —
+/// `Engine<Lpbcast>`, `Engine<Pbcast>` and `Engine<PubSubNode>` are the
+/// same machinery; protocol steps speak the unified
+/// [`Output`](lpbcast_types::Output) envelope.
 #[derive(Debug)]
-pub struct Engine<N: SimNode> {
+pub struct Engine<P: Protocol> {
     /// Dense node slab, insertion order.
-    nodes: Vec<N>,
+    nodes: Vec<P>,
     /// Process id of each slab entry (parallel to `nodes`).
     ids: Vec<ProcessId>,
     /// Reverse map, consulted once per enqueued message.
@@ -76,22 +81,27 @@ pub struct Engine<N: SimNode> {
     /// Liveness bit per slab entry.
     alive: BitSet,
     alive_count: usize,
+    /// Alive process ids, maintained sorted incrementally: membership
+    /// changes pay one binary search + memmove instead of every
+    /// `alive_ids` consumer paying an O(n log n) snapshot sort per round
+    /// (the churn scenario reads this every round at n = 10⁴).
+    alive_sorted: Vec<ProcessId>,
     network: NetworkModel,
     crash_plan: CrashPlan,
     tracker: InfectionTracker,
     round: u64,
     /// Messages published outside a step (first-phase multicasts) plus
     /// replies spilling past [`CHASE_DEPTH`], queued into the next round.
-    pending: Vec<Envelope<N::Msg>>,
+    pending: Vec<Envelope<P::Msg>>,
     /// Reply buffer reused across generations and rounds.
-    scratch: Vec<Envelope<N::Msg>>,
+    scratch: Vec<Envelope<P::Msg>>,
     /// Per-step delivery sightings, recorded into the tracker as one
     /// batch at the end of the step (one grouped map probe per event
     /// instead of one per delivery). Reused across rounds.
     sightings: Vec<(EventId, ProcessId)>,
 }
 
-impl<N: SimNode> Engine<N> {
+impl<P: Protocol> Engine<P> {
     /// Creates an engine over the given fault models.
     pub fn new(network: NetworkModel, crash_plan: CrashPlan) -> Self {
         Engine {
@@ -100,6 +110,7 @@ impl<N: SimNode> Engine<N> {
             index: FastMap::default(),
             alive: BitSet::default(),
             alive_count: 0,
+            alive_sorted: Vec::new(),
             network,
             crash_plan,
             tracker: InfectionTracker::new(),
@@ -110,15 +121,30 @@ impl<N: SimNode> Engine<N> {
         }
     }
 
+    /// Records `id` in the sorted alive list.
+    fn alive_sorted_insert(&mut self, id: ProcessId) {
+        if let Err(pos) = self.alive_sorted.binary_search(&id) {
+            self.alive_sorted.insert(pos, id);
+        }
+    }
+
+    /// Drops `id` from the sorted alive list.
+    fn alive_sorted_remove(&mut self, id: ProcessId) {
+        if let Ok(pos) = self.alive_sorted.binary_search(&id) {
+            self.alive_sorted.remove(pos);
+        }
+    }
+
     /// Adds a node (initially alive). Re-adding an existing id replaces
     /// the node in place and revives it.
-    pub fn add_node(&mut self, node: N) {
+    pub fn add_node(&mut self, node: P) {
         let id = node.id();
         if let Some(&i) = self.index.get(&id) {
             let i = i as usize;
             if !self.alive.get(i) {
                 self.alive.set(i);
                 self.alive_count += 1;
+                self.alive_sorted_insert(id);
             }
             self.nodes[i] = node;
             return;
@@ -130,6 +156,7 @@ impl<N: SimNode> Engine<N> {
         self.alive.grow_to(i + 1);
         self.alive.set(i);
         self.alive_count += 1;
+        self.alive_sorted_insert(id);
     }
 
     /// Immediately crashes `id`: the node stops participating; in-flight
@@ -141,15 +168,17 @@ impl<N: SimNode> Engine<N> {
             if self.alive.get(i) {
                 self.alive.clear(i);
                 self.alive_count -= 1;
+                self.alive_sorted_remove(id);
             }
         }
     }
 
     /// Removes a node entirely (graceful departure after unsubscription).
-    pub fn remove_node(&mut self, id: ProcessId) -> Option<N> {
+    pub fn remove_node(&mut self, id: ProcessId) -> Option<P> {
         let i = *self.index.get(&id)? as usize;
         if self.alive.get(i) {
             self.alive_count -= 1;
+            self.alive_sorted_remove(id);
         }
         let last = self.nodes.len() - 1;
         // The slab swap moves `last` into slot `i`: fix the bitset, the
@@ -191,29 +220,26 @@ impl<N: SimNode> Engine<N> {
         self.alive_count
     }
 
-    /// Ids of alive nodes, ascending.
-    pub fn alive_ids(&self) -> Vec<ProcessId> {
-        let mut out: Vec<ProcessId> = (0..self.nodes.len())
-            .filter(|&i| self.alive.get(i))
-            .map(|i| self.ids[i])
-            .collect();
-        out.sort_unstable();
-        out
+    /// Ids of alive nodes, ascending. Maintained incrementally — reading
+    /// it is free (no snapshot, no sort). Callers that mutate the engine
+    /// while sampling copy the slice first.
+    pub fn alive_ids(&self) -> &[ProcessId] {
+        &self.alive_sorted
     }
 
     /// Immutable access to a node.
-    pub fn node(&self, id: ProcessId) -> Option<&N> {
+    pub fn node(&self, id: ProcessId) -> Option<&P> {
         self.index.get(&id).map(|&i| &self.nodes[i as usize])
     }
 
     /// Mutable access to a node.
-    pub fn node_mut(&mut self, id: ProcessId) -> Option<&mut N> {
+    pub fn node_mut(&mut self, id: ProcessId) -> Option<&mut P> {
         let i = *self.index.get(&id)?;
         Some(&mut self.nodes[i as usize])
     }
 
     /// Iterates over `(id, node)` pairs in slab (insertion) order.
-    pub fn nodes(&self) -> impl Iterator<Item = (ProcessId, &N)> {
+    pub fn nodes(&self) -> impl Iterator<Item = (ProcessId, &P)> {
         self.ids.iter().copied().zip(self.nodes.iter())
     }
 
@@ -241,9 +267,21 @@ impl<N: SimNode> Engine<N> {
     pub fn publish_from(&mut self, origin: ProcessId, payload: Payload) -> EventId {
         assert!(self.is_alive(origin), "publisher {origin} is not alive");
         let oi = self.index[&origin] as usize;
-        let (id, immediate) = self.nodes[oi].publish(payload);
+        let (id, output) = self.nodes[oi].broadcast(payload);
         self.tracker.record_publish(id, origin, self.round);
-        for (to, msg) in immediate {
+        // A protocol may self-deliver at publish time (the trait permits
+        // it even though neither in-tree protocol does): record those
+        // sightings immediately at the publish round — deferring them to
+        // the next step's batch would stamp them one round late.
+        for seen in output
+            .delivered
+            .iter()
+            .map(|e| e.id())
+            .chain(output.learned_ids.iter().copied())
+        {
+            self.tracker.record_seen_at(seen, origin, self.round);
+        }
+        for (to, msg) in output.outgoing {
             if let Some(&t) = self.index.get(&to) {
                 self.pending.push(Envelope {
                     from: origin,
@@ -261,7 +299,7 @@ impl<N: SimNode> Engine<N> {
     /// other envelope; unknown destinations are dropped). Scenario
     /// harnesses use this to inject out-of-band protocol traffic — e.g.
     /// the §3.4 `Subscribe` bridges that heal a membership partition.
-    pub fn enqueue(&mut self, from: ProcessId, to: ProcessId, msg: N::Msg) {
+    pub fn enqueue(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
         if let Some(&t) = self.index.get(&to) {
             self.pending.push(Envelope { from, to: t, msg });
         }
@@ -290,13 +328,18 @@ impl<N: SimNode> Engine<N> {
         self.round += 1;
 
         // Split borrows: the crash list stays borrowed from `crash_plan`
-        // while the liveness state is updated, so no clone is needed.
+        // while the liveness fields are updated (the sorted-list removal
+        // is inlined rather than a `&mut self` call for that reason), so
+        // no clone is needed.
         for &victim in self.crash_plan.crashes_at(self.round) {
             if let Some(&i) = self.index.get(&victim) {
                 let i = i as usize;
                 if self.alive.get(i) {
                     self.alive.clear(i);
                     self.alive_count -= 1;
+                    if let Ok(pos) = self.alive_sorted.binary_search(&victim) {
+                        self.alive_sorted.remove(pos);
+                    }
                 }
             }
         }
@@ -310,7 +353,16 @@ impl<N: SimNode> Engine<N> {
                 continue;
             }
             let from = self.ids[i];
-            for (to, msg) in self.nodes[i].on_tick() {
+            let out = self.nodes[i].tick();
+            for id in out
+                .delivered
+                .iter()
+                .map(|e| e.id())
+                .chain(out.learned_ids.iter().copied())
+            {
+                self.sightings.push((id, from));
+            }
+            for (to, msg) in out.outgoing {
                 if let Some(&t) = self.index.get(&to) {
                     queue.push(Envelope { from, to: t, msg });
                 }
@@ -328,12 +380,17 @@ impl<N: SimNode> Engine<N> {
                 if !self.alive.get(ti) || !self.network.delivers() {
                     continue;
                 }
-                let step: SimStep<N::Msg> = self.nodes[ti].on_message(envelope.from, envelope.msg);
+                let out = self.nodes[ti].handle_message(envelope.from, envelope.msg);
                 let to_id = self.ids[ti];
-                for id in step.delivered.iter().chain(step.learned.iter()) {
-                    self.sightings.push((*id, to_id));
+                for id in out
+                    .delivered
+                    .iter()
+                    .map(|e| e.id())
+                    .chain(out.learned_ids.iter().copied())
+                {
+                    self.sightings.push((id, to_id));
                 }
-                for (to, msg) in step.outgoing {
+                for (to, msg) in out.outgoing {
                     if let Some(&t) = self.index.get(&to) {
                         self.scratch.push(Envelope {
                             from: to_id,
@@ -365,7 +422,6 @@ impl<N: SimNode> Engine<N> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::LpbcastNode;
     use lpbcast_core::{Config, Lpbcast};
     use lpbcast_membership::View as _;
 
@@ -378,7 +434,7 @@ mod tests {
     /// received notification) so that full-infection assertions depend on
     /// connectivity, not on every node catching the payload during its
     /// one-shot push window.
-    fn cluster(n: u64, seed: u64) -> Engine<LpbcastNode> {
+    fn cluster(n: u64, seed: u64) -> Engine<Lpbcast> {
         let config = Config::builder()
             .view_size(n as usize - 1)
             .fanout(2.min(n as usize - 1))
@@ -387,12 +443,12 @@ mod tests {
         let mut engine = Engine::new(NetworkModel::perfect(seed), CrashPlan::none());
         for i in 0..n {
             let members = (0..n).filter(|&j| j != i).map(pid);
-            engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
+            engine.add_node(Lpbcast::with_initial_view(
                 pid(i),
                 config.clone(),
                 seed.wrapping_add(i),
                 members,
-            )));
+            ));
         }
         engine
     }
@@ -428,12 +484,12 @@ mod tests {
         let mut engine = Engine::new(NetworkModel::perfect(1), plan);
         for i in 0..4 {
             let members = (0..4).filter(|&j| j != i).map(pid);
-            engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
+            engine.add_node(Lpbcast::with_initial_view(
                 pid(i),
                 config.clone(),
                 i,
                 members,
-            )));
+            ));
         }
         engine.run(2);
         assert!(engine.is_alive(pid(1)));
@@ -460,12 +516,12 @@ mod tests {
         let n = 16u64;
         for i in 0..n {
             let members = (0..n).filter(|&j| j != i).map(pid);
-            engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
+            engine.add_node(Lpbcast::with_initial_view(
                 pid(i),
                 config.clone(),
                 100 + i,
                 members,
-            )));
+            ));
         }
         let id = engine.publish_from(pid(0), Payload::from_static(b"x"));
         engine.run(25);
@@ -530,12 +586,7 @@ mod tests {
         );
         engine.step();
         assert!(
-            engine
-                .node(pid(0))
-                .unwrap()
-                .process()
-                .view()
-                .contains(pid(3)),
+            engine.node(pid(0)).unwrap().view().contains(pid(3)),
             "injected Subscribe was handled"
         );
     }
@@ -551,16 +602,11 @@ mod tests {
             .fanout(2)
             .deliver_on_digest(true)
             .build();
-        engine.add_node(LpbcastNode::new(Lpbcast::joining(
-            pid(9),
-            config,
-            77,
-            vec![pid(0), pid(1)],
-        )));
+        engine.add_node(Lpbcast::joining(pid(9), config, 77, vec![pid(0), pid(1)]));
         assert_eq!(engine.alive_count(), 6);
         engine.run(6);
         assert!(
-            !engine.node(pid(9)).unwrap().process().is_joining(),
+            !engine.node(pid(9)).unwrap().is_joining(),
             "join handshake completed through the engine"
         );
         let id = engine.publish_from(pid(0), Payload::from_static(b"x"));

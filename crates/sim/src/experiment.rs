@@ -14,14 +14,13 @@
 use lpbcast_core::{Config, Lpbcast};
 use lpbcast_membership::DegreeStats;
 use lpbcast_pbcast::{Membership, Pbcast, PbcastConfig};
-use lpbcast_types::{Payload, ProcessId};
+use lpbcast_types::{Payload, ProcessId, Protocol};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 use crate::engine::Engine;
 use crate::network::{CrashPlan, NetworkModel};
-use crate::node::{LpbcastNode, PbcastNode, SimNode};
 use crate::topology::{ring_view, sample_view_into};
 
 /// How the initial views are laid out.
@@ -199,7 +198,7 @@ fn use_serial_sweep(seeds: &[u64]) -> bool {
 /// Initial views come from the O(l)-per-node Floyd sampler
 /// ([`crate::topology::sample_view`]) — the whole bootstrap is O(n·l),
 /// not O(n²) (no per-node candidate list is materialized).
-pub fn build_lpbcast_engine(params: &LpbcastSimParams, seed: u64) -> Engine<LpbcastNode> {
+pub fn build_lpbcast_engine(params: &LpbcastSimParams, seed: u64) -> Engine<Lpbcast> {
     let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x746F_706F_6C6F_6779);
     let candidates: Vec<ProcessId> = (1..params.n as u64).map(ProcessId::new).collect();
     // The origin (p0) is excluded from the crash plan so infection curves
@@ -221,19 +220,19 @@ pub fn build_lpbcast_engine(params: &LpbcastSimParams, seed: u64) -> Engine<Lpbc
             }
             InitialTopology::Ring => ring_view(i, params.n, params.config.view_size),
         };
-        engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
+        engine.add_node(Lpbcast::with_initial_view(
             ProcessId::new(i),
             params.config.clone(),
             seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(i),
             members,
-        )));
+        ));
     }
     engine
 }
 
 /// Builds a pbcast engine with `n` nodes. Partial views use the same
 /// O(l)-per-node sampler as [`build_lpbcast_engine`].
-pub fn build_pbcast_engine(params: &PbcastSimParams, seed: u64) -> Engine<PbcastNode> {
+pub fn build_pbcast_engine(params: &PbcastSimParams, seed: u64) -> Engine<Pbcast> {
     let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x746F_706F_6C6F_6779);
     let candidates: Vec<ProcessId> = (1..params.n as u64).map(ProcessId::new).collect();
     let plan = CrashPlan::draw(&candidates, params.tau, params.rounds.max(1), seed);
@@ -257,12 +256,12 @@ pub fn build_pbcast_engine(params: &PbcastSimParams, seed: u64) -> Engine<Pbcast
                 })
             }
         };
-        engine.add_node(PbcastNode::new(Pbcast::new(
+        engine.add_node(Pbcast::new(
             me,
             params.config.clone(),
             seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(i),
             membership,
-        )));
+        ));
     }
     engine
 }
@@ -270,7 +269,7 @@ pub fn build_pbcast_engine(params: &PbcastSimParams, seed: u64) -> Engine<Pbcast
 /// Runs one dissemination and returns the infected count after each round
 /// (`curve[r]` = processes having seen the event at the end of round `r`;
 /// `curve[0] = 1`, the origin).
-fn infection_run<N: SimNode>(engine: &mut Engine<N>, rounds: u64) -> Vec<usize> {
+fn infection_run<P: Protocol>(engine: &mut Engine<P>, rounds: u64) -> Vec<usize> {
     let id = engine.publish_from(ProcessId::new(0), Payload::from_static(b"probe"));
     let mut curve = vec![engine.tracker().infected_count(id)];
     for _ in 0..rounds {
@@ -371,12 +370,14 @@ impl Default for ReliabilityRun {
     }
 }
 
-fn reliability_run<N: SimNode>(engine: &mut Engine<N>, run: &ReliabilityRun, seed: u64) -> f64 {
+fn reliability_run<P: Protocol>(engine: &mut Engine<P>, run: &ReliabilityRun, seed: u64) -> f64 {
     let mut pub_rng = SmallRng::seed_from_u64(seed ^ 0x7075_626C_6973_6865);
     engine.run(run.warmup);
     let window_start = engine.round() + 1;
+    let mut alive = Vec::new();
     for _ in 0..run.publish_rounds {
-        let alive = engine.alive_ids();
+        alive.clear();
+        alive.extend_from_slice(engine.alive_ids());
         for _ in 0..run.rate {
             let origin = alive[pub_rng.gen_range(0..alive.len())];
             engine.publish_from(origin, Payload::from_static(b"load"));

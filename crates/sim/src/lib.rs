@@ -77,19 +77,19 @@ pub mod engine;
 pub mod experiment;
 pub mod metrics;
 pub mod network;
-pub mod node;
 pub mod scale;
 pub mod scenario;
 pub mod topology;
 
 pub use engine::Engine;
+pub use lpbcast_types::{MembershipEvent, Output, Protocol};
 pub use metrics::{InfectionTracker, ReliabilityReport};
 pub use network::{CrashPlan, NetworkModel};
-pub use node::{LpbcastNode, PbcastNode, SimNode, SimStep};
 pub use scale::{run_scale_point, scaling_study, scaling_tsv, ScalePoint, ScaleStudyOpts};
 pub use scenario::{
     catastrophe_scenario, churn_scenario, churn_sweep, churn_sweep_serial, partition_scenario,
-    scenarios_tsv, CatastropheParams, CatastropheReport, ChurnParams, ChurnReport, PartitionParams,
-    PartitionReport,
+    run_scenario_suite, scenarios_tsv, CatastropheParams, CatastropheReport, ChurnParams,
+    ChurnReport, LeaveRefused, PartitionParams, PartitionReport, PbcastScenarioCfg,
+    ScenarioProtocol, ScenarioSuite,
 };
 pub use topology::{ring_view, sample_distinct, sample_view};

@@ -82,12 +82,13 @@ pub struct ScalePoint {
     pub buffer_bound: usize,
     /// Steady-state simulation cost, nanoseconds per round.
     pub ns_per_step: f64,
-    /// Engine-construction cost, milliseconds per build (averaged over
-    /// [`ScalePoint::build_count`] builds). The bootstrap is O(n·l); this
-    /// column is what `scripts/bench_gate.py` guards against an
-    /// accidental return to the O(n²) candidate-list build.
+    /// Engine-construction cost, milliseconds per build (minimum over
+    /// [`ScalePoint::build_count`] builds — robust to background-load
+    /// bursts on shared hosts). The bootstrap is O(n·l); this column is
+    /// what `scripts/bench_gate.py` guards against an accidental return
+    /// to the O(n²) candidate-list build.
     pub engine_build_ms: f64,
-    /// Engine builds averaged for `engine_build_ms` (raised at small `n`
+    /// Engine builds sampled for `engine_build_ms` (raised at small `n`
     /// to keep the timing window out of jitter range).
     pub build_count: usize,
     /// Mean delivery latency of the probe broadcast, in rounds.
@@ -165,16 +166,21 @@ pub fn run_scale_point(n: usize, opts: &ScaleStudyOpts) -> ScalePoint {
 
     // ── Build cost: repeated engine bootstraps ───────────────────────
     // Small systems build in microseconds, so a single build would time
-    // scheduler jitter; average enough builds to keep the window ≳10 ms
-    // of work. The last engine is discarded — the timed builds exist
-    // only for this column.
+    // scheduler jitter; build repeatedly and take the *minimum* — the
+    // mean absorbs background-load bursts on shared hosts (the 1-CPU CI
+    // container swings ±30%), while the min converges on the true cost
+    // of the bootstrap, which is what the regression gate wants to
+    // compare. The engines are discarded — the timed builds exist only
+    // for this column.
     let build_count = (30_000 / n.max(1)).clamp(1, 64);
-    let t = Instant::now();
+    let mut engine_build_ms = f64::INFINITY;
     for b in 0..build_count {
+        let t = Instant::now();
         let engine = build_lpbcast_engine(&params, opts.seed.wrapping_add(b as u64));
+        let ms = t.elapsed().as_secs_f64() * 1e3;
         assert_eq!(engine.alive_count(), n, "bootstrap populated the slab");
+        engine_build_ms = engine_build_ms.min(ms);
     }
-    let engine_build_ms = t.elapsed().as_secs_f64() * 1e3 / build_count as f64;
 
     // ── Step cost: steady state with one live dissemination ──────────
     // Small systems step in microseconds, so `measured_steps` alone can

@@ -1,5 +1,7 @@
 //! Dynamic-membership scenario suite: continuous churn, catastrophic
-//! correlated failure, and partition-and-heal.
+//! correlated failure, and partition-and-heal — generic over any
+//! [`ScenarioProtocol`], so every scenario runs against **both** lpbcast
+//! and the pbcast baseline and reports side-by-side rows.
 //!
 //! The paper's core claim (§4–§5) is robustness under process failures
 //! and dynamic membership, but the figure harnesses in [`experiment`]
@@ -8,80 +10,125 @@
 //! Scalable BRB — see PAPERS.md) make churn the headline scenario; this
 //! module does the same at n = 10⁴:
 //!
-//! * [`churn_scenario`] — nodes leave through the core §3.4 unsubscribe
-//!   path (timestamped `unSubs` records, lame-duck gossip, then actual
-//!   departure) while fresh nodes join mid-run through the §3.4
-//!   subscription handshake, all under sustained publication load;
+//! * [`churn_scenario`] — nodes leave through the protocol's departure
+//!   path (lpbcast: §3.4 timestamped `unSubs` records, lame-duck gossip,
+//!   then actual departure; pbcast has no unsubscription machinery, so
+//!   leavers depart silently and their stale view entries only decay by
+//!   eviction — the §3.4 contribution made measurable) while fresh nodes
+//!   join mid-run (lpbcast: the §3.4 subscription handshake; pbcast: a
+//!   newcomer whose partial membership starts from its contacts and
+//!   spreads through piggybacked subs), all under sustained publication
+//!   load;
 //! * [`catastrophe_scenario`] — a correlated failure crashes 25–50% of
 //!   all processes in a single round; reliability and latency are
 //!   measured before and after, plus the recovery time of a probe
 //!   broadcast through the surviving membership;
 //! * [`partition_scenario`] — two halves boot with views confined to
 //!   their own side (a §4.4 partition by construction), a handful of
-//!   `Subscribe` bridges are injected, and the time until the view graph
-//!   is whole again is measured with [`lpbcast_membership::ViewGraph`]
-//!   (undirected §4.4 connectivity and full strong connectivity).
+//!   bridge introductions are injected ([`ScenarioProtocol::bridge`]),
+//!   and the time until the view graph is whole again is measured with
+//!   [`lpbcast_membership::ViewGraph`] (undirected §4.4 connectivity and
+//!   full strong connectivity).
 //!
-//! Every scenario is a deterministic function of `(params, seed)`: all
-//! randomness flows from seed-derived [`SmallRng`] streams, node
-//! selection draws from the sorted alive-id list, and the multi-seed
-//! [`churn_sweep`] fans out with rayon while staying bit-identical to
-//! [`churn_sweep_serial`] (proven in `tests/sweep_determinism.rs`).
-//! `bench_sim` renders the three reports into `BENCH_sim.json`'s
-//! `scenarios` section and `results/scenarios.tsv`.
+//! Every scenario is a deterministic function of `(protocol, params,
+//! seed)`: all randomness flows from seed-derived [`SmallRng`] streams,
+//! node selection draws from the engine's incrementally maintained
+//! sorted alive-id list, and the multi-seed [`churn_sweep`] fans out
+//! with rayon while staying bit-identical to [`churn_sweep_serial`]
+//! (proven in `tests/sweep_determinism.rs`). `bench_sim` renders the
+//! per-protocol reports into `BENCH_sim.json`'s `scenarios` section and
+//! `results/scenarios.tsv`.
+//!
+//! [`experiment`]: crate::experiment
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use lpbcast_core::{Config, Lpbcast, Message};
-use lpbcast_types::{Payload, ProcessId};
+use lpbcast_pbcast::{GossipDigest, Membership, Pbcast, PbcastConfig, PbcastMessage};
+use lpbcast_types::{Payload, ProcessId, Protocol};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 use crate::engine::Engine;
-use crate::experiment::{
-    build_lpbcast_engine, sweep_dispatches_serial, InitialTopology, LpbcastSimParams,
-};
+use crate::experiment::sweep_dispatches_serial;
 use crate::network::{CrashPlan, NetworkModel};
-use crate::node::LpbcastNode;
-use crate::scale::scaled_params;
+use crate::scale::{scaled_buffer_bound, scaled_params, scaled_view_size};
 use crate::topology::{sample_distinct, sample_view_into};
 
-// ───────────────────────── continuous churn ──────────────────────────
+// ─────────────────────── the scenario protocol ────────────────────────
 
-/// Parameters of a continuous-churn run.
-#[derive(Debug, Clone)]
-pub struct ChurnParams {
-    /// Bootstrap membership size.
-    pub n0: usize,
-    /// Protocol configuration (shared by bootstrap members and joiners).
-    pub config: Config,
-    /// Message-loss probability ε.
-    pub loss_rate: f64,
-    /// Quiet rounds before churn starts (view mixing).
-    pub warmup: u64,
-    /// Rounds of active churn + publication load.
-    pub churn_rounds: u64,
-    /// Fresh processes joining per churn round (§3.4 handshake).
-    pub joins_per_round: usize,
-    /// Members unsubscribing per churn round (§3.4 leave path).
-    pub leaves_per_round: usize,
-    /// Rounds a leaver keeps gossiping (spreading its own
-    /// unsubscription) before it actually departs.
-    pub lame_duck: u64,
-    /// Events published per churn round from random alive origins.
-    pub rate: usize,
-    /// Quiet rounds after churn so late gossip settles.
-    pub drain: u64,
+/// A graceful-departure request was refused (lpbcast's §3.4 protection of
+/// the local `unSubs` buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaveRefused;
+
+/// The protocol-specific hooks the generic scenario drivers need on top
+/// of the sans-IO [`Protocol`] lifecycle: how to build members, how
+/// newcomers enter, how members leave, and what message bridges two
+/// membership islands.
+///
+/// Implemented for [`Lpbcast`] and [`Pbcast`]; every scenario, bench row
+/// and smoke test instantly covers any further implementation.
+pub trait ScenarioProtocol: Protocol + Sized + Send {
+    /// Scenario-level protocol configuration bundle.
+    type Cfg: Clone + fmt::Debug + Send + Sync;
+
+    /// Protocol label used in reports, TSV rows and `BENCH_sim.json`.
+    const NAME: &'static str;
+
+    /// The §5-scaled configuration at system size `n` (view/buffer
+    /// bounds growing with n as in [`crate::scale`]).
+    fn scaled_cfg(n: usize) -> Self::Cfg;
+
+    /// Adapts the configuration to a sustained leave rate (lpbcast sizes
+    /// its unsubscription plumbing; protocols without unsubscription
+    /// records ignore this).
+    fn size_for_leave_rate(cfg: &mut Self::Cfg, leaves_per_round: usize);
+
+    /// The view size `l` the configuration uses (drives topology
+    /// sampling).
+    fn view_size(cfg: &Self::Cfg) -> usize;
+
+    /// A bootstrap member whose view starts as `members`.
+    fn bootstrap(id: ProcessId, cfg: &Self::Cfg, seed: u64, members: Vec<ProcessId>) -> Self;
+
+    /// A newcomer entering the system through `contacts`.
+    fn joiner(id: ProcessId, cfg: &Self::Cfg, seed: u64, contacts: Vec<ProcessId>) -> Self;
+
+    /// Requests graceful departure.
+    ///
+    /// # Errors
+    ///
+    /// [`LeaveRefused`] when the protocol refuses the request (lpbcast's
+    /// full-`unSubs` protection); the harness counts refusals.
+    fn request_leave(&mut self) -> Result<(), LeaveRefused>;
+
+    /// Whether the join handshake is still pending (the §3.4 "received no
+    /// gossip yet" state; pbcast joiners complete on their first digest).
+    fn join_pending(&self) -> bool;
+
+    /// Whether the node is winding down after a leave request (lpbcast's
+    /// lame-duck phase).
+    fn leave_pending(&self) -> bool;
+
+    /// An out-of-band message introducing `from` into the receiver's
+    /// view — the §3.4 `Subscribe` for lpbcast, an empty subs-carrying
+    /// digest for pbcast. Used by the partition-heal bridges.
+    fn bridge(from: ProcessId) -> Self::Msg;
 }
 
-impl ChurnParams {
-    /// Churn at system size `n0` with the §5-scaled protocol
-    /// configuration from [`scaled_params`] (Compact digests, log-scaled
-    /// `l`): ~1% of the membership joins *and* leaves per round for 30
-    /// rounds under a 20 msg/round publication load.
-    ///
-    /// Unsubscription plumbing is sized to the leave rate: the number of
+impl ScenarioProtocol for Lpbcast {
+    type Cfg = Config;
+
+    const NAME: &'static str = "lpbcast";
+
+    fn scaled_cfg(n: usize) -> Config {
+        scaled_params(n).config
+    }
+
+    /// Unsubscription plumbing sized to the leave rate: the number of
     /// *live* (non-obsolete) unsubscription records in the system is
     /// ≈ `leaves_per_round × unsub_obsolescence`, so with the paper's
     /// fixed 15-entry buffer and 50-tick window a sustained 1%-per-round
@@ -94,12 +141,197 @@ impl ChurnParams {
     /// [`ChurnReport::leaves_refused`]. The growing unsubscription
     /// sections this implies in every gossip are the §3.4 design's
     /// documented scalability cost.
+    fn size_for_leave_rate(cfg: &mut Config, leaves_per_round: usize) {
+        cfg.unsub_obsolescence = 9;
+        cfg.unsubs_max = (leaves_per_round * 12).max(15);
+        cfg.unsub_refusal_threshold = (leaves_per_round * 9).max(12);
+    }
+
+    fn view_size(cfg: &Config) -> usize {
+        cfg.view_size
+    }
+
+    fn bootstrap(id: ProcessId, cfg: &Config, seed: u64, members: Vec<ProcessId>) -> Self {
+        Lpbcast::with_initial_view(id, cfg.clone(), seed, members)
+    }
+
+    fn joiner(id: ProcessId, cfg: &Config, seed: u64, contacts: Vec<ProcessId>) -> Self {
+        Lpbcast::joining(id, cfg.clone(), seed, contacts)
+    }
+
+    fn request_leave(&mut self) -> Result<(), LeaveRefused> {
+        self.unsubscribe().map_err(|_| LeaveRefused)
+    }
+
+    fn join_pending(&self) -> bool {
+        self.is_joining()
+    }
+
+    fn leave_pending(&self) -> bool {
+        self.is_leaving()
+    }
+
+    fn bridge(from: ProcessId) -> Message {
+        Message::Subscribe { subscriber: from }
+    }
+}
+
+/// Scenario configuration of the pbcast baseline: the protocol config
+/// plus the partial-membership view size the engine builders sample.
+#[derive(Debug, Clone)]
+pub struct PbcastScenarioCfg {
+    /// Protocol configuration.
+    pub config: PbcastConfig,
+    /// Partial-view size `l` (§6.2 membership layer).
+    pub view_size: usize,
+}
+
+impl ScenarioProtocol for Pbcast {
+    type Cfg = PbcastScenarioCfg;
+
+    const NAME: &'static str = "pbcast";
+
+    /// Figure-7-style pbcast (F = 5, anti-entropy only, §5.2
+    /// deliver-on-digest convention) on the §6.2 partial-view membership
+    /// layer, with buffers scaled like lpbcast's and the hop/repetition
+    /// budgets loosened — the Fig-7 defaults (6 hops, 2 repetitions) are
+    /// calibrated for n = 125 and strand the tail of a 10⁴-node system,
+    /// especially when crashed processes linger in partial views and
+    /// soak up fanout.
+    fn scaled_cfg(n: usize) -> PbcastScenarioCfg {
+        let bound = scaled_buffer_bound(n);
+        let max_hops = ((2.0 * (n.max(2) as f64).ln()).ceil() as u32).max(6);
+        let max_repetitions = ((n.max(2) as f64).ln().ceil() as u64).max(6);
+        PbcastScenarioCfg {
+            config: PbcastConfig::builder()
+                .first_phase(false)
+                .pull(false)
+                .deliver_on_digest(true)
+                .max_hops(max_hops)
+                .max_repetitions(max_repetitions)
+                .history_max(bound)
+                .store_max(bound * 2)
+                .build(),
+            view_size: scaled_view_size(n).min(n.saturating_sub(1).max(1)),
+        }
+    }
+
+    /// pbcast has no unsubscription records — nothing to size. The churn
+    /// comparison measures exactly this gap: leavers' stale view entries
+    /// linger until eviction churn replaces them.
+    fn size_for_leave_rate(_cfg: &mut PbcastScenarioCfg, _leaves_per_round: usize) {}
+
+    fn view_size(cfg: &PbcastScenarioCfg) -> usize {
+        cfg.view_size
+    }
+
+    fn bootstrap(
+        id: ProcessId,
+        cfg: &PbcastScenarioCfg,
+        seed: u64,
+        members: Vec<ProcessId>,
+    ) -> Self {
+        let membership = Membership::partial(id, cfg.view_size, cfg.config.subs_max, members);
+        Pbcast::new(id, cfg.config.clone(), seed, membership)
+    }
+
+    /// A pbcast newcomer knows only its contacts; its own subscription
+    /// piggybacks on every digest it sends, so the membership spreads
+    /// from there (§6.2).
+    fn joiner(id: ProcessId, cfg: &PbcastScenarioCfg, seed: u64, contacts: Vec<ProcessId>) -> Self {
+        Self::bootstrap(id, cfg, seed, contacts)
+    }
+
+    /// pbcast has no graceful-departure protocol: the request always
+    /// succeeds and the node simply stops existing when the harness
+    /// removes it. Peers discover nothing — their stale entries only
+    /// decay by view eviction.
+    fn request_leave(&mut self) -> Result<(), LeaveRefused> {
+        Ok(())
+    }
+
+    /// Mirrors lpbcast's "admitted upon receiving the first gossip": a
+    /// pbcast joiner is in once any digest reached it.
+    fn join_pending(&self) -> bool {
+        self.stats().digests_received == 0
+    }
+
+    fn leave_pending(&self) -> bool {
+        false
+    }
+
+    fn bridge(from: ProcessId) -> PbcastMessage {
+        PbcastMessage::digest(GossipDigest {
+            sender: from,
+            entries: Vec::new(),
+            subs: vec![from],
+        })
+    }
+}
+
+/// Builds an engine of `n` bootstrap members with uniformly random
+/// initial views of size [`ScenarioProtocol::view_size`] — the same
+/// topology stream as
+/// [`build_lpbcast_engine`](crate::experiment::build_lpbcast_engine).
+fn build_scenario_engine<P: ScenarioProtocol>(
+    n: usize,
+    cfg: &P::Cfg,
+    loss_rate: f64,
+    seed: u64,
+) -> Engine<P> {
+    let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x746F_706F_6C6F_6779);
+    let mut engine = Engine::new(NetworkModel::new(loss_rate, seed), CrashPlan::none());
+    let mut scratch = Vec::new();
+    for i in 0..n as u64 {
+        sample_view_into(&mut topo_rng, i, n, P::view_size(cfg), &mut scratch);
+        let members: Vec<ProcessId> = scratch.iter().copied().map(ProcessId::new).collect();
+        engine.add_node(P::bootstrap(
+            ProcessId::new(i),
+            cfg,
+            seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(i),
+            members,
+        ));
+    }
+    engine
+}
+
+// ───────────────────────── continuous churn ──────────────────────────
+
+/// Parameters of a continuous-churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnParams<P: ScenarioProtocol> {
+    /// Bootstrap membership size.
+    pub n0: usize,
+    /// Protocol configuration (shared by bootstrap members and joiners).
+    pub config: P::Cfg,
+    /// Message-loss probability ε.
+    pub loss_rate: f64,
+    /// Quiet rounds before churn starts (view mixing).
+    pub warmup: u64,
+    /// Rounds of active churn + publication load.
+    pub churn_rounds: u64,
+    /// Fresh processes joining per churn round.
+    pub joins_per_round: usize,
+    /// Members leaving per churn round.
+    pub leaves_per_round: usize,
+    /// Rounds a leaver keeps gossiping (spreading its own departure
+    /// record, where the protocol has one) before it actually departs.
+    pub lame_duck: u64,
+    /// Events published per churn round from random alive origins.
+    pub rate: usize,
+    /// Quiet rounds after churn so late gossip settles.
+    pub drain: u64,
+}
+
+impl<P: ScenarioProtocol> ChurnParams<P> {
+    /// Churn at system size `n0` with the §5-scaled protocol
+    /// configuration ([`ScenarioProtocol::scaled_cfg`], leave-rate
+    /// adapted): ~1% of the membership joins *and* leaves per round for
+    /// 30 rounds under a 20 msg/round publication load.
     pub fn scaled(n0: usize) -> Self {
         let leaves_per_round = (n0 / 100).max(1);
-        let mut config = scaled_params(n0).config;
-        config.unsub_obsolescence = 9;
-        config.unsubs_max = (leaves_per_round * 12).max(15);
-        config.unsub_refusal_threshold = (leaves_per_round * 9).max(12);
+        let mut config = P::scaled_cfg(n0);
+        P::size_for_leave_rate(&mut config, leaves_per_round);
         ChurnParams {
             n0,
             config,
@@ -118,6 +350,8 @@ impl ChurnParams {
 /// Outcome of one churn run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChurnReport {
+    /// Protocol the run exercised ([`ScenarioProtocol::NAME`]).
+    pub protocol: &'static str,
     /// Bootstrap size.
     pub n0: usize,
     /// Membership size when the run ended.
@@ -126,9 +360,10 @@ pub struct ChurnReport {
     pub joins_attempted: usize,
     /// Joiners whose handshake completed (first gossip received).
     pub joins_completed: usize,
-    /// Unsubscriptions accepted by the core leave path.
+    /// Departure requests accepted by the protocol's leave path.
     pub leaves_completed: usize,
-    /// Unsubscriptions refused (§3.4 full-`unSubs` protection).
+    /// Departure requests refused (lpbcast's §3.4 full-`unSubs`
+    /// protection; always 0 for protocols without one).
     pub leaves_refused: usize,
     /// Mean delivery reliability of the windowed events, against the
     /// end-of-run membership.
@@ -141,38 +376,40 @@ pub struct ChurnReport {
     pub partitioned_at_end: bool,
 }
 
-/// Runs one continuous-churn scenario. Deterministic per `(params, seed)`.
-pub fn churn_scenario(params: &ChurnParams, seed: u64) -> ChurnReport {
-    let total_rounds = params.warmup + params.churn_rounds + params.drain;
-    let sim = LpbcastSimParams {
-        n: params.n0,
-        config: params.config.clone(),
-        loss_rate: params.loss_rate,
-        tau: 0.0, // churn is the fault process here, not random crashes
-        rounds: total_rounds,
-        topology: InitialTopology::UniformRandom,
-    };
-    let mut engine = build_lpbcast_engine(&sim, seed);
+/// Runs one continuous-churn scenario. Deterministic per
+/// `(P, params, seed)`.
+pub fn churn_scenario<P: ScenarioProtocol>(params: &ChurnParams<P>, seed: u64) -> ChurnReport {
+    let mut engine = build_scenario_engine::<P>(params.n0, &params.config, params.loss_rate, seed);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x6368_7572_6E5F_7267); // "churn_rg"
     engine.run(params.warmup);
 
     let window_start = engine.round();
     let mut next_id = params.n0 as u64;
     let mut contact_scratch: Vec<u64> = Vec::new();
+    let mut alive: Vec<ProcessId> = Vec::new();
     let mut departures: VecDeque<(u64, ProcessId)> = VecDeque::new();
+    // Harness-side view of who is already scheduled to depart: protocols
+    // without a lame-duck state (pbcast's `leave_pending` is always
+    // false) would otherwise be picked as leavers twice during their
+    // departure window, double-counting leaves and departed joiners.
+    let mut departing: lpbcast_types::FastSet<ProcessId> = lpbcast_types::FastSet::default();
     let mut joins_attempted = 0usize;
     let mut departed_joiners = 0usize;
     let mut leaves_completed = 0usize;
     let mut leaves_refused = 0usize;
 
     for _ in 0..params.churn_rounds {
-        let alive = engine.alive_ids();
+        // Round-start snapshot of the (incrementally maintained, already
+        // sorted) alive list — one memcpy, no sort.
+        alive.clear();
+        alive.extend_from_slice(engine.alive_ids());
 
-        // Joins: newcomers enter through the §3.4 handshake. Each gets
-        // three distinct alive contacts (drawn with the Floyd sampler) —
-        // under churn a single contact may itself leave before admitting
-        // the newcomer, which would strand the joiner forever; the §3.4
-        // round-robin retry routes around departed contacts.
+        // Joins: newcomers enter through the protocol's join path. Each
+        // gets three distinct alive contacts (drawn with the Floyd
+        // sampler) — under churn a single contact may itself leave
+        // before admitting the newcomer, which would strand an lpbcast
+        // joiner forever; the §3.4 round-robin retry routes around
+        // departed contacts.
         for _ in 0..params.joins_per_round {
             sample_distinct(
                 &mut rng,
@@ -185,40 +422,45 @@ pub fn churn_scenario(params: &ChurnParams, seed: u64) -> ChurnReport {
             let id = ProcessId::new(next_id);
             next_id += 1;
             joins_attempted += 1;
-            engine.add_node(LpbcastNode::new(Lpbcast::joining(
+            engine.add_node(P::joiner(
                 id,
-                params.config.clone(),
+                &params.config,
                 seed.wrapping_mul(0x5851_F42D_4C95_7F2D)
                     .wrapping_add(id.as_u64()),
                 contacts,
-            )));
+            ));
         }
 
-        // Leaves: random members take the core unsubscribe path; their
-        // timestamped record rides the lame-duck gossip, then they
-        // depart for real.
+        // Leaves: random members take the protocol's departure path;
+        // where a departure record exists it rides the lame-duck gossip,
+        // then the node departs for real.
         for _ in 0..params.leaves_per_round {
             for _attempt in 0..8 {
                 let candidate = alive[rng.gen_range(0..alive.len())];
+                if departing.contains(&candidate) {
+                    continue;
+                }
                 let Some(node) = engine.node_mut(candidate) else {
                     continue;
                 };
-                if node.process().is_leaving() || node.process().is_joining() {
+                if node.leave_pending() || node.join_pending() {
                     continue;
                 }
-                match node.process_mut().unsubscribe() {
+                match node.request_leave() {
                     Ok(()) => {
                         leaves_completed += 1;
                         // A joiner is only eligible to leave once its
-                        // handshake completed (is_joining was checked), so
-                        // a departing joiner still counts as a completed
-                        // join below even though its node is removed.
+                        // handshake completed (join_pending was checked),
+                        // so a departing joiner still counts as a
+                        // completed join below even though its node is
+                        // removed.
                         if candidate.as_u64() >= params.n0 as u64 {
                             departed_joiners += 1;
                         }
+                        departing.insert(candidate);
                         departures.push_back((engine.round() + params.lame_duck, candidate));
                     }
-                    Err(_) => leaves_refused += 1,
+                    Err(LeaveRefused) => leaves_refused += 1,
                 }
                 break;
             }
@@ -257,7 +499,7 @@ pub fn churn_scenario(params: &ChurnParams, seed: u64) -> ChurnReport {
         }
     }
     // Anyone whose lame duck outlasts the drain departs now: their
-    // unsubscription succeeded, so they are leavers, not members.
+    // departure request succeeded, so they are leavers, not members.
     for (_, id) in departures {
         engine.remove_node(id);
     }
@@ -267,7 +509,7 @@ pub fn churn_scenario(params: &ChurnParams, seed: u64) -> ChurnReport {
             .filter(|&id| {
                 engine
                     .node(ProcessId::new(id))
-                    .is_some_and(|node| !node.process().is_joining())
+                    .is_some_and(|node| !node.join_pending())
             })
             .count();
     // Per-event delivery fraction against the end-of-run membership,
@@ -289,6 +531,7 @@ pub fn churn_scenario(params: &ChurnParams, seed: u64) -> ChurnReport {
         )
     };
     ChurnReport {
+        protocol: P::NAME,
         n0: params.n0,
         final_members: population,
         joins_attempted,
@@ -306,7 +549,10 @@ pub fn churn_scenario(params: &ChurnParams, seed: u64) -> ChurnReport {
 /// back in seed order and are bit-identical to [`churn_sweep_serial`]
 /// regardless of the worker count (each seed owns an independent engine
 /// and RNG streams).
-pub fn churn_sweep(params: &ChurnParams, seeds: &[u64]) -> Vec<ChurnReport> {
+pub fn churn_sweep<P: ScenarioProtocol>(
+    params: &ChurnParams<P>,
+    seeds: &[u64],
+) -> Vec<ChurnReport> {
     if sweep_dispatches_serial(seeds.len()) {
         return churn_sweep_serial(params, seeds);
     }
@@ -317,7 +563,10 @@ pub fn churn_sweep(params: &ChurnParams, seeds: &[u64]) -> Vec<ChurnReport> {
 }
 
 /// Single-threaded [`churn_sweep`] (determinism reference).
-pub fn churn_sweep_serial(params: &ChurnParams, seeds: &[u64]) -> Vec<ChurnReport> {
+pub fn churn_sweep_serial<P: ScenarioProtocol>(
+    params: &ChurnParams<P>,
+    seeds: &[u64],
+) -> Vec<ChurnReport> {
     seeds.iter().map(|&s| churn_scenario(params, s)).collect()
 }
 
@@ -325,11 +574,11 @@ pub fn churn_sweep_serial(params: &ChurnParams, seeds: &[u64]) -> Vec<ChurnRepor
 
 /// Parameters of a catastrophic-failure run.
 #[derive(Debug, Clone)]
-pub struct CatastropheParams {
+pub struct CatastropheParams<P: ScenarioProtocol> {
     /// System size.
     pub n: usize,
     /// Protocol configuration.
-    pub config: Config,
+    pub config: P::Cfg,
     /// Message-loss probability ε.
     pub loss_rate: f64,
     /// Fraction of all processes crashed in the failure round
@@ -349,13 +598,13 @@ pub struct CatastropheParams {
     pub max_recovery_rounds: u64,
 }
 
-impl CatastropheParams {
+impl<P: ScenarioProtocol> CatastropheParams<P> {
     /// Catastrophe at size `n` with the §5-scaled configuration: 30% of
     /// the membership crashes in one round under a 20 msg/round load.
     pub fn scaled(n: usize) -> Self {
         CatastropheParams {
             n,
-            config: scaled_params(n).config,
+            config: P::scaled_cfg(n),
             loss_rate: 0.05,
             crash_fraction: 0.30,
             warmup: 5,
@@ -371,6 +620,8 @@ impl CatastropheParams {
 /// Outcome of one catastrophic-failure run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CatastropheReport {
+    /// Protocol the run exercised ([`ScenarioProtocol::NAME`]).
+    pub protocol: &'static str,
     /// System size.
     pub n: usize,
     /// Processes crashed in the failure round.
@@ -397,26 +648,16 @@ pub struct CatastropheReport {
 }
 
 /// Runs one catastrophic correlated failure. Deterministic per
-/// `(params, seed)`.
-pub fn catastrophe_scenario(params: &CatastropheParams, seed: u64) -> CatastropheReport {
+/// `(P, params, seed)`.
+pub fn catastrophe_scenario<P: ScenarioProtocol>(
+    params: &CatastropheParams<P>,
+    seed: u64,
+) -> CatastropheReport {
     assert!(
         (0.0..1.0).contains(&params.crash_fraction),
         "crash fraction must be in [0, 1)"
     );
-    let total_rounds = params.warmup
-        + params.pre_rounds
-        + params.post_rounds
-        + 2 * params.drain
-        + params.max_recovery_rounds;
-    let sim = LpbcastSimParams {
-        n: params.n,
-        config: params.config.clone(),
-        loss_rate: params.loss_rate,
-        tau: 0.0, // the correlated failure below is the fault model
-        rounds: total_rounds,
-        topology: InitialTopology::UniformRandom,
-    };
-    let mut engine = build_lpbcast_engine(&sim, seed);
+    let mut engine = build_scenario_engine::<P>(params.n, &params.config, params.loss_rate, seed);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x6361_7461_7374_726F); // "catastro"
     engine.run(params.warmup);
 
@@ -471,6 +712,7 @@ pub fn catastrophe_scenario(params: &CatastropheParams, seed: u64) -> Catastroph
         .mean;
 
     CatastropheReport {
+        protocol: P::NAME,
         n: params.n,
         crashed,
         survivors,
@@ -485,9 +727,16 @@ pub fn catastrophe_scenario(params: &CatastropheParams, seed: u64) -> Catastroph
 
 /// Publishes `rate` events per round from random alive origins for
 /// `rounds` rounds (the Fig. 6 load shape).
-fn loaded_rounds(engine: &mut Engine<LpbcastNode>, rng: &mut SmallRng, rounds: u64, rate: usize) {
+fn loaded_rounds<P: Protocol>(
+    engine: &mut Engine<P>,
+    rng: &mut SmallRng,
+    rounds: u64,
+    rate: usize,
+) {
+    let mut alive = Vec::new();
     for _ in 0..rounds {
-        let alive = engine.alive_ids();
+        alive.clear();
+        alive.extend_from_slice(engine.alive_ids());
         for _ in 0..rate {
             let origin = alive[rng.gen_range(0..alive.len())];
             engine.publish_from(origin, Payload::from_static(b"load"));
@@ -500,17 +749,17 @@ fn loaded_rounds(engine: &mut Engine<LpbcastNode>, rng: &mut SmallRng, rounds: u
 
 /// Parameters of a partition-and-heal run.
 #[derive(Debug, Clone)]
-pub struct PartitionParams {
+pub struct PartitionParams<P: ScenarioProtocol> {
     /// Total system size; the bootstrap splits it into two halves whose
     /// views never cross the divide.
     pub n: usize,
     /// Protocol configuration.
-    pub config: Config,
+    pub config: P::Cfg,
     /// Message-loss probability ε.
     pub loss_rate: f64,
     /// Rounds the two sides run in isolation before healing starts.
     pub isolated_rounds: u64,
-    /// `Subscribe` bridges injected from the second half into the first
+    /// Bridge introductions injected from the second half into the first
     /// to start the heal.
     pub bridges: usize,
     /// Cap on the heal measurement.
@@ -519,13 +768,13 @@ pub struct PartitionParams {
     pub probe_rounds: u64,
 }
 
-impl PartitionParams {
+impl<P: ScenarioProtocol> PartitionParams<P> {
     /// Partition at size `n` with the §5-scaled configuration: two
-    /// halves, four bridge subscriptions.
+    /// halves, four bridge introductions.
     pub fn scaled(n: usize) -> Self {
         PartitionParams {
             n,
-            config: scaled_params(n).config,
+            config: P::scaled_cfg(n),
             loss_rate: 0.05,
             isolated_rounds: 5,
             bridges: 4,
@@ -538,6 +787,8 @@ impl PartitionParams {
 /// Outcome of one partition-and-heal run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartitionReport {
+    /// Protocol the run exercised ([`ScenarioProtocol::NAME`]).
+    pub protocol: &'static str,
     /// System size.
     pub n: usize,
     /// Undirected view-graph components before healing (2 by
@@ -558,16 +809,20 @@ pub struct PartitionReport {
 }
 
 /// Runs one partition-and-heal scenario. Deterministic per
-/// `(params, seed)`.
+/// `(P, params, seed)`.
 ///
 /// # Panics
 ///
 /// Panics if `params.n < 4` (each side needs at least two processes).
-pub fn partition_scenario(params: &PartitionParams, seed: u64) -> PartitionReport {
+pub fn partition_scenario<P: ScenarioProtocol>(
+    params: &PartitionParams<P>,
+    seed: u64,
+) -> PartitionReport {
     assert!(params.n >= 4, "need at least two processes per side");
     let split = params.n / 2;
+    let view_size = P::view_size(&params.config);
     let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x746F_706F_6C6F_6779);
-    let mut engine: Engine<LpbcastNode> =
+    let mut engine: Engine<P> =
         Engine::new(NetworkModel::new(params.loss_rate, seed), CrashPlan::none());
     let mut scratch = Vec::new();
     for i in 0..params.n as u64 {
@@ -579,21 +834,15 @@ pub fn partition_scenario(params: &PartitionParams, seed: u64) -> PartitionRepor
         } else {
             (split as u64, params.n - split)
         };
-        sample_view_into(
-            &mut topo_rng,
-            i - base,
-            size,
-            params.config.view_size,
-            &mut scratch,
-        );
+        sample_view_into(&mut topo_rng, i - base, size, view_size, &mut scratch);
         let members: Vec<ProcessId> = scratch.iter().map(|&v| ProcessId::new(base + v)).collect();
         debug_assert!(members.iter().all(|&p| p != ProcessId::new(i)));
-        engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
+        engine.add_node(P::bootstrap(
             ProcessId::new(i),
-            params.config.clone(),
+            &params.config,
             seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(i),
             members,
-        )));
+        ));
     }
     let components = engine.view_graph().undirected_components();
     let components_before = components.count();
@@ -601,13 +850,13 @@ pub fn partition_scenario(params: &PartitionParams, seed: u64) -> PartitionRepor
     debug_assert!(engine.view_graph().is_partitioned(), "built partitioned");
     engine.run(params.isolated_rounds);
 
-    // ── Heal: side-B processes subscribe through side-A contacts ──────
-    // A single Subscribe is not enough to heal reliably: the lone cross
-    // entry it creates competes with the full-view eviction churn and can
-    // die out of circulation entirely (observed at l = 6). Real §3.4
-    // processes re-emit their subscription on a timeout until they
+    // ── Heal: side-B processes introduce themselves to side-A ─────────
+    // A single introduction is not enough to heal reliably: the lone
+    // cross entry it creates competes with the full-view eviction churn
+    // and can die out of circulation entirely (observed at l = 6). Real
+    // §3.4 processes re-emit their subscription on a timeout until they
     // "experience more and more gossip" — the bridges do the same here,
-    // re-subscribing every round until the membership is whole.
+    // re-introducing every round until the membership is whole.
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x6865_616C_6272_6467); // "healbrdg"
     let bridges: Vec<(ProcessId, ProcessId)> = (0..params.bridges.max(1))
         .map(|_| {
@@ -621,7 +870,7 @@ pub fn partition_scenario(params: &PartitionParams, seed: u64) -> PartitionRepor
     let mut rounds_to_heal = None;
     for _ in 0..params.max_heal_rounds {
         for &(from, to) in &bridges {
-            engine.enqueue(from, to, Message::Subscribe { subscriber: from });
+            engine.enqueue(from, to, P::bridge(from));
         }
         engine.step();
         let graph = engine.view_graph();
@@ -638,6 +887,7 @@ pub fn partition_scenario(params: &PartitionParams, seed: u64) -> PartitionRepor
     let probe = engine.publish_from(ProcessId::new(0), Payload::from_static(b"healed"));
     engine.run(params.probe_rounds);
     PartitionReport {
+        protocol: P::NAME,
         n: params.n,
         components_before,
         largest_component_before,
@@ -649,143 +899,186 @@ pub fn partition_scenario(params: &PartitionParams, seed: u64) -> PartitionRepor
 
 // ────────────────────────────── reporting ────────────────────────────
 
-/// Renders the three scenario reports as a long-format TSV figure
-/// (`scenario  n  metric  value`), written to `results/scenarios.tsv` by
-/// `bench_sim`.
-pub fn scenarios_tsv(
-    churn: &ChurnReport,
-    catastrophe: &CatastropheReport,
-    partition: &PartitionReport,
-) -> String {
+/// One protocol's full scenario-suite run: the three reports plus their
+/// wall-clock costs (`bench_sim` gates the timings cross-run).
+#[derive(Debug, Clone)]
+pub struct ScenarioSuite {
+    /// Protocol label ([`ScenarioProtocol::NAME`]).
+    pub protocol: &'static str,
+    /// Continuous-churn report.
+    pub churn: ChurnReport,
+    /// Catastrophic-failure report.
+    pub catastrophe: CatastropheReport,
+    /// Partition-and-heal report.
+    pub partition: PartitionReport,
+    /// Wall-clock of the churn run (ms).
+    pub churn_wall_ms: f64,
+    /// Wall-clock of the catastrophe run (ms).
+    pub catastrophe_wall_ms: f64,
+    /// Wall-clock of the partition run (ms).
+    pub partition_wall_ms: f64,
+}
+
+/// Runs all three scenarios for one protocol at size `n` with the scaled
+/// parameter sets, timing each.
+pub fn run_scenario_suite<P: ScenarioProtocol>(n: usize, seed: u64) -> ScenarioSuite {
+    use std::time::Instant;
+    let t = Instant::now();
+    let churn = churn_scenario(&ChurnParams::<P>::scaled(n), seed);
+    let churn_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let catastrophe = catastrophe_scenario(&CatastropheParams::<P>::scaled(n), seed);
+    let catastrophe_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let partition = partition_scenario(&PartitionParams::<P>::scaled(n.max(4)), seed);
+    let partition_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    ScenarioSuite {
+        protocol: P::NAME,
+        churn,
+        catastrophe,
+        partition,
+        churn_wall_ms,
+        catastrophe_wall_ms,
+        partition_wall_ms,
+    }
+}
+
+/// Renders per-protocol scenario reports as a long-format TSV figure
+/// (`scenario  protocol  n  metric  value`), written to
+/// `results/scenarios.tsv` by `bench_sim`. Side-by-side comparison is a
+/// `sort -k1,1 -k3,3` away.
+pub fn scenarios_tsv(suites: &[ScenarioSuite]) -> String {
     use std::fmt::Write as _;
     let mut out = String::from(
-        "# lpbcast scenario suite: continuous churn, catastrophic failure, partition-and-heal\n\
-         # (see lpbcast_sim::scenario; deterministic per seed)\n\
-         scenario\tn\tmetric\tvalue\n",
+        "# scenario suite: continuous churn, catastrophic failure, partition-and-heal\n\
+         # one row set per protocol (see lpbcast_sim::scenario; deterministic per seed)\n\
+         scenario\tprotocol\tn\tmetric\tvalue\n",
     );
-    let mut row = |scenario: &str, n: usize, metric: &str, value: String| {
-        let _ = writeln!(out, "{scenario}\t{n}\t{metric}\t{value}");
-    };
     let opt = |v: Option<u64>| v.map_or_else(|| "never".into(), |r| r.to_string());
-    row(
-        "churn",
-        churn.n0,
-        "final_members",
-        churn.final_members.to_string(),
-    );
-    row(
-        "churn",
-        churn.n0,
-        "joins_attempted",
-        churn.joins_attempted.to_string(),
-    );
-    row(
-        "churn",
-        churn.n0,
-        "joins_completed",
-        churn.joins_completed.to_string(),
-    );
-    row(
-        "churn",
-        churn.n0,
-        "leaves_completed",
-        churn.leaves_completed.to_string(),
-    );
-    row(
-        "churn",
-        churn.n0,
-        "leaves_refused",
-        churn.leaves_refused.to_string(),
-    );
-    row(
-        "churn",
-        churn.n0,
-        "mean_reliability",
-        format!("{:.5}", churn.mean_reliability),
-    );
-    row(
-        "churn",
-        churn.n0,
-        "min_reliability",
-        format!("{:.5}", churn.min_reliability),
-    );
-    row(
-        "churn",
-        churn.n0,
-        "events_measured",
-        churn.events_measured.to_string(),
-    );
-    row(
-        "churn",
-        churn.n0,
-        "partitioned_at_end",
-        churn.partitioned_at_end.to_string(),
-    );
-    let c = catastrophe;
-    row("catastrophe", c.n, "crashed", c.crashed.to_string());
-    row("catastrophe", c.n, "survivors", c.survivors.to_string());
-    row(
-        "catastrophe",
-        c.n,
-        "reliability_before",
-        format!("{:.5}", c.reliability_before),
-    );
-    row(
-        "catastrophe",
-        c.n,
-        "reliability_after",
-        format!("{:.5}", c.reliability_after),
-    );
-    row(
-        "catastrophe",
-        c.n,
-        "latency_before_rounds",
-        format!("{:.3}", c.latency_before),
-    );
-    row(
-        "catastrophe",
-        c.n,
-        "latency_after_rounds",
-        format!("{:.3}", c.latency_after),
-    );
-    row(
-        "catastrophe",
-        c.n,
-        "recovery_rounds",
-        opt(c.recovery_rounds),
-    );
-    row(
-        "catastrophe",
-        c.n,
-        "partitioned_after",
-        c.partitioned_after.to_string(),
-    );
-    let p = partition;
-    row(
-        "partition",
-        p.n,
-        "components_before",
-        p.components_before.to_string(),
-    );
-    row(
-        "partition",
-        p.n,
-        "largest_component_before",
-        p.largest_component_before.to_string(),
-    );
-    row(
-        "partition",
-        p.n,
-        "rounds_to_connect",
-        opt(p.rounds_to_connect),
-    );
-    row("partition", p.n, "rounds_to_heal", opt(p.rounds_to_heal));
-    row(
-        "partition",
-        p.n,
-        "post_heal_reliability",
-        format!("{:.5}", p.post_heal_reliability),
-    );
+    for suite in suites {
+        let mut row = |scenario: &str, n: usize, metric: &str, value: String| {
+            let _ = writeln!(
+                out,
+                "{scenario}\t{}\t{n}\t{metric}\t{value}",
+                suite.protocol
+            );
+        };
+        let c = &suite.churn;
+        row("churn", c.n0, "final_members", c.final_members.to_string());
+        row(
+            "churn",
+            c.n0,
+            "joins_attempted",
+            c.joins_attempted.to_string(),
+        );
+        row(
+            "churn",
+            c.n0,
+            "joins_completed",
+            c.joins_completed.to_string(),
+        );
+        row(
+            "churn",
+            c.n0,
+            "leaves_completed",
+            c.leaves_completed.to_string(),
+        );
+        row(
+            "churn",
+            c.n0,
+            "leaves_refused",
+            c.leaves_refused.to_string(),
+        );
+        row(
+            "churn",
+            c.n0,
+            "mean_reliability",
+            format!("{:.5}", c.mean_reliability),
+        );
+        row(
+            "churn",
+            c.n0,
+            "min_reliability",
+            format!("{:.5}", c.min_reliability),
+        );
+        row(
+            "churn",
+            c.n0,
+            "events_measured",
+            c.events_measured.to_string(),
+        );
+        row(
+            "churn",
+            c.n0,
+            "partitioned_at_end",
+            c.partitioned_at_end.to_string(),
+        );
+        let c = &suite.catastrophe;
+        row("catastrophe", c.n, "crashed", c.crashed.to_string());
+        row("catastrophe", c.n, "survivors", c.survivors.to_string());
+        row(
+            "catastrophe",
+            c.n,
+            "reliability_before",
+            format!("{:.5}", c.reliability_before),
+        );
+        row(
+            "catastrophe",
+            c.n,
+            "reliability_after",
+            format!("{:.5}", c.reliability_after),
+        );
+        row(
+            "catastrophe",
+            c.n,
+            "latency_before_rounds",
+            format!("{:.3}", c.latency_before),
+        );
+        row(
+            "catastrophe",
+            c.n,
+            "latency_after_rounds",
+            format!("{:.3}", c.latency_after),
+        );
+        row(
+            "catastrophe",
+            c.n,
+            "recovery_rounds",
+            opt(c.recovery_rounds),
+        );
+        row(
+            "catastrophe",
+            c.n,
+            "partitioned_after",
+            c.partitioned_after.to_string(),
+        );
+        let p = &suite.partition;
+        row(
+            "partition",
+            p.n,
+            "components_before",
+            p.components_before.to_string(),
+        );
+        row(
+            "partition",
+            p.n,
+            "largest_component_before",
+            p.largest_component_before.to_string(),
+        );
+        row(
+            "partition",
+            p.n,
+            "rounds_to_connect",
+            opt(p.rounds_to_connect),
+        );
+        row("partition", p.n, "rounds_to_heal", opt(p.rounds_to_heal));
+        row(
+            "partition",
+            p.n,
+            "post_heal_reliability",
+            format!("{:.5}", p.post_heal_reliability),
+        );
+    }
     out
 }
 
@@ -803,7 +1096,22 @@ mod tests {
             .build()
     }
 
-    fn small_churn() -> ChurnParams {
+    fn small_pbcast_config() -> PbcastScenarioCfg {
+        PbcastScenarioCfg {
+            config: PbcastConfig::builder()
+                .first_phase(false)
+                .pull(false)
+                .deliver_on_digest(true)
+                .max_hops(12)
+                .max_repetitions(6)
+                .history_max(256)
+                .store_max(512)
+                .build(),
+            view_size: 6,
+        }
+    }
+
+    fn small_churn() -> ChurnParams<Lpbcast> {
         ChurnParams {
             n0: 40,
             config: small_config(),
@@ -821,6 +1129,7 @@ mod tests {
     #[test]
     fn churn_keeps_disseminating() {
         let report = churn_scenario(&small_churn(), 7);
+        assert_eq!(report.protocol, "lpbcast");
         assert_eq!(report.joins_attempted, 20);
         assert!(
             report.joins_completed > 10,
@@ -840,6 +1149,47 @@ mod tests {
     }
 
     #[test]
+    fn pbcast_churn_runs_and_joins() {
+        let params: ChurnParams<Pbcast> = ChurnParams {
+            n0: 40,
+            config: small_pbcast_config(),
+            loss_rate: 0.05,
+            warmup: 4,
+            churn_rounds: 10,
+            joins_per_round: 2,
+            leaves_per_round: 2,
+            lame_duck: 2,
+            rate: 4,
+            drain: 8,
+        };
+        let report = churn_scenario(&params, 7);
+        assert_eq!(report.protocol, "pbcast");
+        assert_eq!(report.joins_attempted, 20);
+        assert!(
+            report.joins_completed <= report.joins_attempted,
+            "a joiner can complete at most once: {report:?}"
+        );
+        assert!(
+            report.leaves_completed <= 20,
+            "a member can leave at most once: {report:?}"
+        );
+        assert!(
+            report.joins_completed > 10,
+            "pbcast joiners admitted through digests: {report:?}"
+        );
+        assert!(report.leaves_completed > 0, "{report:?}");
+        assert_eq!(
+            report.leaves_refused, 0,
+            "pbcast has no refusal machinery: {report:?}"
+        );
+        assert!(
+            report.mean_reliability > 0.5,
+            "anti-entropy keeps disseminating under churn: {report:?}"
+        );
+        assert!(report.mean_reliability <= 1.0, "{report:?}");
+    }
+
+    #[test]
     fn churn_is_deterministic_per_seed() {
         let params = small_churn();
         assert_eq!(churn_scenario(&params, 5), churn_scenario(&params, 5));
@@ -847,7 +1197,7 @@ mod tests {
 
     #[test]
     fn catastrophe_recovers() {
-        let params = CatastropheParams {
+        let params: CatastropheParams<Lpbcast> = CatastropheParams {
             n: 60,
             config: small_config(),
             loss_rate: 0.05,
@@ -878,8 +1228,35 @@ mod tests {
     }
 
     #[test]
+    fn pbcast_catastrophe_recovers() {
+        let params: CatastropheParams<Pbcast> = CatastropheParams {
+            n: 60,
+            config: small_pbcast_config(),
+            loss_rate: 0.05,
+            crash_fraction: 0.4,
+            warmup: 4,
+            pre_rounds: 6,
+            post_rounds: 6,
+            rate: 5,
+            drain: 8,
+            max_recovery_rounds: 25,
+        };
+        let report = catastrophe_scenario(&params, 11);
+        assert_eq!(report.protocol, "pbcast");
+        assert_eq!(report.crashed, 24);
+        assert!(
+            report.reliability_before > 0.8,
+            "healthy before: {report:?}"
+        );
+        assert!(
+            report.recovery_rounds.is_some(),
+            "anti-entropy re-reaches survivors: {report:?}"
+        );
+    }
+
+    #[test]
     fn catastrophe_is_deterministic_per_seed() {
-        let params = CatastropheParams {
+        let params: CatastropheParams<Lpbcast> = CatastropheParams {
             n: 40,
             config: small_config(),
             loss_rate: 0.05,
@@ -899,7 +1276,7 @@ mod tests {
 
     #[test]
     fn partition_heals_through_bridges() {
-        let params = PartitionParams {
+        let params: PartitionParams<Lpbcast> = PartitionParams {
             n: 60,
             config: small_config(),
             loss_rate: 0.05,
@@ -924,8 +1301,32 @@ mod tests {
     }
 
     #[test]
+    fn pbcast_partition_heals_through_digest_bridges() {
+        let params: PartitionParams<Pbcast> = PartitionParams {
+            n: 60,
+            config: small_pbcast_config(),
+            loss_rate: 0.05,
+            isolated_rounds: 4,
+            bridges: 3,
+            max_heal_rounds: 60,
+            probe_rounds: 25,
+        };
+        let report = partition_scenario(&params, 9);
+        assert_eq!(report.protocol, "pbcast");
+        assert_eq!(report.components_before, 2, "{report:?}");
+        assert!(
+            report.rounds_to_connect.is_some(),
+            "subs-carrying digests reconnect the membership: {report:?}"
+        );
+        assert!(
+            report.post_heal_reliability > 0.8,
+            "broadcast crosses the healed divide: {report:?}"
+        );
+    }
+
+    #[test]
     fn partition_is_deterministic_per_seed() {
-        let params = PartitionParams {
+        let params: PartitionParams<Lpbcast> = PartitionParams {
             n: 30,
             config: small_config(),
             loss_rate: 0.05,
@@ -941,46 +1342,55 @@ mod tests {
     }
 
     #[test]
-    fn tsv_contains_all_scenarios() {
-        let churn = churn_scenario(&small_churn(), 1);
-        let cata = catastrophe_scenario(
-            &CatastropheParams {
-                n: 30,
-                config: small_config(),
-                loss_rate: 0.0,
-                crash_fraction: 0.3,
-                warmup: 2,
-                pre_rounds: 3,
-                post_rounds: 3,
-                rate: 2,
-                drain: 4,
-                max_recovery_rounds: 12,
-            },
-            1,
-        );
-        let part = partition_scenario(
-            &PartitionParams {
-                n: 20,
-                config: small_config(),
-                loss_rate: 0.0,
-                isolated_rounds: 2,
-                bridges: 2,
-                max_heal_rounds: 20,
-                probe_rounds: 10,
-            },
-            1,
-        );
-        let tsv = scenarios_tsv(&churn, &cata, &part);
+    fn tsv_contains_both_protocols() {
+        let lp = ScenarioSuite {
+            protocol: "lpbcast",
+            churn: churn_scenario(&small_churn(), 1),
+            catastrophe: catastrophe_scenario(
+                &CatastropheParams::<Lpbcast> {
+                    n: 30,
+                    config: small_config(),
+                    loss_rate: 0.0,
+                    crash_fraction: 0.3,
+                    warmup: 2,
+                    pre_rounds: 3,
+                    post_rounds: 3,
+                    rate: 2,
+                    drain: 4,
+                    max_recovery_rounds: 12,
+                },
+                1,
+            ),
+            partition: partition_scenario(
+                &PartitionParams::<Lpbcast> {
+                    n: 20,
+                    config: small_config(),
+                    loss_rate: 0.0,
+                    isolated_rounds: 2,
+                    bridges: 2,
+                    max_heal_rounds: 20,
+                    probe_rounds: 10,
+                },
+                1,
+            ),
+            churn_wall_ms: 1.0,
+            catastrophe_wall_ms: 1.0,
+            partition_wall_ms: 1.0,
+        };
+        let mut pb = lp.clone();
+        pb.protocol = "pbcast";
+        let tsv = scenarios_tsv(&[lp, pb]);
         for needle in [
-            "churn\t",
-            "catastrophe\t",
-            "partition\t",
+            "churn\tlpbcast\t",
+            "churn\tpbcast\t",
+            "catastrophe\tlpbcast\t",
+            "partition\tpbcast\t",
             "mean_reliability",
             "recovery_rounds",
             "rounds_to_heal",
         ] {
             assert!(tsv.contains(needle), "missing {needle:?} in:\n{tsv}");
         }
-        assert!(tsv.lines().count() > 20);
+        assert!(tsv.lines().count() > 40);
     }
 }

@@ -144,13 +144,12 @@ proptest! {
 #[test]
 fn fanout_copies_alias_one_gossip_allocation() {
     use lpbcast_core::{Gossip, Message};
-    use lpbcast_sim::SimNode as _;
     use std::sync::Arc;
 
     let p = params(30, 10, 3, 0.0, InitialTopology::UniformRandom);
     let mut engine = build_lpbcast_engine(&p, 5);
     let node = engine.node_mut(ProcessId::new(0)).expect("node 0 exists");
-    let outgoing = node.on_tick();
+    let outgoing = node.tick().outgoing;
     let arcs: Vec<&Arc<Gossip>> = outgoing
         .iter()
         .filter_map(|(_, m)| match m {

@@ -77,7 +77,7 @@ fn parallel_churn_sweep_is_bit_identical_to_serial() {
     force_parallel_pool();
     // Small but genuinely churning: joins through §3.4 handshakes, leaves
     // through the unsubscribe path, publication load, per-seed engines.
-    let params = ChurnParams {
+    let params: ChurnParams<lpbcast_core::Lpbcast> = ChurnParams {
         warmup: 3,
         churn_rounds: 8,
         joins_per_round: 2,

@@ -17,6 +17,10 @@
 //! * [`CompactDigest`] — the per-origin optimisation of §3.2: *"the buffer
 //!   can be optimized by only retaining for each sender the identifiers of
 //!   notifications delivered since the last one delivered in sequence"*.
+//! * [`Protocol`] / [`Output`] — the workspace-wide sans-IO protocol
+//!   lifecycle and its unified output envelope: one trait drives lpbcast,
+//!   pbcast and pub/sub across the simulator, the scenario suite and the
+//!   UDP runtime (see [`protocol`]).
 //!
 //! # Example
 //!
@@ -44,6 +48,7 @@ mod digest;
 mod event;
 pub mod hashing;
 mod id;
+pub mod protocol;
 pub mod scan;
 
 pub use buffer::{BoundedSet, OldestFirstBuffer};
@@ -51,3 +56,4 @@ pub use digest::{CompactDigest, OriginDigest};
 pub use event::{Event, Payload};
 pub use hashing::{FastMap, FastSet};
 pub use id::{EventId, ProcessId, Round};
+pub use protocol::{MembershipEvent, Output, Protocol};

@@ -9,7 +9,6 @@
 use lpbcast::core::{Config, Lpbcast};
 use lpbcast::membership::View as _;
 use lpbcast::sim::experiment::{build_lpbcast_engine, InitialTopology, LpbcastSimParams};
-use lpbcast::sim::LpbcastNode;
 use lpbcast::types::ProcessId;
 
 /// `LPBCAST_EXAMPLE_N` overrides the bootstrap size (CI smoke-runs
@@ -49,12 +48,12 @@ fn main() {
     for i in 0..10u64 {
         let newcomer = p(n0 + i);
         let contact = p(i % n0);
-        engine.add_node(LpbcastNode::new(Lpbcast::joining(
+        engine.add_node(Lpbcast::joining(
             newcomer,
             config.clone(),
             7000 + i,
             vec![contact],
-        )));
+        ));
         println!("{newcomer} joining via contact {contact}");
     }
     engine.run(8);
@@ -62,7 +61,7 @@ fn main() {
         .filter(|&i| {
             engine
                 .node(p(n0 + i))
-                .is_some_and(|node| !node.process().is_joining())
+                .is_some_and(|node| !node.is_joining())
         })
         .count();
     println!("\n{joined}/10 newcomers completed the join handshake");
@@ -81,7 +80,7 @@ fn main() {
     for i in 0..8u64 {
         let leaver = p(i);
         if let Some(node) = engine.node_mut(leaver) {
-            match node.process_mut().unsubscribe() {
+            match node.unsubscribe() {
                 Ok(()) => println!("{leaver} unsubscribed"),
                 Err(e) => println!("{leaver} refused: {e}"),
             }
@@ -100,8 +99,7 @@ fn main() {
     let stale: usize = engine
         .nodes()
         .map(|(_, node)| {
-            node.process()
-                .view()
+            node.view()
                 .members()
                 .iter()
                 .filter(|m| m.as_u64() < 8)
@@ -120,7 +118,7 @@ fn main() {
     );
 }
 
-fn report(engine: &lpbcast::sim::Engine<LpbcastNode>, label: &str) {
+fn report(engine: &lpbcast::sim::Engine<Lpbcast>, label: &str) {
     let graph = engine.view_graph();
     let stats = graph.in_degree_stats();
     println!(

@@ -1,17 +1,22 @@
-//! The churn / catastrophe / partition scenario suite in miniature:
-//! deterministic, env-tunable, printable — the CI smoke run for
+//! The churn / catastrophe / partition scenario suite in miniature, run
+//! side by side for lpbcast and the pbcast baseline: deterministic,
+//! env-tunable, printable — the CI smoke run for
 //! `lpbcast_sim::scenario` (the full-scale n = 10⁴ suite runs in
 //! `bench_sim` and lands in `BENCH_sim.json` + `results/scenarios.tsv`).
 //!
 //! ```sh
 //! cargo run --release --example scenario_suite
 //! LPBCAST_SCENARIO_N=64 LPBCAST_SCENARIO_SEED=3 cargo run --release --example scenario_suite
+//! LPBCAST_SCENARIO_PROTOCOL=pbcast cargo run --release --example scenario_suite
 //! ```
+//!
+//! `LPBCAST_SCENARIO_PROTOCOL` picks `lpbcast`, `pbcast` or `both`
+//! (default): the suite is generic over `ScenarioProtocol`, so both
+//! protocol stacks run through the identical driver.
 
-use lpbcast::sim::scenario::{
-    catastrophe_scenario, churn_scenario, partition_scenario, scenarios_tsv, CatastropheParams,
-    ChurnParams, PartitionParams,
-};
+use lpbcast::core::Lpbcast;
+use lpbcast::pbcast::Pbcast;
+use lpbcast::sim::scenario::{run_scenario_suite, scenarios_tsv, ScenarioProtocol, ScenarioSuite};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -21,17 +26,13 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-fn main() {
-    // Floor of 16: the partition scenario needs two meaningful halves
-    // and the churn cohort sizes derive from n.
-    let n = env_usize("LPBCAST_SCENARIO_N", 300).max(16);
-    let seed = env_usize("LPBCAST_SCENARIO_SEED", 1) as u64;
-    println!("scenario suite at n={n}, seed {seed}\n");
-
-    let churn = churn_scenario(&ChurnParams::scaled(n), seed);
+fn run_one<P: ScenarioProtocol>(n: usize, seed: u64) -> ScenarioSuite {
+    let suite = run_scenario_suite::<P>(n, seed);
+    let churn = &suite.churn;
     println!(
-        "churn: {}/{} joins completed, {} leaves ({} refused), {} members at end,\n\
-         \u{20}      reliability mean {:.4} / min {:.4} over {} events, partitioned: {}",
+        "[{}] churn: {}/{} joins completed, {} leaves ({} refused), {} members at end,\n\
+         \u{20}         reliability mean {:.4} / min {:.4} over {} events, partitioned: {}",
+        suite.protocol,
         churn.joins_completed,
         churn.joins_attempted,
         churn.leaves_completed,
@@ -47,10 +48,11 @@ fn main() {
         "churn actually happened: {churn:?}"
     );
 
-    let catastrophe = catastrophe_scenario(&CatastropheParams::scaled(n), seed);
+    let catastrophe = &suite.catastrophe;
     println!(
-        "catastrophe: {} of {} crashed in one round; reliability {:.4} -> {:.4},\n\
-         \u{20}            latency {:.2} -> {:.2} rounds, 99% of survivors re-reached in {:?} rounds",
+        "[{}] catastrophe: {} of {} crashed in one round; reliability {:.4} -> {:.4},\n\
+         \u{20}         latency {:.2} -> {:.2} rounds, 99% of survivors re-reached in {:?} rounds",
+        suite.protocol,
         catastrophe.crashed,
         catastrophe.n,
         catastrophe.reliability_before,
@@ -64,10 +66,11 @@ fn main() {
         "dissemination must recover: {catastrophe:?}"
     );
 
-    let partition = partition_scenario(&PartitionParams::scaled(n), seed);
+    let partition = &suite.partition;
     println!(
-        "partition: {} components (largest {}) -> connected in {:?} rounds,\n\
-         \u{20}          fully healed (one SCC) in {:?} rounds, post-heal reliability {:.4}",
+        "[{}] partition: {} components (largest {}) -> connected in {:?} rounds,\n\
+         \u{20}         fully healed (one SCC) in {:?} rounds, post-heal reliability {:.4}\n",
+        suite.protocol,
         partition.components_before,
         partition.largest_component_before,
         partition.rounds_to_connect,
@@ -78,6 +81,29 @@ fn main() {
         partition.rounds_to_connect.is_some(),
         "bridges must reconnect the membership: {partition:?}"
     );
+    suite
+}
 
-    println!("\n{}", scenarios_tsv(&churn, &catastrophe, &partition));
+fn main() {
+    // Floor of 16: the partition scenario needs two meaningful halves
+    // and the churn cohort sizes derive from n.
+    let n = env_usize("LPBCAST_SCENARIO_N", 300).max(16);
+    let seed = env_usize("LPBCAST_SCENARIO_SEED", 1) as u64;
+    let protocol =
+        std::env::var("LPBCAST_SCENARIO_PROTOCOL").unwrap_or_else(|_| "both".to_string());
+    println!("scenario suite at n={n}, seed {seed}, protocol {protocol}\n");
+
+    let mut suites = Vec::new();
+    if matches!(protocol.as_str(), "lpbcast" | "both") {
+        suites.push(run_one::<Lpbcast>(n, seed));
+    }
+    if matches!(protocol.as_str(), "pbcast" | "both") {
+        suites.push(run_one::<Pbcast>(n, seed));
+    }
+    assert!(
+        !suites.is_empty(),
+        "LPBCAST_SCENARIO_PROTOCOL must be lpbcast, pbcast or both"
+    );
+
+    println!("{}", scenarios_tsv(&suites));
 }

@@ -1,68 +1,48 @@
-//! A real lpbcast cluster over UDP on localhost: one socket per process,
+//! A real gossip cluster over UDP on localhost: one socket per process,
 //! non-synchronized gossip timers, the paper's deployment model (§5.2) in
-//! miniature.
+//! miniature — for **either** protocol stack behind the same generic
+//! `NetNode<P>` runtime.
 //!
 //! ```sh
 //! cargo run --example udp_cluster
+//! LPBCAST_UDP_PROTOCOL=pbcast cargo run --example udp_cluster
 //! ```
 
 use std::time::{Duration, Instant};
 
-use lpbcast::core::Config;
-use lpbcast::net::{AddressBook, NetConfig, NetNode};
-use lpbcast::types::ProcessId;
+use lpbcast::core::{Config, Lpbcast};
+use lpbcast::net::{AddressBook, NetNode, NetOpts, WireMessage};
+use lpbcast::pbcast::{Membership, Pbcast, PbcastConfig};
+use lpbcast::types::{ProcessId, Protocol};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 10u64;
-    let p = ProcessId::new;
-    let book = AddressBook::new();
-    // Retransmission on: digests advertise delivered ids, and nodes that
-    // missed a payload pull it from the gossip sender's archive (§3.2
-    // "older notifications ... satisfy retransmission requests"). The
-    // paper's ε = 0.05 is injected at ingress, since localhost UDP is
-    // effectively lossless.
-    let config = |seed| {
-        NetConfig::new(
-            Config::builder()
-                .view_size(6)
-                .fanout(3)
-                .event_ids_max(512)
-                .events_max(512)
-                .retransmit_request_max(16)
-                .archive_capacity(1024)
-                .build(),
-            Duration::from_millis(25),
-            seed,
-        )
-        .ingress_loss(0.05)
-    };
-
-    // Spawn the cluster; each node knows a handful of ring neighbours and
-    // lets gossip-based membership do the rest.
-    let mut nodes = Vec::new();
-    for i in 0..n {
-        let view: Vec<ProcessId> = (1..=3).map(|d| p((i + d) % n)).collect();
-        nodes.push(NetNode::spawn(p(i), config(500 + i), book.clone(), view)?);
-    }
+/// Drives `n` spawned nodes to full delivery: everyone publishes once,
+/// then we wait until every node has delivered everyone's event. The
+/// whole loop is protocol-agnostic — this is the generic driver the
+/// sans-IO `Protocol` redesign buys.
+fn drive<P>(nodes: Vec<NetNode<P>>) -> Result<(), Box<dyn std::error::Error>>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: WireMessage,
+{
+    let n = nodes.len();
     println!("spawned {n} UDP nodes:");
     for node in &nodes {
         println!("  {} @ {}", node.id(), node.local_addr());
     }
 
     // Everyone publishes one event.
-    let mut published = Vec::new();
     for (i, node) in nodes.iter().enumerate() {
-        published.push(node.broadcast(format!("event from node {i}")));
+        node.broadcast(format!("event from node {i}"));
     }
 
     // Wait until every node has delivered everyone else's event.
     let deadline = Instant::now() + Duration::from_secs(15);
-    let mut delivered = vec![1usize; n as usize]; // own event counts
+    let mut delivered = vec![1usize; n]; // own event counts
     while Instant::now() < deadline {
         for (i, node) in nodes.iter().enumerate() {
             delivered[i] += node.deliveries().try_iter().count();
         }
-        if delivered.iter().all(|&d| d >= n as usize) {
+        if delivered.iter().all(|&d| d >= n) {
             break;
         }
         std::thread::sleep(Duration::from_millis(20));
@@ -73,20 +53,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  p{i}: {d}");
     }
 
-    println!("\nprotocol counters:");
+    println!("\nmembership views:");
     for node in &nodes {
-        let snapshot = node.snapshot();
         println!(
-            "  {}: sent {} gossips, received {}, delivered {} events, view {:?}",
+            "  {}: view {:?}",
             node.id(),
-            snapshot.stats.gossips_sent,
-            snapshot.stats.gossips_received,
-            snapshot.stats.events_delivered,
-            snapshot.view.iter().map(|m| m.as_u64()).collect::<Vec<_>>(),
+            node.view().iter().map(|m| m.as_u64()).collect::<Vec<_>>(),
         );
     }
 
-    let complete = delivered.iter().all(|&d| d >= n as usize);
+    let complete = delivered.iter().all(|&d| d >= n);
     for node in nodes {
         node.shutdown();
     }
@@ -99,4 +75,70 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     );
     Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 10u64;
+    let p = ProcessId::new;
+    let book = AddressBook::new();
+    let protocol = std::env::var("LPBCAST_UDP_PROTOCOL").unwrap_or_else(|_| "lpbcast".into());
+    // The paper's ε = 0.05 is injected at ingress, since localhost UDP is
+    // effectively lossless.
+    let opts = |seed| NetOpts::new(Duration::from_millis(25), seed).ingress_loss(0.05);
+    // Each node knows a handful of ring neighbours; gossip-based
+    // membership does the rest.
+    let ring_view = |i: u64| -> Vec<ProcessId> { (1..=3).map(|d| p((i + d) % n)).collect() };
+
+    match protocol.as_str() {
+        // Retransmission on: digests advertise delivered ids, and nodes
+        // that missed a payload pull it from the gossip sender's archive
+        // (§3.2 "older notifications ... satisfy retransmission
+        // requests").
+        "lpbcast" => {
+            let config = Config::builder()
+                .view_size(6)
+                .fanout(3)
+                .event_ids_max(512)
+                .events_max(512)
+                .retransmit_request_max(16)
+                .archive_capacity(1024)
+                .build();
+            let mut nodes = Vec::new();
+            for i in 0..n {
+                let machine =
+                    Lpbcast::with_initial_view(p(i), config.clone(), 500 + i, ring_view(i));
+                nodes.push(NetNode::spawn_protocol(
+                    machine,
+                    opts(500 + i),
+                    book.clone(),
+                )?);
+            }
+            drive(nodes)
+        }
+        // The pbcast baseline over the very same runtime: anti-entropy
+        // digests with gossip-pull repair on the §6.2 partial-view
+        // membership layer.
+        "pbcast" => {
+            let config = PbcastConfig::builder()
+                .fanout(3)
+                .first_phase(false)
+                .max_repetitions(6)
+                .max_hops(12)
+                .history_max(512)
+                .store_max(1024)
+                .build();
+            let mut nodes = Vec::new();
+            for i in 0..n {
+                let membership = Membership::partial(p(i), 6, config.subs_max, ring_view(i));
+                let machine = Pbcast::new(p(i), config.clone(), 500 + i, membership);
+                nodes.push(NetNode::spawn_protocol(
+                    machine,
+                    opts(500 + i),
+                    book.clone(),
+                )?);
+            }
+            drive(nodes)
+        }
+        other => Err(format!("LPBCAST_UDP_PROTOCOL={other:?}: expected lpbcast or pbcast").into()),
+    }
 }

@@ -29,8 +29,19 @@ benchmark that silently stops being measured is indistinguishable from a
 regression that nobody will ever see again (deleting a measurement
 legitimately requires refreshing the committed snapshot in the same
 change). A row only in the fresh snapshot is a WARN — new measurements
-are how the snapshot grows. Stdlib only by design: the repository's Rust
-workspace is fully vendored and CI must not need pip.
+are how the snapshot grows.
+
+Scenario wall-clock rows (``scenarios.<protocol>.<scenario>.wall_ms``,
+labelled ``scenario churn/lpbcast n=10000`` etc. since the Protocol-trait
+redesign renamed the old un-keyed ``scenarios.churn`` rows) are SOFT:
+they are compared with the same thresholds when a label exists on both
+sides, but a missing row — on either side — only WARNs. CI deliberately
+runs the suite at a different ``BENCH_SIM_SCENARIO_N`` (and may restrict
+``BENCH_SIM_SCENARIO_PROTOCOLS``), so committed full-scale scenario rows
+have no fresh counterpart there; hard-failing on that, or on the v3→v4
+rename itself, would make every env-tuned run red. Stdlib only by
+design: the repository's Rust workspace is fully vendored and CI must
+not need pip.
 """
 
 import json
@@ -50,7 +61,7 @@ WARN_THRESHOLD = env_fraction("BENCH_GATE_WARN", 0.10)
 
 
 def step_rows(snapshot):
-    """Maps measurement label -> ns/step for every timing row."""
+    """Maps measurement label -> ns/step for every hard-gated timing row."""
     rows = {}
     for entry in snapshot.get("step_throughput", []):
         rows[f"step_throughput n={entry['n']}"] = float(entry["slab_ns_per_step"])
@@ -65,6 +76,26 @@ def step_rows(snapshot):
     return rows
 
 
+def scenario_rows(snapshot):
+    """Maps ``scenario <name>/<protocol> n=<n>`` -> ns for every soft row.
+
+    Handles the v4 per-protocol layout (``scenarios.lpbcast.churn``); the
+    pre-redesign v3 layout (``scenarios.churn``, no protocol key, no
+    wall_ms) simply yields nothing, so gating against an old committed
+    snapshot degrades to WARNs instead of failing on renamed rows.
+    """
+    rows = {}
+    for protocol, suite in snapshot.get("scenarios", {}).items():
+        if not isinstance(suite, dict):
+            continue
+        for name, report in suite.items():
+            if not isinstance(report, dict) or "wall_ms" not in report:
+                continue
+            n = report.get("n", report.get("n0", "?"))
+            rows[f"scenario {name}/{protocol} n={n}"] = float(report["wall_ms"]) * 1e6
+    return rows
+
+
 def load(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -74,12 +105,42 @@ def load(path):
         sys.exit(2)
 
 
+def compare(label, old, new, soft):
+    """Prints the verdict line; returns True when the row hard-fails."""
+    if old <= 0:
+        print(f"SKIP  {label}: committed value {old} not positive")
+        return False
+    ratio = new / old
+    delta = (ratio - 1.0) * 100.0
+    if label.startswith("engine_build"):
+        unit = "us"
+    elif label.startswith("scenario "):
+        unit = "ms"
+    else:
+        unit = "us/step"
+    scale = 1e6 if unit == "ms" else 1e3
+    line = f"{label}: {old / scale:.1f} -> {new / scale:.1f} {unit} ({delta:+.1f}%)"
+    if ratio > 1.0 + FAIL_THRESHOLD:
+        if soft:
+            print(f"WARN  {line} [soft row]")
+            return False
+        print(f"FAIL  {line}")
+        return True
+    if ratio > 1.0 + WARN_THRESHOLD:
+        print(f"WARN  {line}")
+    else:
+        print(f"OK    {line}")
+    return False
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2
-    committed = step_rows(load(argv[1]))
-    fresh = step_rows(load(argv[2]))
+    committed_snapshot = load(argv[1])
+    fresh_snapshot = load(argv[2])
+    committed = step_rows(committed_snapshot)
+    fresh = step_rows(fresh_snapshot)
 
     failed = False
     # A committed row the fresh snapshot no longer produces means a
@@ -95,21 +156,19 @@ def main(argv):
         print("bench_gate: no comparable step-time rows", file=sys.stderr)
         return 2
     for label in shared:
-        old, new = committed[label], fresh[label]
-        if old <= 0:
-            print(f"SKIP  {label}: committed value {old} not positive")
-            continue
-        ratio = new / old
-        delta = (ratio - 1.0) * 100.0
-        unit = "us" if label.startswith("engine_build") else "us/step"
-        line = f"{label}: {old / 1e3:.1f} -> {new / 1e3:.1f} {unit} ({delta:+.1f}%)"
-        if ratio > 1.0 + FAIL_THRESHOLD:
-            print(f"FAIL  {line}")
-            failed = True
-        elif ratio > 1.0 + WARN_THRESHOLD:
-            print(f"WARN  {line}")
-        else:
-            print(f"OK    {line}")
+        failed |= compare(label, committed[label], fresh[label], soft=False)
+
+    # Scenario wall-clock rows: soft — the scenario n / protocol set is
+    # env-tuned in CI, so row-set mismatches (including the v3 -> v4
+    # rename to per-protocol labels) only warn.
+    committed_sc = scenario_rows(committed_snapshot)
+    fresh_sc = scenario_rows(fresh_snapshot)
+    for label in sorted(set(committed_sc) - set(fresh_sc)):
+        print(f"WARN  {label}: committed scenario row has no fresh counterpart (soft row; env-tuned)")
+    for label in sorted(set(fresh_sc) - set(committed_sc)):
+        print(f"WARN  {label}: only in fresh snapshot (soft row)")
+    for label in sorted(set(committed_sc) & set(fresh_sc)):
+        compare(label, committed_sc[label], fresh_sc[label], soft=True)
 
     if failed:
         print(

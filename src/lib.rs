@@ -6,18 +6,69 @@
 //! is itself gossip-based, fully decentralized, and bounded to a
 //! fixed-size partial view per process.
 //!
+//! The workspace is organized around one abstraction: the sans-IO
+//! [`Protocol`](types::Protocol) trait. Every broadcast stack — lpbcast,
+//! the Bimodal Multicast baseline, topic-multiplexed pub/sub — is a
+//! deterministic state machine consuming messages and clock ticks and
+//! producing one unified [`Output`](types::Output) envelope (outbound
+//! `(destination, message)` batches sharing `Arc`'d gossip bodies,
+//! delivered events, membership notifications). All drivers are generic
+//! over it:
+//!
+//! | driver | generic form | runs |
+//! |--------|--------------|------|
+//! | simulation engine | [`sim::Engine<P>`](sim::Engine) | synchronous §5.1 rounds for any protocol |
+//! | scenario suite | [`sim::scenario`] (`ScenarioProtocol`) | churn / catastrophe / partition, side by side |
+//! | UDP runtime | [`net::NetNode<P>`](net::NetNode) | one socket per process, batched datagrams |
+//!
 //! This facade crate re-exports the workspace:
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
-//! | [`core`] | `lpbcast-core` | the sans-IO protocol state machine |
+//! | [`types`] | `lpbcast-types` | ids, events, bounded buffers, digests, the [`Protocol`](types::Protocol) trait |
+//! | [`core`] | `lpbcast-core` | the lpbcast state machine (Figure 1), sans-IO |
 //! | [`membership`] | `lpbcast-membership` | partial views, weighted views, view-graph analytics |
-//! | [`types`] | `lpbcast-types` | ids, events, bounded buffers, digests |
 //! | [`analysis`] | `lpbcast-analysis` | the paper's Markov-chain & partition models |
 //! | [`pbcast`] | `lpbcast-pbcast` | the Bimodal Multicast baseline |
 //! | [`pubsub`] | `lpbcast-pubsub` | topic-based publish/subscribe (the paper's application) |
 //! | [`sim`] | `lpbcast-sim` | the synchronous-round simulator |
 //! | [`net`] | `lpbcast-net` | the UDP runtime + wire codec |
+//!
+//! ## Quick start: one generic driver, two protocols
+//!
+//! The same function disseminates a broadcast through lpbcast *and*
+//! pbcast — protocols differ in construction, never in driving:
+//!
+//! ```
+//! use lpbcast::core::{Config, Lpbcast};
+//! use lpbcast::pbcast::{Membership, Pbcast, PbcastConfig};
+//! use lpbcast::types::{Payload, ProcessId, Protocol};
+//!
+//! /// Publishes from `a` and pushes one gossip round into `b`.
+//! fn one_round<P: Protocol>(a: &mut P, b: &mut P) -> usize {
+//!     let (_id, publish) = a.broadcast(Payload::from_static(b"hi"));
+//!     let mut delivered = 0;
+//!     for (to, msg) in publish.outgoing.into_iter().chain(a.tick().outgoing) {
+//!         if to == b.id() {
+//!             delivered += b.handle_message(a.id(), msg).delivered.len();
+//!         }
+//!     }
+//!     delivered
+//! }
+//!
+//! let p0 = ProcessId::new(0);
+//! let p1 = ProcessId::new(1);
+//!
+//! let config = Config::builder().view_size(4).fanout(2).build();
+//! let mut a = Lpbcast::with_initial_view(p0, config.clone(), 7, [p1]);
+//! let mut b = Lpbcast::with_initial_view(p1, config, 8, [p0]);
+//! assert_eq!(one_round(&mut a, &mut b), 1, "lpbcast delivers");
+//!
+//! let config = PbcastConfig::builder().fanout(1).build();
+//! let mut a = Pbcast::new(p0, config.clone(), 1, Membership::total(p0, [p1]));
+//! let mut b = Pbcast::new(p1, config, 2, Membership::total(p1, [p0]));
+//! assert_eq!(one_round(&mut a, &mut b), 1, "pbcast delivers through the same driver");
+//! ```
 //!
 //! ## Quick start (simulated cluster)
 //!
@@ -32,11 +83,16 @@
 //! assert!(engine.tracker().infected_count(id) > 60);
 //! ```
 //!
+//! `build_pbcast_engine` yields the same `Engine` driving `Pbcast`; the
+//! scenario suite (`sim::scenario::run_scenario_suite::<P>`) and the UDP
+//! example (`LPBCAST_UDP_PROTOCOL=pbcast cargo run --example
+//! udp_cluster`) select protocols the same way.
+//!
 //! ## Quick start (real UDP sockets)
 //!
-//! See `examples/udp_cluster.rs` — the same state machine behind
-//! [`net::NetNode`], one socket per process, non-synchronized gossip
-//! timers.
+//! See `examples/udp_cluster.rs` — the same state machines behind
+//! [`net::NetNode<P>`](net::NetNode), one socket per process,
+//! non-synchronized gossip timers, per-destination batched datagrams.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -4,7 +4,7 @@
 use lpbcast::core::Config;
 use lpbcast::core::Lpbcast;
 use lpbcast::sim::experiment::{build_lpbcast_engine, InitialTopology, LpbcastSimParams};
-use lpbcast::sim::{CrashPlan, Engine, LpbcastNode, NetworkModel};
+use lpbcast::sim::{CrashPlan, Engine, NetworkModel};
 use lpbcast::types::ProcessId;
 
 fn p(i: u64) -> ProcessId {
@@ -27,15 +27,15 @@ fn dissemination_survives_a_mid_run_crash_storm() {
     for i in 30..45u64 {
         plan.schedule(3, p(i));
     }
-    let mut engine: Engine<LpbcastNode> = Engine::new(NetworkModel::new(0.05, 9), plan);
+    let mut engine: Engine<Lpbcast> = Engine::new(NetworkModel::new(0.05, 9), plan);
     for i in 0..n {
         let members: Vec<ProcessId> = (0..n).filter(|&j| j != i).map(p).collect();
-        engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
+        engine.add_node(Lpbcast::with_initial_view(
             p(i),
             config.clone(),
             i,
             members.into_iter().take(10).collect::<Vec<_>>(),
-        )));
+        ));
     }
     let id = engine.publish_from(p(0), "storm".into());
     engine.run(15);
@@ -142,29 +142,19 @@ fn crashed_contact_does_not_deadlock_joiner() {
         .fanout(2)
         .join_timeout(2)
         .build();
-    let mut engine: Engine<LpbcastNode> = Engine::new(NetworkModel::perfect(3), CrashPlan::none());
+    let mut engine: Engine<Lpbcast> = Engine::new(NetworkModel::perfect(3), CrashPlan::none());
     for i in 0..6u64 {
         let members: Vec<ProcessId> = (0..6).filter(|&j| j != i).map(p).collect();
-        engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
-            p(i),
-            config.clone(),
-            i,
-            members,
-        )));
+        engine.add_node(Lpbcast::with_initial_view(p(i), config.clone(), i, members));
     }
     engine.crash(p(0));
     // The joiner only knows the dead contact and one alive one.
-    engine.add_node(LpbcastNode::new(Lpbcast::joining(
-        p(50),
-        config,
-        777,
-        vec![p(0), p(1)],
-    )));
+    engine.add_node(Lpbcast::joining(p(50), config, 777, vec![p(0), p(1)]));
     engine.run(10);
     let node = engine.node(p(50)).unwrap();
-    assert!(!node.process().is_joining(), "joiner stuck on dead contact");
+    assert!(!node.is_joining(), "joiner stuck on dead contact");
     assert!(
-        node.process().stats().join_requests_sent >= 2,
+        node.stats().join_requests_sent >= 2,
         "retry must have happened"
     );
 }

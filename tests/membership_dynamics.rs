@@ -4,7 +4,7 @@
 use lpbcast::core::{Config, Lpbcast};
 use lpbcast::membership::View as _;
 use lpbcast::sim::experiment::{build_lpbcast_engine, InitialTopology, LpbcastSimParams};
-use lpbcast::sim::{CrashPlan, Engine, LpbcastNode, NetworkModel};
+use lpbcast::sim::{CrashPlan, Engine, NetworkModel};
 use lpbcast::types::ProcessId;
 
 fn p(i: u64) -> ProcessId {
@@ -67,25 +67,13 @@ fn newcomers_join_through_one_contact() {
     let mut engine = build_lpbcast_engine(&params(30, 8), 21);
     engine.run(5);
     for i in 0..5u64 {
-        engine.add_node(LpbcastNode::new(Lpbcast::joining(
-            p(30 + i),
-            config(8),
-            9000 + i,
-            vec![p(i)],
-        )));
+        engine.add_node(Lpbcast::joining(p(30 + i), config(8), 9000 + i, vec![p(i)]));
     }
     engine.run(10);
     for i in 0..5u64 {
         let node = engine.node(p(30 + i)).expect("present");
-        assert!(
-            !node.process().is_joining(),
-            "p{} never completed its join",
-            30 + i
-        );
-        assert!(
-            !node.process().view().is_empty(),
-            "joined process has an empty view"
-        );
+        assert!(!node.is_joining(), "p{} never completed its join", 30 + i);
+        assert!(!node.view().is_empty(), "joined process has an empty view");
     }
     // Newcomers spread into the old members' views.
     let graph = engine.view_graph();
@@ -109,7 +97,7 @@ fn join_survives_contact_crash_with_multiple_contacts() {
     engine.run(3);
     // The first contact is dead; the round-robin retry reaches the second.
     engine.crash(p(0));
-    engine.add_node(LpbcastNode::new(Lpbcast::joining(
+    engine.add_node(Lpbcast::joining(
         p(99),
         Config::builder()
             .view_size(6)
@@ -118,11 +106,11 @@ fn join_survives_contact_crash_with_multiple_contacts() {
             .build(),
         1234,
         vec![p(0), p(1)],
-    )));
+    ));
     engine.run(12);
     let node = engine.node(p(99)).expect("present");
     assert!(
-        !node.process().is_joining(),
+        !node.is_joining(),
         "join should succeed through the surviving contact"
     );
 }
@@ -143,7 +131,6 @@ fn unsubscribed_processes_fade_from_views() {
             engine
                 .node_mut(p(0))
                 .unwrap()
-                .process_mut()
                 .unsubscribe()
                 .expect("accepted");
             engine.run(4); // lame duck: spread the unsubscription
@@ -152,7 +139,7 @@ fn unsubscribed_processes_fade_from_views() {
         engine.run(20);
         engine
             .nodes()
-            .filter(|(_, node)| node.process().view().contains(p(0)))
+            .filter(|(_, node)| node.view().contains(p(0)))
             .count()
     };
     let seeds = 55u64..=62;
@@ -188,26 +175,26 @@ fn prioritary_processes_heal_an_engineered_partition() {
         .retransmit_request_max(4)
         .archive_capacity(16)
         .build();
-    let mut engine: Engine<LpbcastNode> = Engine::new(NetworkModel::perfect(1), CrashPlan::none());
+    let mut engine: Engine<Lpbcast> = Engine::new(NetworkModel::perfect(1), CrashPlan::none());
     // Island A: p0..p4 (contains the prioritary process p0).
     for i in 0..5u64 {
         let members: Vec<ProcessId> = (0..5).filter(|&j| j != i).map(p).collect();
-        engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
+        engine.add_node(Lpbcast::with_initial_view(
             p(i),
             island_config.clone(),
             100 + i,
             members,
-        )));
+        ));
     }
     // Island B: p5..p9, initially knowing only each other.
     for i in 5..10u64 {
         let members: Vec<ProcessId> = (5..10).filter(|&j| j != i).map(p).collect();
-        engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
+        engine.add_node(Lpbcast::with_initial_view(
             p(i),
             island_config.clone(),
             100 + i,
             members,
-        )));
+        ));
     }
     assert!(
         engine.view_graph().is_partitioned(),
@@ -234,24 +221,24 @@ fn without_prioritary_processes_the_islands_stay_split() {
     // a §4.4 partition is permanent ("A priori, it is not possible to
     // recover from such a partition").
     let island_config = config(4);
-    let mut engine: Engine<LpbcastNode> = Engine::new(NetworkModel::perfect(1), CrashPlan::none());
+    let mut engine: Engine<Lpbcast> = Engine::new(NetworkModel::perfect(1), CrashPlan::none());
     for i in 0..5u64 {
         let members: Vec<ProcessId> = (0..5).filter(|&j| j != i).map(p).collect();
-        engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
+        engine.add_node(Lpbcast::with_initial_view(
             p(i),
             island_config.clone(),
             100 + i,
             members,
-        )));
+        ));
     }
     for i in 5..10u64 {
         let members: Vec<ProcessId> = (5..10).filter(|&j| j != i).map(p).collect();
-        engine.add_node(LpbcastNode::new(Lpbcast::with_initial_view(
+        engine.add_node(Lpbcast::with_initial_view(
             p(i),
             island_config.clone(),
             100 + i,
             members,
-        )));
+        ));
     }
     engine.run(20);
     assert!(

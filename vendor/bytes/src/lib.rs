@@ -193,6 +193,11 @@ impl BytesMut {
     pub fn extend_from_slice(&mut self, s: &[u8]) {
         self.data.extend_from_slice(s);
     }
+
+    /// Clears the buffer, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
 }
 
 impl Deref for BytesMut {
