@@ -17,7 +17,7 @@ fn make_gossip(events: usize, digest: usize, subs: usize, salt: u64) -> Gossip {
         subs: (0..subs as u64)
             .map(|i| pid(200 + (salt + i) % 64))
             .collect(),
-        unsubs: vec![],
+        unsubs: lpbcast_core::UnsubSection::empty(),
         events: (0..events as u64)
             .map(|i| Event::new(EventId::new(pid(2), salt * 100 + i), vec![0u8; 64]))
             .collect(),

@@ -14,7 +14,7 @@ fn steady_state_gossip(events: usize, digest: usize) -> Message {
     Message::gossip(Gossip {
         sender: pid(1),
         subs: (0..12).map(pid).collect(),
-        unsubs: vec![],
+        unsubs: lpbcast_core::UnsubSection::empty(),
         events: (0..events as u64)
             .map(|i| Event::new(EventId::new(pid(2), i), vec![0u8; 64]))
             .collect(),
@@ -37,7 +37,7 @@ fn compact_digest_gossip() -> Message {
     Message::gossip(Gossip {
         sender: pid(1),
         subs: (0..12).map(pid).collect(),
-        unsubs: vec![],
+        unsubs: lpbcast_core::UnsubSection::empty(),
         events: vec![],
         event_ids: Digest::Compact(d),
     })

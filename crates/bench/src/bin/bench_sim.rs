@@ -230,7 +230,7 @@ fn main() {
     let scale_points = scaling_study(&scale_sizes(), &scale_opts);
     for p in &scale_points {
         println!(
-            "scale n={}: l={} buffers={} {:.1} µs/step, build {:.2} ms, latency {:.2} rounds (model {:.2}), reliability {:.4}",
+            "scale n={}: l={} buffers={} {:.1} µs/step, build {:.2} ms, latency {:.2} rounds (model {:.2}), reliability {:.4}, wire {:.1} KB/round",
             p.n,
             p.view_size,
             p.buffer_bound,
@@ -238,7 +238,8 @@ fn main() {
             p.engine_build_ms,
             p.mean_latency_rounds,
             p.model_latency_rounds,
-            p.reliability
+            p.reliability,
+            p.wire_bytes_per_round / 1e3
         );
     }
 
@@ -267,7 +268,7 @@ fn main() {
         };
         let churn = &suite.churn;
         println!(
-            "scenario churn/{} n={scenario_n}: {}/{} joins, {} leaves ({} refused), members {} at end, reliability {:.4} (min {:.4}), partitioned {} [{:.0} ms]",
+            "scenario churn/{} n={scenario_n}: {}/{} joins, {} leaves ({} refused), members {} at end, reliability {:.4} (min {:.4}), partitioned {}, wire {:.1} KB/round [{:.0} ms]",
             suite.protocol,
             churn.joins_completed,
             churn.joins_attempted,
@@ -277,11 +278,12 @@ fn main() {
             churn.mean_reliability,
             churn.min_reliability,
             churn.partitioned_at_end,
+            churn.wire_bytes_per_round() / 1e3,
             suite.churn_wall_ms
         );
         let catastrophe = &suite.catastrophe;
         println!(
-            "scenario catastrophe/{} n={scenario_n}: {} crashed, reliability {:.4} -> {:.4}, latency {:.2} -> {:.2} rounds, recovery {:?} [{:.0} ms]",
+            "scenario catastrophe/{} n={scenario_n}: {} crashed, reliability {:.4} -> {:.4}, latency {:.2} -> {:.2} rounds, recovery {:?}, wire {:.1} KB/round [{:.0} ms]",
             suite.protocol,
             catastrophe.crashed,
             catastrophe.reliability_before,
@@ -289,16 +291,18 @@ fn main() {
             catastrophe.latency_before,
             catastrophe.latency_after,
             catastrophe.recovery_rounds,
+            catastrophe.wire_bytes_per_round() / 1e3,
             suite.catastrophe_wall_ms
         );
         let partition = &suite.partition;
         println!(
-            "scenario partition/{} n={}: connect {:?}, heal {:?}, post-heal reliability {:.4} [{:.0} ms]",
+            "scenario partition/{} n={}: connect {:?}, heal {:?}, post-heal reliability {:.4}, wire {:.1} KB/round [{:.0} ms]",
             suite.protocol,
             partition.n,
             partition.rounds_to_connect,
             partition.rounds_to_heal,
             partition.post_heal_reliability,
+            partition.wire_bytes_per_round() / 1e3,
             suite.partition_wall_ms
         );
         suites.push(suite);
@@ -306,11 +310,11 @@ fn main() {
 
     // Hand-rolled JSON (the workspace has no serde): numbers only, stable
     // key order, one object per measurement.
-    let mut json = String::from("{\n  \"schema\": \"bench_sim/v4\",\n");
+    let mut json = String::from("{\n  \"schema\": \"bench_sim/v5\",\n");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"steps_per_measurement\": {steps},");
     json.push_str(
-        "  \"note\": \"baseline_* is the seed BTreeMap engine compiled against the current protocol crates, so the ratio isolates the engine-structure change; protocol-layer wins (fast hashing, linear small buffers, chunked scans, alloc-free truncation, and since PR 2 the Arc-shared gossip fan-out) accrue to both columns. Seed-to-now trajectory: the unmodified seed stack measured ~17.7 ms/step at n=1000 on the 1-CPU reference container. step_throughput uses the paper's n=125 operating-point config at every n; the scaling section uses lpbcast_sim::scale's section-5-scaled view/buffer bounds (Compact digests since PR 3) and also reports the O(n*l) engine bootstrap cost (engine_build_ms; the PR 2 candidate-list build measured ~190 ms at n=10^4), probe delivery latency (rounds) and reliability — the same rows are rendered into results/scaling.tsv. The scenarios section is the churn / catastrophe / partition suite from lpbcast_sim::scenario, keyed by protocol since the Protocol-trait redesign (one generic driver runs lpbcast and pbcast side by side; each scenario also records its wall_ms). scripts/bench_gate.py compares ns_per_step and engine_build_ms by n against the committed snapshot in CI and fails on rows that disappear; scenario wall_ms rows are gated softly (warn-only on row-set changes, since the scenario size and protocol set are env-tunable in CI)\",\n",
+        "  \"note\": \"baseline_* is the seed BTreeMap engine compiled against the current protocol crates, so the ratio isolates the engine-structure change; protocol-layer wins (fast hashing, linear small buffers, chunked scans, alloc-free truncation, and since PR 2 the Arc-shared gossip fan-out) accrue to both columns. Seed-to-now trajectory: the unmodified seed stack measured ~17.7 ms/step at n=1000 on the 1-CPU reference container. step_throughput uses the paper's n=125 operating-point config at every n; the scaling section uses lpbcast_sim::scale's section-5-scaled view/buffer bounds (Compact digests since PR 3) and also reports the O(n*l) engine bootstrap cost (engine_build_ms; the PR 2 candidate-list build measured ~190 ms at n=10^4), probe delivery latency (rounds) and reliability — the same rows are rendered into results/scaling.tsv. The scenarios section is the churn / catastrophe / partition suite from lpbcast_sim::scenario, keyed by protocol since the Protocol-trait redesign (one generic driver runs lpbcast and pbcast side by side; each scenario also records its wall_ms). scripts/bench_gate.py compares ns_per_step, engine_build_ms and the deterministic wire_bytes_per_round by n against the committed snapshot in CI and fails on rows that disappear; scenario wall_ms and scenario wire rows are gated softly (warn-only on row-set changes, since the scenario size and protocol set are env-tunable in CI). Since v5 every scenario/scaling row carries wire_bytes_per_round: exact codec frame lengths summed over every offered message copy (the wire-cost compaction PR -- pbcast per-origin compact digests + lpbcast per-timestamp unsub digests -- is measured by exactly these columns), and the loaded scenarios publish from a fixed 16-publisher pool (the paper's section-5 measurement model) instead of uniformly random origins\",\n",
     );
     json.push_str("  \"step_throughput\": [\n");
     for (i, r) in step_results.iter().enumerate() {
@@ -350,7 +354,7 @@ fn main() {
     for (i, p) in scale_points.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"n\": {}, \"view_size\": {}, \"buffer_bound\": {}, \"steps\": {}, \"ns_per_step\": {:.1}, \"engine_build_ms\": {:.3}, \"build_count\": {}, \"mean_latency_rounds\": {:.3}, \"model_latency_rounds\": {:.3}, \"reliability\": {:.5}}}",
+            "    {{\"n\": {}, \"view_size\": {}, \"buffer_bound\": {}, \"steps\": {}, \"ns_per_step\": {:.1}, \"engine_build_ms\": {:.3}, \"build_count\": {}, \"mean_latency_rounds\": {:.3}, \"model_latency_rounds\": {:.3}, \"reliability\": {:.5}, \"wire_bytes_per_round\": {:.1}}}",
             p.n,
             p.view_size,
             p.buffer_bound,
@@ -360,7 +364,8 @@ fn main() {
             p.build_count,
             p.mean_latency_rounds,
             p.model_latency_rounds,
-            p.reliability
+            p.reliability,
+            p.wire_bytes_per_round
         );
         json.push_str(if i + 1 < scale_points.len() {
             ",\n"
@@ -375,7 +380,7 @@ fn main() {
         let churn = &suite.churn;
         let _ = writeln!(
             json,
-            "      \"churn\": {{\"n0\": {}, \"final_members\": {}, \"joins_attempted\": {}, \"joins_completed\": {}, \"leaves_completed\": {}, \"leaves_refused\": {}, \"mean_reliability\": {:.5}, \"min_reliability\": {:.5}, \"events_measured\": {}, \"partitioned_at_end\": {}, \"wall_ms\": {:.1}}},",
+            "      \"churn\": {{\"n0\": {}, \"final_members\": {}, \"joins_attempted\": {}, \"joins_completed\": {}, \"leaves_completed\": {}, \"leaves_refused\": {}, \"mean_reliability\": {:.5}, \"min_reliability\": {:.5}, \"events_measured\": {}, \"partitioned_at_end\": {}, \"wire_bytes_per_round\": {:.1}, \"wire_messages\": {}, \"wall_ms\": {:.1}}},",
             churn.n0,
             churn.final_members,
             churn.joins_attempted,
@@ -386,6 +391,8 @@ fn main() {
             churn.min_reliability,
             churn.events_measured,
             churn.partitioned_at_end,
+            churn.wire_bytes_per_round(),
+            churn.wire_messages,
             suite.churn_wall_ms
         );
         let catastrophe = &suite.catastrophe;
@@ -394,7 +401,7 @@ fn main() {
             .map_or_else(|| "null".into(), |r| r.to_string());
         let _ = writeln!(
             json,
-            "      \"catastrophe\": {{\"n\": {}, \"crashed\": {}, \"survivors\": {}, \"reliability_before\": {:.5}, \"reliability_after\": {:.5}, \"latency_before_rounds\": {:.3}, \"latency_after_rounds\": {:.3}, \"recovery_rounds\": {recovery}, \"partitioned_after\": {}, \"wall_ms\": {:.1}}},",
+            "      \"catastrophe\": {{\"n\": {}, \"crashed\": {}, \"survivors\": {}, \"reliability_before\": {:.5}, \"reliability_after\": {:.5}, \"latency_before_rounds\": {:.3}, \"latency_after_rounds\": {:.3}, \"recovery_rounds\": {recovery}, \"partitioned_after\": {}, \"wire_bytes_per_round\": {:.1}, \"wire_messages\": {}, \"wall_ms\": {:.1}}},",
             catastrophe.n,
             catastrophe.crashed,
             catastrophe.survivors,
@@ -403,6 +410,8 @@ fn main() {
             catastrophe.latency_before,
             catastrophe.latency_after,
             catastrophe.partitioned_after,
+            catastrophe.wire_bytes_per_round(),
+            catastrophe.wire_messages,
             suite.catastrophe_wall_ms
         );
         let partition = &suite.partition;
@@ -414,11 +423,13 @@ fn main() {
             .map_or_else(|| "null".into(), |r| r.to_string());
         let _ = writeln!(
             json,
-            "      \"partition\": {{\"n\": {}, \"components_before\": {}, \"largest_component_before\": {}, \"rounds_to_connect\": {connect}, \"rounds_to_heal\": {heal}, \"post_heal_reliability\": {:.5}, \"wall_ms\": {:.1}}}",
+            "      \"partition\": {{\"n\": {}, \"components_before\": {}, \"largest_component_before\": {}, \"rounds_to_connect\": {connect}, \"rounds_to_heal\": {heal}, \"post_heal_reliability\": {:.5}, \"wire_bytes_per_round\": {:.1}, \"wire_messages\": {}, \"wall_ms\": {:.1}}}",
             partition.n,
             partition.components_before,
             partition.largest_component_before,
             partition.post_heal_reliability,
+            partition.wire_bytes_per_round(),
+            partition.wire_messages,
             suite.partition_wall_ms
         );
         json.push_str(if si + 1 < suites.len() {

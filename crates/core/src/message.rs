@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use lpbcast_types::{CompactDigest, Event, EventId, ProcessId};
 
-use crate::unsub::Unsubscription;
+use crate::unsub::{UnsubDigest, Unsubscription};
 
 /// The digest of delivered notifications carried by every gossip message
 /// (§3.2 "notification identifiers").
@@ -63,6 +63,67 @@ impl Digest {
     }
 }
 
+/// The unsubscription section of a gossip (§3.4 `gossip.unSubs`), in
+/// either of two lossless representations.
+///
+/// Mirrors [`Digest`]'s flat/compact split: `Flat` is the paper's literal
+/// record list (one `(process, issued_at)` pair per leaver, 16 wire bytes
+/// each); `Digest` aggregates records by issue timestamp
+/// ([`UnsubDigest`]), cutting the per-record wire cost roughly in half
+/// under sustained churn where many leavers share a timestamp. Both
+/// carry exactly the same records, so obsolescence and purge semantics
+/// (§3.4) are representation-independent — proven by the churn A/B test
+/// in `lpbcast-sim`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnsubSection {
+    /// The literal record list (order as drawn from the `unSubs` buffer).
+    Flat(Vec<Unsubscription>),
+    /// Per-timestamp aggregated records (canonical order).
+    Digest(UnsubDigest),
+}
+
+impl UnsubSection {
+    /// An empty section in the `Flat` representation.
+    pub fn empty() -> Self {
+        UnsubSection::Flat(Vec::new())
+    }
+
+    /// Number of unsubscription records carried.
+    pub fn record_count(&self) -> usize {
+        match self {
+            UnsubSection::Flat(records) => records.len(),
+            UnsubSection::Digest(d) => d.record_count(),
+        }
+    }
+
+    /// Whether no records are carried.
+    pub fn is_empty(&self) -> bool {
+        self.record_count() == 0
+    }
+
+    /// Yields every record. Allocation-free — both representations back
+    /// their records with a contiguous slice, and this runs once per
+    /// received gossip on the hot path.
+    pub fn iter(&self) -> impl Iterator<Item = Unsubscription> + '_ {
+        let records = match self {
+            UnsubSection::Flat(records) => records.as_slice(),
+            UnsubSection::Digest(d) => d.records(),
+        };
+        records.iter().copied()
+    }
+
+    /// Whether a record for `process` is present (test helper).
+    pub fn contains_process(&self, process: ProcessId) -> bool {
+        self.iter().any(|u| u.process() == process)
+    }
+}
+
+impl From<Vec<Unsubscription>> for UnsubSection {
+    fn from(records: Vec<Unsubscription>) -> Self {
+        UnsubSection::Flat(records)
+    }
+}
+
 /// A gossip message (§3.2): the single message type that simultaneously
 /// disseminates notifications, digests, unsubscriptions and subscriptions.
 #[derive(Debug, Clone)]
@@ -72,8 +133,9 @@ pub struct Gossip {
     /// Subscriptions to propagate; always contains the sender itself
     /// (Figure 1(b): `gossip.subs ← subs ∪ {pi}`).
     pub subs: Vec<ProcessId>,
-    /// Unsubscriptions to propagate.
-    pub unsubs: Vec<Unsubscription>,
+    /// Unsubscriptions to propagate (flat records or the per-timestamp
+    /// digest, per [`Config::digest_unsubs`](crate::Config)).
+    pub unsubs: UnsubSection,
     /// Notifications received since the sender's last gossip.
     pub events: Vec<Event>,
     /// Digest of all notifications the sender has delivered.
@@ -84,7 +146,7 @@ impl Gossip {
     /// Total wire-visible entry count (used by tests and load accounting).
     pub fn entry_count(&self) -> usize {
         self.subs.len()
-            + self.unsubs.len()
+            + self.unsubs.record_count()
             + self.events.len()
             + self.event_ids.advertised_count() as usize
     }
@@ -197,11 +259,31 @@ mod tests {
         let g = Gossip {
             sender: pid(0),
             subs: vec![pid(0), pid(1)],
-            unsubs: vec![Unsubscription::new(pid(2), LogicalTime::ZERO)],
+            unsubs: vec![Unsubscription::new(pid(2), LogicalTime::ZERO)].into(),
             events: vec![Event::new(eid(3, 0), b"x".as_ref())],
             event_ids: Digest::Ids(vec![eid(3, 0)]),
         };
         assert_eq!(g.entry_count(), 2 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn unsub_section_forms_agree() {
+        let records = vec![
+            Unsubscription::new(pid(1), LogicalTime::new(4)),
+            Unsubscription::new(pid(2), LogicalTime::new(4)),
+        ];
+        let flat = UnsubSection::Flat(records.clone());
+        let digest = UnsubSection::Digest(UnsubDigest::from_records(records));
+        assert_eq!(flat.record_count(), 2);
+        assert_eq!(digest.record_count(), 2);
+        assert!(flat.contains_process(pid(2)) && digest.contains_process(pid(2)));
+        assert!(!digest.contains_process(pid(9)));
+        let mut a: Vec<_> = flat.iter().collect();
+        let mut b: Vec<_> = digest.iter().collect();
+        a.sort_by_key(|u| u.process());
+        b.sort_by_key(|u| u.process());
+        assert_eq!(a, b, "same records regardless of representation");
+        assert!(UnsubSection::empty().is_empty());
     }
 
     #[test]

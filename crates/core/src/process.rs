@@ -9,10 +9,10 @@ use crate::archive::EventArchive;
 use crate::config::Config;
 use crate::history::EventHistory;
 use crate::join::JoinState;
-use crate::message::{Gossip, Message, Output};
+use crate::message::{Gossip, Message, Output, UnsubSection};
 use crate::stats::ProcessStats;
 use crate::time::LogicalTime;
-use crate::unsub::{UnsubscribeRefused, Unsubscription};
+use crate::unsub::{UnsubDigest, UnsubscribeRefused, Unsubscription};
 
 /// One lpbcast process: a deterministic, sans-IO state machine.
 ///
@@ -313,14 +313,20 @@ impl Lpbcast {
             }
         }
 
-        // gossip.unSubs ← unSubs, dropping obsolete records (§3.4).
+        // gossip.unSubs ← unSubs, dropping obsolete records (§3.4). With
+        // `digest_unsubs` the records are aggregated per issue timestamp
+        // (leave cohorts share a logical clock value), halving the wire
+        // cost of the section churn §3.4 says grows with the leave rate;
+        // the record set carried is identical either way.
         let now = self.now;
         let window = self.config.unsub_obsolescence;
         self.unsubs.retain(|u| !u.is_obsolete(now, window));
-        let gossip_unsubs = if include_membership {
-            self.unsubs.to_vec()
+        let gossip_unsubs = if !include_membership {
+            UnsubSection::empty()
+        } else if self.config.digest_unsubs {
+            UnsubSection::Digest(UnsubDigest::from_records(self.unsubs.to_vec()))
         } else {
-            Vec::new()
+            UnsubSection::Flat(self.unsubs.to_vec())
         };
 
         // gossip.events ← events; events ← ∅.
@@ -364,7 +370,9 @@ impl Lpbcast {
         self.join = None;
 
         // ── Phase 1: unsubscriptions ──────────────────────────────────
-        for unsub in &gossip.unsubs {
+        // Representation-agnostic: flat and digested sections yield the
+        // same records, so the §3.4 purge path below cannot diverge.
+        for unsub in gossip.unsubs.iter() {
             if unsub.is_obsolete(self.now, self.config.unsub_obsolescence) {
                 continue;
             }
@@ -374,7 +382,7 @@ impl Lpbcast {
                     .membership
                     .push(MembershipEvent::Left(unsub.process()));
             }
-            self.unsubs.insert(*unsub);
+            self.unsubs.insert(unsub);
         }
         self.unsubs.truncate_random_count(&mut self.rng);
 
@@ -604,7 +612,7 @@ mod tests {
         let echo = Gossip {
             sender: pid(1),
             subs: vec![pid(1)],
-            unsubs: vec![],
+            unsubs: UnsubSection::empty(),
             events: vec![Event::new(id, b"x".as_ref())],
             event_ids: Digest::empty(),
         };
@@ -703,7 +711,7 @@ mod tests {
         let gossip = Gossip {
             sender: pid(1),
             subs: vec![pid(1), pid(2), pid(3)],
-            unsubs: vec![],
+            unsubs: UnsubSection::empty(),
             events: vec![],
             event_ids: Digest::empty(),
         };
@@ -723,7 +731,7 @@ mod tests {
         let gossip = Gossip {
             sender: pid(1),
             subs: vec![pid(0)],
-            unsubs: vec![],
+            unsubs: UnsubSection::empty(),
             events: vec![],
             event_ids: Digest::empty(),
         };
@@ -742,7 +750,7 @@ mod tests {
         let gossip = Gossip {
             sender: pid(1),
             subs: vec![pid(3), pid(4)],
-            unsubs: vec![],
+            unsubs: UnsubSection::empty(),
             events: vec![],
             event_ids: Digest::empty(),
         };
@@ -766,7 +774,7 @@ mod tests {
         let gossip = Gossip {
             sender: pid(1),
             subs: vec![pid(1)],
-            unsubs: vec![unsub],
+            unsubs: vec![unsub].into(),
             events: vec![],
             event_ids: Digest::empty(),
         };
@@ -795,7 +803,7 @@ mod tests {
         let gossip = Gossip {
             sender: pid(1),
             subs: vec![pid(1)],
-            unsubs: vec![stale],
+            unsubs: vec![stale].into(),
             events: vec![],
             event_ids: Digest::empty(),
         };
@@ -833,7 +841,7 @@ mod tests {
         let gossip = Gossip {
             sender: pid(1),
             subs: vec![],
-            unsubs,
+            unsubs: unsubs.into(),
             events: vec![],
             event_ids: Digest::empty(),
         };
@@ -883,7 +891,7 @@ mod tests {
         let gossip = Gossip {
             sender: pid(1),
             subs: vec![pid(1)],
-            unsubs: vec![],
+            unsubs: UnsubSection::empty(),
             events: vec![],
             event_ids: Digest::empty(),
         };
@@ -916,7 +924,7 @@ mod tests {
         let mk = |events: Vec<Event>| Gossip {
             sender: pid(1),
             subs: vec![pid(1)],
-            unsubs: vec![],
+            unsubs: UnsubSection::empty(),
             events,
             event_ids: Digest::empty(),
         };
@@ -944,7 +952,7 @@ mod tests {
         let mk = |events: Vec<Event>| Gossip {
             sender: pid(1),
             subs: vec![pid(1)],
-            unsubs: vec![],
+            unsubs: UnsubSection::empty(),
             events,
             event_ids: Digest::empty(),
         };
@@ -970,7 +978,7 @@ mod tests {
         let gossip = Gossip {
             sender: pid(1),
             subs: vec![pid(1)],
-            unsubs: vec![],
+            unsubs: UnsubSection::empty(),
             events: vec![],
             event_ids: Digest::Ids(vec![id]),
         };
@@ -993,7 +1001,7 @@ mod tests {
         let gossip = Gossip {
             sender: pid(1),
             subs: vec![pid(1)],
-            unsubs: vec![],
+            unsubs: UnsubSection::empty(),
             events: vec![],
             event_ids: Digest::Ids(vec![id]),
         };
@@ -1018,7 +1026,7 @@ mod tests {
         let gossip = Gossip {
             sender: pid(0),
             subs: vec![pid(0)],
-            unsubs: vec![],
+            unsubs: UnsubSection::empty(),
             events: vec![],
             event_ids: holder.history().to_digest(),
         };

@@ -67,6 +67,139 @@ impl fmt::Display for Unsubscription {
     }
 }
 
+/// Unsubscription records aggregated by issue timestamp — the wire-cost
+/// compaction of the `unSubs` gossip section.
+///
+/// §3.4 documents that unsubscription sections grow with the leave rate:
+/// every membership gossip carries the whole live `unSubs` buffer, at 16
+/// bytes per record on the wire. Under sustained churn the records
+/// cluster on a handful of recent logical timestamps (every process that
+/// left in round *t* stamped its record *t*), so grouping by timestamp
+/// stores each `issued_at` once and the member list as bare process ids —
+/// ~8 bytes per record plus a few bytes per distinct timestamp.
+///
+/// The digest is a pure *wire* compaction: [`iter`](UnsubDigest::iter)
+/// yields the records in their **original order**, so a process handling
+/// a digested section behaves bit-identically to one handling the flat
+/// list (the churn-scenario A/B test pins that equivalence end-to-end —
+/// even the incidental order of view removals is preserved, which
+/// index-based random target selection is sensitive to). Only the wire
+/// form ([`groups`](UnsubDigest::groups), built once at construction) is
+/// canonical: groups sorted by timestamp, ids sorted within each group.
+///
+/// Scope of the bit-identity claim: it covers in-memory delivery (the
+/// simulator and every deterministic harness). Wire *decoding*
+/// reconstructs records in canonical group order — the original
+/// sender-side order is not carried — so on the UDP runtime a digested
+/// section is processed in a different order than a flat one. The
+/// record set, obsolescence checks and purge outcomes are identical
+/// either way; only incidental processing order differs, and the UDP
+/// path has no run-level determinism for it to perturb (real timers and
+/// sockets already reorder everything).
+#[derive(Debug, Clone, Default)]
+pub struct UnsubDigest {
+    /// The aggregated records, original order (the iteration source).
+    records: Vec<Unsubscription>,
+    /// `(issued_at, leavers)` wire groups, sorted by timestamp with ids
+    /// sorted within each group; built once at construction.
+    groups: Vec<(LogicalTime, Vec<ProcessId>)>,
+}
+
+/// Builds the canonical per-timestamp groups of `records`.
+fn canonical_groups(records: &[Unsubscription]) -> Vec<(LogicalTime, Vec<ProcessId>)> {
+    let mut sorted: Vec<(LogicalTime, ProcessId)> = records
+        .iter()
+        .map(|u| (u.issued_at(), u.process()))
+        .collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut groups: Vec<(LogicalTime, Vec<ProcessId>)> = Vec::new();
+    for (t, p) in sorted {
+        match groups.last_mut() {
+            Some((gt, ids)) if *gt == t => ids.push(p),
+            _ => groups.push((t, vec![p])),
+        }
+    }
+    groups
+}
+
+impl UnsubDigest {
+    /// An empty digest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Aggregates `records`, preserving their order for iteration and
+    /// precomputing the canonical wire groups.
+    pub fn from_records<I>(records: I) -> Self
+    where
+        I: IntoIterator<Item = Unsubscription>,
+    {
+        let records: Vec<Unsubscription> = records.into_iter().collect();
+        let groups = canonical_groups(&records);
+        UnsubDigest { records, groups }
+    }
+
+    /// Rebuilds a group from its wire parts (wire decoding). The decoded
+    /// records materialise in group order — over the wire the original
+    /// sender-side order is not carried.
+    pub fn push_group(&mut self, issued_at: LogicalTime, mut processes: Vec<ProcessId>) {
+        processes.sort_unstable();
+        processes.dedup();
+        if processes.is_empty() {
+            return;
+        }
+        self.records
+            .extend(processes.iter().map(|&p| Unsubscription::new(p, issued_at)));
+        // Sorted insertion: encoder-produced groups arrive ascending, so
+        // the common case appends in O(1); only hostile out-of-order
+        // input pays the memmove (never a whole-vector re-sort per call).
+        let pos = self.groups.partition_point(|(t, _)| *t <= issued_at);
+        self.groups.insert(pos, (issued_at, processes));
+    }
+
+    /// The aggregated records in original (sender buffer) order — the
+    /// slice [`iter`](UnsubDigest::iter) walks.
+    pub fn records(&self) -> &[Unsubscription] {
+        &self.records
+    }
+
+    /// The `(issued_at, leavers)` wire groups, ascending by timestamp.
+    pub fn groups(&self) -> &[(LogicalTime, Vec<ProcessId>)] {
+        &self.groups
+    }
+
+    /// Number of distinct timestamps on the wire.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total unsubscription records carried.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the digest holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Yields every record in original (sender buffer) order.
+    pub fn iter(&self) -> impl Iterator<Item = Unsubscription> + '_ {
+        self.records.iter().copied()
+    }
+}
+
+/// Equality is by the canonical wire form: two digests are equal when
+/// they carry the same record set, regardless of iteration order.
+impl PartialEq for UnsubDigest {
+    fn eq(&self, other: &Self) -> bool {
+        self.groups == other.groups
+    }
+}
+
+impl Eq for UnsubDigest {}
+
 /// Error returned when a process's own unsubscription is refused.
 ///
 /// §3.4: *"the unsubscription of any process is refused as long as the
@@ -124,6 +257,61 @@ mod tests {
         set.insert(a);
         assert!(!set.insert(b), "same process deduplicates");
         assert!(set.insert(c));
+    }
+
+    #[test]
+    fn unsub_digest_is_canonical_and_lossless() {
+        let records = [
+            Unsubscription::new(pid(9), LogicalTime::new(3)),
+            Unsubscription::new(pid(1), LogicalTime::new(7)),
+            Unsubscription::new(pid(4), LogicalTime::new(3)),
+            Unsubscription::new(pid(2), LogicalTime::new(7)),
+        ];
+        let digest = UnsubDigest::from_records(records);
+        assert_eq!(digest.group_count(), 2, "two distinct timestamps");
+        assert_eq!(digest.record_count(), 4);
+        assert_eq!(
+            digest.groups()[0],
+            (LogicalTime::new(3), vec![pid(4), pid(9)]),
+            "wire groups ascend by time, ids sorted within"
+        );
+        // Lossless AND order-preserving: iteration yields the records
+        // exactly as given (a digested section must be behaviourally
+        // indistinguishable from the flat list on the receive path).
+        let out: Vec<Unsubscription> = digest.iter().collect();
+        assert_eq!(out, records.to_vec());
+        assert_eq!(
+            out.iter().map(|u| u.issued_at()).collect::<Vec<_>>(),
+            vec![
+                LogicalTime::new(3),
+                LogicalTime::new(7),
+                LogicalTime::new(3),
+                LogicalTime::new(7),
+            ],
+            "original interleaving preserved"
+        );
+        // Canonical wire form: any input order yields an equal digest.
+        let mut reversed = records;
+        reversed.reverse();
+        assert_eq!(digest, UnsubDigest::from_records(reversed));
+    }
+
+    #[test]
+    fn unsub_digest_push_group_canonicalises() {
+        let mut digest = UnsubDigest::new();
+        digest.push_group(LogicalTime::new(9), vec![pid(3), pid(1), pid(3)]);
+        digest.push_group(LogicalTime::new(2), vec![pid(5)]);
+        digest.push_group(LogicalTime::new(4), vec![]);
+        assert_eq!(digest.group_count(), 2, "empty group dropped");
+        assert_eq!(digest.groups()[0].0, LogicalTime::new(2));
+        assert_eq!(
+            digest.groups()[1].1,
+            vec![pid(1), pid(3)],
+            "sorted, deduped"
+        );
+        assert_eq!(digest.record_count(), 3);
+        assert!(!digest.is_empty());
+        assert!(UnsubDigest::new().is_empty());
     }
 
     #[test]

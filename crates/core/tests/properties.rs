@@ -51,7 +51,8 @@ fn build_gossip(r: &GossipRecipe) -> Gossip {
             .unsub
             .iter()
             .map(|&p| Unsubscription::new(pid(p), LogicalTime::ZERO))
-            .collect(),
+            .collect::<Vec<_>>()
+            .into(),
         events: r
             .events
             .iter()

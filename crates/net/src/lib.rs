@@ -58,4 +58,4 @@ pub mod wire;
 
 pub use error::NetError;
 pub use node::{AddressBook, NetConfig, NetNode, NetOpts, NodeSnapshot};
-pub use wire::WireMessage;
+pub use wire::{wire_meter, WireMessage, WireStats};

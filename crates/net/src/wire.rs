@@ -15,13 +15,19 @@
 //! to such a node the batch looks like message loss. Mixed-version
 //! clusters are therefore unsupported; upgrade all peers together.
 //!
-//! lpbcast [`Message`] kinds (unchanged since v1):
+//! lpbcast [`Message`] kinds (the `unSubs` section grew a representation
+//! byte with the wire-cost compaction work — a pre-compaction decoder
+//! rejects the new gossip layout, so as with batching, mixed-version
+//! clusters are unsupported):
 //!
 //! ```text
 //! kind 0 — Gossip:
 //!   u64 sender
 //!   u16 |subs|    then |subs| × u64
-//!   u16 |unsubs|  then |unsubs| × (u64 process, u64 issued_at)
+//!   u8  unsubs kind (0 = flat records, 1 = per-timestamp digest)
+//!     0: u16 |unsubs|  then |unsubs| × (u64 process, u64 issued_at)
+//!     1: u16 |groups|  then per group:
+//!        u64 issued_at, u16 |leavers| then |leavers| × u64
 //!   u16 |events|  then |events| × (u64 origin, u64 seq, u32 len, bytes)
 //!   u8  digest kind (0 = id list, 1 = compact)
 //!     0: u16 |ids| then |ids| × (u64 origin, u64 seq)
@@ -35,14 +41,35 @@
 //!
 //! pbcast [`PbcastMessage`] kinds live in a disjoint tag space (16+), so
 //! a datagram from a cluster running the other protocol fails fast with
-//! [`WireError::BadTag`] instead of half-decoding:
+//! [`WireError::BadTag`] instead of half-decoding. The per-origin compact
+//! digest uses its own tag (19), keeping the historical flat form (17)
+//! decode-compatible:
 //!
 //! ```text
 //! kind 16 — Multicast:    event (u64 origin, u64 seq, u32 len, bytes), u32 hops
-//! kind 17 — GossipDigest: u64 sender,
+//! kind 17 — GossipDigest (flat):
+//!                         u64 sender,
 //!                         u16 |entries| then |entries| × (u64 origin, u64 seq, u32 hops),
 //!                         u16 |subs| then |subs| × u64
 //! kind 18 — Solicit:      u16 |ids| then |ids| × (u64, u64)
+//! kind 19 — GossipDigest (compact, §3.2 per-origin ranges):
+//!                         u64 sender,
+//!                         u16 |ranges| then |ranges| ×
+//!                           (u64 origin, u64 min_seq, u16 span,
+//!                            u16 |gaps| then |gaps| × u16 offset,
+//!                            u32 hops),
+//!                         u16 |subs| then |subs| × u64
+//!                         (span = max_seq - min_seq; gap offsets are
+//!                         relative to min_seq, strictly ascending)
+//! ```
+//!
+//! pub/sub [`PubSubMessage`] frames live at tag 32: a UTF-8 topic label
+//! followed by the inner lpbcast message body, so one transport carries
+//! many topics:
+//!
+//! ```text
+//! kind 32 — PubSub:       u16 |topic| then |topic| UTF-8 bytes,
+//!                         inner lpbcast kind + body
 //! ```
 //!
 //! Every length is validated against the remaining buffer before any
@@ -51,8 +78,11 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use core::fmt;
 
-use lpbcast_core::{Digest, Gossip, LogicalTime, Message, Unsubscription};
-use lpbcast_pbcast::{DigestEntry, GossipDigest, PbcastMessage};
+use lpbcast_core::{
+    Digest, Gossip, LogicalTime, Message, UnsubDigest, UnsubSection, Unsubscription,
+};
+use lpbcast_pbcast::{DigestEntries, DigestEntry, GossipDigest, OriginRange, PbcastMessage};
+use lpbcast_pubsub::{PubSubMessage, TopicId};
 use lpbcast_types::{CompactDigest, Event, EventId, ProcessId};
 
 /// First byte of every datagram.
@@ -62,6 +92,8 @@ pub const VERSION: u8 = 1;
 /// Hard cap on a single event payload accepted from the wire (64 KiB — a
 /// UDP datagram cannot exceed this anyway).
 pub const MAX_PAYLOAD: usize = 64 * 1024;
+/// Hard cap on a pub/sub topic label accepted from the wire.
+pub const MAX_TOPIC: usize = 1024;
 
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +110,8 @@ pub enum WireError {
     LengthOverflow(usize),
     /// Trailing bytes after a complete message.
     TrailingBytes(usize),
+    /// A pub/sub topic label is not valid UTF-8 or exceeds [`MAX_TOPIC`].
+    BadTopic,
 }
 
 impl fmt::Display for WireError {
@@ -89,6 +123,7 @@ impl fmt::Display for WireError {
             WireError::BadTag(t) => write!(f, "unknown tag {t}"),
             WireError::LengthOverflow(l) => write!(f, "declared length {l} exceeds buffer"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::BadTopic => write!(f, "malformed pub/sub topic label"),
         }
     }
 }
@@ -117,6 +152,50 @@ pub trait WireMessage: Sized + Clone + core::fmt::Debug {
     /// for every destination.
     fn body_key(&self) -> Option<usize> {
         None
+    }
+
+    /// Exact number of bytes [`encode`] produces for this message (frame
+    /// header included), computed arithmetically — no buffer is written,
+    /// so byte accounting on simulator hot paths costs a few integer
+    /// adds per message instead of a full serialization. Pinned to the
+    /// real encoder by property tests.
+    fn encoded_len(&self) -> usize;
+}
+
+/// Cumulative byte/message counts of a [`wire_meter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Messages measured.
+    pub messages: u64,
+    /// Total encoded bytes (frame headers included).
+    pub bytes: u64,
+}
+
+/// A per-message byte meter for simulation drivers: returns the exact
+/// encoded frame length of each message offered. Shared (`Arc`'d) bodies
+/// are measured once and the length reused for every fanout copy via
+/// [`WireMessage::body_key`] — the same once-per-body discipline the UDP
+/// runtime's frame cache uses, matching its one-encode-per-body cost
+/// model.
+pub fn wire_meter<M: WireMessage + Send>() -> impl FnMut(&M) -> usize + Send {
+    // (body key, frame len, keep-alive clone). The clone pins the cached
+    // body's allocation: `body_key` is an `Arc` address, and without the
+    // pin a *freed* body's address could be recycled by a later
+    // allocation, turning the cache into an allocator-dependent (hence
+    // nondeterministic) false hit.
+    let mut last: Option<(usize, usize, M)> = None;
+    move |message: &M| {
+        let Some(key) = message.body_key() else {
+            return message.encoded_len();
+        };
+        if let Some((cached_key, len, _)) = &last {
+            if *cached_key == key {
+                return *len;
+            }
+        }
+        let len = message.encoded_len();
+        last = Some((key, len, message.clone()));
+        len
     }
 }
 
@@ -182,6 +261,44 @@ impl WireMessage for Message {
             _ => None,
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        3 + match self {
+            Message::Gossip(g) => gossip_len(g),
+            Message::Subscribe { .. } => 8,
+            Message::RetransmitRequest { ids } => 2 + 16 * ids.len(),
+            Message::RetransmitResponse { events } => events_len(events),
+        }
+    }
+}
+
+/// Exact encoded size of an event list section.
+fn events_len(events: &[Event]) -> usize {
+    2 + events.iter().map(|e| 20 + e.payload().len()).sum::<usize>()
+}
+
+/// Exact encoded size of a gossip body (kind byte excluded).
+fn gossip_len(g: &Gossip) -> usize {
+    let unsubs = 1 + match &g.unsubs {
+        UnsubSection::Flat(records) => 2 + 16 * records.len(),
+        UnsubSection::Digest(d) => {
+            2 + d
+                .groups()
+                .iter()
+                .map(|(_, ids)| 10 + 8 * ids.len())
+                .sum::<usize>()
+        }
+    };
+    let digest = 1 + match &g.event_ids {
+        Digest::Ids(ids) => 2 + 16 * ids.len(),
+        Digest::Compact(d) => {
+            2 + d
+                .iter()
+                .map(|(_, od)| 18 + 8 * od.out_of_order().count())
+                .sum::<usize>()
+        }
+    };
+    8 + 2 + 8 * g.subs.len() + unsubs + events_len(&g.events) + digest
 }
 
 impl WireMessage for PbcastMessage {
@@ -193,13 +310,33 @@ impl WireMessage for PbcastMessage {
                 buf.put_u32_le(*hops);
             }
             PbcastMessage::GossipDigest(d) => {
-                buf.put_u8(17);
-                buf.put_u64_le(d.sender.as_u64());
-                buf.put_u16_le(d.entries.len() as u16);
-                for e in &d.entries {
-                    buf.put_u64_le(e.id.origin().as_u64());
-                    buf.put_u64_le(e.id.seq());
-                    buf.put_u32_le(e.hops);
+                match &d.entries {
+                    DigestEntries::Flat(entries) => {
+                        buf.put_u8(17);
+                        buf.put_u64_le(d.sender.as_u64());
+                        buf.put_u16_le(entries.len() as u16);
+                        for e in entries {
+                            buf.put_u64_le(e.id.origin().as_u64());
+                            buf.put_u64_le(e.id.seq());
+                            buf.put_u32_le(e.hops);
+                        }
+                    }
+                    DigestEntries::Compact(ranges) => {
+                        buf.put_u8(19);
+                        buf.put_u64_le(d.sender.as_u64());
+                        buf.put_u16_le(ranges.len() as u16);
+                        for r in ranges {
+                            debug_assert!(r.max_seq - r.min_seq <= OriginRange::MAX_SPAN);
+                            buf.put_u64_le(r.origin.as_u64());
+                            buf.put_u64_le(r.min_seq);
+                            buf.put_u16_le((r.max_seq - r.min_seq) as u16);
+                            buf.put_u16_le(r.gaps.len() as u16);
+                            for &gap in &r.gaps {
+                                buf.put_u16_le((gap - r.min_seq) as u16);
+                            }
+                            buf.put_u32_le(r.hops);
+                        }
+                    }
                 }
                 buf.put_u16_le(d.subs.len() as u16);
                 for p in &d.subs {
@@ -235,21 +372,72 @@ impl WireMessage for PbcastMessage {
                         hops,
                     });
                 }
-                let n_subs = take_u16(buf)? as usize;
-                check_capacity(buf, n_subs, 8)?;
-                let mut subs = Vec::with_capacity(n_subs);
-                for _ in 0..n_subs {
-                    subs.push(ProcessId::new(take_u64(buf)?));
-                }
                 PbcastMessage::digest(GossipDigest {
                     sender,
-                    entries,
-                    subs,
+                    entries: DigestEntries::Flat(entries),
+                    subs: decode_pids(buf)?,
                 })
             }
             18 => PbcastMessage::Solicit {
                 ids: decode_ids(buf)?,
             },
+            19 => {
+                let sender = ProcessId::new(take_u64(buf)?);
+                let n_ranges = take_u16(buf)? as usize;
+                check_capacity(buf, n_ranges, DigestEntries::RANGE_BYTES)?;
+                let mut ranges = Vec::with_capacity(n_ranges);
+                // A flat digest can never advertise more than u16::MAX
+                // ids (its entry count is a u16); the compact form must
+                // honour the same ceiling *summed across ranges*, or a
+                // 64 KiB datagram of full-span ranges would make the
+                // receiver's missing-scan materialise ~2⁷ × 2¹⁶ ids —
+                // exactly the huge-allocation class this module promises
+                // hostile datagrams cannot trigger.
+                let mut total_advertised: u64 = 0;
+                for _ in 0..n_ranges {
+                    let origin = ProcessId::new(take_u64(buf)?);
+                    let min_seq = take_u64(buf)?;
+                    // Span and gap offsets travel as u16, so a single
+                    // range cannot cover more than 65536 ids, and
+                    // `min_seq + span` must not wrap.
+                    let span = take_u16(buf)? as u64;
+                    let max_seq = min_seq
+                        .checked_add(span)
+                        .ok_or(WireError::LengthOverflow(span as usize))?;
+                    total_advertised += span + 1;
+                    if total_advertised > 1 << 16 {
+                        return Err(WireError::LengthOverflow(total_advertised as usize));
+                    }
+                    let n_gaps = take_u16(buf)? as usize;
+                    check_capacity(buf, n_gaps, 2)?;
+                    let mut gaps = Vec::with_capacity(n_gaps);
+                    let mut prev: Option<u64> = None;
+                    for _ in 0..n_gaps {
+                        let offset = take_u16(buf)? as u64;
+                        let gap = min_seq + offset;
+                        // Offsets must ascend strictly within the span —
+                        // the receiver's gap cursor relies on it.
+                        if offset > span || prev.is_some_and(|p| gap <= p) {
+                            return Err(WireError::LengthOverflow(offset as usize));
+                        }
+                        prev = Some(gap);
+                        gaps.push(gap);
+                    }
+                    let hops = take_u32(buf)?;
+                    ranges.push(OriginRange {
+                        origin,
+                        min_seq,
+                        max_seq,
+                        gaps,
+                        hops,
+                    });
+                }
+                PbcastMessage::digest(GossipDigest {
+                    sender,
+                    entries: DigestEntries::Compact(ranges),
+                    subs: decode_pids(buf)?,
+                })
+            }
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -260,6 +448,62 @@ impl WireMessage for PbcastMessage {
             _ => None,
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        3 + match self {
+            PbcastMessage::Multicast { event, .. } => 20 + event.payload().len() + 4,
+            PbcastMessage::GossipDigest(d) => 8 + 2 + d.entries.wire_cost() + 2 + 8 * d.subs.len(),
+            PbcastMessage::Solicit { ids } => 2 + 16 * ids.len(),
+        }
+    }
+}
+
+impl WireMessage for PubSubMessage {
+    fn encode_body(&self, buf: &mut BytesMut) {
+        buf.put_u8(32);
+        let name = self.topic.name().as_bytes();
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name);
+        self.inner.encode_body(buf);
+    }
+
+    fn decode_body(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let kind = take_u8(buf)?;
+        if kind != 32 {
+            return Err(WireError::BadTag(kind));
+        }
+        let len = take_u16(buf)? as usize;
+        if len > MAX_TOPIC || len > buf.remaining() {
+            return Err(WireError::LengthOverflow(len));
+        }
+        let topic = core::str::from_utf8(&buf[..len]).map_err(|_| WireError::BadTopic)?;
+        if topic.is_empty() {
+            return Err(WireError::BadTopic);
+        }
+        let topic = TopicId::new(topic);
+        buf.advance(len);
+        let inner = Message::decode_body(buf)?;
+        Ok(PubSubMessage { topic, inner })
+    }
+
+    fn body_key(&self) -> Option<usize> {
+        // The frame embeds the topic label, so the shared-body identity
+        // must distinguish the same Arc'd gossip sent on two topics
+        // (cannot happen today — each topic group builds its own body —
+        // but the cache key must not rely on that).
+        use core::hash::{Hash, Hasher};
+        self.inner.body_key().map(|k| {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            self.topic.name().hash(&mut hasher);
+            k ^ hasher.finish() as usize
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        // Own header + kind + topic, plus the inner kind + body (the
+        // inner message's encoded_len minus its 2-byte frame header).
+        3 + 2 + self.topic.name().len() + (self.inner.encoded_len() - 2)
+    }
 }
 
 fn encode_gossip(buf: &mut BytesMut, g: &Gossip) {
@@ -268,10 +512,29 @@ fn encode_gossip(buf: &mut BytesMut, g: &Gossip) {
     for p in &g.subs {
         buf.put_u64_le(p.as_u64());
     }
-    buf.put_u16_le(g.unsubs.len() as u16);
-    for u in &g.unsubs {
-        buf.put_u64_le(u.process().as_u64());
-        buf.put_u64_le(u.issued_at().as_u64());
+    // The unSubs section is representation-preserving: the sender's
+    // `digest_unsubs` configuration decides the form, the codec carries
+    // it verbatim (so decode → re-encode is byte-identical).
+    match &g.unsubs {
+        UnsubSection::Flat(records) => {
+            buf.put_u8(0);
+            buf.put_u16_le(records.len() as u16);
+            for u in records {
+                buf.put_u64_le(u.process().as_u64());
+                buf.put_u64_le(u.issued_at().as_u64());
+            }
+        }
+        UnsubSection::Digest(d) => {
+            buf.put_u8(1);
+            buf.put_u16_le(d.group_count() as u16);
+            for (issued_at, leavers) in d.groups() {
+                buf.put_u64_le(issued_at.as_u64());
+                buf.put_u16_le(leavers.len() as u16);
+                for p in leavers {
+                    buf.put_u64_le(p.as_u64());
+                }
+            }
+        }
     }
     encode_events(buf, &g.events);
     match &g.event_ids {
@@ -371,22 +634,43 @@ pub fn decode_frames<M: WireMessage>(mut data: &[u8]) -> Result<Vec<M>, WireErro
     Ok(messages)
 }
 
+fn decode_pids(buf: &mut &[u8]) -> Result<Vec<ProcessId>, WireError> {
+    let n = take_u16(buf)? as usize;
+    check_capacity(buf, n, 8)?;
+    let mut pids = Vec::with_capacity(n);
+    for _ in 0..n {
+        pids.push(ProcessId::new(take_u64(buf)?));
+    }
+    Ok(pids)
+}
+
 fn decode_gossip(buf: &mut &[u8]) -> Result<Gossip, WireError> {
     let sender = ProcessId::new(take_u64(buf)?);
-    let n_subs = take_u16(buf)? as usize;
-    check_capacity(buf, n_subs, 8)?;
-    let mut subs = Vec::with_capacity(n_subs);
-    for _ in 0..n_subs {
-        subs.push(ProcessId::new(take_u64(buf)?));
-    }
-    let n_unsubs = take_u16(buf)? as usize;
-    check_capacity(buf, n_unsubs, 16)?;
-    let mut unsubs = Vec::with_capacity(n_unsubs);
-    for _ in 0..n_unsubs {
-        let p = ProcessId::new(take_u64(buf)?);
-        let t = LogicalTime::new(take_u64(buf)?);
-        unsubs.push(Unsubscription::new(p, t));
-    }
+    let subs = decode_pids(buf)?;
+    let unsubs = match take_u8(buf)? {
+        0 => {
+            let n_unsubs = take_u16(buf)? as usize;
+            check_capacity(buf, n_unsubs, 16)?;
+            let mut records = Vec::with_capacity(n_unsubs);
+            for _ in 0..n_unsubs {
+                let p = ProcessId::new(take_u64(buf)?);
+                let t = LogicalTime::new(take_u64(buf)?);
+                records.push(Unsubscription::new(p, t));
+            }
+            UnsubSection::Flat(records)
+        }
+        1 => {
+            let n_groups = take_u16(buf)? as usize;
+            check_capacity(buf, n_groups, 10)?;
+            let mut digest = UnsubDigest::new();
+            for _ in 0..n_groups {
+                let issued_at = LogicalTime::new(take_u64(buf)?);
+                digest.push_group(issued_at, decode_pids(buf)?);
+            }
+            UnsubSection::Digest(digest)
+        }
+        t => return Err(WireError::BadTag(t)),
+    };
     let events = decode_events(buf)?;
     let digest_kind = take_u8(buf)?;
     let event_ids = match digest_kind {
@@ -509,7 +793,7 @@ mod tests {
         Message::gossip(Gossip {
             sender: pid(3),
             subs: vec![pid(3), pid(7)],
-            unsubs: vec![Unsubscription::new(pid(9), LogicalTime::new(42))],
+            unsubs: vec![Unsubscription::new(pid(9), LogicalTime::new(42))].into(),
             events: vec![
                 Event::new(eid(1, 0), b"alpha".as_ref()),
                 Event::new(eid(2, 5), Bytes::new()),
@@ -539,7 +823,7 @@ mod tests {
         assert_roundtrip(Message::gossip(Gossip {
             sender: pid(0),
             subs: vec![],
-            unsubs: vec![],
+            unsubs: UnsubSection::empty(),
             events: vec![],
             event_ids: Digest::Compact(d),
         }));
@@ -552,7 +836,7 @@ mod tests {
         let msg = Message::gossip(Gossip {
             sender: pid(0),
             subs: vec![],
-            unsubs: vec![],
+            unsubs: UnsubSection::empty(),
             events: vec![],
             event_ids: Digest::Compact(d.clone()),
         });
@@ -665,7 +949,7 @@ mod tests {
         let msg = Message::gossip(Gossip {
             sender: pid(1),
             subs: vec![pid(1)],
-            unsubs: vec![],
+            unsubs: UnsubSection::empty(),
             events: vec![],
             event_ids: Digest::Ids(vec![]),
         });
@@ -674,9 +958,9 @@ mod tests {
     }
 
     fn sample_pbcast_digest() -> PbcastMessage {
-        PbcastMessage::digest(GossipDigest {
-            sender: pid(4),
-            entries: vec![
+        PbcastMessage::digest(GossipDigest::flat(
+            pid(4),
+            vec![
                 DigestEntry {
                     id: eid(1, 0),
                     hops: 2,
@@ -686,8 +970,8 @@ mod tests {
                     hops: 0,
                 },
             ],
-            subs: vec![pid(4), pid(7)],
-        })
+            vec![pid(4), pid(7)],
+        ))
     }
 
     #[test]
@@ -747,6 +1031,103 @@ mod tests {
         assert!(
             decode_frames::<Message>(&[]).is_err(),
             "empty datagram rejected"
+        );
+    }
+
+    #[test]
+    fn compact_digest_total_span_is_capped() {
+        // One full-span range decodes; several of them would let a tiny
+        // datagram amplify into a gigascan, so the decoder must reject
+        // the digest once the summed span passes the flat form's
+        // inherent u16-count ceiling.
+        let range = |origin: u64| OriginRange {
+            origin: pid(origin),
+            min_seq: 0,
+            max_seq: u16::MAX as u64,
+            gaps: vec![],
+            hops: 1,
+        };
+        let mk = |ranges: Vec<OriginRange>| {
+            PbcastMessage::digest(GossipDigest {
+                sender: pid(0),
+                entries: DigestEntries::Compact(ranges),
+                subs: vec![],
+            })
+        };
+        let single = encode(&mk(vec![range(1)]));
+        assert!(decode::<PbcastMessage>(&single).is_ok(), "one span is fine");
+        let double = encode(&mk(vec![range(1), range(2)]));
+        assert!(
+            matches!(
+                decode::<PbcastMessage>(&double),
+                Err(WireError::LengthOverflow(_))
+            ),
+            "summed spans past u16::MAX must be rejected"
+        );
+    }
+
+    #[test]
+    fn digested_unsubs_roughly_halve_the_section_cost() {
+        // 900 leavers across 9 timestamps — the shape of the n=10⁴ churn
+        // steady state (100 leavers/round, 9-tick obsolescence window).
+        let records: Vec<Unsubscription> = (0..900u64)
+            .map(|i| Unsubscription::new(pid(i), LogicalTime::new(i % 9)))
+            .collect();
+        let mk = |unsubs: UnsubSection| {
+            Message::gossip(Gossip {
+                sender: pid(0),
+                subs: vec![],
+                unsubs,
+                events: vec![],
+                event_ids: Digest::Ids(vec![]),
+            })
+        };
+        let flat = encode(&mk(UnsubSection::Flat(records.clone()))).len();
+        let digested = encode(&mk(UnsubSection::Digest(UnsubDigest::from_records(
+            records,
+        ))))
+        .len();
+        assert!(
+            digested * 100 < flat * 55,
+            "per-timestamp grouping should roughly halve the section: \
+             {digested} vs {flat} bytes"
+        );
+    }
+
+    #[test]
+    fn compact_ranges_shrink_stream_shaped_digests() {
+        // 192 advertised ids from 16 publishers with consecutive seqs —
+        // the §5 measurement-model load shape at steady state.
+        let flat_entries: Vec<DigestEntry> = (0..16u64)
+            .flat_map(|origin| {
+                (0..12u64).map(move |seq| DigestEntry {
+                    id: eid(origin, seq),
+                    hops: 3,
+                })
+            })
+            .collect();
+        let ranges: Vec<OriginRange> = (0..16u64)
+            .map(|origin| OriginRange {
+                origin: pid(origin),
+                min_seq: 0,
+                max_seq: 11,
+                gaps: vec![],
+                hops: 3,
+            })
+            .collect();
+        let mk = |entries: DigestEntries| {
+            PbcastMessage::digest(GossipDigest {
+                sender: pid(0),
+                entries,
+                subs: vec![],
+            })
+        };
+        let flat = encode(&mk(DigestEntries::Flat(flat_entries))).len();
+        let compact = encode(&mk(DigestEntries::Compact(ranges))).len();
+        assert!(
+            compact * 5 < flat,
+            "per-origin ranges should shrink stream digests ≥5×: \
+             {compact} vs {flat} bytes"
         );
     }
 

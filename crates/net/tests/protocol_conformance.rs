@@ -22,6 +22,7 @@ use lpbcast_core::{Config, Lpbcast};
 use lpbcast_net::wire;
 use lpbcast_net::WireMessage;
 use lpbcast_pbcast::{Membership, Pbcast, PbcastConfig};
+use lpbcast_pubsub::{PubSubNode, TopicId};
 use lpbcast_sim::scenario::ScenarioProtocol;
 use lpbcast_sim::{CrashPlan, Engine, NetworkModel};
 use lpbcast_types::{Payload, ProcessId, Protocol};
@@ -39,6 +40,26 @@ fn triangle<P: ScenarioProtocol>(seed: u64) -> Vec<P> {
         .map(|i| {
             let members: Vec<ProcessId> = (0..5u64).filter(|&j| j != i).map(pid).collect();
             P::bootstrap(pid(i), &cfg, seed.wrapping_add(i), members)
+        })
+        .collect()
+}
+
+/// The pub/sub variant of the triangle: every node participates in two
+/// topics, so the scripted exchange interleaves two gossip groups over
+/// one transport (the topic-tagged wire frames at kind 32).
+fn pubsub_triangle(seed: u64) -> Vec<PubSubNode> {
+    let cfg = Config::builder()
+        .view_size(6)
+        .fanout(2)
+        .deliver_on_digest(true)
+        .build();
+    (0..3u64)
+        .map(|i| {
+            let mut node = PubSubNode::new(pid(i), cfg.clone(), seed.wrapping_add(i));
+            let members: Vec<ProcessId> = (0..5u64).filter(|&j| j != i).map(pid).collect();
+            node.subscribe_bootstrap(&TopicId::new("alpha"), members.clone());
+            node.subscribe_bootstrap(&TopicId::new("beta"), members);
+            node
         })
         .collect()
 }
@@ -119,42 +140,40 @@ where
 /// Same seed + same schedule ⇒ byte-identical transcripts across
 /// independently constructed replicas (hash-map iteration-order leaks
 /// diverge here because each replica owns different map instances).
-fn assert_deterministic<P: ScenarioProtocol>()
+fn assert_deterministic<P: Protocol>(name: &str, mk: impl Fn(u64) -> Vec<P>)
 where
     P::Msg: WireMessage,
 {
     for seed in [1u64, 7, 42] {
-        let mut a = triangle::<P>(seed);
-        let mut b = triangle::<P>(seed);
+        let mut a = mk(seed);
+        let mut b = mk(seed);
         let (mut ta, mut tb) = (Vec::new(), Vec::new());
         scripted_exchange(&mut a, 12, &mut ta);
         scripted_exchange(&mut b, 12, &mut tb);
-        assert!(!ta.is_empty(), "{}: exchange produced traffic", P::NAME);
+        assert!(!ta.is_empty(), "{name}: exchange produced traffic");
         assert_eq!(
-            ta,
-            tb,
-            "{}: same-seed replicas must produce byte-identical transcripts (seed {seed})",
-            P::NAME
+            ta, tb,
+            "{name}: same-seed replicas must produce byte-identical transcripts (seed {seed})"
         );
     }
 }
 
 /// Distinct seeds must diverge — otherwise the determinism check above
 /// proves nothing.
-fn assert_seed_sensitivity<P: ScenarioProtocol>()
+fn assert_seed_sensitivity<P: Protocol>(name: &str, mk: impl Fn(u64) -> Vec<P>)
 where
     P::Msg: WireMessage,
 {
-    let mut a = triangle::<P>(1);
-    let mut b = triangle::<P>(2);
+    let mut a = mk(1);
+    let mut b = mk(2);
     let (mut ta, mut tb) = (Vec::new(), Vec::new());
     scripted_exchange(&mut a, 12, &mut ta);
     scripted_exchange(&mut b, 12, &mut tb);
-    assert_ne!(ta, tb, "{}: different seeds must diverge", P::NAME);
+    assert_ne!(ta, tb, "{name}: different seeds must diverge");
 }
 
 /// Two same-seed engine runs agree on infection counts and final views.
-fn assert_engine_deterministic<P: ScenarioProtocol>(mk: impl Fn(u64) -> Engine<P>) {
+fn assert_engine_deterministic<P: Protocol>(name: &str, mk: impl Fn(u64) -> Engine<P>) {
     let run = |seed: u64| {
         let mut engine = mk(seed);
         let id = engine.publish_from(pid(0), Payload::from_static(b"probe"));
@@ -167,16 +186,10 @@ fn assert_engine_deterministic<P: ScenarioProtocol>(mk: impl Fn(u64) -> Engine<P
         (curve, views)
     };
     let first = run(5);
-    assert_eq!(
-        first,
-        run(5),
-        "{}: engine runs must be reproducible",
-        P::NAME
-    );
+    assert_eq!(first, run(5), "{name}: engine runs must be reproducible");
     assert!(
         *first.0.last().unwrap() > 10,
-        "{}: the probe actually disseminated: {:?}",
-        P::NAME,
+        "{name}: the probe actually disseminated: {:?}",
         first.0
     );
 }
@@ -221,32 +234,64 @@ fn pbcast_engine(seed: u64) -> Engine<Pbcast> {
     engine
 }
 
+fn pubsub_engine(seed: u64) -> Engine<PubSubNode> {
+    let config = Config::builder()
+        .view_size(6)
+        .fanout(3)
+        .deliver_on_digest(true)
+        .build();
+    let mut engine = Engine::new(NetworkModel::new(0.05, seed), CrashPlan::none());
+    let shared = TopicId::new("shared");
+    for i in 0..16u64 {
+        let mut node = PubSubNode::new(pid(i), config.clone(), seed.wrapping_add(i));
+        let members: Vec<ProcessId> = (0..16u64).filter(|&j| j != i).map(pid).collect();
+        node.subscribe_bootstrap(&shared, members);
+        engine.add_node(node);
+    }
+    engine
+}
+
 #[test]
 fn lpbcast_exchange_is_deterministic_and_roundtrips() {
-    assert_deterministic::<Lpbcast>();
+    assert_deterministic("lpbcast", triangle::<Lpbcast>);
 }
 
 #[test]
 fn pbcast_exchange_is_deterministic_and_roundtrips() {
-    assert_deterministic::<Pbcast>();
+    assert_deterministic("pbcast", triangle::<Pbcast>);
+}
+
+#[test]
+fn pubsub_exchange_is_deterministic_and_roundtrips() {
+    assert_deterministic("pubsub", pubsub_triangle);
 }
 
 #[test]
 fn lpbcast_seeds_diverge() {
-    assert_seed_sensitivity::<Lpbcast>();
+    assert_seed_sensitivity("lpbcast", triangle::<Lpbcast>);
 }
 
 #[test]
 fn pbcast_seeds_diverge() {
-    assert_seed_sensitivity::<Pbcast>();
+    assert_seed_sensitivity("pbcast", triangle::<Pbcast>);
+}
+
+#[test]
+fn pubsub_seeds_diverge() {
+    assert_seed_sensitivity("pubsub", pubsub_triangle);
 }
 
 #[test]
 fn lpbcast_engine_runs_are_reproducible() {
-    assert_engine_deterministic(lpbcast_engine);
+    assert_engine_deterministic("lpbcast", lpbcast_engine);
 }
 
 #[test]
 fn pbcast_engine_runs_are_reproducible() {
-    assert_engine_deterministic(pbcast_engine);
+    assert_engine_deterministic("pbcast", pbcast_engine);
+}
+
+#[test]
+fn pubsub_engine_runs_are_reproducible() {
+    assert_engine_deterministic("pubsub", pubsub_engine);
 }

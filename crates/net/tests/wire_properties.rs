@@ -1,8 +1,13 @@
 //! Property tests for the wire codec: arbitrary messages survive a
 //! round-trip, and arbitrary byte soup never panics the decoder.
 
-use lpbcast_core::{Digest, Gossip, LogicalTime, Message, Unsubscription};
+use lpbcast_core::{
+    Digest, Gossip, LogicalTime, Message, UnsubDigest, UnsubSection, Unsubscription,
+};
 use lpbcast_net::wire;
+use lpbcast_net::WireMessage;
+use lpbcast_pbcast::{DigestEntries, DigestEntry, GossipDigest, OriginRange, PbcastMessage};
+use lpbcast_pubsub::{PubSubMessage, TopicId};
 use lpbcast_types::{CompactDigest, Event, EventId, ProcessId};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -48,17 +53,23 @@ prop_compose! {
     fn arb_gossip()(
         sender in any::<u64>(),
         subs in vec(any::<u64>(), 0..20),
-        unsubs in vec((any::<u64>(), any::<u64>()), 0..10),
+        unsubs in vec((any::<u64>(), 0u64..6), 0..10),
+        digested in any::<bool>(),
         events in vec(arb_event(), 0..10),
         event_ids in arb_digest(),
     ) -> Gossip {
+        let records: Vec<Unsubscription> = unsubs
+            .into_iter()
+            .map(|(p, t)| Unsubscription::new(pid(p), LogicalTime::new(t)))
+            .collect();
         Gossip {
             sender: pid(sender),
             subs: subs.into_iter().map(pid).collect(),
-            unsubs: unsubs
-                .into_iter()
-                .map(|(p, t)| Unsubscription::new(pid(p), LogicalTime::new(t)))
-                .collect(),
+            unsubs: if digested {
+                UnsubSection::Digest(UnsubDigest::from_records(records))
+            } else {
+                UnsubSection::Flat(records)
+            },
             events,
             event_ids,
         }
@@ -115,7 +126,7 @@ proptest! {
         let message = Message::gossip(Gossip {
             sender: pid(0),
             subs: vec![],
-            unsubs: vec![],
+            unsubs: UnsubSection::empty(),
             events: vec![],
             event_ids: Digest::Compact(digest.clone()),
         });
@@ -167,9 +178,11 @@ proptest! {
 
 /// A from-the-spec reference encoder for gossip datagrams, implemented
 /// independently of `wire::encode` against the layout documented at the
-/// top of `crates/net/src/wire.rs`. This is the pre-`Arc` (inline
-/// payload) v1 encoding, so byte equality below proves the shared-`Arc`
-/// payload representation left the wire format untouched.
+/// top of `crates/net/src/wire.rs`. The event payloads are written
+/// inline, so byte equality below proves the shared-`Arc` payload
+/// representation leaves the wire bytes untouched; the `unSubs` section
+/// follows the post-compaction layout (representation byte, then the
+/// flat records or the per-timestamp groups).
 fn reference_encode_gossip(g: &Gossip) -> Vec<u8> {
     let mut out = vec![wire::MAGIC, wire::VERSION, 0u8];
     out.extend_from_slice(&g.sender.as_u64().to_le_bytes());
@@ -177,10 +190,26 @@ fn reference_encode_gossip(g: &Gossip) -> Vec<u8> {
     for p in &g.subs {
         out.extend_from_slice(&p.as_u64().to_le_bytes());
     }
-    out.extend_from_slice(&(g.unsubs.len() as u16).to_le_bytes());
-    for u in &g.unsubs {
-        out.extend_from_slice(&u.process().as_u64().to_le_bytes());
-        out.extend_from_slice(&u.issued_at().as_u64().to_le_bytes());
+    match &g.unsubs {
+        UnsubSection::Flat(records) => {
+            out.push(0);
+            out.extend_from_slice(&(records.len() as u16).to_le_bytes());
+            for u in records {
+                out.extend_from_slice(&u.process().as_u64().to_le_bytes());
+                out.extend_from_slice(&u.issued_at().as_u64().to_le_bytes());
+            }
+        }
+        UnsubSection::Digest(d) => {
+            out.push(1);
+            out.extend_from_slice(&(d.group_count() as u16).to_le_bytes());
+            for (issued_at, leavers) in d.groups() {
+                out.extend_from_slice(&issued_at.as_u64().to_le_bytes());
+                out.extend_from_slice(&(leavers.len() as u16).to_le_bytes());
+                for p in leavers {
+                    out.extend_from_slice(&p.as_u64().to_le_bytes());
+                }
+            }
+        }
     }
     out.extend_from_slice(&(g.events.len() as u16).to_le_bytes());
     for e in &g.events {
@@ -216,11 +245,11 @@ fn reference_encode_gossip(g: &Gossip) -> Vec<u8> {
 }
 
 proptest! {
-    /// PR 2 tentpole witness: encoding an `Arc`-shared gossip is
-    /// byte-identical to the pre-change inline-payload encoding, for
+    /// Reference-encoder witness: encoding an `Arc`-shared gossip is
+    /// byte-identical to the independent from-the-spec encoder, for
     /// arbitrary gossip bodies, and still round-trips.
     #[test]
-    fn shared_payload_encoding_matches_pre_arc_reference(gossip in arb_gossip()) {
+    fn shared_payload_encoding_matches_reference(gossip in arb_gossip()) {
         let shared = Message::gossip(gossip.clone());
         let encoded = wire::encode(&shared);
         let reference = reference_encode_gossip(&gossip);
@@ -230,5 +259,143 @@ proptest! {
             "Arc-shared payload changed the wire bytes"
         );
         prop_assert!(roundtrip_equal(&shared));
+    }
+}
+
+// ───────────────── pbcast + pub/sub message properties ────────────────
+
+prop_compose! {
+    fn arb_origin_range()(
+        origin in any::<u64>(),
+        min_seq in 0u64..1000,
+        advertised in vec(any::<bool>(), 1..40),
+        hops in 0u32..20,
+    ) -> OriginRange {
+        // Build from a presence bitmap so gaps are consistent by
+        // construction (ascending, inside the span, endpoints advertised).
+        let mut seqs: Vec<u64> = advertised
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &yes)| yes.then_some(min_seq + i as u64))
+            .collect();
+        if seqs.is_empty() {
+            seqs.push(min_seq);
+        }
+        let (lo, hi) = (seqs[0], *seqs.last().unwrap());
+        let gaps: Vec<u64> = (lo..=hi).filter(|s| !seqs.contains(s)).collect();
+        OriginRange { origin: pid(origin), min_seq: lo, max_seq: hi, gaps, hops }
+    }
+}
+
+fn arb_digest_entries() -> impl Strategy<Value = DigestEntries> {
+    prop_oneof![
+        vec(((any::<u64>(), any::<u64>()), 0u32..20), 0..30).prop_map(|raw| {
+            DigestEntries::Flat(
+                raw.into_iter()
+                    .map(|(id, hops)| DigestEntry { id: eid(id), hops })
+                    .collect(),
+            )
+        }),
+        vec(arb_origin_range(), 0..10).prop_map(DigestEntries::Compact),
+    ]
+}
+
+fn arb_pbcast_message() -> impl Strategy<Value = PbcastMessage> {
+    prop_oneof![
+        (arb_event(), 0u32..30).prop_map(|(event, hops)| PbcastMessage::Multicast { event, hops }),
+        (any::<u64>(), arb_digest_entries(), vec(any::<u64>(), 0..15)).prop_map(
+            |(sender, entries, subs)| {
+                PbcastMessage::digest(GossipDigest {
+                    sender: pid(sender),
+                    entries,
+                    subs: subs.into_iter().map(pid).collect(),
+                })
+            }
+        ),
+        vec((any::<u64>(), any::<u64>()), 0..30).prop_map(|ids| PbcastMessage::Solicit {
+            ids: ids.into_iter().map(eid).collect()
+        }),
+    ]
+}
+
+prop_compose! {
+    fn arb_pubsub_message()(
+        topic in 0u64..1000,
+        inner in arb_message(),
+    ) -> PubSubMessage {
+        PubSubMessage { topic: TopicId::new(format!("topic-{topic}")), inner }
+    }
+}
+
+fn roundtrip_equal_generic<M: WireMessage>(message: &M) -> bool {
+    let bytes = wire::encode(message);
+    match wire::decode::<M>(&bytes) {
+        Ok(decoded) => wire::encode(&decoded) == bytes,
+        Err(_) => false,
+    }
+}
+
+proptest! {
+    /// Both digest forms (and every other pbcast kind) round-trip.
+    #[test]
+    fn pbcast_messages_roundtrip(message in arb_pbcast_message()) {
+        prop_assert!(roundtrip_equal_generic(&message));
+    }
+
+    /// Topic-tagged pub/sub frames round-trip, topic included.
+    #[test]
+    fn pubsub_messages_roundtrip(message in arb_pubsub_message()) {
+        let bytes = wire::encode(&message);
+        let decoded: PubSubMessage = wire::decode(&bytes).expect("own frames decode");
+        prop_assert_eq!(&decoded.topic, &message.topic);
+        let re_encoded = wire::encode(&decoded);
+        prop_assert_eq!(re_encoded.as_ref(), bytes.as_ref());
+    }
+
+    /// The arithmetic `encoded_len` is exactly what the encoder writes —
+    /// this is what lets the simulator meter bytes without serializing.
+    #[test]
+    fn encoded_len_matches_encoder_lpbcast(message in arb_message()) {
+        prop_assert_eq!(message.encoded_len(), wire::encode(&message).len());
+    }
+
+    #[test]
+    fn encoded_len_matches_encoder_pbcast(message in arb_pbcast_message()) {
+        prop_assert_eq!(message.encoded_len(), wire::encode(&message).len());
+    }
+
+    #[test]
+    fn encoded_len_matches_encoder_pubsub(message in arb_pubsub_message()) {
+        prop_assert_eq!(message.encoded_len(), wire::encode(&message).len());
+    }
+
+    /// Fuzz: the pbcast and pub/sub decoders never panic on byte soup.
+    #[test]
+    fn random_bytes_never_panic_other_kinds(data in vec(any::<u8>(), 0..600)) {
+        let _ = wire::decode::<PbcastMessage>(&data);
+        let _ = wire::decode::<PubSubMessage>(&data);
+    }
+
+    /// Fuzz: corrupting one byte of a valid pbcast datagram never panics
+    /// (compact-range validation must reject, not overflow).
+    #[test]
+    fn pbcast_single_byte_corruption_never_panics(
+        message in arb_pbcast_message(),
+        pos_seed in any::<usize>(),
+        new_byte in any::<u8>(),
+    ) {
+        let mut bytes = wire::encode(&message).to_vec();
+        if !bytes.is_empty() {
+            let pos = pos_seed % bytes.len();
+            bytes[pos] = new_byte;
+            if let Ok(decoded) = wire::decode::<PbcastMessage>(&bytes) {
+                // Whatever decoded must be safely re-encodable and
+                // walkable (ranges bounded by MAX_RANGE_SPAN).
+                if let PbcastMessage::GossipDigest(d) = &decoded {
+                    let _ = d.entries.advertised_count();
+                }
+                let _ = wire::encode(&decoded);
+            }
+        }
     }
 }

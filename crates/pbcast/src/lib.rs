@@ -56,5 +56,7 @@ mod process;
 pub use config::{PbcastConfig, PbcastConfigBuilder};
 pub use lpbcast_types::{MembershipEvent, Protocol};
 pub use membership::Membership;
-pub use message::{DigestEntry, GossipDigest, PbcastMessage, PbcastOutput};
+pub use message::{
+    DigestEntries, DigestEntry, GossipDigest, OriginRange, PbcastMessage, PbcastOutput,
+};
 pub use process::{Pbcast, PbcastStats};

@@ -15,6 +15,113 @@ pub struct DigestEntry {
     pub hops: u32,
 }
 
+/// A per-origin run of advertised sequence numbers: every seq in
+/// `min_seq..=max_seq` except the listed `gaps` is advertised, and every
+/// covered copy consumed exactly `hops` hops. The §3.2 compaction
+/// applied to the pbcast digest — a publisher's stream of consecutive
+/// sequence numbers costs one range instead of one [`DigestEntry`] per
+/// message.
+///
+/// `hops` is exact (the digest builder groups per `(origin, hops)`
+/// class): approximating it — e.g. carrying a class maximum — compounds
+/// through absorption chains, since every absorbed id re-advertises at
+/// `hops + 1`, and was measured to exhaust the limited-hops budget early
+/// enough to cost tail reliability at n = 10⁴.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OriginRange {
+    /// The publisher whose sequence numbers the range covers.
+    pub origin: ProcessId,
+    /// Smallest advertised sequence number.
+    pub min_seq: u64,
+    /// Largest advertised sequence number (inclusive).
+    pub max_seq: u64,
+    /// Sequence numbers inside `min_seq..=max_seq` that are *not*
+    /// advertised, ascending.
+    pub gaps: Vec<u64>,
+    /// Hops consumed by every advertised copy in the range.
+    pub hops: u32,
+}
+
+impl OriginRange {
+    /// Maximal `max_seq - min_seq` of a well-formed range: the digest
+    /// builder splits longer runs, and the wire codec encodes the span
+    /// and the gap offsets as u16 (also what caps how many ids a
+    /// hostile range can make a receiver iterate).
+    pub const MAX_SPAN: u64 = u16::MAX as u64;
+
+    /// Number of sequence numbers the range advertises.
+    pub fn advertised(&self) -> u64 {
+        (self.max_seq - self.min_seq + 1) - self.gaps.len() as u64
+    }
+
+    /// Iterates the advertised ids (gaps skipped).
+    pub fn ids(&self) -> impl Iterator<Item = EventId> + '_ {
+        let mut gap_at = 0usize;
+        (self.min_seq..=self.max_seq).filter_map(move |seq| {
+            while gap_at < self.gaps.len() && self.gaps[gap_at] < seq {
+                gap_at += 1;
+            }
+            if gap_at < self.gaps.len() && self.gaps[gap_at] == seq {
+                return None;
+            }
+            Some(EventId::new(self.origin, seq))
+        })
+    }
+}
+
+/// The advertised-id section of a [`GossipDigest`], in either of two
+/// lossless representations (mirroring lpbcast's flat/`Compact` history
+/// split).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DigestEntries {
+    /// One entry per advertised message (the historical form).
+    Flat(Vec<DigestEntry>),
+    /// Per-origin sequence ranges (§3.2-style compaction).
+    Compact(Vec<OriginRange>),
+}
+
+impl DigestEntries {
+    /// Exact wire cost of one flat entry (kind-17 body): origin + seq +
+    /// hops. Pinned against the real encoder by a `lpbcast-net` test.
+    pub const FLAT_ENTRY_BYTES: usize = 8 + 8 + 4;
+    /// Exact wire cost of one gap-free range (kind-19 body): origin +
+    /// min + u16 span + u16 gap count + hops. Spans are bounded by the
+    /// digest builder ([`OriginRange::MAX_SPAN`]), so a u16 suffices.
+    pub const RANGE_BYTES: usize = 8 + 8 + 2 + 2 + 4;
+    /// Exact wire cost of one listed gap (a u16 offset from `min_seq`).
+    pub const GAP_BYTES: usize = 2;
+
+    /// An empty section in the `Flat` representation.
+    pub fn empty() -> Self {
+        DigestEntries::Flat(Vec::new())
+    }
+
+    /// Number of message ids advertised.
+    pub fn advertised_count(&self) -> u64 {
+        match self {
+            DigestEntries::Flat(entries) => entries.len() as u64,
+            DigestEntries::Compact(ranges) => ranges.iter().map(OriginRange::advertised).sum(),
+        }
+    }
+
+    /// Whether nothing is advertised.
+    pub fn is_empty(&self) -> bool {
+        self.advertised_count() == 0
+    }
+
+    /// Exact wire cost of the section's element list (excluding the
+    /// shared count prefix) under the `lpbcast-net` codec.
+    pub fn wire_cost(&self) -> usize {
+        match self {
+            DigestEntries::Flat(entries) => entries.len() * Self::FLAT_ENTRY_BYTES,
+            DigestEntries::Compact(ranges) => ranges
+                .iter()
+                .map(|r| Self::RANGE_BYTES + r.gaps.len() * Self::GAP_BYTES)
+                .sum(),
+        }
+    }
+}
+
 /// The body of a periodic anti-entropy digest gossip (phase 2),
 /// optionally piggybacking membership subscriptions (§6.2 partial-view
 /// layer). Built once per round and shared behind an [`Arc`] across all
@@ -24,9 +131,20 @@ pub struct GossipDigest {
     /// The advertiser.
     pub sender: ProcessId,
     /// Advertised (recently received, still-repeating) messages.
-    pub entries: Vec<DigestEntry>,
+    pub entries: DigestEntries,
     /// Piggybacked subscriptions (empty with total views).
     pub subs: Vec<ProcessId>,
+}
+
+impl GossipDigest {
+    /// A digest advertising `entries` in the flat form.
+    pub fn flat(sender: ProcessId, entries: Vec<DigestEntry>, subs: Vec<ProcessId>) -> Self {
+        GossipDigest {
+            sender,
+            entries: DigestEntries::Flat(entries),
+            subs,
+        }
+    }
 }
 
 /// Messages exchanged by pbcast processes.
@@ -87,12 +205,53 @@ mod tests {
     fn kinds() {
         let m = PbcastMessage::Solicit { ids: vec![] };
         assert_eq!(m.kind(), "solicit");
-        let d = PbcastMessage::digest(GossipDigest {
-            sender: ProcessId::new(0),
-            entries: vec![],
-            subs: vec![],
-        });
+        let d = PbcastMessage::digest(GossipDigest::flat(ProcessId::new(0), vec![], vec![]));
         assert_eq!(d.kind(), "digest");
+    }
+
+    #[test]
+    fn origin_range_ids_skip_gaps() {
+        let range = OriginRange {
+            origin: ProcessId::new(7),
+            min_seq: 3,
+            max_seq: 8,
+            gaps: vec![4, 6],
+            hops: 2,
+        };
+        assert_eq!(range.advertised(), 4);
+        let ids: Vec<u64> = range.ids().map(|id| id.seq()).collect();
+        assert_eq!(ids, vec![3, 5, 7, 8]);
+        assert!(range.ids().all(|id| id.origin() == ProcessId::new(7)));
+    }
+
+    #[test]
+    fn digest_entries_count_both_forms() {
+        let flat = DigestEntries::Flat(vec![
+            DigestEntry {
+                id: EventId::new(ProcessId::new(1), 0),
+                hops: 0,
+            },
+            DigestEntry {
+                id: EventId::new(ProcessId::new(1), 1),
+                hops: 1,
+            },
+        ]);
+        assert_eq!(flat.advertised_count(), 2);
+        assert_eq!(flat.wire_cost(), 2 * DigestEntries::FLAT_ENTRY_BYTES);
+        let compact = DigestEntries::Compact(vec![OriginRange {
+            origin: ProcessId::new(1),
+            min_seq: 0,
+            max_seq: 9,
+            gaps: vec![5],
+            hops: 1,
+        }]);
+        assert_eq!(compact.advertised_count(), 9);
+        assert_eq!(
+            compact.wire_cost(),
+            DigestEntries::RANGE_BYTES + DigestEntries::GAP_BYTES
+        );
+        assert!(DigestEntries::empty().is_empty());
+        assert!(!compact.is_empty());
     }
 
     #[test]

@@ -10,7 +10,80 @@ use rand::SeedableRng;
 
 use crate::config::PbcastConfig;
 use crate::membership::Membership;
-use crate::message::{DigestEntry, GossipDigest, PbcastMessage, PbcastOutput};
+use crate::message::{
+    DigestEntries, DigestEntry, GossipDigest, OriginRange, PbcastMessage, PbcastOutput,
+};
+
+/// Maximal hole between consecutive advertised sequence numbers folded
+/// into one [`OriginRange`]; larger holes start a new range so a sparse
+/// origin cannot inflate a range's gap list past the flat form's cost.
+const MAX_RANGE_GAP: u64 = 16;
+
+/// Groups flat digest entries into per-origin sequence ranges (§3.2-style
+/// compaction). Deterministic: `(origin, hops)` classes appear in
+/// first-advertisement order, ranges ascend within a class.
+///
+/// Grouping is per `(origin, hops)` — NOT per origin alone — so every
+/// advertised id keeps its *exact* hop count. An earlier per-origin
+/// variant carried the class maximum, and the overestimate compounded:
+/// each absorption re-advertises at `hops + 1`, so a whole cohort
+/// ratcheted to its slowest member's count, exhausted the limited-hops
+/// budget early, and measurably cost tail reliability at n = 10⁴. The
+/// price of exactness is one range per distinct hop depth per origin —
+/// still far below one entry per id under stream-shaped load.
+fn compact_entries(entries: &[DigestEntry]) -> Vec<OriginRange> {
+    let mut index: FastMap<(ProcessId, u32), usize> = FastMap::default();
+    let mut classes: Vec<((ProcessId, u32), Vec<u64>)> = Vec::new();
+    for e in entries {
+        let key = (e.id.origin(), e.hops);
+        let slot = match index.get(&key) {
+            Some(&s) => s,
+            None => {
+                index.insert(key, classes.len());
+                classes.push((key, Vec::new()));
+                classes.len() - 1
+            }
+        };
+        classes[slot].1.push(e.id.seq());
+    }
+    let mut ranges = Vec::new();
+    for ((origin, hops), mut seqs) in classes {
+        seqs.sort_unstable();
+        seqs.dedup();
+        let mut start = 0;
+        for i in 0..seqs.len() {
+            // A run ends at a hole wider than MAX_RANGE_GAP, or when the
+            // next seq would push the span past the u16 the wire codec
+            // encodes it in.
+            let run_ends = i + 1 == seqs.len()
+                || seqs[i + 1] - seqs[i] > MAX_RANGE_GAP
+                || seqs[i + 1] - seqs[start] > OriginRange::MAX_SPAN;
+            if !run_ends {
+                continue;
+            }
+            let run = &seqs[start..=i];
+            let (min_seq, max_seq) = (run[0], run[run.len() - 1]);
+            let mut gaps = Vec::new();
+            let mut next = min_seq;
+            for &s in run {
+                while next < s {
+                    gaps.push(next);
+                    next += 1;
+                }
+                next = s + 1;
+            }
+            ranges.push(OriginRange {
+                origin,
+                min_seq,
+                max_seq,
+                gaps,
+                hops,
+            });
+            start = i + 1;
+        }
+    }
+    ranges
+}
 
 /// A stored message copy: payload (if held), consumed hops, and how many
 /// more rounds it will be advertised.
@@ -153,6 +226,23 @@ impl Pbcast {
             }
         }
 
+        // §3.2-style compaction: fold per-origin sequence runs into
+        // ranges, but only when that actually encodes smaller — with
+        // non-repeating origins (every advertised id from a different
+        // publisher) a range per singleton id would *cost* bytes, so the
+        // flat list is kept. The choice is exact wire arithmetic
+        // (`DigestEntries::wire_cost`), hence deterministic.
+        let entries = if self.config.compact_digest {
+            let compact = DigestEntries::Compact(compact_entries(&entries));
+            if compact.wire_cost() < entries.len() * DigestEntries::FLAT_ENTRY_BYTES {
+                compact
+            } else {
+                DigestEntries::Flat(entries)
+            }
+        } else {
+            DigestEntries::Flat(entries)
+        };
+
         let subs = self.membership.outgoing_subs(self.id);
         let targets = self
             .membership
@@ -228,7 +318,7 @@ impl Pbcast {
     fn receive_digest(
         &mut self,
         sender: ProcessId,
-        entries: &[DigestEntry],
+        entries: &DigestEntries,
         subs: &[ProcessId],
     ) -> PbcastOutput {
         self.stats.digests_received += 1;
@@ -241,11 +331,30 @@ impl Pbcast {
         // measures).
         self.membership.apply_subs(&mut self.rng, subs);
 
-        let missing: Vec<DigestEntry> = entries
-            .iter()
-            .copied()
-            .filter(|e| !self.history.contains(&e.id))
-            .collect();
+        // Missing-scan: flat digests check id by id; compact digests walk
+        // per-origin ranges (one cheap gap cursor per range) and expand
+        // only the seqs a range actually advertises.
+        let mut missing: Vec<DigestEntry> = Vec::new();
+        match entries {
+            DigestEntries::Flat(list) => missing.extend(
+                list.iter()
+                    .copied()
+                    .filter(|e| !self.history.contains(&e.id)),
+            ),
+            DigestEntries::Compact(ranges) => {
+                for range in ranges {
+                    missing.extend(
+                        range
+                            .ids()
+                            .filter(|id| !self.history.contains(id))
+                            .map(|id| DigestEntry {
+                                id,
+                                hops: range.hops,
+                            }),
+                    );
+                }
+            }
+        }
         if missing.is_empty() {
             return out;
         }
@@ -405,7 +514,7 @@ mod tests {
         let mut a = Pbcast::new(pid(0), config, 1, Membership::total(pid(0), [pid(1)]));
         a.publish(b"m".as_ref());
         let count_entries = |cmds: &[(ProcessId, PbcastMessage)]| match &cmds[0].1 {
-            PbcastMessage::GossipDigest(d) => d.entries.len(),
+            PbcastMessage::GossipDigest(d) => d.entries.advertised_count() as usize,
             _ => panic!("expected digest"),
         };
         assert_eq!(count_entries(&a.tick().outgoing), 1, "repetition 1");
@@ -482,27 +591,176 @@ mod tests {
         let id = EventId::new(pid(0), 7);
         let out = b.handle_message(
             pid(0),
-            PbcastMessage::digest(GossipDigest {
-                sender: pid(0),
-                entries: vec![DigestEntry { id, hops: 0 }],
-                subs: vec![],
-            }),
+            PbcastMessage::digest(GossipDigest::flat(
+                pid(0),
+                vec![DigestEntry { id, hops: 0 }],
+                vec![],
+            )),
         );
         assert_eq!(out.learned_ids, vec![id]);
         assert!(b.has_seen(id));
         // The absorbed id is advertised onward with hops + 1.
         let digests = b.tick().outgoing;
         match &digests[0].1 {
-            PbcastMessage::GossipDigest(d) => {
-                assert_eq!(d.entries.len(), 1);
-                assert_eq!(d.entries[0].hops, 1);
-            }
+            PbcastMessage::GossipDigest(d) => match &d.entries {
+                DigestEntries::Flat(entries) => {
+                    assert_eq!(entries.len(), 1);
+                    assert_eq!(entries[0].hops, 1);
+                }
+                other => panic!("expected flat entries, got {other:?}"),
+            },
             _ => panic!("expected digest"),
         }
         // But it cannot be served (no payload).
         let out = b.handle_message(pid(0), PbcastMessage::Solicit { ids: vec![id] });
         assert!(out.outgoing.is_empty());
         assert_eq!(b.stats().solicit_misses, 1);
+    }
+
+    #[test]
+    fn compact_digest_folds_sequence_runs() {
+        let config = PbcastConfig::builder()
+            .fanout(1)
+            .first_phase(false)
+            .compact_digest(true)
+            .max_repetitions(4)
+            .build();
+        let mut a = Pbcast::new(pid(0), config, 1, Membership::total(pid(0), [pid(1)]));
+        for _ in 0..6 {
+            a.publish(b"m".as_ref());
+        }
+        let digests = a.tick().outgoing;
+        match &digests[0].1 {
+            PbcastMessage::GossipDigest(d) => match &d.entries {
+                DigestEntries::Compact(ranges) => {
+                    assert_eq!(ranges.len(), 1, "one publisher, one range");
+                    assert_eq!((ranges[0].min_seq, ranges[0].max_seq), (0, 5));
+                    assert!(ranges[0].gaps.is_empty());
+                    assert_eq!(d.entries.advertised_count(), 6);
+                }
+                other => panic!("expected compact entries: {other:?}"),
+            },
+            _ => panic!("expected digest"),
+        }
+    }
+
+    #[test]
+    fn compact_digest_falls_back_to_flat_for_singleton_origins() {
+        // One advertised id per distinct origin: a range per singleton
+        // would cost more bytes than the flat list, so the exact-size
+        // chooser must keep the flat form.
+        let config = PbcastConfig::builder()
+            .fanout(1)
+            .first_phase(false)
+            .compact_digest(true)
+            .build();
+        let mut b = Pbcast::new(pid(9), config, 2, Membership::total(pid(9), [pid(0)]));
+        for origin in 1..=5u64 {
+            let event = Event::new(EventId::new(pid(origin), 0), b"x".as_ref());
+            b.handle_message(pid(0), PbcastMessage::Multicast { event, hops: 1 });
+        }
+        let digests = b.tick().outgoing;
+        match &digests[0].1 {
+            PbcastMessage::GossipDigest(d) => {
+                assert!(
+                    matches!(d.entries, DigestEntries::Flat(_)),
+                    "singleton origins stay flat: {:?}",
+                    d.entries
+                );
+                assert_eq!(d.entries.advertised_count(), 5);
+            }
+            _ => panic!("expected digest"),
+        }
+    }
+
+    #[test]
+    fn sparse_origin_splits_ranges_instead_of_listing_gaps() {
+        let sparse = [0u64, 1, 2, 500, 501];
+        let entries: Vec<DigestEntry> = sparse
+            .iter()
+            .map(|&s| DigestEntry {
+                id: EventId::new(pid(3), s),
+                hops: 1,
+            })
+            .collect();
+        let ranges = compact_entries(&entries);
+        assert_eq!(ranges.len(), 2, "hole of 498 starts a new range");
+        assert_eq!((ranges[0].min_seq, ranges[0].max_seq), (0, 2));
+        assert_eq!((ranges[1].min_seq, ranges[1].max_seq), (500, 501));
+        assert!(ranges.iter().all(|r| r.gaps.is_empty()));
+    }
+
+    #[test]
+    fn compact_digest_absorbs_range_ids_with_incremented_hops() {
+        let config = PbcastConfig::builder()
+            .fanout(1)
+            .first_phase(false)
+            .pull(false)
+            .deliver_on_digest(true)
+            .build();
+        let mut b = Pbcast::new(pid(1), config, 2, Membership::total(pid(1), [pid(0)]));
+        let range = OriginRange {
+            origin: pid(0),
+            min_seq: 0,
+            max_seq: 3,
+            gaps: vec![2],
+            hops: 1,
+        };
+        let out = b.handle_message(
+            pid(0),
+            PbcastMessage::digest(GossipDigest {
+                sender: pid(0),
+                entries: DigestEntries::Compact(vec![range]),
+                subs: vec![],
+            }),
+        );
+        let learned: Vec<u64> = out.learned_ids.iter().map(|id| id.seq()).collect();
+        assert_eq!(learned, vec![0, 1, 3], "gap seq 2 not absorbed");
+        assert!(!b.has_seen(EventId::new(pid(0), 2)));
+        // Absorbed copies carry the range's (maximum) hops + 1.
+        let digests = b.tick().outgoing;
+        match &digests[0].1 {
+            PbcastMessage::GossipDigest(d) => match &d.entries {
+                DigestEntries::Compact(ranges) => {
+                    assert!(ranges.iter().all(|r| r.hops == 2));
+                    assert_eq!(d.entries.advertised_count(), 3);
+                }
+                DigestEntries::Flat(entries) => {
+                    assert!(entries.iter().all(|e| e.hops == 2));
+                }
+            },
+            _ => panic!("expected digest"),
+        }
+    }
+
+    #[test]
+    fn compact_digest_solicits_only_missing_range_ids() {
+        let config = PbcastConfig::builder().fanout(1).first_phase(false).build();
+        let (mut _a, mut b) = total_pair(&config);
+        // b already has (0, 1).
+        let e = Event::new(EventId::new(pid(0), 1), b"have".as_ref());
+        b.handle_message(pid(0), PbcastMessage::Multicast { event: e, hops: 1 });
+        let out = b.handle_message(
+            pid(0),
+            PbcastMessage::digest(GossipDigest {
+                sender: pid(0),
+                entries: DigestEntries::Compact(vec![OriginRange {
+                    origin: pid(0),
+                    min_seq: 0,
+                    max_seq: 2,
+                    gaps: vec![],
+                    hops: 0,
+                }]),
+                subs: vec![],
+            }),
+        );
+        match &out.outgoing[0].1 {
+            PbcastMessage::Solicit { ids } => {
+                let seqs: Vec<u64> = ids.iter().map(|id| id.seq()).collect();
+                assert_eq!(seqs, vec![0, 2], "only the truly missing ids pulled");
+            }
+            other => panic!("expected solicit, got {other:?}"),
+        }
     }
 
     #[test]

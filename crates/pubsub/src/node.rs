@@ -221,11 +221,23 @@ impl PubSubNode {
 /// multiplexer: one tick drives every subscribed topic's group, incoming
 /// messages are routed by their topic tag, and `broadcast` publishes on
 /// the node's first subscribed topic (topics iterate in [`TopicId`]
-/// order, so the choice is deterministic). The topic attribution the
-/// trait's untagged envelope cannot express remains available through
-/// the inherent [`tick`](PubSubNode::tick) /
+/// order, so the choice is deterministic).
+///
+/// # The mapping is lossy — on the envelope, not the wire
+///
+/// Outgoing messages keep their topic (each `(dest, PubSubMessage)` pair
+/// carries its [`TopicId`], and the wire codec frames it — nothing a
+/// transport needs is lost). What the untagged envelope *does* drop is
+/// the topic attribution of `delivered` / `learned_ids` / `membership`
+/// entries: events from different topics arrive interleaved in one flat
+/// sequence (same events, same order — exactly the inherent API's output
+/// minus the tags, pinned by `protocol_envelope_drops_only_the_topic_tags`).
+/// Multi-topic applications that need per-topic delivery streams must
+/// drive the inherent [`tick`](PubSubNode::tick) /
 /// [`handle_message`](PubSubNode::handle_message), which return the
-/// topic-tagged [`PubSubOutput`].
+/// topic-tagged [`PubSubOutput`]; the `Protocol` impl exists for generic
+/// drivers (engine, conformance suite, UDP runtime) where the tag either
+/// rides the message or does not matter.
 ///
 /// # Panics
 ///
@@ -415,6 +427,64 @@ mod tests {
             arcs.windows(2).all(|w| Arc::ptr_eq(w[0], w[1])),
             "the topic's fanout copies share one gossip body"
         );
+    }
+
+    /// The documented contract of the `Protocol` impl: the untagged
+    /// envelope carries exactly the inherent API's events in exactly its
+    /// order — the ONLY loss is the topic attribution of deliveries —
+    /// while outgoing messages keep their topic tags end to end.
+    #[test]
+    fn protocol_envelope_drops_only_the_topic_tags() {
+        let ta = topic("a");
+        let tb = topic("b");
+        let mk_receiver = || {
+            let mut y = PubSubNode::new(pid(1), config(), 2);
+            y.subscribe_bootstrap(&ta, [pid(0)]);
+            y.subscribe_bootstrap(&tb, [pid(0)]);
+            y
+        };
+        let mut x = PubSubNode::new(pid(0), config(), 1);
+        x.subscribe_bootstrap(&ta, [pid(1)]);
+        x.subscribe_bootstrap(&tb, [pid(1)]);
+        x.publish(&ta, b"on-a".as_ref()).unwrap();
+        x.publish(&tb, b"on-b".as_ref()).unwrap();
+        let out = x.tick();
+
+        // Same-seed receivers, one driven through each API.
+        let mut tagged_node = mk_receiver();
+        let mut untagged_node = mk_receiver();
+        let mut tagged = Vec::new();
+        let mut untagged = Vec::new();
+        for (to, message) in &out.commands {
+            if *to == pid(1) {
+                tagged.extend(
+                    tagged_node
+                        .handle_message(pid(0), message.clone())
+                        .deliveries,
+                );
+                untagged.extend(
+                    Protocol::handle_message(&mut untagged_node, pid(0), message.clone()).delivered,
+                );
+            }
+        }
+        assert_eq!(tagged.len(), 2, "one delivery per topic");
+        assert_eq!(
+            tagged.iter().map(|(_, e)| e.id()).collect::<Vec<_>>(),
+            untagged.iter().map(|e| e.id()).collect::<Vec<_>>(),
+            "same events, same order — only the TopicId tag is dropped"
+        );
+        assert!(
+            tagged.iter().any(|(t, _)| *t == ta) && tagged.iter().any(|(t, _)| *t == tb),
+            "the inherent API alone retains the attribution"
+        );
+        // Outgoing traffic through the Protocol impl still carries its
+        // topic on every message — the wire loses nothing.
+        let proto_out = Protocol::tick(&mut untagged_node);
+        assert!(!proto_out.outgoing.is_empty());
+        assert!(proto_out
+            .outgoing
+            .iter()
+            .all(|(_, m)| m.topic == ta || m.topic == tb));
     }
 
     #[test]

@@ -33,6 +33,40 @@ struct Envelope<M> {
     msg: M,
 }
 
+/// Cumulative transport-cost totals of an engine run (see
+/// [`Engine::wire_accounting`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireAccounting {
+    /// Message copies offered to the network (each fanout copy counts).
+    pub messages: u64,
+    /// Total encoded wire bytes of those copies.
+    pub bytes: u64,
+}
+
+/// Optional per-message byte meter: a measuring closure (typically
+/// `lpbcast_net::wire_meter`, which returns exact codec frame lengths
+/// with once-per-`Arc`-body caching) plus the running totals.
+struct WireMeter<M> {
+    measure: Box<dyn FnMut(&M) -> usize + Send>,
+    totals: WireAccounting,
+}
+
+impl<M> WireMeter<M> {
+    #[inline]
+    fn record(&mut self, msg: &M) {
+        self.totals.messages += 1;
+        self.totals.bytes += (self.measure)(msg) as u64;
+    }
+}
+
+impl<M> std::fmt::Debug for WireMeter<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireMeter")
+            .field("totals", &self.totals)
+            .finish_non_exhaustive()
+    }
+}
+
 /// A fixed-capacity bitset over slab indices.
 #[derive(Debug, Clone, Default)]
 struct BitSet {
@@ -99,6 +133,8 @@ pub struct Engine<P: Protocol> {
     /// batch at the end of the step (one grouped map probe per event
     /// instead of one per delivery). Reused across rounds.
     sightings: Vec<(EventId, ProcessId)>,
+    /// Optional wire-byte meter over every offered message copy.
+    meter: Option<WireMeter<P::Msg>>,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -118,7 +154,28 @@ impl<P: Protocol> Engine<P> {
             pending: Vec::new(),
             scratch: Vec::new(),
             sightings: Vec::new(),
+            meter: None,
         }
+    }
+
+    /// Installs a wire-byte meter: `measure` is called once per message
+    /// copy the protocols offer to the network (fanout copies included —
+    /// the transport pays per destination even when the `Arc`'d body is
+    /// shared and encoded once) and must return its encoded frame
+    /// length. Copies addressed to departed/unknown processes still
+    /// count: a real transport transmits before discovering nobody
+    /// listens. Measuring must not touch any randomness — accounting
+    /// cannot perturb a run.
+    pub fn set_wire_meter(&mut self, measure: impl FnMut(&P::Msg) -> usize + Send + 'static) {
+        self.meter = Some(WireMeter {
+            measure: Box::new(measure),
+            totals: WireAccounting::default(),
+        });
+    }
+
+    /// Totals of the installed wire meter (`None` when no meter is set).
+    pub fn wire_accounting(&self) -> Option<WireAccounting> {
+        self.meter.as_ref().map(|m| m.totals)
     }
 
     /// Records `id` in the sorted alive list.
@@ -282,6 +339,9 @@ impl<P: Protocol> Engine<P> {
             self.tracker.record_seen_at(seen, origin, self.round);
         }
         for (to, msg) in output.outgoing {
+            if let Some(m) = self.meter.as_mut() {
+                m.record(&msg);
+            }
             if let Some(&t) = self.index.get(&to) {
                 self.pending.push(Envelope {
                     from: origin,
@@ -300,6 +360,9 @@ impl<P: Protocol> Engine<P> {
     /// harnesses use this to inject out-of-band protocol traffic — e.g.
     /// the §3.4 `Subscribe` bridges that heal a membership partition.
     pub fn enqueue(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
+        if let Some(m) = self.meter.as_mut() {
+            m.record(&msg);
+        }
         if let Some(&t) = self.index.get(&to) {
             self.pending.push(Envelope { from, to: t, msg });
         }
@@ -363,6 +426,9 @@ impl<P: Protocol> Engine<P> {
                 self.sightings.push((id, from));
             }
             for (to, msg) in out.outgoing {
+                if let Some(m) = self.meter.as_mut() {
+                    m.record(&msg);
+                }
                 if let Some(&t) = self.index.get(&to) {
                     queue.push(Envelope { from, to: t, msg });
                 }
@@ -391,6 +457,9 @@ impl<P: Protocol> Engine<P> {
                     self.sightings.push((id, to_id));
                 }
                 for (to, msg) in out.outgoing {
+                    if let Some(m) = self.meter.as_mut() {
+                        m.record(&msg);
+                    }
                     if let Some(&t) = self.index.get(&to) {
                         self.scratch.push(Envelope {
                             from: to_id,
@@ -615,6 +684,41 @@ mod tests {
             engine.tracker().has_seen(id, pid(9)),
             "mid-run joiner receives broadcasts"
         );
+    }
+
+    #[test]
+    fn wire_meter_counts_every_offered_copy() {
+        let mut engine = cluster(6, 3);
+        engine.set_wire_meter(|_| 10);
+        assert_eq!(
+            engine.wire_accounting(),
+            Some(super::WireAccounting::default())
+        );
+        engine.publish_from(pid(0), Payload::from_static(b"x"));
+        engine.run(5);
+        let accounting = engine.wire_accounting().expect("meter installed");
+        assert!(accounting.messages > 0, "gossip was offered");
+        assert_eq!(
+            accounting.bytes,
+            accounting.messages * 10,
+            "bytes are the sum of measured frame lengths"
+        );
+        // Copies to crashed nodes still count (the transport pays for
+        // them), and metering never perturbs the run itself.
+        let mut metered = cluster(8, 11);
+        metered.set_wire_meter(lpbcast_net::wire_meter());
+        let mut plain = cluster(8, 11);
+        let id_a = metered.publish_from(pid(0), Payload::from_static(b"x"));
+        let id_b = plain.publish_from(pid(0), Payload::from_static(b"x"));
+        metered.run(6);
+        plain.run(6);
+        assert_eq!(
+            metered.tracker().infected_count(id_a),
+            plain.tracker().infected_count(id_b),
+            "metered and unmetered runs are identical"
+        );
+        let exact = metered.wire_accounting().unwrap();
+        assert!(exact.bytes > exact.messages, "real frames exceed 1 byte");
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub mod scale;
 pub mod scenario;
 pub mod topology;
 
-pub use engine::Engine;
+pub use engine::{Engine, WireAccounting};
 pub use lpbcast_types::{MembershipEvent, Output, Protocol};
 pub use metrics::{InfectionTracker, ReliabilityReport};
 pub use network::{CrashPlan, NetworkModel};

@@ -99,6 +99,10 @@ pub struct ScalePoint {
     pub model_latency_rounds: f64,
     /// Fraction of alive processes the probe reached.
     pub reliability: f64,
+    /// Mean wire bytes per round offered during the probe dissemination
+    /// (exact codec frame lengths over every fanout copy) — deterministic
+    /// per seed, so the CI gate can hold it exactly.
+    pub wire_bytes_per_round: f64,
     /// Rounds the dissemination run was given.
     pub rounds: u64,
     /// Steps actually timed for `ns_per_step` (the configured count,
@@ -196,8 +200,12 @@ pub fn run_scale_point(n: usize, opts: &ScaleStudyOpts) -> ScalePoint {
     engine.run(steps as u64);
     let ns_per_step = t.elapsed().as_nanos() as f64 / steps as f64;
 
-    // ── Probe dissemination: latency + reliability ────────────────────
+    // ── Probe dissemination: latency + reliability + wire cost ───────
+    // The meter rides the probe engine only — the step-cost engine above
+    // stays unmetered so `ns_per_step` keeps measuring the simulator,
+    // not the accounting.
     let mut engine = build_lpbcast_engine(&params.clone().rounds(rounds), opts.seed ^ 0x5CA1_AB1E);
+    engine.set_wire_meter(lpbcast_net::wire_meter());
     let probe = engine.publish_from(ProcessId::new(0), Payload::from_static(b"probe"));
     engine.run(rounds);
     // Measured against the full membership n (never the end-of-run
@@ -207,6 +215,7 @@ pub fn run_scale_point(n: usize, opts: &ScaleStudyOpts) -> ScalePoint {
     // near 0.99.
     let reliability = engine.tracker().reliability_of(probe, n);
     let mean_latency_rounds = engine.tracker().mean_latency(probe).unwrap_or(f64::NAN);
+    let wire = engine.wire_accounting().unwrap_or_default();
 
     ScalePoint {
         n,
@@ -218,6 +227,7 @@ pub fn run_scale_point(n: usize, opts: &ScaleStudyOpts) -> ScalePoint {
         mean_latency_rounds,
         model_latency_rounds: model_mean_latency(n, rounds),
         reliability,
+        wire_bytes_per_round: wire.bytes as f64 / rounds.max(1) as f64,
         rounds,
         measured_steps: steps,
     }
@@ -232,15 +242,15 @@ pub fn scaling_study(ns: &[usize], opts: &ScaleStudyOpts) -> Vec<ScalePoint> {
 pub fn scaling_tsv(points: &[ScalePoint]) -> String {
     use std::fmt::Write as _;
     let mut out = String::from(
-        "# lpbcast scaling study: step cost, build cost, delivery latency and reliability vs n\n\
+        "# lpbcast scaling study: step cost, build cost, delivery latency, reliability and wire cost vs n\n\
          # l and buffer bounds scaled per §5 (see lpbcast_sim::scale);\n\
          # model_latency_rounds is the Appendix-A expectation-model prediction\n\
-         n\tview_size\tbuffer_bound\tns_per_step\tengine_build_ms\tmean_latency_rounds\tmodel_latency_rounds\treliability\n",
+         n\tview_size\tbuffer_bound\tns_per_step\tengine_build_ms\tmean_latency_rounds\tmodel_latency_rounds\treliability\twire_bytes_per_round\n",
     );
     for p in points {
         let _ = writeln!(
             out,
-            "{}\t{}\t{}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{:.5}",
+            "{}\t{}\t{}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{:.5}\t{:.1}",
             p.n,
             p.view_size,
             p.buffer_bound,
@@ -248,7 +258,8 @@ pub fn scaling_tsv(points: &[ScalePoint]) -> String {
             p.engine_build_ms,
             p.mean_latency_rounds,
             p.model_latency_rounds,
-            p.reliability
+            p.reliability,
+            p.wire_bytes_per_round
         );
     }
     out
@@ -301,6 +312,10 @@ mod tests {
         assert!(
             (point.mean_latency_rounds - point.model_latency_rounds).abs() < 2.5,
             "simulation tracks the Appendix-A expectation model: {point:?}"
+        );
+        assert!(
+            point.wire_bytes_per_round > 0.0,
+            "dissemination traffic was metered: {point:?}"
         );
     }
 

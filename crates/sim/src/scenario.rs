@@ -45,6 +45,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use lpbcast_core::{Config, Lpbcast, Message};
+use lpbcast_net::{wire_meter, WireMessage};
 use lpbcast_pbcast::{GossipDigest, Membership, Pbcast, PbcastConfig, PbcastMessage};
 use lpbcast_types::{Payload, ProcessId, Protocol};
 use rand::rngs::SmallRng;
@@ -70,7 +71,9 @@ pub struct LeaveRefused;
 /// membership islands.
 ///
 /// Implemented for [`Lpbcast`] and [`Pbcast`]; every scenario, bench row
-/// and smoke test instantly covers any further implementation.
+/// and smoke test instantly covers any further implementation. The
+/// scenario runners additionally require `P::Msg: WireMessage` so every
+/// run meters its transport bytes (`wire_bytes` in the reports).
 pub trait ScenarioProtocol: Protocol + Sized + Send {
     /// Scenario-level protocol configuration bundle.
     type Cfg: Clone + fmt::Debug + Send + Sync;
@@ -211,6 +214,7 @@ impl ScenarioProtocol for Pbcast {
                 .max_repetitions(max_repetitions)
                 .history_max(bound)
                 .store_max(bound * 2)
+                .compact_digest(true)
                 .build(),
             view_size: scaled_view_size(n).min(n.saturating_sub(1).max(1)),
         }
@@ -261,11 +265,7 @@ impl ScenarioProtocol for Pbcast {
     }
 
     fn bridge(from: ProcessId) -> PbcastMessage {
-        PbcastMessage::digest(GossipDigest {
-            sender: from,
-            entries: Vec::new(),
-            subs: vec![from],
-        })
+        PbcastMessage::digest(GossipDigest::flat(from, Vec::new(), vec![from]))
     }
 }
 
@@ -278,9 +278,16 @@ fn build_scenario_engine<P: ScenarioProtocol>(
     cfg: &P::Cfg,
     loss_rate: f64,
     seed: u64,
-) -> Engine<P> {
+) -> Engine<P>
+where
+    P::Msg: WireMessage + Send + 'static,
+{
     let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x746F_706F_6C6F_6779);
     let mut engine = Engine::new(NetworkModel::new(loss_rate, seed), CrashPlan::none());
+    // Every scenario engine meters its transport cost: exact codec frame
+    // lengths, measured once per Arc'd body (accounting only — the meter
+    // draws no randomness, so runs are unchanged).
+    engine.set_wire_meter(wire_meter());
     let mut scratch = Vec::new();
     for i in 0..n as u64 {
         sample_view_into(&mut topo_rng, i, n, P::view_size(cfg), &mut scratch);
@@ -293,6 +300,49 @@ fn build_scenario_engine<P: ScenarioProtocol>(
         ));
     }
     engine
+}
+
+/// Publication-load origin chooser. With `publishers == 0` every event
+/// comes from a uniformly random alive process; with `publishers = k`
+/// the load follows the paper's §5 measurement model — a small pool of
+/// long-lived senders (the paper's runs publish from *one* process at a
+/// fixed rate) served round-robin, skipping members that crashed or
+/// departed. Stream-shaped load is also what makes the §3.2 per-origin
+/// digest compactions measurable: each publisher emits consecutive
+/// sequence numbers, so digests collapse to a handful of ranges.
+#[derive(Debug, Clone)]
+struct LoadGen {
+    publishers: u64,
+    next: u64,
+}
+
+impl LoadGen {
+    fn new(publishers: usize) -> Self {
+        LoadGen {
+            publishers: publishers as u64,
+            next: 0,
+        }
+    }
+
+    /// Picks the next origin, or `None` when the whole pool is gone.
+    fn pick<P: Protocol>(
+        &mut self,
+        engine: &Engine<P>,
+        rng: &mut SmallRng,
+        alive: &[ProcessId],
+    ) -> Option<ProcessId> {
+        if self.publishers == 0 {
+            return Some(alive[rng.gen_range(0..alive.len())]);
+        }
+        for _ in 0..self.publishers {
+            let candidate = ProcessId::new(self.next % self.publishers);
+            self.next += 1;
+            if engine.is_alive(candidate) {
+                return Some(candidate);
+            }
+        }
+        None
+    }
 }
 
 // ───────────────────────── continuous churn ──────────────────────────
@@ -319,6 +369,10 @@ pub struct ChurnParams<P: ScenarioProtocol> {
     pub lame_duck: u64,
     /// Events published per churn round from random alive origins.
     pub rate: usize,
+    /// Size of the fixed publisher pool serving the publication load
+    /// (0 = every event from a uniformly random alive origin). See
+    /// [`LoadGen`] for the §5 measurement-model rationale.
+    pub publishers: usize,
     /// Quiet rounds after churn so late gossip settles.
     pub drain: u64,
 }
@@ -342,6 +396,7 @@ impl<P: ScenarioProtocol> ChurnParams<P> {
             leaves_per_round,
             lame_duck: 3,
             rate: 20,
+            publishers: 16,
             drain: 10,
         }
     }
@@ -374,17 +429,36 @@ pub struct ChurnReport {
     pub events_measured: usize,
     /// Whether the view graph was §4.4-partitioned at the end.
     pub partitioned_at_end: bool,
+    /// Total wire bytes offered to the transport across the whole run
+    /// (exact codec frame lengths; every fanout copy counts).
+    pub wire_bytes: u64,
+    /// Message copies offered across the whole run.
+    pub wire_messages: u64,
+    /// Rounds the engine ran (warmup + churn + drain) — the denominator
+    /// of [`wire_bytes_per_round`](ChurnReport::wire_bytes_per_round).
+    pub rounds: u64,
+}
+
+impl ChurnReport {
+    /// Mean wire bytes per simulated round.
+    pub fn wire_bytes_per_round(&self) -> f64 {
+        self.wire_bytes as f64 / self.rounds.max(1) as f64
+    }
 }
 
 /// Runs one continuous-churn scenario. Deterministic per
 /// `(P, params, seed)`.
-pub fn churn_scenario<P: ScenarioProtocol>(params: &ChurnParams<P>, seed: u64) -> ChurnReport {
+pub fn churn_scenario<P: ScenarioProtocol>(params: &ChurnParams<P>, seed: u64) -> ChurnReport
+where
+    P::Msg: WireMessage + Send + 'static,
+{
     let mut engine = build_scenario_engine::<P>(params.n0, &params.config, params.loss_rate, seed);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x6368_7572_6E5F_7267); // "churn_rg"
     engine.run(params.warmup);
 
     let window_start = engine.round();
     let mut next_id = params.n0 as u64;
+    let mut load = LoadGen::new(params.publishers);
     let mut contact_scratch: Vec<u64> = Vec::new();
     let mut alive: Vec<ProcessId> = Vec::new();
     let mut departures: VecDeque<(u64, ProcessId)> = VecDeque::new();
@@ -466,9 +540,12 @@ pub fn churn_scenario<P: ScenarioProtocol>(params: &ChurnParams<P>, seed: u64) -
             }
         }
 
-        // Publication load from random alive origins.
+        // Publication load (fixed publisher pool or random origins, per
+        // `params.publishers`).
         for _ in 0..params.rate {
-            let origin = alive[rng.gen_range(0..alive.len())];
+            let Some(origin) = load.pick(&engine, &mut rng, &alive) else {
+                continue;
+            };
             if engine.is_alive(origin) {
                 engine.publish_from(origin, Payload::from_static(b"churn"));
             }
@@ -530,6 +607,7 @@ pub fn churn_scenario<P: ScenarioProtocol>(params: &ChurnParams<P>, seed: u64) -
             per_event.iter().copied().fold(f64::INFINITY, f64::min),
         )
     };
+    let wire = engine.wire_accounting().unwrap_or_default();
     ChurnReport {
         protocol: P::NAME,
         n0: params.n0,
@@ -542,6 +620,9 @@ pub fn churn_scenario<P: ScenarioProtocol>(params: &ChurnParams<P>, seed: u64) -
         min_reliability,
         events_measured,
         partitioned_at_end: engine.view_graph().is_partitioned(),
+        wire_bytes: wire.bytes,
+        wire_messages: wire.messages,
+        rounds: engine.round(),
     }
 }
 
@@ -549,10 +630,10 @@ pub fn churn_scenario<P: ScenarioProtocol>(params: &ChurnParams<P>, seed: u64) -
 /// back in seed order and are bit-identical to [`churn_sweep_serial`]
 /// regardless of the worker count (each seed owns an independent engine
 /// and RNG streams).
-pub fn churn_sweep<P: ScenarioProtocol>(
-    params: &ChurnParams<P>,
-    seeds: &[u64],
-) -> Vec<ChurnReport> {
+pub fn churn_sweep<P: ScenarioProtocol>(params: &ChurnParams<P>, seeds: &[u64]) -> Vec<ChurnReport>
+where
+    P::Msg: WireMessage + Send + 'static,
+{
     if sweep_dispatches_serial(seeds.len()) {
         return churn_sweep_serial(params, seeds);
     }
@@ -566,7 +647,10 @@ pub fn churn_sweep<P: ScenarioProtocol>(
 pub fn churn_sweep_serial<P: ScenarioProtocol>(
     params: &ChurnParams<P>,
     seeds: &[u64],
-) -> Vec<ChurnReport> {
+) -> Vec<ChurnReport>
+where
+    P::Msg: WireMessage + Send + 'static,
+{
     seeds.iter().map(|&s| churn_scenario(params, s)).collect()
 }
 
@@ -592,6 +676,9 @@ pub struct CatastropheParams<P: ScenarioProtocol> {
     pub post_rounds: u64,
     /// Events published per loaded round.
     pub rate: usize,
+    /// Size of the fixed publisher pool (0 = random alive origins); see
+    /// [`LoadGen`].
+    pub publishers: usize,
     /// Quiet rounds after each window so late gossip settles.
     pub drain: u64,
     /// Cap on the recovery-probe measurement.
@@ -611,6 +698,7 @@ impl<P: ScenarioProtocol> CatastropheParams<P> {
             pre_rounds: 8,
             post_rounds: 8,
             rate: 20,
+            publishers: 16,
             drain: 10,
             max_recovery_rounds: 40,
         }
@@ -645,6 +733,19 @@ pub struct CatastropheReport {
     pub recovery_rounds: Option<u64>,
     /// Whether the survivors' view graph was §4.4-partitioned at the end.
     pub partitioned_after: bool,
+    /// Total wire bytes offered across the run.
+    pub wire_bytes: u64,
+    /// Message copies offered across the run.
+    pub wire_messages: u64,
+    /// Total rounds the engine ran.
+    pub rounds: u64,
+}
+
+impl CatastropheReport {
+    /// Mean wire bytes per simulated round.
+    pub fn wire_bytes_per_round(&self) -> f64 {
+        self.wire_bytes as f64 / self.rounds.max(1) as f64
+    }
 }
 
 /// Runs one catastrophic correlated failure. Deterministic per
@@ -652,7 +753,10 @@ pub struct CatastropheReport {
 pub fn catastrophe_scenario<P: ScenarioProtocol>(
     params: &CatastropheParams<P>,
     seed: u64,
-) -> CatastropheReport {
+) -> CatastropheReport
+where
+    P::Msg: WireMessage + Send + 'static,
+{
     assert!(
         (0.0..1.0).contains(&params.crash_fraction),
         "crash fraction must be in [0, 1)"
@@ -662,10 +766,17 @@ pub fn catastrophe_scenario<P: ScenarioProtocol>(
     engine.run(params.warmup);
 
     // ── Pre-failure window: load + a latency probe ────────────────────
+    let mut load = LoadGen::new(params.publishers);
     let origin = ProcessId::new(0);
     let pre_probe = engine.publish_from(origin, Payload::from_static(b"pre-probe"));
     let pre_start = engine.round();
-    loaded_rounds(&mut engine, &mut rng, params.pre_rounds, params.rate);
+    loaded_rounds(
+        &mut engine,
+        &mut rng,
+        &mut load,
+        params.pre_rounds,
+        params.rate,
+    );
     let pre_end = engine.round();
     engine.run(params.drain);
     let reliability_before = engine
@@ -703,7 +814,13 @@ pub fn catastrophe_scenario<P: ScenarioProtocol>(
 
     // ── Post-failure window: load on the surviving membership ────────
     let post_start = engine.round();
-    loaded_rounds(&mut engine, &mut rng, params.post_rounds, params.rate);
+    loaded_rounds(
+        &mut engine,
+        &mut rng,
+        &mut load,
+        params.post_rounds,
+        params.rate,
+    );
     let post_end = engine.round();
     engine.run(params.drain);
     let reliability_after = engine
@@ -711,6 +828,7 @@ pub fn catastrophe_scenario<P: ScenarioProtocol>(
         .reliability_report(post_start..=post_end, survivors)
         .mean;
 
+    let wire = engine.wire_accounting().unwrap_or_default();
     CatastropheReport {
         protocol: P::NAME,
         n: params.n,
@@ -722,14 +840,18 @@ pub fn catastrophe_scenario<P: ScenarioProtocol>(
         latency_after,
         recovery_rounds,
         partitioned_after: engine.view_graph().is_partitioned(),
+        wire_bytes: wire.bytes,
+        wire_messages: wire.messages,
+        rounds: engine.round(),
     }
 }
 
-/// Publishes `rate` events per round from random alive origins for
-/// `rounds` rounds (the Fig. 6 load shape).
+/// Publishes `rate` events per round for `rounds` rounds (the Fig. 6
+/// load shape), origins chosen by `load` (publisher pool or random).
 fn loaded_rounds<P: Protocol>(
     engine: &mut Engine<P>,
     rng: &mut SmallRng,
+    load: &mut LoadGen,
     rounds: u64,
     rate: usize,
 ) {
@@ -738,8 +860,12 @@ fn loaded_rounds<P: Protocol>(
         alive.clear();
         alive.extend_from_slice(engine.alive_ids());
         for _ in 0..rate {
-            let origin = alive[rng.gen_range(0..alive.len())];
-            engine.publish_from(origin, Payload::from_static(b"load"));
+            let Some(origin) = load.pick(engine, rng, &alive) else {
+                continue;
+            };
+            if engine.is_alive(origin) {
+                engine.publish_from(origin, Payload::from_static(b"load"));
+            }
         }
         engine.step();
     }
@@ -806,6 +932,19 @@ pub struct PartitionReport {
     /// Fraction of the whole system reached by a probe published on side
     /// A after the heal window.
     pub post_heal_reliability: f64,
+    /// Total wire bytes offered across the run.
+    pub wire_bytes: u64,
+    /// Message copies offered across the run.
+    pub wire_messages: u64,
+    /// Total rounds the engine ran.
+    pub rounds: u64,
+}
+
+impl PartitionReport {
+    /// Mean wire bytes per simulated round.
+    pub fn wire_bytes_per_round(&self) -> f64 {
+        self.wire_bytes as f64 / self.rounds.max(1) as f64
+    }
 }
 
 /// Runs one partition-and-heal scenario. Deterministic per
@@ -817,13 +956,17 @@ pub struct PartitionReport {
 pub fn partition_scenario<P: ScenarioProtocol>(
     params: &PartitionParams<P>,
     seed: u64,
-) -> PartitionReport {
+) -> PartitionReport
+where
+    P::Msg: WireMessage + Send + 'static,
+{
     assert!(params.n >= 4, "need at least two processes per side");
     let split = params.n / 2;
     let view_size = P::view_size(&params.config);
     let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x746F_706F_6C6F_6779);
     let mut engine: Engine<P> =
         Engine::new(NetworkModel::new(params.loss_rate, seed), CrashPlan::none());
+    engine.set_wire_meter(wire_meter());
     let mut scratch = Vec::new();
     for i in 0..params.n as u64 {
         // Sample the view inside the node's own half: the usual
@@ -886,6 +1029,7 @@ pub fn partition_scenario<P: ScenarioProtocol>(
     // ── Post-heal dissemination across the former divide ─────────────
     let probe = engine.publish_from(ProcessId::new(0), Payload::from_static(b"healed"));
     engine.run(params.probe_rounds);
+    let wire = engine.wire_accounting().unwrap_or_default();
     PartitionReport {
         protocol: P::NAME,
         n: params.n,
@@ -894,6 +1038,9 @@ pub fn partition_scenario<P: ScenarioProtocol>(
         rounds_to_connect,
         rounds_to_heal,
         post_heal_reliability: engine.tracker().reliability_of(probe, params.n),
+        wire_bytes: wire.bytes,
+        wire_messages: wire.messages,
+        rounds: engine.round(),
     }
 }
 
@@ -921,7 +1068,10 @@ pub struct ScenarioSuite {
 
 /// Runs all three scenarios for one protocol at size `n` with the scaled
 /// parameter sets, timing each.
-pub fn run_scenario_suite<P: ScenarioProtocol>(n: usize, seed: u64) -> ScenarioSuite {
+pub fn run_scenario_suite<P: ScenarioProtocol>(n: usize, seed: u64) -> ScenarioSuite
+where
+    P::Msg: WireMessage + Send + 'static,
+{
     use std::time::Instant;
     let t = Instant::now();
     let churn = churn_scenario(&ChurnParams::<P>::scaled(n), seed);
@@ -1013,6 +1163,14 @@ pub fn scenarios_tsv(suites: &[ScenarioSuite]) -> String {
             "partitioned_at_end",
             c.partitioned_at_end.to_string(),
         );
+        row("churn", c.n0, "wire_bytes", c.wire_bytes.to_string());
+        row(
+            "churn",
+            c.n0,
+            "wire_bytes_per_round",
+            format!("{:.1}", c.wire_bytes_per_round()),
+        );
+        row("churn", c.n0, "wire_messages", c.wire_messages.to_string());
         let c = &suite.catastrophe;
         row("catastrophe", c.n, "crashed", c.crashed.to_string());
         row("catastrophe", c.n, "survivors", c.survivors.to_string());
@@ -1052,6 +1210,19 @@ pub fn scenarios_tsv(suites: &[ScenarioSuite]) -> String {
             "partitioned_after",
             c.partitioned_after.to_string(),
         );
+        row("catastrophe", c.n, "wire_bytes", c.wire_bytes.to_string());
+        row(
+            "catastrophe",
+            c.n,
+            "wire_bytes_per_round",
+            format!("{:.1}", c.wire_bytes_per_round()),
+        );
+        row(
+            "catastrophe",
+            c.n,
+            "wire_messages",
+            c.wire_messages.to_string(),
+        );
         let p = &suite.partition;
         row(
             "partition",
@@ -1077,6 +1248,19 @@ pub fn scenarios_tsv(suites: &[ScenarioSuite]) -> String {
             p.n,
             "post_heal_reliability",
             format!("{:.5}", p.post_heal_reliability),
+        );
+        row("partition", p.n, "wire_bytes", p.wire_bytes.to_string());
+        row(
+            "partition",
+            p.n,
+            "wire_bytes_per_round",
+            format!("{:.1}", p.wire_bytes_per_round()),
+        );
+        row(
+            "partition",
+            p.n,
+            "wire_messages",
+            p.wire_messages.to_string(),
         );
     }
     out
@@ -1122,6 +1306,7 @@ mod tests {
             leaves_per_round: 2,
             lame_duck: 2,
             rate: 4,
+            publishers: 0,
             drain: 8,
         }
     }
@@ -1160,6 +1345,7 @@ mod tests {
             leaves_per_round: 2,
             lame_duck: 2,
             rate: 4,
+            publishers: 0,
             drain: 8,
         };
         let report = churn_scenario(&params, 7);
@@ -1195,6 +1381,115 @@ mod tests {
         assert_eq!(churn_scenario(&params, 5), churn_scenario(&params, 5));
     }
 
+    /// Strips the wire-accounting fields so two runs can be compared on
+    /// protocol outcomes alone.
+    fn semantics_only(mut report: ChurnReport) -> ChurnReport {
+        report.wire_bytes = 0;
+        report.wire_messages = 0;
+        report
+    }
+
+    /// The §3.4 A/B: digesting the `unSubs` section must not change any
+    /// protocol outcome — same joins, leaves, refusals, reliability and
+    /// membership — while strictly shrinking the wire volume. The
+    /// `unsubs_max` bound is kept above the total leave count so neither
+    /// arm ever truncates the buffer (truncation draws randomness whose
+    /// victims depend on buffer order, which differs legitimately
+    /// between the representations).
+    #[test]
+    fn unsub_digesting_is_an_exact_semantic_noop() {
+        let mk = |digest_unsubs: bool| {
+            let config = Config::builder()
+                .view_size(6)
+                .fanout(3)
+                .event_ids_max(256)
+                .events_max(256)
+                .deliver_on_digest(true)
+                .unsubs_max(256)
+                .unsub_refusal_threshold(200)
+                .unsub_obsolescence(9)
+                .digest_unsubs(digest_unsubs)
+                .build();
+            let params: ChurnParams<Lpbcast> = ChurnParams {
+                n0: 60,
+                config,
+                loss_rate: 0.05,
+                warmup: 4,
+                churn_rounds: 12,
+                joins_per_round: 2,
+                leaves_per_round: 3,
+                lame_duck: 2,
+                rate: 6,
+                publishers: 4,
+                drain: 8,
+            };
+            churn_scenario(&params, 9)
+        };
+        let digested = mk(true);
+        let flat = mk(false);
+        assert!(
+            digested.leaves_completed > 10,
+            "the A/B actually exercises the unsubscription path: {digested:?}"
+        );
+        assert_eq!(
+            semantics_only(digested.clone()),
+            semantics_only(flat.clone()),
+            "purge semantics must be identical across representations"
+        );
+        assert_eq!(
+            digested.wire_messages, flat.wire_messages,
+            "digesting changes bytes, never the message count"
+        );
+        assert!(
+            digested.wire_bytes < flat.wire_bytes,
+            "per-timestamp grouping must shrink the unSubs wire cost: \
+             {} vs {} bytes",
+            digested.wire_bytes,
+            flat.wire_bytes
+        );
+    }
+
+    /// The pbcast §3.2 A/B: per-origin compact digests shrink the wire
+    /// volume under stream-shaped load while leaving dissemination
+    /// effectively unchanged (hop counts may round up to a range's
+    /// maximum, so bit-identity is not guaranteed — reliability is).
+    #[test]
+    fn pbcast_compact_digest_shrinks_churn_wire() {
+        let mk = |compact: bool| {
+            let mut cfg = small_pbcast_config();
+            cfg.config.compact_digest = compact;
+            let params: ChurnParams<Pbcast> = ChurnParams {
+                n0: 60,
+                config: cfg,
+                loss_rate: 0.05,
+                warmup: 4,
+                churn_rounds: 12,
+                joins_per_round: 2,
+                leaves_per_round: 2,
+                lame_duck: 2,
+                rate: 6,
+                publishers: 4,
+                drain: 8,
+            };
+            churn_scenario(&params, 9)
+        };
+        let compact = mk(true);
+        let flat = mk(false);
+        assert!(
+            compact.wire_bytes < flat.wire_bytes,
+            "per-origin ranges must shrink stream-shaped digests: \
+             {} vs {} bytes",
+            compact.wire_bytes,
+            flat.wire_bytes
+        );
+        assert!(
+            (compact.mean_reliability - flat.mean_reliability).abs() < 0.05,
+            "compaction must not cost reliability: {} vs {}",
+            compact.mean_reliability,
+            flat.mean_reliability
+        );
+    }
+
     #[test]
     fn catastrophe_recovers() {
         let params: CatastropheParams<Lpbcast> = CatastropheParams {
@@ -1206,6 +1501,7 @@ mod tests {
             pre_rounds: 6,
             post_rounds: 6,
             rate: 5,
+            publishers: 0,
             drain: 8,
             max_recovery_rounds: 25,
         };
@@ -1238,6 +1534,7 @@ mod tests {
             pre_rounds: 6,
             post_rounds: 6,
             rate: 5,
+            publishers: 0,
             drain: 8,
             max_recovery_rounds: 25,
         };
@@ -1265,6 +1562,7 @@ mod tests {
             pre_rounds: 4,
             post_rounds: 4,
             rate: 3,
+            publishers: 0,
             drain: 5,
             max_recovery_rounds: 15,
         };
@@ -1356,6 +1654,7 @@ mod tests {
                     pre_rounds: 3,
                     post_rounds: 3,
                     rate: 2,
+                    publishers: 0,
                     drain: 4,
                     max_recovery_rounds: 12,
                 },

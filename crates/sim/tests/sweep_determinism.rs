@@ -83,6 +83,7 @@ fn parallel_churn_sweep_is_bit_identical_to_serial() {
         joins_per_round: 2,
         leaves_per_round: 1,
         rate: 4,
+        publishers: 0,
         drain: 5,
         ..ChurnParams::scaled(40)
     };

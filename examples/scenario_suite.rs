@@ -26,7 +26,10 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-fn run_one<P: ScenarioProtocol>(n: usize, seed: u64) -> ScenarioSuite {
+fn run_one<P: ScenarioProtocol>(n: usize, seed: u64) -> ScenarioSuite
+where
+    P::Msg: lpbcast::net::WireMessage + Send + 'static,
+{
     let suite = run_scenario_suite::<P>(n, seed);
     let churn = &suite.churn;
     println!(

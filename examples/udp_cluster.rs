@@ -7,6 +7,18 @@
 //! cargo run --example udp_cluster
 //! LPBCAST_UDP_PROTOCOL=pbcast cargo run --example udp_cluster
 //! ```
+//!
+//! Environment knobs (CI smoke-runs both protocols over loopback with
+//! small parameters and `LPBCAST_UDP_REQUIRE_FULL=1`, so rot in the UDP
+//! runtime fails the build instead of passing silently):
+//!
+//! * `LPBCAST_UDP_N` — cluster size (default 10);
+//! * `LPBCAST_UDP_PERIOD_MS` — gossip period `T` (default 25);
+//! * `LPBCAST_UDP_DEADLINE_SECS` — full-delivery deadline (default 15);
+//! * `LPBCAST_UDP_LOSS` — injected ingress loss ε (default 0.05;
+//!   loopback UDP is effectively lossless, so ε is simulated at ingress);
+//! * `LPBCAST_UDP_REQUIRE_FULL` — when set to `1`, exit non-zero unless
+//!   every node delivered every event before the deadline.
 
 use std::time::{Duration, Instant};
 
@@ -19,7 +31,7 @@ use lpbcast::types::{ProcessId, Protocol};
 /// then we wait until every node has delivered everyone's event. The
 /// whole loop is protocol-agnostic — this is the generic driver the
 /// sans-IO `Protocol` redesign buys.
-fn drive<P>(nodes: Vec<NetNode<P>>) -> Result<(), Box<dyn std::error::Error>>
+fn drive<P>(nodes: Vec<NetNode<P>>, deadline_secs: u64) -> Result<(), Box<dyn std::error::Error>>
 where
     P: Protocol + Send + 'static,
     P::Msg: WireMessage,
@@ -36,7 +48,7 @@ where
     }
 
     // Wait until every node has delivered everyone else's event.
-    let deadline = Instant::now() + Duration::from_secs(15);
+    let deadline = Instant::now() + Duration::from_secs(deadline_secs);
     let mut delivered = vec![1usize; n]; // own event counts
     while Instant::now() < deadline {
         for (i, node) in nodes.iter().enumerate() {
@@ -74,17 +86,37 @@ where
             "timed out before full delivery (UDP loss: rerun or raise the deadline)"
         }
     );
+    let strict = std::env::var("LPBCAST_UDP_REQUIRE_FULL").is_ok_and(|v| v == "1");
+    if strict && !complete {
+        return Err("LPBCAST_UDP_REQUIRE_FULL=1: full delivery not reached".into());
+    }
     Ok(())
 }
 
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 10u64;
+    let n = env_u64("LPBCAST_UDP_N", 10).max(4);
+    let period_ms = env_u64("LPBCAST_UDP_PERIOD_MS", 25);
+    let deadline_secs = env_u64("LPBCAST_UDP_DEADLINE_SECS", 15);
+    // The paper's ε = 0.05 is injected at ingress, since localhost UDP is
+    // effectively lossless. `LPBCAST_UDP_LOSS=0` (any unparsable value
+    // falls back to the default) makes CI smoke runs deterministic-ish.
+    let loss = std::env::var("LPBCAST_UDP_LOSS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|l| (0.0..1.0).contains(l))
+        .unwrap_or(0.05);
     let p = ProcessId::new;
     let book = AddressBook::new();
     let protocol = std::env::var("LPBCAST_UDP_PROTOCOL").unwrap_or_else(|_| "lpbcast".into());
-    // The paper's ε = 0.05 is injected at ingress, since localhost UDP is
-    // effectively lossless.
-    let opts = |seed| NetOpts::new(Duration::from_millis(25), seed).ingress_loss(0.05);
+    let opts = |seed| NetOpts::new(Duration::from_millis(period_ms), seed).ingress_loss(loss);
     // Each node knows a handful of ring neighbours; gossip-based
     // membership does the rest.
     let ring_view = |i: u64| -> Vec<ProcessId> { (1..=3).map(|d| p((i + d) % n)).collect() };
@@ -113,7 +145,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     book.clone(),
                 )?);
             }
-            drive(nodes)
+            drive(nodes, deadline_secs)
         }
         // The pbcast baseline over the very same runtime: anti-entropy
         // digests with gossip-pull repair on the §6.2 partial-view
@@ -137,7 +169,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     book.clone(),
                 )?);
             }
-            drive(nodes)
+            drive(nodes, deadline_secs)
         }
         other => Err(format!("LPBCAST_UDP_PROTOCOL={other:?}: expected lpbcast or pbcast").into()),
     }

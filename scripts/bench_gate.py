@@ -6,8 +6,9 @@ Usage:
 
 Compares every per-n timing row (``step_throughput[].slab_ns_per_step``,
 ``loaded_step[].slab_ns_per_step``, ``scaling[].ns_per_step`` and
-``scaling[].engine_build_ms``) of the freshly generated snapshot against
-the committed one:
+``scaling[].engine_build_ms``) plus the deterministic per-n wire-cost
+rows (``scaling[].wire_bytes_per_round``) of the freshly generated
+snapshot against the committed one:
 
 * regression > 30% at any n  -> prints FAIL and exits 1;
 * regression in (10%, 30%]   -> prints WARN, exits 0 (shared CI runners
@@ -33,7 +34,9 @@ are how the snapshot grows.
 
 Scenario wall-clock rows (``scenarios.<protocol>.<scenario>.wall_ms``,
 labelled ``scenario churn/lpbcast n=10000`` etc. since the Protocol-trait
-redesign renamed the old un-keyed ``scenarios.churn`` rows) are SOFT:
+redesign renamed the old un-keyed ``scenarios.churn`` rows) and scenario
+wire rows (``scenarios.<protocol>.<scenario>.wire_bytes_per_round``,
+labelled ``wire churn/lpbcast n=10000``) are SOFT:
 they are compared with the same thresholds when a label exists on both
 sides, but a missing row — on either side — only WARNs. CI deliberately
 runs the suite at a different ``BENCH_SIM_SCENARIO_N`` (and may restrict
@@ -73,6 +76,12 @@ def step_rows(snapshot):
         # in ms, compared as ns like everything else.
         if "engine_build_ms" in entry:
             rows[f"engine_build n={entry['n']}"] = float(entry["engine_build_ms"]) * 1e6
+        # Wire cost of the scaling probe run: deterministic per seed (an
+        # exact byte count, not a wall-clock), so regressions here are
+        # real wire-format growth, never runner noise. CI runs the same
+        # size ladder by default, so these rows gate hard.
+        if "wire_bytes_per_round" in entry:
+            rows[f"wire scaling n={entry['n']}"] = float(entry["wire_bytes_per_round"])
     return rows
 
 
@@ -96,6 +105,27 @@ def scenario_rows(snapshot):
     return rows
 
 
+def scenario_wire_rows(snapshot):
+    """Maps ``wire <name>/<protocol> n=<n>`` -> bytes/round (soft rows).
+
+    Soft for the same reason as wall_ms: CI runs the suite at a different
+    ``BENCH_SIM_SCENARIO_N``, so committed full-scale rows have no fresh
+    counterpart there. Where a label exists on both sides the usual
+    thresholds apply — the counts are deterministic, so any growth is a
+    genuine wire-format regression.
+    """
+    rows = {}
+    for protocol, suite in snapshot.get("scenarios", {}).items():
+        if not isinstance(suite, dict):
+            continue
+        for name, report in suite.items():
+            if not isinstance(report, dict) or "wire_bytes_per_round" not in report:
+                continue
+            n = report.get("n", report.get("n0", "?"))
+            rows[f"wire {name}/{protocol} n={n}"] = float(report["wire_bytes_per_round"])
+    return rows
+
+
 def load(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -116,6 +146,8 @@ def compare(label, old, new, soft):
         unit = "us"
     elif label.startswith("scenario "):
         unit = "ms"
+    elif label.startswith("wire "):
+        unit = "KB/round"
     else:
         unit = "us/step"
     scale = 1e6 if unit == "ms" else 1e3
@@ -169,6 +201,15 @@ def main(argv):
         print(f"WARN  {label}: only in fresh snapshot (soft row)")
     for label in sorted(set(committed_sc) & set(fresh_sc)):
         compare(label, committed_sc[label], fresh_sc[label], soft=True)
+
+    committed_w = scenario_wire_rows(committed_snapshot)
+    fresh_w = scenario_wire_rows(fresh_snapshot)
+    for label in sorted(set(committed_w) - set(fresh_w)):
+        print(f"WARN  {label}: committed scenario wire row has no fresh counterpart (soft row; env-tuned)")
+    for label in sorted(set(fresh_w) - set(committed_w)):
+        print(f"WARN  {label}: only in fresh snapshot (soft row)")
+    for label in sorted(set(committed_w) & set(fresh_w)):
+        compare(label, committed_w[label], fresh_w[label], soft=True)
 
     if failed:
         print(

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Schema check over the TSV figures bench_sim writes into results/.
+
+    python3 scripts/check_results_schema.py [results_dir]
+
+CI uploads ``results/*.tsv`` as artifacts; downstream tooling (plot
+scripts, dashboards) indexes them by column name, so a silently renamed
+or reordered column corrupts every consumer. This validates, for each
+known figure:
+
+* the first non-comment line is exactly the expected header;
+* every data row has exactly as many columns as the header;
+* numeric-looking columns contain parseable values.
+
+Unknown ``*.tsv`` files only get the column-count consistency check (new
+figures are how the directory grows). Stdlib only by design — CI must
+not need pip.
+"""
+
+import os
+import sys
+
+EXPECTED_HEADERS = {
+    "scaling.tsv": [
+        "n", "view_size", "buffer_bound", "ns_per_step", "engine_build_ms",
+        "mean_latency_rounds", "model_latency_rounds", "reliability",
+        "wire_bytes_per_round",
+    ],
+    "scenarios.tsv": ["scenario", "protocol", "n", "metric", "value"],
+}
+
+# Columns whose every value must parse as a number ("never"/"true" style
+# values live only in scenarios.tsv's free-form `value` column).
+NUMERIC = {
+    "n", "view_size", "buffer_bound", "ns_per_step", "engine_build_ms",
+    "mean_latency_rounds", "model_latency_rounds", "reliability",
+    "wire_bytes_per_round",
+}
+
+
+def check_file(path, expected):
+    """Returns a list of problem strings for one TSV file."""
+    problems = []
+    with open(path, encoding="utf-8") as f:
+        lines = [ln.rstrip("\n") for ln in f]
+    rows = [ln for ln in lines if ln and not ln.startswith("#")]
+    if not rows:
+        return [f"{path}: no header or data rows"]
+    header = rows[0].split("\t")
+    if expected is not None and header != expected:
+        problems.append(
+            f"{path}: header mismatch\n  expected: {expected}\n  found:    {header}")
+        return problems
+    for i, row in enumerate(rows[1:], start=2):
+        cells = row.split("\t")
+        if len(cells) != len(header):
+            problems.append(
+                f"{path}: data row {i} has {len(cells)} columns, header has {len(header)}")
+            continue
+        for name, cell in zip(header, cells):
+            if name in NUMERIC:
+                try:
+                    float(cell)
+                except ValueError:
+                    problems.append(
+                        f"{path}: row {i} column {name!r}: {cell!r} is not numeric")
+    if expected is not None and len(rows) == 1:
+        problems.append(f"{path}: header only, no data rows")
+    return problems
+
+
+def main(argv):
+    results_dir = argv[1] if len(argv) > 1 else "results"
+    if not os.path.isdir(results_dir):
+        print(f"check_results_schema: {results_dir}/ does not exist", file=sys.stderr)
+        return 2
+    tsvs = sorted(f for f in os.listdir(results_dir) if f.endswith(".tsv"))
+    if not tsvs:
+        print(f"check_results_schema: no .tsv files in {results_dir}/", file=sys.stderr)
+        return 2
+    missing = [name for name in EXPECTED_HEADERS if name not in tsvs]
+    problems = [f"{results_dir}/{name}: expected figure missing" for name in missing]
+    for name in tsvs:
+        expected = EXPECTED_HEADERS.get(name)
+        problems.extend(check_file(os.path.join(results_dir, name), expected))
+        verdict = "schema-checked" if name in EXPECTED_HEADERS else "column-count only"
+        print(f"checked {results_dir}/{name} ({verdict})")
+    for problem in problems:
+        print(f"SCHEMA VIOLATION: {problem}")
+    if problems:
+        return 1
+    print("check_results_schema: all figures conform")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

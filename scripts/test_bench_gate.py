@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_gate.py — stdlib only, run by CI *before*
+the gate step so a broken gate fails loudly instead of silently passing
+regressions.
+
+    python3 scripts/test_bench_gate.py
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_gate  # noqa: E402
+
+
+def snapshot(step_ns=1000.0, scale_ns=2000.0, build_ms=5.0, wire=4000.0,
+             churn_wall=100.0, churn_wire=50000.0, extra_step=None,
+             drop_scaling=False):
+    """A minimal but schema-shaped BENCH_sim.json payload."""
+    snap = {
+        "schema": "bench_sim/v5",
+        "step_throughput": [{"n": 125, "slab_ns_per_step": step_ns}],
+        "loaded_step": [{"n": 1000, "slab_ns_per_step": step_ns * 10}],
+        "scaling": [] if drop_scaling else [{
+            "n": 125,
+            "ns_per_step": scale_ns,
+            "engine_build_ms": build_ms,
+            "wire_bytes_per_round": wire,
+        }],
+        "scenarios": {
+            "lpbcast": {
+                "churn": {
+                    "n0": 10000,
+                    "wall_ms": churn_wall,
+                    "wire_bytes_per_round": churn_wire,
+                },
+            },
+        },
+    }
+    if extra_step is not None:
+        snap["step_throughput"].append(
+            {"n": extra_step, "slab_ns_per_step": step_ns})
+    return snap
+
+
+class GateHarness(unittest.TestCase):
+    def run_gate(self, committed, fresh):
+        """Runs bench_gate.main over two snapshot dicts; returns
+        (exit_code, stdout)."""
+        with tempfile.TemporaryDirectory() as d:
+            old = os.path.join(d, "committed.json")
+            new = os.path.join(d, "fresh.json")
+            with open(old, "w", encoding="utf-8") as f:
+                json.dump(committed, f)
+            with open(new, "w", encoding="utf-8") as f:
+                json.dump(fresh, f)
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                code = bench_gate.main(["bench_gate.py", old, new])
+            return code, out.getvalue()
+
+    # ── regression thresholds ────────────────────────────────────────
+
+    def test_identical_snapshots_pass(self):
+        code, out = self.run_gate(snapshot(), snapshot())
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK", out)
+        self.assertNotIn("FAIL", out)
+
+    def test_mid_band_regression_warns_but_passes(self):
+        code, out = self.run_gate(snapshot(), snapshot(step_ns=1150.0))
+        self.assertEqual(code, 0, out)
+        self.assertIn("WARN  step_throughput n=125", out)
+
+    def test_large_regression_fails(self):
+        code, out = self.run_gate(snapshot(), snapshot(step_ns=1400.0))
+        self.assertEqual(code, 1, out)
+        self.assertIn("FAIL  step_throughput n=125", out)
+
+    def test_improvement_passes(self):
+        code, out = self.run_gate(snapshot(), snapshot(step_ns=500.0))
+        self.assertEqual(code, 0, out)
+
+    # ── row-set asymmetry ────────────────────────────────────────────
+
+    def test_missing_committed_row_is_hard_failure(self):
+        code, out = self.run_gate(snapshot(extra_step=4000), snapshot())
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing from fresh", out)
+
+    def test_fresh_only_row_warns_but_passes(self):
+        code, out = self.run_gate(snapshot(), snapshot(extra_step=4000))
+        self.assertEqual(code, 0, out)
+        self.assertIn("only in fresh snapshot", out)
+
+    def test_no_comparable_rows_is_usage_error(self):
+        code, _ = self.run_gate({"scaling": []}, {"scaling": []})
+        self.assertEqual(code, 2)
+
+    # ── wire rows: scaling hard, scenario soft ───────────────────────
+
+    def test_scaling_wire_regression_fails(self):
+        code, out = self.run_gate(snapshot(), snapshot(wire=6000.0))
+        self.assertEqual(code, 1, out)
+        self.assertIn("FAIL  wire scaling n=125", out)
+        self.assertIn("KB/round", out)
+
+    def test_scaling_wire_row_vanishing_fails(self):
+        code, out = self.run_gate(snapshot(), snapshot(drop_scaling=True))
+        self.assertEqual(code, 1, out)
+
+    def test_scenario_wire_regression_is_soft(self):
+        code, out = self.run_gate(snapshot(), snapshot(churn_wire=99999.0))
+        self.assertEqual(code, 0, out)
+        self.assertIn("WARN  wire churn/lpbcast n=10000", out)
+        self.assertIn("[soft row]", out)
+
+    def test_scenario_wire_row_missing_is_soft(self):
+        fresh = snapshot()
+        del fresh["scenarios"]["lpbcast"]["churn"]["wire_bytes_per_round"]
+        code, out = self.run_gate(snapshot(), fresh)
+        self.assertEqual(code, 0, out)
+        self.assertIn("no fresh counterpart", out)
+
+    # ── scenario wall_ms rows stay soft ──────────────────────────────
+
+    def test_scenario_wall_regression_is_soft(self):
+        code, out = self.run_gate(snapshot(), snapshot(churn_wall=1000.0))
+        self.assertEqual(code, 0, out)
+        self.assertIn("WARN  scenario churn/lpbcast n=10000", out)
+
+    def test_scenario_row_set_change_is_soft(self):
+        fresh = snapshot()
+        fresh["scenarios"] = {}
+        code, out = self.run_gate(snapshot(), fresh)
+        self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
