@@ -18,7 +18,10 @@
 //! * `BENCH_SIM_SCENARIO_PROTOCOLS` — comma-separated protocols the
 //!   scenario suite runs (`lpbcast,pbcast` by default; the suite is
 //!   generic over `ScenarioProtocol`, so both stacks produce
-//!   side-by-side rows).
+//!   side-by-side rows; `swim+lpbcast` runs the SWIM-wrapped stack).
+//! * `BENCH_SIM_DETECTOR_N` — system size of the SWIM failure-detector
+//!   A/B study (default 10000; the committed snapshot records the
+//!   full-scale run, CI uses a small n).
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -26,7 +29,9 @@ use std::time::Instant;
 
 use lpbcast_bench::baseline::build_baseline_lpbcast_engine;
 use lpbcast_core::Lpbcast;
+use lpbcast_membership::Swim;
 use lpbcast_pbcast::Pbcast;
+use lpbcast_sim::detector::{detector_study, detector_tsv, DetectorParams};
 use lpbcast_sim::experiment::{
     build_lpbcast_engine, lpbcast_infection_curve, lpbcast_infection_curve_serial,
     sweep_dispatches_serial, LpbcastSimParams,
@@ -260,9 +265,12 @@ fn main() {
         let suite = match proto {
             "lpbcast" => run_scenario_suite::<Lpbcast>(scenario_n, 1),
             "pbcast" => run_scenario_suite::<Pbcast>(scenario_n, 1),
+            "swim" | "swim+lpbcast" => run_scenario_suite::<Swim<Lpbcast>>(scenario_n, 1),
             "" => continue,
             other => {
-                eprintln!("! unknown scenario protocol {other:?} (expected lpbcast/pbcast)");
+                eprintln!(
+                    "! unknown scenario protocol {other:?} (expected lpbcast/pbcast/swim+lpbcast)"
+                );
                 continue;
             }
         };
@@ -308,13 +316,45 @@ fn main() {
         suites.push(suite);
     }
 
+    // SWIM failure-detector A/B: the same catastrophe and no-crash noise
+    // loads with and without the Swim wrapper, under named fault specs
+    // (deterministic; seed 1).
+    let detector_n = env_usize("BENCH_SIM_DETECTOR_N", 10_000);
+    let detector_t = Instant::now();
+    let study = detector_study(&DetectorParams::scaled(detector_n), 1);
+    let detector_wall_ms = detector_t.elapsed().as_secs_f64() * 1e3;
+    for r in &study.reports {
+        println!(
+            "detector {}/{} n={}: recovery off {:?} -> on {:?} rounds, probe reliability {:.4}/{:.4}, {} evictions ({} false), {} suspicions, {} refuted",
+            r.scenario,
+            r.fault,
+            r.n,
+            r.baseline.recovery_rounds,
+            r.detector.recovery_rounds,
+            r.baseline.probe_reliability,
+            r.detector.probe_reliability,
+            r.detector.evictions,
+            r.detector.false_evictions,
+            r.detector.suspicions,
+            r.detector.refutations
+        );
+    }
+    println!(
+        "detector churn A/B: reliability {:.4} with / {:.4} without, joins {}/{} [{:.0} ms total]",
+        study.churn_reliability_with,
+        study.churn_reliability_without,
+        study.churn_joins_with,
+        study.churn_joins_without,
+        detector_wall_ms
+    );
+
     // Hand-rolled JSON (the workspace has no serde): numbers only, stable
     // key order, one object per measurement.
-    let mut json = String::from("{\n  \"schema\": \"bench_sim/v5\",\n");
+    let mut json = String::from("{\n  \"schema\": \"bench_sim/v6\",\n");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"steps_per_measurement\": {steps},");
     json.push_str(
-        "  \"note\": \"baseline_* is the seed BTreeMap engine compiled against the current protocol crates, so the ratio isolates the engine-structure change; protocol-layer wins (fast hashing, linear small buffers, chunked scans, alloc-free truncation, and since PR 2 the Arc-shared gossip fan-out) accrue to both columns. Seed-to-now trajectory: the unmodified seed stack measured ~17.7 ms/step at n=1000 on the 1-CPU reference container. step_throughput uses the paper's n=125 operating-point config at every n; the scaling section uses lpbcast_sim::scale's section-5-scaled view/buffer bounds (Compact digests since PR 3) and also reports the O(n*l) engine bootstrap cost (engine_build_ms; the PR 2 candidate-list build measured ~190 ms at n=10^4), probe delivery latency (rounds) and reliability — the same rows are rendered into results/scaling.tsv. The scenarios section is the churn / catastrophe / partition suite from lpbcast_sim::scenario, keyed by protocol since the Protocol-trait redesign (one generic driver runs lpbcast and pbcast side by side; each scenario also records its wall_ms). scripts/bench_gate.py compares ns_per_step, engine_build_ms and the deterministic wire_bytes_per_round by n against the committed snapshot in CI and fails on rows that disappear; scenario wall_ms and scenario wire rows are gated softly (warn-only on row-set changes, since the scenario size and protocol set are env-tunable in CI). Since v5 every scenario/scaling row carries wire_bytes_per_round: exact codec frame lengths summed over every offered message copy (the wire-cost compaction PR -- pbcast per-origin compact digests + lpbcast per-timestamp unsub digests -- is measured by exactly these columns), and the loaded scenarios publish from a fixed 16-publisher pool (the paper's section-5 measurement model) instead of uniformly random origins\",\n",
+        "  \"note\": \"baseline_* is the seed BTreeMap engine compiled against the current protocol crates, so the ratio isolates the engine-structure change; protocol-layer wins (fast hashing, linear small buffers, chunked scans, alloc-free truncation, and since PR 2 the Arc-shared gossip fan-out) accrue to both columns. Seed-to-now trajectory: the unmodified seed stack measured ~17.7 ms/step at n=1000 on the 1-CPU reference container. step_throughput uses the paper's n=125 operating-point config at every n; the scaling section uses lpbcast_sim::scale's section-5-scaled view/buffer bounds (Compact digests since PR 3) and also reports the O(n*l) engine bootstrap cost (engine_build_ms; the PR 2 candidate-list build measured ~190 ms at n=10^4), probe delivery latency (rounds) and reliability — the same rows are rendered into results/scaling.tsv. The scenarios section is the churn / catastrophe / partition suite from lpbcast_sim::scenario, keyed by protocol since the Protocol-trait redesign (one generic driver runs lpbcast and pbcast side by side; each scenario also records its wall_ms). scripts/bench_gate.py compares ns_per_step, engine_build_ms and the deterministic wire_bytes_per_round by n against the committed snapshot in CI and fails on rows that disappear; scenario wall_ms and scenario wire rows are gated softly (warn-only on row-set changes, since the scenario size and protocol set are env-tunable in CI). Since v5 every scenario/scaling row carries wire_bytes_per_round: exact codec frame lengths summed over every offered message copy (the wire-cost compaction PR -- pbcast per-origin compact digests + lpbcast per-timestamp unsub digests -- is measured by exactly these columns), and the loaded scenarios publish from a fixed 16-publisher pool (the paper's section-5 measurement model) instead of uniformly random origins. Since v6 the detector section records the SWIM failure-detector A/B (lpbcast_sim::detector): identical catastrophe and no-crash noise loads run with and without the Swim<Lpbcast> wrapper under named deterministic fault specs (lpbcast_sim::fault), reporting recovery_rounds, probe reliability, and eviction / false-eviction / suspicion / refutation counts per arm -- the same rows are rendered into results/detector.tsv, the study size is env-tunable via BENCH_SIM_DETECTOR_N (so CI runs a small n and its detector rows are soft), and bench_gate.py additionally surfaces recovery_rounds and min-reliability drift as warn-only quality rows\",\n",
     );
     json.push_str("  \"step_throughput\": [\n");
     for (i, r) in step_results.iter().enumerate() {
@@ -438,6 +478,52 @@ fn main() {
             "    }\n"
         });
     }
+    json.push_str("  },\n");
+
+    // Detector A/B section: one object per (scenario, fault) pair with
+    // both arms, plus the churn-neutrality comparison.
+    let arm_json = |arm: &lpbcast_sim::detector::DetectorArm| {
+        let recovery = arm
+            .recovery_rounds
+            .map_or_else(|| "null".into(), |r| r.to_string());
+        format!(
+            "{{\"recovery_rounds\": {recovery}, \"probe_reliability\": {:.5}, \"evictions\": {}, \"false_evictions\": {}, \"suspicions\": {}, \"refutations\": {}}}",
+            arm.probe_reliability,
+            arm.evictions,
+            arm.false_evictions,
+            arm.suspicions,
+            arm.refutations
+        )
+    };
+    let _ = writeln!(json, "  \"detector\": {{");
+    let _ = writeln!(json, "    \"n\": {detector_n},");
+    let _ = writeln!(json, "    \"wall_ms\": {detector_wall_ms:.1},");
+    json.push_str("    \"reports\": [\n");
+    for (i, r) in study.reports.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"scenario\": \"{}\", \"fault\": \"{}\", \"n\": {}, \"on\": {}, \"off\": {}}}",
+            r.scenario,
+            r.fault,
+            r.n,
+            arm_json(&r.detector),
+            arm_json(&r.baseline)
+        );
+        json.push_str(if i + 1 < study.reports.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(
+        json,
+        "    \"churn\": {{\"mean_reliability_with\": {:.5}, \"mean_reliability_without\": {:.5}, \"joins_with\": {}, \"joins_without\": {}}}",
+        study.churn_reliability_with,
+        study.churn_reliability_without,
+        study.churn_joins_with,
+        study.churn_joins_without
+    );
     json.push_str("  }\n}\n");
 
     let path = workspace_root().join("BENCH_sim.json");
@@ -461,5 +547,13 @@ fn main() {
     match write_scenarios {
         Ok(()) => println!("→ {}", scenarios_path.display()),
         Err(e) => eprintln!("! could not write results/scenarios.tsv: {e}"),
+    }
+
+    let detector_path = results_dir.join("detector.tsv");
+    let write_detector = std::fs::create_dir_all(&results_dir)
+        .and_then(|()| std::fs::write(&detector_path, detector_tsv(&study)));
+    match write_detector {
+        Ok(()) => println!("→ {}", detector_path.display()),
+        Err(e) => eprintln!("! could not write results/detector.tsv: {e}"),
     }
 }

@@ -519,6 +519,17 @@ impl Lpbcast {
         self.stats.events_truncated += self.events.truncate_random_count(&mut self.rng) as u64;
         output
     }
+
+    /// Purges a confirmed-dead process immediately: out of the view *and*
+    /// out of the `subs` forwarding buffer, so the entry neither receives
+    /// further gossip nor keeps circulating through piggybacked
+    /// subscriptions. This is the active counterpart of the passive §3.4
+    /// fade-out, driven by a failure detector through
+    /// [`Protocol::evict`](lpbcast_types::Protocol::evict).
+    pub fn evict(&mut self, process: ProcessId) {
+        self.view.remove(process);
+        self.subs.remove(&process);
+    }
 }
 
 /// The workspace-wide sans-IO lifecycle ([`lpbcast_types::Protocol`]):
@@ -548,6 +559,10 @@ impl lpbcast_types::Protocol for Lpbcast {
     fn view_members(&self) -> Vec<ProcessId> {
         use lpbcast_membership::View as _;
         self.view.members()
+    }
+
+    fn evict(&mut self, process: ProcessId) {
+        Lpbcast::evict(self, process)
     }
 }
 

@@ -25,6 +25,11 @@
 //! * [`ViewGraph`] — analytics over the directed "knows-about" graph:
 //!   degree statistics, connected components (partition detection, §4.4),
 //!   strongly connected components, reachability.
+//! * [`Swim`] — a SWIM-style failure detector (ping / indirect ping-req /
+//!   suspect / confirm with incarnation numbers) wrapping any
+//!   [`Protocol`](lpbcast_types::Protocol), purging confirmed failures
+//!   from the wrapped protocol's view immediately instead of letting
+//!   them fade out.
 //!
 //! # Example
 //!
@@ -51,10 +56,12 @@
 
 mod global;
 mod graph;
+mod swim;
 mod view;
 
 pub use global::GlobalView;
 pub use graph::{ComponentLabels, DegreeStats, ViewGraph};
+pub use swim::{Swim, SwimConfig, SwimMsg, SwimStats, Update, UpdateState};
 pub use view::{PartialView, TruncationStrategy, ViewEntry};
 
 use lpbcast_types::ProcessId;

@@ -34,6 +34,48 @@ use crate::wire::{self, WireMessage};
 /// IP/UDP headers.
 const MAX_DATAGRAM: usize = 60 * 1024;
 
+/// Attempts to bind an ephemeral localhost socket, retrying transient
+/// failures with doubling backoff. Ephemeral binds rarely fail, but
+/// under churny test suites the loopback port range can be momentarily
+/// exhausted (`EADDRINUSE` races, `ENOBUFS` under memory pressure) —
+/// one late retry beats failing a whole cluster spawn.
+const BIND_ATTEMPTS: u32 = 5;
+const BIND_BACKOFF_START: Duration = Duration::from_millis(5);
+
+fn bind_with_retry() -> std::io::Result<UdpSocket> {
+    let mut backoff = BIND_BACKOFF_START;
+    let mut last_err = None;
+    for attempt in 0..BIND_ATTEMPTS {
+        match UdpSocket::bind("127.0.0.1:0") {
+            Ok(socket) => return Ok(socket),
+            Err(e) => last_err = Some(e),
+        }
+        if attempt + 1 < BIND_ATTEMPTS {
+            std::thread::sleep(backoff);
+            backoff *= 2;
+        }
+    }
+    Err(last_err.expect("at least one attempt was made"))
+}
+
+/// Receiver-thread read timeout: how long a blocked `recv_from` waits
+/// before re-checking the shutdown flag. Overridable through the
+/// `LPBCAST_UDP_READ_TIMEOUT_MS` environment variable — lower values
+/// tighten shutdown latency, higher values cut idle wakeups on
+/// long-period deployments.
+const DEFAULT_READ_TIMEOUT: Duration = Duration::from_millis(20);
+
+fn parse_read_timeout(raw: Option<&str>) -> Duration {
+    raw.and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis)
+        .unwrap_or(DEFAULT_READ_TIMEOUT)
+}
+
+fn read_timeout_from_env() -> Duration {
+    parse_read_timeout(std::env::var("LPBCAST_UDP_READ_TIMEOUT_MS").ok().as_deref())
+}
+
 /// Transport-level runtime options, protocol-agnostic: what
 /// [`NetNode::spawn_protocol`] needs besides the machine itself.
 #[derive(Debug, Clone)]
@@ -278,7 +320,7 @@ where
     /// Propagates socket errors.
     pub fn spawn_protocol(machine: P, opts: NetOpts, book: AddressBook) -> Result<Self, NetError> {
         let id = machine.id();
-        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        let socket = bind_with_retry()?;
         let local_addr = socket.local_addr()?;
         book.register(id, local_addr);
 
@@ -288,7 +330,7 @@ where
 
         // Receiver thread: datagram → frames → state machine → sends.
         let recv_socket = socket.try_clone()?;
-        recv_socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        recv_socket.set_read_timeout(Some(read_timeout_from_env()))?;
         let recv_state = Arc::clone(&state);
         let recv_book = book.clone();
         let recv_shutdown = Arc::clone(&shutdown);
@@ -540,5 +582,24 @@ mod tests {
     fn unknown_ids_resolve_to_none() {
         let book = AddressBook::new();
         assert_eq!(book.lookup(ProcessId::new(5)), None);
+    }
+
+    #[test]
+    fn read_timeout_knob_parses_and_falls_back() {
+        assert_eq!(parse_read_timeout(None), DEFAULT_READ_TIMEOUT);
+        assert_eq!(parse_read_timeout(Some("250")), Duration::from_millis(250));
+        assert_eq!(parse_read_timeout(Some(" 7 ")), Duration::from_millis(7));
+        // Zero would busy-spin recv_from; junk is ignored.
+        assert_eq!(parse_read_timeout(Some("0")), DEFAULT_READ_TIMEOUT);
+        assert_eq!(parse_read_timeout(Some("fast")), DEFAULT_READ_TIMEOUT);
+        assert_eq!(parse_read_timeout(Some("")), DEFAULT_READ_TIMEOUT);
+    }
+
+    #[test]
+    fn bind_with_retry_yields_a_usable_socket() {
+        let socket = bind_with_retry().expect("ephemeral bind succeeds");
+        let addr = socket.local_addr().expect("bound address");
+        assert!(addr.ip().is_loopback());
+        assert_ne!(addr.port(), 0, "a concrete ephemeral port was assigned");
     }
 }

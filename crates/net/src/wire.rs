@@ -72,6 +72,22 @@
 //!                         inner lpbcast kind + body
 //! ```
 //!
+//! SWIM failure-detector [`SwimMsg`] frames live at tags 40–46. Every
+//! variant carries a piggybacked *updates* section — `u16 |updates| then
+//! |updates| × (u64 subject, u64 incarnation, u8 state)` where state is
+//! 0 = Alive, 1 = Suspect, 2 = Confirm — and the `Wrapped` variant then
+//! embeds the inner protocol's kind + body, like pub/sub:
+//!
+//! ```text
+//! kind 40 — Wrapped:      updates, inner kind + body
+//! kind 41 — Ping:         updates
+//! kind 42 — Ack:          updates
+//! kind 43 — PingReq:      u64 target, updates
+//! kind 44 — ProxyPing:    u64 origin, updates
+//! kind 45 — ProxyAck:     u64 origin, updates
+//! kind 46 — IndirectAck:  u64 target, updates
+//! ```
+//!
 //! Every length is validated against the remaining buffer before any
 //! allocation, so a hostile datagram cannot trigger huge allocations.
 
@@ -81,6 +97,7 @@ use core::fmt;
 use lpbcast_core::{
     Digest, Gossip, LogicalTime, Message, UnsubDigest, UnsubSection, Unsubscription,
 };
+use lpbcast_membership::{SwimMsg, Update, UpdateState};
 use lpbcast_pbcast::{DigestEntries, DigestEntry, GossipDigest, OriginRange, PbcastMessage};
 use lpbcast_pubsub::{PubSubMessage, TopicId};
 use lpbcast_types::{CompactDigest, Event, EventId, ProcessId};
@@ -503,6 +520,164 @@ impl WireMessage for PubSubMessage {
         // Own header + kind + topic, plus the inner kind + body (the
         // inner message's encoded_len minus its 2-byte frame header).
         3 + 2 + self.topic.name().len() + (self.inner.encoded_len() - 2)
+    }
+}
+
+/// Encoded size of a SWIM updates section.
+fn updates_len(updates: &[Update]) -> usize {
+    2 + 17 * updates.len()
+}
+
+fn encode_updates(buf: &mut BytesMut, updates: &[Update]) {
+    buf.put_u16_le(updates.len() as u16);
+    for u in updates {
+        buf.put_u64_le(u.subject.as_u64());
+        buf.put_u64_le(u.incarnation);
+        buf.put_u8(match u.state {
+            UpdateState::Alive => 0,
+            UpdateState::Suspect => 1,
+            UpdateState::Confirm => 2,
+        });
+    }
+}
+
+fn decode_updates(buf: &mut &[u8]) -> Result<Vec<Update>, WireError> {
+    let n = take_u16(buf)? as usize;
+    check_capacity(buf, n, 17)?;
+    let mut updates = Vec::with_capacity(n);
+    for _ in 0..n {
+        let subject = ProcessId::new(take_u64(buf)?);
+        let incarnation = take_u64(buf)?;
+        let state = match take_u8(buf)? {
+            0 => UpdateState::Alive,
+            1 => UpdateState::Suspect,
+            2 => UpdateState::Confirm,
+            t => return Err(WireError::BadTag(t)),
+        };
+        updates.push(Update {
+            subject,
+            incarnation,
+            state,
+        });
+    }
+    Ok(updates)
+}
+
+impl<M: WireMessage> WireMessage for SwimMsg<M> {
+    fn encode_body(&self, buf: &mut BytesMut) {
+        match self {
+            SwimMsg::Wrapped { inner, updates } => {
+                buf.put_u8(40);
+                encode_updates(buf, updates);
+                inner.encode_body(buf);
+            }
+            SwimMsg::Ping { updates } => {
+                buf.put_u8(41);
+                encode_updates(buf, updates);
+            }
+            SwimMsg::Ack { updates } => {
+                buf.put_u8(42);
+                encode_updates(buf, updates);
+            }
+            SwimMsg::PingReq { target, updates } => {
+                buf.put_u8(43);
+                buf.put_u64_le(target.as_u64());
+                encode_updates(buf, updates);
+            }
+            SwimMsg::ProxyPing { origin, updates } => {
+                buf.put_u8(44);
+                buf.put_u64_le(origin.as_u64());
+                encode_updates(buf, updates);
+            }
+            SwimMsg::ProxyAck { origin, updates } => {
+                buf.put_u8(45);
+                buf.put_u64_le(origin.as_u64());
+                encode_updates(buf, updates);
+            }
+            SwimMsg::IndirectAck { target, updates } => {
+                buf.put_u8(46);
+                buf.put_u64_le(target.as_u64());
+                encode_updates(buf, updates);
+            }
+        }
+    }
+
+    fn decode_body(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let kind = take_u8(buf)?;
+        Ok(match kind {
+            40 => {
+                let updates = decode_updates(buf)?;
+                let inner = M::decode_body(buf)?;
+                SwimMsg::Wrapped { inner, updates }
+            }
+            41 => SwimMsg::Ping {
+                updates: decode_updates(buf)?,
+            },
+            42 => SwimMsg::Ack {
+                updates: decode_updates(buf)?,
+            },
+            43 => {
+                let target = ProcessId::new(take_u64(buf)?);
+                SwimMsg::PingReq {
+                    target,
+                    updates: decode_updates(buf)?,
+                }
+            }
+            44 => {
+                let origin = ProcessId::new(take_u64(buf)?);
+                SwimMsg::ProxyPing {
+                    origin,
+                    updates: decode_updates(buf)?,
+                }
+            }
+            45 => {
+                let origin = ProcessId::new(take_u64(buf)?);
+                SwimMsg::ProxyAck {
+                    origin,
+                    updates: decode_updates(buf)?,
+                }
+            }
+            46 => {
+                let target = ProcessId::new(take_u64(buf)?);
+                SwimMsg::IndirectAck {
+                    target,
+                    updates: decode_updates(buf)?,
+                }
+            }
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+
+    fn body_key(&self) -> Option<usize> {
+        // The frame embeds the piggybacked updates, so two wrapped copies
+        // of the same Arc'd gossip carrying *different* updates must not
+        // share a cached frame: mix the updates into the key.
+        use core::hash::{Hash, Hasher};
+        match self {
+            SwimMsg::Wrapped { inner, updates } => inner.body_key().map(|k| {
+                let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                for u in updates {
+                    u.subject.as_u64().hash(&mut hasher);
+                    u.incarnation.hash(&mut hasher);
+                    (u.state as u8).hash(&mut hasher);
+                }
+                k ^ hasher.finish() as usize
+            }),
+            _ => None,
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        3 + match self {
+            // Own kind + updates, plus the inner kind + body (the inner
+            // message's encoded_len minus its 2-byte frame header).
+            SwimMsg::Wrapped { inner, updates } => updates_len(updates) + (inner.encoded_len() - 2),
+            SwimMsg::Ping { updates } | SwimMsg::Ack { updates } => updates_len(updates),
+            SwimMsg::PingReq { updates, .. }
+            | SwimMsg::ProxyPing { updates, .. }
+            | SwimMsg::ProxyAck { updates, .. }
+            | SwimMsg::IndirectAck { updates, .. } => 8 + updates_len(updates),
+        }
     }
 }
 
@@ -1128,6 +1303,162 @@ mod tests {
             compact * 5 < flat,
             "per-origin ranges should shrink stream digests ≥5×: \
              {compact} vs {flat} bytes"
+        );
+    }
+
+    fn sample_updates() -> Vec<Update> {
+        vec![
+            Update {
+                subject: pid(7),
+                incarnation: 3,
+                state: UpdateState::Suspect,
+            },
+            Update {
+                subject: pid(8),
+                incarnation: 0,
+                state: UpdateState::Alive,
+            },
+            Update {
+                subject: pid(9),
+                incarnation: 12,
+                state: UpdateState::Confirm,
+            },
+        ]
+    }
+
+    #[test]
+    fn swim_kinds_roundtrip() {
+        let updates = sample_updates();
+        assert_roundtrip(SwimMsg::Wrapped {
+            inner: sample_gossip(),
+            updates: updates.clone(),
+        });
+        assert_roundtrip(SwimMsg::<Message>::Ping {
+            updates: updates.clone(),
+        });
+        assert_roundtrip(SwimMsg::<Message>::Ack { updates: vec![] });
+        assert_roundtrip(SwimMsg::<Message>::PingReq {
+            target: pid(3),
+            updates: updates.clone(),
+        });
+        assert_roundtrip(SwimMsg::<Message>::ProxyPing {
+            origin: pid(1),
+            updates: vec![],
+        });
+        assert_roundtrip(SwimMsg::<Message>::ProxyAck {
+            origin: pid(1),
+            updates: updates.clone(),
+        });
+        assert_roundtrip(SwimMsg::<Message>::IndirectAck {
+            target: pid(3),
+            updates,
+        });
+    }
+
+    #[test]
+    fn swim_update_semantics_survive_roundtrip() {
+        let msg = SwimMsg::<Message>::Ping {
+            updates: sample_updates(),
+        };
+        let decoded: SwimMsg<Message> = decode(&encode(&msg)).unwrap();
+        assert_eq!(decoded.updates(), sample_updates().as_slice());
+    }
+
+    #[test]
+    fn swim_encoded_len_is_exact() {
+        let msgs = vec![
+            SwimMsg::Wrapped {
+                inner: sample_gossip(),
+                updates: sample_updates(),
+            },
+            SwimMsg::<Message>::Ping {
+                updates: sample_updates(),
+            },
+            SwimMsg::<Message>::PingReq {
+                target: pid(3),
+                updates: vec![],
+            },
+        ];
+        for m in msgs {
+            assert_eq!(m.encoded_len(), encode(&m).len(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn swim_truncation_rejected_at_every_length() {
+        let bytes = encode(&SwimMsg::Wrapped {
+            inner: sample_gossip(),
+            updates: sample_updates(),
+        });
+        for cut in 0..bytes.len() {
+            let err = decode::<SwimMsg<Message>>(&bytes[..cut]).expect_err("truncated must fail");
+            assert!(
+                matches!(err, WireError::UnexpectedEof | WireError::LengthOverflow(_)),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn swim_rejects_hostile_input() {
+        // Unknown update state byte.
+        let mut buf = BytesMut::new();
+        buf.put_u8(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(41); // Ping
+        buf.put_u16_le(1);
+        buf.put_u64_le(7);
+        buf.put_u64_le(0);
+        buf.put_u8(9); // no such UpdateState
+        assert!(matches!(
+            decode::<SwimMsg<Message>>(&buf),
+            Err(WireError::BadTag(9))
+        ));
+        // An update count that cannot fit the remaining bytes.
+        let mut buf = BytesMut::new();
+        buf.put_u8(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(42); // Ack
+        buf.put_u16_le(u16::MAX);
+        buf.put_u64_le(0);
+        assert!(matches!(
+            decode::<SwimMsg<Message>>(&buf),
+            Err(WireError::LengthOverflow(_))
+        ));
+        // A foreign (lpbcast) tag is rejected, not half-decoded.
+        let bytes = vec![MAGIC, VERSION, 0, 0];
+        assert!(matches!(
+            decode::<SwimMsg<Message>>(&bytes),
+            Err(WireError::BadTag(0))
+        ));
+    }
+
+    #[test]
+    fn swim_body_key_distinguishes_piggyback() {
+        let inner = sample_gossip();
+        let a = SwimMsg::Wrapped {
+            inner: inner.clone(),
+            updates: vec![],
+        };
+        let b = SwimMsg::Wrapped {
+            inner: inner.clone(),
+            updates: sample_updates(),
+        };
+        assert!(a.body_key().is_some());
+        assert_eq!(
+            a.body_key(),
+            a.clone().body_key(),
+            "same body + same updates share the key"
+        );
+        assert_ne!(
+            a.body_key(),
+            b.body_key(),
+            "different piggyback must not reuse a cached frame"
+        );
+        assert_eq!(
+            SwimMsg::<Message>::Ping { updates: vec![] }.body_key(),
+            None,
+            "control messages are never shared"
         );
     }
 

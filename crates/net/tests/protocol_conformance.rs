@@ -19,12 +19,13 @@
 //!   on the infection outcome and the final membership views.
 
 use lpbcast_core::{Config, Lpbcast};
+use lpbcast_membership::{Swim, SwimConfig};
 use lpbcast_net::wire;
 use lpbcast_net::WireMessage;
 use lpbcast_pbcast::{Membership, Pbcast, PbcastConfig};
 use lpbcast_pubsub::{PubSubNode, TopicId};
 use lpbcast_sim::scenario::ScenarioProtocol;
-use lpbcast_sim::{CrashPlan, Engine, NetworkModel};
+use lpbcast_sim::{CrashPlan, Engine, FaultPlane, FaultSpec, NetworkModel};
 use lpbcast_types::{Payload, ProcessId, Protocol};
 
 fn pid(p: u64) -> ProcessId {
@@ -234,6 +235,24 @@ fn pbcast_engine(seed: u64) -> Engine<Pbcast> {
     engine
 }
 
+fn swim_engine(seed: u64) -> Engine<Swim<Lpbcast>> {
+    let config = Config::builder()
+        .view_size(6)
+        .fanout(3)
+        .deliver_on_digest(true)
+        .build();
+    let mut engine = Engine::new(NetworkModel::new(0.05, seed), CrashPlan::none());
+    for i in 0..16u64 {
+        let members = (0..16u64).filter(|&j| j != i).map(pid);
+        engine.add_node(Swim::new(
+            Lpbcast::with_initial_view(pid(i), config.clone(), seed.wrapping_add(i), members),
+            SwimConfig::default(),
+            seed.wrapping_add(i),
+        ));
+    }
+    engine
+}
+
 fn pubsub_engine(seed: u64) -> Engine<PubSubNode> {
     let config = Config::builder()
         .view_size(6)
@@ -294,4 +313,28 @@ fn pbcast_engine_runs_are_reproducible() {
 #[test]
 fn pubsub_engine_runs_are_reproducible() {
     assert_engine_deterministic("pubsub", pubsub_engine);
+}
+
+#[test]
+fn swim_exchange_is_deterministic_and_roundtrips() {
+    assert_deterministic("swim+lpbcast", triangle::<Swim<Lpbcast>>);
+}
+
+#[test]
+fn swim_seeds_diverge() {
+    assert_seed_sensitivity("swim+lpbcast", triangle::<Swim<Lpbcast>>);
+}
+
+#[test]
+fn swim_engine_runs_are_reproducible() {
+    assert_engine_deterministic("swim+lpbcast", swim_engine);
+}
+
+#[test]
+fn swim_engine_with_fault_plane_is_reproducible() {
+    assert_engine_deterministic("swim+lpbcast+faults", |seed| {
+        let mut engine = swim_engine(seed);
+        engine.set_fault_plane(FaultPlane::new(FaultSpec::noisy_links(seed), seed));
+        engine
+    });
 }

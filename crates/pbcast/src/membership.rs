@@ -99,6 +99,21 @@ impl Membership {
         }
     }
 
+    /// Removes `p` from the view (and, for partial views, from the `subs`
+    /// forwarding buffer so it stops circulating). Returns whether the
+    /// view knew `p`. Backs [`Protocol::evict`](lpbcast_types::Protocol::evict)
+    /// for pbcast: a confirmed-dead process is purged immediately instead
+    /// of lingering as a gossip target.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        match self {
+            Membership::Total(v) => v.remove(p),
+            Membership::Partial { view, subs } => {
+                subs.remove(&p);
+                view.remove(p)
+            }
+        }
+    }
+
     /// Applies piggybacked subscriptions — the lpbcast phase-2 update
     /// (§6.2's membership layer in action). No-op for total views.
     pub fn apply_subs<R: Rng + ?Sized>(&mut self, rng: &mut R, incoming: &[ProcessId]) {

@@ -436,6 +436,10 @@ impl Protocol for Pbcast {
     fn view_members(&self) -> Vec<ProcessId> {
         self.membership.members()
     }
+
+    fn evict(&mut self, process: ProcessId) {
+        self.membership.remove(process);
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 use lpbcast_membership::ViewGraph;
 use lpbcast_types::{EventId, Payload, ProcessId, Protocol};
 
+use crate::fault::FaultPlane;
 use crate::metrics::InfectionTracker;
 use crate::network::{CrashPlan, NetworkModel};
 use lpbcast_types::FastMap;
@@ -31,6 +32,10 @@ struct Envelope<M> {
     from: ProcessId,
     to: u32,
     msg: M,
+    /// Whether the fault plane already decided this copy's fate. Set on
+    /// delayed/duplicated copies re-entering delivery, so one message
+    /// never faces loss or delay jeopardy twice.
+    fated: bool,
 }
 
 /// Cumulative transport-cost totals of an engine run (see
@@ -135,6 +140,15 @@ pub struct Engine<P: Protocol> {
     sightings: Vec<(EventId, ProcessId)>,
     /// Optional wire-byte meter over every offered message copy.
     meter: Option<WireMeter<P::Msg>>,
+    /// Optional correlated fault model layered on top of the uniform
+    /// [`NetworkModel`] loss.
+    fault_plane: Option<FaultPlane>,
+    /// Monotone per-delivery-attempt counter feeding the fault plane's
+    /// stateless hash (separates copies sharing `(from, to, round)`).
+    fault_seq: u64,
+    /// Copies the fault plane deferred: `(due_round, envelope)`,
+    /// insertion-ordered, drained into delivery when due.
+    delayed: Vec<(u64, Envelope<P::Msg>)>,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -155,7 +169,24 @@ impl<P: Protocol> Engine<P> {
             scratch: Vec::new(),
             sightings: Vec::new(),
             meter: None,
+            fault_plane: None,
+            fault_seq: 0,
+            delayed: Vec::new(),
         }
+    }
+
+    /// Installs a correlated fault model (see [`crate::fault`]): each
+    /// message copy that survives the uniform [`NetworkModel`] loss is
+    /// then subjected to the plane's per-link loss, duplication and
+    /// delay decisions. Deterministic: the plane is stateless and the
+    /// engine feeds it a monotone delivery sequence number.
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.fault_plane = Some(plane);
+    }
+
+    /// The installed fault plane, if any.
+    pub fn fault_plane(&self) -> Option<&FaultPlane> {
+        self.fault_plane.as_ref()
     }
 
     /// Installs a wire-byte meter: `measure` is called once per message
@@ -253,7 +284,7 @@ impl<P: Protocol> Engine<P> {
         }
         self.alive.clear(last);
         let (i, last) = (i as u32, last as u32);
-        self.pending.retain_mut(|e| {
+        let fixup = |e: &mut Envelope<P::Msg>| {
             if e.to == i {
                 return false;
             }
@@ -261,7 +292,11 @@ impl<P: Protocol> Engine<P> {
                 e.to = i;
             }
             true
-        });
+        };
+        self.pending.retain_mut(fixup);
+        // Delayed copies address slab slots too, so the swap fixes them
+        // the same way.
+        self.delayed.retain_mut(|(_, e)| fixup(e));
         Some(node)
     }
 
@@ -347,6 +382,7 @@ impl<P: Protocol> Engine<P> {
                     from: origin,
                     to: t,
                     msg,
+                    fated: false,
                 });
             }
         }
@@ -364,7 +400,12 @@ impl<P: Protocol> Engine<P> {
             m.record(&msg);
         }
         if let Some(&t) = self.index.get(&to) {
-            self.pending.push(Envelope { from, to: t, msg });
+            self.pending.push(Envelope {
+                from,
+                to: t,
+                msg,
+                fated: false,
+            });
         }
     }
 
@@ -411,6 +452,21 @@ impl<P: Protocol> Engine<P> {
         // `pending` moves into the working queue; its buffer is handed
         // back at the end of the step, so capacity ping-pongs forever.
         let mut queue = std::mem::take(&mut self.pending);
+
+        // Fault-plane-deferred copies due this round join the working
+        // queue (insertion order preserved — determinism).
+        if self.delayed.iter().any(|(due, _)| *due <= self.round) {
+            let round = self.round;
+            let mut kept = Vec::with_capacity(self.delayed.len());
+            for (due, e) in self.delayed.drain(..) {
+                if due <= round {
+                    queue.push(e);
+                } else {
+                    kept.push((due, e));
+                }
+            }
+            self.delayed = kept;
+        }
         for i in 0..self.nodes.len() {
             if !self.alive.get(i) {
                 continue;
@@ -430,7 +486,12 @@ impl<P: Protocol> Engine<P> {
                     m.record(&msg);
                 }
                 if let Some(&t) = self.index.get(&to) {
-                    queue.push(Envelope { from, to: t, msg });
+                    queue.push(Envelope {
+                        from,
+                        to: t,
+                        msg,
+                        fated: false,
+                    });
                 }
             }
         }
@@ -443,8 +504,35 @@ impl<P: Protocol> Engine<P> {
             self.scratch.clear();
             for envelope in queue.drain(..) {
                 let ti = envelope.to as usize;
-                if !self.alive.get(ti) || !self.network.delivers() {
+                if !self.alive.get(ti) {
                     continue;
+                }
+                // A re-injected (delayed/duplicated) copy already passed
+                // both loss models at its original delivery attempt.
+                if !envelope.fated {
+                    if !self.network.delivers() {
+                        continue;
+                    }
+                    if let Some(plane) = &self.fault_plane {
+                        let seq = self.fault_seq;
+                        self.fault_seq += 1;
+                        let fate = plane.fate(envelope.from, self.ids[ti], self.round, seq);
+                        if let Some(off) = fate.duplicate {
+                            let mut copy = envelope.clone();
+                            copy.fated = true;
+                            self.delayed.push((self.round + off, copy));
+                        }
+                        match fate.primary {
+                            None => continue,
+                            Some(0) => {}
+                            Some(off) => {
+                                let mut copy = envelope;
+                                copy.fated = true;
+                                self.delayed.push((self.round + off, copy));
+                                continue;
+                            }
+                        }
+                    }
                 }
                 let out = self.nodes[ti].handle_message(envelope.from, envelope.msg);
                 let to_id = self.ids[ti];
@@ -465,6 +553,7 @@ impl<P: Protocol> Engine<P> {
                             from: to_id,
                             to: t,
                             msg,
+                            fated: false,
                         });
                     }
                 }

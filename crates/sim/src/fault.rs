@@ -1,0 +1,534 @@
+//! Deterministic fault injection beyond uniform Bernoulli loss.
+//!
+//! [`NetworkModel`](crate::NetworkModel) gives every message copy the
+//! same iid drop probability — the §4.1 analysis model. Real deployments
+//! misbehave in *correlated* ways: individual links lose asymmetrically,
+//! datagrams duplicate and arrive late, some hosts are persistently slow,
+//! and a byzantine-quiet node can receive everything while acking
+//! nothing. A [`FaultSpec`] names such a fault model; a [`FaultPlane`]
+//! evaluates it.
+//!
+//! # Determinism contract
+//!
+//! Every decision is a **pure function** of `(spec, salt, inputs)` — no
+//! RNG state is consumed or advanced. The plane hashes the identifying
+//! coordinates of each decision (sender, receiver, round, a per-engine
+//! delivery sequence number) with a splitmix64-style mixer, so:
+//!
+//! * the same `(spec, salt)` pair replays the identical fault schedule,
+//!   message for message, regardless of what else the simulation does;
+//! * installing a plane whose spec is all-zeros perturbs nothing — the
+//!   engine's existing RNG streams are untouched;
+//! * cohort membership (slow / silent nodes, lossy links) is stable for
+//!   the whole run: a link is lossy or it is not, like a damaged cable.
+//!
+//! The spec serialises to a compact `key=value;…` string (hand-rolled —
+//! the workspace carries no serde) so scenario tables and benchmark JSON
+//! can name fault models textually and replay them bit-exactly.
+
+use core::fmt;
+use core::str::FromStr;
+
+use lpbcast_types::ProcessId;
+
+/// A named, serialisable description of a correlated fault model. All
+/// fields default to zero — the default spec injects nothing.
+///
+/// Fractions are in `[0, 1]`. Cohort fields (`lossy_links`,
+/// `slow_nodes`, `silent_nodes`) select a stable subset of links/nodes
+/// by hash; probability fields apply per message copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Seed of the fault schedule, mixed into every decision. Two specs
+    /// differing only in seed select different cohorts and different
+    /// per-message outcomes.
+    pub seed: u64,
+    /// Fraction of **ordered** `(from → to)` pairs that are lossy. The
+    /// ordering makes loss asymmetric: `a → b` may be lossy while
+    /// `b → a` is clean — the one-way-link shape an indirect ping-req
+    /// is designed to mask.
+    pub lossy_links: f64,
+    /// Per-message drop probability on a lossy link.
+    pub link_loss: f64,
+    /// Per-message probability of a duplicated copy (the duplicate
+    /// arrives 1–`delay_max`+1 rounds later, like a retransmitted
+    /// datagram overtaken by its original).
+    pub duplicate: f64,
+    /// Per-message probability of an extra random delay.
+    pub delay: f64,
+    /// Maximum extra rounds of random delay (uniform in `1..=delay_max`;
+    /// a delayed message re-enters delivery alongside the due round's
+    /// traffic, i.e. reordered past everything sent in between).
+    pub delay_max: u64,
+    /// Fraction of processes in the *slow cohort*: every message they
+    /// send is delayed by a fixed `slow_delay` rounds.
+    pub slow_nodes: f64,
+    /// Extra rounds added to every message sent by a slow-cohort node.
+    pub slow_delay: u64,
+    /// Fraction of processes that are *silent droppers*: adversarial
+    /// nodes that receive nothing (every inbound copy vanishes) while
+    /// still occupying views and sending normally — the worst case for
+    /// a failure detector, which must not confuse them with mere loss.
+    pub silent_nodes: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0,
+            lossy_links: 0.0,
+            link_loss: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            delay_max: 0,
+            slow_nodes: 0.0,
+            slow_delay: 0,
+            silent_nodes: 0.0,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A noisy-but-honest model: a fifth of the links lose a third of
+    /// their messages asymmetrically, with occasional duplication and
+    /// delay. Nobody is actually dead — every eviction under this spec
+    /// is a false positive.
+    pub fn noisy_links(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            lossy_links: 0.2,
+            link_loss: 0.3,
+            duplicate: 0.05,
+            delay: 0.10,
+            delay_max: 2,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// A degraded-cohort model: mild link noise plus a slow tail of
+    /// nodes whose traffic lags two rounds. Still nobody dead — false
+    /// positives here are detector impatience with stragglers.
+    pub fn slow_cohort(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            lossy_links: 0.15,
+            link_loss: 0.3,
+            delay: 0.05,
+            delay_max: 1,
+            slow_nodes: 0.10,
+            slow_delay: 2,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// A hostile model: on top of link noise, a sliver of silent
+    /// droppers receive nothing while gossiping normally. A detector
+    /// *should* evict these — they are failed receivers in every sense
+    /// that matters to dissemination.
+    pub fn silent_droppers(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            lossy_links: 0.2,
+            link_loss: 0.4,
+            silent_nodes: 0.02,
+            ..FaultSpec::default()
+        }
+    }
+}
+
+/// Failure to parse a [`FaultSpec`] string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecParseError {
+    /// The offending `key=value` fragment.
+    pub fragment: String,
+}
+
+impl fmt::Display for FaultSpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault-spec fragment {:?}", self.fragment)
+    }
+}
+
+impl std::error::Error for FaultSpecParseError {}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={};lossy_links={};link_loss={};duplicate={};delay={};\
+             delay_max={};slow_nodes={};slow_delay={};silent_nodes={}",
+            self.seed,
+            self.lossy_links,
+            self.link_loss,
+            self.duplicate,
+            self.delay,
+            self.delay_max,
+            self.slow_nodes,
+            self.slow_delay,
+            self.silent_nodes,
+        )
+    }
+}
+
+impl FromStr for FaultSpec {
+    type Err = FaultSpecParseError;
+
+    /// Parses the `key=value;…` form produced by `Display`. Keys may
+    /// appear in any order; omitted keys keep their (zero) defaults;
+    /// unknown keys and malformed values are errors.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut spec = FaultSpec::default();
+        for fragment in s.split(';').filter(|f| !f.trim().is_empty()) {
+            let err = || FaultSpecParseError {
+                fragment: fragment.to_string(),
+            };
+            let (key, value) = fragment.trim().split_once('=').ok_or_else(err)?;
+            let fu64 = || value.parse::<u64>().map_err(|_| err());
+            let ff64 = || {
+                value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|v| (0.0..=1.0).contains(v))
+                    .ok_or_else(err)
+            };
+            match key {
+                "seed" => spec.seed = fu64()?,
+                "lossy_links" => spec.lossy_links = ff64()?,
+                "link_loss" => spec.link_loss = ff64()?,
+                "duplicate" => spec.duplicate = ff64()?,
+                "delay" => spec.delay = ff64()?,
+                "delay_max" => spec.delay_max = fu64()?,
+                "slow_nodes" => spec.slow_nodes = ff64()?,
+                "slow_delay" => spec.slow_delay = fu64()?,
+                "silent_nodes" => spec.silent_nodes = ff64()?,
+                _ => return Err(err()),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// The fate of one message copy under a [`FaultPlane`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fate {
+    /// Delivery-round offset of the original copy: `Some(0)` delivers
+    /// this round, `Some(k)` delivers `k` rounds later, `None` drops it.
+    pub primary: Option<u64>,
+    /// Delivery-round offset of a duplicated copy (always ≥ 1), if the
+    /// message duplicates.
+    pub duplicate: Option<u64>,
+}
+
+impl Fate {
+    /// A clean immediate delivery.
+    pub const DELIVER: Fate = Fate {
+        primary: Some(0),
+        duplicate: None,
+    };
+
+    /// A dropped message.
+    pub const DROP: Fate = Fate {
+        primary: None,
+        duplicate: None,
+    };
+}
+
+// Domain-separation tags: each decision family hashes through its own
+// tag so e.g. the loss stream of a link never correlates with its delay
+// stream.
+const TAG_LINK: u64 = 0x6C69_6E6B;
+const TAG_LOSS: u64 = 0x6C6F_7373;
+const TAG_DUP: u64 = 0x6475_7065;
+const TAG_DELAY: u64 = 0x6465_6C61;
+const TAG_SLOW: u64 = 0x736C_6F77;
+const TAG_SILENT: u64 = 0x7369_6C65;
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mixer.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Evaluates a [`FaultSpec`] against concrete message coordinates —
+/// stateless, so evaluation order cannot influence outcomes. `salt`
+/// separates independent runs of the same spec (pass the engine seed).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlane {
+    spec: FaultSpec,
+    salt: u64,
+    /// `mix(spec.seed ^ mix(salt))`, precomputed once.
+    key: u64,
+}
+
+impl FaultPlane {
+    /// Builds a plane evaluating `spec`, salted with `salt`.
+    pub fn new(spec: FaultSpec, salt: u64) -> Self {
+        FaultPlane {
+            spec,
+            salt,
+            key: mix(spec.seed ^ mix(salt)),
+        }
+    }
+
+    /// The spec this plane evaluates.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// The salt this plane was built with.
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    #[inline]
+    fn hash(&self, tag: u64, a: u64, b: u64, c: u64, d: u64) -> u64 {
+        let mut h = mix(self.key ^ tag);
+        h = mix(h ^ a);
+        h = mix(h ^ b);
+        h = mix(h ^ c);
+        mix(h ^ d)
+    }
+
+    /// Maps a hash to `[0, 1)` with 53 random bits.
+    #[inline]
+    fn unit(h: u64) -> f64 {
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    #[inline]
+    fn chance(&self, p: f64, tag: u64, a: u64, b: u64, c: u64, d: u64) -> bool {
+        p > 0.0 && Self::unit(self.hash(tag, a, b, c, d)) < p
+    }
+
+    /// Whether `node` is in the silent-dropper cohort (stable per run).
+    pub fn is_silent(&self, node: ProcessId) -> bool {
+        self.chance(self.spec.silent_nodes, TAG_SILENT, node.as_u64(), 0, 0, 0)
+    }
+
+    /// Whether `node` is in the slow cohort (stable per run).
+    pub fn is_slow(&self, node: ProcessId) -> bool {
+        self.chance(self.spec.slow_nodes, TAG_SLOW, node.as_u64(), 0, 0, 0)
+    }
+
+    /// Whether the **ordered** link `from → to` is lossy (stable per
+    /// run; the reverse direction is an independent decision).
+    pub fn is_lossy_link(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.chance(
+            self.spec.lossy_links,
+            TAG_LINK,
+            from.as_u64(),
+            to.as_u64(),
+            0,
+            0,
+        )
+    }
+
+    /// Decides the fate of one message copy. `seq` is the engine's
+    /// per-delivery sequence number — it separates the copies a sender
+    /// emits to the same destination within one round.
+    pub fn fate(&self, from: ProcessId, to: ProcessId, round: u64, seq: u64) -> Fate {
+        let (f, t) = (from.as_u64(), to.as_u64());
+        // A silent dropper receives nothing, ever.
+        if self.is_silent(to) {
+            return Fate::DROP;
+        }
+        // Asymmetric per-link loss.
+        if self.is_lossy_link(from, to)
+            && self.chance(self.spec.link_loss, TAG_LOSS, f, t, round, seq)
+        {
+            return Fate::DROP;
+        }
+        // Base delay: slow-cohort senders lag every message; random
+        // delay adds a uniform 1..=delay_max on top.
+        let mut offset = if self.is_slow(from) {
+            self.spec.slow_delay
+        } else {
+            0
+        };
+        if self.spec.delay_max > 0 && self.chance(self.spec.delay, TAG_DELAY, f, t, round, seq) {
+            offset += 1 + self.hash(TAG_DELAY, f ^ 1, t, round, seq) % self.spec.delay_max;
+        }
+        let duplicate = if self.chance(self.spec.duplicate, TAG_DUP, f, t, round, seq) {
+            Some(offset + 1 + self.hash(TAG_DUP, f ^ 1, t, round, seq) % (self.spec.delay_max + 1))
+        } else {
+            None
+        };
+        Fate {
+            primary: Some(offset),
+            duplicate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(p: u64) -> ProcessId {
+        ProcessId::new(p)
+    }
+
+    #[test]
+    fn default_spec_injects_nothing() {
+        let plane = FaultPlane::new(FaultSpec::default(), 7);
+        for s in 0..200u64 {
+            assert_eq!(plane.fate(pid(s % 9), pid(s % 7), s, s), Fate::DELIVER);
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_coordinates() {
+        let a = FaultPlane::new(FaultSpec::noisy_links(3), 42);
+        let b = FaultPlane::new(FaultSpec::noisy_links(3), 42);
+        // Evaluate in different orders — outcomes must agree pointwise.
+        let coords: Vec<(u64, u64, u64, u64)> =
+            (0..500u64).map(|i| (i % 13, i % 11, i / 13, i)).collect();
+        let fwd: Vec<Fate> = coords
+            .iter()
+            .map(|&(f, t, r, s)| a.fate(pid(f), pid(t), r, s))
+            .collect();
+        let rev: Vec<Fate> = coords
+            .iter()
+            .rev()
+            .map(|&(f, t, r, s)| b.fate(pid(f), pid(t), r, s))
+            .collect();
+        assert_eq!(fwd, rev.into_iter().rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seed_and_salt_change_the_schedule() {
+        let base = FaultPlane::new(FaultSpec::noisy_links(3), 42);
+        let other_seed = FaultPlane::new(FaultSpec::noisy_links(4), 42);
+        let other_salt = FaultPlane::new(FaultSpec::noisy_links(3), 43);
+        let sample = |p: &FaultPlane| -> Vec<Fate> {
+            (0..300u64)
+                .map(|i| p.fate(pid(i % 17), pid(i % 19), i / 17, i))
+                .collect()
+        };
+        assert_ne!(sample(&base), sample(&other_seed));
+        assert_ne!(sample(&base), sample(&other_salt));
+    }
+
+    #[test]
+    fn lossy_links_are_asymmetric_and_stable() {
+        let plane = FaultPlane::new(
+            FaultSpec {
+                seed: 5,
+                lossy_links: 0.5,
+                link_loss: 1.0,
+                ..FaultSpec::default()
+            },
+            0,
+        );
+        let mut asymmetric = 0;
+        for f in 0..40u64 {
+            for t in 0..40u64 {
+                if f == t {
+                    continue;
+                }
+                assert_eq!(
+                    plane.is_lossy_link(pid(f), pid(t)),
+                    plane.is_lossy_link(pid(f), pid(t)),
+                    "cohort membership is stable"
+                );
+                if plane.is_lossy_link(pid(f), pid(t)) != plane.is_lossy_link(pid(t), pid(f)) {
+                    asymmetric += 1;
+                }
+            }
+        }
+        assert!(asymmetric > 100, "directions decide independently");
+    }
+
+    #[test]
+    fn silent_droppers_receive_nothing() {
+        let plane = FaultPlane::new(FaultSpec::silent_droppers(11), 0);
+        let victim = (0..500u64)
+            .map(pid)
+            .find(|&p| plane.is_silent(p))
+            .expect("2% of 500 nodes");
+        for s in 0..50u64 {
+            assert_eq!(plane.fate(pid(1000), victim, s, s), Fate::DROP);
+        }
+    }
+
+    #[test]
+    fn slow_cohort_defers_every_send() {
+        let plane = FaultPlane::new(
+            FaultSpec {
+                seed: 2,
+                slow_nodes: 0.2,
+                slow_delay: 3,
+                ..FaultSpec::default()
+            },
+            0,
+        );
+        let slow = (0..100u64)
+            .map(pid)
+            .find(|&p| plane.is_slow(p))
+            .expect("20% of 100 nodes");
+        for s in 0..20u64 {
+            let fate = plane.fate(slow, pid(999), s, s);
+            assert_eq!(fate.primary, Some(3), "fixed lag on every message");
+        }
+    }
+
+    #[test]
+    fn duplicates_arrive_strictly_later() {
+        let plane = FaultPlane::new(
+            FaultSpec {
+                seed: 9,
+                duplicate: 1.0,
+                delay_max: 2,
+                ..FaultSpec::default()
+            },
+            0,
+        );
+        for s in 0..100u64 {
+            let fate = plane.fate(pid(s % 5), pid(s % 3), s, s);
+            let dup = fate.duplicate.expect("duplicate=1.0");
+            assert!(dup >= 1, "duplicate never lands with the original");
+            assert!(dup <= 3);
+        }
+    }
+
+    #[test]
+    fn spec_string_roundtrips() {
+        for spec in [
+            FaultSpec::default(),
+            FaultSpec::noisy_links(42),
+            FaultSpec::slow_cohort(7),
+            FaultSpec::silent_droppers(1),
+            FaultSpec {
+                seed: u64::MAX,
+                lossy_links: 0.125,
+                link_loss: 1.0,
+                duplicate: 0.0625,
+                delay: 0.5,
+                delay_max: 9,
+                slow_nodes: 0.25,
+                slow_delay: 4,
+                silent_nodes: 0.03125,
+            },
+        ] {
+            let s = spec.to_string();
+            let parsed: FaultSpec = s.parse().expect("roundtrip parse");
+            assert_eq!(parsed, spec, "{s}");
+        }
+    }
+
+    #[test]
+    fn spec_parse_rejects_garbage() {
+        assert!("seed=1;bogus=2".parse::<FaultSpec>().is_err());
+        assert!("lossy_links=1.5".parse::<FaultSpec>().is_err());
+        assert!("lossy_links=abc".parse::<FaultSpec>().is_err());
+        assert!("seed".parse::<FaultSpec>().is_err());
+        // Omitted keys default; empty fragments are tolerated.
+        let spec: FaultSpec = "seed=3;;delay_max=2;".parse().unwrap();
+        assert_eq!(spec.seed, 3);
+        assert_eq!(spec.delay_max, 2);
+        assert_eq!(spec.lossy_links, 0.0);
+    }
+}

@@ -73,15 +73,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod detector;
 pub mod engine;
 pub mod experiment;
+pub mod fault;
 pub mod metrics;
 pub mod network;
 pub mod scale;
 pub mod scenario;
 pub mod topology;
 
+pub use detector::{detector_study, detector_tsv, DetectorParams, DetectorReport, DetectorStudy};
 pub use engine::{Engine, WireAccounting};
+pub use fault::{Fate, FaultPlane, FaultSpec};
 pub use lpbcast_types::{MembershipEvent, Output, Protocol};
 pub use metrics::{InfectionTracker, ReliabilityReport};
 pub use network::{CrashPlan, NetworkModel};

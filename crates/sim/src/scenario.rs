@@ -273,7 +273,7 @@ impl ScenarioProtocol for Pbcast {
 /// initial views of size [`ScenarioProtocol::view_size`] — the same
 /// topology stream as
 /// [`build_lpbcast_engine`](crate::experiment::build_lpbcast_engine).
-fn build_scenario_engine<P: ScenarioProtocol>(
+pub(crate) fn build_scenario_engine<P: ScenarioProtocol>(
     n: usize,
     cfg: &P::Cfg,
     loss_rate: f64,

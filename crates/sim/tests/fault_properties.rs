@@ -1,0 +1,109 @@
+//! Property tests for the deterministic fault-injection plane: every
+//! fate is a pure function of `(spec, salt, coordinates)`, node and link
+//! classifications are stable, delivery offsets respect the spec's
+//! bounds, and the string form round-trips exactly.
+
+use lpbcast_sim::fault::{FaultPlane, FaultSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = FaultSpec> {
+    (
+        (any::<u64>(), 0.0f64..=1.0, 0.0f64..=1.0),
+        (0.0f64..=1.0, 0.0f64..=1.0, 0u64..8),
+        (0.0f64..=1.0, 0u64..8, 0.0f64..=1.0),
+    )
+        .prop_map(
+            |(
+                (seed, lossy_links, link_loss),
+                (duplicate, delay, delay_max),
+                (slow_nodes, slow_delay, silent_nodes),
+            )| {
+                FaultSpec {
+                    seed,
+                    lossy_links,
+                    link_loss,
+                    duplicate,
+                    delay,
+                    delay_max,
+                    slow_nodes,
+                    slow_delay,
+                    silent_nodes,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The same coordinates always get the same fate, on the same plane
+    /// or on an independently constructed one — there is no hidden
+    /// state, so evaluation order and interleaving cannot matter.
+    #[test]
+    fn fates_are_pure_functions_of_coordinates(
+        spec in arb_spec(),
+        salt in any::<u64>(),
+        from in 0u64..500,
+        to in 0u64..500,
+        round in 0u64..1000,
+        seq in any::<u64>(),
+    ) {
+        use lpbcast_types::ProcessId;
+        let plane = FaultPlane::new(spec, salt);
+        let twin = FaultPlane::new(spec, salt);
+        let (f, t) = (ProcessId::new(from), ProcessId::new(to));
+        let once = plane.fate(f, t, round, seq);
+        prop_assert_eq!(once, plane.fate(f, t, round, seq), "same plane diverged");
+        prop_assert_eq!(once, twin.fate(f, t, round, seq), "twin plane diverged");
+        prop_assert_eq!(plane.is_slow(f), twin.is_slow(f));
+        prop_assert_eq!(plane.is_silent(t), twin.is_silent(t));
+        prop_assert_eq!(plane.is_lossy_link(f, t), twin.is_lossy_link(f, t));
+    }
+
+    /// Fates respect the spec's structural bounds: silent receivers get
+    /// nothing, primary delays never exceed `slow_delay + delay_max`,
+    /// and duplicates always land strictly after the primary send.
+    #[test]
+    fn fates_respect_spec_bounds(
+        spec in arb_spec(),
+        salt in any::<u64>(),
+        from in 0u64..200,
+        to in 0u64..200,
+        round in 0u64..200,
+        seq in any::<u64>(),
+    ) {
+        use lpbcast_types::ProcessId;
+        let plane = FaultPlane::new(spec, salt);
+        let (f, t) = (ProcessId::new(from), ProcessId::new(to));
+        let fate = plane.fate(f, t, round, seq);
+        if plane.is_silent(t) {
+            prop_assert_eq!(fate.primary, None, "silent receiver got traffic");
+            prop_assert_eq!(fate.duplicate, None);
+        }
+        if let Some(off) = fate.primary {
+            prop_assert!(
+                off <= spec.slow_delay + spec.delay_max,
+                "primary offset {off} exceeds slow_delay {} + delay_max {}",
+                spec.slow_delay,
+                spec.delay_max
+            );
+        }
+        if let Some(dup) = fate.duplicate {
+            prop_assert!(dup >= 1, "duplicate landed with the original");
+            prop_assert!(
+                dup <= spec.slow_delay + spec.delay_max + spec.delay_max + 1,
+                "duplicate offset {dup} out of range"
+            );
+        }
+    }
+
+    /// `Display` → `FromStr` reproduces the spec exactly for every
+    /// representable value, so fault models can live in TSV cells, env
+    /// vars and bench JSON without drift.
+    #[test]
+    fn spec_string_roundtrips_for_all_values(spec in arb_spec()) {
+        let text = spec.to_string();
+        let back: FaultSpec = text.parse().expect("display form parses");
+        prop_assert_eq!(spec, back, "round-trip drifted through {}", text);
+    }
+}

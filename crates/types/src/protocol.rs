@@ -189,6 +189,17 @@ pub trait Protocol {
     /// The current membership view (for view-graph analytics and gossip
     /// target accounting).
     fn view_members(&self) -> Vec<ProcessId>;
+
+    /// Purges `process` from the protocol's membership state *immediately*
+    /// — the hook a failure detector (e.g. the SWIM wrapper in
+    /// `lpbcast-membership`) uses to act on a confirmed failure instead of
+    /// waiting for the dead entry to fade out of bounded views.
+    ///
+    /// The default is a no-op: protocols without removable membership
+    /// state (or ones that prefer passive fade-out) need not implement
+    /// it. Implementations must stay deterministic — eviction may not
+    /// consult any RNG outside the protocol's own seeded one.
+    fn evict(&mut self, _process: ProcessId) {}
 }
 
 #[cfg(test)]

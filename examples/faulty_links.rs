@@ -1,0 +1,86 @@
+//! The deterministic fault-injection plane and the SWIM failure-detector
+//! A/B in miniature: the same catastrophe and no-crash noise loads run
+//! with and without the `Swim<Lpbcast>` wrapper under named
+//! [`FaultSpec`] models — env-tunable, printable, the CI smoke run for
+//! `lpbcast_sim::{fault, detector}` (the full-scale n = 10⁴ study runs
+//! in `bench_sim` and lands in `BENCH_sim.json` + `results/detector.tsv`).
+//!
+//! ```sh
+//! cargo run --release --example faulty_links
+//! LPBCAST_DETECTOR_N=500 LPBCAST_DETECTOR_SEED=3 cargo run --release --example faulty_links
+//! ```
+
+use lpbcast::sim::detector::{detector_study, detector_tsv, DetectorParams};
+use lpbcast::sim::fault::FaultSpec;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n = env_usize("LPBCAST_DETECTOR_N", 300).max(40);
+    let seed = env_usize("LPBCAST_DETECTOR_SEED", 1) as u64;
+
+    // The named fault models are plain strings — stable, diffable,
+    // reconstructible: `FaultSpec` round-trips through `Display`/`FromStr`.
+    for spec in [FaultSpec::noisy_links(seed), FaultSpec::slow_cohort(seed)] {
+        let text = spec.to_string();
+        let back: FaultSpec = text.parse().expect("spec round-trips");
+        assert_eq!(spec, back);
+        println!("fault model: {text}");
+    }
+    println!();
+
+    let params = DetectorParams::scaled(n);
+    let study = detector_study(&params, seed);
+
+    for r in &study.reports {
+        println!(
+            "[{} / {}] n={}: recovery {:?} -> {:?} rounds, probe reliability {:.4} -> {:.4}",
+            r.scenario,
+            r.fault,
+            r.n,
+            r.baseline.recovery_rounds,
+            r.detector.recovery_rounds,
+            r.baseline.probe_reliability,
+            r.detector.probe_reliability,
+        );
+        println!(
+            "           detector: {} evictions ({} false), {} suspicions, {} refuted",
+            r.detector.evictions,
+            r.detector.false_evictions,
+            r.detector.suspicions,
+            r.detector.refutations,
+        );
+        if r.scenario == "catastrophe" {
+            assert!(
+                r.detector.evictions > 0,
+                "the crash cohort must get confirmed: {r:?}"
+            );
+            assert!(
+                r.detector.recovery_rounds.is_some(),
+                "dissemination must recover with the detector on: {r:?}"
+            );
+        } else {
+            // Nobody crashed: every eviction is a detector mistake.
+            assert_eq!(r.detector.evictions, r.detector.false_evictions);
+        }
+    }
+    println!(
+        "\n[churn] mean reliability with/without detector: {:.4} / {:.4}, joins {} / {}",
+        study.churn_reliability_with,
+        study.churn_reliability_without,
+        study.churn_joins_with,
+        study.churn_joins_without,
+    );
+    assert!(
+        study.churn_reliability_with > 0.5,
+        "churn must keep disseminating through the wrapper"
+    );
+
+    println!("\n{}", detector_tsv(&study));
+}

@@ -42,9 +42,19 @@ sides, but a missing row — on either side — only WARNs. CI deliberately
 runs the suite at a different ``BENCH_SIM_SCENARIO_N`` (and may restrict
 ``BENCH_SIM_SCENARIO_PROTOCOLS``), so committed full-scale scenario rows
 have no fresh counterpart there; hard-failing on that, or on the v3→v4
-rename itself, would make every env-tuned run red. Stdlib only by
-design: the repository's Rust workspace is fully vendored and CI must
-not need pip.
+rename itself, would make every env-tuned run red.
+
+Robustness-quality rows are SOFT too: scenario ``recovery_rounds``
+(labelled ``recovery catastrophe/lpbcast n=10000``), churn
+``min_reliability`` drift (inverted and percent-scaled as
+``unreliability churn/lpbcast n=10000`` so the shared higher-is-worse
+thresholds apply), and the SWIM-on arm of each ``detector`` report
+(``recovery detector catastrophe/noisy_links n=10000`` plus a
+``false_evictions`` row per report). A detector that takes 30% longer
+to restore post-crash reliability, or starts falsely evicting under a
+noise spec, now shows up as a WARN in every CI log instead of drifting
+silently. Stdlib only by design: the repository's Rust workspace is
+fully vendored and CI must not need pip.
 """
 
 import json
@@ -126,6 +136,50 @@ def scenario_wire_rows(snapshot):
     return rows
 
 
+def quality_rows(snapshot):
+    """Maps robustness-quality labels -> higher-is-worse values (soft rows).
+
+    Three families, all WARN-only — they quantify protocol quality, not
+    wall-clock, and CI runs them at env-tuned sizes:
+
+    * ``recovery <scenario>/<protocol> n=<n>`` — rounds until the first
+      post-crash broadcast reaches every survivor (scenario suite).
+      ``null`` (never recovered) rows are omitted; the row-set mismatch
+      WARN then surfaces the disappearance.
+    * ``unreliability <scenario>/<protocol> n=<n>`` — ``(1 - min_reliability)
+      * 100``, i.e. the worst per-event percentage of survivors missed
+      during churn. Inverted so compare()'s higher-is-worse convention
+      holds; a perfect 0 on the committed side is SKIPped by compare().
+    * detector A/B rows (``recovery detector <scenario>/<fault> n=<n>``
+      and ``false_evictions detector <scenario>/<fault> n=<n>``) from the
+      SWIM-on arm of each fault-injection report.
+    """
+    rows = {}
+    for protocol, suite in snapshot.get("scenarios", {}).items():
+        if not isinstance(suite, dict):
+            continue
+        for name, report in suite.items():
+            if not isinstance(report, dict):
+                continue
+            n = report.get("n", report.get("n0", "?"))
+            if isinstance(report.get("recovery_rounds"), (int, float)):
+                rows[f"recovery {name}/{protocol} n={n}"] = float(report["recovery_rounds"])
+            if isinstance(report.get("min_reliability"), (int, float)):
+                rows[f"unreliability {name}/{protocol} n={n}"] = (
+                    1.0 - float(report["min_reliability"])) * 100.0
+    detector = snapshot.get("detector", {})
+    for report in detector.get("reports", []):
+        if not isinstance(report, dict) or not isinstance(report.get("on"), dict):
+            continue
+        arm = report["on"]
+        label = f"detector {report.get('scenario', '?')}/{report.get('fault', '?')} n={report.get('n', '?')}"
+        if isinstance(arm.get("recovery_rounds"), (int, float)):
+            rows[f"recovery {label}"] = float(arm["recovery_rounds"])
+        if isinstance(arm.get("false_evictions"), (int, float)):
+            rows[f"false_evictions {label}"] = float(arm["false_evictions"])
+    return rows
+
+
 def load(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -143,14 +197,19 @@ def compare(label, old, new, soft):
     ratio = new / old
     delta = (ratio - 1.0) * 100.0
     if label.startswith("engine_build"):
-        unit = "us"
+        unit, scale = "us", 1e3
     elif label.startswith("scenario "):
-        unit = "ms"
+        unit, scale = "ms", 1e6
     elif label.startswith("wire "):
-        unit = "KB/round"
+        unit, scale = "KB/round", 1e3
+    elif label.startswith("recovery "):
+        unit, scale = "rounds", 1.0
+    elif label.startswith("unreliability "):
+        unit, scale = "% missed", 1.0
+    elif label.startswith("false_evictions "):
+        unit, scale = "evictions", 1.0
     else:
-        unit = "us/step"
-    scale = 1e6 if unit == "ms" else 1e3
+        unit, scale = "us/step", 1e3
     line = f"{label}: {old / scale:.1f} -> {new / scale:.1f} {unit} ({delta:+.1f}%)"
     if ratio > 1.0 + FAIL_THRESHOLD:
         if soft:
@@ -210,6 +269,19 @@ def main(argv):
         print(f"WARN  {label}: only in fresh snapshot (soft row)")
     for label in sorted(set(committed_w) & set(fresh_w)):
         compare(label, committed_w[label], fresh_w[label], soft=True)
+
+    # Robustness-quality rows (recovery_rounds, churn min-reliability,
+    # detector false evictions): soft — quality drift should be visible
+    # in every CI log, but these depend on env-tuned sizes and fault
+    # specs, so they never hard-fail the gate.
+    committed_q = quality_rows(committed_snapshot)
+    fresh_q = quality_rows(fresh_snapshot)
+    for label in sorted(set(committed_q) - set(fresh_q)):
+        print(f"WARN  {label}: committed quality row has no fresh counterpart (soft row; env-tuned)")
+    for label in sorted(set(fresh_q) - set(committed_q)):
+        print(f"WARN  {label}: only in fresh snapshot (soft row)")
+    for label in sorted(set(committed_q) & set(fresh_q)):
+        compare(label, committed_q[label], fresh_q[label], soft=True)
 
     if failed:
         print(

@@ -27,19 +27,28 @@ EXPECTED_HEADERS = {
         "wire_bytes_per_round",
     ],
     "scenarios.tsv": ["scenario", "protocol", "n", "metric", "value"],
+    "detector.tsv": ["scenario", "fault", "detector", "n", "metric", "value"],
 }
 
 # Columns whose every value must parse as a number ("never"/"true" style
-# values live only in scenarios.tsv's free-form `value` column).
+# values live only in the free-form `value` column of scenarios.tsv and
+# detector.tsv).
 NUMERIC = {
     "n", "view_size", "buffer_bound", "ns_per_step", "engine_build_ms",
     "mean_latency_rounds", "model_latency_rounds", "reliability",
     "wire_bytes_per_round",
 }
 
+# Per-figure columns where "-" marks not-applicable: detector.tsv's churn
+# A/B rows aggregate a whole membership trajectory, so no single n fits.
+DASH_OK = {
+    "detector.tsv": {"n"},
+}
+
 
 def check_file(path, expected):
     """Returns a list of problem strings for one TSV file."""
+    dash_ok = DASH_OK.get(os.path.basename(path), set())
     problems = []
     with open(path, encoding="utf-8") as f:
         lines = [ln.rstrip("\n") for ln in f]
@@ -58,7 +67,7 @@ def check_file(path, expected):
                 f"{path}: data row {i} has {len(cells)} columns, header has {len(header)}")
             continue
         for name, cell in zip(header, cells):
-            if name in NUMERIC:
+            if name in NUMERIC and not (cell == "-" and name in dash_ok):
                 try:
                     float(cell)
                 except ValueError:

@@ -20,10 +20,11 @@ import bench_gate  # noqa: E402
 
 def snapshot(step_ns=1000.0, scale_ns=2000.0, build_ms=5.0, wire=4000.0,
              churn_wall=100.0, churn_wire=50000.0, extra_step=None,
-             drop_scaling=False):
+             drop_scaling=False, min_reliability=0.98, recovery=8,
+             detector_recovery=6, false_evictions=40, drop_detector=False):
     """A minimal but schema-shaped BENCH_sim.json payload."""
     snap = {
-        "schema": "bench_sim/v5",
+        "schema": "bench_sim/v6",
         "step_throughput": [{"n": 125, "slab_ns_per_step": step_ns}],
         "loaded_step": [{"n": 1000, "slab_ns_per_step": step_ns * 10}],
         "scaling": [] if drop_scaling else [{
@@ -38,8 +39,27 @@ def snapshot(step_ns=1000.0, scale_ns=2000.0, build_ms=5.0, wire=4000.0,
                     "n0": 10000,
                     "wall_ms": churn_wall,
                     "wire_bytes_per_round": churn_wire,
+                    "min_reliability": min_reliability,
+                },
+                "catastrophe": {
+                    "n": 10000,
+                    "wall_ms": churn_wall,
+                    "recovery_rounds": recovery,
                 },
             },
+        },
+        "detector": {} if drop_detector else {
+            "n": 10000,
+            "reports": [{
+                "scenario": "catastrophe",
+                "fault": "noisy_links",
+                "n": 10000,
+                "on": {
+                    "recovery_rounds": detector_recovery,
+                    "false_evictions": false_evictions,
+                },
+                "off": {"recovery_rounds": 13, "false_evictions": 0},
+            }],
         },
     }
     if extra_step is not None:
@@ -139,6 +159,62 @@ class GateHarness(unittest.TestCase):
         fresh["scenarios"] = {}
         code, out = self.run_gate(snapshot(), fresh)
         self.assertEqual(code, 0, out)
+
+    # ── robustness-quality rows: always soft ─────────────────────────
+
+    def test_identical_quality_rows_print_ok(self):
+        code, out = self.run_gate(snapshot(), snapshot())
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK    recovery catastrophe/lpbcast n=10000", out)
+        self.assertIn("OK    unreliability churn/lpbcast n=10000", out)
+        self.assertIn(
+            "OK    recovery detector catastrophe/noisy_links n=10000", out)
+        self.assertIn(
+            "OK    false_evictions detector catastrophe/noisy_links n=10000",
+            out)
+
+    def test_recovery_regression_warns_but_passes(self):
+        code, out = self.run_gate(snapshot(), snapshot(recovery=13))
+        self.assertEqual(code, 0, out)
+        self.assertIn("WARN  recovery catastrophe/lpbcast n=10000", out)
+        self.assertIn("rounds", out)
+        self.assertIn("[soft row]", out)
+
+    def test_min_reliability_drop_warns_but_passes(self):
+        code, out = self.run_gate(snapshot(), snapshot(min_reliability=0.90))
+        self.assertEqual(code, 0, out)
+        self.assertIn("WARN  unreliability churn/lpbcast n=10000", out)
+        self.assertIn("% missed", out)
+
+    def test_perfect_committed_reliability_is_skipped(self):
+        # (1 - 1.0) == 0 has no meaningful ratio; compare() SKIPs it
+        # rather than dividing by zero.
+        code, out = self.run_gate(
+            snapshot(min_reliability=1.0), snapshot(min_reliability=0.95))
+        self.assertEqual(code, 0, out)
+        self.assertIn("SKIP  unreliability churn/lpbcast n=10000", out)
+
+    def test_false_eviction_growth_warns_but_passes(self):
+        code, out = self.run_gate(snapshot(), snapshot(false_evictions=400))
+        self.assertEqual(code, 0, out)
+        self.assertIn(
+            "WARN  false_evictions detector catastrophe/noisy_links n=10000",
+            out)
+
+    def test_never_recovering_drops_the_row_softly(self):
+        fresh = snapshot()
+        fresh["scenarios"]["lpbcast"]["catastrophe"]["recovery_rounds"] = None
+        code, out = self.run_gate(snapshot(), fresh)
+        self.assertEqual(code, 0, out)
+        self.assertIn(
+            "WARN  recovery catastrophe/lpbcast n=10000: committed quality "
+            "row has no fresh counterpart", out)
+
+    def test_missing_detector_section_is_soft(self):
+        code, out = self.run_gate(snapshot(), snapshot(drop_detector=True))
+        self.assertEqual(code, 0, out)
+        self.assertIn("no fresh counterpart", out)
+        self.assertNotIn("FAIL", out)
 
 
 if __name__ == "__main__":
