@@ -22,6 +22,17 @@
 //! * `BENCH_SIM_DETECTOR_N` — system size of the SWIM failure-detector
 //!   A/B study (default 10000; the committed snapshot records the
 //!   full-scale run, CI uses a small n).
+//! * `BENCH_SIM_SHARDS` — engine shard count for every measurement
+//!   (default 1 = the classic serial round; the sharded round is
+//!   bit-identical by construction and self-checked below).
+//! * `BENCH_SIM_SPARSE_N` — system size of the sparse-mode idle-window
+//!   A/B (default 10000).
+//! * `BENCH_SIM_SCALE_XL_NS` — comma-separated *extra-large* system
+//!   sizes for the env-gated `scaling_xl` section (default empty — CI
+//!   omits it, so its committed full-scale rows gate softly; run
+//!   locally with `BENCH_SIM_SCALE_XL_NS=100000`).
+//! * `BENCH_SIM_SCENARIO_XL_N` — system size of the env-gated xl
+//!   catastrophe scenario row (default 0 = off).
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -33,12 +44,14 @@ use lpbcast_membership::Swim;
 use lpbcast_pbcast::Pbcast;
 use lpbcast_sim::detector::{detector_study, detector_tsv, DetectorParams};
 use lpbcast_sim::experiment::{
-    build_lpbcast_engine, lpbcast_infection_curve, lpbcast_infection_curve_serial,
-    sweep_dispatches_serial, LpbcastSimParams,
+    build_lpbcast_engine, lpbcast_engine_builder, lpbcast_infection_curve,
+    lpbcast_infection_curve_serial, sweep_dispatches_serial, LpbcastSimParams,
 };
 use lpbcast_sim::scale::{scaling_study, scaling_tsv, ScaleStudyOpts};
-use lpbcast_sim::scenario::{run_scenario_suite, scenarios_tsv, ScenarioSuite};
-use lpbcast_sim::Engine;
+use lpbcast_sim::scenario::{
+    catastrophe_scenario, run_scenario_suite, scenarios_tsv, CatastropheParams, ScenarioSuite,
+};
+use lpbcast_sim::{shards_from_env, Engine, StepMode};
 use lpbcast_types::{Payload, ProcessId};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -145,6 +158,49 @@ fn time_sweep(n: usize, seeds: &[u64], parallel: bool) -> f64 {
     secs
 }
 
+/// Per-round digest of an lpbcast run at a given shard count: infected
+/// count, network delivered/dropped counters (the shared loss-RNG
+/// stream) and exact wire bytes. Bit-equality of two digests across
+/// shard counts is the engine's determinism contract.
+fn shard_digest(n: usize, shards: usize, rounds: u64) -> Vec<(usize, u64, u64, u64)> {
+    let params = LpbcastSimParams::paper_defaults(n).rounds(u64::MAX / 2);
+    let mut engine = lpbcast_engine_builder(&params, 1)
+        .wire_meter(lpbcast_net::wire_meter())
+        .shards(shards)
+        .build();
+    let id = engine.publish_from(ProcessId::new(0), Payload::from_static(b"probe"));
+    let mut digest = Vec::with_capacity(rounds as usize);
+    for _ in 0..rounds {
+        engine.step();
+        digest.push((
+            engine.tracker().infected_count(id),
+            engine.network().delivered_count(),
+            engine.network().dropped_count(),
+            engine.wire_accounting().unwrap_or_default().bytes,
+        ));
+    }
+    digest
+}
+
+/// ns/step over a post-catastrophe idle window: disseminate a probe,
+/// crash 30% of the processes in one round, drain the in-flight traffic
+/// (and, in sparse mode, let the wake heat decay), then time rounds in
+/// which nothing new happens. Dense mode keeps paying full digest gossip
+/// here; sparse mode quiesces.
+fn time_idle_window(n: usize, steps: usize, mode: StepMode) -> f64 {
+    let params = LpbcastSimParams::paper_defaults(n).rounds(u64::MAX / 2);
+    let mut engine = lpbcast_engine_builder(&params, 1).step_mode(mode).build();
+    engine.publish_from(ProcessId::new(0), Payload::from_static(b"probe"));
+    engine.run(10);
+    for i in 0..(3 * n as u64 / 10) {
+        engine.crash(ProcessId::new(1 + i));
+    }
+    engine.run(12);
+    let t = Instant::now();
+    engine.run(steps as u64);
+    t.elapsed().as_nanos() as f64 / steps as f64
+}
+
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
@@ -248,6 +304,87 @@ fn main() {
         );
     }
 
+    // Env-gated XL scaling ladder (n = 10^5-class points): absent by
+    // default so CI's fresh snapshot omits it and the committed rows
+    // gate softly.
+    let xl_sizes: Vec<usize> = std::env::var("BENCH_SIM_SCALE_XL_NS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&n: &usize| n >= 8)
+                .collect()
+        })
+        .unwrap_or_default();
+    let xl_points = if xl_sizes.is_empty() {
+        Vec::new()
+    } else {
+        scaling_study(&xl_sizes, &scale_opts)
+    };
+    for p in &xl_points {
+        println!(
+            "scale-xl n={}: l={} buffers={} {:.1} µs/step, build {:.2} ms, latency {:.2} rounds, reliability {:.4}, wire {:.1} KB/round",
+            p.n,
+            p.view_size,
+            p.buffer_bound,
+            p.ns_per_step / 1e3,
+            p.engine_build_ms,
+            p.mean_latency_rounds,
+            p.reliability,
+            p.wire_bytes_per_round / 1e3
+        );
+    }
+
+    // Shard-determinism self-check: the sharded round must be
+    // bit-identical to the serial reference. Hard-gated — bench_gate.py
+    // fails if a snapshot ever records identical=false, and the harness
+    // itself exits non-zero after writing its outputs.
+    let shards = shards_from_env();
+    let check_shards = shards.max(4);
+    let (check_n, check_rounds) = (1000usize, 15u64);
+    let shard_identical =
+        shard_digest(check_n, 1, check_rounds) == shard_digest(check_n, check_shards, check_rounds);
+    println!(
+        "shard_check n={check_n} rounds={check_rounds}: serial vs {check_shards} shards -> {}",
+        if shard_identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    // Sparse-mode idle-window A/B: the measured win of skipping
+    // fully-idle nodes after a catastrophe has drained.
+    let sparse_n = env_usize("BENCH_SIM_SPARSE_N", 10_000);
+    let idle_steps = (steps / 4).max(10);
+    let dense_idle_ns = time_idle_window(sparse_n, idle_steps, StepMode::Dense);
+    let sparse_idle_ns = time_idle_window(sparse_n, idle_steps, StepMode::Sparse);
+    println!(
+        "sparse_mode n={sparse_n} post-catastrophe idle window: dense {:.1} µs/step, sparse {:.1} µs/step, {:.1}× win",
+        dense_idle_ns / 1e3,
+        sparse_idle_ns / 1e3,
+        dense_idle_ns / sparse_idle_ns
+    );
+
+    // Env-gated XL scenario row (catastrophe at n = 10^5): the
+    // post-catastrophe robustness headline at the new scale ceiling.
+    let xl_scenario_n = env_usize("BENCH_SIM_SCENARIO_XL_N", 0);
+    let xl_catastrophe = (xl_scenario_n > 0).then(|| {
+        let t = Instant::now();
+        let report = catastrophe_scenario::<Lpbcast>(&CatastropheParams::<Lpbcast>::scaled(xl_scenario_n), 1);
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "scenario-xl catastrophe/lpbcast n={xl_scenario_n}: {} crashed, reliability {:.4} -> {:.4}, recovery {:?}, wire {:.1} KB/round [{:.0} ms]",
+            report.crashed,
+            report.reliability_before,
+            report.reliability_after,
+            report.recovery_rounds,
+            report.wire_bytes_per_round() / 1e3,
+            wall_ms
+        );
+        (report, wall_ms)
+    });
+
     // Scenario suite: continuous churn, catastrophic correlated failure,
     // partition-and-heal — once per protocol, side by side (deterministic;
     // seed 1).
@@ -350,11 +487,12 @@ fn main() {
 
     // Hand-rolled JSON (the workspace has no serde): numbers only, stable
     // key order, one object per measurement.
-    let mut json = String::from("{\n  \"schema\": \"bench_sim/v6\",\n");
+    let mut json = String::from("{\n  \"schema\": \"bench_sim/v7\",\n");
     let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"shards\": {shards},");
     let _ = writeln!(json, "  \"steps_per_measurement\": {steps},");
     json.push_str(
-        "  \"note\": \"baseline_* is the seed BTreeMap engine compiled against the current protocol crates, so the ratio isolates the engine-structure change; protocol-layer wins (fast hashing, linear small buffers, chunked scans, alloc-free truncation, and since PR 2 the Arc-shared gossip fan-out) accrue to both columns. Seed-to-now trajectory: the unmodified seed stack measured ~17.7 ms/step at n=1000 on the 1-CPU reference container. step_throughput uses the paper's n=125 operating-point config at every n; the scaling section uses lpbcast_sim::scale's section-5-scaled view/buffer bounds (Compact digests since PR 3) and also reports the O(n*l) engine bootstrap cost (engine_build_ms; the PR 2 candidate-list build measured ~190 ms at n=10^4), probe delivery latency (rounds) and reliability — the same rows are rendered into results/scaling.tsv. The scenarios section is the churn / catastrophe / partition suite from lpbcast_sim::scenario, keyed by protocol since the Protocol-trait redesign (one generic driver runs lpbcast and pbcast side by side; each scenario also records its wall_ms). scripts/bench_gate.py compares ns_per_step, engine_build_ms and the deterministic wire_bytes_per_round by n against the committed snapshot in CI and fails on rows that disappear; scenario wall_ms and scenario wire rows are gated softly (warn-only on row-set changes, since the scenario size and protocol set are env-tunable in CI). Since v5 every scenario/scaling row carries wire_bytes_per_round: exact codec frame lengths summed over every offered message copy (the wire-cost compaction PR -- pbcast per-origin compact digests + lpbcast per-timestamp unsub digests -- is measured by exactly these columns), and the loaded scenarios publish from a fixed 16-publisher pool (the paper's section-5 measurement model) instead of uniformly random origins. Since v6 the detector section records the SWIM failure-detector A/B (lpbcast_sim::detector): identical catastrophe and no-crash noise loads run with and without the Swim<Lpbcast> wrapper under named deterministic fault specs (lpbcast_sim::fault), reporting recovery_rounds, probe reliability, and eviction / false-eviction / suspicion / refutation counts per arm -- the same rows are rendered into results/detector.tsv, the study size is env-tunable via BENCH_SIM_DETECTOR_N (so CI runs a small n and its detector rows are soft), and bench_gate.py additionally surfaces recovery_rounds and min-reliability drift as warn-only quality rows\",\n",
+        "  \"note\": \"baseline_* is the seed BTreeMap engine compiled against the current protocol crates, so the ratio isolates the engine-structure change; protocol-layer wins (fast hashing, linear small buffers, chunked scans, alloc-free truncation, and since PR 2 the Arc-shared gossip fan-out) accrue to both columns. Seed-to-now trajectory: the unmodified seed stack measured ~17.7 ms/step at n=1000 on the 1-CPU reference container. step_throughput uses the paper's n=125 operating-point config at every n; the scaling section uses lpbcast_sim::scale's section-5-scaled view/buffer bounds (Compact digests since PR 3) and also reports the O(n*l) engine bootstrap cost (engine_build_ms; the PR 2 candidate-list build measured ~190 ms at n=10^4), probe delivery latency (rounds) and reliability — the same rows are rendered into results/scaling.tsv. The scenarios section is the churn / catastrophe / partition suite from lpbcast_sim::scenario, keyed by protocol since the Protocol-trait redesign (one generic driver runs lpbcast and pbcast side by side; each scenario also records its wall_ms). scripts/bench_gate.py compares ns_per_step, engine_build_ms and the deterministic wire_bytes_per_round by n against the committed snapshot in CI and fails on rows that disappear; scenario wall_ms and scenario wire rows are gated softly (warn-only on row-set changes, since the scenario size and protocol set are env-tunable in CI). Since v5 every scenario/scaling row carries wire_bytes_per_round: exact codec frame lengths summed over every offered message copy (the wire-cost compaction PR -- pbcast per-origin compact digests + lpbcast per-timestamp unsub digests -- is measured by exactly these columns), and the loaded scenarios publish from a fixed 16-publisher pool (the paper's section-5 measurement model) instead of uniformly random origins. Since v6 the detector section records the SWIM failure-detector A/B (lpbcast_sim::detector): identical catastrophe and no-crash noise loads run with and without the Swim<Lpbcast> wrapper under named deterministic fault specs (lpbcast_sim::fault), reporting recovery_rounds, probe reliability, and eviction / false-eviction / suspicion / refutation counts per arm -- the same rows are rendered into results/detector.tsv, the study size is env-tunable via BENCH_SIM_DETECTOR_N (so CI runs a small n and its detector rows are soft), and bench_gate.py additionally surfaces recovery_rounds and min-reliability drift as warn-only quality rows. Since v7 the engine is built through EngineBuilder with an optional shard-partitioned round: shards records BENCH_SIM_SHARDS (default 1; every measurement runs through the same builder paths), shard_check is the in-harness determinism self-test (serial vs sharded digests over infected counts, network RNG counters and exact wire bytes -- identical=false hard-fails bench_gate.py and the harness itself exits non-zero), sparse_mode is the StepMode::Sparse idle-window A/B (post-catastrophe rounds where dense mode still pays full digest gossip), and the env-gated scaling_xl / scenarios_xl sections carry the n=10^5-class rows (BENCH_SIM_SCALE_XL_NS / BENCH_SIM_SCENARIO_XL_N; absent from CI-size runs, so their committed rows gate softly)\",\n",
     );
     json.push_str("  \"step_throughput\": [\n");
     for (i, r) in step_results.iter().enumerate() {
@@ -412,6 +550,56 @@ fn main() {
         } else {
             "\n"
         });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"scaling_xl\": [\n");
+    for (i, p) in xl_points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"view_size\": {}, \"buffer_bound\": {}, \"steps\": {}, \"ns_per_step\": {:.1}, \"engine_build_ms\": {:.3}, \"build_count\": {}, \"mean_latency_rounds\": {:.3}, \"model_latency_rounds\": {:.3}, \"reliability\": {:.5}, \"wire_bytes_per_round\": {:.1}}}",
+            p.n,
+            p.view_size,
+            p.buffer_bound,
+            p.measured_steps,
+            p.ns_per_step,
+            p.engine_build_ms,
+            p.build_count,
+            p.mean_latency_rounds,
+            p.model_latency_rounds,
+            p.reliability,
+            p.wire_bytes_per_round
+        );
+        json.push_str(if i + 1 < xl_points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"shard_check\": {{\"n\": {check_n}, \"rounds\": {check_rounds}, \"shards\": {check_shards}, \"identical\": {shard_identical}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"sparse_mode\": {{\"n\": {sparse_n}, \"idle_steps\": {idle_steps}, \"dense_ns_per_step\": {dense_idle_ns:.1}, \"sparse_ns_per_step\": {sparse_idle_ns:.1}, \"speedup\": {:.3}}},",
+        dense_idle_ns / sparse_idle_ns
+    );
+    json.push_str("  \"scenarios_xl\": [\n");
+    if let Some((report, wall_ms)) = &xl_catastrophe {
+        let recovery = report
+            .recovery_rounds
+            .map_or_else(|| "null".into(), |r| r.to_string());
+        let _ = writeln!(
+            json,
+            "    {{\"scenario\": \"catastrophe_xl\", \"protocol\": \"lpbcast\", \"n\": {}, \"crashed\": {}, \"survivors\": {}, \"reliability_before\": {:.5}, \"reliability_after\": {:.5}, \"latency_before_rounds\": {:.3}, \"latency_after_rounds\": {:.3}, \"recovery_rounds\": {recovery}, \"partitioned_after\": {}, \"wire_bytes_per_round\": {:.1}, \"wire_messages\": {}, \"wall_ms\": {wall_ms:.1}}}",
+            report.n,
+            report.crashed,
+            report.survivors,
+            report.reliability_before,
+            report.reliability_after,
+            report.latency_before,
+            report.latency_after,
+            report.partitioned_after,
+            report.wire_bytes_per_round(),
+            report.wire_messages
+        );
     }
     json.push_str("  ],\n");
     json.push_str("  \"scenarios\": {\n");
@@ -534,16 +722,61 @@ fn main() {
 
     let results_dir = workspace_root().join("results");
     let tsv_path = results_dir.join("scaling.tsv");
+    let all_scale_points: Vec<_> = scale_points
+        .iter()
+        .chain(xl_points.iter())
+        .cloned()
+        .collect();
     let write_tsv = std::fs::create_dir_all(&results_dir)
-        .and_then(|()| std::fs::write(&tsv_path, scaling_tsv(&scale_points)));
+        .and_then(|()| std::fs::write(&tsv_path, scaling_tsv(&all_scale_points)));
     match write_tsv {
         Ok(()) => println!("→ {}", tsv_path.display()),
         Err(e) => eprintln!("! could not write results/scaling.tsv: {e}"),
     }
 
     let scenarios_path = results_dir.join("scenarios.tsv");
+    let mut scenarios_text = scenarios_tsv(&suites);
+    if let Some((report, wall_ms)) = &xl_catastrophe {
+        let mut row = |metric: &str, value: String| {
+            let _ = writeln!(
+                scenarios_text,
+                "catastrophe_xl\tlpbcast\t{}\t{metric}\t{value}",
+                report.n
+            );
+        };
+        row("crashed", report.crashed.to_string());
+        row("survivors", report.survivors.to_string());
+        row(
+            "reliability_before",
+            format!("{:.5}", report.reliability_before),
+        );
+        row(
+            "reliability_after",
+            format!("{:.5}", report.reliability_after),
+        );
+        row(
+            "latency_before_rounds",
+            format!("{:.3}", report.latency_before),
+        );
+        row(
+            "latency_after_rounds",
+            format!("{:.3}", report.latency_after),
+        );
+        row(
+            "recovery_rounds",
+            report
+                .recovery_rounds
+                .map_or_else(|| "never".into(), |r| r.to_string()),
+        );
+        row("partitioned_after", report.partitioned_after.to_string());
+        row(
+            "wire_bytes_per_round",
+            format!("{:.1}", report.wire_bytes_per_round()),
+        );
+        row("wall_ms", format!("{wall_ms:.1}"));
+    }
     let write_scenarios = std::fs::create_dir_all(&results_dir)
-        .and_then(|()| std::fs::write(&scenarios_path, scenarios_tsv(&suites)));
+        .and_then(|()| std::fs::write(&scenarios_path, scenarios_text));
     match write_scenarios {
         Ok(()) => println!("→ {}", scenarios_path.display()),
         Err(e) => eprintln!("! could not write results/scenarios.tsv: {e}"),
@@ -555,5 +788,14 @@ fn main() {
     match write_detector {
         Ok(()) => println!("→ {}", detector_path.display()),
         Err(e) => eprintln!("! could not write results/detector.tsv: {e}"),
+    }
+
+    if !shard_identical {
+        eprintln!(
+            "! shard determinism check FAILED: shards={check_shards} diverged from the serial \
+             reference at n={check_n} ({check_rounds} rounds) — outputs were written for \
+             inspection, exiting non-zero"
+        );
+        std::process::exit(1);
     }
 }

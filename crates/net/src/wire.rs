@@ -100,7 +100,7 @@ use lpbcast_core::{
 use lpbcast_membership::{SwimMsg, Update, UpdateState};
 use lpbcast_pbcast::{DigestEntries, DigestEntry, GossipDigest, OriginRange, PbcastMessage};
 use lpbcast_pubsub::{PubSubMessage, TopicId};
-use lpbcast_types::{CompactDigest, Event, EventId, ProcessId};
+use lpbcast_types::{CompactDigest, Event, EventId, FastMap, ProcessId};
 
 /// First byte of every datagram.
 pub const MAGIC: u8 = 0x6C; // 'l' for lpbcast
@@ -188,30 +188,49 @@ pub struct WireStats {
     pub bytes: u64,
 }
 
+/// Cached-body capacity of a [`wire_meter`]. The cache resets wholesale
+/// when it fills: an eviction *policy* (LRU, random) would make hit
+/// rates — and therefore the keep-alive lifetimes of `Arc`'d bodies —
+/// depend on arrival order in ways that are hard to reason about, while
+/// a full clear at a fixed cap is trivially deterministic. 512 live
+/// bodies comfortably covers a simulated round's in-flight gossip
+/// generations even at n = 10⁵ (bodies are per-*origin*-per-round, not
+/// per-copy).
+const WIRE_METER_CACHE_CAP: usize = 512;
+
 /// A per-message byte meter for simulation drivers: returns the exact
 /// encoded frame length of each message offered. Shared (`Arc`'d) bodies
 /// are measured once and the length reused for every fanout copy via
 /// [`WireMessage::body_key`] — the same once-per-body discipline the UDP
 /// runtime's frame cache uses, matching its one-encode-per-body cost
 /// model.
+///
+/// The cache holds up to [`WIRE_METER_CACHE_CAP`] distinct bodies at
+/// once, so fanout copies of *interleaved* bodies (a delivery queue at
+/// fanout F mixes every origin's gossip of the round) all hit — the
+/// single-entry predecessor of this cache thrashed to one `encoded_len`
+/// per copy the moment two bodies alternated.
 pub fn wire_meter<M: WireMessage + Send>() -> impl FnMut(&M) -> usize + Send {
-    // (body key, frame len, keep-alive clone). The clone pins the cached
-    // body's allocation: `body_key` is an `Arc` address, and without the
-    // pin a *freed* body's address could be recycled by a later
-    // allocation, turning the cache into an allocator-dependent (hence
-    // nondeterministic) false hit.
-    let mut last: Option<(usize, usize, M)> = None;
+    // body key → (frame len, keep-alive clone). The clone pins the
+    // cached body's allocation: `body_key` is an `Arc` address, and
+    // without the pin a *freed* body's address could be recycled by a
+    // later allocation, turning the cache into an allocator-dependent
+    // (hence nondeterministic) false hit. Only the returned lengths are
+    // observable, and those are a pure function of the message stream —
+    // map iteration order never leaks.
+    let mut cache: FastMap<usize, (usize, M)> = FastMap::default();
     move |message: &M| {
         let Some(key) = message.body_key() else {
             return message.encoded_len();
         };
-        if let Some((cached_key, len, _)) = &last {
-            if *cached_key == key {
-                return *len;
-            }
+        if let Some((len, _)) = cache.get(&key) {
+            return *len;
         }
         let len = message.encoded_len();
-        last = Some((key, len, message.clone()));
+        if cache.len() >= WIRE_METER_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, (len, message.clone()));
         len
     }
 }
@@ -1480,5 +1499,79 @@ mod tests {
         );
         let d = sample_pbcast_digest();
         assert_eq!(d.body_key(), d.clone().body_key());
+    }
+
+    /// A probe message whose body measurement is observable: fanout
+    /// copies of the same "body" share a key, and every `encoded_len`
+    /// call bumps a shared counter.
+    #[derive(Clone, Debug)]
+    struct CountedMsg {
+        key: usize,
+        len: usize,
+        measured: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl WireMessage for CountedMsg {
+        fn encode_body(&self, _buf: &mut BytesMut) {
+            unreachable!("meter tests never serialize")
+        }
+
+        fn decode_body(_buf: &mut &[u8]) -> Result<Self, WireError> {
+            unreachable!("meter tests never deserialize")
+        }
+
+        fn body_key(&self) -> Option<usize> {
+            Some(self.key)
+        }
+
+        fn encoded_len(&self) -> usize {
+            self.measured
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.len
+        }
+    }
+
+    #[test]
+    fn wire_meter_measures_each_body_once_even_interleaved() {
+        let measured = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let bodies: Vec<CountedMsg> = (0..8)
+            .map(|k| CountedMsg {
+                key: k + 1,
+                len: 100 + k,
+                measured: measured.clone(),
+            })
+            .collect();
+        let mut meter = wire_meter::<CountedMsg>();
+        // Three interleaved fanout sweeps over all 8 bodies — the exact
+        // pattern a round's delivery queue produces (copies of different
+        // origins' gossip alternate). A single-entry cache thrashes to
+        // 24 measurements here; the map cache measures each body once.
+        for _ in 0..3 {
+            for (i, body) in bodies.iter().enumerate() {
+                assert_eq!(meter(body), 100 + i);
+            }
+        }
+        assert_eq!(measured.load(std::sync::atomic::Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn wire_meter_cache_resets_at_capacity_and_stays_correct() {
+        let measured = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut meter = wire_meter::<CountedMsg>();
+        // Overflow the cache twice; lengths must stay exact throughout
+        // (a reset only costs re-measurement, never correctness).
+        for round in 0..2 {
+            for k in 0..(super::WIRE_METER_CACHE_CAP + 10) {
+                let msg = CountedMsg {
+                    key: round * 10_000 + k + 1,
+                    len: k,
+                    measured: measured.clone(),
+                };
+                assert_eq!(meter(&msg), k);
+            }
+        }
+        assert!(
+            measured.load(std::sync::atomic::Ordering::Relaxed) >= 2 * super::WIRE_METER_CACHE_CAP
+        );
     }
 }

@@ -284,10 +284,11 @@ where
     P: ScenarioProtocol + SwimCensus,
     P::Msg: WireMessage + Send + 'static,
 {
-    let mut engine = build_scenario_engine::<P>(n, cfg, loss_rate, seed);
+    let mut builder = build_scenario_engine::<P>(n, cfg, loss_rate, seed);
     if let Some(spec) = fault {
-        engine.set_fault_plane(FaultPlane::new(spec, seed));
+        builder = builder.fault_plane(FaultPlane::new(spec, seed));
     }
+    let mut engine = builder.build();
     engine.run(warmup);
 
     // The catastrophe (if any): crash ⌊fraction·n⌋ processes at once,
@@ -518,7 +519,7 @@ mod tests {
             P: ScenarioProtocol,
             P::Msg: WireMessage + Send + 'static,
         {
-            let mut engine = build_scenario_engine::<P>(n, cfg, params.loss_rate, 1);
+            let mut engine = build_scenario_engine::<P>(n, cfg, params.loss_rate, 1).build();
             engine.run(params.warmup);
             let mut rng = SmallRng::seed_from_u64(1 ^ 0x6361_7461_7374_726F);
             let crashed = ((params.crash_fraction * n as f64).floor() as usize).min(n - 1);

@@ -10,9 +10,45 @@
 //! envelope queues (`pending`, the in-flight queue and the reply `scratch`
 //! buffer) are double-buffered across generations *and* rounds — after
 //! warm-up a steady-state round performs no queue reallocation at all.
+//!
+//! # Shards: the deterministic parallel round
+//!
+//! With [`EngineBuilder::shards`] > 1 the slab is partitioned into
+//! contiguous index ranges and each round executes as a parallel
+//! reduction — the same recipe that makes the rayon seed sweeps
+//! bit-identical. The construction keeps every ordered side effect on a
+//! serial path:
+//!
+//! 1. **Fate pass (serial).** Loss RNG draws, fault-plane fates and the
+//!    `fault_seq` counter are consumed over the queue in canonical
+//!    (serial) order — identical for every shard count. Surviving
+//!    envelopes are partitioned by destination shard, tagged with their
+//!    global queue position.
+//! 2. **State pass (parallel).** Each shard runs `handle_message` /
+//!    `tick` over its own nodes only; a node's envelopes arrive in
+//!    queue-position order, so each node sees the serial input sequence.
+//! 3. **Merge pass (serial).** Per-shard outputs are merged back in
+//!    queue-position order, reconstructing the serial reply queue,
+//!    metering order and sighting order byte for byte.
+//!
+//! Result: for a fixed seed, every shard count — and every thread count,
+//! including the automatic inline dispatch on 1-thread pools — produces
+//! bit-identical runs (pinned by the shard-invariance proptests).
+//!
+//! # Step modes
+//!
+//! [`StepMode::Dense`] ticks every alive node each round, the paper's
+//! unconditional-gossip model (§3.3). [`StepMode::Sparse`] skips nodes
+//! that received no message last round *and* report no pending tick work
+//! ([`Protocol::wants_tick`]) — an event-driven approximation for
+//! mostly-idle windows (post-catastrophe drains, healed partitions)
+//! where dense rounds burn time gossiping digests nobody needs. Sparse
+//! runs are deterministic per seed but are a *different schedule* than
+//! dense runs: a skipped tick also pauses that node's periodic
+//! digest/view refresh.
 
 use lpbcast_membership::ViewGraph;
-use lpbcast_types::{EventId, Payload, ProcessId, Protocol};
+use lpbcast_types::{EventId, Output, Payload, ProcessId, Protocol};
 
 use crate::fault::FaultPlane;
 use crate::metrics::InfectionTracker;
@@ -23,6 +59,45 @@ use lpbcast_types::FastMap;
 /// within one round. The paper assumes network latency below the gossip
 /// period (§4.1), so a full pull exchange completes inside a round.
 const CHASE_DEPTH: usize = 4;
+
+/// Upper bound on the configured shard count: results are shard-count
+/// invariant, so beyond-core counts only add partition/merge overhead.
+const MAX_SHARDS: usize = 64;
+
+/// Sparse-mode wake linger: a productive delivery keeps its receiver
+/// ticking for this many subsequent rounds (the heat decays by one per
+/// round and the delivery round itself consumes one step, so the
+/// effective window is `WAKE_LINGER - 1` ticks). The linger restores the
+/// digest redundancy that covers fanout stragglers in dense mode; a
+/// one-round wake makes every dissemination a single-push branching
+/// process that can strand nodes forever.
+const WAKE_LINGER: u8 = 5;
+
+/// Shard count for benchmark and scenario drivers: the `BENCH_SIM_SHARDS`
+/// environment knob, default 1. The default keeps the 1-CPU CI container
+/// on the classic serial path; multi-core hosts opt in to parallelism
+/// without changing any result — every shard count is bit-identical.
+pub fn shards_from_env() -> usize {
+    std::env::var("BENCH_SIM_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1)
+        .min(MAX_SHARDS)
+}
+
+/// Tick-scheduling policy of a [`step`](Engine::step) (see the module
+/// docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StepMode {
+    /// Every alive node ticks every round (§3.3, the reference model).
+    #[default]
+    Dense,
+    /// Event-driven: skip nodes with an empty inbox and no pending tick
+    /// work ([`Protocol::wants_tick`]). Deterministic per seed; not
+    /// equivalent to [`Dense`](StepMode::Dense).
+    Sparse,
+}
 
 /// A queued message copy. The destination is pre-resolved to a slab
 /// index; the sender stays a `ProcessId` because that is what the
@@ -149,44 +224,61 @@ pub struct Engine<P: Protocol> {
     /// Copies the fault plane deferred: `(due_round, envelope)`,
     /// insertion-ordered, drained into delivery when due.
     delayed: Vec<(u64, Envelope<P::Msg>)>,
+    /// Configured shard count (1 = the classic serial round).
+    shards: usize,
+    /// Tick-scheduling policy (see [`StepMode`]).
+    step_mode: StepMode,
+    /// Sparse mode: per-slab-slot wake heat. A productive delivery sets
+    /// a node's heat to [`WAKE_LINGER`]; each sparse round decays every
+    /// entry by one, and a node with zero heat (and no
+    /// [`wants_tick`](Protocol::wants_tick) work) skips its tick. The
+    /// linger window keeps a freshly-infected node gossiping digests for
+    /// a few rounds, restoring the redundancy dense mode gets from
+    /// unconditional ticks — without it each node pushes an event
+    /// exactly once and a dissemination into a quiescent system can
+    /// strand stragglers.
+    heat: Vec<u8>,
+    /// Sharded delivery: reusable per-shard survivor buckets.
+    fate_buckets: Vec<Vec<(u32, Envelope<P::Msg>)>>,
 }
 
-impl<P: Protocol> Engine<P> {
-    /// Creates an engine over the given fault models.
-    pub fn new(network: NetworkModel, crash_plan: CrashPlan) -> Self {
-        Engine {
-            nodes: Vec::new(),
-            ids: Vec::new(),
-            index: FastMap::default(),
-            alive: BitSet::default(),
-            alive_count: 0,
-            alive_sorted: Vec::new(),
+/// Staged construction of an [`Engine`]: the network model plus every
+/// optional engine-level knob (crash schedule, wire meter, fault plane,
+/// shard count, step mode, pre-seeded nodes) in one fluent value.
+///
+/// Replaces the former `Engine::new` + `set_*` sprawl — the setters
+/// survive as deprecated thin wrappers for one release. Protocol-level
+/// configuration (history mode, view sizes, initial topology) stays
+/// where it lives: in each protocol's own config, applied to the nodes
+/// passed to [`nodes`](EngineBuilder::nodes) / added after `build`.
+pub struct EngineBuilder<P: Protocol> {
+    network: NetworkModel,
+    crash_plan: CrashPlan,
+    shards: usize,
+    step_mode: StepMode,
+    meter: Option<WireMeter<P::Msg>>,
+    fault_plane: Option<FaultPlane>,
+    nodes: Vec<P>,
+}
+
+impl<P: Protocol> EngineBuilder<P> {
+    /// Starts a builder over the given uniform loss model.
+    pub fn new(network: NetworkModel) -> Self {
+        EngineBuilder {
             network,
-            crash_plan,
-            tracker: InfectionTracker::new(),
-            round: 0,
-            pending: Vec::new(),
-            scratch: Vec::new(),
-            sightings: Vec::new(),
+            crash_plan: CrashPlan::none(),
+            shards: 1,
+            step_mode: StepMode::Dense,
             meter: None,
             fault_plane: None,
-            fault_seq: 0,
-            delayed: Vec::new(),
+            nodes: Vec::new(),
         }
     }
 
-    /// Installs a correlated fault model (see [`crate::fault`]): each
-    /// message copy that survives the uniform [`NetworkModel`] loss is
-    /// then subjected to the plane's per-link loss, duplication and
-    /// delay decisions. Deterministic: the plane is stateless and the
-    /// engine feeds it a monotone delivery sequence number.
-    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
-        self.fault_plane = Some(plane);
-    }
-
-    /// The installed fault plane, if any.
-    pub fn fault_plane(&self) -> Option<&FaultPlane> {
-        self.fault_plane.as_ref()
+    /// Schedules correlated crashes (default: none).
+    pub fn crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
     }
 
     /// Installs a wire-byte meter: `measure` is called once per message
@@ -197,11 +289,146 @@ impl<P: Protocol> Engine<P> {
     /// count: a real transport transmits before discovering nobody
     /// listens. Measuring must not touch any randomness — accounting
     /// cannot perturb a run.
+    pub fn wire_meter(mut self, measure: impl FnMut(&P::Msg) -> usize + Send + 'static) -> Self {
+        self.meter = Some(WireMeter {
+            measure: Box::new(measure),
+            totals: WireAccounting::default(),
+        });
+        self
+    }
+
+    /// Installs a correlated fault model (see [`crate::fault`]): each
+    /// message copy that survives the uniform [`NetworkModel`] loss is
+    /// then subjected to the plane's per-link loss, duplication and
+    /// delay decisions. Deterministic: the plane is stateless and the
+    /// engine feeds it a monotone delivery sequence number.
+    pub fn fault_plane(mut self, plane: FaultPlane) -> Self {
+        self.fault_plane = Some(plane);
+        self
+    }
+
+    /// Partitions the node slab into `shards` contiguous ranges executed
+    /// in parallel per round (clamped to 1..=64; default 1 = serial).
+    /// Purely a performance knob: every shard count yields bit-identical
+    /// runs, and 1-thread pools dispatch the shard tasks inline.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.clamp(1, MAX_SHARDS);
+        self
+    }
+
+    /// Selects the tick-scheduling policy (default [`StepMode::Dense`]).
+    pub fn step_mode(mut self, mode: StepMode) -> Self {
+        self.step_mode = mode;
+        self
+    }
+
+    /// Seeds the engine with `nodes` (equivalent to calling
+    /// [`Engine::add_node`] for each, in order, after `build`).
+    pub fn nodes(mut self, nodes: impl IntoIterator<Item = P>) -> Self {
+        self.nodes.extend(nodes);
+        self
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Engine<P> {
+        let mut engine = Engine {
+            nodes: Vec::new(),
+            ids: Vec::new(),
+            index: FastMap::default(),
+            alive: BitSet::default(),
+            alive_count: 0,
+            alive_sorted: Vec::new(),
+            network: self.network,
+            crash_plan: self.crash_plan,
+            tracker: InfectionTracker::new(),
+            round: 0,
+            pending: Vec::new(),
+            scratch: Vec::new(),
+            sightings: Vec::new(),
+            meter: self.meter,
+            fault_plane: self.fault_plane,
+            fault_seq: 0,
+            delayed: Vec::new(),
+            shards: self.shards,
+            step_mode: self.step_mode,
+            heat: Vec::new(),
+            fate_buckets: Vec::new(),
+        };
+        for node in self.nodes {
+            engine.add_node(node);
+        }
+        engine
+    }
+}
+
+impl<P: Protocol> std::fmt::Debug for EngineBuilder<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineBuilder")
+            .field("shards", &self.shards)
+            .field("step_mode", &self.step_mode)
+            .field("nodes", &self.nodes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Starts an [`EngineBuilder`] — the construction path for every
+    /// engine-level knob (crash plan, wire meter, fault plane, shards,
+    /// step mode).
+    pub fn builder(network: NetworkModel) -> EngineBuilder<P> {
+        EngineBuilder::new(network)
+    }
+
+    /// Creates an engine over the given fault models.
+    #[deprecated(note = "construct through Engine::builder()")]
+    pub fn new(network: NetworkModel, crash_plan: CrashPlan) -> Self {
+        Self::builder(network).crash_plan(crash_plan).build()
+    }
+
+    /// Installs a correlated fault model after construction.
+    #[deprecated(note = "use EngineBuilder::fault_plane")]
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.fault_plane = Some(plane);
+    }
+
+    /// The installed fault plane, if any.
+    pub fn fault_plane(&self) -> Option<&FaultPlane> {
+        self.fault_plane.as_ref()
+    }
+
+    /// Installs a wire-byte meter after construction (see
+    /// [`EngineBuilder::wire_meter`] for the metering contract).
+    #[deprecated(note = "use EngineBuilder::wire_meter")]
     pub fn set_wire_meter(&mut self, measure: impl FnMut(&P::Msg) -> usize + Send + 'static) {
         self.meter = Some(WireMeter {
             measure: Box::new(measure),
             totals: WireAccounting::default(),
         });
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The current tick-scheduling policy.
+    pub fn step_mode(&self) -> StepMode {
+        self.step_mode
+    }
+
+    /// Switches the tick-scheduling policy mid-run. Supported (not a
+    /// deprecated setter): scenario drivers flip to
+    /// [`StepMode::Sparse`] for idle windows and back. Switching to
+    /// sparse treats every node as freshly woken, so in-flight work
+    /// keeps ticking through a full linger window before anything is
+    /// skipped.
+    pub fn set_step_mode(&mut self, mode: StepMode) {
+        if mode == StepMode::Sparse && self.step_mode != StepMode::Sparse {
+            // Every node ticks in dense mode, so recent inbox activity
+            // is unknowable — assume maximum heat everywhere.
+            self.heat.fill(WAKE_LINGER);
+        }
+        self.step_mode = mode;
     }
 
     /// Totals of the installed wire meter (`None` when no meter is set).
@@ -234,6 +461,7 @@ impl<P: Protocol> Engine<P> {
                 self.alive_count += 1;
                 self.alive_sorted_insert(id);
             }
+            self.heat[i] = WAKE_LINGER;
             self.nodes[i] = node;
             return;
         }
@@ -243,6 +471,9 @@ impl<P: Protocol> Engine<P> {
         self.index.insert(id, i as u32);
         self.alive.grow_to(i + 1);
         self.alive.set(i);
+        // A newcomer's inbox state is unknown; give it full heat so its
+        // first sparse rounds never skip it.
+        self.heat.push(WAKE_LINGER);
         self.alive_count += 1;
         self.alive_sorted_insert(id);
     }
@@ -283,6 +514,9 @@ impl<P: Protocol> Engine<P> {
             self.index.insert(self.ids[i], i as u32);
         }
         self.alive.clear(last);
+        // The heat vec tracks slab slots, so it follows the same
+        // swap-remove as the node itself.
+        self.heat.swap_remove(i);
         let (i, last) = (i as u32, last as u32);
         let fixup = |e: &mut Envelope<P::Msg>| {
             if e.to == i {
@@ -420,14 +654,164 @@ impl<P: Protocol> Engine<P> {
         }))
     }
 
+    /// Absorbs one node's step output into the round: sightings for the
+    /// tracker, outgoing copies metered (unknown destinations included —
+    /// a real transport transmits before discovering nobody listens) and
+    /// enqueued onto `into`. Shared by the serial loops and the sharded
+    /// merge passes — the single definition is what keeps their
+    /// side-effect order identical.
+    #[inline]
+    fn absorb_output(
+        &mut self,
+        from: ProcessId,
+        out: Output<P::Msg>,
+        into: &mut Vec<Envelope<P::Msg>>,
+    ) {
+        for id in out
+            .delivered
+            .iter()
+            .map(|e| e.id())
+            .chain(out.learned_ids.iter().copied())
+        {
+            self.sightings.push((id, from));
+        }
+        for (to, msg) in out.outgoing {
+            if let Some(m) = self.meter.as_mut() {
+                m.record(&msg);
+            }
+            if let Some(&t) = self.index.get(&to) {
+                into.push(Envelope {
+                    from,
+                    to: t,
+                    msg,
+                    fated: false,
+                });
+            }
+        }
+    }
+
+    /// Decides one queued envelope's fate — liveness, uniform loss, then
+    /// the optional fault plane — consuming RNG draws and the fault
+    /// sequence exactly as the serial reference does. Returns `true` when
+    /// the copy is to be handled now; delayed/duplicated copies are
+    /// pushed onto `self.delayed` as a side effect.
+    #[inline]
+    fn envelope_survives(&mut self, envelope: &mut Option<Envelope<P::Msg>>) -> bool {
+        let e = envelope.as_ref().expect("envelope present");
+        let ti = e.to as usize;
+        if !self.alive.get(ti) {
+            return false;
+        }
+        // A re-injected (delayed/duplicated) copy already passed both
+        // loss models at its original delivery attempt.
+        if !e.fated {
+            if !self.network.delivers() {
+                return false;
+            }
+            if let Some(plane) = &self.fault_plane {
+                let seq = self.fault_seq;
+                self.fault_seq += 1;
+                let fate = plane.fate(e.from, self.ids[ti], self.round, seq);
+                if let Some(off) = fate.duplicate {
+                    let mut copy = e.clone();
+                    copy.fated = true;
+                    self.delayed.push((self.round + off, copy));
+                }
+                match fate.primary {
+                    None => return false,
+                    Some(0) => {}
+                    Some(off) => {
+                        let mut copy = envelope.take().expect("envelope present");
+                        copy.fated = true;
+                        self.delayed.push((self.round + off, copy));
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Shard layout over a slab of `len` nodes: the uniform chunk size and
+/// the contiguous `(start, end)` spans it induces. A destination index
+/// `i` belongs to shard `i / chunk`.
+fn shard_layout(len: usize, shards: usize) -> (usize, Vec<(usize, usize)>) {
+    let shards = shards.clamp(1, len.max(1));
+    let chunk = len.div_ceil(shards);
+    let spans = (0..shards)
+        .map(|s| (s * chunk, ((s + 1) * chunk).min(len)))
+        .filter(|&(a, b)| a < b)
+        .collect();
+    (chunk, spans)
+}
+
+/// Runs `work` over disjoint contiguous sub-slices of `nodes` (one per
+/// task, tiling the slab in ascending spans), returning per-task results
+/// in task order. On a 1-thread pool — or with a single task — the work
+/// runs inline on the calling thread: same code path, no spawns, so the
+/// 1-CPU CI container dispatches serially and reproducibly by
+/// construction. Thread-count changes cannot affect results either way:
+/// each task owns its slice and the results are merged in task order.
+fn run_shards<P, B, R>(
+    nodes: &mut [P],
+    tasks: Vec<(usize, usize, B)>,
+    work: impl Fn(usize, &mut [P], B) -> R + Sync,
+) -> Vec<R>
+where
+    P: Send,
+    B: Send,
+    R: Send,
+{
+    if rayon::current_num_threads() <= 1 || tasks.len() <= 1 {
+        let mut out = Vec::with_capacity(tasks.len());
+        for (start, end, payload) in tasks {
+            out.push(work(start, &mut nodes[start..end], payload));
+        }
+        return out;
+    }
+    let mut slices = Vec::with_capacity(tasks.len());
+    let mut rest = nodes;
+    let mut consumed = 0;
+    for (start, end, payload) in tasks {
+        let (_, tail) = rest.split_at_mut(start - consumed);
+        let (slice, tail) = tail.split_at_mut(end - start);
+        slices.push((start, slice, payload));
+        rest = tail;
+        consumed = end;
+    }
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slices
+            .into_iter()
+            .map(|(start, slice, payload)| scope.spawn(move || work(start, slice, payload)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
+impl<P> Engine<P>
+where
+    P: Protocol + Send,
+    P::Msg: Send,
+{
     /// Runs one synchronous round:
     ///
     /// 1. apply scheduled crashes;
-    /// 2. every alive node ticks once, emitting its gossip;
+    /// 2. every alive node ticks once, emitting its gossip (in
+    ///    [`StepMode::Sparse`], only woken nodes and nodes reporting
+    ///    pending tick work);
     /// 3. queued + emitted messages are delivered (loss applies), and
     ///    reply chains are chased for a bounded number of generations
     ///    within the round (the paper's latency-below-`T` assumption,
     ///    §4.1).
+    ///
+    /// With more than one configured shard, phases 2 and 3 execute as
+    /// the deterministic parallel reduction described in the module docs
+    /// — bit-identical to the serial path for every shard count.
     pub fn step(&mut self) {
         self.round += 1;
 
@@ -467,32 +851,30 @@ impl<P: Protocol> Engine<P> {
             }
             self.delayed = kept;
         }
-        for i in 0..self.nodes.len() {
-            if !self.alive.get(i) {
-                continue;
+
+        let sparse = self.step_mode == StepMode::Sparse;
+        if sparse {
+            // Decay first, then test: a delivery at round r grants heat
+            // for rounds r+1 .. r+WAKE_LINGER-1. The decay happens
+            // serially even on the sharded path so the parallel tick
+            // phase only ever *reads* the heat slab.
+            for h in &mut self.heat {
+                *h = h.saturating_sub(1);
             }
-            let from = self.ids[i];
-            let out = self.nodes[i].tick();
-            for id in out
-                .delivered
-                .iter()
-                .map(|e| e.id())
-                .chain(out.learned_ids.iter().copied())
-            {
-                self.sightings.push((id, from));
-            }
-            for (to, msg) in out.outgoing {
-                if let Some(m) = self.meter.as_mut() {
-                    m.record(&msg);
+        }
+        if self.shards > 1 && !self.nodes.is_empty() {
+            self.tick_sharded(&mut queue, sparse);
+        } else {
+            for i in 0..self.nodes.len() {
+                if !self.alive.get(i) {
+                    continue;
                 }
-                if let Some(&t) = self.index.get(&to) {
-                    queue.push(Envelope {
-                        from,
-                        to: t,
-                        msg,
-                        fated: false,
-                    });
+                if sparse && self.heat[i] == 0 && !self.nodes[i].wants_tick() {
+                    continue;
                 }
+                let from = self.ids[i];
+                let out = self.nodes[i].tick();
+                self.absorb_output(from, out, &mut queue);
             }
         }
 
@@ -502,62 +884,30 @@ impl<P: Protocol> Engine<P> {
                 break;
             }
             self.scratch.clear();
-            for envelope in queue.drain(..) {
-                let ti = envelope.to as usize;
-                if !self.alive.get(ti) {
-                    continue;
-                }
-                // A re-injected (delayed/duplicated) copy already passed
-                // both loss models at its original delivery attempt.
-                if !envelope.fated {
-                    if !self.network.delivers() {
+            let mut scratch = std::mem::take(&mut self.scratch);
+            if self.shards > 1 && !self.nodes.is_empty() {
+                self.deliver_generation_sharded(&mut queue, &mut scratch, sparse);
+            } else {
+                for envelope in queue.drain(..) {
+                    let mut slot = Some(envelope);
+                    if !self.envelope_survives(&mut slot) {
                         continue;
                     }
-                    if let Some(plane) = &self.fault_plane {
-                        let seq = self.fault_seq;
-                        self.fault_seq += 1;
-                        let fate = plane.fate(envelope.from, self.ids[ti], self.round, seq);
-                        if let Some(off) = fate.duplicate {
-                            let mut copy = envelope.clone();
-                            copy.fated = true;
-                            self.delayed.push((self.round + off, copy));
-                        }
-                        match fate.primary {
-                            None => continue,
-                            Some(0) => {}
-                            Some(off) => {
-                                let mut copy = envelope;
-                                copy.fated = true;
-                                self.delayed.push((self.round + off, copy));
-                                continue;
-                            }
-                        }
+                    let envelope = slot.expect("surviving envelope");
+                    let ti = envelope.to as usize;
+                    let out = self.nodes[ti].handle_message(envelope.from, envelope.msg);
+                    // A message that produced nothing (steady-state digest
+                    // refresh) does not wake its receiver — otherwise idle
+                    // gossip would re-wake the whole system every round
+                    // and sparse mode could never quiesce.
+                    if sparse && !out.is_empty() {
+                        self.heat[ti] = WAKE_LINGER;
                     }
-                }
-                let out = self.nodes[ti].handle_message(envelope.from, envelope.msg);
-                let to_id = self.ids[ti];
-                for id in out
-                    .delivered
-                    .iter()
-                    .map(|e| e.id())
-                    .chain(out.learned_ids.iter().copied())
-                {
-                    self.sightings.push((id, to_id));
-                }
-                for (to, msg) in out.outgoing {
-                    if let Some(m) = self.meter.as_mut() {
-                        m.record(&msg);
-                    }
-                    if let Some(&t) = self.index.get(&to) {
-                        self.scratch.push(Envelope {
-                            from: to_id,
-                            to: t,
-                            msg,
-                            fated: false,
-                        });
-                    }
+                    let to_id = self.ids[ti];
+                    self.absorb_output(to_id, out, &mut scratch);
                 }
             }
+            self.scratch = scratch;
             std::mem::swap(&mut queue, &mut self.scratch);
         }
         // Replies beyond the chase depth spill into the next round.
@@ -573,6 +923,118 @@ impl<P: Protocol> Engine<P> {
     pub fn run(&mut self, rounds: u64) {
         for _ in 0..rounds {
             self.step();
+        }
+    }
+
+    /// Phase A over shards: ticks run in parallel per contiguous slab
+    /// range, then merge in shard order — which *is* slab order, so the
+    /// emission sequence matches the serial loop exactly.
+    fn tick_sharded(&mut self, queue: &mut Vec<Envelope<P::Msg>>, sparse: bool) {
+        let (_, spans) = shard_layout(self.nodes.len(), self.shards);
+        let alive = &self.alive;
+        let heat = &self.heat;
+        let tasks: Vec<(usize, usize, ())> = spans.iter().map(|&(a, b)| (a, b, ())).collect();
+        let per_shard: Vec<Vec<(u32, Output<P::Msg>)>> =
+            run_shards(&mut self.nodes, tasks, |start, slice, ()| {
+                let mut ticked = Vec::new();
+                for (off, node) in slice.iter_mut().enumerate() {
+                    let i = start + off;
+                    if !alive.get(i) {
+                        continue;
+                    }
+                    if sparse && heat[i] == 0 && !node.wants_tick() {
+                        continue;
+                    }
+                    ticked.push((i as u32, node.tick()));
+                }
+                ticked
+            });
+        for batch in per_shard {
+            for (i, out) in batch {
+                let from = self.ids[i as usize];
+                self.absorb_output(from, out, queue);
+            }
+        }
+    }
+
+    /// One Phase-B generation over shards, in three passes (see the
+    /// module docs): serial fates in canonical queue order, parallel
+    /// per-shard handling, serial merge by queue position.
+    fn deliver_generation_sharded(
+        &mut self,
+        queue: &mut Vec<Envelope<P::Msg>>,
+        scratch: &mut Vec<Envelope<P::Msg>>,
+        sparse: bool,
+    ) {
+        let (chunk, spans) = shard_layout(self.nodes.len(), self.shards);
+
+        // Pass 1 — fates, serial, canonical order: the loss RNG and
+        // `fault_seq` advance exactly as in the serial reference, so
+        // their streams are independent of the shard count.
+        let mut buckets = std::mem::take(&mut self.fate_buckets);
+        buckets.resize_with(spans.len(), Vec::new);
+        for bucket in &mut buckets {
+            bucket.clear();
+        }
+        for (pos, envelope) in queue.drain(..).enumerate() {
+            let mut slot = Some(envelope);
+            if !self.envelope_survives(&mut slot) {
+                continue;
+            }
+            let envelope = slot.expect("surviving envelope");
+            let shard = envelope.to as usize / chunk;
+            buckets[shard].push((pos as u32, envelope));
+        }
+
+        // Pass 2 — handling, parallel: a node's envelopes arrive in
+        // queue-position order, so every node sees its serial input
+        // sequence; node-local RNGs advance identically.
+        #[allow(clippy::type_complexity)]
+        let tasks: Vec<(usize, usize, Vec<(u32, Envelope<P::Msg>)>)> = spans
+            .iter()
+            .zip(buckets)
+            .map(|(&(a, b), bucket)| (a, b, bucket))
+            .collect();
+        let per_shard = run_shards(&mut self.nodes, tasks, |start, slice, mut bucket| {
+            let mut handled = Vec::with_capacity(bucket.len());
+            for (pos, envelope) in bucket.drain(..) {
+                let Envelope { from, to, msg, .. } = envelope;
+                let out = slice[to as usize - start].handle_message(from, msg);
+                handled.push((pos, to, out));
+            }
+            (handled, bucket)
+        });
+
+        // Pass 3 — merge, serial: ascending queue position across the
+        // (per-shard ascending) result streams reconstructs the serial
+        // reply queue, metering order and sighting order byte for byte.
+        self.fate_buckets = Vec::with_capacity(per_shard.len());
+        let mut streams = Vec::with_capacity(per_shard.len());
+        for (handled, bucket) in per_shard {
+            streams.push(handled.into_iter().peekable());
+            self.fate_buckets.push(bucket);
+        }
+        loop {
+            let mut best: Option<usize> = None;
+            let mut best_pos = 0u32;
+            for (s, stream) in streams.iter_mut().enumerate() {
+                if let Some(&(pos, _, _)) = stream.peek() {
+                    if best.is_none() || pos < best_pos {
+                        best = Some(s);
+                        best_pos = pos;
+                    }
+                }
+            }
+            let Some(s) = best else { break };
+            let (_, to, out) = streams[s].next().expect("peeked element");
+            let ti = to as usize;
+            // Same wake rule as the serial loop: only productive
+            // deliveries wake their receiver.
+            if sparse && !out.is_empty() {
+                self.heat[ti] = WAKE_LINGER;
+            }
+            let to_id = self.ids[ti];
+            self.absorb_output(to_id, out, scratch);
         }
     }
 }
@@ -592,23 +1054,32 @@ mod tests {
     /// received notification) so that full-infection assertions depend on
     /// connectivity, not on every node catching the payload during its
     /// one-shot push window.
-    fn cluster(n: u64, seed: u64) -> Engine<Lpbcast> {
+    fn cluster_nodes(n: u64, seed: u64) -> Vec<Lpbcast> {
         let config = Config::builder()
             .view_size(n as usize - 1)
             .fanout(2.min(n as usize - 1))
             .deliver_on_digest(true)
             .build();
-        let mut engine = Engine::new(NetworkModel::perfect(seed), CrashPlan::none());
-        for i in 0..n {
-            let members = (0..n).filter(|&j| j != i).map(pid);
-            engine.add_node(Lpbcast::with_initial_view(
-                pid(i),
-                config.clone(),
-                seed.wrapping_add(i),
-                members,
-            ));
-        }
-        engine
+        (0..n)
+            .map(|i| {
+                let members = (0..n).filter(|&j| j != i).map(pid);
+                Lpbcast::with_initial_view(pid(i), config.clone(), seed.wrapping_add(i), members)
+            })
+            .collect()
+    }
+
+    fn cluster_with(
+        n: u64,
+        seed: u64,
+        tune: impl FnOnce(EngineBuilder<Lpbcast>) -> EngineBuilder<Lpbcast>,
+    ) -> Engine<Lpbcast> {
+        tune(Engine::builder(NetworkModel::perfect(seed)))
+            .nodes(cluster_nodes(n, seed))
+            .build()
+    }
+
+    fn cluster(n: u64, seed: u64) -> Engine<Lpbcast> {
+        cluster_with(n, seed, |b| b)
     }
 
     #[test]
@@ -639,16 +1110,13 @@ mod tests {
         let config = Config::builder().view_size(5).fanout(2).build();
         let mut plan = CrashPlan::none();
         plan.schedule(3, pid(1));
-        let mut engine = Engine::new(NetworkModel::perfect(1), plan);
-        for i in 0..4 {
-            let members = (0..4).filter(|&j| j != i).map(pid);
-            engine.add_node(Lpbcast::with_initial_view(
-                pid(i),
-                config.clone(),
-                i,
-                members,
-            ));
-        }
+        let mut engine = Engine::builder(NetworkModel::perfect(1))
+            .crash_plan(plan)
+            .nodes((0..4).map(|i| {
+                let members = (0..4).filter(|&j| j != i).map(pid);
+                Lpbcast::with_initial_view(pid(i), config.clone(), i, members)
+            }))
+            .build();
         engine.run(2);
         assert!(engine.is_alive(pid(1)));
         engine.step();
@@ -670,17 +1138,13 @@ mod tests {
             .fanout(3)
             .deliver_on_digest(true)
             .build();
-        let mut engine = Engine::new(NetworkModel::new(0.3, 5), CrashPlan::none());
         let n = 16u64;
-        for i in 0..n {
-            let members = (0..n).filter(|&j| j != i).map(pid);
-            engine.add_node(Lpbcast::with_initial_view(
-                pid(i),
-                config.clone(),
-                100 + i,
-                members,
-            ));
-        }
+        let mut engine = Engine::builder(NetworkModel::new(0.3, 5))
+            .nodes((0..n).map(|i| {
+                let members = (0..n).filter(|&j| j != i).map(pid);
+                Lpbcast::with_initial_view(pid(i), config.clone(), 100 + i, members)
+            }))
+            .build();
         let id = engine.publish_from(pid(0), Payload::from_static(b"x"));
         engine.run(25);
         assert!(
@@ -777,8 +1241,7 @@ mod tests {
 
     #[test]
     fn wire_meter_counts_every_offered_copy() {
-        let mut engine = cluster(6, 3);
-        engine.set_wire_meter(|_| 10);
+        let mut engine = cluster_with(6, 3, |b| b.wire_meter(|_| 10));
         assert_eq!(
             engine.wire_accounting(),
             Some(super::WireAccounting::default())
@@ -794,8 +1257,7 @@ mod tests {
         );
         // Copies to crashed nodes still count (the transport pays for
         // them), and metering never perturbs the run itself.
-        let mut metered = cluster(8, 11);
-        metered.set_wire_meter(lpbcast_net::wire_meter());
+        let mut metered = cluster_with(8, 11, |b| b.wire_meter(lpbcast_net::wire_meter()));
         let mut plain = cluster(8, 11);
         let id_a = metered.publish_from(pid(0), Payload::from_static(b"x"));
         let id_b = plain.publish_from(pid(0), Payload::from_static(b"x"));
@@ -823,5 +1285,136 @@ mod tests {
             curve
         };
         assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn shard_layout_tiles_the_slab() {
+        for len in [1usize, 2, 7, 64, 100, 1001] {
+            for shards in [1usize, 2, 3, 8, 64] {
+                let (chunk, spans) = shard_layout(len, shards);
+                assert_eq!(spans.first().unwrap().0, 0);
+                assert_eq!(spans.last().unwrap().1, len);
+                for w in spans.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "contiguous tiling");
+                }
+                for &(a, b) in &spans {
+                    assert!(a < b, "no empty span");
+                    for i in a..b {
+                        let s = i / chunk;
+                        assert_eq!((spans[s].0, spans[s].1), (a, b), "i/chunk finds its span");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The API-migration pin: `Engine::new` + `set_*` wrappers and the
+    /// builder construct observably identical engines.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_builder() {
+        let run = |mut engine: Engine<Lpbcast>| {
+            for node in cluster_nodes(9, 5) {
+                engine.add_node(node);
+            }
+            let id = engine.publish_from(pid(0), Payload::from_static(b"x"));
+            engine.run(6);
+            (
+                engine.tracker().infected_count(id),
+                engine.wire_accounting(),
+                engine.network().delivered_count(),
+                engine.network().dropped_count(),
+            )
+        };
+
+        let mut plan = CrashPlan::none();
+        plan.schedule(4, pid(7));
+        let mut legacy = Engine::new(NetworkModel::new(0.1, 5), plan.clone());
+        legacy.set_wire_meter(lpbcast_net::wire_meter());
+        legacy.set_fault_plane(crate::fault::FaultPlane::new(
+            crate::fault::FaultSpec::noisy_links(3),
+            3,
+        ));
+        let built = Engine::builder(NetworkModel::new(0.1, 5))
+            .crash_plan(plan)
+            .wire_meter(lpbcast_net::wire_meter())
+            .fault_plane(crate::fault::FaultPlane::new(
+                crate::fault::FaultSpec::noisy_links(3),
+                3,
+            ))
+            .build();
+        assert_eq!(run(legacy), run(built));
+    }
+
+    /// Smoke pin of the tentpole invariant (the exhaustive version lives
+    /// in the shard-invariance proptests): a sharded engine is
+    /// bit-identical to the serial reference.
+    #[test]
+    fn sharded_step_matches_serial_reference() {
+        let curve = |shards: usize| {
+            let mut engine = cluster_with(24, 42, |b| {
+                b.shards(shards).wire_meter(lpbcast_net::wire_meter())
+            });
+            let id = engine.publish_from(pid(0), Payload::from_static(b"x"));
+            let mut curve = Vec::new();
+            for _ in 0..8 {
+                engine.step();
+                curve.push((
+                    engine.tracker().infected_count(id),
+                    engine.wire_accounting().unwrap(),
+                    engine.network().delivered_count(),
+                ));
+            }
+            curve
+        };
+        let serial = curve(1);
+        for shards in [2, 3, 5, 16] {
+            assert_eq!(serial, curve(shards), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sparse_mode_quiesces_idle_windows_and_wakes_on_publish() {
+        let mut engine = cluster_with(12, 7, |b| b.step_mode(StepMode::Sparse));
+        assert_eq!(engine.step_mode(), StepMode::Sparse);
+        let id = engine.publish_from(pid(0), Payload::from_static(b"x"));
+        engine.run(12);
+        assert_eq!(
+            engine.tracker().infected_count(id),
+            12,
+            "sparse mode still disseminates"
+        );
+        // Idle window: once the event has drained, nodes report no tick
+        // work and deliveries stop entirely.
+        engine.run(5);
+        let settled = engine.network().delivered_count();
+        engine.run(10);
+        assert_eq!(
+            engine.network().delivered_count(),
+            settled,
+            "a quiescent sparse system sends nothing"
+        );
+        // A fresh publish wakes the system back up.
+        let id2 = engine.publish_from(pid(3), Payload::from_static(b"y"));
+        engine.run(12);
+        assert!(
+            engine.network().delivered_count() > settled,
+            "publishing resumes traffic"
+        );
+        assert_eq!(engine.tracker().infected_count(id2), 12);
+    }
+
+    #[test]
+    fn dense_engines_can_switch_to_sparse_mid_run() {
+        let mut engine = cluster(10, 19);
+        let id = engine.publish_from(pid(0), Payload::from_static(b"x"));
+        engine.run(4);
+        engine.set_step_mode(StepMode::Sparse);
+        engine.run(10);
+        assert_eq!(
+            engine.tracker().infected_count(id),
+            10,
+            "the in-flight dissemination completes across the switch"
+        );
     }
 }

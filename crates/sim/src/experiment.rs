@@ -19,7 +19,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
-use crate::engine::Engine;
+use crate::engine::{shards_from_env, Engine, EngineBuilder};
 use crate::network::{CrashPlan, NetworkModel};
 use crate::topology::{ring_view, sample_view_into};
 
@@ -199,14 +199,20 @@ fn use_serial_sweep(seeds: &[u64]) -> bool {
 /// ([`crate::topology::sample_view`]) — the whole bootstrap is O(n·l),
 /// not O(n²) (no per-node candidate list is materialized).
 pub fn build_lpbcast_engine(params: &LpbcastSimParams, seed: u64) -> Engine<Lpbcast> {
+    lpbcast_engine_builder(params, seed).build()
+}
+
+/// The [`EngineBuilder`] behind [`build_lpbcast_engine`], for callers
+/// that stack further knobs (wire metering, fault planes, step mode)
+/// before sealing the engine.
+pub fn lpbcast_engine_builder(params: &LpbcastSimParams, seed: u64) -> EngineBuilder<Lpbcast> {
     let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x746F_706F_6C6F_6779);
     let candidates: Vec<ProcessId> = (1..params.n as u64).map(ProcessId::new).collect();
     // The origin (p0) is excluded from the crash plan so infection curves
     // are conditional on a surviving publisher, like the paper's runs.
     let plan = CrashPlan::draw(&candidates, params.tau, params.rounds.max(1), seed);
-    let mut engine = Engine::new(NetworkModel::new(params.loss_rate, seed), plan);
     let mut scratch = Vec::new();
-    for i in 0..params.n as u64 {
+    let nodes = (0..params.n as u64).map(|i| {
         let members = match params.topology {
             InitialTopology::UniformRandom => {
                 sample_view_into(
@@ -220,14 +226,17 @@ pub fn build_lpbcast_engine(params: &LpbcastSimParams, seed: u64) -> Engine<Lpbc
             }
             InitialTopology::Ring => ring_view(i, params.n, params.config.view_size),
         };
-        engine.add_node(Lpbcast::with_initial_view(
+        Lpbcast::with_initial_view(
             ProcessId::new(i),
             params.config.clone(),
             seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(i),
             members,
-        ));
-    }
-    engine
+        )
+    });
+    Engine::builder(NetworkModel::new(params.loss_rate, seed))
+        .crash_plan(plan)
+        .shards(shards_from_env())
+        .nodes(nodes)
 }
 
 /// Builds a pbcast engine with `n` nodes. Partial views use the same
@@ -236,9 +245,8 @@ pub fn build_pbcast_engine(params: &PbcastSimParams, seed: u64) -> Engine<Pbcast
     let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x746F_706F_6C6F_6779);
     let candidates: Vec<ProcessId> = (1..params.n as u64).map(ProcessId::new).collect();
     let plan = CrashPlan::draw(&candidates, params.tau, params.rounds.max(1), seed);
-    let mut engine = Engine::new(NetworkModel::new(params.loss_rate, seed), plan);
     let mut scratch = Vec::new();
-    for i in 0..params.n as u64 {
+    let nodes = (0..params.n as u64).map(|i| {
         let me = ProcessId::new(i);
         let membership = match params.membership {
             PbcastMembershipKind::Total => Membership::total(
@@ -256,20 +264,28 @@ pub fn build_pbcast_engine(params: &PbcastSimParams, seed: u64) -> Engine<Pbcast
                 })
             }
         };
-        engine.add_node(Pbcast::new(
+        Pbcast::new(
             me,
             params.config.clone(),
             seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(i),
             membership,
-        ));
-    }
-    engine
+        )
+    });
+    Engine::builder(NetworkModel::new(params.loss_rate, seed))
+        .crash_plan(plan)
+        .shards(shards_from_env())
+        .nodes(nodes)
+        .build()
 }
 
 /// Runs one dissemination and returns the infected count after each round
 /// (`curve[r]` = processes having seen the event at the end of round `r`;
 /// `curve[0] = 1`, the origin).
-fn infection_run<P: Protocol>(engine: &mut Engine<P>, rounds: u64) -> Vec<usize> {
+fn infection_run<P>(engine: &mut Engine<P>, rounds: u64) -> Vec<usize>
+where
+    P: Protocol + Send,
+    P::Msg: Send,
+{
     let id = engine.publish_from(ProcessId::new(0), Payload::from_static(b"probe"));
     let mut curve = vec![engine.tracker().infected_count(id)];
     for _ in 0..rounds {
@@ -370,7 +386,11 @@ impl Default for ReliabilityRun {
     }
 }
 
-fn reliability_run<P: Protocol>(engine: &mut Engine<P>, run: &ReliabilityRun, seed: u64) -> f64 {
+fn reliability_run<P>(engine: &mut Engine<P>, run: &ReliabilityRun, seed: u64) -> f64
+where
+    P: Protocol + Send,
+    P::Msg: Send,
+{
     let mut pub_rng = SmallRng::seed_from_u64(seed ^ 0x7075_626C_6973_6865);
     engine.run(run.warmup);
     let window_start = engine.round() + 1;

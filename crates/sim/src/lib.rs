@@ -84,7 +84,7 @@ pub mod scenario;
 pub mod topology;
 
 pub use detector::{detector_study, detector_tsv, DetectorParams, DetectorReport, DetectorStudy};
-pub use engine::{Engine, WireAccounting};
+pub use engine::{shards_from_env, Engine, EngineBuilder, StepMode, WireAccounting};
 pub use fault::{Fate, FaultPlane, FaultSpec};
 pub use lpbcast_types::{MembershipEvent, Output, Protocol};
 pub use metrics::{InfectionTracker, ReliabilityReport};

@@ -32,7 +32,7 @@ use lpbcast_analysis::infection::{ExpectationModel, InfectionParams};
 use lpbcast_core::{Config, HistoryMode};
 use lpbcast_types::{Payload, ProcessId};
 
-use crate::experiment::{build_lpbcast_engine, LpbcastSimParams};
+use crate::experiment::{build_lpbcast_engine, lpbcast_engine_builder, LpbcastSimParams};
 
 /// §5-extrapolated view size: max(15, ⌈3.1·ln n⌉), reproducing the
 /// paper's l = 15 at n = 125 and growing logarithmically past it
@@ -204,8 +204,10 @@ pub fn run_scale_point(n: usize, opts: &ScaleStudyOpts) -> ScalePoint {
     // The meter rides the probe engine only — the step-cost engine above
     // stays unmetered so `ns_per_step` keeps measuring the simulator,
     // not the accounting.
-    let mut engine = build_lpbcast_engine(&params.clone().rounds(rounds), opts.seed ^ 0x5CA1_AB1E);
-    engine.set_wire_meter(lpbcast_net::wire_meter());
+    let mut engine =
+        lpbcast_engine_builder(&params.clone().rounds(rounds), opts.seed ^ 0x5CA1_AB1E)
+            .wire_meter(lpbcast_net::wire_meter())
+            .build();
     let probe = engine.publish_from(ProcessId::new(0), Payload::from_static(b"probe"));
     engine.run(rounds);
     // Measured against the full membership n (never the end-of-run

@@ -52,9 +52,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
-use crate::engine::Engine;
+use crate::engine::{shards_from_env, Engine, EngineBuilder};
 use crate::experiment::sweep_dispatches_serial;
-use crate::network::{CrashPlan, NetworkModel};
+use crate::network::NetworkModel;
 use crate::scale::{scaled_buffer_bound, scaled_params, scaled_view_size};
 use crate::topology::{sample_distinct, sample_view_into};
 
@@ -269,37 +269,45 @@ impl ScenarioProtocol for Pbcast {
     }
 }
 
-/// Builds an engine of `n` bootstrap members with uniformly random
+/// Stages an engine of `n` bootstrap members with uniformly random
 /// initial views of size [`ScenarioProtocol::view_size`] — the same
 /// topology stream as
 /// [`build_lpbcast_engine`](crate::experiment::build_lpbcast_engine).
+///
+/// Returns the [`EngineBuilder`] so callers can stack further
+/// engine-level knobs (fault planes, step mode) before `build()`. The
+/// shard count comes from `BENCH_SIM_SHARDS` ([`shards_from_env`]) —
+/// purely a wall-clock knob, since every shard count is bit-identical.
 pub(crate) fn build_scenario_engine<P: ScenarioProtocol>(
     n: usize,
     cfg: &P::Cfg,
     loss_rate: f64,
     seed: u64,
-) -> Engine<P>
+) -> EngineBuilder<P>
 where
     P::Msg: WireMessage + Send + 'static,
 {
     let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x746F_706F_6C6F_6779);
-    let mut engine = Engine::new(NetworkModel::new(loss_rate, seed), CrashPlan::none());
+    let mut scratch = Vec::new();
+    let nodes: Vec<P> = (0..n as u64)
+        .map(|i| {
+            sample_view_into(&mut topo_rng, i, n, P::view_size(cfg), &mut scratch);
+            let members: Vec<ProcessId> = scratch.iter().copied().map(ProcessId::new).collect();
+            P::bootstrap(
+                ProcessId::new(i),
+                cfg,
+                seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(i),
+                members,
+            )
+        })
+        .collect();
     // Every scenario engine meters its transport cost: exact codec frame
     // lengths, measured once per Arc'd body (accounting only — the meter
     // draws no randomness, so runs are unchanged).
-    engine.set_wire_meter(wire_meter());
-    let mut scratch = Vec::new();
-    for i in 0..n as u64 {
-        sample_view_into(&mut topo_rng, i, n, P::view_size(cfg), &mut scratch);
-        let members: Vec<ProcessId> = scratch.iter().copied().map(ProcessId::new).collect();
-        engine.add_node(P::bootstrap(
-            ProcessId::new(i),
-            cfg,
-            seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(i),
-            members,
-        ));
-    }
-    engine
+    Engine::builder(NetworkModel::new(loss_rate, seed))
+        .wire_meter(wire_meter())
+        .shards(shards_from_env())
+        .nodes(nodes)
 }
 
 /// Publication-load origin chooser. With `publishers == 0` every event
@@ -452,7 +460,8 @@ pub fn churn_scenario<P: ScenarioProtocol>(params: &ChurnParams<P>, seed: u64) -
 where
     P::Msg: WireMessage + Send + 'static,
 {
-    let mut engine = build_scenario_engine::<P>(params.n0, &params.config, params.loss_rate, seed);
+    let mut engine =
+        build_scenario_engine::<P>(params.n0, &params.config, params.loss_rate, seed).build();
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x6368_7572_6E5F_7267); // "churn_rg"
     engine.run(params.warmup);
 
@@ -761,7 +770,8 @@ where
         (0.0..1.0).contains(&params.crash_fraction),
         "crash fraction must be in [0, 1)"
     );
-    let mut engine = build_scenario_engine::<P>(params.n, &params.config, params.loss_rate, seed);
+    let mut engine =
+        build_scenario_engine::<P>(params.n, &params.config, params.loss_rate, seed).build();
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x6361_7461_7374_726F); // "catastro"
     engine.run(params.warmup);
 
@@ -848,13 +858,16 @@ where
 
 /// Publishes `rate` events per round for `rounds` rounds (the Fig. 6
 /// load shape), origins chosen by `load` (publisher pool or random).
-fn loaded_rounds<P: Protocol>(
+fn loaded_rounds<P>(
     engine: &mut Engine<P>,
     rng: &mut SmallRng,
     load: &mut LoadGen,
     rounds: u64,
     rate: usize,
-) {
+) where
+    P: Protocol + Send,
+    P::Msg: Send,
+{
     let mut alive = Vec::new();
     for _ in 0..rounds {
         alive.clear();
@@ -964,11 +977,8 @@ where
     let split = params.n / 2;
     let view_size = P::view_size(&params.config);
     let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x746F_706F_6C6F_6779);
-    let mut engine: Engine<P> =
-        Engine::new(NetworkModel::new(params.loss_rate, seed), CrashPlan::none());
-    engine.set_wire_meter(wire_meter());
     let mut scratch = Vec::new();
-    for i in 0..params.n as u64 {
+    let nodes = (0..params.n as u64).map(|i| {
         // Sample the view inside the node's own half: the usual
         // self-excluding sampler over local half indices, offset to
         // global ids afterwards.
@@ -980,13 +990,18 @@ where
         sample_view_into(&mut topo_rng, i - base, size, view_size, &mut scratch);
         let members: Vec<ProcessId> = scratch.iter().map(|&v| ProcessId::new(base + v)).collect();
         debug_assert!(members.iter().all(|&p| p != ProcessId::new(i)));
-        engine.add_node(P::bootstrap(
+        P::bootstrap(
             ProcessId::new(i),
             &params.config,
             seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(i),
             members,
-        ));
-    }
+        )
+    });
+    let mut engine: Engine<P> = Engine::builder(NetworkModel::new(params.loss_rate, seed))
+        .wire_meter(wire_meter())
+        .shards(shards_from_env())
+        .nodes(nodes)
+        .build();
     let components = engine.view_graph().undirected_components();
     let components_before = components.count();
     let largest_component_before = components.largest_size();

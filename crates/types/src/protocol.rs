@@ -178,6 +178,22 @@ pub trait Protocol {
     /// unconditionally (§3.3).
     fn tick(&mut self) -> Output<Self::Msg>;
 
+    /// Whether this process has tick work it must not skip: pending
+    /// join/leave handshakes, undisseminated notifications, buffered
+    /// membership records, or any periodic duty beyond the steady-state
+    /// digest refresh.
+    ///
+    /// Drivers running a *sparse* (event-driven) schedule consult this to
+    /// skip fully-idle processes; drivers honouring the paper's
+    /// unconditional-tick model (§3.3) never call it. Returning `false`
+    /// promises that skipping the next [`tick`](Protocol::tick) loses no
+    /// protocol progress beyond pausing the periodic digest/view refresh
+    /// — it must stay a pure, RNG-free read of local state. The default
+    /// (`true`) opts a protocol out of sparse scheduling entirely.
+    fn wants_tick(&self) -> bool {
+        true
+    }
+
     /// Processes one incoming message from `from`.
     fn handle_message(&mut self, from: ProcessId, msg: Self::Msg) -> Output<Self::Msg>;
 

@@ -53,7 +53,21 @@ thresholds apply), and the SWIM-on arm of each ``detector`` report
 ``false_evictions`` row per report). A detector that takes 30% longer
 to restore post-crash reliability, or starts falsely evicting under a
 noise spec, now shows up as a WARN in every CI log instead of drifting
-silently. Stdlib only by design: the repository's Rust workspace is
+silently.
+
+Since bench_sim/v7 two more families exist. The ``shard_check`` section
+is the engine's sharded-vs-serial determinism self-test: a snapshot that
+ever records ``identical: false`` hard-fails the gate on sight (either
+side, no threshold — a divergent shard partition is a correctness bug,
+not a perf drift). The env-gated XL rows are SOFT: ``scaling_xl``
+(labelled ``scaling-xl n=100000`` plus ``engine_build-xl`` / ``wire
+scaling-xl`` rows), ``scenarios_xl`` (``scenario catastrophe_xl/lpbcast
+n=100000`` wall-clock and ``wire`` rows) and the ``sparse_mode`` idle
+window A/B (``sparse_idle n=10000``, the StepMode::Sparse ns/step —
+plus ``dense_idle`` for the dense reference). CI-size runs omit the XL
+sections entirely (``BENCH_SIM_SCALE_XL_NS`` / ``BENCH_SIM_SCENARIO_XL_N``
+unset), so their committed rows must not hard-fail on absence.
+Stdlib only by design: the repository's Rust workspace is
 fully vendored and CI must not need pip.
 """
 
@@ -180,6 +194,57 @@ def quality_rows(snapshot):
     return rows
 
 
+def xl_rows(snapshot):
+    """Maps XL / sparse-mode labels -> higher-is-worse values (soft rows).
+
+    ``scaling_xl`` mirrors the hard ``scaling`` family (ns_per_step,
+    engine_build, wire bytes) at the env-gated n=10^5-class sizes;
+    ``scenarios_xl`` mirrors the scenario wall_ms / wire rows; the
+    ``sparse_mode`` A/B contributes its dense and sparse idle-window
+    step times. All soft: these sections only exist when the XL env
+    knobs are set, which CI-size runs deliberately do not do.
+    """
+    rows = {}
+    for entry in snapshot.get("scaling_xl", []):
+        n = entry.get("n", "?")
+        if "ns_per_step" in entry:
+            rows[f"scaling-xl n={n}"] = float(entry["ns_per_step"])
+        if "engine_build_ms" in entry:
+            rows[f"engine_build-xl n={n}"] = float(entry["engine_build_ms"]) * 1e6
+        if "wire_bytes_per_round" in entry:
+            rows[f"wire scaling-xl n={n}"] = float(entry["wire_bytes_per_round"])
+    for report in snapshot.get("scenarios_xl", []):
+        if not isinstance(report, dict):
+            continue
+        name = report.get("scenario", "?")
+        protocol = report.get("protocol", "?")
+        n = report.get("n", "?")
+        if "wall_ms" in report:
+            rows[f"scenario {name}/{protocol} n={n}"] = float(report["wall_ms"]) * 1e6
+        if "wire_bytes_per_round" in report:
+            rows[f"wire {name}/{protocol} n={n}"] = float(report["wire_bytes_per_round"])
+    sparse = snapshot.get("sparse_mode")
+    if isinstance(sparse, dict) and "n" in sparse:
+        n = sparse["n"]
+        if "sparse_ns_per_step" in sparse:
+            rows[f"sparse_idle n={n}"] = float(sparse["sparse_ns_per_step"])
+        if "dense_ns_per_step" in sparse:
+            rows[f"dense_idle n={n}"] = float(sparse["dense_ns_per_step"])
+    return rows
+
+
+def shard_check_failures(snapshot, which):
+    """Returns FAIL lines for a snapshot whose shard self-test diverged."""
+    check = snapshot.get("shard_check")
+    if isinstance(check, dict) and check.get("identical") is False:
+        return [
+            f"FAIL  shard_check [{which}]: sharded round diverged from the serial "
+            f"reference (n={check.get('n', '?')}, shards={check.get('shards', '?')}, "
+            f"rounds={check.get('rounds', '?')}) — determinism bug, not a perf drift"
+        ]
+    return []
+
+
 def load(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -208,6 +273,8 @@ def compare(label, old, new, soft):
         unit, scale = "% missed", 1.0
     elif label.startswith("false_evictions "):
         unit, scale = "evictions", 1.0
+    elif label.startswith(("sparse_idle", "dense_idle")):
+        unit, scale = "us/step", 1e3
     else:
         unit, scale = "us/step", 1e3
     line = f"{label}: {old / scale:.1f} -> {new / scale:.1f} {unit} ({delta:+.1f}%)"
@@ -234,6 +301,13 @@ def main(argv):
     fresh = step_rows(fresh_snapshot)
 
     failed = False
+    # Shard determinism self-test: identical=false on either side is an
+    # unconditional hard failure — sharding must be invisible.
+    for line in shard_check_failures(committed_snapshot, "committed") + shard_check_failures(
+        fresh_snapshot, "fresh"
+    ):
+        print(line)
+        failed = True
     # A committed row the fresh snapshot no longer produces means a
     # benchmark silently stopped running — hard failure, not a skip.
     for label in sorted(set(committed) - set(fresh)):
@@ -282,6 +356,18 @@ def main(argv):
         print(f"WARN  {label}: only in fresh snapshot (soft row)")
     for label in sorted(set(committed_q) & set(fresh_q)):
         compare(label, committed_q[label], fresh_q[label], soft=True)
+
+    # XL / sparse-mode rows: soft — the XL sections are env-gated
+    # (BENCH_SIM_SCALE_XL_NS / BENCH_SIM_SCENARIO_XL_N) and absent from
+    # CI-size runs, so committed n=10^5 rows must only WARN there.
+    committed_xl = xl_rows(committed_snapshot)
+    fresh_xl = xl_rows(fresh_snapshot)
+    for label in sorted(set(committed_xl) - set(fresh_xl)):
+        print(f"WARN  {label}: committed XL row has no fresh counterpart (soft row; env-gated)")
+    for label in sorted(set(fresh_xl) - set(committed_xl)):
+        print(f"WARN  {label}: only in fresh snapshot (soft row)")
+    for label in sorted(set(committed_xl) & set(fresh_xl)):
+        compare(label, committed_xl[label], fresh_xl[label], soft=True)
 
     if failed:
         print(

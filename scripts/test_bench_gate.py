@@ -21,10 +21,16 @@ import bench_gate  # noqa: E402
 def snapshot(step_ns=1000.0, scale_ns=2000.0, build_ms=5.0, wire=4000.0,
              churn_wall=100.0, churn_wire=50000.0, extra_step=None,
              drop_scaling=False, min_reliability=0.98, recovery=8,
-             detector_recovery=6, false_evictions=40, drop_detector=False):
+             detector_recovery=6, false_evictions=40, drop_detector=False,
+             shard_identical=True, with_xl=False, xl_ns=90000.0,
+             sparse_ns=40.0):
     """A minimal but schema-shaped BENCH_sim.json payload."""
     snap = {
-        "schema": "bench_sim/v6",
+        "schema": "bench_sim/v7",
+        "shard_check": {
+            "n": 1000, "rounds": 15, "shards": 4,
+            "identical": shard_identical,
+        },
         "step_throughput": [{"n": 125, "slab_ns_per_step": step_ns}],
         "loaded_step": [{"n": 1000, "slab_ns_per_step": step_ns * 10}],
         "scaling": [] if drop_scaling else [{
@@ -62,6 +68,27 @@ def snapshot(step_ns=1000.0, scale_ns=2000.0, build_ms=5.0, wire=4000.0,
             }],
         },
     }
+    if with_xl:
+        snap["scaling_xl"] = [{
+            "n": 100000,
+            "ns_per_step": xl_ns,
+            "engine_build_ms": 150.0,
+            "wire_bytes_per_round": 9e6,
+        }]
+        snap["scenarios_xl"] = [{
+            "scenario": "catastrophe_xl",
+            "protocol": "lpbcast",
+            "n": 100000,
+            "wall_ms": 30000.0,
+            "wire_bytes_per_round": 9e6,
+        }]
+        snap["sparse_mode"] = {
+            "n": 10000,
+            "idle_steps": 25,
+            "dense_ns_per_step": 4.0e6,
+            "sparse_ns_per_step": sparse_ns * 1e3,
+            "speedup": 4.0e6 / (sparse_ns * 1e3),
+        }
     if extra_step is not None:
         snap["step_throughput"].append(
             {"n": extra_step, "slab_ns_per_step": step_ns})
@@ -215,6 +242,60 @@ class GateHarness(unittest.TestCase):
         self.assertEqual(code, 0, out)
         self.assertIn("no fresh counterpart", out)
         self.assertNotIn("FAIL", out)
+
+
+    # ── v7: shard-check hard gate and soft XL rows ───────────────────
+
+    def test_shard_divergence_in_fresh_snapshot_fails(self):
+        code, out = self.run_gate(snapshot(), snapshot(shard_identical=False))
+        self.assertEqual(code, 1, out)
+        self.assertIn("FAIL  shard_check [fresh]", out)
+        self.assertIn("determinism bug", out)
+
+    def test_shard_divergence_in_committed_snapshot_fails(self):
+        code, out = self.run_gate(snapshot(shard_identical=False), snapshot())
+        self.assertEqual(code, 1, out)
+        self.assertIn("FAIL  shard_check [committed]", out)
+
+    def test_missing_shard_check_section_is_tolerated(self):
+        # Pre-v7 committed snapshots have no shard_check at all.
+        committed = snapshot()
+        del committed["shard_check"]
+        code, out = self.run_gate(committed, snapshot())
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("shard_check", out)
+
+    def test_identical_xl_rows_print_ok(self):
+        code, out = self.run_gate(snapshot(with_xl=True), snapshot(with_xl=True))
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK    scaling-xl n=100000", out)
+        self.assertIn("OK    scenario catastrophe_xl/lpbcast n=100000", out)
+        self.assertIn("OK    sparse_idle n=10000", out)
+        self.assertIn("OK    wire scaling-xl n=100000", out)
+
+    def test_committed_xl_rows_missing_from_ci_run_are_soft(self):
+        # CI-size runs have no XL env knobs set: the committed n=10^5
+        # rows have no fresh counterpart and must only WARN.
+        code, out = self.run_gate(snapshot(with_xl=True), snapshot())
+        self.assertEqual(code, 0, out)
+        self.assertIn(
+            "WARN  scaling-xl n=100000: committed XL row has no fresh "
+            "counterpart", out)
+        self.assertNotIn("FAIL", out)
+
+    def test_xl_step_regression_is_soft(self):
+        code, out = self.run_gate(
+            snapshot(with_xl=True), snapshot(with_xl=True, xl_ns=200000.0))
+        self.assertEqual(code, 0, out)
+        self.assertIn("WARN  scaling-xl n=100000", out)
+        self.assertIn("[soft row]", out)
+
+    def test_sparse_idle_regression_is_soft(self):
+        code, out = self.run_gate(
+            snapshot(with_xl=True), snapshot(with_xl=True, sparse_ns=400.0))
+        self.assertEqual(code, 0, out)
+        self.assertIn("WARN  sparse_idle n=10000", out)
+        self.assertIn("us/step", out)
 
 
 if __name__ == "__main__":

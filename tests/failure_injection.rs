@@ -27,7 +27,9 @@ fn dissemination_survives_a_mid_run_crash_storm() {
     for i in 30..45u64 {
         plan.schedule(3, p(i));
     }
-    let mut engine: Engine<Lpbcast> = Engine::new(NetworkModel::new(0.05, 9), plan);
+    let mut engine: Engine<Lpbcast> = Engine::builder(NetworkModel::new(0.05, 9))
+        .crash_plan(plan)
+        .build();
     for i in 0..n {
         let members: Vec<ProcessId> = (0..n).filter(|&j| j != i).map(p).collect();
         engine.add_node(Lpbcast::with_initial_view(
@@ -142,7 +144,7 @@ fn crashed_contact_does_not_deadlock_joiner() {
         .fanout(2)
         .join_timeout(2)
         .build();
-    let mut engine: Engine<Lpbcast> = Engine::new(NetworkModel::perfect(3), CrashPlan::none());
+    let mut engine: Engine<Lpbcast> = Engine::builder(NetworkModel::perfect(3)).build();
     for i in 0..6u64 {
         let members: Vec<ProcessId> = (0..6).filter(|&j| j != i).map(p).collect();
         engine.add_node(Lpbcast::with_initial_view(p(i), config.clone(), i, members));

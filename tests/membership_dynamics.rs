@@ -4,7 +4,7 @@
 use lpbcast::core::{Config, Lpbcast};
 use lpbcast::membership::View as _;
 use lpbcast::sim::experiment::{build_lpbcast_engine, InitialTopology, LpbcastSimParams};
-use lpbcast::sim::{CrashPlan, Engine, NetworkModel};
+use lpbcast::sim::{Engine, NetworkModel};
 use lpbcast::types::ProcessId;
 
 fn p(i: u64) -> ProcessId {
@@ -175,7 +175,7 @@ fn prioritary_processes_heal_an_engineered_partition() {
         .retransmit_request_max(4)
         .archive_capacity(16)
         .build();
-    let mut engine: Engine<Lpbcast> = Engine::new(NetworkModel::perfect(1), CrashPlan::none());
+    let mut engine: Engine<Lpbcast> = Engine::builder(NetworkModel::perfect(1)).build();
     // Island A: p0..p4 (contains the prioritary process p0).
     for i in 0..5u64 {
         let members: Vec<ProcessId> = (0..5).filter(|&j| j != i).map(p).collect();
@@ -221,7 +221,7 @@ fn without_prioritary_processes_the_islands_stay_split() {
     // a §4.4 partition is permanent ("A priori, it is not possible to
     // recover from such a partition").
     let island_config = config(4);
-    let mut engine: Engine<Lpbcast> = Engine::new(NetworkModel::perfect(1), CrashPlan::none());
+    let mut engine: Engine<Lpbcast> = Engine::builder(NetworkModel::perfect(1)).build();
     for i in 0..5u64 {
         let members: Vec<ProcessId> = (0..5).filter(|&j| j != i).map(p).collect();
         engine.add_node(Lpbcast::with_initial_view(
