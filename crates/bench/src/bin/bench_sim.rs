@@ -18,7 +18,8 @@
 //! * `BENCH_SIM_SCENARIO_PROTOCOLS` — comma-separated protocols the
 //!   scenario suite runs (`lpbcast,pbcast` by default; the suite is
 //!   generic over `ScenarioProtocol`, so both stacks produce
-//!   side-by-side rows; `swim+lpbcast` runs the SWIM-wrapped stack).
+//!   side-by-side rows; `swim+lpbcast` / `swim+pbcast` run the
+//!   SWIM-wrapped stacks).
 //! * `BENCH_SIM_DETECTOR_N` — system size of the SWIM failure-detector
 //!   A/B study (default 10000; the committed snapshot records the
 //!   full-scale run, CI uses a small n).
@@ -33,6 +34,10 @@
 //!   locally with `BENCH_SIM_SCALE_XL_NS=100000`).
 //! * `BENCH_SIM_SCENARIO_XL_N` — system size of the env-gated xl
 //!   catastrophe scenario row (default 0 = off).
+//! * `BENCH_SIM_MASS_N` — system size of the pinned mini-sweep over
+//!   `ScenarioSpec` cells (default 400 everywhere — CI included — so
+//!   the committed summary rows compare run to run; the full grid
+//!   lives in the separate `mass_scenarios` bin).
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -51,7 +56,10 @@ use lpbcast_sim::scale::{scaling_study, scaling_tsv, ScaleStudyOpts};
 use lpbcast_sim::scenario::{
     catastrophe_scenario, run_scenario_suite, scenarios_tsv, CatastropheParams, ScenarioSuite,
 };
-use lpbcast_sim::{shards_from_env, Engine, StepMode};
+use lpbcast_sim::{
+    shards_from_env, sweep_specs, sweep_specs_serial, Engine, ProtocolKind, ScenarioGenerator,
+    ScenarioSpec, StepMode,
+};
 use lpbcast_types::{Payload, ProcessId};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -403,10 +411,11 @@ fn main() {
             "lpbcast" => run_scenario_suite::<Lpbcast>(scenario_n, 1),
             "pbcast" => run_scenario_suite::<Pbcast>(scenario_n, 1),
             "swim" | "swim+lpbcast" => run_scenario_suite::<Swim<Lpbcast>>(scenario_n, 1),
+            "swim+pbcast" => run_scenario_suite::<Swim<Pbcast>>(scenario_n, 1),
             "" => continue,
             other => {
                 eprintln!(
-                    "! unknown scenario protocol {other:?} (expected lpbcast/pbcast/swim+lpbcast)"
+                    "! unknown scenario protocol {other:?} (expected lpbcast/pbcast/swim+lpbcast/swim+pbcast)"
                 );
                 continue;
             }
@@ -453,6 +462,74 @@ fn main() {
         suites.push(suite);
     }
 
+    // Pinned mini-sweep over ScenarioSpec cells: a fixed 12-cell grid
+    // (2 protocols × 3 generators × 2 seeds) at a CI-friendly size,
+    // summarised per spec in the JSON so bench_gate.py can soft-gate
+    // the scenario matrix without rerunning the full mass_scenarios
+    // grid. The rayon/serial identity is hard-gated like shard_check.
+    let mass_n = env_usize("BENCH_SIM_MASS_N", 400);
+    let mass_seeds: [u64; 2] = [1, 2];
+    let mut mass_cells: Vec<(ScenarioSpec, u64)> = Vec::new();
+    for proto in [ProtocolKind::Lpbcast, ProtocolKind::Pbcast] {
+        for generator in [
+            ScenarioGenerator::Catastrophe,
+            ScenarioGenerator::RepeatedPartitions,
+            ScenarioGenerator::ByzantineDroppers,
+        ] {
+            for seed in mass_seeds {
+                mass_cells.push((ScenarioSpec::new(proto, generator, mass_n), seed));
+            }
+        }
+    }
+    let mass_t = Instant::now();
+    let mass_reports = sweep_specs(&mass_cells);
+    let mass_wall_ms = mass_t.elapsed().as_secs_f64() * 1e3;
+    let mass_identical = mass_reports == sweep_specs_serial(&mass_cells);
+    // Aggregate per spec across its seed block (the cells are grouped
+    // by construction: seeds are the innermost loop).
+    let mut mass_summary: Vec<(String, f64, f64, Option<u64>, f64)> = Vec::new();
+    for block in mass_cells
+        .chunks(mass_seeds.len())
+        .zip(mass_reports.chunks(mass_seeds.len()))
+    {
+        let (cells, reports) = block;
+        let spec = cells[0].0.to_string();
+        let mean = reports.iter().map(|r| r.reliability_mean()).sum::<f64>() / reports.len() as f64;
+        let min = reports
+            .iter()
+            .map(|r| r.reliability_min())
+            .fold(f64::INFINITY, f64::min);
+        // Worst recovery across seeds; None if any seed never recovered.
+        let recovery = reports
+            .iter()
+            .map(|r| r.recovery_rounds())
+            .collect::<Option<Vec<u64>>>()
+            .and_then(|v| v.into_iter().max());
+        let wire = reports
+            .iter()
+            .map(|r| r.wire_bytes_per_round())
+            .sum::<f64>()
+            / reports.len() as f64;
+        mass_summary.push((spec, mean, min, recovery, wire));
+    }
+    println!(
+        "mass mini-sweep n={mass_n}: {} cells, {} specs -> {} [{:.0} ms]",
+        mass_cells.len(),
+        mass_summary.len(),
+        if mass_identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        },
+        mass_wall_ms
+    );
+    for (spec, mean, min, recovery, wire) in &mass_summary {
+        println!(
+            "  [{spec}] reliability {mean:.4} (min {min:.4}), recovery {recovery:?}, wire {:.1} KB/round",
+            wire / 1e3
+        );
+    }
+
     // SWIM failure-detector A/B: the same catastrophe and no-crash noise
     // loads with and without the Swim wrapper, under named fault specs
     // (deterministic; seed 1).
@@ -487,12 +564,12 @@ fn main() {
 
     // Hand-rolled JSON (the workspace has no serde): numbers only, stable
     // key order, one object per measurement.
-    let mut json = String::from("{\n  \"schema\": \"bench_sim/v7\",\n");
+    let mut json = String::from("{\n  \"schema\": \"bench_sim/v8\",\n");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"shards\": {shards},");
     let _ = writeln!(json, "  \"steps_per_measurement\": {steps},");
     json.push_str(
-        "  \"note\": \"baseline_* is the seed BTreeMap engine compiled against the current protocol crates, so the ratio isolates the engine-structure change; protocol-layer wins (fast hashing, linear small buffers, chunked scans, alloc-free truncation, and since PR 2 the Arc-shared gossip fan-out) accrue to both columns. Seed-to-now trajectory: the unmodified seed stack measured ~17.7 ms/step at n=1000 on the 1-CPU reference container. step_throughput uses the paper's n=125 operating-point config at every n; the scaling section uses lpbcast_sim::scale's section-5-scaled view/buffer bounds (Compact digests since PR 3) and also reports the O(n*l) engine bootstrap cost (engine_build_ms; the PR 2 candidate-list build measured ~190 ms at n=10^4), probe delivery latency (rounds) and reliability — the same rows are rendered into results/scaling.tsv. The scenarios section is the churn / catastrophe / partition suite from lpbcast_sim::scenario, keyed by protocol since the Protocol-trait redesign (one generic driver runs lpbcast and pbcast side by side; each scenario also records its wall_ms). scripts/bench_gate.py compares ns_per_step, engine_build_ms and the deterministic wire_bytes_per_round by n against the committed snapshot in CI and fails on rows that disappear; scenario wall_ms and scenario wire rows are gated softly (warn-only on row-set changes, since the scenario size and protocol set are env-tunable in CI). Since v5 every scenario/scaling row carries wire_bytes_per_round: exact codec frame lengths summed over every offered message copy (the wire-cost compaction PR -- pbcast per-origin compact digests + lpbcast per-timestamp unsub digests -- is measured by exactly these columns), and the loaded scenarios publish from a fixed 16-publisher pool (the paper's section-5 measurement model) instead of uniformly random origins. Since v6 the detector section records the SWIM failure-detector A/B (lpbcast_sim::detector): identical catastrophe and no-crash noise loads run with and without the Swim<Lpbcast> wrapper under named deterministic fault specs (lpbcast_sim::fault), reporting recovery_rounds, probe reliability, and eviction / false-eviction / suspicion / refutation counts per arm -- the same rows are rendered into results/detector.tsv, the study size is env-tunable via BENCH_SIM_DETECTOR_N (so CI runs a small n and its detector rows are soft), and bench_gate.py additionally surfaces recovery_rounds and min-reliability drift as warn-only quality rows. Since v7 the engine is built through EngineBuilder with an optional shard-partitioned round: shards records BENCH_SIM_SHARDS (default 1; every measurement runs through the same builder paths), shard_check is the in-harness determinism self-test (serial vs sharded digests over infected counts, network RNG counters and exact wire bytes -- identical=false hard-fails bench_gate.py and the harness itself exits non-zero), sparse_mode is the StepMode::Sparse idle-window A/B (post-catastrophe rounds where dense mode still pays full digest gossip), and the env-gated scaling_xl / scenarios_xl sections carry the n=10^5-class rows (BENCH_SIM_SCALE_XL_NS / BENCH_SIM_SCENARIO_XL_N; absent from CI-size runs, so their committed rows gate softly)\",\n",
+        "  \"note\": \"baseline_* is the seed BTreeMap engine compiled against the current protocol crates, so the ratio isolates the engine-structure change; protocol-layer wins (fast hashing, linear small buffers, chunked scans, alloc-free truncation, and since PR 2 the Arc-shared gossip fan-out) accrue to both columns. Seed-to-now trajectory: the unmodified seed stack measured ~17.7 ms/step at n=1000 on the 1-CPU reference container. step_throughput uses the paper's n=125 operating-point config at every n; the scaling section uses lpbcast_sim::scale's section-5-scaled view/buffer bounds (Compact digests since PR 3) and also reports the O(n*l) engine bootstrap cost (engine_build_ms; the PR 2 candidate-list build measured ~190 ms at n=10^4), probe delivery latency (rounds) and reliability — the same rows are rendered into results/scaling.tsv. The scenarios section is the churn / catastrophe / partition suite from lpbcast_sim::scenario, keyed by protocol since the Protocol-trait redesign (one generic driver runs lpbcast and pbcast side by side; each scenario also records its wall_ms). scripts/bench_gate.py compares ns_per_step, engine_build_ms and the deterministic wire_bytes_per_round by n against the committed snapshot in CI and fails on rows that disappear; scenario wall_ms and scenario wire rows are gated softly (warn-only on row-set changes, since the scenario size and protocol set are env-tunable in CI). Since v5 every scenario/scaling row carries wire_bytes_per_round: exact codec frame lengths summed over every offered message copy (the wire-cost compaction PR -- pbcast per-origin compact digests + lpbcast per-timestamp unsub digests -- is measured by exactly these columns), and the loaded scenarios publish from a fixed 16-publisher pool (the paper's section-5 measurement model) instead of uniformly random origins. Since v6 the detector section records the SWIM failure-detector A/B (lpbcast_sim::detector): identical catastrophe and no-crash noise loads run with and without the Swim<Lpbcast> wrapper under named deterministic fault specs (lpbcast_sim::fault), reporting recovery_rounds, probe reliability, and eviction / false-eviction / suspicion / refutation counts per arm -- the same rows are rendered into results/detector.tsv, the study size is env-tunable via BENCH_SIM_DETECTOR_N (so CI runs a small n and its detector rows are soft), and bench_gate.py additionally surfaces recovery_rounds and min-reliability drift as warn-only quality rows. Since v7 the engine is built through EngineBuilder with an optional shard-partitioned round: shards records BENCH_SIM_SHARDS (default 1; every measurement runs through the same builder paths), shard_check is the in-harness determinism self-test (serial vs sharded digests over infected counts, network RNG counters and exact wire bytes -- identical=false hard-fails bench_gate.py and the harness itself exits non-zero), sparse_mode is the StepMode::Sparse idle-window A/B (post-catastrophe rounds where dense mode still pays full digest gossip), and the env-gated scaling_xl / scenarios_xl sections carry the n=10^5-class rows (BENCH_SIM_SCALE_XL_NS / BENCH_SIM_SCENARIO_XL_N; absent from CI-size runs, so their committed rows gate softly). Since v8 the mass_scenarios section is the pinned ScenarioSpec mini-sweep (lpbcast_sim::scenario::spec): a fixed 12-cell grid (lpbcast+pbcast x catastrophe+repeated_partitions+byzantine_droppers x 2 seeds) at BENCH_SIM_MASS_N (default 400 everywhere, CI included, so summary rows compare run to run), each summary entry keyed by its exact spec string -- parse it back with ScenarioSpec::from_str and run_scenario_spec reproduces the row bit for bit. identical is the rayon-vs-serial sweep determinism self-check (hard-gated like shard_check; the full cross-product grid lives in the mass_scenarios bin, which writes results/mass_scenarios.tsv and applies the same strict exit). bench_gate.py soft-gates the summary rows (reliability as % missed, worst recovery_rounds, wire bytes/round)\",\n",
     );
     json.push_str("  \"step_throughput\": [\n");
     for (i, r) in step_results.iter().enumerate() {
@@ -712,6 +789,29 @@ fn main() {
         study.churn_joins_with,
         study.churn_joins_without
     );
+    json.push_str("  },\n");
+
+    // Mass mini-sweep section: the pinned ScenarioSpec grid, one
+    // summary object per spec string.
+    let _ = writeln!(json, "  \"mass_scenarios\": {{");
+    let _ = writeln!(json, "    \"n\": {mass_n},");
+    let _ = writeln!(json, "    \"seeds\": {},", mass_seeds.len());
+    let _ = writeln!(json, "    \"identical\": {mass_identical},");
+    let _ = writeln!(json, "    \"wall_ms\": {mass_wall_ms:.1},");
+    json.push_str("    \"summary\": [\n");
+    for (i, (spec, mean, min, recovery, wire)) in mass_summary.iter().enumerate() {
+        let recovery = recovery.map_or_else(|| "null".into(), |r| r.to_string());
+        let _ = write!(
+            json,
+            "      {{\"spec\": \"{spec}\", \"reliability_mean\": {mean:.5}, \"reliability_min\": {min:.5}, \"recovery_rounds\": {recovery}, \"wire_bytes_per_round\": {wire:.1}}}"
+        );
+        json.push_str(if i + 1 < mass_summary.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n");
     json.push_str("  }\n}\n");
 
     let path = workspace_root().join("BENCH_sim.json");
@@ -795,6 +895,14 @@ fn main() {
             "! shard determinism check FAILED: shards={check_shards} diverged from the serial \
              reference at n={check_n} ({check_rounds} rounds) — outputs were written for \
              inspection, exiting non-zero"
+        );
+        std::process::exit(1);
+    }
+    if !mass_identical {
+        eprintln!(
+            "! mass-sweep determinism check FAILED: the rayon ScenarioSpec sweep diverged from \
+             the serial reference at n={mass_n} — outputs were written for inspection, exiting \
+             non-zero"
         );
         std::process::exit(1);
     }

@@ -31,6 +31,7 @@
 use lpbcast_core::{Config, Lpbcast, Message};
 use lpbcast_membership::{Swim, SwimConfig, SwimMsg};
 use lpbcast_net::WireMessage;
+use lpbcast_pbcast::{Pbcast, PbcastMessage};
 use lpbcast_types::{Payload, ProcessId, Protocol};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -38,7 +39,8 @@ use rand::SeedableRng;
 use crate::engine::Engine;
 use crate::fault::{FaultPlane, FaultSpec};
 use crate::scenario::{
-    build_scenario_engine, churn_scenario, ChurnParams, LeaveRefused, ScenarioProtocol,
+    build_scenario_engine, churn_scenario, ChurnParams, LeaveRefused, PbcastScenarioCfg,
+    ScenarioProtocol,
 };
 use crate::topology::sample_distinct;
 
@@ -47,12 +49,14 @@ use crate::topology::sample_distinct;
 /// catastrophe, partition) runs against `Swim<Lpbcast>` unchanged.
 pub type SwimLpbcast = Swim<Lpbcast>;
 
-/// Scenario configuration of the wrapped stack: the inner lpbcast
-/// configuration plus the detector's timing knobs.
+/// Scenario configuration of a wrapped stack: the inner protocol's
+/// scenario configuration plus the detector's timing knobs. Defaults to
+/// the lpbcast [`Config`] so PR 6-era call sites keep reading
+/// `SwimScenarioCfg { inner, swim }` unchanged.
 #[derive(Debug, Clone)]
-pub struct SwimScenarioCfg {
-    /// Inner lpbcast configuration.
-    pub inner: Config,
+pub struct SwimScenarioCfg<C = Config> {
+    /// Inner protocol configuration.
+    pub inner: C,
     /// Detector configuration.
     pub swim: SwimConfig,
 }
@@ -113,6 +117,90 @@ impl ScenarioProtocol for Swim<Lpbcast> {
             inner: Lpbcast::bridge(from),
             updates: Vec::new(),
         }
+    }
+
+    /// A Byzantine wrapper node lies through the detector layer too:
+    /// the inner payload is withheld, but pings, acks and membership
+    /// piggybacks flow — the liar stays impeccably *alive*.
+    fn withhold(msg: &mut SwimMsg<Message>) -> bool {
+        match msg {
+            SwimMsg::Wrapped { inner, .. } => Lpbcast::withhold(inner),
+            _ => true,
+        }
+    }
+
+    fn strict_delivery(cfg: &mut SwimScenarioCfg) {
+        Lpbcast::strict_delivery(&mut cfg.inner);
+    }
+}
+
+/// The SWIM-wrapped pbcast baseline, so the A/B arm and the scenario
+/// matrix can ask whether explicit failure detection pays off for the
+/// *flat-membership* protocol too (the ROADMAP's open pbcast arm).
+impl ScenarioProtocol for Swim<Pbcast> {
+    type Cfg = SwimScenarioCfg<PbcastScenarioCfg>;
+
+    const NAME: &'static str = "swim+pbcast";
+
+    fn scaled_cfg(n: usize) -> Self::Cfg {
+        SwimScenarioCfg {
+            inner: Pbcast::scaled_cfg(n),
+            swim: SwimConfig::scaled(n),
+        }
+    }
+
+    fn size_for_leave_rate(cfg: &mut Self::Cfg, leaves_per_round: usize) {
+        Pbcast::size_for_leave_rate(&mut cfg.inner, leaves_per_round);
+    }
+
+    fn view_size(cfg: &Self::Cfg) -> usize {
+        Pbcast::view_size(&cfg.inner)
+    }
+
+    fn bootstrap(id: ProcessId, cfg: &Self::Cfg, seed: u64, members: Vec<ProcessId>) -> Self {
+        Swim::new(
+            Pbcast::bootstrap(id, &cfg.inner, seed, members),
+            cfg.swim.clone(),
+            seed,
+        )
+    }
+
+    fn joiner(id: ProcessId, cfg: &Self::Cfg, seed: u64, contacts: Vec<ProcessId>) -> Self {
+        Swim::new(
+            Pbcast::joiner(id, &cfg.inner, seed, contacts),
+            cfg.swim.clone(),
+            seed,
+        )
+    }
+
+    fn request_leave(&mut self) -> Result<(), LeaveRefused> {
+        self.inner_mut().request_leave()
+    }
+
+    fn join_pending(&self) -> bool {
+        self.inner().join_pending()
+    }
+
+    fn leave_pending(&self) -> bool {
+        self.inner().leave_pending()
+    }
+
+    fn bridge(from: ProcessId) -> SwimMsg<PbcastMessage> {
+        SwimMsg::Wrapped {
+            inner: Pbcast::bridge(from),
+            updates: Vec::new(),
+        }
+    }
+
+    fn withhold(msg: &mut SwimMsg<PbcastMessage>) -> bool {
+        match msg {
+            SwimMsg::Wrapped { inner, .. } => Pbcast::withhold(inner),
+            _ => true,
+        }
+    }
+
+    fn strict_delivery(cfg: &mut Self::Cfg) {
+        Pbcast::strict_delivery(&mut cfg.inner);
     }
 }
 
@@ -246,7 +334,13 @@ impl SwimCensus for Lpbcast {
     }
 }
 
-impl SwimCensus for Swim<Lpbcast> {
+impl SwimCensus for Pbcast {
+    fn census(_engine: &Engine<Self>, _crashed: &[ProcessId]) -> (u64, u64, u64, u64) {
+        (0, 0, 0, 0)
+    }
+}
+
+impl<P: Protocol> SwimCensus for Swim<P> {
     fn census(engine: &Engine<Self>, crashed: &[ProcessId]) -> (u64, u64, u64, u64) {
         let mut evictions = 0u64;
         let mut false_evictions = 0u64;
@@ -336,22 +430,30 @@ where
     }
 }
 
-/// Runs one A/B measurement: the same `(fault, crash, seed)` with and
-/// without the detector.
-fn ab_measurement(
+/// Runs one A/B measurement over any inner stack: the same
+/// `(fault, crash, seed)` with and without the detector wrapper.
+#[allow(clippy::too_many_arguments)]
+fn ab_measurement_on<P>(
     scenario: &'static str,
     fault_name: &'static str,
     fault: Option<FaultSpec>,
     crash_fraction: f64,
+    inner_cfg: &P::Cfg,
     params: &DetectorParams,
     measure_rounds: u64,
     seed: u64,
-) -> DetectorReport {
+) -> DetectorReport
+where
+    P: ScenarioProtocol + SwimCensus,
+    P::Msg: WireMessage + Send + 'static,
+    Swim<P>: ScenarioProtocol<Cfg = SwimScenarioCfg<P::Cfg>, Msg = SwimMsg<P::Msg>> + SwimCensus,
+    SwimMsg<P::Msg>: WireMessage,
+{
     let swim_cfg = SwimScenarioCfg {
-        inner: params.config.clone(),
+        inner: inner_cfg.clone(),
         swim: params.swim.clone(),
     };
-    let detector = run_arm::<Swim<Lpbcast>>(
+    let detector = run_arm::<Swim<P>>(
         params.n,
         &swim_cfg,
         params.loss_rate,
@@ -362,9 +464,9 @@ fn ab_measurement(
         measure_rounds,
         seed,
     );
-    let baseline = run_arm::<Lpbcast>(
+    let baseline = run_arm::<P>(
         params.n,
-        &params.config,
+        inner_cfg,
         params.loss_rate,
         fault,
         crash_fraction,
@@ -380,6 +482,29 @@ fn ab_measurement(
         detector,
         baseline,
     }
+}
+
+/// [`ab_measurement_on`] over the lpbcast stack with the study's own
+/// configuration (the PR 6 measurement set).
+fn ab_measurement(
+    scenario: &'static str,
+    fault_name: &'static str,
+    fault: Option<FaultSpec>,
+    crash_fraction: f64,
+    params: &DetectorParams,
+    measure_rounds: u64,
+    seed: u64,
+) -> DetectorReport {
+    ab_measurement_on::<Lpbcast>(
+        scenario,
+        fault_name,
+        fault,
+        crash_fraction,
+        &params.config,
+        params,
+        measure_rounds,
+        seed,
+    )
 }
 
 /// Runs the full study: catastrophe recovery under a clean and a noisy
@@ -421,6 +546,18 @@ pub fn detector_study(params: &DetectorParams, seed: u64) -> DetectorStudy {
             0.0,
             params,
             params.noise_rounds,
+            seed,
+        ),
+        // The pbcast arm the ROADMAP asks for: the same catastrophe
+        // A/B against the flat-membership baseline.
+        ab_measurement_on::<Pbcast>(
+            "catastrophe_pbcast",
+            "none",
+            None,
+            params.crash_fraction,
+            &Pbcast::scaled_cfg(params.n),
+            params,
+            params.max_recovery_rounds,
             seed,
         ),
     ];

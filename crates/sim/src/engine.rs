@@ -246,8 +246,7 @@ pub struct Engine<P: Protocol> {
 /// optional engine-level knob (crash schedule, wire meter, fault plane,
 /// shard count, step mode, pre-seeded nodes) in one fluent value.
 ///
-/// Replaces the former `Engine::new` + `set_*` sprawl — the setters
-/// survive as deprecated thin wrappers for one release. Protocol-level
+/// Replaced the former `Engine::new` + `set_*` sprawl. Protocol-level
 /// configuration (history mode, view sizes, initial topology) stays
 /// where it lives: in each protocol's own config, applied to the nodes
 /// passed to [`nodes`](EngineBuilder::nodes) / added after `build`.
@@ -379,31 +378,9 @@ impl<P: Protocol> Engine<P> {
         EngineBuilder::new(network)
     }
 
-    /// Creates an engine over the given fault models.
-    #[deprecated(note = "construct through Engine::builder()")]
-    pub fn new(network: NetworkModel, crash_plan: CrashPlan) -> Self {
-        Self::builder(network).crash_plan(crash_plan).build()
-    }
-
-    /// Installs a correlated fault model after construction.
-    #[deprecated(note = "use EngineBuilder::fault_plane")]
-    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
-        self.fault_plane = Some(plane);
-    }
-
     /// The installed fault plane, if any.
     pub fn fault_plane(&self) -> Option<&FaultPlane> {
         self.fault_plane.as_ref()
-    }
-
-    /// Installs a wire-byte meter after construction (see
-    /// [`EngineBuilder::wire_meter`] for the metering contract).
-    #[deprecated(note = "use EngineBuilder::wire_meter")]
-    pub fn set_wire_meter(&mut self, measure: impl FnMut(&P::Msg) -> usize + Send + 'static) {
-        self.meter = Some(WireMeter {
-            measure: Box::new(measure),
-            totals: WireAccounting::default(),
-        });
     }
 
     /// The configured shard count.
@@ -1308,12 +1285,23 @@ mod tests {
         }
     }
 
-    /// The API-migration pin: `Engine::new` + `set_*` wrappers and the
-    /// builder construct observably identical engines.
+    /// The construction pin (successor of the PR 7 wrapper-equivalence
+    /// test, whose deprecated arm is gone with the wrappers): two
+    /// engines built through the same builder chain are observably
+    /// identical.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_builder() {
-        let run = |mut engine: Engine<Lpbcast>| {
+    fn builder_construction_is_deterministic() {
+        let make = || {
+            let mut plan = CrashPlan::none();
+            plan.schedule(4, pid(7));
+            let mut engine: Engine<Lpbcast> = Engine::builder(NetworkModel::new(0.1, 5))
+                .crash_plan(plan)
+                .wire_meter(lpbcast_net::wire_meter())
+                .fault_plane(crate::fault::FaultPlane::new(
+                    crate::fault::FaultSpec::noisy_links(3),
+                    3,
+                ))
+                .build();
             for node in cluster_nodes(9, 5) {
                 engine.add_node(node);
             }
@@ -1326,24 +1314,7 @@ mod tests {
                 engine.network().dropped_count(),
             )
         };
-
-        let mut plan = CrashPlan::none();
-        plan.schedule(4, pid(7));
-        let mut legacy = Engine::new(NetworkModel::new(0.1, 5), plan.clone());
-        legacy.set_wire_meter(lpbcast_net::wire_meter());
-        legacy.set_fault_plane(crate::fault::FaultPlane::new(
-            crate::fault::FaultSpec::noisy_links(3),
-            3,
-        ));
-        let built = Engine::builder(NetworkModel::new(0.1, 5))
-            .crash_plan(plan)
-            .wire_meter(lpbcast_net::wire_meter())
-            .fault_plane(crate::fault::FaultPlane::new(
-                crate::fault::FaultSpec::noisy_links(3),
-                3,
-            ))
-            .build();
-        assert_eq!(run(legacy), run(built));
+        assert_eq!(make(), make());
     }
 
     /// Smoke pin of the tentpole invariant (the exhaustive version lives

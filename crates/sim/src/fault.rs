@@ -70,6 +70,20 @@ pub struct FaultSpec {
     /// still occupying views and sending normally — the worst case for
     /// a failure detector, which must not confuse them with mere loss.
     pub silent_nodes: f64,
+    /// Period, in rounds, of a repeating network partition. `0` (the
+    /// default) disables the schedule entirely. While a partition window
+    /// is open, every copy crossing between the two stable sides drops.
+    pub partition_period: u64,
+    /// How many rounds of each period the partition stays open
+    /// (`partition_rounds <= partition_period`; rounds beyond the window
+    /// are healed).
+    pub partition_rounds: u64,
+    /// Fraction of processes hashed onto side B of the partition; the
+    /// rest are side A. Membership is stable for the whole run.
+    pub partition_frac: f64,
+    /// First round at which the schedule engages — rounds before this
+    /// are partition-free, so a scenario can warm up undisturbed.
+    pub partition_after: u64,
 }
 
 impl Default for FaultSpec {
@@ -84,6 +98,10 @@ impl Default for FaultSpec {
             slow_nodes: 0.0,
             slow_delay: 0,
             silent_nodes: 0.0,
+            partition_period: 0,
+            partition_rounds: 0,
+            partition_frac: 0.0,
+            partition_after: 0,
         }
     }
 }
@@ -166,7 +184,21 @@ impl fmt::Display for FaultSpec {
             self.slow_nodes,
             self.slow_delay,
             self.silent_nodes,
-        )
+        )?;
+        // Partition keys print only when the schedule is engaged, so
+        // strings from specs predating the feature stay byte-identical.
+        if self.partition_period > 0 {
+            write!(
+                f,
+                ";partition_period={};partition_rounds={};\
+                 partition_frac={};partition_after={}",
+                self.partition_period,
+                self.partition_rounds,
+                self.partition_frac,
+                self.partition_after,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -201,6 +233,10 @@ impl FromStr for FaultSpec {
                 "slow_nodes" => spec.slow_nodes = ff64()?,
                 "slow_delay" => spec.slow_delay = fu64()?,
                 "silent_nodes" => spec.silent_nodes = ff64()?,
+                "partition_period" => spec.partition_period = fu64()?,
+                "partition_rounds" => spec.partition_rounds = fu64()?,
+                "partition_frac" => spec.partition_frac = ff64()?,
+                "partition_after" => spec.partition_after = fu64()?,
                 _ => return Err(err()),
             }
         }
@@ -242,10 +278,11 @@ const TAG_DUP: u64 = 0x6475_7065;
 const TAG_DELAY: u64 = 0x6465_6C61;
 const TAG_SLOW: u64 = 0x736C_6F77;
 const TAG_SILENT: u64 = 0x7369_6C65;
+const TAG_PART: u64 = 0x7061_7274;
 
 /// splitmix64 finalizer: a full-avalanche 64-bit mixer.
 #[inline]
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -313,6 +350,26 @@ impl FaultPlane {
         self.chance(self.spec.slow_nodes, TAG_SLOW, node.as_u64(), 0, 0, 0)
     }
 
+    /// Whether `node` is on side B of the scheduled partition (stable
+    /// per run; meaningful only while [`partition_active`] windows are
+    /// open).
+    ///
+    /// [`partition_active`]: FaultPlane::partition_active
+    pub fn partition_side(&self, node: ProcessId) -> bool {
+        self.chance(self.spec.partition_frac, TAG_PART, node.as_u64(), 0, 0, 0)
+    }
+
+    /// Whether the partition window is open at `round` — a pure
+    /// function of the spec's schedule, so every node and both the
+    /// parallel and serial runners agree on it.
+    pub fn partition_active(&self, round: u64) -> bool {
+        self.spec.partition_period > 0
+            && self.spec.partition_rounds > 0
+            && round >= self.spec.partition_after
+            && (round - self.spec.partition_after) % self.spec.partition_period
+                < self.spec.partition_rounds
+    }
+
     /// Whether the **ordered** link `from → to` is lossy (stable per
     /// run; the reverse direction is an independent decision).
     pub fn is_lossy_link(&self, from: ProcessId, to: ProcessId) -> bool {
@@ -333,6 +390,11 @@ impl FaultPlane {
         let (f, t) = (from.as_u64(), to.as_u64());
         // A silent dropper receives nothing, ever.
         if self.is_silent(to) {
+            return Fate::DROP;
+        }
+        // A scheduled partition severs every cross-side copy at its
+        // send round (delayed copies were committed before the window).
+        if self.partition_active(round) && self.partition_side(from) != self.partition_side(to) {
             return Fate::DROP;
         }
         // Asymmetric per-link loss.
@@ -495,6 +557,64 @@ mod tests {
     }
 
     #[test]
+    fn partition_schedule_severs_cross_side_traffic_in_window_only() {
+        let plane = FaultPlane::new(
+            FaultSpec {
+                seed: 13,
+                partition_period: 10,
+                partition_rounds: 4,
+                partition_frac: 0.5,
+                partition_after: 5,
+                ..FaultSpec::default()
+            },
+            0,
+        );
+        let side_a = (0..100u64)
+            .map(pid)
+            .find(|&p| !plane.partition_side(p))
+            .expect("side A node");
+        let side_b = (0..100u64)
+            .map(pid)
+            .find(|&p| plane.partition_side(p))
+            .expect("side B node");
+        // Before partition_after: everything flows.
+        for round in 0..5u64 {
+            assert!(!plane.partition_active(round));
+            assert_eq!(plane.fate(side_a, side_b, round, 0), Fate::DELIVER);
+        }
+        // Window open for the first 4 rounds of each period.
+        for round in [5u64, 6, 7, 8, 15, 16, 25] {
+            assert!(plane.partition_active(round), "round {round}");
+            assert_eq!(plane.fate(side_a, side_b, round, 0), Fate::DROP);
+            assert_eq!(plane.fate(side_b, side_a, round, 0), Fate::DROP);
+            // Same-side traffic is untouched.
+            assert_eq!(plane.fate(side_a, side_a, round, 0), Fate::DELIVER);
+        }
+        // Healed portion of each period.
+        for round in [9u64, 10, 14, 19, 24] {
+            assert!(!plane.partition_active(round), "round {round}");
+            assert_eq!(plane.fate(side_a, side_b, round, 0), Fate::DELIVER);
+        }
+    }
+
+    #[test]
+    fn partition_keys_print_only_when_engaged() {
+        let plain = FaultSpec::noisy_links(42);
+        assert!(!plain.to_string().contains("partition"));
+        let scheduled = FaultSpec {
+            seed: 1,
+            partition_period: 12,
+            partition_rounds: 6,
+            partition_frac: 0.5,
+            partition_after: 5,
+            ..FaultSpec::default()
+        };
+        let s = scheduled.to_string();
+        assert!(s.contains("partition_period=12"));
+        assert_eq!(s.parse::<FaultSpec>().unwrap(), scheduled);
+    }
+
+    #[test]
     fn spec_string_roundtrips() {
         for spec in [
             FaultSpec::default(),
@@ -511,6 +631,10 @@ mod tests {
                 slow_nodes: 0.25,
                 slow_delay: 4,
                 silent_nodes: 0.03125,
+                partition_period: 20,
+                partition_rounds: 8,
+                partition_frac: 0.375,
+                partition_after: 10,
             },
         ] {
             let s = spec.to_string();

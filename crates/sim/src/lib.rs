@@ -53,7 +53,12 @@
 //! membership at scale: continuous churn through the §3.4 join/leave
 //! machinery, catastrophic correlated failure (25–50% of processes in one
 //! round), and partition-and-heal measured with the §4.4 view-graph
-//! analytics.
+//! analytics. [`scenario::spec`] turns all of it into data: a
+//! string-serialisable [`ScenarioSpec`] names one cell of the
+//! protocol × generator × fault matrix (including repeated partitions,
+//! flash crowds and Byzantine advertise-but-withhold droppers), and
+//! [`sweep_specs`] runs grids of cells rayon-parallel, bit-identical to
+//! the serial reference.
 //!
 //! `crates/bench/src/bin/bench_sim.rs` times a steady-state round and the
 //! sweep wall-clock against the original `BTreeMap` engine and writes
@@ -90,6 +95,10 @@ pub use lpbcast_types::{MembershipEvent, Output, Protocol};
 pub use metrics::{InfectionTracker, ReliabilityReport};
 pub use network::{CrashPlan, NetworkModel};
 pub use scale::{run_scale_point, scaling_study, scaling_tsv, ScalePoint, ScaleStudyOpts};
+pub use scenario::spec::{
+    run_scenario_spec, sweep_specs, sweep_specs_serial, ProtocolKind, ScenarioGenerator,
+    ScenarioSpec, ScenarioSpecParseError, SpecReport,
+};
 pub use scenario::{
     catastrophe_scenario, churn_scenario, churn_sweep, churn_sweep_serial, partition_scenario,
     run_scenario_suite, scenarios_tsv, CatastropheParams, CatastropheReport, ChurnParams,

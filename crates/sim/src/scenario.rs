@@ -54,9 +54,12 @@ use rayon::prelude::*;
 
 use crate::engine::{shards_from_env, Engine, EngineBuilder};
 use crate::experiment::sweep_dispatches_serial;
+use crate::fault::{FaultPlane, FaultSpec};
 use crate::network::NetworkModel;
 use crate::scale::{scaled_buffer_bound, scaled_params, scaled_view_size};
 use crate::topology::{sample_distinct, sample_view_into};
+
+pub mod spec;
 
 // ─────────────────────── the scenario protocol ────────────────────────
 
@@ -120,6 +123,28 @@ pub trait ScenarioProtocol: Protocol + Sized + Send {
     /// view — the §3.4 `Subscribe` for lpbcast, an empty subs-carrying
     /// digest for pbcast. Used by the partition-heal bridges.
     fn bridge(from: ProcessId) -> Self::Msg;
+
+    /// Rewrites one outgoing message on behalf of a Byzantine
+    /// *advertise-but-withhold* sender (the [`spec`] module's
+    /// `ByzantineDroppers` generator): strip event payloads while
+    /// keeping every advertisement (digest ids, subs) so honest peers
+    /// waste pulls on the liar, or return `false` to suppress the
+    /// message entirely. The default keeps everything intact — a
+    /// protocol that does not override this cannot lie, and the
+    /// Byzantine generator degenerates to an honest run for it.
+    fn withhold(msg: &mut Self::Msg) -> bool {
+        let _ = msg;
+        true
+    }
+
+    /// Turns off the §5.2 *id-counts-as-received* measurement
+    /// convention and enables the protocol's pull/retransmission path,
+    /// so a withheld payload actually costs reliability instead of
+    /// being credited on its advertisement. The Byzantine-dropper
+    /// generator applies this to the scaled configuration.
+    fn strict_delivery(cfg: &mut Self::Cfg) {
+        let _ = cfg;
+    }
 }
 
 impl ScenarioProtocol for Lpbcast {
@@ -176,6 +201,30 @@ impl ScenarioProtocol for Lpbcast {
 
     fn bridge(from: ProcessId) -> Message {
         Message::Subscribe { subscriber: from }
+    }
+
+    /// The lpbcast lie: gossip keeps its `eventIds` digest, `subs` and
+    /// `unSubs` (the liar stays a well-behaved member on paper) but the
+    /// notification bodies vanish, and retransmission requests are
+    /// answered with silence.
+    fn withhold(msg: &mut Message) -> bool {
+        match msg {
+            Message::Gossip(gossip) => {
+                std::sync::Arc::make_mut(gossip).events.clear();
+                true
+            }
+            Message::RetransmitResponse { .. } => false,
+            _ => true,
+        }
+    }
+
+    /// Strict §3.3 delivery: ids learnt from digests are *not* counted
+    /// as deliveries; missing bodies must be pulled from the gossip
+    /// sender, so the archive and pull budgets must be live.
+    fn strict_delivery(cfg: &mut Config) {
+        cfg.deliver_on_digest = false;
+        cfg.retransmit_request_max = cfg.retransmit_request_max.max(8);
+        cfg.archive_capacity = cfg.archive_capacity.max(cfg.events_max * 2);
     }
 }
 
@@ -266,6 +315,21 @@ impl ScenarioProtocol for Pbcast {
 
     fn bridge(from: ProcessId) -> PbcastMessage {
         PbcastMessage::digest(GossipDigest::flat(from, Vec::new(), vec![from]))
+    }
+
+    /// The pbcast lie: digests (the advertisements) flow normally, but
+    /// the `Multicast` frames that push or serve actual notifications
+    /// are swallowed — solicitations against the liar go unanswered.
+    fn withhold(msg: &mut PbcastMessage) -> bool {
+        !matches!(msg, PbcastMessage::Multicast { .. })
+    }
+
+    /// Strict anti-entropy delivery: digest receipt no longer counts as
+    /// delivery (the two are mutually exclusive in [`PbcastConfig`]),
+    /// so bodies travel only through solicited `Multicast` serves.
+    fn strict_delivery(cfg: &mut PbcastScenarioCfg) {
+        cfg.config.deliver_on_digest = false;
+        cfg.config.pull = true;
     }
 }
 
@@ -460,8 +524,26 @@ pub fn churn_scenario<P: ScenarioProtocol>(params: &ChurnParams<P>, seed: u64) -
 where
     P::Msg: WireMessage + Send + 'static,
 {
-    let mut engine =
-        build_scenario_engine::<P>(params.n0, &params.config, params.loss_rate, seed).build();
+    churn_scenario_faulted(params, None, seed)
+}
+
+/// [`churn_scenario`] with an optional correlated-fault overlay: when
+/// `fault` is `Some`, a [`FaultPlane`] salted with the run seed is
+/// installed on the engine. The `None` path is byte-for-byte the
+/// legacy run — the spec layer compiles every churn spec through here.
+pub fn churn_scenario_faulted<P: ScenarioProtocol>(
+    params: &ChurnParams<P>,
+    fault: Option<FaultSpec>,
+    seed: u64,
+) -> ChurnReport
+where
+    P::Msg: WireMessage + Send + 'static,
+{
+    let mut builder = build_scenario_engine::<P>(params.n0, &params.config, params.loss_rate, seed);
+    if let Some(spec) = fault {
+        builder = builder.fault_plane(FaultPlane::new(spec, seed));
+    }
+    let mut engine = builder.build();
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x6368_7572_6E5F_7267); // "churn_rg"
     engine.run(params.warmup);
 
@@ -766,12 +848,29 @@ pub fn catastrophe_scenario<P: ScenarioProtocol>(
 where
     P::Msg: WireMessage + Send + 'static,
 {
+    catastrophe_scenario_faulted(params, None, seed)
+}
+
+/// [`catastrophe_scenario`] with an optional correlated-fault overlay
+/// (see [`churn_scenario_faulted`]; `None` is bit-identical to the
+/// legacy run).
+pub fn catastrophe_scenario_faulted<P: ScenarioProtocol>(
+    params: &CatastropheParams<P>,
+    fault: Option<FaultSpec>,
+    seed: u64,
+) -> CatastropheReport
+where
+    P::Msg: WireMessage + Send + 'static,
+{
     assert!(
         (0.0..1.0).contains(&params.crash_fraction),
         "crash fraction must be in [0, 1)"
     );
-    let mut engine =
-        build_scenario_engine::<P>(params.n, &params.config, params.loss_rate, seed).build();
+    let mut builder = build_scenario_engine::<P>(params.n, &params.config, params.loss_rate, seed);
+    if let Some(spec) = fault {
+        builder = builder.fault_plane(FaultPlane::new(spec, seed));
+    }
+    let mut engine = builder.build();
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x6361_7461_7374_726F); // "catastro"
     engine.run(params.warmup);
 
@@ -973,6 +1072,20 @@ pub fn partition_scenario<P: ScenarioProtocol>(
 where
     P::Msg: WireMessage + Send + 'static,
 {
+    partition_scenario_faulted(params, None, seed)
+}
+
+/// [`partition_scenario`] with an optional correlated-fault overlay
+/// (see [`churn_scenario_faulted`]; `None` is bit-identical to the
+/// legacy run).
+pub fn partition_scenario_faulted<P: ScenarioProtocol>(
+    params: &PartitionParams<P>,
+    fault: Option<FaultSpec>,
+    seed: u64,
+) -> PartitionReport
+where
+    P::Msg: WireMessage + Send + 'static,
+{
     assert!(params.n >= 4, "need at least two processes per side");
     let split = params.n / 2;
     let view_size = P::view_size(&params.config);
@@ -997,11 +1110,14 @@ where
             members,
         )
     });
-    let mut engine: Engine<P> = Engine::builder(NetworkModel::new(params.loss_rate, seed))
+    let mut builder = Engine::builder(NetworkModel::new(params.loss_rate, seed))
         .wire_meter(wire_meter())
         .shards(shards_from_env())
-        .nodes(nodes)
-        .build();
+        .nodes(nodes);
+    if let Some(spec) = fault {
+        builder = builder.fault_plane(FaultPlane::new(spec, seed));
+    }
+    let mut engine: Engine<P> = builder.build();
     let components = engine.view_graph().undirected_components();
     let components_before = components.count();
     let largest_component_before = components.largest_size();

@@ -1,0 +1,1642 @@
+//! Declarative scenario matrix: a string-serialisable [`ScenarioSpec`]
+//! naming *one cell* of the evidence grid — protocol × generator ×
+//! size × load × fault model — and a runner that makes every cell a
+//! pure function of `(spec, seed)`.
+//!
+//! The parent module grew three hand-coded scenarios with hand-picked
+//! parameters; this layer turns them (plus three new generators) into
+//! data. A spec round-trips through the same hand-rolled `key=value;…`
+//! grammar as [`FaultSpec`] — the workspace carries no serde — so
+//! benchmark tables, TSV rows and CI configs can name a scenario
+//! textually and replay it bit-exactly:
+//!
+//! ```text
+//! proto=lpbcast;gen=churn;n=10000
+//! proto=pbcast;gen=byzantine_droppers;n=1000;fraction=0.2;fault.lossy_links=0.2;fault.link_loss=0.3
+//! ```
+//!
+//! Six generators:
+//!
+//! * [`Churn`], [`Catastrophe`], [`Partition`] — compiled onto the
+//!   parent module's legacy entry points, parameter for parameter, so a
+//!   default spec reproduces the committed reference rows **bit for
+//!   bit** (pinned by `tests/spec_equivalence.rs`);
+//! * [`RepeatedPartitions`] — the network tears along a stable divide
+//!   on a fixed schedule ([`FaultSpec::partition_period`]) and heals,
+//!   over and over; measures per-cycle heal latency and whether events
+//!   published *during* a window eventually deliver;
+//! * [`FlashCrowd`] — a large joiner cohort arrives in a single round
+//!   (the §3.4 subscription handshake under maximal contention);
+//!   measures absorption time and reliability through the surge;
+//! * [`ByzantineDroppers`] — a cohort of *advertise-but-withhold* liars
+//!   (threat model from the Byzantine reliable-broadcast literature —
+//!   see PAPERS.md): they gossip digests, subscriptions and membership
+//!   chatter like model citizens but strip every notification body and
+//!   answer retransmission requests with silence. Runs under
+//!   [`ScenarioProtocol::strict_delivery`], because under the §5.2
+//!   id-counts-as-received convention a withheld payload would cost
+//!   nothing.
+//!
+//! [`Churn`]: ScenarioGenerator::Churn
+//! [`Catastrophe`]: ScenarioGenerator::Catastrophe
+//! [`Partition`]: ScenarioGenerator::Partition
+//! [`RepeatedPartitions`]: ScenarioGenerator::RepeatedPartitions
+//! [`FlashCrowd`]: ScenarioGenerator::FlashCrowd
+//! [`ByzantineDroppers`]: ScenarioGenerator::ByzantineDroppers
+
+use core::fmt;
+use core::str::FromStr;
+
+use lpbcast_core::Lpbcast;
+use lpbcast_membership::Swim;
+use lpbcast_net::WireMessage;
+use lpbcast_pbcast::Pbcast;
+use lpbcast_types::{EventId, Output, Payload, ProcessId, Protocol};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use super::{
+    build_scenario_engine, catastrophe_scenario_faulted, churn_scenario_faulted, loaded_rounds,
+    partition_scenario_faulted, CatastropheParams, CatastropheReport, ChurnParams, ChurnReport,
+    LeaveRefused, LoadGen, PartitionParams, PartitionReport, ScenarioProtocol,
+};
+use crate::experiment::sweep_dispatches_serial;
+use crate::fault::{mix, FaultPlane, FaultSpec};
+use crate::topology::sample_distinct;
+
+// ─────────────────────────── the spec itself ──────────────────────────
+
+/// Which protocol stack a spec runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// The paper's lpbcast.
+    Lpbcast,
+    /// The pbcast baseline.
+    Pbcast,
+    /// lpbcast wrapped in the SWIM failure detector.
+    SwimLpbcast,
+    /// pbcast wrapped in the SWIM failure detector.
+    SwimPbcast,
+}
+
+impl ProtocolKind {
+    /// Every protocol stack, in canonical sweep order.
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::Lpbcast,
+        ProtocolKind::Pbcast,
+        ProtocolKind::SwimLpbcast,
+        ProtocolKind::SwimPbcast,
+    ];
+
+    /// The label used in spec strings, reports and TSV rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Lpbcast => "lpbcast",
+            ProtocolKind::Pbcast => "pbcast",
+            ProtocolKind::SwimLpbcast => "swim+lpbcast",
+            ProtocolKind::SwimPbcast => "swim+pbcast",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ProtocolKind {
+    type Err = ScenarioSpecParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "lpbcast" => Ok(ProtocolKind::Lpbcast),
+            "pbcast" => Ok(ProtocolKind::Pbcast),
+            // "swim" matches bench_sim's historical protocol knob.
+            "swim" | "swim+lpbcast" => Ok(ProtocolKind::SwimLpbcast),
+            "swim+pbcast" => Ok(ProtocolKind::SwimPbcast),
+            _ => Err(ScenarioSpecParseError {
+                fragment: format!("proto={s}"),
+            }),
+        }
+    }
+}
+
+/// Which scenario generator a spec runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioGenerator {
+    /// Continuous joins + leaves under load (the legacy churn run).
+    Churn,
+    /// One-round correlated crash (the legacy catastrophe run).
+    Catastrophe,
+    /// Boot-time split healed by bridges (the legacy partition run).
+    Partition,
+    /// Scheduled tear-and-heal cycles along a stable divide.
+    RepeatedPartitions,
+    /// A joiner cohort arriving in a single round.
+    FlashCrowd,
+    /// Advertise-but-withhold liars under strict delivery.
+    ByzantineDroppers,
+}
+
+impl ScenarioGenerator {
+    /// Every generator, in canonical sweep order.
+    pub const ALL: [ScenarioGenerator; 6] = [
+        ScenarioGenerator::Churn,
+        ScenarioGenerator::Catastrophe,
+        ScenarioGenerator::Partition,
+        ScenarioGenerator::RepeatedPartitions,
+        ScenarioGenerator::FlashCrowd,
+        ScenarioGenerator::ByzantineDroppers,
+    ];
+
+    /// The label used in spec strings, reports and TSV rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioGenerator::Churn => "churn",
+            ScenarioGenerator::Catastrophe => "catastrophe",
+            ScenarioGenerator::Partition => "partition",
+            ScenarioGenerator::RepeatedPartitions => "repeated_partitions",
+            ScenarioGenerator::FlashCrowd => "flash_crowd",
+            ScenarioGenerator::ByzantineDroppers => "byzantine_droppers",
+        }
+    }
+}
+
+impl fmt::Display for ScenarioGenerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ScenarioGenerator {
+    type Err = ScenarioSpecParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "churn" => Ok(ScenarioGenerator::Churn),
+            "catastrophe" => Ok(ScenarioGenerator::Catastrophe),
+            "partition" => Ok(ScenarioGenerator::Partition),
+            "repeated_partitions" => Ok(ScenarioGenerator::RepeatedPartitions),
+            "flash_crowd" => Ok(ScenarioGenerator::FlashCrowd),
+            "byzantine_droppers" => Ok(ScenarioGenerator::ByzantineDroppers),
+            _ => Err(ScenarioSpecParseError {
+                fragment: format!("gen={s}"),
+            }),
+        }
+    }
+}
+
+/// One cell of the scenario matrix. Every field that is `0` (or `0.0`)
+/// means *generator default* — a spec carrying only `proto`, `gen` and
+/// `n` compiles to exactly the `scaled()` parameter set the legacy
+/// entry points use, which is what keeps the committed reference
+/// numbers reproducible from spec strings.
+///
+/// Serialises to `key=value;…` via `Display`/`FromStr` (no serde); an
+/// embedded fault model travels as `fault.<key>=<value>` fragments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioSpec {
+    /// Protocol stack under test.
+    pub protocol: ProtocolKind,
+    /// Scenario generator.
+    pub generator: ScenarioGenerator,
+    /// System size (bootstrap membership).
+    pub n: usize,
+    /// Generator-specific round knob (0 = generator default): churn
+    /// rounds, catastrophe pre/post window, partition isolation rounds,
+    /// repeated-partition window length, flash-crowd measurement
+    /// window, byzantine load rounds.
+    pub rounds: u64,
+    /// Events published per loaded round (the §5 measurement load).
+    pub rate: usize,
+    /// Fixed publisher-pool size (0 = uniformly random origins).
+    pub publishers: usize,
+    /// Uniform message-loss probability ε.
+    pub loss_rate: f64,
+    /// Generator-specific fraction knob in `[0, 1]` (0 = default):
+    /// churn intensity (joins = leaves = `fraction·n` per round),
+    /// catastrophe crash fraction, repeated-partition side-B fraction,
+    /// flash-crowd joiner fraction, byzantine liar fraction. The
+    /// partition generator ignores it.
+    pub fraction: f64,
+    /// Repeated-partition cycle count (0 = default; other generators
+    /// ignore it).
+    pub cycles: u64,
+    /// Optional correlated-fault overlay evaluated by a [`FaultPlane`]
+    /// salted with the run seed.
+    pub fault: Option<FaultSpec>,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            protocol: ProtocolKind::Lpbcast,
+            generator: ScenarioGenerator::Churn,
+            n: 1000,
+            rounds: 0,
+            rate: 20,
+            publishers: 16,
+            loss_rate: 0.05,
+            fraction: 0.0,
+            cycles: 0,
+            fault: None,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// A spec with default load knobs for `(protocol, generator, n)`.
+    pub fn new(protocol: ProtocolKind, generator: ScenarioGenerator, n: usize) -> Self {
+        ScenarioSpec {
+            protocol,
+            generator,
+            n,
+            ..ScenarioSpec::default()
+        }
+    }
+
+    /// The spec with a correlated-fault overlay attached.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    fn fraction_or(&self, default: f64) -> f64 {
+        if self.fraction > 0.0 {
+            self.fraction
+        } else {
+            default
+        }
+    }
+
+    /// Compiles the spec into the legacy churn parameter set. With
+    /// default knobs this is exactly [`ChurnParams::scaled`].
+    pub fn churn_params<P: ScenarioProtocol>(&self) -> ChurnParams<P> {
+        let mut p = ChurnParams::<P>::scaled(self.n);
+        p.loss_rate = self.loss_rate;
+        p.rate = self.rate;
+        p.publishers = self.publishers;
+        if self.rounds > 0 {
+            p.churn_rounds = self.rounds;
+        }
+        if self.fraction > 0.0 {
+            let per_round = ((self.fraction * self.n as f64).round() as usize).max(1);
+            p.joins_per_round = per_round;
+            p.leaves_per_round = per_round;
+            P::size_for_leave_rate(&mut p.config, per_round);
+        }
+        p
+    }
+
+    /// Compiles the spec into the legacy catastrophe parameter set.
+    pub fn catastrophe_params<P: ScenarioProtocol>(&self) -> CatastropheParams<P> {
+        let mut p = CatastropheParams::<P>::scaled(self.n);
+        p.loss_rate = self.loss_rate;
+        p.rate = self.rate;
+        p.publishers = self.publishers;
+        p.crash_fraction = self.fraction_or(p.crash_fraction);
+        if self.rounds > 0 {
+            p.pre_rounds = self.rounds;
+            p.post_rounds = self.rounds;
+        }
+        p
+    }
+
+    /// Compiles the spec into the legacy partition parameter set.
+    pub fn partition_params<P: ScenarioProtocol>(&self) -> PartitionParams<P> {
+        let mut p = PartitionParams::<P>::scaled(self.n.max(4));
+        p.loss_rate = self.loss_rate;
+        if self.rounds > 0 {
+            p.isolated_rounds = self.rounds;
+        }
+        p
+    }
+
+    /// Compiles the spec into repeated-partition parameters.
+    pub fn repeated_partitions_params<P: ScenarioProtocol>(&self) -> RepeatedPartitionsParams<P> {
+        let mut p = RepeatedPartitionsParams::<P>::scaled(self.n);
+        p.loss_rate = self.loss_rate;
+        p.rate = self.rate;
+        p.publishers = self.publishers;
+        p.side_frac = self.fraction_or(p.side_frac);
+        if self.rounds > 0 {
+            p.partition_rounds = self.rounds;
+        }
+        if self.cycles > 0 {
+            p.cycles = self.cycles;
+        }
+        p
+    }
+
+    /// Compiles the spec into flash-crowd parameters.
+    pub fn flash_crowd_params<P: ScenarioProtocol>(&self) -> FlashCrowdParams<P> {
+        let mut p = FlashCrowdParams::<P>::scaled(self.n);
+        p.loss_rate = self.loss_rate;
+        p.rate = self.rate;
+        p.publishers = self.publishers;
+        p.joiner_frac = self.fraction_or(p.joiner_frac);
+        if self.rounds > 0 {
+            p.surge_rounds = self.rounds;
+        }
+        p
+    }
+
+    /// Compiles the spec into Byzantine-dropper parameters (strict
+    /// delivery already applied to the configuration).
+    pub fn byzantine_params<P: ScenarioProtocol>(&self) -> ByzantineParams<P> {
+        let mut p = ByzantineParams::<P>::scaled(self.n);
+        p.loss_rate = self.loss_rate;
+        p.rate = self.rate;
+        p.publishers = self.publishers;
+        p.liar_frac = self.fraction_or(p.liar_frac);
+        if self.rounds > 0 {
+            p.load_rounds = self.rounds;
+        }
+        p
+    }
+}
+
+/// Failure to parse a [`ScenarioSpec`] string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioSpecParseError {
+    /// The offending `key=value` fragment.
+    pub fragment: String,
+}
+
+impl fmt::Display for ScenarioSpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad scenario-spec fragment {:?}", self.fragment)
+    }
+}
+
+impl std::error::Error for ScenarioSpecParseError {}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "proto={};gen={};n={};rounds={};rate={};publishers={};loss={};fraction={};cycles={}",
+            self.protocol,
+            self.generator,
+            self.n,
+            self.rounds,
+            self.rate,
+            self.publishers,
+            self.loss_rate,
+            self.fraction,
+            self.cycles,
+        )?;
+        if let Some(fault) = &self.fault {
+            for fragment in fault.to_string().split(';') {
+                write!(f, ";fault.{fragment}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for ScenarioSpec {
+    type Err = ScenarioSpecParseError;
+
+    /// Parses the `key=value;…` form produced by `Display`. Keys may
+    /// appear in any order; omitted keys keep their defaults; unknown
+    /// keys and malformed values are errors. `fault.<key>` fragments
+    /// are collected and delegated to [`FaultSpec::from_str`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut spec = ScenarioSpec::default();
+        let mut fault_fragments = String::new();
+        for fragment in s.split(';').filter(|f| !f.trim().is_empty()) {
+            let err = || ScenarioSpecParseError {
+                fragment: fragment.to_string(),
+            };
+            let (key, value) = fragment.trim().split_once('=').ok_or_else(err)?;
+            if let Some(fault_key) = key.strip_prefix("fault.") {
+                if !fault_fragments.is_empty() {
+                    fault_fragments.push(';');
+                }
+                fault_fragments.push_str(fault_key);
+                fault_fragments.push('=');
+                fault_fragments.push_str(value);
+                continue;
+            }
+            let fu64 = || value.parse::<u64>().map_err(|_| err());
+            let fusize = || value.parse::<usize>().map_err(|_| err());
+            let ffrac = || {
+                value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|v| (0.0..=1.0).contains(v))
+                    .ok_or_else(err)
+            };
+            match key {
+                "proto" => spec.protocol = value.parse()?,
+                "gen" => spec.generator = value.parse()?,
+                "n" => {
+                    spec.n = fusize()?;
+                    if spec.n == 0 {
+                        return Err(err());
+                    }
+                }
+                "rounds" => spec.rounds = fu64()?,
+                "rate" => spec.rate = fusize()?,
+                "publishers" => spec.publishers = fusize()?,
+                "loss" => spec.loss_rate = ffrac()?,
+                "fraction" => spec.fraction = ffrac()?,
+                "cycles" => spec.cycles = fu64()?,
+                _ => return Err(err()),
+            }
+        }
+        if !fault_fragments.is_empty() {
+            spec.fault = Some(fault_fragments.parse().map_err(
+                |e: crate::fault::FaultSpecParseError| ScenarioSpecParseError {
+                    fragment: format!("fault.{}", e.fragment),
+                },
+            )?);
+        }
+        Ok(spec)
+    }
+}
+
+// ──────────────────── new generator: repeated partitions ──────────────
+
+/// Parameters of a repeated tear-and-heal run.
+#[derive(Debug, Clone)]
+pub struct RepeatedPartitionsParams<P: ScenarioProtocol> {
+    /// System size.
+    pub n: usize,
+    /// Protocol configuration.
+    pub config: P::Cfg,
+    /// Message-loss probability ε.
+    pub loss_rate: f64,
+    /// Quiet partition-free rounds before the first window.
+    pub warmup: u64,
+    /// Tear-and-heal cycles.
+    pub cycles: u64,
+    /// Rounds each partition window stays open.
+    pub partition_rounds: u64,
+    /// Healed rounds between windows (the per-cycle heal-latency
+    /// measurement budget).
+    pub heal_budget: u64,
+    /// Fraction of processes hashed onto side B of the divide.
+    pub side_frac: f64,
+    /// Events published per round (load continues through windows).
+    pub rate: usize,
+    /// Fixed publisher-pool size (0 = random origins).
+    pub publishers: usize,
+    /// Quiet rounds after the last cycle.
+    pub drain: u64,
+}
+
+impl<P: ScenarioProtocol> RepeatedPartitionsParams<P> {
+    /// Three 6-round tears with 20-round heal budgets at the §5-scaled
+    /// configuration, load flowing throughout.
+    pub fn scaled(n: usize) -> Self {
+        RepeatedPartitionsParams {
+            n,
+            config: P::scaled_cfg(n),
+            loss_rate: 0.05,
+            warmup: 5,
+            cycles: 3,
+            partition_rounds: 6,
+            heal_budget: 20,
+            side_frac: 0.5,
+            rate: 20,
+            publishers: 16,
+            drain: 10,
+        }
+    }
+}
+
+/// Outcome of one repeated tear-and-heal run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepeatedPartitionsReport {
+    /// Protocol the run exercised.
+    pub protocol: &'static str,
+    /// System size.
+    pub n: usize,
+    /// Cycles run.
+    pub cycles: u64,
+    /// Per-cycle rounds until the post-window probe reached ≥ 99% of
+    /// the membership (`None` when the heal budget ran out).
+    pub heal_rounds: Vec<Option<u64>>,
+    /// Mean delivery reliability of all windowed events (including
+    /// those published mid-partition), against the membership.
+    pub mean_reliability: f64,
+    /// Worst windowed event.
+    pub min_reliability: f64,
+    /// Events in the measurement window.
+    pub events_measured: usize,
+    /// Total wire bytes offered across the run.
+    pub wire_bytes: u64,
+    /// Message copies offered across the run.
+    pub wire_messages: u64,
+    /// Total rounds the engine ran.
+    pub rounds: u64,
+}
+
+impl RepeatedPartitionsReport {
+    /// Mean wire bytes per simulated round.
+    pub fn wire_bytes_per_round(&self) -> f64 {
+        self.wire_bytes as f64 / self.rounds.max(1) as f64
+    }
+
+    /// Worst per-cycle heal latency; `None` if any cycle blew its
+    /// budget.
+    pub fn worst_heal(&self) -> Option<u64> {
+        self.heal_rounds
+            .iter()
+            .copied()
+            .collect::<Option<Vec<u64>>>()
+            .and_then(|v| v.into_iter().max())
+    }
+}
+
+/// Runs scheduled tear-and-heal cycles: the partition lives in the
+/// [`FaultPlane`] (a pure function of the round number and a stable
+/// side cohort), so the engine, load and membership machinery run
+/// completely unmodified. Deterministic per `(P, params, fault, seed)`.
+pub fn repeated_partitions_scenario<P: ScenarioProtocol>(
+    params: &RepeatedPartitionsParams<P>,
+    fault: Option<FaultSpec>,
+    seed: u64,
+) -> RepeatedPartitionsReport
+where
+    P::Msg: WireMessage + Send + 'static,
+{
+    // Embed the tear schedule into the (possibly user-supplied) fault
+    // spec; the plane is salted with the run seed like every overlay.
+    let mut fault = fault.unwrap_or_default();
+    fault.partition_period = params.partition_rounds + params.heal_budget;
+    fault.partition_rounds = params.partition_rounds;
+    fault.partition_frac = params.side_frac;
+    fault.partition_after = params.warmup;
+    let mut engine = build_scenario_engine::<P>(params.n, &params.config, params.loss_rate, seed)
+        .fault_plane(FaultPlane::new(fault, seed))
+        .build();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7265_7061_7274_6E73); // "repartns"
+    let mut load = LoadGen::new(params.publishers);
+    engine.run(params.warmup);
+
+    let window_start = engine.round();
+    let mut heal_rounds = Vec::with_capacity(params.cycles as usize);
+    for _ in 0..params.cycles {
+        // The torn window: load keeps flowing, cross-side copies die in
+        // the plane.
+        loaded_rounds(
+            &mut engine,
+            &mut rng,
+            &mut load,
+            params.partition_rounds,
+            params.rate,
+        );
+        // The healed window: a probe measures how fast the reunified
+        // membership carries a fresh event everywhere.
+        let probe = engine.publish_from(ProcessId::new(0), Payload::from_static(b"re-heal"));
+        let probe_round = engine.round();
+        let target = ((engine.alive_count() as f64) * 0.99).ceil() as usize;
+        let mut healed = None;
+        for _ in 0..params.heal_budget {
+            loaded_rounds(&mut engine, &mut rng, &mut load, 1, params.rate);
+            if healed.is_none() && engine.tracker().infected_count(probe) >= target {
+                healed = Some(engine.round() - probe_round);
+            }
+        }
+        heal_rounds.push(healed);
+    }
+    let window_end = engine.round();
+    engine.run(params.drain);
+
+    let population = engine.alive_count();
+    let report = engine
+        .tracker()
+        .reliability_report(window_start..=window_end, population);
+    let per_event: Vec<f64> = report.per_event.iter().map(|&r| r.min(1.0)).collect();
+    let events_measured = per_event.len();
+    let (mean_reliability, min_reliability) = mean_min(&per_event);
+    let wire = engine.wire_accounting().unwrap_or_default();
+    RepeatedPartitionsReport {
+        protocol: P::NAME,
+        n: params.n,
+        cycles: params.cycles,
+        heal_rounds,
+        mean_reliability,
+        min_reliability,
+        events_measured,
+        wire_bytes: wire.bytes,
+        wire_messages: wire.messages,
+        rounds: engine.round(),
+    }
+}
+
+// ──────────────────────── new generator: flash crowd ──────────────────
+
+/// Parameters of a flash-crowd run.
+#[derive(Debug, Clone)]
+pub struct FlashCrowdParams<P: ScenarioProtocol> {
+    /// Bootstrap membership size.
+    pub n0: usize,
+    /// Protocol configuration (bootstrap members and joiners).
+    pub config: P::Cfg,
+    /// Message-loss probability ε.
+    pub loss_rate: f64,
+    /// Quiet rounds before the surge.
+    pub warmup: u64,
+    /// Joiners arriving in the surge round, as a fraction of `n0`.
+    pub joiner_frac: f64,
+    /// Loaded rounds measured after the surge (the absorption window).
+    pub surge_rounds: u64,
+    /// Events published per round.
+    pub rate: usize,
+    /// Fixed publisher-pool size (0 = random origins).
+    pub publishers: usize,
+    /// Quiet rounds after the window.
+    pub drain: u64,
+}
+
+impl<P: ScenarioProtocol> FlashCrowdParams<P> {
+    /// Half of `n0` arriving at once, measured over 30 loaded rounds at
+    /// the §5-scaled configuration.
+    pub fn scaled(n0: usize) -> Self {
+        FlashCrowdParams {
+            n0,
+            config: P::scaled_cfg(n0),
+            loss_rate: 0.05,
+            warmup: 5,
+            joiner_frac: 0.5,
+            surge_rounds: 30,
+            rate: 20,
+            publishers: 16,
+            drain: 10,
+        }
+    }
+}
+
+/// Outcome of one flash-crowd run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlashCrowdReport {
+    /// Protocol the run exercised.
+    pub protocol: &'static str,
+    /// Bootstrap size.
+    pub n0: usize,
+    /// Joiners injected in the surge round.
+    pub joiners: usize,
+    /// Joiners whose handshake completed by the end of the run.
+    pub joins_completed: usize,
+    /// Rounds after the surge until ≥ 99% of the joiners were admitted
+    /// (`None` if that never happened inside the window).
+    pub rounds_to_absorb: Option<u64>,
+    /// Mean delivery reliability of the windowed events against the
+    /// end-of-run membership.
+    pub mean_reliability: f64,
+    /// Worst windowed event.
+    pub min_reliability: f64,
+    /// Events in the measurement window.
+    pub events_measured: usize,
+    /// Whether the view graph was §4.4-partitioned at the end.
+    pub partitioned_at_end: bool,
+    /// Total wire bytes offered across the run.
+    pub wire_bytes: u64,
+    /// Message copies offered across the run.
+    pub wire_messages: u64,
+    /// Total rounds the engine ran.
+    pub rounds: u64,
+}
+
+impl FlashCrowdReport {
+    /// Mean wire bytes per simulated round.
+    pub fn wire_bytes_per_round(&self) -> f64 {
+        self.wire_bytes as f64 / self.rounds.max(1) as f64
+    }
+}
+
+/// Runs one flash-crowd scenario: `joiner_frac · n0` newcomers start
+/// the §3.4 subscription handshake in the *same* round, against a
+/// membership that has never seen them. Deterministic per
+/// `(P, params, fault, seed)`.
+pub fn flash_crowd_scenario<P: ScenarioProtocol>(
+    params: &FlashCrowdParams<P>,
+    fault: Option<FaultSpec>,
+    seed: u64,
+) -> FlashCrowdReport
+where
+    P::Msg: WireMessage + Send + 'static,
+{
+    let mut builder = build_scenario_engine::<P>(params.n0, &params.config, params.loss_rate, seed);
+    if let Some(spec) = fault {
+        builder = builder.fault_plane(FaultPlane::new(spec, seed));
+    }
+    let mut engine = builder.build();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x666C_6173_6863_7264); // "flashcrd"
+    let mut load = LoadGen::new(params.publishers);
+    engine.run(params.warmup);
+
+    // The surge: every joiner materialises in one round, each holding
+    // three distinct alive contacts.
+    let joiners = ((params.joiner_frac * params.n0 as f64).round() as usize).max(1);
+    let contacts_pool: Vec<ProcessId> = engine.alive_ids().to_vec();
+    let mut contact_scratch: Vec<u64> = Vec::new();
+    for j in 0..joiners as u64 {
+        sample_distinct(
+            &mut rng,
+            contacts_pool.len() as u64,
+            3.min(contacts_pool.len()),
+            &mut contact_scratch,
+        );
+        let contacts: Vec<ProcessId> = contact_scratch
+            .iter()
+            .map(|&i| contacts_pool[i as usize])
+            .collect();
+        let id = ProcessId::new(params.n0 as u64 + j);
+        engine.add_node(P::joiner(
+            id,
+            &params.config,
+            seed.wrapping_mul(0x5851_F42D_4C95_7F2D)
+                .wrapping_add(id.as_u64()),
+            contacts,
+        ));
+    }
+    let surge_round = engine.round();
+    let absorb_target = ((joiners as f64) * 0.99).ceil() as usize;
+    let admitted = |engine: &crate::engine::Engine<P>| {
+        (0..joiners as u64)
+            .filter(|&j| {
+                engine
+                    .node(ProcessId::new(params.n0 as u64 + j))
+                    .is_some_and(|node| !node.join_pending())
+            })
+            .count()
+    };
+
+    let window_start = engine.round();
+    let mut rounds_to_absorb = None;
+    let mut alive: Vec<ProcessId> = Vec::new();
+    for _ in 0..params.surge_rounds {
+        alive.clear();
+        alive.extend_from_slice(engine.alive_ids());
+        for _ in 0..params.rate {
+            let Some(origin) = load.pick(&engine, &mut rng, &alive) else {
+                continue;
+            };
+            if engine.is_alive(origin) {
+                engine.publish_from(origin, Payload::from_static(b"flash"));
+            }
+        }
+        engine.step();
+        if rounds_to_absorb.is_none() && admitted(&engine) >= absorb_target {
+            rounds_to_absorb = Some(engine.round() - surge_round);
+        }
+    }
+    let window_end = engine.round();
+    engine.run(params.drain);
+
+    let joins_completed = admitted(&engine);
+    let population = engine.alive_count();
+    let report = engine
+        .tracker()
+        .reliability_report(window_start..=window_end, population);
+    let per_event: Vec<f64> = report.per_event.iter().map(|&r| r.min(1.0)).collect();
+    let events_measured = per_event.len();
+    let (mean_reliability, min_reliability) = mean_min(&per_event);
+    let wire = engine.wire_accounting().unwrap_or_default();
+    FlashCrowdReport {
+        protocol: P::NAME,
+        n0: params.n0,
+        joiners,
+        joins_completed,
+        rounds_to_absorb,
+        mean_reliability,
+        min_reliability,
+        events_measured,
+        partitioned_at_end: engine.view_graph().is_partitioned(),
+        wire_bytes: wire.bytes,
+        wire_messages: wire.messages,
+        rounds: engine.round(),
+    }
+}
+
+// ─────────────────── new generator: byzantine droppers ────────────────
+
+/// The advertise-but-withhold adversary wrapper: delegates the entire
+/// [`Protocol`] lifecycle to the inner protocol, but when this node is
+/// in the lying cohort, every outgoing message passes through
+/// [`ScenarioProtocol::withhold`] — digests, subscriptions and
+/// detector chatter survive; notification bodies do not.
+pub struct Byz<P> {
+    inner: P,
+    lying: bool,
+}
+
+impl<P> Byz<P> {
+    /// Whether this node is in the lying cohort.
+    pub fn is_lying(&self) -> bool {
+        self.lying
+    }
+}
+
+impl<P: ScenarioProtocol> Byz<P> {
+    fn filter(&self, mut out: Output<P::Msg>) -> Output<P::Msg> {
+        if self.lying {
+            out.outgoing.retain_mut(|(_, msg)| P::withhold(msg));
+        }
+        out
+    }
+}
+
+impl<P: ScenarioProtocol> fmt::Debug for Byz<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Byz")
+            .field("id", &self.inner.id())
+            .field("lying", &self.lying)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: ScenarioProtocol> Protocol for Byz<P> {
+    type Msg = P::Msg;
+
+    fn id(&self) -> ProcessId {
+        self.inner.id()
+    }
+
+    fn tick(&mut self) -> Output<Self::Msg> {
+        let out = self.inner.tick();
+        self.filter(out)
+    }
+
+    fn wants_tick(&self) -> bool {
+        self.inner.wants_tick()
+    }
+
+    fn handle_message(&mut self, from: ProcessId, msg: Self::Msg) -> Output<Self::Msg> {
+        let out = self.inner.handle_message(from, msg);
+        self.filter(out)
+    }
+
+    fn broadcast(&mut self, payload: Payload) -> (EventId, Output<Self::Msg>) {
+        let (id, out) = self.inner.broadcast(payload);
+        (id, self.filter(out))
+    }
+
+    fn view_members(&self) -> Vec<ProcessId> {
+        self.inner.view_members()
+    }
+
+    fn evict(&mut self, process: ProcessId) {
+        self.inner.evict(process);
+    }
+}
+
+/// Scenario configuration of the adversary wrapper: the inner
+/// configuration plus the lying-cohort selector.
+pub struct ByzCfg<P: ScenarioProtocol> {
+    /// Inner protocol configuration.
+    pub inner: P::Cfg,
+    /// Fraction of eligible processes in the lying cohort.
+    pub liar_frac: f64,
+    /// Process ids below this bound never lie — the publisher pool is
+    /// spared so a withheld payload measures *dissemination* damage,
+    /// not a liar strangling its own events at the source.
+    pub honest_below: u64,
+    /// Cohort-selection seed (derive it from the run seed).
+    pub cohort_seed: u64,
+}
+
+impl<P: ScenarioProtocol> ByzCfg<P> {
+    /// Whether `id` is in the lying cohort — a stable hash decision,
+    /// like the [`FaultPlane`] cohorts.
+    pub fn is_liar(&self, id: ProcessId) -> bool {
+        id.as_u64() >= self.honest_below
+            && self.liar_frac > 0.0
+            && unit(mix(self.cohort_seed ^ mix(id.as_u64() ^ 0x6C69_6172))) < self.liar_frac
+    }
+}
+
+impl<P: ScenarioProtocol> Clone for ByzCfg<P> {
+    fn clone(&self) -> Self {
+        ByzCfg {
+            inner: self.inner.clone(),
+            liar_frac: self.liar_frac,
+            honest_below: self.honest_below,
+            cohort_seed: self.cohort_seed,
+        }
+    }
+}
+
+impl<P: ScenarioProtocol> fmt::Debug for ByzCfg<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ByzCfg")
+            .field("inner", &self.inner)
+            .field("liar_frac", &self.liar_frac)
+            .field("honest_below", &self.honest_below)
+            .field("cohort_seed", &self.cohort_seed)
+            .finish()
+    }
+}
+
+/// Maps a hash to `[0, 1)` with 53 random bits (the [`FaultPlane`]
+/// convention).
+#[inline]
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl<P: ScenarioProtocol> ScenarioProtocol for Byz<P> {
+    type Cfg = ByzCfg<P>;
+
+    const NAME: &'static str = P::NAME;
+
+    /// An honest wrapper by default (`liar_frac = 0`) over the inner
+    /// strict-delivery configuration; the Byzantine generator fills in
+    /// the cohort.
+    fn scaled_cfg(n: usize) -> ByzCfg<P> {
+        let mut inner = P::scaled_cfg(n);
+        P::strict_delivery(&mut inner);
+        ByzCfg {
+            inner,
+            liar_frac: 0.0,
+            honest_below: 0,
+            cohort_seed: 0,
+        }
+    }
+
+    fn size_for_leave_rate(cfg: &mut ByzCfg<P>, leaves_per_round: usize) {
+        P::size_for_leave_rate(&mut cfg.inner, leaves_per_round);
+    }
+
+    fn view_size(cfg: &ByzCfg<P>) -> usize {
+        P::view_size(&cfg.inner)
+    }
+
+    fn bootstrap(id: ProcessId, cfg: &ByzCfg<P>, seed: u64, members: Vec<ProcessId>) -> Self {
+        Byz {
+            inner: P::bootstrap(id, &cfg.inner, seed, members),
+            lying: cfg.is_liar(id),
+        }
+    }
+
+    fn joiner(id: ProcessId, cfg: &ByzCfg<P>, seed: u64, contacts: Vec<ProcessId>) -> Self {
+        Byz {
+            inner: P::joiner(id, &cfg.inner, seed, contacts),
+            lying: cfg.is_liar(id),
+        }
+    }
+
+    fn request_leave(&mut self) -> Result<(), LeaveRefused> {
+        self.inner.request_leave()
+    }
+
+    fn join_pending(&self) -> bool {
+        self.inner.join_pending()
+    }
+
+    fn leave_pending(&self) -> bool {
+        self.inner.leave_pending()
+    }
+
+    fn bridge(from: ProcessId) -> Self::Msg {
+        P::bridge(from)
+    }
+
+    fn withhold(msg: &mut Self::Msg) -> bool {
+        P::withhold(msg)
+    }
+
+    fn strict_delivery(cfg: &mut Self::Cfg) {
+        P::strict_delivery(&mut cfg.inner);
+    }
+}
+
+/// Parameters of a Byzantine-dropper run.
+#[derive(Debug, Clone)]
+pub struct ByzantineParams<P: ScenarioProtocol> {
+    /// System size.
+    pub n: usize,
+    /// Protocol configuration — [`ScenarioProtocol::strict_delivery`]
+    /// already applied by [`scaled`](ByzantineParams::scaled).
+    pub config: P::Cfg,
+    /// Fraction of non-publisher processes that lie.
+    pub liar_frac: f64,
+    /// Message-loss probability ε.
+    pub loss_rate: f64,
+    /// Quiet rounds before the load window.
+    pub warmup: u64,
+    /// Loaded rounds measured.
+    pub load_rounds: u64,
+    /// Events published per loaded round.
+    pub rate: usize,
+    /// Fixed publisher-pool size — these ids never lie (0 = random
+    /// origins, in which case liars may publish and strangle their own
+    /// events).
+    pub publishers: usize,
+    /// Quiet rounds after the window.
+    pub drain: u64,
+    /// Cap on the honest-probe recovery measurement.
+    pub max_recovery_rounds: u64,
+}
+
+impl<P: ScenarioProtocol> ByzantineParams<P> {
+    /// A 10% lying cohort under the §5-scaled configuration with
+    /// strict delivery.
+    pub fn scaled(n: usize) -> Self {
+        let mut config = P::scaled_cfg(n);
+        P::strict_delivery(&mut config);
+        ByzantineParams {
+            n,
+            config,
+            liar_frac: 0.10,
+            loss_rate: 0.05,
+            warmup: 5,
+            load_rounds: 15,
+            rate: 20,
+            publishers: 16,
+            drain: 10,
+            max_recovery_rounds: 40,
+        }
+    }
+}
+
+/// Outcome of one Byzantine-dropper run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ByzantineReport {
+    /// Protocol the run exercised (the *inner* protocol's name — the
+    /// wrapper is the harness, not the subject).
+    pub protocol: &'static str,
+    /// System size.
+    pub n: usize,
+    /// Processes in the lying cohort.
+    pub liars: usize,
+    /// Mean delivery reliability of the windowed events under strict
+    /// delivery (ids learnt from a liar's digest do **not** count).
+    pub mean_reliability: f64,
+    /// Worst windowed event.
+    pub min_reliability: f64,
+    /// Events in the measurement window.
+    pub events_measured: usize,
+    /// Rounds until an honest probe reached ≥ 99% of the membership
+    /// despite the liars (`None` if it never did within the cap).
+    pub recovery_rounds: Option<u64>,
+    /// Total wire bytes offered across the run (liars' suppressed
+    /// frames cost nothing — they were never offered).
+    pub wire_bytes: u64,
+    /// Message copies offered across the run.
+    pub wire_messages: u64,
+    /// Total rounds the engine ran.
+    pub rounds: u64,
+}
+
+impl ByzantineReport {
+    /// Mean wire bytes per simulated round.
+    pub fn wire_bytes_per_round(&self) -> f64 {
+        self.wire_bytes as f64 / self.rounds.max(1) as f64
+    }
+}
+
+/// Runs one Byzantine-dropper scenario: a hash-selected cohort
+/// advertises every event id it holds while withholding every body
+/// ([`ScenarioProtocol::withhold`]), under strict delivery so the
+/// damage is measurable. Deterministic per `(P, params, fault, seed)`.
+pub fn byzantine_scenario<P: ScenarioProtocol>(
+    params: &ByzantineParams<P>,
+    fault: Option<FaultSpec>,
+    seed: u64,
+) -> ByzantineReport
+where
+    P::Msg: WireMessage + Send + 'static,
+{
+    let cfg: ByzCfg<P> = ByzCfg {
+        inner: params.config.clone(),
+        liar_frac: params.liar_frac,
+        honest_below: params.publishers as u64,
+        cohort_seed: mix(seed ^ 0x6279_7A61_6E74_696E), // "byzantin"
+    };
+    let liars = (0..params.n as u64)
+        .filter(|&i| cfg.is_liar(ProcessId::new(i)))
+        .count();
+    let mut builder = build_scenario_engine::<Byz<P>>(params.n, &cfg, params.loss_rate, seed);
+    if let Some(spec) = fault {
+        builder = builder.fault_plane(FaultPlane::new(spec, seed));
+    }
+    let mut engine = builder.build();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6279_7A5F_6C6F_6164); // "byz_load"
+    let mut load = LoadGen::new(params.publishers);
+    engine.run(params.warmup);
+
+    let window_start = engine.round();
+    loaded_rounds(
+        &mut engine,
+        &mut rng,
+        &mut load,
+        params.load_rounds,
+        params.rate,
+    );
+    let window_end = engine.round();
+
+    // An honest probe against the poisoned membership: how long until
+    // it reaches everyone despite `liars` black holes re-advertising
+    // it?
+    let probe = engine.publish_from(ProcessId::new(0), Payload::from_static(b"byz-probe"));
+    let probe_round = engine.round();
+    let target = ((engine.alive_count() as f64) * 0.99).ceil() as usize;
+    let mut recovery_rounds = None;
+    for _ in 0..params.max_recovery_rounds {
+        engine.step();
+        if engine.tracker().infected_count(probe) >= target {
+            recovery_rounds = Some(engine.round() - probe_round);
+            break;
+        }
+    }
+    engine.run(params.drain);
+
+    let population = engine.alive_count();
+    let report = engine
+        .tracker()
+        .reliability_report(window_start..=window_end, population);
+    let per_event: Vec<f64> = report.per_event.iter().map(|&r| r.min(1.0)).collect();
+    let events_measured = per_event.len();
+    let (mean_reliability, min_reliability) = mean_min(&per_event);
+    let wire = engine.wire_accounting().unwrap_or_default();
+    ByzantineReport {
+        protocol: P::NAME,
+        n: params.n,
+        liars,
+        mean_reliability,
+        min_reliability,
+        events_measured,
+        recovery_rounds,
+        wire_bytes: wire.bytes,
+        wire_messages: wire.messages,
+        rounds: engine.round(),
+    }
+}
+
+fn mean_min(per_event: &[f64]) -> (f64, f64) {
+    if per_event.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (
+            per_event.iter().sum::<f64>() / per_event.len() as f64,
+            per_event.iter().copied().fold(f64::INFINITY, f64::min),
+        )
+    }
+}
+
+// ──────────────────────── running a spec cell ─────────────────────────
+
+/// The report of one spec run — the legacy report types plus the new
+/// generators', unified behind metric accessors so sweep aggregation
+/// does not care which generator produced a row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecReport {
+    /// A churn run.
+    Churn(ChurnReport),
+    /// A catastrophe run.
+    Catastrophe(CatastropheReport),
+    /// A partition-and-heal run.
+    Partition(PartitionReport),
+    /// A repeated tear-and-heal run.
+    RepeatedPartitions(RepeatedPartitionsReport),
+    /// A flash-crowd run.
+    FlashCrowd(FlashCrowdReport),
+    /// A Byzantine-dropper run.
+    Byzantine(ByzantineReport),
+}
+
+impl SpecReport {
+    /// Protocol label of the run.
+    pub fn protocol(&self) -> &'static str {
+        match self {
+            SpecReport::Churn(r) => r.protocol,
+            SpecReport::Catastrophe(r) => r.protocol,
+            SpecReport::Partition(r) => r.protocol,
+            SpecReport::RepeatedPartitions(r) => r.protocol,
+            SpecReport::FlashCrowd(r) => r.protocol,
+            SpecReport::Byzantine(r) => r.protocol,
+        }
+    }
+
+    /// Generator that produced the report.
+    pub fn generator(&self) -> ScenarioGenerator {
+        match self {
+            SpecReport::Churn(_) => ScenarioGenerator::Churn,
+            SpecReport::Catastrophe(_) => ScenarioGenerator::Catastrophe,
+            SpecReport::Partition(_) => ScenarioGenerator::Partition,
+            SpecReport::RepeatedPartitions(_) => ScenarioGenerator::RepeatedPartitions,
+            SpecReport::FlashCrowd(_) => ScenarioGenerator::FlashCrowd,
+            SpecReport::Byzantine(_) => ScenarioGenerator::ByzantineDroppers,
+        }
+    }
+
+    /// System size of the run.
+    pub fn n(&self) -> usize {
+        match self {
+            SpecReport::Churn(r) => r.n0,
+            SpecReport::Catastrophe(r) => r.n,
+            SpecReport::Partition(r) => r.n,
+            SpecReport::RepeatedPartitions(r) => r.n,
+            SpecReport::FlashCrowd(r) => r.n0,
+            SpecReport::Byzantine(r) => r.n,
+        }
+    }
+
+    /// Headline mean reliability: windowed mean for the load-driven
+    /// generators, post-failure mean for the catastrophe, post-heal
+    /// probe coverage for the partition.
+    pub fn reliability_mean(&self) -> f64 {
+        match self {
+            SpecReport::Churn(r) => r.mean_reliability,
+            SpecReport::Catastrophe(r) => r.reliability_after,
+            SpecReport::Partition(r) => r.post_heal_reliability,
+            SpecReport::RepeatedPartitions(r) => r.mean_reliability,
+            SpecReport::FlashCrowd(r) => r.mean_reliability,
+            SpecReport::Byzantine(r) => r.mean_reliability,
+        }
+    }
+
+    /// Worst-case reliability companion of
+    /// [`reliability_mean`](SpecReport::reliability_mean).
+    pub fn reliability_min(&self) -> f64 {
+        match self {
+            SpecReport::Churn(r) => r.min_reliability,
+            SpecReport::Catastrophe(r) => r.reliability_after.min(r.reliability_before),
+            SpecReport::Partition(r) => r.post_heal_reliability,
+            SpecReport::RepeatedPartitions(r) => r.min_reliability,
+            SpecReport::FlashCrowd(r) => r.min_reliability,
+            SpecReport::Byzantine(r) => r.min_reliability,
+        }
+    }
+
+    /// Generator-specific recovery/latency headline, in rounds: probe
+    /// recovery (catastrophe, byzantine), heal time (partitions, worst
+    /// cycle for the repeated generator), absorption time (flash
+    /// crowd). `None` for churn, and when a measurement blew its cap.
+    pub fn recovery_rounds(&self) -> Option<u64> {
+        match self {
+            SpecReport::Churn(_) => None,
+            SpecReport::Catastrophe(r) => r.recovery_rounds,
+            SpecReport::Partition(r) => r.rounds_to_heal,
+            SpecReport::RepeatedPartitions(r) => r.worst_heal(),
+            SpecReport::FlashCrowd(r) => r.rounds_to_absorb,
+            SpecReport::Byzantine(r) => r.recovery_rounds,
+        }
+    }
+
+    /// Mean wire bytes per simulated round.
+    pub fn wire_bytes_per_round(&self) -> f64 {
+        match self {
+            SpecReport::Churn(r) => r.wire_bytes_per_round(),
+            SpecReport::Catastrophe(r) => r.wire_bytes_per_round(),
+            SpecReport::Partition(r) => r.wire_bytes_per_round(),
+            SpecReport::RepeatedPartitions(r) => r.wire_bytes_per_round(),
+            SpecReport::FlashCrowd(r) => r.wire_bytes_per_round(),
+            SpecReport::Byzantine(r) => r.wire_bytes_per_round(),
+        }
+    }
+
+    /// Total rounds the engine ran.
+    pub fn rounds(&self) -> u64 {
+        match self {
+            SpecReport::Churn(r) => r.rounds,
+            SpecReport::Catastrophe(r) => r.rounds,
+            SpecReport::Partition(r) => r.rounds,
+            SpecReport::RepeatedPartitions(r) => r.rounds,
+            SpecReport::FlashCrowd(r) => r.rounds,
+            SpecReport::Byzantine(r) => r.rounds,
+        }
+    }
+}
+
+fn run_spec_on<P: ScenarioProtocol>(spec: &ScenarioSpec, seed: u64) -> SpecReport
+where
+    P::Msg: WireMessage + Send + 'static,
+{
+    match spec.generator {
+        ScenarioGenerator::Churn => SpecReport::Churn(churn_scenario_faulted(
+            &spec.churn_params::<P>(),
+            spec.fault,
+            seed,
+        )),
+        ScenarioGenerator::Catastrophe => SpecReport::Catastrophe(catastrophe_scenario_faulted(
+            &spec.catastrophe_params::<P>(),
+            spec.fault,
+            seed,
+        )),
+        ScenarioGenerator::Partition => SpecReport::Partition(partition_scenario_faulted(
+            &spec.partition_params::<P>(),
+            spec.fault,
+            seed,
+        )),
+        ScenarioGenerator::RepeatedPartitions => SpecReport::RepeatedPartitions(
+            repeated_partitions_scenario(&spec.repeated_partitions_params::<P>(), spec.fault, seed),
+        ),
+        ScenarioGenerator::FlashCrowd => SpecReport::FlashCrowd(flash_crowd_scenario(
+            &spec.flash_crowd_params::<P>(),
+            spec.fault,
+            seed,
+        )),
+        ScenarioGenerator::ByzantineDroppers => SpecReport::Byzantine(byzantine_scenario(
+            &spec.byzantine_params::<P>(),
+            spec.fault,
+            seed,
+        )),
+    }
+}
+
+/// Runs one cell of the scenario matrix — a pure function of
+/// `(spec, seed)`.
+pub fn run_scenario_spec(spec: &ScenarioSpec, seed: u64) -> SpecReport {
+    match spec.protocol {
+        ProtocolKind::Lpbcast => run_spec_on::<Lpbcast>(spec, seed),
+        ProtocolKind::Pbcast => run_spec_on::<Pbcast>(spec, seed),
+        ProtocolKind::SwimLpbcast => run_spec_on::<Swim<Lpbcast>>(spec, seed),
+        ProtocolKind::SwimPbcast => run_spec_on::<Swim<Pbcast>>(spec, seed),
+    }
+}
+
+/// Runs many `(spec, seed)` cells in parallel; reports come back in
+/// cell order and are bit-identical to [`sweep_specs_serial`]
+/// regardless of the worker count (each cell owns an independent
+/// engine and RNG streams).
+pub fn sweep_specs(cells: &[(ScenarioSpec, u64)]) -> Vec<SpecReport> {
+    if sweep_dispatches_serial(cells.len()) {
+        return sweep_specs_serial(cells);
+    }
+    cells
+        .par_iter()
+        .map(|(spec, seed)| run_scenario_spec(spec, *seed))
+        .collect()
+}
+
+/// Single-threaded [`sweep_specs`] (determinism reference).
+pub fn sweep_specs_serial(cells: &[(ScenarioSpec, u64)]) -> Vec<SpecReport> {
+    cells
+        .iter()
+        .map(|(spec, seed)| run_scenario_spec(spec, *seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_string_roundtrips() {
+        for spec in [
+            ScenarioSpec::default(),
+            ScenarioSpec::new(
+                ProtocolKind::Pbcast,
+                ScenarioGenerator::ByzantineDroppers,
+                2500,
+            ),
+            ScenarioSpec {
+                protocol: ProtocolKind::SwimPbcast,
+                generator: ScenarioGenerator::RepeatedPartitions,
+                n: 77,
+                rounds: 9,
+                rate: 5,
+                publishers: 0,
+                loss_rate: 0.125,
+                fraction: 0.25,
+                cycles: 2,
+                fault: Some(FaultSpec::noisy_links(42)),
+            },
+            ScenarioSpec::new(ProtocolKind::SwimLpbcast, ScenarioGenerator::FlashCrowd, 60)
+                .with_fault(FaultSpec {
+                    partition_period: 10,
+                    partition_rounds: 3,
+                    partition_frac: 0.5,
+                    ..FaultSpec::default()
+                }),
+        ] {
+            let s = spec.to_string();
+            let parsed: ScenarioSpec = s.parse().expect("roundtrip parse");
+            assert_eq!(parsed, spec, "{s}");
+        }
+    }
+
+    #[test]
+    fn spec_parse_rejects_garbage() {
+        assert!("proto=quux;gen=churn;n=10".parse::<ScenarioSpec>().is_err());
+        assert!("gen=quux".parse::<ScenarioSpec>().is_err());
+        assert!("n=0".parse::<ScenarioSpec>().is_err());
+        assert!("loss=1.5".parse::<ScenarioSpec>().is_err());
+        assert!("fraction=-0.5".parse::<ScenarioSpec>().is_err());
+        assert!("bogus=1".parse::<ScenarioSpec>().is_err());
+        assert!("rounds".parse::<ScenarioSpec>().is_err());
+        assert!("fault.bogus=1".parse::<ScenarioSpec>().is_err());
+        // Omitted keys default; empty fragments are tolerated; "swim"
+        // aliases the wrapped lpbcast stack.
+        let spec: ScenarioSpec = "proto=swim;;n=40;".parse().unwrap();
+        assert_eq!(spec.protocol, ProtocolKind::SwimLpbcast);
+        assert_eq!(spec.n, 40);
+        assert_eq!(spec.rate, 20);
+        assert!(spec.fault.is_none());
+    }
+
+    #[test]
+    fn fault_fragments_embed_and_extract() {
+        let spec = ScenarioSpec::new(ProtocolKind::Lpbcast, ScenarioGenerator::Catastrophe, 500)
+            .with_fault(FaultSpec::slow_cohort(7));
+        let s = spec.to_string();
+        assert!(s.contains("fault.slow_nodes=0.1"), "{s}");
+        let parsed: ScenarioSpec = s.parse().unwrap();
+        assert_eq!(parsed.fault, Some(FaultSpec::slow_cohort(7)));
+    }
+
+    #[test]
+    fn default_specs_compile_to_scaled_params() {
+        let spec = ScenarioSpec::new(ProtocolKind::Lpbcast, ScenarioGenerator::Churn, 200);
+        let compiled = spec.churn_params::<Lpbcast>();
+        let scaled = ChurnParams::<Lpbcast>::scaled(200);
+        assert_eq!(compiled.loss_rate, scaled.loss_rate);
+        assert_eq!(compiled.churn_rounds, scaled.churn_rounds);
+        assert_eq!(compiled.joins_per_round, scaled.joins_per_round);
+        assert_eq!(compiled.leaves_per_round, scaled.leaves_per_round);
+        assert_eq!(compiled.rate, scaled.rate);
+        assert_eq!(compiled.publishers, scaled.publishers);
+    }
+
+    #[test]
+    fn spec_runs_match_legacy_entry_points() {
+        // The three legacy generators, driven from specs, must be
+        // bit-identical to direct calls (the full-scale pin lives in
+        // tests/spec_equivalence.rs; this is the fast debug-mode
+        // version).
+        let n = 60;
+        let seed = 3;
+        for protocol in [ProtocolKind::Lpbcast, ProtocolKind::Pbcast] {
+            let churn = run_scenario_spec(
+                &ScenarioSpec::new(protocol, ScenarioGenerator::Churn, n),
+                seed,
+            );
+            let catastrophe = run_scenario_spec(
+                &ScenarioSpec::new(protocol, ScenarioGenerator::Catastrophe, n),
+                seed,
+            );
+            let partition = run_scenario_spec(
+                &ScenarioSpec::new(protocol, ScenarioGenerator::Partition, n),
+                seed,
+            );
+            match protocol {
+                ProtocolKind::Lpbcast => {
+                    assert_eq!(
+                        churn,
+                        SpecReport::Churn(super::super::churn_scenario(
+                            &ChurnParams::<Lpbcast>::scaled(n),
+                            seed
+                        ))
+                    );
+                    assert_eq!(
+                        catastrophe,
+                        SpecReport::Catastrophe(super::super::catastrophe_scenario(
+                            &CatastropheParams::<Lpbcast>::scaled(n),
+                            seed
+                        ))
+                    );
+                    assert_eq!(
+                        partition,
+                        SpecReport::Partition(super::super::partition_scenario(
+                            &PartitionParams::<Lpbcast>::scaled(n),
+                            seed
+                        ))
+                    );
+                }
+                ProtocolKind::Pbcast => {
+                    assert_eq!(
+                        churn,
+                        SpecReport::Churn(super::super::churn_scenario(
+                            &ChurnParams::<Pbcast>::scaled(n),
+                            seed
+                        ))
+                    );
+                    assert_eq!(
+                        catastrophe,
+                        SpecReport::Catastrophe(super::super::catastrophe_scenario(
+                            &CatastropheParams::<Pbcast>::scaled(n),
+                            seed
+                        ))
+                    );
+                    assert_eq!(
+                        partition,
+                        SpecReport::Partition(super::super::partition_scenario(
+                            &PartitionParams::<Pbcast>::scaled(n),
+                            seed
+                        ))
+                    );
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_partitions_heals_every_cycle() {
+        let spec = ScenarioSpec {
+            n: 80,
+            generator: ScenarioGenerator::RepeatedPartitions,
+            cycles: 2,
+            ..ScenarioSpec::default()
+        };
+        let SpecReport::RepeatedPartitions(report) = run_scenario_spec(&spec, 5) else {
+            panic!("wrong report variant");
+        };
+        assert_eq!(report.heal_rounds.len(), 2);
+        assert!(
+            report.heal_rounds.iter().all(|h| h.is_some()),
+            "every cycle heals within budget: {report:?}"
+        );
+        assert!(report.mean_reliability > 0.8, "{report:?}");
+        // Determinism across twin runs.
+        assert_eq!(
+            SpecReport::RepeatedPartitions(report),
+            run_scenario_spec(&spec, 5)
+        );
+    }
+
+    #[test]
+    fn flash_crowd_absorbs_the_surge() {
+        let spec = ScenarioSpec::new(ProtocolKind::Lpbcast, ScenarioGenerator::FlashCrowd, 80);
+        let SpecReport::FlashCrowd(report) = run_scenario_spec(&spec, 7) else {
+            panic!("wrong report variant");
+        };
+        assert_eq!(report.joiners, 40);
+        assert!(
+            report.joins_completed * 10 >= report.joiners * 9,
+            "≥90% of the surge admitted: {report:?}"
+        );
+        assert!(report.rounds_to_absorb.is_some(), "{report:?}");
+        assert!(!report.partitioned_at_end, "{report:?}");
+    }
+
+    #[test]
+    fn byzantine_droppers_lie_and_honest_runs_dont() {
+        let spec = ScenarioSpec {
+            generator: ScenarioGenerator::ByzantineDroppers,
+            n: 80,
+            fraction: 0.3,
+            ..ScenarioSpec::default()
+        };
+        let SpecReport::Byzantine(report) = run_scenario_spec(&spec, 9) else {
+            panic!("wrong report variant");
+        };
+        assert!(report.liars > 0, "cohort selected: {report:?}");
+        assert!(report.events_measured > 0);
+        // The same run with fraction→0 liars must still disseminate
+        // under strict delivery, and at least as well as with liars.
+        let honest_spec = ScenarioSpec {
+            fraction: 0.001, // effectively empty cohort, same code path
+            ..spec
+        };
+        let SpecReport::Byzantine(honest) = run_scenario_spec(&honest_spec, 9) else {
+            panic!("wrong report variant");
+        };
+        assert_eq!(honest.liars, 0, "{honest:?}");
+        assert!(
+            honest.mean_reliability >= report.mean_reliability,
+            "withholding cannot improve reliability: honest {} vs byz {}",
+            honest.mean_reliability,
+            report.mean_reliability
+        );
+    }
+
+    #[test]
+    fn byzantine_runs_on_pbcast_too() {
+        let spec = ScenarioSpec {
+            protocol: ProtocolKind::Pbcast,
+            generator: ScenarioGenerator::ByzantineDroppers,
+            n: 60,
+            fraction: 0.2,
+            ..ScenarioSpec::default()
+        };
+        let SpecReport::Byzantine(report) = run_scenario_spec(&spec, 11) else {
+            panic!("wrong report variant");
+        };
+        assert_eq!(report.protocol, "pbcast");
+        assert!(report.liars > 0, "{report:?}");
+        assert!(
+            report.mean_reliability > 0.3,
+            "honest majority still disseminates through pulls: {report:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_specs_matches_serial() {
+        let cells: Vec<(ScenarioSpec, u64)> = vec![
+            (
+                ScenarioSpec::new(ProtocolKind::Lpbcast, ScenarioGenerator::Churn, 50),
+                1,
+            ),
+            (
+                ScenarioSpec::new(ProtocolKind::Pbcast, ScenarioGenerator::Catastrophe, 50),
+                2,
+            ),
+            (
+                ScenarioSpec::new(ProtocolKind::Lpbcast, ScenarioGenerator::FlashCrowd, 50),
+                3,
+            ),
+        ];
+        assert_eq!(sweep_specs(&cells), sweep_specs_serial(&cells));
+    }
+}

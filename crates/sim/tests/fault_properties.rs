@@ -11,13 +11,19 @@ fn arb_spec() -> impl Strategy<Value = FaultSpec> {
         (any::<u64>(), 0.0f64..=1.0, 0.0f64..=1.0),
         (0.0f64..=1.0, 0.0f64..=1.0, 0u64..8),
         (0.0f64..=1.0, 0u64..8, 0.0f64..=1.0),
+        (0u64..20, 0u64..10, 0.0f64..=1.0, 0u64..50),
     )
         .prop_map(
             |(
                 (seed, lossy_links, link_loss),
                 (duplicate, delay, delay_max),
                 (slow_nodes, slow_delay, silent_nodes),
+                (partition_period, partition_rounds, partition_frac, partition_after),
             )| {
+                // A zero period disables the partition schedule and its
+                // keys are not serialised; keep the dependent knobs
+                // zeroed so string round-trips stay exact equality.
+                let engaged = partition_period > 0;
                 FaultSpec {
                     seed,
                     lossy_links,
@@ -28,6 +34,10 @@ fn arb_spec() -> impl Strategy<Value = FaultSpec> {
                     slow_nodes,
                     slow_delay,
                     silent_nodes,
+                    partition_period,
+                    partition_rounds: if engaged { partition_rounds } else { 0 },
+                    partition_frac: if engaged { partition_frac } else { 0.0 },
+                    partition_after: if engaged { partition_after } else { 0 },
                 }
             },
         )

@@ -17,6 +17,7 @@
 use lpbcast::core::Lpbcast;
 use lpbcast::pbcast::Pbcast;
 use lpbcast::sim::scenario::{run_scenario_suite, scenarios_tsv, ScenarioProtocol, ScenarioSuite};
+use lpbcast::sim::{run_scenario_spec, ProtocolKind, ScenarioGenerator, ScenarioSpec};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -109,4 +110,35 @@ fn main() {
     );
 
     println!("{}", scenarios_tsv(&suites));
+
+    // The same suite, declaratively: each cell below is a ScenarioSpec
+    // whose string form names the exact experiment — paste it back into
+    // `run_scenario_spec` (or a `results/mass_scenarios.tsv` row) and
+    // the numbers reproduce bit for bit. The three generators here are
+    // the ones the legacy suite does not cover.
+    println!("── declarative spec cells (new generators) ──");
+    for proto in [ProtocolKind::Lpbcast, ProtocolKind::Pbcast] {
+        if !matches!(protocol.as_str(), "both") && proto.name() != protocol.as_str() {
+            continue;
+        }
+        for generator in [
+            ScenarioGenerator::RepeatedPartitions,
+            ScenarioGenerator::FlashCrowd,
+            ScenarioGenerator::ByzantineDroppers,
+        ] {
+            let spec = ScenarioSpec::new(proto, generator, n);
+            let report = run_scenario_spec(&spec, seed);
+            println!(
+                "[{spec};seed={seed}]\n\u{20}         reliability {:.4} (min {:.4}), recovery {:?}, wire {:.1} KB/round",
+                report.reliability_mean(),
+                report.reliability_min(),
+                report.recovery_rounds(),
+                report.wire_bytes_per_round() / 1e3
+            );
+            assert!(
+                report.reliability_mean() > 0.5,
+                "spec cell collapsed: {spec} -> {report:?}"
+            );
+        }
+    }
 }

@@ -67,6 +67,16 @@ window A/B (``sparse_idle n=10000``, the StepMode::Sparse ns/step —
 plus ``dense_idle`` for the dense reference). CI-size runs omit the XL
 sections entirely (``BENCH_SIM_SCALE_XL_NS`` / ``BENCH_SIM_SCENARIO_XL_N``
 unset), so their committed rows must not hard-fail on absence.
+
+Since bench_sim/v8 the ``mass_scenarios`` section adds one more family:
+the pinned ScenarioSpec mini-sweep. Its ``identical`` flag is the
+rayon-vs-serial sweep determinism self-test and hard-fails on ``false``
+exactly like ``shard_check``. The per-spec summary rows are SOFT quality
+rows keyed by the full spec string (``mass_unreliability [<spec>]`` as
+``(1 - reliability_min) * 100``, ``mass_recovery [<spec>]`` in rounds,
+``wire mass [<spec>]`` in bytes/round) — the sweep size is env-tuned via
+``BENCH_SIM_MASS_N``, so row-set mismatches only WARN.
+
 Stdlib only by design: the repository's Rust workspace is
 fully vendored and CI must not need pip.
 """
@@ -233,16 +243,51 @@ def xl_rows(snapshot):
     return rows
 
 
+def mass_rows(snapshot):
+    """Maps pinned mini-sweep labels -> higher-is-worse values (soft rows).
+
+    One entry per ``mass_scenarios.summary`` spec: worst-seed
+    unreliability (percent missed), worst-seed recovery rounds (omitted
+    when ``null`` — the row-set WARN surfaces the disappearance), and
+    mean wire bytes per round. Keyed by the full spec string, so a row
+    names the exact ``(spec, seed)`` experiments behind it.
+    """
+    rows = {}
+    mass = snapshot.get("mass_scenarios", {})
+    if not isinstance(mass, dict):
+        return rows
+    for entry in mass.get("summary", []):
+        if not isinstance(entry, dict) or "spec" not in entry:
+            continue
+        spec = entry["spec"]
+        if isinstance(entry.get("reliability_min"), (int, float)):
+            rows[f"mass_unreliability [{spec}]"] = (
+                1.0 - float(entry["reliability_min"])) * 100.0
+        if isinstance(entry.get("recovery_rounds"), (int, float)):
+            rows[f"mass_recovery [{spec}]"] = float(entry["recovery_rounds"])
+        if isinstance(entry.get("wire_bytes_per_round"), (int, float)):
+            rows[f"wire mass [{spec}]"] = float(entry["wire_bytes_per_round"])
+    return rows
+
+
 def shard_check_failures(snapshot, which):
-    """Returns FAIL lines for a snapshot whose shard self-test diverged."""
+    """Returns FAIL lines for a snapshot whose determinism self-tests diverged."""
+    lines = []
     check = snapshot.get("shard_check")
     if isinstance(check, dict) and check.get("identical") is False:
-        return [
+        lines.append(
             f"FAIL  shard_check [{which}]: sharded round diverged from the serial "
             f"reference (n={check.get('n', '?')}, shards={check.get('shards', '?')}, "
             f"rounds={check.get('rounds', '?')}) — determinism bug, not a perf drift"
-        ]
-    return []
+        )
+    mass = snapshot.get("mass_scenarios")
+    if isinstance(mass, dict) and mass.get("identical") is False:
+        lines.append(
+            f"FAIL  mass_check [{which}]: the rayon ScenarioSpec sweep diverged from "
+            f"the serial reference (n={mass.get('n', '?')}, seeds={mass.get('seeds', '?')}) "
+            "— determinism bug, not a perf drift"
+        )
+    return lines
 
 
 def load(path):
@@ -269,8 +314,10 @@ def compare(label, old, new, soft):
         unit, scale = "KB/round", 1e3
     elif label.startswith("recovery "):
         unit, scale = "rounds", 1.0
-    elif label.startswith("unreliability "):
+    elif label.startswith(("unreliability ", "mass_unreliability ")):
         unit, scale = "% missed", 1.0
+    elif label.startswith("mass_recovery "):
+        unit, scale = "rounds", 1.0
     elif label.startswith("false_evictions "):
         unit, scale = "evictions", 1.0
     elif label.startswith(("sparse_idle", "dense_idle")):
@@ -356,6 +403,17 @@ def main(argv):
         print(f"WARN  {label}: only in fresh snapshot (soft row)")
     for label in sorted(set(committed_q) & set(fresh_q)):
         compare(label, committed_q[label], fresh_q[label], soft=True)
+
+    # Pinned mini-sweep rows: soft — keyed by spec string; the sweep
+    # size is env-tuned (BENCH_SIM_MASS_N), so mismatches only warn.
+    committed_m = mass_rows(committed_snapshot)
+    fresh_m = mass_rows(fresh_snapshot)
+    for label in sorted(set(committed_m) - set(fresh_m)):
+        print(f"WARN  {label}: committed mass-sweep row has no fresh counterpart (soft row; env-tuned)")
+    for label in sorted(set(fresh_m) - set(committed_m)):
+        print(f"WARN  {label}: only in fresh snapshot (soft row)")
+    for label in sorted(set(committed_m) & set(fresh_m)):
+        compare(label, committed_m[label], fresh_m[label], soft=True)
 
     # XL / sparse-mode rows: soft — the XL sections are env-gated
     # (BENCH_SIM_SCALE_XL_NS / BENCH_SIM_SCENARIO_XL_N) and absent from

@@ -28,6 +28,11 @@ EXPECTED_HEADERS = {
     ],
     "scenarios.tsv": ["scenario", "protocol", "n", "metric", "value"],
     "detector.tsv": ["scenario", "fault", "detector", "n", "metric", "value"],
+    "mass_scenarios.tsv": [
+        "spec", "protocol", "generator", "n", "fault", "seed",
+        "reliability_mean", "reliability_min", "recovery_rounds",
+        "wire_bytes_per_round", "rounds",
+    ],
 }
 
 # Columns whose every value must parse as a number ("never"/"true" style
@@ -36,19 +41,24 @@ EXPECTED_HEADERS = {
 NUMERIC = {
     "n", "view_size", "buffer_bound", "ns_per_step", "engine_build_ms",
     "mean_latency_rounds", "model_latency_rounds", "reliability",
-    "wire_bytes_per_round",
+    "wire_bytes_per_round", "seed", "reliability_mean", "reliability_min",
+    "recovery_rounds", "rounds",
 }
 
-# Per-figure columns where "-" marks not-applicable: detector.tsv's churn
-# A/B rows aggregate a whole membership trajectory, so no single n fits.
-DASH_OK = {
-    "detector.tsv": {"n"},
+# Per-figure non-numeric tokens allowed in otherwise-numeric columns:
+# detector.tsv's churn A/B rows aggregate a whole membership trajectory,
+# so no single n fits; mass_scenarios.tsv renders recovery_rounds as "-"
+# for generators without a recovery metric (churn) and "never" when a
+# measurement blew its cap.
+TOKENS_OK = {
+    "detector.tsv": {"n": {"-"}},
+    "mass_scenarios.tsv": {"recovery_rounds": {"-", "never"}},
 }
 
 
 def check_file(path, expected):
     """Returns a list of problem strings for one TSV file."""
-    dash_ok = DASH_OK.get(os.path.basename(path), set())
+    tokens_ok = TOKENS_OK.get(os.path.basename(path), {})
     problems = []
     with open(path, encoding="utf-8") as f:
         lines = [ln.rstrip("\n") for ln in f]
@@ -67,7 +77,7 @@ def check_file(path, expected):
                 f"{path}: data row {i} has {len(cells)} columns, header has {len(header)}")
             continue
         for name, cell in zip(header, cells):
-            if name in NUMERIC and not (cell == "-" and name in dash_ok):
+            if name in NUMERIC and cell not in tokens_ok.get(name, set()):
                 try:
                     float(cell)
                 except ValueError:

@@ -23,10 +23,11 @@ def snapshot(step_ns=1000.0, scale_ns=2000.0, build_ms=5.0, wire=4000.0,
              drop_scaling=False, min_reliability=0.98, recovery=8,
              detector_recovery=6, false_evictions=40, drop_detector=False,
              shard_identical=True, with_xl=False, xl_ns=90000.0,
-             sparse_ns=40.0):
+             sparse_ns=40.0, mass_identical=True, mass_min_rel=0.97,
+             mass_recovery=9, mass_wire=30000.0, drop_mass=False):
     """A minimal but schema-shaped BENCH_sim.json payload."""
     snap = {
-        "schema": "bench_sim/v7",
+        "schema": "bench_sim/v8",
         "shard_check": {
             "n": 1000, "rounds": 15, "shards": 4,
             "identical": shard_identical,
@@ -68,6 +69,22 @@ def snapshot(step_ns=1000.0, scale_ns=2000.0, build_ms=5.0, wire=4000.0,
             }],
         },
     }
+    if not drop_mass:
+        snap["mass_scenarios"] = {
+            "n": 400,
+            "seeds": 2,
+            "identical": mass_identical,
+            "wall_ms": 500.0,
+            "summary": [{
+                "spec": ("proto=lpbcast;gen=catastrophe;n=400;rounds=0;"
+                         "rate=20;publishers=16;loss=0.05;fraction=0;"
+                         "cycles=0"),
+                "reliability_mean": 0.99,
+                "reliability_min": mass_min_rel,
+                "recovery_rounds": mass_recovery,
+                "wire_bytes_per_round": mass_wire,
+            }],
+        }
     if with_xl:
         snap["scaling_xl"] = [{
             "n": 100000,
@@ -296,6 +313,64 @@ class GateHarness(unittest.TestCase):
         self.assertEqual(code, 0, out)
         self.assertIn("WARN  sparse_idle n=10000", out)
         self.assertIn("us/step", out)
+
+
+    # ── v8: mass mini-sweep — hard identity check, soft spec rows ────
+
+    MASS_SPEC = ("proto=lpbcast;gen=catastrophe;n=400;rounds=0;rate=20;"
+                 "publishers=16;loss=0.05;fraction=0;cycles=0")
+
+    def test_identical_mass_rows_print_ok(self):
+        code, out = self.run_gate(snapshot(), snapshot())
+        self.assertEqual(code, 0, out)
+        self.assertIn(f"OK    mass_unreliability [{self.MASS_SPEC}]", out)
+        self.assertIn(f"OK    mass_recovery [{self.MASS_SPEC}]", out)
+        self.assertIn(f"OK    wire mass [{self.MASS_SPEC}]", out)
+
+    def test_mass_divergence_in_fresh_snapshot_fails(self):
+        code, out = self.run_gate(snapshot(), snapshot(mass_identical=False))
+        self.assertEqual(code, 1, out)
+        self.assertIn("FAIL  mass_check [fresh]", out)
+        self.assertIn("determinism bug", out)
+
+    def test_mass_divergence_in_committed_snapshot_fails(self):
+        code, out = self.run_gate(snapshot(mass_identical=False), snapshot())
+        self.assertEqual(code, 1, out)
+        self.assertIn("FAIL  mass_check [committed]", out)
+
+    def test_mass_reliability_drop_warns_but_passes(self):
+        code, out = self.run_gate(snapshot(), snapshot(mass_min_rel=0.80))
+        self.assertEqual(code, 0, out)
+        self.assertIn(f"WARN  mass_unreliability [{self.MASS_SPEC}]", out)
+        self.assertIn("% missed", out)
+        self.assertIn("[soft row]", out)
+
+    def test_mass_recovery_regression_warns_but_passes(self):
+        code, out = self.run_gate(snapshot(), snapshot(mass_recovery=20))
+        self.assertEqual(code, 0, out)
+        self.assertIn(f"WARN  mass_recovery [{self.MASS_SPEC}]", out)
+        self.assertIn("rounds", out)
+
+    def test_mass_wire_regression_warns_but_passes(self):
+        code, out = self.run_gate(snapshot(), snapshot(mass_wire=90000.0))
+        self.assertEqual(code, 0, out)
+        self.assertIn(f"WARN  wire mass [{self.MASS_SPEC}]", out)
+        self.assertIn("KB/round", out)
+
+    def test_missing_mass_section_is_tolerated(self):
+        # Pre-v8 committed snapshots have no mass_scenarios at all.
+        code, out = self.run_gate(snapshot(drop_mass=True), snapshot())
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("FAIL", out)
+
+    def test_never_recovering_mass_row_drops_softly(self):
+        fresh = snapshot()
+        fresh["mass_scenarios"]["summary"][0]["recovery_rounds"] = None
+        code, out = self.run_gate(snapshot(), fresh)
+        self.assertEqual(code, 0, out)
+        self.assertIn(
+            f"WARN  mass_recovery [{self.MASS_SPEC}]: committed mass-sweep "
+            "row has no fresh counterpart", out)
 
 
 if __name__ == "__main__":
