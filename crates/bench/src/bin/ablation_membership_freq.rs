@@ -1,4 +1,6 @@
 //! Regenerates ablation_membership_freq; see `lpbcast_bench::figures`.
+
+#![forbid(unsafe_code)]
 fn main() {
     lpbcast_bench::figures::ablation_membership_freq().emit();
 }

@@ -1,4 +1,6 @@
 //! Regenerates ablation_weighted_views; see `lpbcast_bench::figures`.
+
+#![forbid(unsafe_code)]
 fn main() {
     lpbcast_bench::figures::ablation_weighted_views().emit();
 }

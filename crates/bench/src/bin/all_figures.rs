@@ -1,5 +1,7 @@
 //! Regenerates every paper figure and runs the headline directional
 //! checks. Set `LPBCAST_BENCH_SEEDS` to trade accuracy for speed.
+
+#![forbid(unsafe_code)]
 fn main() {
     use lpbcast_bench::figures;
     let figures: Vec<fn() -> lpbcast_bench::output::Figure> = vec![

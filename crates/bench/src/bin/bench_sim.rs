@@ -39,6 +39,8 @@
 //!   the committed summary rows compare run to run; the full grid
 //!   lives in the separate `mass_scenarios` bin).
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;

@@ -1,4 +1,6 @@
 //! Regenerates fig2; see `lpbcast_bench::figures`.
+
+#![forbid(unsafe_code)]
 fn main() {
     lpbcast_bench::figures::fig2().emit();
 }

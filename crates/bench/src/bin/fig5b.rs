@@ -1,4 +1,6 @@
 //! Regenerates fig5b; see `lpbcast_bench::figures`.
+
+#![forbid(unsafe_code)]
 fn main() {
     lpbcast_bench::figures::fig5b().emit();
 }

@@ -1,4 +1,6 @@
 //! Regenerates fig7a; see `lpbcast_bench::figures`.
+
+#![forbid(unsafe_code)]
 fn main() {
     lpbcast_bench::figures::fig7a().emit();
 }

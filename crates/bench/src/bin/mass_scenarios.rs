@@ -31,6 +31,8 @@
 //! any parallel report differs from the serial reference — the same
 //! strict determinism contract as `bench_sim`'s shard check.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;

@@ -1,4 +1,6 @@
 //! Regenerates model_vs_sim; see `lpbcast_bench::figures`.
+
+#![forbid(unsafe_code)]
 fn main() {
     lpbcast_bench::figures::model_vs_sim().emit();
 }

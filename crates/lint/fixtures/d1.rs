@@ -1,0 +1,32 @@
+//! D1 fixture: std hash collections named in first-party code.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn count(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    let mut seen = HashSet::new();
+    for &x in xs {
+        if seen.insert(x) {
+            *m.entry(x).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+// A comment mentioning HashMap must not be flagged.
+const DOC: &str = "neither must a HashSet in a string";
+
+fn fine(m: &FastMap<u32, u32>) -> usize {
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap; // test scope: not flagged
+
+    #[test]
+    fn t() {
+        let _ = HashMap::<u8, u8>::new();
+    }
+}

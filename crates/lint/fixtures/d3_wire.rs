@@ -1,0 +1,38 @@
+//! D3 fixture: a wire module whose three tag representations disagree.
+//!
+//! ```text
+//! kind 0 — Gossip
+//! kind 1 — Subscribe
+//! kind 7 — Ghost (documented but no constant: stale-doc)
+//! ```
+
+pub mod tag {
+    /// Fine: documented and referenced.
+    pub const GOSSIP: u8 = 0;
+    /// Fine on its own.
+    pub const SUBSCRIBE: u8 = 1;
+    /// Collides with SUBSCRIBE.
+    pub const SUBSCRIBE_V2: u8 = 1;
+    /// Not in the doc header, and never referenced by the codec.
+    pub const PHANTOM: u8 = 9;
+}
+
+pub fn encode(kind_sel: u8, out: &mut Vec<u8>) {
+    out.push(match kind_sel {
+        0 => tag::GOSSIP,
+        _ => tag::SUBSCRIBE,
+    });
+    out.push(tag::SUBSCRIBE_V2);
+}
+
+pub fn decode(kind: u8) -> Option<&'static str> {
+    if kind != 3 {
+        return None;
+    }
+    match kind {
+        0 => Some("gossip-by-raw-literal"),
+        tag::GOSSIP => Some("gossip"),
+        tag::SUBSCRIBE => Some("subscribe"),
+        _ => None,
+    }
+}

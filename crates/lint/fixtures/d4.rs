@@ -1,0 +1,15 @@
+//! D4 fixture: a crate root with every decoy except the real thing —
+//! the lint must still flag it (attribute-level check, not grep).
+
+// grep bait: #![forbid(unsafe_code)]
+
+#![deny(unsafe_code)]
+
+#[forbid(unsafe_code)]
+mod outer_attr_is_not_crate_level {}
+
+const DECOY: &str = "#![forbid(unsafe_code)]";
+
+fn main() {
+    println!("{DECOY}");
+}

@@ -1,0 +1,26 @@
+//! D5 fixture: the panic surface on a runtime path.
+
+fn runtime(buf: &[u8]) -> u8 {
+    let first = buf.first().unwrap();
+    let second = buf.get(1).expect("short datagram");
+    let third = buf[2];
+    if *first > 200 {
+        panic!("oversized");
+    }
+    first + second + third
+}
+
+fn fine(buf: &[u8]) -> Option<u8> {
+    // Non-panicking spellings and type positions must not be flagged.
+    let _arr: [u8; 2] = [0, 1];
+    let head = buf.get(..2)?;
+    Some(head.iter().copied().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t(v: Option<u8>) {
+        let _ = v.unwrap(); // test scope: not flagged
+    }
+}

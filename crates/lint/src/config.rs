@@ -1,0 +1,254 @@
+//! `lints.toml` allowlist: a minimal TOML-subset parser.
+//!
+//! The allowlist grammar (documented in `LINTS.md`) is deliberately tiny —
+//! `[[allow]]` array-of-tables entries whose values are double-quoted
+//! strings or integers:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "D1"
+//! path = "crates/types/src/hashing.rs"   # repo-relative, `/`-separated
+//! line = 57                              # optional; omit for file-wide
+//! justification = "definition site of the sanctioned FastMap alias"
+//! ```
+//!
+//! Every entry MUST carry a non-empty `justification`; the parser
+//! hard-fails otherwise, so an allowlist suppression can never be silent.
+
+use std::fmt;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule id: `D1`..`D5`.
+    pub rule: String,
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// Specific line, or `None` for a file-wide waiver.
+    pub line: Option<u32>,
+    /// Mandatory human rationale.
+    pub justification: String,
+    /// Line in lints.toml where the entry starts (for diagnostics).
+    pub src_line: u32,
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    pub allow: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// Whether `(rule, path, line)` is waived. A file-wide entry (no
+    /// `line`) waives every finding of that rule in the file.
+    pub fn is_allowed(&self, rule: &str, path: &str, line: u32) -> bool {
+        self.allow
+            .iter()
+            .any(|a| a.rule == rule && a.path == path && a.line.is_none_or(|l| l == line))
+    }
+}
+
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lints.toml:{}: {}", self.line, self.message)
+    }
+}
+
+fn err(line: u32, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse the allowlist. Unknown keys, non-`[[allow]]` tables, missing
+/// required keys, and empty justifications are all hard errors: the
+/// config gates CI, so silent tolerance would defeat it.
+pub fn parse(src: &str) -> Result<Config, ConfigError> {
+    let mut entries: Vec<(u32, Vec<(String, Value)>)> = Vec::new();
+    let mut in_allow = false;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            if header.trim() != "allow" {
+                return Err(err(lineno, format!("unknown table [[{}]]", header.trim())));
+            }
+            entries.push((lineno, Vec::new()));
+            in_allow = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(lineno, format!("unsupported table header {line}")));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(lineno, format!("expected `key = value`, got {line:?}")));
+        };
+        if !in_allow {
+            return Err(err(lineno, "key outside any [[allow]] table"));
+        }
+        let value = parse_value(value.trim()).ok_or_else(|| {
+            err(
+                lineno,
+                format!(
+                    "value must be a double-quoted string or integer: {}",
+                    value.trim()
+                ),
+            )
+        })?;
+        let Some((_, fields)) = entries.last_mut() else {
+            return Err(err(lineno, "key outside any [[allow]] table"));
+        };
+        fields.push((key.trim().to_string(), value));
+    }
+
+    let mut config = Config::default();
+    for (src_line, fields) in entries {
+        let mut rule = None;
+        let mut path = None;
+        let mut line = None;
+        let mut justification = None;
+        for (key, value) in fields {
+            match (key.as_str(), value) {
+                ("rule", Value::Str(s)) => rule = Some(s),
+                ("path", Value::Str(s)) => path = Some(s),
+                ("line", Value::Int(n)) => line = Some(n),
+                ("justification", Value::Str(s)) => justification = Some(s),
+                (other, _) => {
+                    return Err(err(
+                        src_line,
+                        format!("unknown or mistyped key `{other}` in [[allow]] entry"),
+                    ))
+                }
+            }
+        }
+        let rule = rule.ok_or_else(|| err(src_line, "entry missing `rule`"))?;
+        if !matches!(rule.as_str(), "D1" | "D2" | "D3" | "D4" | "D5") {
+            return Err(err(
+                src_line,
+                format!("unknown rule {rule:?} (expected D1..D5)"),
+            ));
+        }
+        let path = path.ok_or_else(|| err(src_line, "entry missing `path`"))?;
+        if path.contains('\\') {
+            return Err(err(src_line, "path must use `/` separators"));
+        }
+        let justification =
+            justification.ok_or_else(|| err(src_line, "entry missing `justification`"))?;
+        if justification.trim().len() < 10 {
+            return Err(err(
+                src_line,
+                "justification must be a written rationale (at least 10 characters)",
+            ));
+        }
+        config.allow.push(AllowEntry {
+            rule,
+            path,
+            line,
+            justification,
+            src_line,
+        });
+    }
+    Ok(config)
+}
+
+enum Value {
+    Str(String),
+    Int(u32),
+}
+
+fn parse_value(v: &str) -> Option<Value> {
+    if let Some(body) = v.strip_prefix('"').and_then(|v| v.strip_suffix('"')) {
+        // The subset forbids escapes: allowlist strings are paths and prose.
+        if body.contains('\\') || body.contains('"') {
+            return None;
+        }
+        return Some(Value::Str(body.to_string()));
+    }
+    v.parse::<u32>().ok().map(Value::Int)
+}
+
+/// Drop a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# determinism-debt waivers
+[[allow]]
+rule = "D1"
+path = "crates/types/src/hashing.rs"
+justification = "definition site of the sanctioned FastMap alias"
+
+[[allow]]
+rule = "D5"
+path = "crates/net/src/node.rs"
+line = 42
+justification = "bounded by length check two lines above"
+"#;
+
+    #[test]
+    fn parses_and_matches() {
+        let cfg = parse(GOOD).unwrap();
+        assert_eq!(cfg.allow.len(), 2);
+        // File-wide entry matches any line.
+        assert!(cfg.is_allowed("D1", "crates/types/src/hashing.rs", 57));
+        assert!(cfg.is_allowed("D1", "crates/types/src/hashing.rs", 60));
+        // Line-scoped entry matches only its line.
+        assert!(cfg.is_allowed("D5", "crates/net/src/node.rs", 42));
+        assert!(!cfg.is_allowed("D5", "crates/net/src/node.rs", 43));
+        // Rule mismatch never matches.
+        assert!(!cfg.is_allowed("D2", "crates/types/src/hashing.rs", 57));
+    }
+
+    #[test]
+    fn missing_justification_is_fatal() {
+        let e = parse("[[allow]]\nrule = \"D1\"\npath = \"a.rs\"\n").unwrap_err();
+        assert!(e.message.contains("justification"), "{e}");
+    }
+
+    #[test]
+    fn short_justification_is_fatal() {
+        let src = "[[allow]]\nrule = \"D1\"\npath = \"a.rs\"\njustification = \"ok\"\n";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("rationale"), "{e}");
+    }
+
+    #[test]
+    fn unknown_rule_and_keys_are_fatal() {
+        assert!(parse(
+            "[[allow]]\nrule = \"D9\"\npath = \"a\"\njustification = \"long enough text\"\n"
+        )
+        .is_err());
+        assert!(parse("[[allow]]\nbogus = \"x\"\n").is_err());
+        assert!(parse("[other]\n").is_err());
+        assert!(parse("rule = \"D1\"\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let cfg = parse("# nothing but comments\n\n").unwrap();
+        assert!(cfg.allow.is_empty());
+    }
+}

@@ -1,0 +1,451 @@
+//! A hand-rolled Rust lexer, just deep enough for token-level lints.
+//!
+//! Produces a flat stream of [`Tok`]s with line/column positions.
+//! Comments and whitespace are discarded (rule D3 re-reads the raw
+//! source lines for the `//!` doc-header registry). The lexer must be
+//! *sound* on anything rustc accepts — in particular it understands
+//! nested block comments, raw/byte/C strings, char-vs-lifetime
+//! disambiguation, and numeric literals with underscores, exponents and
+//! suffixes — because a literal or comment mistaken for code would make
+//! every downstream rule unreliable.
+
+/// Token classes the rules discriminate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are not distinguished here).
+    Ident,
+    /// Lifetime such as `'a` (without the quote in `text`).
+    Lifetime,
+    /// Integer literal (raw text preserved; see [`Tok::int_value`]).
+    Int,
+    /// Float literal.
+    Float,
+    /// String/char/byte-string literal of any flavour.
+    Str,
+    /// A single punctuation character (`.`, `:`, `[`, `!`, …).
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Integer value of an [`TokKind::Int`] token, honouring `0x`/`0o`/
+    /// `0b` prefixes, `_` separators and type suffixes. `None` if the
+    /// token is not an integer or overflows u64.
+    pub fn int_value(&self) -> Option<u64> {
+        if self.kind != TokKind::Int {
+            return None;
+        }
+        let t: String = self.text.chars().filter(|&c| c != '_').collect();
+        let (radix, digits) = if let Some(rest) = t.strip_prefix("0x").or(t.strip_prefix("0X")) {
+            (16, rest)
+        } else if let Some(rest) = t.strip_prefix("0o").or(t.strip_prefix("0O")) {
+            (8, rest)
+        } else if let Some(rest) = t.strip_prefix("0b").or(t.strip_prefix("0B")) {
+            (2, rest)
+        } else {
+            (10, t.as_str())
+        };
+        // Strip a type suffix (u8, i64, usize, …): cut at the first char
+        // that is not a digit of the radix.
+        let end = digits
+            .char_indices()
+            .find(|(_, c)| !c.is_digit(radix))
+            .map_or(digits.len(), |(i, _)| i);
+        u64::from_str_radix(&digits[..end], radix).ok()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    chars: Vec<(usize, char)>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            chars: src.char_indices().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.i)?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn slice(&self, from: usize, to: usize) -> &'a str {
+        let start = self.chars.get(from).map_or(self.src.len(), |&(b, _)| b);
+        let end = self.chars.get(to).map_or(self.src.len(), |&(b, _)| b);
+        // Both offsets come from char_indices, so the slice is on char
+        // boundaries by construction.
+        core::str::from_utf8(&self.src[start..end]).unwrap_or("")
+    }
+}
+
+/// Lexes `src` into tokens. Unterminated literals or comments simply end
+/// the token stream at the malformed point — rustc will reject such a
+/// file anyway, and a lint must never panic on weird input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(c) = cur.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1u32;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            continue;
+        }
+        // Identifiers — possibly a raw/byte/C string prefix.
+        if is_ident_start(c) {
+            let start = cur.i;
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            let text = cur.slice(start, cur.i).to_string();
+            let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr");
+            // A `#` after the prefix that does not open a raw string
+            // (e.g. `r#ident` raw identifiers) falls through to emit
+            // the ident as lexed.
+            if is_str_prefix
+                && matches!(cur.peek(0), Some('"') | Some('#'))
+                && lex_prefixed_string(&mut cur)
+            {
+                out.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            out.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Cooked strings.
+        if c == '"' {
+            cur.bump();
+            lex_cooked_string(&mut cur, '"');
+            out.push(Tok {
+                kind: TokKind::Str,
+                text: String::from("\"…\""),
+                line,
+                col,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            cur.bump();
+            let next = cur.peek(0);
+            if next.is_some_and(is_ident_start) && {
+                // Look ahead past the identifier: a closing quote means a
+                // char literal like 'a'; anything else is a lifetime.
+                let mut j = 1;
+                while cur.peek(j).is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                cur.peek(j) != Some('\'')
+            } {
+                let start = cur.i;
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: cur.slice(start, cur.i).to_string(),
+                    line,
+                    col,
+                });
+            } else {
+                lex_cooked_string(&mut cur, '\'');
+                out.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::from("'…'"),
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = cur.i;
+            let mut is_float = false;
+            let radix_prefixed =
+                c == '0' && matches!(cur.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+            if radix_prefixed {
+                cur.bump();
+                cur.bump();
+                while cur
+                    .peek(0)
+                    .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+                {
+                    cur.bump();
+                }
+            } else {
+                while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    cur.bump();
+                }
+                // Fractional part only if `.` is followed by a digit, so
+                // range expressions (`0..n`) and method calls on
+                // literals (`1.max(2)`) stay separate tokens.
+                if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                    is_float = true;
+                    cur.bump();
+                    while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                        cur.bump();
+                    }
+                }
+                if matches!(cur.peek(0), Some('e' | 'E'))
+                    && (cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+                        || (matches!(cur.peek(1), Some('+' | '-'))
+                            && cur.peek(2).is_some_and(|c| c.is_ascii_digit())))
+                {
+                    is_float = true;
+                    cur.bump();
+                    if matches!(cur.peek(0), Some('+' | '-')) {
+                        cur.bump();
+                    }
+                    while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                        cur.bump();
+                    }
+                }
+            }
+            // Type suffix (u8, f64, usize, …).
+            let mut saw_f_suffix = false;
+            if cur.peek(0).is_some_and(is_ident_start) {
+                saw_f_suffix = cur.peek(0) == Some('f');
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+            }
+            out.push(Tok {
+                kind: if is_float || saw_f_suffix {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
+                text: cur.slice(start, cur.i).to_string(),
+                line,
+                col,
+            });
+            continue;
+        }
+        // Everything else: single punctuation character.
+        cur.bump();
+        out.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Consumes a string body after a raw/byte/C prefix identifier was
+/// lexed; the cursor sits on `"` or `#`. Returns false if this is not
+/// actually a string start (e.g. `r#ident`).
+fn lex_prefixed_string(cur: &mut Cursor<'_>) -> bool {
+    if cur.peek(0) == Some('"') {
+        cur.bump();
+        // br"..." / b"..." / cooked with escapes; raw `r"..."` has no
+        // escapes, but treating backslash literally in `r"..."` only
+        // matters for `\"` — handled below by the hash-less raw path.
+        lex_cooked_string(cur, '"');
+        return true;
+    }
+    // `#`-delimited raw string: count hashes, then require `"`.
+    let mut hashes = 0usize;
+    while cur.peek(hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(hashes) != Some('"') {
+        return false; // raw identifier like r#type
+    }
+    for _ in 0..=hashes {
+        cur.bump();
+    }
+    // Scan for `"` followed by `hashes` hashes.
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut ok = true;
+            for j in 0..hashes {
+                if cur.peek(j) != Some('#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                return true;
+            }
+        }
+    }
+    true // unterminated: swallow to EOF
+}
+
+/// Consumes a cooked string/char body up to the closing `quote`,
+/// honouring backslash escapes. The opening quote is already consumed.
+fn lex_cooked_string(cur: &mut Cursor<'_>, quote: char) {
+    while let Some(c) = cur.bump() {
+        if c == '\\' {
+            cur.bump();
+        } else if c == quote {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let toks = kinds(
+            r##"
+            // HashMap in a line comment
+            /* HashMap /* nested */ still comment */
+            let s = "HashMap";
+            let r = r#"HashMap "quoted""#;
+            let b = b"HashMap";
+            "##,
+        );
+        assert!(
+            !toks
+                .iter()
+                .any(|(k, t)| *k == TokKind::Ident && t == "HashMap"),
+            "no HashMap identifier may surface: {toks:?}"
+        );
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "a"));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Str).count(),
+            2,
+            "two char literals"
+        );
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = lex("let x = 0x28u8; for i in 0..10 { let f = 1.5e-3; let m = 1_000; }");
+        let ints: Vec<u64> = toks.iter().filter_map(Tok::int_value).collect();
+        assert_eq!(ints, vec![0x28, 0, 10, 1000]);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Float));
+        // `0..10` must stay Int Punct Punct Int.
+        let idx = toks
+            .iter()
+            .position(|t| t.text == "0" && t.kind == TokKind::Int);
+        let idx = idx.expect("int 0 present");
+        assert!(toks[idx + 1].is_punct('.') && toks[idx + 2].is_punct('.'));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifiers_stay_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "type"));
+    }
+}

@@ -1,0 +1,126 @@
+//! CLI for the first-party static-analysis pass.
+//!
+//! ```text
+//! lpbcast-lint [--strict] [--root DIR] [--config FILE] [--json FILE]
+//! ```
+//!
+//! Exit codes: `0` clean (or advisory mode), `1` findings under
+//! `--strict`, `2` usage/config/IO error. Diagnostics go to stderr as
+//! `path:line:col: [rule/code] message`; the JSON artifact (default
+//! `<root>/results/lint.json`) is written in every mode.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lpbcast_lint::{config, discover_root, report, run};
+
+struct Args {
+    strict: bool,
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    json: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        strict: false,
+        root: None,
+        config: None,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--strict" => args.strict = true,
+            "--root" => args.root = Some(next_path(&mut it, "--root")?),
+            "--config" => args.config = Some(next_path(&mut it, "--config")?),
+            "--json" => args.json = Some(next_path(&mut it, "--json")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: lpbcast-lint [--strict] [--root DIR] [--config FILE] [--json FILE]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn next_path(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+    it.next()
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("lpbcast-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            discover_root(&cwd).ok_or("no lints.toml or .git found walking up from cwd")?
+        }
+    };
+
+    let config_path = args.config.unwrap_or_else(|| root.join("lints.toml"));
+    let cfg = if config_path.is_file() {
+        let src = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("{}: {e}", config_path.display()))?;
+        config::parse(&src).map_err(|e| e.to_string())?
+    } else {
+        config::Config::default()
+    };
+
+    let outcome = run(&root, &cfg)?;
+
+    for f in &outcome.active {
+        eprintln!(
+            "{}:{}:{}: [{}/{}] {}",
+            f.path, f.line, f.col, f.rule, f.code, f.message
+        );
+    }
+
+    let waived: Vec<report::Waived<'_>> = outcome
+        .waived
+        .iter()
+        .map(|(f, idx)| report::Waived {
+            finding: f,
+            entry: &cfg.allow[*idx],
+        })
+        .collect();
+    let json = report::render(args.strict, outcome.files_scanned, &outcome.active, &waived);
+    let json_path = args
+        .json
+        .unwrap_or_else(|| root.join("results").join("lint.json"));
+    if let Some(parent) = json_path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+    }
+    std::fs::write(&json_path, json).map_err(|e| format!("{}: {e}", json_path.display()))?;
+
+    eprintln!(
+        "lpbcast-lint: {} files, {} finding(s), {} waived — {}",
+        outcome.files_scanned,
+        outcome.active.len(),
+        outcome.waived.len(),
+        json_path.display()
+    );
+
+    if args.strict && !outcome.active.is_empty() {
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}

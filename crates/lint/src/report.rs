@@ -1,0 +1,127 @@
+//! Machine-readable output: `results/lint.json`.
+//!
+//! Hand-rolled emission (no serde in the workspace) with a fixed key
+//! order and no timestamps, so the artifact is byte-deterministic for a
+//! given tree — the same property the lint itself polices.
+
+use crate::config::AllowEntry;
+use crate::rules::Finding;
+
+pub const SCHEMA: &str = "lpbcast-lint/v1";
+
+/// A finding that matched an allowlist entry and was waived.
+pub struct Waived<'a> {
+    pub finding: &'a Finding,
+    pub entry: &'a AllowEntry,
+}
+
+pub fn render(
+    strict: bool,
+    files_scanned: usize,
+    active: &[Finding],
+    waived: &[Waived<'_>],
+) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": {},\n", quote(SCHEMA)));
+    s.push_str(&format!("  \"strict\": {strict},\n"));
+    s.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    s.push_str("  \"rules\": [\"D1\", \"D2\", \"D3\", \"D4\", \"D5\"],\n");
+
+    s.push_str("  \"findings\": [");
+    for (i, f) in active.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        s.push_str(&format!(
+            "    {{\"rule\": {}, \"code\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+            quote(f.rule),
+            quote(f.code),
+            quote(&f.path),
+            f.line,
+            f.col,
+            quote(&f.message)
+        ));
+    }
+    s.push_str(if active.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+
+    s.push_str("  \"waived\": [");
+    for (i, w) in waived.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        s.push_str(&format!(
+            "    {{\"rule\": {}, \"code\": {}, \"path\": {}, \"line\": {}, \"justification\": {}}}",
+            quote(w.finding.rule),
+            quote(w.finding.code),
+            quote(&w.finding.path),
+            w.finding.line,
+            quote(&w.entry.justification)
+        ));
+    }
+    s.push_str(if waived.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+
+    s.push_str("  \"summary\": {");
+    s.push_str(&format!(
+        "\"total\": {}, \"waived\": {}, \"clean\": {}",
+        active.len() + waived.len(),
+        waived.len(),
+        active.is_empty()
+    ));
+    s.push_str("}\n}\n");
+    s
+}
+
+/// JSON string escaping for the characters that can occur in paths,
+/// messages and justifications.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_valid_and_clean() {
+        let json = render(true, 42, &[], &[]);
+        assert!(json.contains("\"schema\": \"lpbcast-lint/v1\""));
+        assert!(json.contains("\"files_scanned\": 42"));
+        assert!(json.contains("\"findings\": [],"));
+        assert!(json.contains("\"clean\": true"));
+    }
+
+    #[test]
+    fn findings_are_rendered_with_escaping() {
+        let f = Finding {
+            rule: "D1",
+            code: "std-hash-type",
+            path: "crates/net/src/node.rs".into(),
+            line: 7,
+            col: 3,
+            message: "say \"no\"\nto entropy".into(),
+        };
+        let json = render(false, 1, &[f], &[]);
+        assert!(json.contains("\\\"no\\\"\\nto entropy"));
+        assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("\"clean\": false"));
+    }
+}

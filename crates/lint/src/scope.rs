@@ -1,0 +1,206 @@
+//! Token-tree walking: stripping `#[cfg(test)]`/`#[test]` items and
+//! attribute-level queries.
+//!
+//! Per-rule scoping promises "excluding `#[cfg(test)]`/`tests/` scopes":
+//! directory-level exclusion happens in the driver's file walk, and this
+//! module delivers the in-file half by removing every item annotated as
+//! test-only from the token stream before the rules see it.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Returns the token stream with every test-only item removed: any item
+/// carrying an outer attribute that mentions `test` inside `cfg(...)`
+/// (including `cfg(any(test, …))`) or that *is* `#[test]`. Inner
+/// attributes (`#![…]`) pass through untouched.
+pub fn strip_test_scopes(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let end = match matching_bracket(toks, i + 1) {
+                Some(e) => e,
+                None => {
+                    out.extend_from_slice(&toks[i..]);
+                    break;
+                }
+            };
+            if attr_is_test(&toks[i + 2..end]) {
+                // Skip this attribute, any further attributes on the same
+                // item, and then the item itself.
+                i = end + 1;
+                while toks.get(i).is_some_and(|t| t.is_punct('#'))
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    match matching_bracket(toks, i + 1) {
+                        Some(e) => i = e + 1,
+                        None => return out,
+                    }
+                }
+                i = skip_item(toks, i);
+                continue;
+            }
+            // Non-test attribute: emit it verbatim.
+            out.extend_from_slice(&toks[i..=end]);
+            i = end + 1;
+            continue;
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Whether an outer attribute body (tokens between `[` and `]`) marks a
+/// test-only item. Conservative: any `cfg` attribute whose argument list
+/// mentions the bare identifier `test` counts, as does `#[test]` itself
+/// and harness variants like `#[tokio::test]`.
+fn attr_is_test(body: &[Tok]) -> bool {
+    if body.iter().any(|t| t.is_ident("test")) {
+        let first_ident = body.iter().find(|t| t.kind == TokKind::Ident);
+        return first_ident.is_some_and(|t| t.text == "cfg" || t.text == "test")
+            || body.last().is_some_and(|t| t.is_ident("test"));
+    }
+    false
+}
+
+/// Index of the `]` matching the `[` at `open` (bracket nesting only —
+/// brackets cannot be unbalanced by braces/parens in valid Rust).
+fn matching_bracket(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Returns the index just past the item starting at `i`: either past the
+/// matching `}` of the first top-level `{`, or past a `;` reached before
+/// any brace opens (e.g. `mod tests;`, `use …;`).
+fn skip_item(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth <= 0 {
+                return j + 1;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Whether the file's token stream carries a crate-level (inner,
+/// brace-depth-0) `#![forbid(unsafe_code)]`. This is an attribute-level
+/// check: outer `#[forbid(unsafe_code)]` on some item does not count.
+pub fn has_crate_forbid_unsafe(toks: &[Tok]) -> bool {
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0
+            && t.is_punct('#')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('['))
+        {
+            if let Some(end) = matching_bracket(toks, i + 2) {
+                let body = &toks[i + 3..end];
+                let mut idents = body.iter().filter(|t| t.kind == TokKind::Ident);
+                if idents.next().is_some_and(|t| t.text == "forbid")
+                    && body.iter().any(|t| t.is_ident("unsafe_code"))
+                {
+                    return true;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn idents(toks: &[Tok]) -> Vec<String> {
+        toks.iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_stripped() {
+        let toks = lex("fn live() {}\n\
+             #[cfg(test)]\nmod tests { use super::*; fn hidden() { secret(); } }\n\
+             fn also_live() {}");
+        let kept = idents(&strip_test_scopes(&toks));
+        assert!(kept.contains(&"live".to_string()));
+        assert!(kept.contains(&"also_live".to_string()));
+        assert!(!kept.contains(&"secret".to_string()));
+    }
+
+    #[test]
+    fn test_fn_with_extra_attrs_is_stripped() {
+        let toks = lex("#[test]\n#[ignore = \"slow\"]\nfn t() { boom(); }\nfn keep() {}");
+        let kept = idents(&strip_test_scopes(&toks));
+        assert!(!kept.contains(&"boom".to_string()));
+        assert!(kept.contains(&"keep".to_string()));
+    }
+
+    #[test]
+    fn cfg_any_test_is_stripped_but_cfg_feature_kept() {
+        let toks = lex("#[cfg(any(test, feature = \"x\"))] fn gone() { a(); }\n\
+             #[cfg(feature = \"y\")] fn kept() { b(); }");
+        let kept = idents(&strip_test_scopes(&toks));
+        assert!(!kept.contains(&"a".to_string()));
+        assert!(kept.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn declaration_only_mod_is_skipped_via_semicolon() {
+        let toks = lex("#[cfg(test)] mod tests;\nfn live() {}");
+        let kept = idents(&strip_test_scopes(&toks));
+        assert!(kept.contains(&"live".to_string()));
+        assert!(!kept.contains(&"tests".to_string()));
+    }
+
+    #[test]
+    fn forbid_unsafe_is_attribute_level() {
+        assert!(has_crate_forbid_unsafe(&lex(
+            "//! doc\n#![forbid(unsafe_code)]\nfn main() {}"
+        )));
+        // Outer attribute on an item is not a crate-level forbid.
+        assert!(!has_crate_forbid_unsafe(&lex(
+            "#[forbid(unsafe_code)]\nmod m {}\nfn main() {}"
+        )));
+        // A deny is not a forbid; a string mention is nothing at all.
+        assert!(!has_crate_forbid_unsafe(&lex(
+            "#![deny(unsafe_code)]\nconst S: &str = \"#![forbid(unsafe_code)]\";"
+        )));
+        // Inner attribute inside a nested mod does not cover the crate.
+        assert!(!has_crate_forbid_unsafe(&lex(
+            "mod m { #![forbid(unsafe_code)] }"
+        )));
+    }
+}

@@ -1,8 +1,6 @@
 //! Complete-membership baseline view.
 
-use std::collections::HashSet;
-
-use lpbcast_types::ProcessId;
+use lpbcast_types::{FastSet, ProcessId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -29,7 +27,7 @@ use crate::View;
 pub struct GlobalView {
     owner: ProcessId,
     members: Vec<ProcessId>,
-    present: HashSet<ProcessId>,
+    present: FastSet<ProcessId>,
 }
 
 impl GlobalView {
@@ -38,7 +36,7 @@ impl GlobalView {
         let mut view = GlobalView {
             owner,
             members: Vec::new(),
-            present: HashSet::new(),
+            present: FastSet::default(),
         };
         for m in members {
             view.insert(m);

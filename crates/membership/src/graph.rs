@@ -8,9 +8,7 @@
 //! *"every process should ideally be known by exactly l other processes"*
 //! (§6.1).
 
-use std::collections::HashMap;
-
-use lpbcast_types::ProcessId;
+use lpbcast_types::{FastMap, ProcessId};
 
 /// Summary statistics of a degree sequence.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,7 +114,7 @@ impl ComponentLabels {
 #[derive(Debug, Clone)]
 pub struct ViewGraph {
     ids: Vec<ProcessId>,
-    index: HashMap<ProcessId, usize>,
+    index: FastMap<ProcessId, usize>,
     /// Forward adjacency: `adj[a]` = processes in a's view.
     adj: Vec<Vec<usize>>,
     /// Reverse adjacency: `radj[b]` = processes that know b.
@@ -129,10 +127,10 @@ impl ViewGraph {
     /// already-departed processes) also become nodes.
     pub fn from_views(views: impl IntoIterator<Item = (ProcessId, Vec<ProcessId>)>) -> Self {
         let views: Vec<(ProcessId, Vec<ProcessId>)> = views.into_iter().collect();
-        let mut index: HashMap<ProcessId, usize> = HashMap::new();
+        let mut index: FastMap<ProcessId, usize> = FastMap::default();
         let mut ids: Vec<ProcessId> = Vec::new();
         let intern =
-            |p: ProcessId, ids: &mut Vec<ProcessId>, index: &mut HashMap<ProcessId, usize>| {
+            |p: ProcessId, ids: &mut Vec<ProcessId>, index: &mut FastMap<ProcessId, usize>| {
                 *index.entry(p).or_insert_with(|| {
                     ids.push(p);
                     ids.len() - 1

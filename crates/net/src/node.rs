@@ -13,7 +13,6 @@
 //! multi-frame datagram, and fanout copies sharing an `Arc`'d gossip
 //! body are encoded once (the frame bytes are reused per destination).
 
-use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -25,7 +24,7 @@ use parking_lot::{Mutex, RwLock};
 
 use lpbcast_core::{Config, Lpbcast, ProcessStats, UnsubscribeRefused};
 use lpbcast_membership::View as _;
-use lpbcast_types::{Event, EventId, Payload, ProcessId, Protocol};
+use lpbcast_types::{Event, EventId, FastMap, Payload, ProcessId, Protocol};
 
 use crate::error::NetError;
 use crate::wire::{self, WireMessage};
@@ -44,18 +43,16 @@ const BIND_BACKOFF_START: Duration = Duration::from_millis(5);
 
 fn bind_with_retry() -> std::io::Result<UdpSocket> {
     let mut backoff = BIND_BACKOFF_START;
-    let mut last_err = None;
-    for attempt in 0..BIND_ATTEMPTS {
+    for _ in 1..BIND_ATTEMPTS {
         match UdpSocket::bind("127.0.0.1:0") {
             Ok(socket) => return Ok(socket),
-            Err(e) => last_err = Some(e),
-        }
-        if attempt + 1 < BIND_ATTEMPTS {
-            std::thread::sleep(backoff);
-            backoff *= 2;
+            Err(_) => {
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
         }
     }
-    Err(last_err.expect("at least one attempt was made"))
+    UdpSocket::bind("127.0.0.1:0")
 }
 
 /// Receiver-thread read timeout: how long a blocked `recv_from` waits
@@ -176,8 +173,8 @@ pub struct AddressBook {
 
 #[derive(Debug, Default)]
 struct BookInner {
-    by_id: HashMap<ProcessId, SocketAddr>,
-    by_addr: HashMap<SocketAddr, ProcessId>,
+    by_id: FastMap<ProcessId, SocketAddr>,
+    by_addr: FastMap<SocketAddr, ProcessId>,
 }
 
 impl AddressBook {
@@ -480,7 +477,10 @@ fn receive_loop<P: Protocol>(
             }
             Err(_) => break,
         };
-        let Ok(messages) = wire::decode_frames::<P::Msg>(&buf[..len]) else {
+        let Some(datagram) = buf.get(..len) else {
+            continue; // length beyond our buffer: cannot happen, drop
+        };
+        let Ok(messages) = wire::decode_frames::<P::Msg>(datagram) else {
             continue; // hostile or truncated datagram: drop it whole
         };
         // `from` is only consulted for retransmission replies; gossip and
@@ -524,26 +524,29 @@ fn send_outgoing<M: WireMessage>(
             continue; // unknown peer: indistinguishable from loss
         };
         let frame: &[u8] = match msg.body_key() {
-            Some(key) => {
-                if !matches!(&cached, Some((k, _)) if *k == key) {
+            Some(key) => match &mut cached {
+                Some((k, f)) if *k == key => f,
+                slot => {
                     let mut f = BytesMut::with_capacity(256);
                     wire::encode_frame(msg, &mut f);
-                    cached = Some((key, f.freeze()));
+                    &slot.insert((key, f.freeze())).1
                 }
-                &cached.as_ref().expect("just cached").1
-            }
+            },
             None => {
                 scratch.clear();
                 wire::encode_frame(msg, &mut scratch);
                 &scratch
             }
         };
-        let batch = match batches.iter_mut().find(|(p, _, _)| p == to) {
-            Some(b) => b,
+        let idx = match batches.iter().position(|(p, _, _)| p == to) {
+            Some(i) => i,
             None => {
                 batches.push((*to, addr, BytesMut::new()));
-                batches.last_mut().expect("just pushed")
+                batches.len() - 1
             }
+        };
+        let Some(batch) = batches.get_mut(idx) else {
+            continue; // idx was computed in-bounds just above
         };
         if !batch.2.is_empty() && batch.2.len() + frame.len() > MAX_DATAGRAM {
             let _ = socket.send_to(&batch.2, batch.1);

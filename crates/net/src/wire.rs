@@ -112,6 +112,47 @@ pub const MAX_PAYLOAD: usize = 64 * 1024;
 /// Hard cap on a pub/sub topic label accepted from the wire.
 pub const MAX_TOPIC: usize = 1024;
 
+/// Frame-kind tag registry: one named constant per frame type a
+/// first-party codec can emit, grouped by protocol. This module is the
+/// machine-readable twin of the doc-header table above — `lpbcast-lint`
+/// rule D3 cross-checks the two and hard-fails on value collisions,
+/// constants missing from the doc header, doc-header kinds with no
+/// constant, and constants the codecs no longer reference.
+pub mod tag {
+    /// lpbcast gossip (subs/unsubs/events/digest sections).
+    pub const GOSSIP: u8 = 0;
+    /// lpbcast §3.4 join request.
+    pub const SUBSCRIBE: u8 = 1;
+    /// lpbcast retransmission pull.
+    pub const RETRANSMIT_REQUEST: u8 = 2;
+    /// lpbcast retransmission payload reply.
+    pub const RETRANSMIT_RESPONSE: u8 = 3;
+    /// pbcast unreliable multicast payload.
+    pub const PBCAST_MULTICAST: u8 = 16;
+    /// pbcast anti-entropy digest, historical flat form.
+    pub const PBCAST_DIGEST_FLAT: u8 = 17;
+    /// pbcast solicitation (pull of missing events).
+    pub const PBCAST_SOLICIT: u8 = 18;
+    /// pbcast anti-entropy digest, §3.2 compact per-origin ranges.
+    pub const PBCAST_DIGEST_COMPACT: u8 = 19;
+    /// pub/sub topic-labelled wrapper around an inner lpbcast frame.
+    pub const PUBSUB: u8 = 32;
+    /// SWIM piggyback wrapper around an inner protocol frame.
+    pub const SWIM_WRAPPED: u8 = 40;
+    /// SWIM direct ping.
+    pub const SWIM_PING: u8 = 41;
+    /// SWIM direct ack.
+    pub const SWIM_ACK: u8 = 42;
+    /// SWIM k-proxy indirect ping request.
+    pub const SWIM_PING_REQ: u8 = 43;
+    /// SWIM proxied ping (proxy → target).
+    pub const SWIM_PROXY_PING: u8 = 44;
+    /// SWIM proxied ack (target → proxy).
+    pub const SWIM_PROXY_ACK: u8 = 45;
+    /// SWIM indirect ack (proxy → requester).
+    pub const SWIM_INDIRECT_ACK: u8 = 46;
+}
+
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -253,22 +294,22 @@ impl WireMessage for Message {
     fn encode_body(&self, buf: &mut BytesMut) {
         match self {
             Message::Gossip(g) => {
-                buf.put_u8(0);
+                buf.put_u8(tag::GOSSIP);
                 // `g` is the shared `Arc<Gossip>`; serializing through
                 // the dereferenced body keeps the encoding byte-identical
                 // to the pre-`Arc` (inline payload) wire format.
                 encode_gossip(buf, g);
             }
             Message::Subscribe { subscriber } => {
-                buf.put_u8(1);
+                buf.put_u8(tag::SUBSCRIBE);
                 buf.put_u64_le(subscriber.as_u64());
             }
             Message::RetransmitRequest { ids } => {
-                buf.put_u8(2);
+                buf.put_u8(tag::RETRANSMIT_REQUEST);
                 encode_ids(buf, ids);
             }
             Message::RetransmitResponse { events } => {
-                buf.put_u8(3);
+                buf.put_u8(tag::RETRANSMIT_RESPONSE);
                 encode_events(buf, events);
             }
         }
@@ -277,14 +318,14 @@ impl WireMessage for Message {
     fn decode_body(buf: &mut &[u8]) -> Result<Self, WireError> {
         let kind = take_u8(buf)?;
         Ok(match kind {
-            0 => Message::gossip(decode_gossip(buf)?),
-            1 => Message::Subscribe {
+            tag::GOSSIP => Message::gossip(decode_gossip(buf)?),
+            tag::SUBSCRIBE => Message::Subscribe {
                 subscriber: ProcessId::new(take_u64(buf)?),
             },
-            2 => Message::RetransmitRequest {
+            tag::RETRANSMIT_REQUEST => Message::RetransmitRequest {
                 ids: decode_ids(buf)?,
             },
-            3 => Message::RetransmitResponse {
+            tag::RETRANSMIT_RESPONSE => Message::RetransmitResponse {
                 events: decode_events(buf)?,
             },
             t => return Err(WireError::BadTag(t)),
@@ -341,14 +382,14 @@ impl WireMessage for PbcastMessage {
     fn encode_body(&self, buf: &mut BytesMut) {
         match self {
             PbcastMessage::Multicast { event, hops } => {
-                buf.put_u8(16);
+                buf.put_u8(tag::PBCAST_MULTICAST);
                 encode_event(buf, event);
                 buf.put_u32_le(*hops);
             }
             PbcastMessage::GossipDigest(d) => {
                 match &d.entries {
                     DigestEntries::Flat(entries) => {
-                        buf.put_u8(17);
+                        buf.put_u8(tag::PBCAST_DIGEST_FLAT);
                         buf.put_u64_le(d.sender.as_u64());
                         buf.put_u16_le(entries.len() as u16);
                         for e in entries {
@@ -358,7 +399,7 @@ impl WireMessage for PbcastMessage {
                         }
                     }
                     DigestEntries::Compact(ranges) => {
-                        buf.put_u8(19);
+                        buf.put_u8(tag::PBCAST_DIGEST_COMPACT);
                         buf.put_u64_le(d.sender.as_u64());
                         buf.put_u16_le(ranges.len() as u16);
                         for r in ranges {
@@ -380,7 +421,7 @@ impl WireMessage for PbcastMessage {
                 }
             }
             PbcastMessage::Solicit { ids } => {
-                buf.put_u8(18);
+                buf.put_u8(tag::PBCAST_SOLICIT);
                 encode_ids(buf, ids);
             }
         }
@@ -389,12 +430,12 @@ impl WireMessage for PbcastMessage {
     fn decode_body(buf: &mut &[u8]) -> Result<Self, WireError> {
         let kind = take_u8(buf)?;
         Ok(match kind {
-            16 => {
+            tag::PBCAST_MULTICAST => {
                 let event = decode_event(buf)?;
                 let hops = take_u32(buf)?;
                 PbcastMessage::Multicast { event, hops }
             }
-            17 => {
+            tag::PBCAST_DIGEST_FLAT => {
                 let sender = ProcessId::new(take_u64(buf)?);
                 let n_entries = take_u16(buf)? as usize;
                 check_capacity(buf, n_entries, 20)?;
@@ -414,10 +455,10 @@ impl WireMessage for PbcastMessage {
                     subs: decode_pids(buf)?,
                 })
             }
-            18 => PbcastMessage::Solicit {
+            tag::PBCAST_SOLICIT => PbcastMessage::Solicit {
                 ids: decode_ids(buf)?,
             },
-            19 => {
+            tag::PBCAST_DIGEST_COMPACT => {
                 let sender = ProcessId::new(take_u64(buf)?);
                 let n_ranges = take_u16(buf)? as usize;
                 check_capacity(buf, n_ranges, DigestEntries::RANGE_BYTES)?;
@@ -496,7 +537,7 @@ impl WireMessage for PbcastMessage {
 
 impl WireMessage for PubSubMessage {
     fn encode_body(&self, buf: &mut BytesMut) {
-        buf.put_u8(32);
+        buf.put_u8(tag::PUBSUB);
         let name = self.topic.name().as_bytes();
         buf.put_u16_le(name.len() as u16);
         buf.put_slice(name);
@@ -505,14 +546,15 @@ impl WireMessage for PubSubMessage {
 
     fn decode_body(buf: &mut &[u8]) -> Result<Self, WireError> {
         let kind = take_u8(buf)?;
-        if kind != 32 {
+        if kind != tag::PUBSUB {
             return Err(WireError::BadTag(kind));
         }
         let len = take_u16(buf)? as usize;
         if len > MAX_TOPIC || len > buf.remaining() {
             return Err(WireError::LengthOverflow(len));
         }
-        let topic = core::str::from_utf8(&buf[..len]).map_err(|_| WireError::BadTopic)?;
+        let raw = buf.get(..len).ok_or(WireError::LengthOverflow(len))?;
+        let topic = core::str::from_utf8(raw).map_err(|_| WireError::BadTopic)?;
         if topic.is_empty() {
             return Err(WireError::BadTopic);
         }
@@ -586,35 +628,35 @@ impl<M: WireMessage> WireMessage for SwimMsg<M> {
     fn encode_body(&self, buf: &mut BytesMut) {
         match self {
             SwimMsg::Wrapped { inner, updates } => {
-                buf.put_u8(40);
+                buf.put_u8(tag::SWIM_WRAPPED);
                 encode_updates(buf, updates);
                 inner.encode_body(buf);
             }
             SwimMsg::Ping { updates } => {
-                buf.put_u8(41);
+                buf.put_u8(tag::SWIM_PING);
                 encode_updates(buf, updates);
             }
             SwimMsg::Ack { updates } => {
-                buf.put_u8(42);
+                buf.put_u8(tag::SWIM_ACK);
                 encode_updates(buf, updates);
             }
             SwimMsg::PingReq { target, updates } => {
-                buf.put_u8(43);
+                buf.put_u8(tag::SWIM_PING_REQ);
                 buf.put_u64_le(target.as_u64());
                 encode_updates(buf, updates);
             }
             SwimMsg::ProxyPing { origin, updates } => {
-                buf.put_u8(44);
+                buf.put_u8(tag::SWIM_PROXY_PING);
                 buf.put_u64_le(origin.as_u64());
                 encode_updates(buf, updates);
             }
             SwimMsg::ProxyAck { origin, updates } => {
-                buf.put_u8(45);
+                buf.put_u8(tag::SWIM_PROXY_ACK);
                 buf.put_u64_le(origin.as_u64());
                 encode_updates(buf, updates);
             }
             SwimMsg::IndirectAck { target, updates } => {
-                buf.put_u8(46);
+                buf.put_u8(tag::SWIM_INDIRECT_ACK);
                 buf.put_u64_le(target.as_u64());
                 encode_updates(buf, updates);
             }
@@ -624,39 +666,39 @@ impl<M: WireMessage> WireMessage for SwimMsg<M> {
     fn decode_body(buf: &mut &[u8]) -> Result<Self, WireError> {
         let kind = take_u8(buf)?;
         Ok(match kind {
-            40 => {
+            tag::SWIM_WRAPPED => {
                 let updates = decode_updates(buf)?;
                 let inner = M::decode_body(buf)?;
                 SwimMsg::Wrapped { inner, updates }
             }
-            41 => SwimMsg::Ping {
+            tag::SWIM_PING => SwimMsg::Ping {
                 updates: decode_updates(buf)?,
             },
-            42 => SwimMsg::Ack {
+            tag::SWIM_ACK => SwimMsg::Ack {
                 updates: decode_updates(buf)?,
             },
-            43 => {
+            tag::SWIM_PING_REQ => {
                 let target = ProcessId::new(take_u64(buf)?);
                 SwimMsg::PingReq {
                     target,
                     updates: decode_updates(buf)?,
                 }
             }
-            44 => {
+            tag::SWIM_PROXY_PING => {
                 let origin = ProcessId::new(take_u64(buf)?);
                 SwimMsg::ProxyPing {
                     origin,
                     updates: decode_updates(buf)?,
                 }
             }
-            45 => {
+            tag::SWIM_PROXY_ACK => {
                 let origin = ProcessId::new(take_u64(buf)?);
                 SwimMsg::ProxyAck {
                     origin,
                     updates: decode_updates(buf)?,
                 }
             }
-            46 => {
+            tag::SWIM_INDIRECT_ACK => {
                 let target = ProcessId::new(take_u64(buf)?);
                 SwimMsg::IndirectAck {
                     target,
@@ -929,7 +971,8 @@ fn decode_event(buf: &mut &[u8]) -> Result<Event, WireError> {
     if len > MAX_PAYLOAD || len > buf.remaining() {
         return Err(WireError::LengthOverflow(len));
     }
-    let payload = Bytes::copy_from_slice(&buf[..len]);
+    let head = buf.get(..len).ok_or(WireError::LengthOverflow(len))?;
+    let payload = Bytes::copy_from_slice(head);
     buf.advance(len);
     Ok(Event::new(EventId::new(origin, seq), payload))
 }

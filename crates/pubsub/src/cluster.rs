@@ -1,9 +1,9 @@
 //! A synchronous-round driver for a set of [`PubSubNode`]s — the
 //! pub/sub analogue of the simulator engine, for examples and tests.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
 
-use lpbcast_types::{EventId, ProcessId};
+use lpbcast_types::{EventId, FastMap, FastSet, ProcessId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -18,7 +18,7 @@ pub struct PubSubCluster {
     loss_rate: f64,
     rng: SmallRng,
     /// (topic, event) → processes that delivered it.
-    delivered: HashMap<(TopicId, EventId), HashSet<ProcessId>>,
+    delivered: FastMap<(TopicId, EventId), FastSet<ProcessId>>,
     round: u64,
 }
 
@@ -35,7 +35,7 @@ impl PubSubCluster {
             nodes: BTreeMap::new(),
             loss_rate,
             rng: SmallRng::seed_from_u64(seed),
-            delivered: HashMap::new(),
+            delivered: FastMap::default(),
             round: 0,
         }
     }
@@ -126,7 +126,7 @@ impl PubSubCluster {
     pub fn delivered_to(&self, topic: &TopicId, id: EventId) -> usize {
         self.delivered
             .get(&(topic.clone(), id))
-            .map_or(0, HashSet::len)
+            .map_or(0, FastSet::len)
     }
 
     /// Whether `process` delivered `(topic, id)`.

@@ -6,6 +6,8 @@
 //! cargo run --example churn
 //! ```
 
+#![forbid(unsafe_code)]
+
 use lpbcast::core::{Config, Lpbcast};
 use lpbcast::membership::View as _;
 use lpbcast::sim::experiment::{build_lpbcast_engine, InitialTopology, LpbcastSimParams};

@@ -10,6 +10,8 @@
 //! LPBCAST_DETECTOR_N=500 LPBCAST_DETECTOR_SEED=3 cargo run --release --example faulty_links
 //! ```
 
+#![forbid(unsafe_code)]
+
 use lpbcast::sim::detector::{detector_study, detector_tsv, DetectorParams};
 use lpbcast::sim::fault::FaultSpec;
 

@@ -5,6 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use lpbcast::sim::experiment::{build_lpbcast_engine, LpbcastSimParams};
 use lpbcast::types::ProcessId;
 

@@ -7,6 +7,8 @@
 //! ```
 //! (release strongly recommended; debug builds are ~20× slower)
 
+#![forbid(unsafe_code)]
+
 use lpbcast::core::Config;
 use lpbcast::sim::experiment::{
     lpbcast_reliability, InitialTopology, LpbcastSimParams, ReliabilityRun,

@@ -14,6 +14,8 @@
 //! (default): the suite is generic over `ScenarioProtocol`, so both
 //! protocol stacks run through the identical driver.
 
+#![forbid(unsafe_code)]
+
 use lpbcast::core::Lpbcast;
 use lpbcast::pbcast::Pbcast;
 use lpbcast::sim::scenario::{run_scenario_suite, scenarios_tsv, ScenarioProtocol, ScenarioSuite};

@@ -20,6 +20,8 @@
 //! * `LPBCAST_UDP_REQUIRE_FULL` — when set to `1`, exit non-zero unless
 //!   every node delivered every event before the deadline.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use lpbcast::core::{Config, Lpbcast};
