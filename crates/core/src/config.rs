@@ -54,6 +54,14 @@ pub struct Config {
     /// Retransmission (gossip pull): number of missing ids requested from
     /// a gossip sender per received gossip; 0 disables pulls.
     pub retransmit_request_max: usize,
+    /// Ticks after which an unanswered retransmission pull may be
+    /// re-issued. A pull rides one request/response datagram pair, so on
+    /// a lossy transport either leg can vanish — without a retry the id
+    /// would stay marked in-flight forever and the notification become
+    /// unrecoverable. 0 keeps the single-shot behaviour (adequate for
+    /// the deterministic in-process runners, where pull legs are only
+    /// lost when a fault plane says so).
+    pub retransmit_retry_ticks: u64,
     /// The §5.2 measurement convention: *"once a gossip receiver has
     /// received the identifier of a notification, the notification itself
     /// is assumed to have been received"*. When `true` (and pulls are
@@ -155,6 +163,7 @@ impl Default for ConfigBuilder {
                 unsub_obsolescence: 50,
                 unsub_refusal_threshold: 12,
                 retransmit_request_max: 0,
+                retransmit_retry_ticks: 0,
                 deliver_on_digest: false,
                 archive_capacity: 0,
                 prioritary: Vec::new(),
@@ -225,6 +234,10 @@ impl ConfigBuilder {
     setter!(
         /// Sets the per-gossip retransmission request budget (0 = off).
         retransmit_request_max: usize
+    );
+    setter!(
+        /// Sets the unanswered-pull retry window in ticks (0 = one-shot).
+        retransmit_retry_ticks: u64
     );
     setter!(
         /// Enables the §5.2 id-counts-as-received convention.

@@ -47,8 +47,9 @@ pub struct Lpbcast {
     join: Option<JoinState>,
     /// Whether this process has unsubscribed and is winding down.
     leaving: bool,
-    /// Ids already requested by a pending retransmission pull.
-    pending_pulls: lpbcast_types::FastSet<EventId>,
+    /// Ids already requested by a pending retransmission pull, keyed by
+    /// the logical time the request went out (for the retry window).
+    pending_pulls: lpbcast_types::FastMap<EventId, LogicalTime>,
     /// Reusable buffer for view-eviction batches (hot path: one per
     /// received gossip).
     evict_scratch: Vec<ProcessId>,
@@ -81,7 +82,7 @@ impl Lpbcast {
             next_seq: 0,
             join: None,
             leaving: false,
-            pending_pulls: lpbcast_types::FastSet::default(),
+            pending_pulls: lpbcast_types::FastMap::default(),
             evict_scratch: Vec::new(),
             stats: ProcessStats::default(),
             config,
@@ -441,13 +442,25 @@ impl Lpbcast {
         let missing = self.history.missing_from(&gossip.event_ids);
         if !missing.is_empty() {
             if self.config.retransmit_request_max > 0 {
+                // An id is eligible if never pulled, or if its one
+                // request/response datagram pair has been outstanding
+                // past the retry window — on a lossy transport either
+                // leg can vanish, and a pull that is never re-issued
+                // leaves the notification unrecoverable forever.
+                let now = self.now;
+                let retry = self.config.retransmit_retry_ticks;
                 let ids: Vec<EventId> = missing
                     .into_iter()
-                    .filter(|id| !self.pending_pulls.contains(id))
+                    .filter(|id| match self.pending_pulls.get(id) {
+                        None => true,
+                        Some(&asked) => retry > 0 && now.since(asked) >= retry,
+                    })
                     .take(self.config.retransmit_request_max)
                     .collect();
                 if !ids.is_empty() {
-                    self.pending_pulls.extend(ids.iter().copied());
+                    for &id in &ids {
+                        self.pending_pulls.insert(id, now);
+                    }
                     // Bound the pending set against leaks from lost replies.
                     if self.pending_pulls.len() > 4096 {
                         self.pending_pulls.clear();
@@ -1095,6 +1108,53 @@ mod tests {
         assert_eq!(out.delivered.len(), 1);
         assert_eq!(out.delivered[0].id(), id);
         assert_eq!(out.delivered[0].payload().as_ref(), b"precious");
+    }
+
+    #[test]
+    fn lost_pull_is_reissued_after_the_retry_window() {
+        let config = Config::builder()
+            .view_size(4)
+            .fanout(2)
+            .retransmit_request_max(4)
+            .retransmit_retry_ticks(3)
+            .archive_capacity(16)
+            .build();
+        let mut holder = Lpbcast::with_initial_view(pid(0), config.clone(), 1, [pid(1)]);
+        let mut seeker = Lpbcast::with_initial_view(pid(1), config, 2, [pid(0)]);
+
+        holder.broadcast(b"precious".as_ref());
+        let gossip = Gossip {
+            sender: pid(0),
+            subs: vec![pid(0)],
+            unsubs: UnsubSection::empty(),
+            events: vec![],
+            event_ids: holder.history().to_digest(),
+        };
+        let pulled = |out: &Output| {
+            out.outgoing
+                .iter()
+                .any(|(_, m)| matches!(m, Message::RetransmitRequest { .. }))
+        };
+
+        // First digest triggers the pull; the request (or its answer) is
+        // then "lost" — we simply never feed a response back.
+        assert!(pulled(
+            &seeker.handle_message(pid(0), Message::gossip(gossip.clone()))
+        ));
+        // Within the window the pending pull still deduplicates.
+        assert!(!pulled(
+            &seeker.handle_message(pid(0), Message::gossip(gossip.clone()))
+        ));
+
+        for _ in 0..3 {
+            seeker.tick();
+        }
+        // Past the window the id is eligible again — a lossy transport
+        // must not be able to wedge an id in the in-flight state forever.
+        assert!(pulled(
+            &seeker.handle_message(pid(0), Message::gossip(gossip))
+        ));
+        assert_eq!(seeker.stats().retransmit_requests_sent, 2);
     }
 
     #[test]

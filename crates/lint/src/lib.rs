@@ -238,4 +238,22 @@ mod tests {
         );
         assert!(core.iter().all(|f| f.code != "panic-unwrap"), "{core:?}");
     }
+
+    #[test]
+    fn d5_covers_the_event_loop_runtime_files() {
+        // The readiness runtime (poll/timer/cluster) lives under
+        // crates/net/src/, so the panic-free discipline applies to it by
+        // path prefix — no per-file opt-in to forget.
+        for file in [
+            "crates/net/src/poll.rs",
+            "crates/net/src/timer.rs",
+            "crates/net/src/cluster.rs",
+        ] {
+            let hit = analyze_file(file, "fn f(v: &[u8]) { let x = v[0]; }");
+            assert!(
+                hit.iter().any(|f| f.code == "slice-index"),
+                "{file} escaped D5: {hit:?}"
+            );
+        }
+    }
 }

@@ -392,8 +392,14 @@ pub fn d5_panic_surface(path: &str, code_toks: &[Tok]) -> Vec<Finding> {
             ));
             continue;
         }
-        // Index expressions: `[` directly after an ident, `)`, or `]`.
+        // Index expressions: `[` directly after an ident, `)`, or `]` —
+        // except after keywords that can only introduce a slice *type*
+        // (`&mut [u8]`, `dyn [..]`, `as [T; N]`), which cannot index.
+        let prev_is_type_keyword = prev.is_some_and(|p| {
+            p.kind == TokKind::Ident && matches!(p.text.as_str(), "mut" | "dyn" | "as" | "in")
+        });
         if t.is_punct('[')
+            && !prev_is_type_keyword
             && prev.is_some_and(|p| p.kind == TokKind::Ident || p.is_punct(')') || p.is_punct(']'))
         {
             out.push(finding(
@@ -490,5 +496,15 @@ mod tests {
         let toks = lex("#[derive(Debug)] struct S { buf: [u8; 4] }\n\
              fn f() -> Option<[u8; 2]> { let v = vec![1, 2]; None }");
         assert!(d5_panic_surface("x.rs", &toks).is_empty());
+    }
+
+    #[test]
+    fn d5_ignores_slice_types_after_keywords_but_still_flags_indexing() {
+        // `&mut [u8]` in a signature is a type, not an index expression.
+        let toks = lex("fn f(buf: &mut [u8], v: &dyn AsRef<[u8]>) { let _ = buf.len(); }");
+        assert!(d5_panic_surface("x.rs", &toks).is_empty());
+        // Real indexing right next to such a signature is still caught.
+        let toks = lex("fn f(buf: &mut [u8]) -> u8 { buf[0] }");
+        assert_eq!(codes(&d5_panic_surface("x.rs", &toks)), ["slice-index"]);
     }
 }

@@ -1,0 +1,796 @@
+//! Readiness-driven cluster runtime: hundreds-to-thousands of sans-IO
+//! [`Protocol`] instances multiplexed over a handful of nonblocking UDP
+//! sockets in one process.
+//!
+//! [`NetNode`](crate::NetNode) spends one socket and one event-loop
+//! thread per node — faithful to the paper's one-process-per-machine
+//! deployment, but a loopback testbed that wants 10³–10⁴ processes dies
+//! on thread and fd counts long before the protocol is stressed.
+//! [`Cluster`] inverts the layout: a single caller-driven loop owns
+//!
+//! * a few sockets registered with a readiness [`UdpPoller`] (instances
+//!   are striped across them round-robin),
+//! * a [`TimerWheel`] firing each instance's gossip `tick` every period
+//!   `T` (initial deadlines are staggered, §3.3's non-synchronized
+//!   rounds),
+//! * one shared recv buffer feeding [`wire::decode_frames`], and
+//! * per-destination output batching — an instance's whole output batch
+//!   costs one `send_to` per remote peer, and messages between two
+//!   instances of the *same* cluster short-circuit through an in-memory
+//!   queue without touching a socket.
+//!
+//! Datagrams between clusters carry the [`wire`] *cluster envelope*
+//! (`from`/`dest` instance ids) because a socket address no longer
+//! identifies an instance; a socket hosting exactly one instance also
+//! accepts plain [`NetNode`](crate::NetNode)-style datagrams.
+//!
+//! The deployment harness drives faults at the socket boundary through
+//! two hooks: an ingress **drop filter** (drop everything arriving from a
+//! given source address — the harness builds partitions out of these)
+//! and an egress [`LinkFate`] hook consulted per remote message (the
+//! serialisable `FaultSpec` of the sim crate plugs in here as a boxed
+//! closure, keeping this crate free of a sim dependency).
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+use bytes::{Bytes, BytesMut};
+
+use lpbcast_types::{Event, EventId, FastMap, FastSet, Payload, ProcessId, Protocol};
+
+use crate::error::NetError;
+use crate::node::AddressBook;
+use crate::poll::{drain_socket, UdpPoller};
+use crate::timer::TimerWheel;
+use crate::wire::{self, WireMessage};
+
+/// Keep batched datagrams under the 64 KiB UDP limit with headroom for
+/// IP/UDP headers (mirrors the `NetNode` constant).
+const MAX_DATAGRAM: usize = 60 * 1024;
+
+/// Poller key of the optional control socket — far above any data-socket
+/// index.
+const CONTROL_KEY: usize = usize::MAX;
+
+/// Initial tick deadlines are spread across the gossip period in this
+/// many phases so a freshly started cluster doesn't fire every instance
+/// in one burst (§3.3: gossip rounds are not synchronized).
+const STAGGER_PHASES: u32 = 16;
+
+/// Egress verdict for one remote message, decided by the fault hook at
+/// the socket boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFate {
+    /// Send normally.
+    Deliver,
+    /// Silently drop (the paper's ε at the sender side).
+    Drop,
+    /// Send twice (UDP duplication).
+    Duplicate,
+}
+
+type FaultHook = Box<dyn FnMut(ProcessId, ProcessId) -> LinkFate + Send>;
+
+/// Lifetime counters of a [`Cluster`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterStats {
+    /// Datagrams sent / received on the data sockets.
+    pub datagrams_tx: u64,
+    /// See [`datagrams_tx`](Self::datagrams_tx).
+    pub datagrams_rx: u64,
+    /// Payload bytes handed to / taken from the data sockets.
+    pub wire_tx_bytes: u64,
+    /// See [`wire_tx_bytes`](Self::wire_tx_bytes).
+    pub wire_rx_bytes: u64,
+    /// Ingress datagrams discarded by the drop filter (partitions).
+    pub dropped_filtered: u64,
+    /// Egress messages discarded by the [`LinkFate`] hook.
+    pub dropped_fault: u64,
+    /// Egress messages duplicated by the [`LinkFate`] hook.
+    pub duplicated_fault: u64,
+    /// Messages short-circuited between co-located instances.
+    pub local_messages: u64,
+    /// Protocol ticks fired.
+    pub ticks: u64,
+}
+
+/// Builder for a [`Cluster`] (socket layout + cadence).
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    interval: Duration,
+    sockets: usize,
+    bind_addrs: Vec<SocketAddr>,
+    granularity: Option<Duration>,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder with gossip period `interval` and one socket.
+    pub fn new(interval: Duration) -> Self {
+        ClusterBuilder {
+            interval,
+            sockets: 1,
+            bind_addrs: Vec::new(),
+            granularity: None,
+        }
+    }
+
+    /// Number of data sockets to stripe instances over (clamped to ≥1).
+    /// Ignored when explicit [`bind_addrs`](Self::bind_addrs) are given.
+    #[must_use]
+    pub fn sockets(mut self, n: usize) -> Self {
+        self.sockets = n.max(1);
+        self
+    }
+
+    /// Binds the data sockets to these exact addresses (port 0 asks the
+    /// OS for an ephemeral port) instead of `sockets × 127.0.0.1:0`.
+    #[must_use]
+    pub fn bind_addrs(mut self, addrs: Vec<SocketAddr>) -> Self {
+        self.bind_addrs = addrs;
+        self
+    }
+
+    /// Overrides the timer-wheel quantum (default: `interval / 8`,
+    /// clamped to [500µs, 5ms]).
+    #[must_use]
+    pub fn timer_granularity(mut self, granularity: Duration) -> Self {
+        self.granularity = Some(granularity);
+        self
+    }
+
+    /// Binds the sockets, registers them with a fresh poller and returns
+    /// an empty cluster.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/registration failures.
+    pub fn build<P>(self) -> Result<Cluster<P>, NetError>
+    where
+        P: Protocol,
+        P::Msg: WireMessage,
+    {
+        let addrs: Vec<SocketAddr> = if self.bind_addrs.is_empty() {
+            let any: SocketAddr = SocketAddr::from(([127, 0, 0, 1], 0));
+            vec![any; self.sockets.max(1)]
+        } else {
+            self.bind_addrs
+        };
+        let poller = UdpPoller::new()?;
+        let mut sockets = Vec::with_capacity(addrs.len());
+        for (key, addr) in addrs.iter().enumerate() {
+            let socket = UdpSocket::bind(addr)?;
+            poller.register(&socket, key)?;
+            sockets.push(socket);
+        }
+        let granularity = self.granularity.unwrap_or_else(|| {
+            (self.interval / 8).clamp(Duration::from_micros(500), Duration::from_millis(5))
+        });
+        Ok(Cluster {
+            interval: self.interval,
+            poller,
+            sockets,
+            control: None,
+            instances: Vec::new(),
+            index: FastMap::default(),
+            sole_per_socket: Vec::new(),
+            book: AddressBook::new(),
+            timers: TimerWheel::new(granularity, 256),
+            recv_buf: vec![0u8; 64 * 1024],
+            drop_filter: FastSet::default(),
+            fault: None,
+            deliveries: Vec::new(),
+            local_queue: VecDeque::new(),
+            stats: ClusterStats::default(),
+            fired: Vec::new(),
+        })
+    }
+}
+
+struct Instance<P> {
+    machine: P,
+    socket_idx: usize,
+}
+
+/// A multiplexing runtime for many [`Protocol`] instances (see the
+/// module docs). Single-threaded and caller-driven: call
+/// [`step`](Cluster::step) in a loop.
+pub struct Cluster<P: Protocol>
+where
+    P::Msg: WireMessage,
+{
+    interval: Duration,
+    poller: UdpPoller,
+    sockets: Vec<UdpSocket>,
+    control: Option<UdpSocket>,
+    instances: Vec<Instance<P>>,
+    index: FastMap<ProcessId, usize>,
+    /// `Some(instance idx)` while a socket hosts exactly one instance —
+    /// the `NetNode`-interop routing target for plain datagrams.
+    sole_per_socket: Vec<Option<usize>>,
+    book: AddressBook,
+    timers: TimerWheel,
+    recv_buf: Vec<u8>,
+    drop_filter: FastSet<SocketAddr>,
+    fault: Option<FaultHook>,
+    deliveries: Vec<(ProcessId, Event)>,
+    local_queue: VecDeque<(ProcessId, ProcessId, P::Msg)>,
+    stats: ClusterStats,
+    fired: Vec<usize>,
+}
+
+impl<P: Protocol> core::fmt::Debug for Cluster<P>
+where
+    P::Msg: WireMessage,
+{
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("instances", &self.instances.len())
+            .field("sockets", &self.sockets.len())
+            .field("interval", &self.interval)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P> Cluster<P>
+where
+    P: Protocol,
+    P::Msg: WireMessage,
+{
+    /// Adds a protocol instance, registering its id at the data socket it
+    /// is striped onto and arming its gossip timer (staggered start).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the instance id is already hosted here.
+    pub fn add_instance(&mut self, machine: P) -> Result<ProcessId, NetError> {
+        let id = machine.id();
+        if self.index.contains_key(&id) {
+            return Err(NetError::Io(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("instance {id} already hosted"),
+            )));
+        }
+        let idx = self.instances.len();
+        let socket_idx = idx % self.sockets.len().max(1);
+        let addr = self
+            .sockets
+            .get(socket_idx)
+            .ok_or_else(|| NetError::Io(std::io::ErrorKind::NotFound.into()))?
+            .local_addr()?;
+        self.book.register(id, addr);
+        self.index.insert(id, idx);
+        self.instances.push(Instance {
+            machine,
+            socket_idx,
+        });
+        while self.sole_per_socket.len() < self.sockets.len() {
+            self.sole_per_socket.push(None);
+        }
+        if let Some(slot) = self.sole_per_socket.get_mut(socket_idx) {
+            *slot = match slot {
+                None if idx < self.sockets.len() => Some(idx),
+                _ => None,
+            };
+        }
+        // Stagger the first deadline across the period so a cold start
+        // doesn't tick every instance at once.
+        let phase = (idx as u32 % STAGGER_PHASES) + 1;
+        let offset = (self.interval / STAGGER_PHASES) * phase;
+        self.timers.schedule(idx, Instant::now() + offset);
+        Ok(id)
+    }
+
+    /// Registers (or updates) a remote peer's address.
+    pub fn register_peer(&self, id: ProcessId, addr: SocketAddr) {
+        self.book.register(id, addr);
+    }
+
+    /// The address book (local instances self-register; the harness
+    /// fills in remote peers).
+    pub fn address_book(&self) -> &AddressBook {
+        &self.book
+    }
+
+    /// Bound addresses of the data sockets, in stripe order.
+    pub fn local_addrs(&self) -> Vec<SocketAddr> {
+        self.sockets
+            .iter()
+            .filter_map(|s| s.local_addr().ok())
+            .collect()
+    }
+
+    /// Ids of all hosted instances, in insertion order.
+    pub fn instance_ids(&self) -> Vec<ProcessId> {
+        self.instances.iter().map(|i| i.machine.id()).collect()
+    }
+
+    /// Number of hosted instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    /// The gossip period `T`.
+    pub fn gossip_interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Attaches a pre-bound control socket: its datagrams are surfaced
+    /// verbatim from [`step`](Cluster::step) instead of being decoded as
+    /// protocol traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poller registration failures.
+    pub fn attach_control(&mut self, socket: UdpSocket) -> Result<SocketAddr, NetError> {
+        let addr = socket.local_addr()?;
+        self.poller.register(&socket, CONTROL_KEY)?;
+        self.control = Some(socket);
+        Ok(addr)
+    }
+
+    /// Sends a reply on the control socket (no-op without one).
+    pub fn control_send(&self, payload: &[u8], to: SocketAddr) {
+        if let Some(control) = &self.control {
+            let _ = control.send_to(payload, to);
+        }
+    }
+
+    /// Starts (or stops) dropping every ingress datagram whose source is
+    /// `addr` — the harness builds partitions from pairs of these.
+    pub fn set_drop(&mut self, addr: SocketAddr, dropped: bool) {
+        if dropped {
+            self.drop_filter.insert(addr);
+        } else {
+            self.drop_filter.remove(&addr);
+        }
+    }
+
+    /// Clears every ingress drop filter (partition heal).
+    pub fn clear_drops(&mut self) {
+        self.drop_filter.clear();
+    }
+
+    /// Installs the egress fault hook consulted once per remote message.
+    pub fn set_link_fault(
+        &mut self,
+        hook: impl FnMut(ProcessId, ProcessId) -> LinkFate + Send + 'static,
+    ) {
+        self.fault = Some(Box::new(hook));
+    }
+
+    /// Publishes a notification from instance `id` (LPB-CAST). Returns
+    /// `None` when the id is not hosted here.
+    pub fn broadcast(&mut self, id: ProcessId, payload: impl Into<Payload>) -> Option<EventId> {
+        let idx = self.index.get(&id).copied()?;
+        let (event_id, output) = {
+            let inst = self.instances.get_mut(idx)?;
+            inst.machine.broadcast(payload.into())
+        };
+        self.absorb_output(idx, output);
+        Some(event_id)
+    }
+
+    /// Runs `f` against a hosted instance's state.
+    pub fn with_instance<R>(&self, id: ProcessId, f: impl FnOnce(&P) -> R) -> Option<R> {
+        let idx = self.index.get(&id).copied()?;
+        self.instances.get(idx).map(|i| f(&i.machine))
+    }
+
+    /// Deliveries (LPB-DELIVER) accumulated since the last call, as
+    /// `(instance, event)` pairs.
+    pub fn take_deliveries(&mut self) -> Vec<(ProcessId, Event)> {
+        std::mem::take(&mut self.deliveries)
+    }
+
+    /// Runs one event-loop iteration: fires due ticks, waits up to
+    /// `max_wait` (capped by the next timer deadline) for socket
+    /// readiness, drains and dispatches every pending datagram, and
+    /// returns the control-socket datagrams received, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poller failures; per-datagram decode errors are
+    /// dropped silently (loss), per the gossip model.
+    pub fn step(&mut self, max_wait: Duration) -> Result<Vec<(SocketAddr, Vec<u8>)>, NetError> {
+        let now = Instant::now();
+        self.fire_due(now);
+        self.drain_local_queue();
+
+        let wait = match self.timers.next_deadline() {
+            Some(deadline) => deadline
+                .saturating_duration_since(Instant::now())
+                .min(max_wait),
+            None => max_wait,
+        };
+        let ready: Vec<usize> = self.poller.wait(Some(wait))?.to_vec();
+
+        let mut control_msgs = Vec::new();
+        for key in ready {
+            if key == CONTROL_KEY {
+                if let Some(control) = &self.control {
+                    let mut buf = [0u8; 2048];
+                    let _ = drain_socket(control, &mut buf, |data, from| {
+                        control_msgs.push((from, data.to_vec()));
+                    });
+                }
+                continue;
+            }
+            self.drain_data_socket(key)?;
+        }
+
+        self.fire_due(Instant::now());
+        self.drain_local_queue();
+        Ok(control_msgs)
+    }
+
+    /// Fires every tick whose deadline passed and re-arms it one period
+    /// out.
+    fn fire_due(&mut self, now: Instant) {
+        let mut fired = std::mem::take(&mut self.fired);
+        fired.clear();
+        self.timers.advance(now, &mut fired);
+        for idx in fired.drain(..) {
+            let output = match self.instances.get_mut(idx) {
+                Some(inst) => inst.machine.tick(),
+                None => continue,
+            };
+            self.stats.ticks = self.stats.ticks.saturating_add(1);
+            self.absorb_output(idx, output);
+            self.timers.schedule(idx, now + self.interval);
+        }
+        self.fired = fired;
+    }
+
+    /// Routes one instance's protocol output: deliveries are queued for
+    /// the caller, outgoing messages are short-circuited locally or
+    /// batched per remote destination.
+    fn absorb_output(&mut self, from_idx: usize, output: lpbcast_types::Output<P::Msg>) {
+        let (from_id, socket_idx) = match self.instances.get(from_idx) {
+            Some(inst) => (inst.machine.id(), inst.socket_idx),
+            None => return,
+        };
+        for event in output.delivered {
+            self.deliveries.push((from_id, event));
+        }
+        if output.outgoing.is_empty() {
+            return;
+        }
+        // Split egress into the local fast path and remote sends, the
+        // latter with the fault hook applied per message.
+        let mut remote: Vec<(ProcessId, SocketAddr, P::Msg, bool)> = Vec::new();
+        for (to, msg) in output.outgoing {
+            if self.index.contains_key(&to) {
+                self.stats.local_messages = self.stats.local_messages.saturating_add(1);
+                self.local_queue.push_back((from_id, to, msg));
+                continue;
+            }
+            let Some(addr) = self.book.lookup(to) else {
+                continue; // unknown peer: indistinguishable from loss
+            };
+            let fate = match &mut self.fault {
+                Some(hook) => hook(from_id, to),
+                None => LinkFate::Deliver,
+            };
+            match fate {
+                LinkFate::Drop => {
+                    self.stats.dropped_fault = self.stats.dropped_fault.saturating_add(1);
+                }
+                LinkFate::Deliver => remote.push((to, addr, msg, false)),
+                LinkFate::Duplicate => {
+                    self.stats.duplicated_fault = self.stats.duplicated_fault.saturating_add(1);
+                    remote.push((to, addr, msg, true));
+                }
+            }
+        }
+        if remote.is_empty() {
+            return;
+        }
+        let Some(socket) = self.sockets.get(socket_idx) else {
+            return;
+        };
+        // Per-destination batches under one cluster envelope each, with
+        // `Arc`-shared gossip bodies encoded once (cf. NetNode).
+        let mut batches: Vec<(ProcessId, SocketAddr, BytesMut)> = Vec::new();
+        let mut cached: Option<(usize, Bytes)> = None;
+        let mut scratch = BytesMut::new();
+        for (to, addr, msg, duplicate) in &remote {
+            let frame: &[u8] = match msg.body_key() {
+                Some(key) => match &mut cached {
+                    Some((k, f)) if *k == key => f,
+                    slot => {
+                        let mut f = BytesMut::with_capacity(256);
+                        wire::encode_frame(msg, &mut f);
+                        &slot.insert((key, f.freeze())).1
+                    }
+                },
+                None => {
+                    scratch.clear();
+                    wire::encode_frame(msg, &mut scratch);
+                    &scratch
+                }
+            };
+            let idx = match batches.iter().position(|(p, _, _)| p == to) {
+                Some(i) => i,
+                None => {
+                    let mut header = BytesMut::with_capacity(wire::CLUSTER_HEADER_LEN + 256);
+                    wire::encode_cluster_header(from_id, *to, &mut header);
+                    batches.push((*to, *addr, header));
+                    batches.len() - 1
+                }
+            };
+            let Some(batch) = batches.get_mut(idx) else {
+                continue; // idx was computed in-bounds just above
+            };
+            let copies = if *duplicate { 2 } else { 1 };
+            for _ in 0..copies {
+                if batch.2.len() > wire::CLUSTER_HEADER_LEN
+                    && batch.2.len() + frame.len() > MAX_DATAGRAM
+                {
+                    self.stats.datagrams_tx = self.stats.datagrams_tx.saturating_add(1);
+                    self.stats.wire_tx_bytes = self
+                        .stats
+                        .wire_tx_bytes
+                        .saturating_add(batch.2.len() as u64);
+                    let _ = socket.send_to(&batch.2, batch.1);
+                    batch.2.truncate(wire::CLUSTER_HEADER_LEN);
+                }
+                batch.2.extend_from_slice(frame);
+            }
+        }
+        for (_, addr, bytes) in &batches {
+            if bytes.len() > wire::CLUSTER_HEADER_LEN {
+                self.stats.datagrams_tx = self.stats.datagrams_tx.saturating_add(1);
+                self.stats.wire_tx_bytes =
+                    self.stats.wire_tx_bytes.saturating_add(bytes.len() as u64);
+                let _ = socket.send_to(bytes, *addr);
+            }
+        }
+    }
+
+    /// Hands queued intra-process messages to their destinations. Bounded
+    /// to the queue length at entry so two chatty instances cannot starve
+    /// the socket path.
+    fn drain_local_queue(&mut self) {
+        let mut budget = self.local_queue.len();
+        while budget > 0 {
+            budget -= 1;
+            let Some((from, to, msg)) = self.local_queue.pop_front() else {
+                break;
+            };
+            let Some(idx) = self.index.get(&to).copied() else {
+                continue;
+            };
+            let output = match self.instances.get_mut(idx) {
+                Some(inst) => inst.machine.handle_message(from, msg),
+                None => continue,
+            };
+            self.absorb_output(idx, output);
+        }
+    }
+
+    /// Drains one ready data socket to `WouldBlock`, dispatching each
+    /// datagram.
+    fn drain_data_socket(&mut self, key: usize) -> Result<(), NetError> {
+        // The recv buffer and the socket are disjoint fields, but the
+        // dispatch needs `&mut self`; collect first, dispatch after.
+        let mut pending: Vec<(Vec<u8>, SocketAddr)> = Vec::new();
+        {
+            let Some(socket) = self.sockets.get(key) else {
+                return Ok(());
+            };
+            let mut buf = std::mem::take(&mut self.recv_buf);
+            let result = drain_socket(socket, &mut buf, |data, from| {
+                pending.push((data.to_vec(), from));
+            });
+            self.recv_buf = buf;
+            result?;
+        }
+        for (data, from_addr) in pending {
+            self.dispatch_datagram(key, &data, from_addr);
+        }
+        Ok(())
+    }
+
+    /// Routes one ingress datagram: drop filter, then envelope demux (or
+    /// the `NetNode`-interop sole-instance path for plain frames).
+    fn dispatch_datagram(&mut self, socket_key: usize, data: &[u8], from_addr: SocketAddr) {
+        if self.drop_filter.contains(&from_addr) {
+            self.stats.dropped_filtered = self.stats.dropped_filtered.saturating_add(1);
+            return;
+        }
+        self.stats.datagrams_rx = self.stats.datagrams_rx.saturating_add(1);
+        self.stats.wire_rx_bytes = self.stats.wire_rx_bytes.saturating_add(data.len() as u64);
+
+        let (from, dest_idx, frames) = if data.first() == Some(&wire::CLUSTER_MAGIC) {
+            let Ok((from, dest, frames)) = wire::decode_cluster_header(data) else {
+                return; // hostile or truncated envelope: drop whole
+            };
+            let Some(idx) = self.index.get(&dest).copied() else {
+                return; // not hosted (e.g. killed and restarted elsewhere)
+            };
+            (from, idx, frames)
+        } else {
+            // NetNode interop: only routable when this socket hosts
+            // exactly one instance.
+            let Some(Some(idx)) = self.sole_per_socket.get(socket_key).copied() else {
+                return;
+            };
+            let from = self
+                .book
+                .reverse_lookup(from_addr)
+                .unwrap_or(ProcessId::new(u64::MAX));
+            (from, idx, data)
+        };
+        let Ok(messages) = wire::decode_frames::<P::Msg>(frames) else {
+            return; // torn datagram: drop it whole, like loss
+        };
+        for message in messages {
+            let output = match self.instances.get_mut(dest_idx) {
+                Some(inst) => inst.machine.handle_message(from, message),
+                None => return,
+            };
+            self.absorb_output(dest_idx, output);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpbcast_core::{Config, Lpbcast};
+
+    fn config(view: usize) -> Config {
+        // Retransmission on and roomy buffers (cf. examples/udp_cluster):
+        // real-clock runs take many rounds, so events must stay
+        // recoverable from the archive instead of aging out.
+        Config::builder()
+            .view_size(view)
+            .fanout(3)
+            .event_ids_max(512)
+            .events_max(512)
+            .retransmit_request_max(16)
+            .retransmit_retry_ticks(4)
+            .archive_capacity(1024)
+            .build()
+    }
+
+    fn cluster_of(
+        n: usize,
+        id_base: u64,
+        all_ids: &[ProcessId],
+        interval: Duration,
+    ) -> Cluster<Lpbcast> {
+        let mut cluster = ClusterBuilder::new(interval)
+            .sockets(2)
+            .build::<Lpbcast>()
+            .expect("build");
+        for i in 0..n {
+            let id = ProcessId::new(id_base + i as u64);
+            let view: Vec<ProcessId> = all_ids.iter().copied().filter(|p| *p != id).collect();
+            let machine = Lpbcast::with_initial_view(id, config(8), id.as_u64() ^ 0xC0FFEE, view);
+            cluster.add_instance(machine).expect("add");
+        }
+        cluster
+    }
+
+    #[test]
+    fn two_clusters_reach_full_delivery_over_loopback() {
+        let interval = Duration::from_millis(5);
+        let n_per = 8usize;
+        let all_ids: Vec<ProcessId> = (0..2 * n_per as u64).map(ProcessId::new).collect();
+        let mut a = cluster_of(n_per, 0, &all_ids, interval);
+        let mut b = cluster_of(n_per, n_per as u64, &all_ids, interval);
+
+        // Cross-register: every instance of `b` at `b`'s sockets, seen
+        // from `a`, and vice versa.
+        for id in b.instance_ids() {
+            let addr = b.address_book().lookup(id).expect("b addr");
+            a.register_peer(id, addr);
+        }
+        for id in a.instance_ids() {
+            let addr = a.address_book().lookup(id).expect("a addr");
+            b.register_peer(id, addr);
+        }
+
+        let event = a
+            .broadcast(ProcessId::new(0), b"hello".as_ref())
+            .expect("hosted");
+        let mut delivered: FastSet<ProcessId> = FastSet::default();
+        delivered.insert(ProcessId::new(0)); // origin delivers at publish
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while delivered.len() < 2 * n_per && Instant::now() < deadline {
+            a.step(Duration::from_millis(2)).expect("step a");
+            b.step(Duration::from_millis(2)).expect("step b");
+            for (id, ev) in a.take_deliveries().into_iter().chain(b.take_deliveries()) {
+                if ev.id() == event {
+                    delivered.insert(id);
+                }
+            }
+        }
+        assert_eq!(
+            delivered.len(),
+            2 * n_per,
+            "all instances deliver across two processes"
+        );
+        assert!(a.stats().datagrams_tx > 0, "cross-cluster traffic flowed");
+        assert!(a.stats().local_messages > 0, "local fast path used");
+    }
+
+    #[test]
+    fn drop_filter_blocks_ingress_and_heals() {
+        let interval = Duration::from_millis(5);
+        let ids: Vec<ProcessId> = (0..4u64).map(ProcessId::new).collect();
+        let mut a = cluster_of(2, 0, &ids, interval);
+        let mut b = cluster_of(2, 2, &ids, interval);
+        for id in b.instance_ids() {
+            a.register_peer(id, b.address_book().lookup(id).expect("addr"));
+        }
+        for id in a.instance_ids() {
+            b.register_peer(id, a.address_book().lookup(id).expect("addr"));
+        }
+        // Partition: b drops everything arriving from a's sockets.
+        for addr in a.local_addrs() {
+            b.set_drop(addr, true);
+        }
+        let event = a
+            .broadcast(ProcessId::new(0), b"cut".as_ref())
+            .expect("hosted");
+        let until = Instant::now() + Duration::from_millis(200);
+        let mut b_saw = false;
+        while Instant::now() < until {
+            a.step(Duration::from_millis(2)).expect("step");
+            b.step(Duration::from_millis(2)).expect("step");
+            b_saw |= b.take_deliveries().iter().any(|(_, ev)| ev.id() == event);
+        }
+        assert!(!b_saw, "partitioned side must not deliver");
+        assert!(b.stats().dropped_filtered > 0, "filter engaged");
+
+        // Heal and confirm gossip flows again: a *fresh* event crosses
+        // (the cut one may recover too, but that depends on how long the
+        // archive holds it — the filter, not the protocol, is under test).
+        b.clear_drops();
+        let fresh = a
+            .broadcast(ProcessId::new(1), b"post-heal".as_ref())
+            .expect("hosted");
+        let mut fresh_seen = false;
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !fresh_seen && Instant::now() < deadline {
+            a.step(Duration::from_millis(2)).expect("step");
+            b.step(Duration::from_millis(2)).expect("step");
+            fresh_seen |= b
+                .take_deliveries()
+                .iter()
+                .any(|(_, ev)| ev.id() == fresh || ev.id() == event);
+        }
+        assert!(fresh_seen, "delivery resumes after heal");
+    }
+
+    #[test]
+    fn link_fault_hook_can_black_hole_egress() {
+        let interval = Duration::from_millis(5);
+        let ids: Vec<ProcessId> = (0..4u64).map(ProcessId::new).collect();
+        let mut a = cluster_of(2, 0, &ids, interval);
+        let b = cluster_of(2, 2, &ids, interval);
+        for id in b.instance_ids() {
+            a.register_peer(id, b.address_book().lookup(id).expect("addr"));
+        }
+        a.set_link_fault(|_, _| LinkFate::Drop);
+        a.broadcast(ProcessId::new(0), b"void".as_ref())
+            .expect("hosted");
+        for _ in 0..40 {
+            a.step(Duration::from_millis(2)).expect("step");
+        }
+        assert_eq!(
+            a.stats().datagrams_tx,
+            0,
+            "every egress message faulted away"
+        );
+        assert!(a.stats().dropped_fault > 0);
+    }
+}

@@ -10,14 +10,24 @@
 //!   tested, no serialization framework;
 //! * a threaded **node runtime** ([`NetNode<P>`](NetNode)): generic over
 //!   any sans-IO [`Protocol`](lpbcast_types::Protocol) whose messages
-//!   implement [`WireMessage`] (lpbcast and pbcast in-tree). A receiver
-//!   thread decodes datagrams and feeds the state machine, a ticker
-//!   thread fires the periodic gossip every `T` milliseconds
-//!   (non-synchronized, exactly as §3.2 prescribes), and deliveries
-//!   stream to the application through a channel. Output batches are
-//!   sent as per-destination multi-frame datagrams — one `send_to`
-//!   syscall per peer per batch, with `Arc`-shared gossip bodies encoded
-//!   once.
+//!   implement [`WireMessage`] (lpbcast and pbcast in-tree). One
+//!   event-loop thread parks on a readiness poller, drains the
+//!   nonblocking socket into the state machine and fires the periodic
+//!   gossip every `T` milliseconds (non-synchronized, exactly as §3.2
+//!   prescribes); deliveries stream to the application through a
+//!   channel. Output batches are sent as per-destination multi-frame
+//!   datagrams — one `send_to` syscall per peer per batch, with
+//!   `Arc`-shared gossip bodies encoded once;
+//! * a **cluster runtime** ([`Cluster<P>`](Cluster)):
+//!   hundreds-to-thousands of protocol instances multiplexed over a
+//!   handful of nonblocking sockets in one caller-driven loop — a
+//!   [`TimerWheel`](timer::TimerWheel) for per-instance tick cadence,
+//!   readiness polling ([`poll::UdpPoller`], epoll with a portable
+//!   `poll(2)` fallback via the vendored `polling` crate), harness hooks
+//!   for ingress drop filters (partitions) and egress link faults. This
+//!   is what the multi-process deployment harness
+//!   (`scripts/cluster_harness.py` + the `net_harness` bin) drives for
+//!   real-network scenario runs.
 //!
 //! UDP is a faithful transport here: gossip protocols *assume* lossy
 //! fire-and-forget messaging (the ε of the analysis), so no reliability
@@ -52,10 +62,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod cluster;
 mod error;
 mod node;
+pub mod poll;
+pub mod timer;
 pub mod wire;
 
+pub use cluster::{Cluster, ClusterBuilder, ClusterStats, LinkFate};
 pub use error::NetError;
 pub use node::{AddressBook, NetConfig, NetNode, NetOpts, NodeSnapshot};
+pub use timer::TimerWheel;
 pub use wire::{wire_meter, WireMessage, WireStats};

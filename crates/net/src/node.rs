@@ -4,20 +4,27 @@
 //! [`NetNode<P>`] is generic over the protocol (defaulting to
 //! [`Lpbcast`]); anything implementing [`Protocol`] whose message type
 //! implements [`WireMessage`](crate::wire::WireMessage) — lpbcast and
-//! pbcast in-tree — gets the same runtime: a receiver thread decoding
-//! (possibly batched) datagrams into the state machine, a ticker thread
-//! firing the periodic gossip, and deliveries streaming to the
-//! application through a channel. One protocol output batch costs one
-//! `send_to` syscall per destination: the envelopes drained from an
+//! pbcast in-tree — gets the same runtime: one event-loop thread parks
+//! on a readiness poller ([`UdpPoller`](crate::poll::UdpPoller)) with
+//! its timeout capped by the next gossip deadline, drains the
+//! nonblocking socket when datagrams arrive, fires the periodic gossip
+//! when the deadline passes, and streams deliveries to the application
+//! through a channel. One protocol output batch costs one `send_to`
+//! syscall per destination: the envelopes drained from an
 //! [`Output`](lpbcast_types::Output) are grouped per peer into a single
 //! multi-frame datagram, and fanout copies sharing an `Arc`'d gossip
 //! body are encoded once (the frame bytes are reused per destination).
+//!
+//! One socket and one thread per node is faithful to the paper's
+//! deployment but tops out around 10² nodes per host; the
+//! [`Cluster`](crate::Cluster) runtime multiplexes thousands of
+//! instances over a handful of sockets for testbed-scale runs.
 
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -27,24 +34,34 @@ use lpbcast_membership::View as _;
 use lpbcast_types::{Event, EventId, FastMap, Payload, ProcessId, Protocol};
 
 use crate::error::NetError;
+use crate::poll::{drain_socket, UdpPoller};
 use crate::wire::{self, WireMessage};
 
 /// Keep batched datagrams under the 64 KiB UDP limit with headroom for
 /// IP/UDP headers.
 const MAX_DATAGRAM: usize = 60 * 1024;
 
-/// Attempts to bind an ephemeral localhost socket, retrying transient
-/// failures with doubling backoff. Ephemeral binds rarely fail, but
-/// under churny test suites the loopback port range can be momentarily
-/// exhausted (`EADDRINUSE` races, `ENOBUFS` under memory pressure) —
-/// one late retry beats failing a whole cluster spawn.
+/// Attempts to bind a socket, retrying transient failures with doubling
+/// backoff. A port-0 (OS-assigned ephemeral) bind cannot collide with
+/// another listener, so it gets exactly one attempt; only *fixed* ports
+/// retry — under churny test suites a just-killed process's port can
+/// linger momentarily (`EADDRINUSE` races, `ENOBUFS` under memory
+/// pressure), and one late retry beats failing a whole cluster spawn.
 const BIND_ATTEMPTS: u32 = 5;
 const BIND_BACKOFF_START: Duration = Duration::from_millis(5);
 
-fn bind_with_retry() -> std::io::Result<UdpSocket> {
+/// Default bind target: loopback, OS-assigned port.
+fn ephemeral_loopback() -> SocketAddr {
+    SocketAddr::from(([127, 0, 0, 1], 0))
+}
+
+fn bind_with_retry(addr: SocketAddr) -> std::io::Result<UdpSocket> {
+    if addr.port() == 0 {
+        return UdpSocket::bind(addr);
+    }
     let mut backoff = BIND_BACKOFF_START;
     for _ in 1..BIND_ATTEMPTS {
-        match UdpSocket::bind("127.0.0.1:0") {
+        match UdpSocket::bind(addr) {
             Ok(socket) => return Ok(socket),
             Err(_) => {
                 std::thread::sleep(backoff);
@@ -52,11 +69,12 @@ fn bind_with_retry() -> std::io::Result<UdpSocket> {
             }
         }
     }
-    UdpSocket::bind("127.0.0.1:0")
+    UdpSocket::bind(addr)
 }
 
-/// Receiver-thread read timeout: how long a blocked `recv_from` waits
-/// before re-checking the shutdown flag. Overridable through the
+/// Event-loop wake cap: the longest the loop parks in the poller before
+/// re-checking the shutdown flag, even with no traffic and a distant
+/// gossip deadline. Overridable through the
 /// `LPBCAST_UDP_READ_TIMEOUT_MS` environment variable — lower values
 /// tighten shutdown latency, higher values cut idle wakeups on
 /// long-period deployments.
@@ -83,6 +101,11 @@ pub struct NetOpts {
     pub ingress_loss: f64,
     /// Seed of the ingress-loss RNG.
     pub loss_seed: u64,
+    /// Address to bind; `None` (the default) binds `127.0.0.1:0` — an
+    /// OS-assigned ephemeral port, immune to fixed-port collisions on
+    /// busy runners. Port 0 in an explicit address keeps that property
+    /// on a chosen interface.
+    pub bind_addr: Option<SocketAddr>,
 }
 
 impl NetOpts {
@@ -92,7 +115,15 @@ impl NetOpts {
             gossip_interval,
             ingress_loss: 0.0,
             loss_seed,
+            bind_addr: None,
         }
+    }
+
+    /// Binds the node's socket to `addr` instead of `127.0.0.1:0`.
+    #[must_use]
+    pub fn bind_addr(mut self, addr: SocketAddr) -> Self {
+        self.bind_addr = Some(addr);
+        self
     }
 
     /// Sets the artificial ingress-loss probability (the paper's ε).
@@ -155,6 +186,7 @@ impl NetConfig {
             gossip_interval: self.gossip_interval,
             ingress_loss: self.ingress_loss,
             loss_seed: self.seed ^ 0x0069_6E67_7265_7373,
+            bind_addr: None,
         }
     }
 }
@@ -228,9 +260,9 @@ pub struct NodeSnapshot {
     pub leaving: bool,
 }
 
-/// A running networked node: a UDP socket, a receiver thread and a
-/// gossip-timer thread around one sans-IO [`Protocol`] state machine
-/// (defaulting to [`Lpbcast`]).
+/// A running networked node: a nonblocking UDP socket and one
+/// readiness-driven event-loop thread around one sans-IO [`Protocol`]
+/// state machine (defaulting to [`Lpbcast`]).
 #[derive(Debug)]
 pub struct NetNode<P: Protocol = Lpbcast> {
     id: ProcessId,
@@ -317,7 +349,7 @@ where
     /// Propagates socket errors.
     pub fn spawn_protocol(machine: P, opts: NetOpts, book: AddressBook) -> Result<Self, NetError> {
         let id = machine.id();
-        let socket = bind_with_retry()?;
+        let socket = bind_with_retry(opts.bind_addr.unwrap_or_else(ephemeral_loopback))?;
         let local_addr = socket.local_addr()?;
         book.register(id, local_addr);
 
@@ -325,47 +357,31 @@ where
         let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, rx) = unbounded::<Event>();
 
-        // Receiver thread: datagram → frames → state machine → sends.
-        let recv_socket = socket.try_clone()?;
-        recv_socket.set_read_timeout(Some(read_timeout_from_env()))?;
-        let recv_state = Arc::clone(&state);
-        let recv_book = book.clone();
-        let recv_shutdown = Arc::clone(&shutdown);
-        let recv_tx = tx.clone();
+        // One event-loop thread: park on readiness (capped by the next
+        // gossip deadline), drain datagrams, tick when due.
+        let loop_socket = socket.try_clone()?;
+        let loop_state = Arc::clone(&state);
+        let loop_book = book.clone();
+        let loop_shutdown = Arc::clone(&shutdown);
+        let loop_tx = tx.clone();
         let ingress_loss = opts.ingress_loss;
         let loss_seed = opts.loss_seed;
-        let receiver = std::thread::Builder::new()
-            .name(format!("lpbcast-rx-{id}"))
+        let interval = opts.gossip_interval;
+        let wake_cap = read_timeout_from_env();
+        let looper = std::thread::Builder::new()
+            .name(format!("lpbcast-loop-{id}"))
             .spawn(move || {
-                receive_loop(
-                    recv_socket,
-                    recv_state,
-                    recv_book,
-                    recv_shutdown,
-                    recv_tx,
+                event_loop(
+                    loop_socket,
+                    loop_state,
+                    loop_book,
+                    loop_shutdown,
+                    loop_tx,
+                    interval,
                     ingress_loss,
                     loss_seed,
+                    wake_cap,
                 );
-            })?;
-
-        // Ticker thread: every T, advance the clock and gossip.
-        let tick_socket = socket.try_clone()?;
-        let tick_state = Arc::clone(&state);
-        let tick_book = book.clone();
-        let tick_shutdown = Arc::clone(&shutdown);
-        let tick_tx = tx.clone();
-        let interval = opts.gossip_interval;
-        let ticker = std::thread::Builder::new()
-            .name(format!("lpbcast-tick-{id}"))
-            .spawn(move || {
-                while !tick_shutdown.load(Ordering::Relaxed) {
-                    std::thread::sleep(interval);
-                    let output = tick_state.lock().tick();
-                    for event in output.delivered {
-                        let _ = tick_tx.send(event);
-                    }
-                    send_outgoing(&tick_socket, &tick_book, &output.outgoing);
-                }
             })?;
 
         Ok(NetNode {
@@ -377,7 +393,7 @@ where
             deliveries: rx,
             deliveries_tx: tx,
             shutdown,
-            threads: vec![receiver, ticker],
+            threads: vec![looper],
         })
     }
 
@@ -441,7 +457,7 @@ impl<P: Protocol> NetNode<P> {
         &self.deliveries
     }
 
-    /// Stops both threads and waits for them. Further datagrams to this
+    /// Stops the event loop and waits for it. Further datagrams to this
     /// node are lost (as any crash would look to its peers).
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
@@ -451,55 +467,80 @@ impl<P: Protocol> NetNode<P> {
     }
 }
 
-fn receive_loop<P: Protocol>(
+/// The node's single event loop: readiness wait (capped by the gossip
+/// deadline and the shutdown-latency knob), socket drain, periodic tick.
+#[allow(clippy::too_many_arguments)]
+fn event_loop<P: Protocol>(
     socket: UdpSocket,
     state: Arc<Mutex<P>>,
     book: AddressBook,
     shutdown: Arc<AtomicBool>,
     deliveries: Sender<Event>,
+    interval: Duration,
     ingress_loss: f64,
     loss_seed: u64,
+    wake_cap: Duration,
 ) where
     P::Msg: WireMessage,
 {
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
+    let Ok(mut poller) = UdpPoller::new() else {
+        return;
+    };
+    if poller.register(&socket, 0).is_err() {
+        return;
+    }
     let mut loss_rng = SmallRng::seed_from_u64(loss_seed);
     let mut buf = vec![0u8; 64 * 1024];
+    let mut next_tick = Instant::now() + interval;
     while !shutdown.load(Ordering::Relaxed) {
-        let (len, from_addr) = match socket.recv_from(&mut buf) {
-            Ok(x) => x,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => break,
-        };
-        let Some(datagram) = buf.get(..len) else {
-            continue; // length beyond our buffer: cannot happen, drop
-        };
-        let Ok(messages) = wire::decode_frames::<P::Msg>(datagram) else {
-            continue; // hostile or truncated datagram: drop it whole
-        };
-        // `from` is only consulted for retransmission replies; gossip and
-        // subscriptions carry their sender in-band.
-        let from = book
-            .reverse_lookup(from_addr)
-            .unwrap_or(ProcessId::new(u64::MAX));
-        for message in messages {
-            // The paper's ε, injected at ingress — drawn per *message*,
-            // not per datagram, so frames batched into one datagram
-            // still suffer independent Bernoulli loss.
-            if ingress_loss > 0.0 && loss_rng.gen::<f64>() < ingress_loss {
-                continue;
-            }
-            let output = state.lock().handle_message(from, message);
+        let now = Instant::now();
+        if now >= next_tick {
+            let output = state.lock().tick();
             for event in output.delivered {
                 let _ = deliveries.send(event);
             }
             send_outgoing(&socket, &book, &output.outgoing);
+            // Catch up without bursting: a stalled loop owes its peers
+            // at most one gossip, not one per missed period.
+            while next_tick <= now {
+                next_tick += interval;
+            }
+        }
+        let timeout = next_tick.saturating_duration_since(now).min(wake_cap);
+        let ready = match poller.wait(Some(timeout)) {
+            Ok(keys) => !keys.is_empty(),
+            Err(_) => break,
+        };
+        if !ready {
+            continue; // timer or shutdown check, handled at loop top
+        }
+        let drained = drain_socket(&socket, &mut buf, |datagram, from_addr| {
+            let Ok(messages) = wire::decode_frames::<P::Msg>(datagram) else {
+                return; // hostile or truncated datagram: drop it whole
+            };
+            // `from` is only consulted for retransmission replies; gossip
+            // and subscriptions carry their sender in-band.
+            let from = book
+                .reverse_lookup(from_addr)
+                .unwrap_or(ProcessId::new(u64::MAX));
+            for message in messages {
+                // The paper's ε, injected at ingress — drawn per
+                // *message*, not per datagram, so frames batched into one
+                // datagram still suffer independent Bernoulli loss.
+                if ingress_loss > 0.0 && loss_rng.gen::<f64>() < ingress_loss {
+                    continue;
+                }
+                let output = state.lock().handle_message(from, message);
+                for event in output.delivered {
+                    let _ = deliveries.send(event);
+                }
+                send_outgoing(&socket, &book, &output.outgoing);
+            }
+        });
+        if drained.is_err() {
+            break;
         }
     }
 }
@@ -600,9 +641,20 @@ mod tests {
 
     #[test]
     fn bind_with_retry_yields_a_usable_socket() {
-        let socket = bind_with_retry().expect("ephemeral bind succeeds");
+        let socket = bind_with_retry(ephemeral_loopback()).expect("ephemeral bind succeeds");
         let addr = socket.local_addr().expect("bound address");
         assert!(addr.ip().is_loopback());
         assert_ne!(addr.port(), 0, "a concrete ephemeral port was assigned");
+    }
+
+    #[test]
+    fn net_opts_thread_an_explicit_bind_addr() {
+        let opts = NetOpts::new(Duration::from_millis(50), 1);
+        assert_eq!(opts.bind_addr, None, "default stays OS-assigned");
+        let addr: SocketAddr = "127.0.0.1:0".parse().expect("addr");
+        let opts = opts.bind_addr(addr);
+        assert_eq!(opts.bind_addr, Some(addr));
+        let socket = bind_with_retry(addr).expect("port-0 bind is single-shot");
+        assert_ne!(socket.local_addr().expect("addr").port(), 0);
     }
 }

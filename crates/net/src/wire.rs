@@ -88,6 +88,15 @@
 //! kind 46 — IndirectAck:  u64 target, updates
 //! ```
 //!
+//! The [`Cluster`](crate::Cluster) runtime multiplexes many protocol
+//! instances over one socket, so its datagrams carry a small *envelope*
+//! in front of the frame sequence — `[u8 CLUSTER_MAGIC = 0x6D]
+//! [u8 version = 1] [u64 from] [u64 dest]` — naming the sending and the
+//! receiving instance (the socket address alone no longer identifies
+//! either). A plain `0x6C` datagram is still accepted by a cluster
+//! socket hosting exactly one instance, keeping `NetNode` peers
+//! interoperable.
+//!
 //! Every length is validated against the remaining buffer before any
 //! allocation, so a hostile datagram cannot trigger huge allocations.
 
@@ -288,6 +297,43 @@ pub fn encode<M: WireMessage>(message: &M) -> Bytes {
     let mut buf = BytesMut::with_capacity(128);
     encode_frame(message, &mut buf);
     buf.freeze()
+}
+
+/// First byte of a cluster-multiplexed datagram envelope (see the module
+/// docs; distinct from the per-frame [`MAGIC`], so the two datagram
+/// shapes are told apart by their first byte).
+pub const CLUSTER_MAGIC: u8 = 0x6D; // 'm' for multiplexed
+/// Byte length of the cluster envelope: magic, version, from, dest.
+pub const CLUSTER_HEADER_LEN: usize = 1 + 1 + 8 + 8;
+
+/// Appends a cluster envelope header naming the sending and receiving
+/// protocol instances; the frame sequence follows.
+pub fn encode_cluster_header(from: ProcessId, dest: ProcessId, buf: &mut BytesMut) {
+    buf.put_u8(CLUSTER_MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u64_le(from.as_u64());
+    buf.put_u64_le(dest.as_u64());
+}
+
+/// Splits a cluster datagram into `(from, dest, frames)`.
+///
+/// # Errors
+///
+/// [`WireError::BadMagic`] when the datagram is not a cluster envelope,
+/// [`WireError::BadVersion`]/[`WireError::UnexpectedEof`] on a hostile or
+/// truncated header.
+pub fn decode_cluster_header(data: &[u8]) -> Result<(ProcessId, ProcessId, &[u8]), WireError> {
+    let (&magic, rest) = data.split_first().ok_or(WireError::UnexpectedEof)?;
+    if magic != CLUSTER_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let (&version, mut rest) = rest.split_first().ok_or(WireError::UnexpectedEof)?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let from = ProcessId::new(take_u64(&mut rest)?);
+    let dest = ProcessId::new(take_u64(&mut rest)?);
+    Ok((from, dest, rest))
 }
 
 impl WireMessage for Message {

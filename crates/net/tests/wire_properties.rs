@@ -399,3 +399,102 @@ proptest! {
         }
     }
 }
+
+/// Re-encodes a decoded sequence so sequences can be compared by bytes
+/// (the codec is canonical: equal bytes ⇔ equal messages).
+fn stream_of(messages: &[Message]) -> Vec<u8> {
+    messages
+        .iter()
+        .flat_map(|m| wire::encode(m).to_vec())
+        .collect()
+}
+
+proptest! {
+    /// The cluster runtime batches frames into datagrams and splits
+    /// batches at MAX_DATAGRAM: however a frame stream is partitioned
+    /// *at frame boundaries* into datagrams, the concatenation of the
+    /// per-datagram decodes is the original message sequence.
+    #[test]
+    fn frame_split_boundaries_never_change_the_sequence(
+        messages in vec(arb_message(), 1..8),
+        split_seeds in vec(any::<usize>(), 0..4),
+    ) {
+        let frames: Vec<Vec<u8>> = messages
+            .iter()
+            .map(|m| wire::encode(m).to_vec())
+            .collect();
+        let stream: Vec<u8> = frames.concat();
+
+        // Interior frame boundaries (cumulative frame ends, minus EOF).
+        let mut boundaries = Vec::new();
+        let mut off = 0;
+        for f in &frames[..frames.len() - 1] {
+            off += f.len();
+            boundaries.push(off);
+        }
+
+        // Pick a sorted, deduplicated subset of boundaries as cuts.
+        let mut cuts: Vec<usize> = split_seeds
+            .iter()
+            .filter(|_| !boundaries.is_empty())
+            .map(|s| boundaries[s % boundaries.len()])
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let mut decoded: Vec<Message> = Vec::new();
+        let mut start = 0;
+        for cut in cuts.into_iter().chain([stream.len()]) {
+            decoded.extend(
+                wire::decode_frames::<Message>(&stream[start..cut])
+                    .expect("datagram of whole frames decodes"),
+            );
+            start = cut;
+        }
+        prop_assert_eq!(decoded.len(), messages.len());
+        prop_assert_eq!(stream_of(&decoded), stream);
+    }
+
+    /// A datagram truncated anywhere that is *not* a frame boundary is
+    /// rejected whole (the caller treats it as loss); truncation exactly
+    /// at a boundary yields the leading frames.
+    #[test]
+    fn truncated_batches_reject_or_prefix_decode(
+        messages in vec(arb_message(), 1..6),
+        cut_seed in any::<usize>(),
+    ) {
+        let frames: Vec<Vec<u8>> = messages
+            .iter()
+            .map(|m| wire::encode(m).to_vec())
+            .collect();
+        let stream: Vec<u8> = frames.concat();
+        let cut = 1 + cut_seed % (stream.len() - 1);
+
+        let mut boundary_frames = None;
+        let mut off = 0;
+        for (i, f) in frames.iter().enumerate() {
+            off += f.len();
+            if off == cut {
+                boundary_frames = Some(i + 1);
+            }
+        }
+
+        match (boundary_frames, wire::decode_frames::<Message>(&stream[..cut])) {
+            (Some(n), Ok(decoded)) => {
+                prop_assert_eq!(decoded.len(), n);
+                prop_assert_eq!(stream_of(&decoded), stream[..cut].to_vec());
+            }
+            (Some(n), Err(e)) => {
+                return Err(TestCaseError::fail(format!(
+                    "boundary cut after {n} frames failed to decode: {e:?}"
+                )));
+            }
+            (None, Ok(_)) => {
+                return Err(TestCaseError::fail(
+                    "mid-frame truncation decoded successfully",
+                ));
+            }
+            (None, Err(_)) => {} // rejected whole, as required
+        }
+    }
+}

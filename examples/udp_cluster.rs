@@ -17,11 +17,19 @@
 //! * `LPBCAST_UDP_DEADLINE_SECS` — full-delivery deadline (default 15);
 //! * `LPBCAST_UDP_LOSS` — injected ingress loss ε (default 0.05;
 //!   loopback UDP is effectively lossless, so ε is simulated at ingress);
+//! * `LPBCAST_UDP_BIND` — base bind address threaded through
+//!   [`NetOpts::bind_addr`]. Unset (the default) binds `127.0.0.1:0`:
+//!   OS-assigned ephemeral ports that cannot collide with another
+//!   listener on a busy runner. `10.0.0.7:0` keeps ephemeral assignment
+//!   on a chosen interface; a non-zero port such as `127.0.0.1:9000`
+//!   gives node *i* the fixed port `9000 + i` (useful when an external
+//!   firewall or packet capture needs predictable ports);
 //! * `LPBCAST_UDP_REQUIRE_FULL` — when set to `1`, exit non-zero unless
 //!   every node delivered every event before the deadline.
 
 #![forbid(unsafe_code)]
 
+use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 use lpbcast::core::{Config, Lpbcast};
@@ -118,7 +126,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p = ProcessId::new;
     let book = AddressBook::new();
     let protocol = std::env::var("LPBCAST_UDP_PROTOCOL").unwrap_or_else(|_| "lpbcast".into());
-    let opts = |seed| NetOpts::new(Duration::from_millis(period_ms), seed).ingress_loss(loss);
+    // Port handling: by default every node binds an OS-assigned
+    // ephemeral port (`127.0.0.1:0`), so parallel CI jobs and repeated
+    // runs never fight over a fixed range. An explicit base address is
+    // threaded through `NetOpts::bind_addr`; port 0 keeps the ephemeral
+    // property, a non-zero base port fans out to `port + i` per node
+    // (falling back to ephemeral if the range would wrap past 65535).
+    let bind_base: Option<SocketAddr> = std::env::var("LPBCAST_UDP_BIND")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let opts = move |i: u64| {
+        let opts = NetOpts::new(Duration::from_millis(period_ms), 500 + i).ingress_loss(loss);
+        match bind_base {
+            None => opts,
+            Some(base) if base.port() == 0 => opts.bind_addr(base),
+            Some(base) => {
+                let port = u16::try_from(i)
+                    .ok()
+                    .and_then(|i| base.port().checked_add(i))
+                    .unwrap_or(0);
+                opts.bind_addr(SocketAddr::new(base.ip(), port))
+            }
+        }
+    };
     // Each node knows a handful of ring neighbours; gossip-based
     // membership does the rest.
     let ring_view = |i: u64| -> Vec<ProcessId> { (1..=3).map(|d| p((i + d) % n)).collect() };
@@ -135,17 +165,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .event_ids_max(512)
                 .events_max(512)
                 .retransmit_request_max(16)
+                .retransmit_retry_ticks(4)
                 .archive_capacity(1024)
                 .build();
             let mut nodes = Vec::new();
             for i in 0..n {
                 let machine =
                     Lpbcast::with_initial_view(p(i), config.clone(), 500 + i, ring_view(i));
-                nodes.push(NetNode::spawn_protocol(
-                    machine,
-                    opts(500 + i),
-                    book.clone(),
-                )?);
+                nodes.push(NetNode::spawn_protocol(machine, opts(i), book.clone())?);
             }
             drive(nodes, deadline_secs)
         }
@@ -165,11 +192,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for i in 0..n {
                 let membership = Membership::partial(p(i), 6, config.subs_max, ring_view(i));
                 let machine = Pbcast::new(p(i), config.clone(), 500 + i, membership);
-                nodes.push(NetNode::spawn_protocol(
-                    machine,
-                    opts(500 + i),
-                    book.clone(),
-                )?);
+                nodes.push(NetNode::spawn_protocol(machine, opts(i), book.clone())?);
             }
             drive(nodes, deadline_secs)
         }

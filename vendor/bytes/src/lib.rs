@@ -198,6 +198,11 @@ impl BytesMut {
     pub fn clear(&mut self) {
         self.data.clear();
     }
+
+    /// Shortens the buffer to `len` bytes; no-op when already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
 }
 
 impl Deref for BytesMut {

@@ -1,0 +1,597 @@
+//! Vendored API-compatible subset of the `polling` crate: a portable
+//! readiness interface over OS selectors, for the offline build (the
+//! build environment has no crates.io access — see the workspace
+//! manifest's vendoring note).
+//!
+//! Two backends, runtime-selectable:
+//!
+//! * **epoll** (`target_os = "linux"`): one `epoll_create1` instance,
+//!   interest registered via `epoll_ctl`, readiness harvested with
+//!   `epoll_wait`. O(ready) per wait, the backend a cluster runtime
+//!   multiplexing thousands of state machines over a handful of sockets
+//!   wants.
+//! * **poll(2)** (any unix): a registered-fd list re-submitted to
+//!   `poll(2)` on every wait. O(registered) per wait, but POSIX-portable
+//!   — the fallback for hosts without epoll, and a cross-check backend
+//!   for tests even on Linux.
+//!
+//! [`Poller::new`] picks epoll where available and falls back to
+//! `poll(2)` elsewhere; [`Poller::with_backend`] forces one explicitly.
+//!
+//! The syscall surface is declared locally (`extern "C"` against the
+//! platform libc that std already links) — this crate is the single
+//! place in the workspace where `unsafe` is permitted, which is why it
+//! lives under `vendor/` where the repo-wide
+//! `#![forbid(unsafe_code)]` lint (rule D4) deliberately does not reach.
+//!
+//! Semantics notes (narrower than the real crate, sufficient in-tree):
+//!
+//! * Interest is level-triggered and re-armed automatically (the real
+//!   crate's oneshot mode is not reproduced — callers here drain sockets
+//!   to `WouldBlock` anyway).
+//! * `wait` clears `events` before filling it.
+//! * `EINTR` is surfaced as a successful empty wait: the callers are
+//!   periodic loops that simply re-enter.
+
+use std::io;
+use std::os::fd::AsRawFd;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Readiness interest and/or readiness result for one registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen key identifying the source.
+    pub key: usize,
+    /// Readable interest (registration) / readable now (wait result).
+    /// Error and hang-up conditions are reported as readable so callers
+    /// observe them on their next read.
+    pub readable: bool,
+    /// Writable interest / writable now.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in readability only.
+    pub fn readable(key: usize) -> Self {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in writability only.
+    pub fn writable(key: usize) -> Self {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Self {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+}
+
+/// Which OS selector a [`Poller`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux `epoll(7)`.
+    Epoll,
+    /// POSIX `poll(2)`.
+    Poll,
+}
+
+/// A selector instance: register sources, then [`wait`](Poller::wait)
+/// for readiness.
+#[derive(Debug)]
+pub struct Poller {
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::Epoll),
+    Poll(fallback::PollSet),
+}
+
+impl Poller {
+    /// Creates a poller on the preferred backend for this platform
+    /// (epoll on Linux, `poll(2)` elsewhere).
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            Ok(Poller {
+                inner: Inner::Epoll(epoll::Epoll::new()?),
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Poller::with_backend(Backend::Poll)
+        }
+    }
+
+    /// Creates a poller on an explicit backend. Requesting
+    /// [`Backend::Epoll`] off Linux fails with `Unsupported`.
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        match backend {
+            Backend::Epoll => {
+                #[cfg(target_os = "linux")]
+                {
+                    Ok(Poller {
+                        inner: Inner::Epoll(epoll::Epoll::new()?),
+                    })
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        "epoll backend requires Linux",
+                    ))
+                }
+            }
+            Backend::Poll => Ok(Poller {
+                inner: Inner::Poll(fallback::PollSet::new()),
+            }),
+        }
+    }
+
+    /// The backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(_) => Backend::Epoll,
+            Inner::Poll(_) => Backend::Poll,
+        }
+    }
+
+    /// Registers `source` with the given interest. Registering the same
+    /// file descriptor twice is an error.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(e) => e.add(fd, interest),
+            Inner::Poll(p) => p.add(fd, interest),
+        }
+    }
+
+    /// Replaces the interest of an already-registered `source`.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(e) => e.modify(fd, interest),
+            Inner::Poll(p) => p.modify(fd, interest),
+        }
+    }
+
+    /// Deregisters `source`.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(e) => e.delete(fd),
+            Inner::Poll(p) => p.delete(fd),
+        }
+    }
+
+    /// Blocks until at least one source is ready or `timeout` elapses
+    /// (`None` blocks indefinitely). Clears and refills `events`;
+    /// returns the number of ready sources. A sub-millisecond timeout is
+    /// rounded *up* so short deadlines never degenerate into busy-spins.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms = timeout_to_ms(timeout);
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(e) => e.wait(events, timeout_ms),
+            Inner::Poll(p) => p.wait(events, timeout_ms),
+        }
+    }
+}
+
+/// `None` → -1 (infinite); `Some(d)` → ceil-to-ms, clamped to `c_int`.
+fn timeout_to_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) if d.is_zero() => 0,
+        Some(d) => {
+            // as_millis truncates; round up so a 100µs deadline waits
+            // ~1ms instead of degenerating into a 0ms busy-spin.
+            let ms = d
+                .as_millis()
+                .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0));
+            i32::try_from(ms.max(1)).unwrap_or(i32::MAX)
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::Event;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::c_int;
+
+    // x86-64 (and x32) define epoll_event packed; other Linux arches use
+    // the natural layout.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Epoll {
+        epfd: RawFd,
+    }
+
+    impl Epoll {
+        pub(super) fn new() -> io::Result<Epoll> {
+            // SAFETY: epoll_create1 takes a flag word and returns a new
+            // fd or -1; no pointers are involved.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, interest: Option<Event>) -> io::Result<()> {
+            let mut ev = interest.map(|i| EpollEvent {
+                events: mask_of(i),
+                data: i.key as u64,
+            });
+            let ptr = ev
+                .as_mut()
+                .map(|e| e as *mut EpollEvent)
+                .unwrap_or(std::ptr::null_mut());
+            // SAFETY: `ptr` is either null (DEL, permitted since Linux
+            // 2.6.9) or points at a live stack-local EpollEvent for the
+            // duration of the call.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, ptr) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(super) fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, Some(interest))
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, Some(interest))
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        pub(super) fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 64];
+            // SAFETY: `buf` is a live array of 64 EpollEvents; the
+            // kernel writes at most `maxevents` entries into it.
+            let rc = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), 64, timeout_ms) };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0); // spurious wakeup; callers loop anyway
+                }
+                return Err(err);
+            }
+            let n = rc as usize;
+            for ev in buf.iter().take(n) {
+                // Copy out of the (possibly packed) struct before use.
+                let events = ev.events;
+                let data = ev.data;
+                out.push(Event {
+                    key: data as usize,
+                    readable: events & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0,
+                    writable: events & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: epfd is a valid owned fd; double-close is
+            // impossible because Drop runs once.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+
+    fn mask_of(interest: Event) -> u32 {
+        let mut mask = 0;
+        if interest.readable {
+            mask |= EPOLLIN;
+        }
+        if interest.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+}
+
+mod fallback {
+    use super::Event;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_int, c_short};
+    use std::sync::Mutex;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+    const POLLNVAL: c_short = 0x020;
+
+    // glibc/musl declare nfds_t as unsigned long; the BSD family and
+    // macOS use unsigned int. Only the matching alias is compiled.
+    #[cfg(target_os = "linux")]
+    type NfdsT = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NfdsT = std::os::raw::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+    }
+
+    /// Registered-fd list, re-submitted to `poll(2)` on every wait.
+    #[derive(Debug, Default)]
+    pub(super) struct PollSet {
+        registry: Mutex<Vec<(RawFd, Event)>>,
+    }
+
+    impl PollSet {
+        pub(super) fn new() -> PollSet {
+            PollSet::default()
+        }
+
+        pub(super) fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut reg = lock(&self.registry);
+            if reg.iter().any(|(f, _)| *f == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            reg.push((fd, interest));
+            Ok(())
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut reg = lock(&self.registry);
+            match reg.iter_mut().find(|(f, _)| *f == fd) {
+                Some(slot) => {
+                    slot.1 = interest;
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut reg = lock(&self.registry);
+            let before = reg.len();
+            reg.retain(|(f, _)| *f != fd);
+            if reg.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        pub(super) fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            let snapshot: Vec<(RawFd, Event)> = lock(&self.registry).clone();
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|(fd, interest)| PollFd {
+                    fd: *fd,
+                    events: {
+                        let mut m: c_short = 0;
+                        if interest.readable {
+                            m |= POLLIN;
+                        }
+                        if interest.writable {
+                            m |= POLLOUT;
+                        }
+                        m
+                    },
+                    revents: 0,
+                })
+                .collect();
+            // SAFETY: `fds` is a live, correctly-sized array of PollFd
+            // for the duration of the call; the kernel only writes the
+            // `revents` fields.
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            let mut n = 0;
+            for (pfd, (_, interest)) in fds.iter().zip(snapshot.iter()) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                n += 1;
+                let bad = pfd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+                out.push(Event {
+                    key: interest.key,
+                    readable: pfd.revents & POLLIN != 0 || bad,
+                    writable: pfd.revents & POLLOUT != 0 || bad,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        // A poisoned registry only means another thread panicked while
+        // holding the lock; the data (a flat fd list) is still coherent.
+        match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+// Silence dead-code on non-linux builds where Backend::Epoll is refused.
+#[allow(dead_code)]
+fn _assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Poller>();
+    check::<Event>();
+    let _ = Mutex::new(()); // keep the import live on all cfg paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::UdpSocket;
+    use std::time::Instant;
+
+    fn backends() -> Vec<Backend> {
+        if cfg!(target_os = "linux") {
+            vec![Backend::Epoll, Backend::Poll]
+        } else {
+            vec![Backend::Poll]
+        }
+    }
+
+    #[test]
+    fn timeout_conversion() {
+        assert_eq!(timeout_to_ms(None), -1);
+        assert_eq!(timeout_to_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_to_ms(Some(Duration::from_micros(100))), 1);
+        assert_eq!(timeout_to_ms(Some(Duration::from_millis(25))), 25);
+        assert_eq!(timeout_to_ms(Some(Duration::from_secs(1 << 40))), i32::MAX);
+    }
+
+    #[test]
+    fn readable_event_surfaces_on_both_backends() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).expect("poller");
+            assert_eq!(poller.backend(), backend);
+            let rx = UdpSocket::bind("127.0.0.1:0").expect("bind rx");
+            let tx = UdpSocket::bind("127.0.0.1:0").expect("bind tx");
+            rx.set_nonblocking(true).expect("nonblocking");
+            poller.add(&rx, Event::readable(7)).expect("add");
+
+            let mut events = Vec::new();
+            // Nothing pending: a short wait returns empty.
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .expect("empty wait");
+            assert_eq!(n, 0, "{backend:?}: no spurious readiness");
+
+            tx.send_to(b"x", rx.local_addr().expect("addr"))
+                .expect("send");
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            assert_eq!(n, 1, "{backend:?}: one source ready");
+            assert!(events.iter().any(|e| e.key == 7 && e.readable));
+
+            // Level-triggered: still readable until drained.
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .expect("re-wait");
+            assert_eq!(n, 1, "{backend:?}: level-triggered re-report");
+
+            let mut buf = [0u8; 16];
+            let _ = rx.recv_from(&mut buf);
+            poller.delete(&rx).expect("delete");
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .expect("post-delete wait");
+            assert_eq!(n, 0, "{backend:?}: deleted source is silent");
+        }
+    }
+
+    #[test]
+    fn double_add_is_rejected_and_modify_requires_registration() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).expect("poller");
+            let s = UdpSocket::bind("127.0.0.1:0").expect("bind");
+            poller.add(&s, Event::readable(1)).expect("add");
+            assert!(poller.add(&s, Event::readable(2)).is_err(), "{backend:?}");
+            poller.modify(&s, Event::all(3)).expect("modify");
+            poller.delete(&s).expect("delete");
+            assert!(
+                poller.modify(&s, Event::readable(1)).is_err(),
+                "{backend:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn timeout_expires_promptly() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).expect("poller");
+            let s = UdpSocket::bind("127.0.0.1:0").expect("bind");
+            poller.add(&s, Event::readable(0)).expect("add");
+            let start = Instant::now();
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(30)))
+                .expect("wait");
+            assert_eq!(n, 0);
+            let waited = start.elapsed();
+            assert!(
+                waited >= Duration::from_millis(25),
+                "{backend:?}: waited only {waited:?}"
+            );
+            assert!(
+                waited < Duration::from_secs(5),
+                "{backend:?}: wait did not return"
+            );
+        }
+    }
+}
